@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Cascade analysis and graph diagnostics beyond seed selection.
+
+// Activation is one recorded node activation in a traced cascade: which
+// node activated, triggered by which in-neighbor, at which timestamp.
+type Activation = diffusion.Activation
+
+// CascadeTrace is the full record of one simulated cascade.
+type CascadeTrace = diffusion.Trace
+
+// TraceCascade simulates a single cascade from seeds and returns who
+// activated whom and when — the timestamped process of §2.1 of the
+// paper, made observable for visualization and debugging.
+func TraceCascade(g *Graph, model Model, seeds []uint32, seed uint64) *CascadeTrace {
+	sim := diffusion.NewSimulator(g, model)
+	return sim.RunTrace(rng.New(seed), seeds)
+}
+
+// SCCResult describes the strongly connected components of a graph.
+type SCCResult = graph.SCCResult
+
+// SCC computes the strongly connected components of g (iterative
+// Tarjan). Crawled social networks have a giant component; checking the
+// largest SCC is the quickest sanity test that a synthetic graph has a
+// realistic shape.
+func SCC(g *Graph) *SCCResult { return graph.StronglyConnectedComponents(g) }
+
+// CondenseSCC returns the condensation DAG of g: one node per strongly
+// connected component, deduplicated cross-component edges.
+func CondenseSCC(g *Graph, scc *SCCResult) *Graph { return graph.Condense(g, scc) }
+
+// Ready-made triggering models (§4.2 generality; all preserve the
+// Maximize guarantees).
+
+// BoundedTriggerModel is IC with an attention cap: each in-neighbor
+// triggers with its edge probability, but at most max of the successes
+// (uniformly chosen) enter the triggering set.
+func BoundedTriggerModel(max int) Model {
+	return diffusion.NewTriggering(diffusion.BoundedTrigger{Max: max})
+}
+
+// ScaledICModel is IC with every edge probability multiplied by factor
+// (clamped to [0, 1]) — for sensitivity analysis without rewriting
+// weights.
+func ScaledICModel(factor float64) Model {
+	return diffusion.NewTriggering(diffusion.ScaledICTrigger{Factor: factor})
+}
+
+// TopWeightTriggerModel triggers deterministically on each node's top
+// highest-weight in-neighbors ("trusted sources").
+func TopWeightTriggerModel(top int) Model {
+	return diffusion.NewTriggering(diffusion.TopWeightTrigger{Top: top})
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"repro/internal/algo/greedy"
+	"repro/internal/algo/heuristics"
+	"repro/internal/algo/irie"
+	"repro/internal/algo/ris"
+	"repro/internal/algo/simpath"
+	"repro/internal/rng"
+)
+
+// The baseline selectors below are the algorithms the paper compares TIM
+// and TIM+ against (§7). They share the Graph/Model types with Maximize
+// so results are directly comparable via EstimateSpread.
+
+// GreedyOptions configures GreedySelect (Kempe et al.'s hill climbing
+// with a Monte-Carlo oracle; strategy Plain, CELF, or CELF++).
+type GreedyOptions = greedy.Options
+
+// GreedyResult is GreedySelect's output.
+type GreedyResult = greedy.Result
+
+// Greedy strategies.
+const (
+	// StrategyCELFPlusPlus is Goyal et al.'s CELF++ (default; the
+	// paper's Figure 3 baseline).
+	StrategyCELFPlusPlus = greedy.CELFPlusPlus
+	// StrategyCELF is Leskovec et al.'s lazy-forward greedy.
+	StrategyCELF = greedy.CELF
+	// StrategyPlain is the unoptimized original greedy.
+	StrategyPlain = greedy.Plain
+)
+
+// Greedy spread oracles.
+const (
+	// OracleFreshMC estimates each spread with fresh Monte-Carlo
+	// cascades (the literature's standard setup; default).
+	OracleFreshMC = greedy.OracleFreshMC
+	// OracleSnapshots pre-samples R live-edge worlds and evaluates
+	// exactly against them — faster, with common-random-number
+	// variance reduction.
+	OracleSnapshots = greedy.OracleSnapshots
+)
+
+// GreedySelect runs Kempe et al.'s greedy (default CELF++). With r
+// satisfying Lemma 10 it is (1 − 1/e − ε)-approximate, at O(kmnr) cost —
+// the inefficiency TIM exists to remove.
+func GreedySelect(g *Graph, model Model, k int, opts GreedyOptions) (*GreedyResult, error) {
+	return greedy.Select(g, model, k, opts)
+}
+
+// RISOptions configures RISSelect (Borgs et al.'s reverse influence
+// sampling with cost threshold τ).
+type RISOptions = ris.Options
+
+// RISResult is RISSelect's output.
+type RISResult = ris.Result
+
+// RISSelect runs Borgs et al.'s RIS (§2.3): RR sets are generated until
+// the examined nodes+edges reach τ = C·ℓ·k(m+n)log n/ε³, then greedy
+// maximum coverage picks the seeds.
+func RISSelect(g *Graph, model Model, opts RISOptions) (*RISResult, error) {
+	return ris.Select(g, model, opts)
+}
+
+// IRIEOptions configures IRIESelect.
+type IRIEOptions = irie.Options
+
+// IRIEResult is IRIESelect's output.
+type IRIEResult = irie.Result
+
+// IRIESelect runs the IRIE heuristic (Jung et al.) for the IC model —
+// the paper's Figure 8/9 baseline. No approximation guarantee.
+func IRIESelect(g *Graph, opts IRIEOptions) (*IRIEResult, error) {
+	return irie.Select(g, opts)
+}
+
+// SimpathOptions configures SimpathSelect.
+type SimpathOptions = simpath.Options
+
+// SimpathResult is SimpathSelect's output.
+type SimpathResult = simpath.Result
+
+// SimpathSelect runs the SIMPATH heuristic (Goyal et al.) for the LT
+// model — the paper's Figure 10/11 baseline. No approximation guarantee.
+func SimpathSelect(g *Graph, opts SimpathOptions) (*SimpathResult, error) {
+	return simpath.Select(g, opts)
+}
+
+// DegreeSelect returns the k highest out-degree nodes.
+func DegreeSelect(g *Graph, k int) ([]uint32, error) {
+	return heuristics.Degree(g, k)
+}
+
+// DegreeDiscountSelect runs Chen et al.'s degree-discount heuristic with
+// assumed uniform IC probability p.
+func DegreeDiscountSelect(g *Graph, k int, p float64) ([]uint32, error) {
+	return heuristics.DegreeDiscount(g, k, p)
+}
+
+// PageRankSelect returns the k top nodes by reverse-graph PageRank.
+func PageRankSelect(g *Graph, k int) ([]uint32, error) {
+	return heuristics.PageRank(g, k, heuristics.PageRankOptions{})
+}
+
+// RandomSelect returns k distinct uniformly random nodes.
+func RandomSelect(g *Graph, k int, seed uint64) ([]uint32, error) {
+	return heuristics.Random(g, k, rng.New(seed))
+}

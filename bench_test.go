@@ -1,0 +1,205 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§7). Each
+// bench regenerates its artifact through the internal/exp harness at the
+// tiny dataset scale (benchmarks must terminate in minutes, not the
+// paper's hours — see EXPERIMENTS.md for the scaling discussion and for
+// small/full-scale runs via cmd/experiments). The report rows — the same
+// series the paper plots — are printed once per benchmark run.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem            # all artifacts
+//	go test -bench=BenchmarkFig3 -v       # one figure
+//	go test -bench=. -args -bench.scale=small   (via cmd/experiments instead)
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+// benchConfig keeps every artifact reproducible inside a benchmark loop:
+// tiny profiles, trimmed sweeps, capped baselines.
+func benchConfig() exp.Config {
+	return exp.Config{
+		Scale:      gen.ScaleTiny,
+		Seed:       1,
+		KValues:    []int{1, 10, 50},
+		EpsValues:  []float64{0.1, 0.2, 0.3, 0.4},
+		Epsilon:    0.2,
+		CelfR:      50,
+		RISCostCap: 2_000_000,
+		MCSamples:  2000,
+	}
+}
+
+var printOnce sync.Map // experiment id -> *sync.Once
+
+// runExperiment executes the experiment once per b.N iteration and prints
+// its table on the first run of the process.
+func runExperiment(b *testing.B, id string, cfg exp.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceAny, _ := printOnce.LoadOrStore(id, &sync.Once{})
+		onceAny.(*sync.Once).Do(func() {
+			fmt.Fprintln(os.Stderr)
+			if _, err := rep.WriteTo(os.Stderr); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Datasets regenerates Table 2 (dataset characteristics).
+func BenchmarkTable2Datasets(b *testing.B) {
+	runExperiment(b, "table2", benchConfig())
+}
+
+// BenchmarkFig3Runtime regenerates Figure 3 (running time vs k of TIM,
+// TIM+, RIS, CELF++ on the NetHEPT profile, IC and LT).
+func BenchmarkFig3Runtime(b *testing.B) {
+	runExperiment(b, "fig3", benchConfig())
+}
+
+// BenchmarkFig4Breakdown regenerates Figure 4 (per-phase time breakdown
+// of TIM and TIM+ on the NetHEPT profile, IC).
+func BenchmarkFig4Breakdown(b *testing.B) {
+	runExperiment(b, "fig4", benchConfig())
+}
+
+// BenchmarkFig5SpreadKPT regenerates Figure 5 (expected spreads and the
+// KPT*/KPT+ lower bounds on the NetHEPT profile).
+func BenchmarkFig5SpreadKPT(b *testing.B) {
+	runExperiment(b, "fig5", benchConfig())
+}
+
+// BenchmarkFig6LargeRuntime regenerates Figure 6 (running time vs k of
+// TIM and TIM+ on the Epinions/DBLP/LiveJournal/Twitter profiles).
+func BenchmarkFig6LargeRuntime(b *testing.B) {
+	runExperiment(b, "fig6", benchConfig())
+}
+
+// BenchmarkFig7Epsilon regenerates Figure 7 (running time vs ε on the
+// large profiles, k=50).
+func BenchmarkFig7Epsilon(b *testing.B) {
+	runExperiment(b, "fig7", benchConfig())
+}
+
+// BenchmarkFig8TimVsIrie regenerates Figure 8 (running time vs k of TIM+
+// with ε=ℓ=1 versus IRIE, IC).
+func BenchmarkFig8TimVsIrie(b *testing.B) {
+	runExperiment(b, "fig8", benchConfig())
+}
+
+// BenchmarkFig9SpreadIrie regenerates Figure 9 (expected spread vs k of
+// TIM+ versus IRIE, IC).
+func BenchmarkFig9SpreadIrie(b *testing.B) {
+	runExperiment(b, "fig9", benchConfig())
+}
+
+// BenchmarkFig10TimVsSimpath regenerates Figure 10 (running time vs k of
+// TIM+ with ε=ℓ=1 versus SIMPATH, LT).
+func BenchmarkFig10TimVsSimpath(b *testing.B) {
+	runExperiment(b, "fig10", benchConfig())
+}
+
+// BenchmarkFig11SpreadSimpath regenerates Figure 11 (expected spread vs k
+// of TIM+ versus SIMPATH, LT).
+func BenchmarkFig11SpreadSimpath(b *testing.B) {
+	runExperiment(b, "fig11", benchConfig())
+}
+
+// BenchmarkFig12Memory regenerates Figure 12 (memory consumption of TIM+
+// vs k on all five profiles, IC and LT).
+func BenchmarkFig12Memory(b *testing.B) {
+	runExperiment(b, "fig12", benchConfig())
+}
+
+// BenchmarkHeadline regenerates the abstract's headline configuration
+// (TIM+, k=50, ε=0.2, ℓ=1 on the Twitter profile, both models).
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", benchConfig())
+}
+
+// Ablation benches quantify the design decisions DESIGN.md §5 calls out
+// (beyond the paper's own artifacts).
+
+// BenchmarkAblationEpsPrime sweeps Algorithm 3's ε′ around the §4.1
+// heuristic choice.
+func BenchmarkAblationEpsPrime(b *testing.B) {
+	runExperiment(b, "abl-epsprime", benchConfig())
+}
+
+// BenchmarkAblationWorkers sweeps sampling parallelism.
+func BenchmarkAblationWorkers(b *testing.B) {
+	runExperiment(b, "abl-workers", benchConfig())
+}
+
+// BenchmarkAblationMaxcover compares the linear-time greedy cover with
+// the naive recompute reference.
+func BenchmarkAblationMaxcover(b *testing.B) {
+	runExperiment(b, "abl-maxcover", benchConfig())
+}
+
+// BenchmarkAblationRefine isolates Algorithm 3's θ reduction.
+func BenchmarkAblationRefine(b *testing.B) {
+	runExperiment(b, "abl-refine", benchConfig())
+}
+
+// BenchmarkAblationSpill compares in-memory and out-of-core selection.
+func BenchmarkAblationSpill(b *testing.B) {
+	runExperiment(b, "abl-spill", benchConfig())
+}
+
+// BenchmarkDistributed runs the simulated distributed TIM+ (§8 future
+// work) across shard counts: per-shard memory vs network traffic.
+func BenchmarkDistributed(b *testing.B) {
+	runExperiment(b, "dist", benchConfig())
+}
+
+// BenchmarkCompetitive runs the §8 competitive extension: the
+// follower's-problem greedy against next-degree and copycat baselines.
+func BenchmarkCompetitive(b *testing.B) {
+	runExperiment(b, "compete", benchConfig())
+}
+
+// BenchmarkMaximizeTimPlusNetHEPT measures a single headline TIM+ run
+// (k=50, ε=0.1) on the NetHEPT profile — the configuration of the
+// paper's abstract, scaled.
+func BenchmarkMaximizeTimPlusNetHEPT(b *testing.B) {
+	g, err := GenerateDataset("nethept", ScaleTiny, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	UseWeightedCascade(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximize(g, IC(), Options{K: 50, Epsilon: 0.1, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaximizeTimPlusLT is the LT counterpart of the headline bench.
+func BenchmarkMaximizeTimPlusLT(b *testing.B) {
+	g, err := GenerateDataset("nethept", ScaleTiny, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	UseRandomLTWeights(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximize(g, LT(), Options{K: 50, Epsilon: 0.1, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 2 and Figures 3 through 12, one experiment id at a time or all of
+// them. Reports print as aligned text tables and can also be written as
+// TSV files for plotting.
+//
+// Examples:
+//
+//	experiments -id table2
+//	experiments -id fig3 -scale tiny
+//	experiments -id all -scale small -tsv-dir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "", "experiment id ("+strings.Join(exp.IDs(), "|")+") or 'all'")
+		scale   = flag.String("scale", "tiny", "dataset scale: tiny|small|full")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "sampling workers (0 = all cores)")
+		kList   = flag.String("k", "", "comma-separated k sweep (default 1,10,20,30,40,50)")
+		eps     = flag.Float64("eps", 0.1, "epsilon for fixed-epsilon experiments")
+		celfR   = flag.Int("celf-r", 200, "Monte-Carlo samples per CELF++ estimate")
+		risCap  = flag.Int64("ris-cap", 20_000_000, "RIS cost cap (0 = faithful tau; may run very long)")
+		mc      = flag.Int("mc", 10000, "Monte-Carlo samples for spread evaluation")
+		tsvDir  = flag.String("tsv-dir", "", "also write <id>.tsv files into this directory")
+		verify  = flag.Bool("verify", false, "run the registered shape checks after each report and fail on violations")
+	)
+	flag.Parse()
+	if *id == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*id, *scale, *seed, *workers, *kList, *eps, *celfR, *risCap, *mc, *tsvDir, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, scale string, seed uint64, workers int, kList string,
+	eps float64, celfR int, risCap int64, mc int, tsvDir string, verify bool) error {
+
+	sc, err := gen.ParseScale(scale)
+	if err != nil {
+		return err
+	}
+	cfg := exp.Config{
+		Scale:      sc,
+		Seed:       seed,
+		Workers:    workers,
+		Epsilon:    eps,
+		CelfR:      celfR,
+		RISCostCap: risCap,
+		MCSamples:  mc,
+	}
+	if kList != "" {
+		for _, part := range strings.Split(kList, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -k list: %w", err)
+			}
+			cfg.KValues = append(cfg.KValues, k)
+		}
+	}
+
+	ids := []string{id}
+	if id == "all" {
+		ids = exp.IDs()
+	}
+	for _, one := range ids {
+		rep, err := exp.Run(one, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", one, err)
+		}
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if verify {
+			findings, registered := exp.CheckShape(rep)
+			violations := 0
+			for _, f := range findings {
+				status := "ok"
+				if !f.OK {
+					status = "VIOLATED"
+					violations++
+				}
+				fmt.Printf("shape %-8s %s (%s)\n", status, f.Claim, f.Got)
+			}
+			if registered && violations > 0 {
+				return fmt.Errorf("%s: %d shape claims violated", one, violations)
+			}
+			if !registered {
+				fmt.Printf("shape: no registered checks for %s\n", one)
+			}
+		}
+		if tsvDir != "" {
+			if err := os.MkdirAll(tsvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(tsvDir, one+".tsv")
+			if err := os.WriteFile(path, []byte(rep.TSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+		}
+	}
+	return nil
+}

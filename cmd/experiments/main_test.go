@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2WritesTSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table2", "tiny", 1, 1, "", 0.3, 20, 100_000, 200, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "nethept") || !strings.Contains(text, "twitter") {
+		t.Fatalf("tsv content: %.120q", text)
+	}
+	lines := strings.Count(strings.TrimSpace(text), "\n")
+	if lines != 5 { // header + 5 rows - 1
+		t.Fatalf("tsv line count: %d", lines)
+	}
+}
+
+func TestRunCustomKList(t *testing.T) {
+	if err := run("abl-refine", "tiny", 1, 1, "2, 4", 0.4, 20, 100_000, 200, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithVerify(t *testing.T) {
+	// fig12 has registered shape checks; at tiny scale with small k the
+	// IC >= LT memory claim holds, so -verify must pass.
+	if err := run("fig12", "tiny", 1, 0, "10", 0.3, 20, 100_000, 500, "", true); err != nil {
+		t.Fatal(err)
+	}
+	// table2 has no registered checks; -verify must not fail.
+	if err := run("table2", "tiny", 1, 1, "", 0.3, 20, 100_000, 200, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("fig99", "tiny", 1, 1, "", 0.3, 20, 0, 200, "", false); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := run("table2", "massive", 1, 1, "", 0.3, 20, 0, 200, "", false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("table2", "tiny", 1, 1, "1,two", 0.3, 20, 0, 200, "", false); err == nil {
+		t.Error("bad k list accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command gengraph synthesizes graphs and writes them as edge lists or in
+// the compact TIMG binary format.
+//
+// Examples:
+//
+//	gengraph -profile nethept -scale small -out nethept.txt
+//	gengraph -family ba -n 10000 -attach 3 -out ba.txt
+//	gengraph -family chunglu -n 50000 -m 500000 -binary -out cl.timg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "dataset profile: nethept|epinions|dblp|livejournal|twitter")
+		scale   = flag.String("scale", "tiny", "profile scale: tiny|small|full")
+		family  = flag.String("family", "", "random family: ba|er|ws|chunglu|community")
+		n       = flag.Int("n", 1000, "node count (family generators)")
+		m       = flag.Int("m", 5000, "edge count (er, chunglu)")
+		attach  = flag.Int("attach", 3, "attachment degree (ba)")
+		kNear   = flag.Int("ws-k", 4, "ring neighbors (ws)")
+		beta    = flag.Float64("ws-beta", 0.1, "rewire probability (ws)")
+		gammaO  = flag.Float64("gamma-out", 2.4, "out-degree exponent (chunglu)")
+		gammaI  = flag.Float64("gamma-in", 2.1, "in-degree exponent (chunglu)")
+		comms   = flag.Int("communities", 4, "community count (community)")
+		pIn     = flag.Float64("p-in", 0.05, "intra-community probability (community)")
+		pOut    = flag.Float64("p-out", 0.001, "inter-community probability (community)")
+		weights = flag.String("weights", "", "optional weight scheme to bake in: wc|lt-random|trivalency|uniform:<p>")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		binary  = flag.Bool("binary", false, "write TIMG binary instead of text")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*profile, *scale, *family, *n, *m, *attach, *kNear, *beta,
+		*gammaO, *gammaI, *comms, *pIn, *pOut, *weights, *seed, *binary, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile, scale, family string, n, m, attach, kNear int, beta,
+	gammaO, gammaI float64, comms int, pIn, pOut float64,
+	weights string, seed uint64, binary bool, out string) error {
+
+	var (
+		g   *repro.Graph
+		err error
+	)
+	switch {
+	case profile != "" && family != "":
+		return fmt.Errorf("-profile and -family are mutually exclusive")
+	case profile != "":
+		g, err = repro.GenerateDataset(profile, scale, seed)
+	case family == "ba":
+		g = repro.GenerateBarabasiAlbert(n, attach, seed)
+	case family == "er":
+		g = repro.GenerateErdosRenyi(n, m, seed)
+	case family == "ws":
+		g = repro.GenerateWattsStrogatz(n, kNear, beta, seed)
+	case family == "chunglu":
+		g = repro.GenerateChungLu(n, m, gammaO, gammaI, seed)
+	case family == "community":
+		g = repro.GenerateCommunity(n, comms, pIn, pOut, seed)
+	default:
+		return fmt.Errorf("one of -profile or -family is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	switch weights {
+	case "":
+	case "wc":
+		repro.UseWeightedCascade(g)
+	case "lt-random":
+		repro.UseRandomLTWeights(g, seed)
+	case "trivalency":
+		repro.UseTrivalency(g, seed)
+	default:
+		var p float64
+		if _, serr := fmt.Sscanf(weights, "uniform:%g", &p); serr != nil {
+			return fmt.Errorf("unknown weight scheme %q", weights)
+		}
+		if werr := repro.UseUniformIC(g, float32(p)); werr != nil {
+			return werr
+		}
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	st := repro.Stats(g)
+	fmt.Fprintf(os.Stderr, "gengraph: n=%d m=%d avg_degree=%.2f\n", st.Nodes, st.Edges, st.AverageDegree)
+	if binary {
+		return repro.SaveBinary(w, g)
+	}
+	return repro.SaveEdgeList(w, g)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFamilies(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		family string
+	}{
+		{"ba", "ba"}, {"er", "er"}, {"ws", "ws"}, {"chunglu", "chunglu"}, {"community", "community"},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.name+".txt")
+		err := run("", "tiny", c.family, 200, 800, 3, 4, 0.1, 2.4, 2.1, 4, 0.05, 0.001, "", 1, false, out)
+		if err != nil {
+			t.Errorf("family %s: %v", c.family, err)
+			continue
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "# nodes=") {
+			t.Errorf("family %s: missing header: %.40q", c.family, string(data))
+		}
+	}
+}
+
+func TestRunProfileBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.timg")
+	err := run("nethept", "tiny", "", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "wc", 1, true, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != "TIMG" {
+		t.Fatalf("binary magic: %q", data[:4])
+	}
+}
+
+func TestRunWeightSchemes(t *testing.T) {
+	dir := t.TempDir()
+	for _, w := range []string{"wc", "lt-random", "trivalency", "uniform:0.05"} {
+		out := filepath.Join(dir, strings.ReplaceAll(w, ":", "_")+".txt")
+		if err := run("", "tiny", "er", 50, 200, 0, 0, 0, 0, 0, 0, 0, 0, w, 1, false, out); err != nil {
+			t.Errorf("weights %s: %v", w, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nethept", "tiny", "ba", 10, 0, 2, 0, 0, 0, 0, 0, 0, 0, "", 1, false, ""); err == nil {
+		t.Error("profile+family accepted")
+	}
+	if err := run("", "tiny", "", 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", 1, false, ""); err == nil {
+		t.Error("neither profile nor family accepted")
+	}
+	if err := run("orkut", "tiny", "", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", 1, false, ""); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("", "tiny", "er", 50, 200, 0, 0, 0, 0, 0, 0, 0, 0, "bogus", 1, false, ""); err == nil {
+		t.Error("unknown weights accepted")
+	}
+}

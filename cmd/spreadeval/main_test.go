@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1 1.0\n1 2 1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithSeedsArg(t *testing.T) {
+	path := writeGraph(t)
+	if err := run(path, false, "", "tiny", "keep", "ic", "0", "", 500, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSeedsFile(t *testing.T) {
+	path := writeGraph(t)
+	seedsPath := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(seedsPath, []byte("0\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, "", "tiny", "wc", "lt", "", seedsPath, 500, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithProfile(t *testing.T) {
+	if err := run("", false, "nethept", "tiny", "wc", "ic", "0,1,2", "", 200, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"no graph", run("", false, "", "tiny", "wc", "ic", "0", "", 100, 1, 1)},
+		{"bad model", run(path, false, "", "tiny", "wc", "sis", "0", "", 100, 1, 1)},
+		{"bad weights", run(path, false, "", "tiny", "cubic", "ic", "0", "", 100, 1, 1)},
+		{"no seeds", run(path, false, "", "tiny", "wc", "ic", "", "", 100, 1, 1)},
+		{"both seed sources", run(path, false, "", "tiny", "wc", "ic", "0", path, 100, 1, 1)},
+		{"seed out of range", run(path, false, "", "tiny", "wc", "ic", "99", "", 100, 1, 1)},
+		{"bad seed token", run(path, false, "", "tiny", "wc", "ic", "zero", "", 100, 1, 1)},
+		{"missing seeds file", run(path, false, "", "tiny", "wc", "ic", "", filepath.Join(t.TempDir(), "no.txt"), 100, 1, 1)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("1, 2,3", "", 10)
+	if err != nil || len(seeds) != 3 || seeds[2] != 3 {
+		t.Fatalf("parseSeeds: %v %v", seeds, err)
+	}
+	if _, err := parseSeeds("", "", 10); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}

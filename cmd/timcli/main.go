@@ -1,0 +1,304 @@
+// Command timcli runs influence maximization on a graph from the command
+// line: load (or synthesize) a network, pick a diffusion model and an
+// algorithm, and print the selected seeds with diagnostics.
+//
+// Examples:
+//
+//	timcli -graph network.txt -k 50 -algo tim+ -model ic -weights wc
+//	timcli -profile epinions -scale tiny -k 20 -algo irie -eval 10000
+//	timcli -profile nethept -scale small -k 10 -model lt -algo simpath
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// jsonOutput is the machine-readable result emitted by -json.
+type jsonOutput struct {
+	Algorithm string   `json:"algorithm"`
+	Model     string   `json:"model"`
+	K         int      `json:"k"`
+	Nodes     int      `json:"nodes"`
+	Edges     int      `json:"edges"`
+	Seeds     []uint32 `json:"seeds"`
+	// Spread and SpreadStderr are present only when -eval > 0.
+	Spread       *float64 `json:"spread,omitempty"`
+	SpreadStderr *float64 `json:"spread_stderr,omitempty"`
+	// TIM diagnostics, present for tim/tim+ runs.
+	KptStar *float64 `json:"kpt_star,omitempty"`
+	KptPlus *float64 `json:"kpt_plus,omitempty"`
+	Theta   *int64   `json:"theta,omitempty"`
+}
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge list file to load (whitespace separated, '#' comments)")
+		binary     = flag.Bool("binary", false, "graph file is in TIMG binary format")
+		undirected = flag.Bool("undirected", false, "treat edge list lines as undirected")
+		profile    = flag.String("profile", "", "generate a synthetic dataset profile instead of loading (nethept|epinions|dblp|livejournal|twitter)")
+		scale      = flag.String("scale", "tiny", "profile scale: tiny|small|full")
+		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
+		weights    = flag.String("weights", "wc", "weight scheme: wc (weighted cascade) | uniform:<p> | trivalency | lt-random | lt-uniform | keep")
+		algo       = flag.String("algo", "tim+", "algorithm: tim+|tim|dist|ris|celf++|celf|greedy|irie|simpath|degree|degreediscount|pagerank|random")
+		k          = flag.Int("k", 50, "seed set size")
+		shards     = flag.Int("shards", 4, "simulated machines for -algo dist")
+		eps        = flag.Float64("eps", 0.1, "approximation slack epsilon")
+		ell        = flag.Float64("ell", 1, "failure exponent ell (success prob 1-n^-ell)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "sampling workers (0 = all cores)")
+		evalN      = flag.Int("eval", 0, "if > 0, Monte-Carlo samples for evaluating the selected seeds")
+		celfR      = flag.Int("celf-r", 10000, "Monte-Carlo samples per estimate for greedy variants")
+		risCap     = flag.Int64("ris-cap", 0, "optional cost cap for RIS (0 = faithful tau)")
+		jsonOut    = flag.Bool("json", false, "emit a single JSON object instead of text")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *binary, *undirected, *profile, *scale, *modelName,
+		*weights, *algo, *k, *shards, *eps, *ell, *seed, *workers, *evalN, *celfR, *risCap, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "timcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, binary, undirected bool, profile, scale, modelName,
+	weights, algo string, k, shards int, eps, ell float64, seed uint64,
+	workers, evalN, celfR int, risCap int64, jsonMode bool) error {
+
+	g, err := loadGraph(graphPath, binary, undirected, profile, scale, seed)
+	if err != nil {
+		return err
+	}
+	st := repro.Stats(g)
+	if !jsonMode {
+		fmt.Printf("graph: n=%d m=%d avg_degree=%.2f\n", st.Nodes, st.Edges, st.AverageDegree)
+	}
+
+	if err := applyWeights(g, weights, seed); err != nil {
+		return err
+	}
+	model, err := pickModel(modelName)
+	if err != nil {
+		return err
+	}
+
+	seeds, timRes, err := selectSeeds(g, model, algo, k, shards, eps, ell, seed, workers, celfR, risCap, jsonMode)
+	if err != nil {
+		return err
+	}
+	if !jsonMode {
+		fmt.Printf("algorithm: %s\nseeds: %s\n", algo, joinSeeds(seeds))
+	}
+
+	var mean, stderr float64
+	if evalN > 0 {
+		mean, stderr = repro.EstimateSpreadStderr(g, model, seeds, repro.SpreadOptions{
+			Samples: evalN, Workers: workers, Seed: seed + 1,
+		})
+		if !jsonMode {
+			fmt.Printf("spread: %.2f +- %.2f (%d Monte-Carlo samples)\n", mean, stderr, evalN)
+		}
+	}
+	if jsonMode {
+		out := jsonOutput{
+			Algorithm: algo,
+			Model:     strings.ToLower(modelName),
+			K:         k,
+			Nodes:     st.Nodes,
+			Edges:     st.Edges,
+			Seeds:     seeds,
+		}
+		if evalN > 0 {
+			out.Spread = &mean
+			out.SpreadStderr = &stderr
+		}
+		if timRes != nil {
+			out.KptStar = &timRes.KptStar
+			out.KptPlus = &timRes.KptPlus
+			out.Theta = &timRes.Theta
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	return nil
+}
+
+func loadGraph(path string, binary, undirected bool, profile, scale string, seed uint64) (*repro.Graph, error) {
+	switch {
+	case path != "" && profile != "":
+		return nil, fmt.Errorf("-graph and -profile are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if binary {
+			return repro.LoadBinary(f)
+		}
+		return repro.LoadEdgeList(f, undirected)
+	case profile != "":
+		return repro.GenerateDataset(profile, scale, seed)
+	default:
+		return nil, fmt.Errorf("one of -graph or -profile is required")
+	}
+}
+
+func applyWeights(g *repro.Graph, scheme string, seed uint64) error {
+	switch {
+	case scheme == "wc":
+		repro.UseWeightedCascade(g)
+	case scheme == "trivalency":
+		repro.UseTrivalency(g, seed)
+	case scheme == "lt-random":
+		repro.UseRandomLTWeights(g, seed)
+	case scheme == "lt-uniform":
+		repro.UseUniformLTWeights(g)
+	case scheme == "keep":
+		// Use the weights carried by the input file.
+	case strings.HasPrefix(scheme, "uniform:"):
+		var p float64
+		if _, err := fmt.Sscanf(scheme, "uniform:%g", &p); err != nil {
+			return fmt.Errorf("bad uniform weight %q: %w", scheme, err)
+		}
+		return repro.UseUniformIC(g, float32(p))
+	default:
+		return fmt.Errorf("unknown weight scheme %q", scheme)
+	}
+	return nil
+}
+
+func pickModel(name string) (repro.Model, error) {
+	switch strings.ToLower(name) {
+	case "ic":
+		return repro.IC(), nil
+	case "lt":
+		return repro.LT(), nil
+	}
+	return repro.Model{}, fmt.Errorf("unknown model %q (want ic or lt)", name)
+}
+
+func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
+	eps, ell float64, seed uint64, workers, celfR int, risCap int64,
+	quiet bool) ([]uint32, *repro.Result, error) {
+
+	switch strings.ToLower(algo) {
+	case "dist", "dist+", "tim+dist":
+		res, err := repro.MaximizeDistributed(g, model, repro.DistOptions{
+			K: k, Shards: shards, Epsilon: eps, Ell: ell, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !quiet {
+			var maxShard int64
+			for _, b := range res.ShardMemoryBytes {
+				if b > maxShard {
+					maxShard = b
+				}
+			}
+			fmt.Printf("dist: machines=%d kpt*=%.1f kpt+=%.1f theta=%d spread_est=%.1f\n",
+				res.Shards, res.KptStar, res.KptPlus, res.Theta, res.SpreadEstimate)
+			fmt.Printf("dist: max_shard_graph=%.2fMB net: %d msgs %.1fMB (%d expand round trips)\n",
+				float64(maxShard)/(1<<20), res.Net.Messages,
+				float64(res.Net.Bytes)/(1<<20), res.Net.ExpandRequests)
+		}
+		return res.Seeds, nil, nil
+	case "tim+", "timplus", "tim":
+		variant := repro.TIMPlus
+		if strings.ToLower(algo) == "tim" {
+			variant = repro.TIM
+		}
+		res, err := repro.Maximize(g, model, repro.Options{
+			K: k, Epsilon: eps, Ell: ell, Variant: variant,
+			Workers: workers, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !quiet {
+			printTimDiagnostics(res)
+		}
+		return res.Seeds, res, nil
+	case "ris":
+		res, err := repro.RISSelect(g, model, repro.RISOptions{
+			K: k, Epsilon: eps, Ell: ell, CostCap: risCap,
+			Workers: workers, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !quiet {
+			fmt.Printf("ris: tau=%d cost=%d rr_sets=%d capped=%v\n", res.Tau, res.Cost, res.RRSets, res.Capped)
+		}
+		return res.Seeds, nil, nil
+	case "celf++", "celf", "greedy":
+		strategy := repro.StrategyCELFPlusPlus
+		switch strings.ToLower(algo) {
+		case "celf":
+			strategy = repro.StrategyCELF
+		case "greedy":
+			strategy = repro.StrategyPlain
+		}
+		res, err := repro.GreedySelect(g, model, k, repro.GreedyOptions{
+			R: celfR, Workers: workers, Seed: seed, Strategy: strategy,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !quiet {
+			fmt.Printf("greedy: evaluations=%d\n", res.Evaluations)
+		}
+		return res.Seeds, nil, nil
+	case "irie":
+		res, err := repro.IRIESelect(g, repro.IRIEOptions{K: k})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Seeds, nil, nil
+	case "simpath":
+		res, err := repro.SimpathSelect(g, repro.SimpathOptions{K: k})
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Truncated && !quiet {
+			fmt.Println("simpath: warning: enumeration truncated by MaxSteps")
+		}
+		return res.Seeds, nil, nil
+	case "degree":
+		seeds, err := repro.DegreeSelect(g, k)
+		return seeds, nil, err
+	case "degreediscount":
+		seeds, err := repro.DegreeDiscountSelect(g, k, 0.01)
+		return seeds, nil, err
+	case "pagerank":
+		seeds, err := repro.PageRankSelect(g, k)
+		return seeds, nil, err
+	case "random":
+		seeds, err := repro.RandomSelect(g, k, seed)
+		return seeds, nil, err
+	}
+	return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+func printTimDiagnostics(res *repro.Result) {
+	fmt.Printf("tim: kpt*=%.1f kpt+=%.1f theta=%d spread_est=%.1f rr_mem=%.1fMB\n",
+		res.KptStar, res.KptPlus, res.Theta, res.SpreadEstimate,
+		float64(res.MemoryBytes)/(1<<20))
+	fmt.Printf("tim: phase times: param_est=%v refine=%v node_sel=%v total=%v\n",
+		res.Timings.KptEstimation, res.Timings.Refinement,
+		res.Timings.NodeSelection, res.Timings.Total)
+}
+
+func joinSeeds(seeds []uint32) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, ",")
+}

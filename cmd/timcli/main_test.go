@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempEdgeList(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	content := "# demo\n0 1\n1 2\n2 3\n3 0\n0 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithFileAllAlgorithms(t *testing.T) {
+	path := writeTempEdgeList(t)
+	algos := []string{"tim+", "tim", "dist", "ris", "celf++", "celf", "greedy", "irie", "degree", "degreediscount", "pagerank", "random"}
+	for _, algo := range algos {
+		err := run(path, false, false, "", "tiny", "ic", "wc", algo,
+			2, 2, 0.3, 1, 1, 1, 100, 50, 100_000, false)
+		if err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunSimpathLT(t *testing.T) {
+	path := writeTempEdgeList(t)
+	err := run(path, false, false, "", "tiny", "lt", "lt-random", "simpath",
+		2, 2, 0.3, 1, 1, 1, 100, 50, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithProfile(t *testing.T) {
+	err := run("", false, false, "nethept", "tiny", "ic", "wc", "degree",
+		5, 2, 0.3, 1, 1, 1, 0, 50, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempEdgeList(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"both graph and profile", run(path, false, false, "nethept", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"neither graph nor profile", run("", false, false, "", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"unknown model", run(path, false, false, "", "tiny", "sir", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"unknown weights", run(path, false, false, "", "tiny", "ic", "quadratic", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"unknown algorithm", run(path, false, false, "", "tiny", "ic", "wc", "simulated-annealing", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"k too large", run(path, false, false, "", "tiny", "ic", "wc", "tim+", 999, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"missing file", run(filepath.Join(t.TempDir(), "nope.txt"), false, false, "", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"bad uniform weight", run(path, false, false, "", "tiny", "ic", "uniform:abc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunUniformWeightsAndEval(t *testing.T) {
+	path := writeTempEdgeList(t)
+	err := run(path, false, true, "", "tiny", "ic", "uniform:0.2", "tim+",
+		1, 2, 0.3, 1, 1, 1, 500, 50, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSeeds(t *testing.T) {
+	if got := joinSeeds([]uint32{1, 2, 3}); got != "1,2,3" {
+		t.Fatalf("joinSeeds=%q", got)
+	}
+	if got := joinSeeds(nil); got != "" {
+		t.Fatalf("joinSeeds(nil)=%q", got)
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	// Capture stdout to validate the JSON document shape.
+	path := writeTempEdgeList(t)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(path, false, false, "", "tiny", "ic", "wc", "tim+",
+		2, 2, 0.3, 1, 1, 1, 200, 50, 0, true)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var buf [1 << 16]byte
+	n, _ := r.Read(buf[:])
+	var out jsonOutput
+	if err := json.Unmarshal(buf[:n], &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf[:n])
+	}
+	if out.Algorithm != "tim+" || out.K != 2 || len(out.Seeds) != 2 {
+		t.Fatalf("json output: %+v", out)
+	}
+	if out.Theta == nil || out.KptStar == nil || out.Spread == nil {
+		t.Fatalf("missing diagnostics: %+v", out)
+	}
+}

@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"repro/internal/compete"
+)
+
+// TieBreak selects how a node reached by several competing campaigns in
+// the same timestep chooses its campaign.
+type TieBreak = compete.TieBreak
+
+// Tie-breaking rules for competitive cascades.
+const (
+	// TieRandom adopts one claiming campaign uniformly at random (the
+	// rule of Bharathi et al.; default).
+	TieRandom = compete.TieRandom
+	// TiePriority adopts the claiming campaign with the lowest index.
+	TiePriority = compete.TiePriority
+)
+
+// MaxParties is the largest supported number of simultaneous campaigns.
+const MaxParties = compete.MaxParties
+
+// CompeteOptions configures NewArena (world count, workers, seed, tie
+// rule).
+type CompeteOptions = compete.Options
+
+// Arena is a set of pre-sampled live-edge worlds for competitive
+// influence evaluation; see NewArena.
+type Arena = compete.Arena
+
+// FollowerOptions configures Arena.FollowerGreedy (budget K and an
+// optional candidate restriction).
+type FollowerOptions = compete.FollowerOptions
+
+// FollowerResult reports the follower's selected campaign, its expected
+// share, and selection diagnostics.
+type FollowerResult = compete.FollowerResult
+
+// ErrBadSeeds wraps competitive seed-set validation failures.
+var ErrBadSeeds = compete.ErrBadSeeds
+
+// NewArena prepares a competitive-influence arena: opts.Samples
+// live-edge worlds of g under model (IC, LT, or any triggering model),
+// against which Shares and FollowerGreedy evaluate campaigns — the §8
+// future-work extension to competitive influence maximization.
+//
+// Example (the follower's problem of Bharathi et al.):
+//
+//	arena := repro.NewArena(g, repro.IC(), repro.CompeteOptions{Samples: 2000, Seed: 1})
+//	res, err := arena.FollowerGreedy([][]uint32{incumbentSeeds}, repro.FollowerOptions{K: 10})
+func NewArena(g *Graph, model Model, opts CompeteOptions) *Arena {
+	return compete.NewArena(g, model, opts)
+}

@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"repro/internal/dist"
+)
+
+// DistOptions configures MaximizeDistributed; see dist.Options for the
+// full field contract (K, Shards, Partition, ε, ℓ, variant, seed).
+type DistOptions = dist.Options
+
+// DistResult is the output of MaximizeDistributed: the same diagnostics
+// as Result plus per-shard memory footprints and simulated network
+// traffic.
+type DistResult = dist.Result
+
+// DistNetStats aggregates the simulated network traffic of a
+// distributed run (messages, bytes, expansion round trips, cover
+// rounds).
+type DistNetStats = dist.NetStats
+
+// DistPartitionKind selects how nodes map to simulated machines.
+type DistPartitionKind = dist.PartitionKind
+
+// Partitioning strategies for MaximizeDistributed.
+const (
+	// DistHash partitions nodes by id modulo the shard count (default).
+	DistHash = dist.Hash
+	// DistBlock partitions contiguous id ranges.
+	DistBlock = dist.Block
+)
+
+// ErrDistTriggeringUnsupported is returned by MaximizeDistributed for
+// custom triggering models, which require whole-graph access that
+// partitioned machines do not have. Use IC or LT.
+var ErrDistTriggeringUnsupported = dist.ErrTriggeringUnsupported
+
+// MaximizeDistributed runs TIM/TIM+ on a cluster of simulated machines,
+// the §8 future-work direction: the graph is vertex-partitioned so no
+// machine holds more than its shard, and machines cooperate through an
+// accounted message-passing network. It computes exactly what Maximize
+// computes — same guarantees (Theorems 1–3) — and its output for a
+// fixed Seed is independent of the shard count.
+func MaximizeDistributed(g *Graph, model Model, opts DistOptions) (*DistResult, error) {
+	return dist.Maximize(g, model, opts)
+}

@@ -1,0 +1,36 @@
+// Package repro is a production-quality Go implementation of TIM and TIM+
+// from "Influence Maximization: Near-Optimal Time Complexity Meets
+// Practical Efficiency" (Tang, Xiao, Shi — SIGMOD 2014), together with
+// every substrate and baseline the paper evaluates against.
+//
+// # Quick start
+//
+//	g, err := repro.LoadEdgeListFile("network.txt", false)
+//	if err != nil { ... }
+//	repro.UseWeightedCascade(g) // p(e) = 1/indeg(target), the paper's IC setup
+//	res, err := repro.Maximize(g, repro.IC(), repro.Options{K: 50, Epsilon: 0.1})
+//	if err != nil { ... }
+//	fmt.Println(res.Seeds) // (1 − 1/e − ε)-approximate with prob. ≥ 1 − 1/n
+//
+// # What is inside
+//
+//   - Maximize: TIM+ (default) and TIM — near-linear-time influence
+//     maximization with approximation guarantees, under the independent
+//     cascade (IC), linear threshold (LT), and general triggering models.
+//   - Baselines: CELF++/CELF/Greedy (Kempe et al.), RIS (Borgs et al.),
+//     IRIE, SIMPATH, and simple heuristics (degree, degree discount,
+//     PageRank, random).
+//   - EstimateSpread: parallel Monte-Carlo evaluation of E[I(S)].
+//   - Synthetic dataset generation, including stand-ins for the paper's
+//     five Table 2 datasets at configurable scales.
+//   - The paper's §8 future work, implemented: MaximizeDistributed
+//     (vertex-partitioned TIM+ across simulated machines with traffic
+//     accounting), NewArena/FollowerGreedy (competitive influence
+//     maximization, the follower's problem), and Options.SpillDir
+//     (out-of-core node selection).
+//
+// The subpackages under internal/ hold the implementation; this package
+// is the supported public surface. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction of every table and figure in the
+// paper.
+package repro

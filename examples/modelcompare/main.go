@@ -1,0 +1,134 @@
+// Algorithm and model comparison: a miniature of the paper's §7.
+//
+// On one synthetic social network this example runs TIM+, TIM, IRIE,
+// SIMPATH, CELF++ (reduced sample count), degree, PageRank, and random
+// selection — under both the IC and LT models where applicable — and
+// prints a quality/runtime scoreboard.
+//
+//	go run ./examples/modelcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+const (
+	k       = 10
+	mc      = 20_000
+	netSeed = 99
+)
+
+type row struct {
+	name    string
+	seconds float64
+	spread  float64
+}
+
+func main() {
+	g, err := repro.GenerateDataset("nethept", repro.ScaleTiny, netSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := repro.Stats(g)
+	fmt.Printf("network: n=%d m=%d avg_degree=%.1f\n", st.Nodes, st.Edges, st.AverageDegree)
+
+	fmt.Printf("\n--- independent cascade (weighted cascade p(e)=1/indeg) ---\n")
+	repro.UseWeightedCascade(g)
+	icRows := icScoreboard(g)
+	printRows(icRows)
+
+	fmt.Printf("\n--- linear threshold (random normalized weights) ---\n")
+	repro.UseRandomLTWeights(g, netSeed)
+	ltRows := ltScoreboard(g)
+	printRows(ltRows)
+}
+
+func icScoreboard(g *repro.Graph) []row {
+	model := repro.IC()
+	var rows []row
+	run := func(name string, sel func() ([]uint32, error)) {
+		start := time.Now()
+		seeds, err := sel()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		secs := time.Since(start).Seconds()
+		sp := repro.EstimateSpread(g, model, seeds, repro.SpreadOptions{Samples: mc, Seed: 5})
+		rows = append(rows, row{name, secs, sp})
+	}
+	run("TIM+", func() ([]uint32, error) {
+		r, err := repro.Maximize(g, model, repro.Options{K: k, Epsilon: 0.1, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("TIM", func() ([]uint32, error) {
+		r, err := repro.Maximize(g, model, repro.Options{K: k, Epsilon: 0.1, Variant: repro.TIM, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("IRIE", func() ([]uint32, error) {
+		r, err := repro.IRIESelect(g, repro.IRIEOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("CELF++(r=200)", func() ([]uint32, error) {
+		r, err := repro.GreedySelect(g, model, k, repro.GreedyOptions{R: 200, Seed: 2})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("Degree", func() ([]uint32, error) { return repro.DegreeSelect(g, k) })
+	run("PageRank", func() ([]uint32, error) { return repro.PageRankSelect(g, k) })
+	run("Random", func() ([]uint32, error) { return repro.RandomSelect(g, k, 3) })
+	return rows
+}
+
+func ltScoreboard(g *repro.Graph) []row {
+	model := repro.LT()
+	var rows []row
+	run := func(name string, sel func() ([]uint32, error)) {
+		start := time.Now()
+		seeds, err := sel()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		secs := time.Since(start).Seconds()
+		sp := repro.EstimateSpread(g, model, seeds, repro.SpreadOptions{Samples: mc, Seed: 6})
+		rows = append(rows, row{name, secs, sp})
+	}
+	run("TIM+", func() ([]uint32, error) {
+		r, err := repro.Maximize(g, model, repro.Options{K: k, Epsilon: 0.1, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("SIMPATH", func() ([]uint32, error) {
+		r, err := repro.SimpathSelect(g, repro.SimpathOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	})
+	run("Degree", func() ([]uint32, error) { return repro.DegreeSelect(g, k) })
+	run("Random", func() ([]uint32, error) { return repro.RandomSelect(g, k, 3) })
+	return rows
+}
+
+func printRows(rows []row) {
+	fmt.Printf("%-15s %10s %12s\n", "algorithm", "seconds", "spread")
+	for _, r := range rows {
+		fmt.Printf("%-15s %10.3f %12.1f\n", r.name, r.seconds, r.spread)
+	}
+}

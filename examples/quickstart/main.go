@@ -1,0 +1,60 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds the paper's Figure 1 network, runs TIM+ under the independent
+// cascade model, and verifies the chosen seed with a Monte-Carlo spread
+// estimate.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The four-node network of Figure 1 in the paper (v1..v4 -> 0..3):
+	// v2 weakly influences v1 and v4; v4 certainly influences v1;
+	// v1 weakly influences v3; v3 weakly influences v4.
+	g, err := repro.NewGraph(4, []repro.Edge{
+		{From: 1, To: 0, Weight: 0.01},
+		{From: 1, To: 3, Weight: 0.01},
+		{From: 3, To: 0, Weight: 1.00},
+		{From: 0, To: 2, Weight: 0.01},
+		{From: 2, To: 3, Weight: 0.01},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the single most influential node with a (1 − 1/e − ε)
+	// guarantee.
+	res, err := repro.Maximize(g, repro.IC(), repro.Options{
+		K:       1,
+		Epsilon: 0.1,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected seed set: v%d\n", res.Seeds[0]+1)
+	fmt.Printf("estimated spread (from RR coverage): %.3f nodes\n", res.SpreadEstimate)
+	fmt.Printf("theta (RR sets sampled): %d, KPT* = %.3f, KPT+ = %.3f\n",
+		res.Theta, res.KptStar, res.KptPlus)
+
+	// Cross-check with forward Monte-Carlo simulation.
+	mc, stderr := repro.EstimateSpreadStderr(g, repro.IC(), res.Seeds, repro.SpreadOptions{
+		Samples: 100_000,
+		Seed:    7,
+	})
+	fmt.Printf("Monte-Carlo spread: %.3f +- %.3f\n", mc, stderr)
+
+	// Example 1 of the paper reasons that v4 is the best single seed:
+	// it certainly activates v1, while every other node's influence is
+	// mostly limited to itself.
+	if res.Seeds[0] == 3 {
+		fmt.Println("matches the paper's Example 1: v4 is the best single seed")
+	}
+}

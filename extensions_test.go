@@ -1,0 +1,130 @@
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicDistributed exercises the §8 distributed extension through
+// the public API: shard-count invariance of the seeds and the memory /
+// traffic trade.
+func TestPublicDistributed(t *testing.T) {
+	g := repro.GenerateBarabasiAlbert(300, 3, 5)
+	repro.UseWeightedCascade(g)
+
+	r2, err := repro.MaximizeDistributed(g, repro.IC(), repro.DistOptions{K: 4, Shards: 2, Epsilon: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := repro.MaximizeDistributed(g, repro.IC(), repro.DistOptions{K: 4, Shards: 6, Epsilon: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r2.Seeds) != fmt.Sprint(r6.Seeds) {
+		t.Fatalf("seeds vary with shard count: %v vs %v", r2.Seeds, r6.Seeds)
+	}
+	if r6.Net.Bytes <= r2.Net.Bytes {
+		t.Fatalf("more shards should communicate more: %d vs %d bytes", r6.Net.Bytes, r2.Net.Bytes)
+	}
+	var max2, max6 int64
+	for _, b := range r2.ShardMemoryBytes {
+		if b > max2 {
+			max2 = b
+		}
+	}
+	for _, b := range r6.ShardMemoryBytes {
+		if b > max6 {
+			max6 = b
+		}
+	}
+	if max6 >= max2 {
+		t.Fatalf("more shards should shrink per-shard memory: %d vs %d", max6, max2)
+	}
+
+	if _, err := repro.MaximizeDistributed(g, repro.BoundedTriggerModel(2), repro.DistOptions{K: 2}); err == nil {
+		t.Fatal("custom triggering must be rejected by the distributed runner")
+	}
+}
+
+// TestPublicCompetitive exercises the §8 competitive extension through
+// the public API: blocking semantics and the follower greedy.
+func TestPublicCompetitive(t *testing.T) {
+	g := repro.GenerateBarabasiAlbert(200, 3, 15)
+	repro.UseWeightedCascade(g)
+	arena := repro.NewArena(g, repro.IC(), repro.CompeteOptions{Samples: 400, Seed: 3})
+
+	incumbent := []uint32{0, 1}
+	res, err := arena.FollowerGreedy([][]uint32{incumbent}, repro.FollowerOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 || res.Share <= 0 {
+		t.Fatalf("implausible follower result: %+v", res)
+	}
+	shares, err := arena.Shares([][]uint32{incumbent, res.Seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[1] != res.Share {
+		t.Fatalf("share mismatch: %v vs %v", shares[1], res.Share)
+	}
+	if _, err := arena.Shares(nil); !errors.Is(err, repro.ErrBadSeeds) {
+		t.Fatalf("want ErrBadSeeds, got %v", err)
+	}
+}
+
+// TestPublicWrapperSurface exercises thin public wrappers the larger
+// tests do not reach: the remaining trigger-model constructors, the
+// file-based loader, the Kronecker generator, and NewRand.
+func TestPublicWrapperSurface(t *testing.T) {
+	g := repro.GenerateKronecker(7, 0.9, 0.5, 0.5, 0.1, 400, 3)
+	if g.N() == 0 || g.M() == 0 {
+		t.Fatalf("kronecker generated an empty graph: n=%d m=%d", g.N(), g.M())
+	}
+	repro.UseWeightedCascade(g)
+
+	for name, model := range map[string]repro.Model{
+		"scaled-ic":  repro.ScaledICModel(0.5),
+		"top-weight": repro.TopWeightTriggerModel(2),
+	} {
+		res, err := repro.Maximize(g, model, repro.Options{K: 2, Epsilon: 0.5, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Seeds) != 2 {
+			t.Fatalf("%s: seeds %v", name, res.Seeds)
+		}
+	}
+
+	dir := t.TempDir()
+	path := dir + "/g.txt"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.SaveEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := repro.LoadEdgeListFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("file round trip: (%d,%d) vs (%d,%d)", g2.N(), g2.M(), g.N(), g.M())
+	}
+	if _, err := repro.LoadEdgeListFile(dir+"/missing.txt", false); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	r := repro.NewRand(7)
+	if a, b := r.Uint64(), r.Uint64(); a == b {
+		t.Fatal("rand stream stuck")
+	}
+}

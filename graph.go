@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Edge is one directed edge with a model-dependent weight: the propagation
+// probability p(e) under IC, or the influence weight under LT.
+type Edge = graph.Edge
+
+// Graph is a directed graph in CSR form with per-edge weights. Construct
+// with NewGraph, LoadEdgeList, LoadBinary, or a generator, then apply a
+// weighting scheme (UseWeightedCascade, UseRandomLTWeights, ...) before
+// running algorithms, unless your edges already carry weights.
+type Graph = graph.Graph
+
+// GraphStats summarizes a graph's shape (the paper's Table 2 columns plus
+// degree percentiles).
+type GraphStats = graph.Stats
+
+// NewGraph builds a graph with n nodes from directed edges. Endpoints must
+// be in [0, n); weights in [0, 1].
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// LoadEdgeList parses a whitespace-separated edge list ("from to
+// [weight]" per line, '#'/'%' comments). With undirected=true every line
+// yields both directions.
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, undirected)
+}
+
+// LoadEdgeListFile is LoadEdgeList over a file path.
+func LoadEdgeListFile(path string, undirected bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f, undirected)
+}
+
+// SaveEdgeList writes g as a weighted text edge list.
+func SaveEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// LoadBinary reads the compact TIMG binary graph format.
+func LoadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// SaveBinary writes the compact TIMG binary graph format.
+func SaveBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Stats computes summary statistics of g.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// UseWeightedCascade assigns p(e) = 1/indeg(target) to every edge — the
+// weighted-cascade IC parameterization used throughout the paper's
+// experiments (§7.1).
+func UseWeightedCascade(g *Graph) { graph.AssignWeightedCascade(g) }
+
+// UseUniformIC assigns the same probability p to every edge.
+func UseUniformIC(g *Graph, p float32) error { return graph.AssignUniformIC(g, p) }
+
+// UseTrivalency assigns each edge a probability drawn uniformly from
+// {0.1, 0.01, 0.001}.
+func UseTrivalency(g *Graph, seed uint64) { graph.AssignTrivalency(g, rng.New(seed)) }
+
+// UseRandomLTWeights assigns each node's in-edges random weights
+// normalized to sum to 1 — the paper's LT parameterization (§7.1).
+func UseRandomLTWeights(g *Graph, seed uint64) {
+	graph.AssignRandomNormalizedLT(g, rng.New(seed))
+}
+
+// UseUniformLTWeights assigns each of v's in-edges weight 1/indeg(v).
+func UseUniformLTWeights(g *Graph) { graph.AssignUniformLT(g) }
+
+// Dataset scales for GenerateDataset.
+const (
+	ScaleTiny  = "tiny"  // unit-test sized
+	ScaleSmall = "small" // benchmark sized
+	ScaleFull  = "full"  // the paper's Table 2 sizes
+)
+
+// DatasetNames lists the Table 2 dataset profiles available to
+// GenerateDataset: nethept, epinions, dblp, livejournal, twitter.
+func DatasetNames() []string {
+	ps := gen.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// GenerateDataset synthesizes a stand-in for one of the paper's Table 2
+// datasets at the given scale ("tiny", "small", or "full"). The synthetic
+// graph matches the original's node/edge counts (proportionally scaled),
+// directedness, and heavy-tailed degree shape. Edge weights are zero;
+// apply a weighting scheme before running algorithms.
+func GenerateDataset(name, scale string, seed uint64) (*Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := gen.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(s, seed), nil
+}
+
+// GenerateBarabasiAlbert grows an undirected preferential-attachment
+// graph (mirrored to directed form) with the given attachment degree.
+func GenerateBarabasiAlbert(n, attach int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, attach, rng.New(seed))
+}
+
+// GenerateErdosRenyi draws m uniform random directed edges over n nodes.
+func GenerateErdosRenyi(n, m int, seed uint64) *Graph {
+	return gen.ErdosRenyiGnm(n, m, rng.New(seed))
+}
+
+// GenerateWattsStrogatz builds a small-world ring lattice with k neighbors
+// and rewiring probability beta, mirrored to directed form.
+func GenerateWattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, rng.New(seed))
+}
+
+// GenerateChungLu draws m directed edges with power-law out/in degree
+// weight sequences (exponents gammaOut, gammaIn).
+func GenerateChungLu(n, m int, gammaOut, gammaIn float64, seed uint64) *Graph {
+	return gen.ChungLuDirected(n, m, gammaOut, gammaIn, rng.New(seed))
+}
+
+// GenerateCommunity builds a directed planted-partition graph with c
+// communities, intra-community edge probability pIn and inter-community
+// probability pOut.
+func GenerateCommunity(n, c int, pIn, pOut float64, seed uint64) *Graph {
+	return gen.PlantedPartition(n, c, pIn, pOut, rng.New(seed))
+}
+
+// GenerateKronecker samples a stochastic Kronecker graph with
+// 2^iterations nodes and the given edge count, from the 2x2 initiator
+// [a b; c d]. Kronecker graphs reproduce the heavy tails and
+// core-periphery structure of real social networks.
+func GenerateKronecker(iterations int, a, b, c, d float64, edges int, seed uint64) *Graph {
+	return gen.StochasticKronecker(iterations, a, b, c, d, edges, rng.New(seed))
+}
+
+// GenerateForestFire grows a forest-fire graph (Leskovec et al.): new
+// nodes link to a random ambassador and recursively burn through its
+// neighborhood with forward probability p and backward damping.
+// Forest-fire graphs densify like real social networks.
+func GenerateForestFire(n int, p, backward float64, seed uint64) *Graph {
+	return gen.ForestFire(n, p, backward, rng.New(seed))
+}

@@ -1,0 +1,148 @@
+package repro
+
+// Cross-algorithm integration tests: every selector in the library runs
+// on one shared realistic instance, and the guaranteed methods must not
+// lose to any baseline by more than Monte-Carlo noise. This is the
+// library-level statement of the paper's Figures 5, 9, and 11.
+
+import (
+	"testing"
+)
+
+func icInstance(t testing.TB) *Graph {
+	t.Helper()
+	g := GenerateChungLu(3000, 21000, 2.4, 2.1, 77)
+	UseWeightedCascade(g)
+	return g
+}
+
+func TestAllAlgorithmsQualityOrderingIC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	g := icInstance(t)
+	model := IC()
+	const k = 10
+	eval := func(seeds []uint32) float64 {
+		return EstimateSpread(g, model, seeds, SpreadOptions{Samples: 20000, Seed: 1})
+	}
+
+	spreads := map[string]float64{}
+
+	timPlus, err := Maximize(g, model, Options{K: k, Epsilon: 0.15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["tim+"] = eval(timPlus.Seeds)
+
+	tim, err := Maximize(g, model, Options{K: k, Epsilon: 0.15, Variant: TIM, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["tim"] = eval(tim.Seeds)
+
+	ris, err := RISSelect(g, model, RISOptions{K: k, Epsilon: 0.4, CostCap: 30_000_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["ris"] = eval(ris.Seeds)
+
+	celf, err := GreedySelect(g, model, k, GreedyOptions{R: 300, Seed: 5, SpreadOracle: OracleSnapshots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["celf++"] = eval(celf.Seeds)
+
+	irie, err := IRIESelect(g, IRIEOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["irie"] = eval(irie.Seeds)
+
+	deg, err := DegreeSelect(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["degree"] = eval(deg)
+
+	rnd, err := RandomSelect(g, k, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads["random"] = eval(rnd)
+
+	t.Logf("spreads: %v", spreads)
+
+	best := 0.0
+	for _, s := range spreads {
+		if s > best {
+			best = s
+		}
+	}
+	// The guaranteed methods must be within 10% of the best of anything.
+	for _, name := range []string{"tim+", "tim"} {
+		if spreads[name] < 0.9*best {
+			t.Errorf("%s spread %v below 90%% of best %v", name, spreads[name], best)
+		}
+	}
+	// Random must be far below every informed method.
+	if spreads["random"] > 0.5*spreads["tim+"] {
+		t.Errorf("random %v suspiciously close to tim+ %v", spreads["random"], spreads["tim+"])
+	}
+}
+
+func TestAllAlgorithmsQualityOrderingLT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	g := GenerateChungLu(2000, 14000, 2.4, 2.1, 88)
+	UseRandomLTWeights(g, 89)
+	model := LT()
+	const k = 10
+	eval := func(seeds []uint32) float64 {
+		return EstimateSpread(g, model, seeds, SpreadOptions{Samples: 20000, Seed: 7})
+	}
+
+	timPlus, err := Maximize(g, model, Options{K: k, Epsilon: 0.15, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpath, err := SimpathSelect(g, SimpathOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomSelect(g, k, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timSpread, simpathSpread, rndSpread := eval(timPlus.Seeds), eval(simpath.Seeds), eval(rnd)
+	t.Logf("LT spreads: tim+=%v simpath=%v random=%v", timSpread, simpathSpread, rndSpread)
+	if timSpread < 0.9*simpathSpread {
+		t.Errorf("tim+ %v below 90%% of simpath %v", timSpread, simpathSpread)
+	}
+	if rndSpread > 0.5*timSpread {
+		t.Errorf("random %v too close to tim+ %v", rndSpread, timSpread)
+	}
+}
+
+func TestFullPipelineDeterminism(t *testing.T) {
+	g := icInstance(t)
+	opts := Options{K: 5, Epsilon: 0.3, Workers: 1, Seed: 99}
+	a, err := Maximize(g, IC(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Maximize(g, IC(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("pipeline nondeterministic: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+	if a.Theta != b.Theta || a.KptPlus != b.KptPlus {
+		t.Fatal("diagnostics nondeterministic")
+	}
+}

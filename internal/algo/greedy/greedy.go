@@ -1,0 +1,291 @@
+// Package greedy implements Kempe et al.'s hill-climbing influence
+// maximization (§2.2 of the paper) with a Monte-Carlo spread oracle, in
+// three flavors:
+//
+//   - Plain: the original greedy — every iteration re-estimates the
+//     marginal gain of every candidate (O(kmnr) total, §2.2).
+//   - CELF: Leskovec et al.'s lazy-forward evaluation — submodularity
+//     makes stale marginal gains upper bounds, so candidates are kept in
+//     a priority queue and re-evaluated only when they surface.
+//   - CELFPlusPlus: Goyal et al.'s CELF++ — each re-evaluation also
+//     computes the candidate's gain with respect to S ∪ {current best},
+//     so if that best is indeed selected the candidate needs no further
+//     re-evaluation in the next round.
+//
+// CELF++ is the state-of-the-art Greedy variant the paper benchmarks
+// against in Figure 3. The approximation guarantee is Lemma 10: with r
+// satisfying Equation 10, Greedy is (1 − 1/e − ε)-approximate with
+// probability 1 − n^−ℓ.
+package greedy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/spread"
+)
+
+// Strategy selects the greedy variant.
+type Strategy int
+
+const (
+	// CELFPlusPlus is the default (fastest, same output quality).
+	CELFPlusPlus Strategy = iota
+	// CELF is lazy-forward evaluation.
+	CELF
+	// Plain is the unoptimized original.
+	Plain
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case CELFPlusPlus:
+		return "CELF++"
+	case CELF:
+		return "CELF"
+	case Plain:
+		return "Greedy"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Oracle selects how E[I(S)] is estimated inside the greedy loop.
+type Oracle int
+
+const (
+	// OracleFreshMC estimates every spread with fresh Monte-Carlo
+	// cascades (the literature's standard setup; default).
+	OracleFreshMC Oracle = iota
+	// OracleSnapshots pre-samples R live-edge worlds once and evaluates
+	// every seed set exactly against them ("StaticGreedy" style):
+	// faster for large k, and the common random numbers make marginal
+	// comparisons noise-free at the cost of world-sampling bias.
+	OracleSnapshots
+)
+
+// String implements fmt.Stringer.
+func (o Oracle) String() string {
+	switch o {
+	case OracleFreshMC:
+		return "fresh-mc"
+	case OracleSnapshots:
+		return "snapshots"
+	}
+	return fmt.Sprintf("Oracle(%d)", int(o))
+}
+
+// Options configures a greedy run.
+type Options struct {
+	// R is the Monte-Carlo sample count per spread estimate (or the
+	// number of snapshot worlds). Kempe et al. suggest 10000 (§2.2);
+	// the paper's experiments use the same. Default 10000.
+	R int
+	// Workers parallelizes each spread estimate (default GOMAXPROCS).
+	Workers int
+	// Seed drives the Monte-Carlo sampling.
+	Seed uint64
+	// Strategy selects Plain, CELF, or CELF++ (default CELF++).
+	Strategy Strategy
+	// SpreadOracle selects fresh Monte-Carlo (default) or snapshots.
+	SpreadOracle Oracle
+}
+
+// Result reports the selection.
+type Result struct {
+	// Seeds in pick order.
+	Seeds []uint32
+	// Spread[i] is the estimated E[I(Seeds[:i+1])] after each pick.
+	Spread []float64
+	// Evaluations counts spread estimations performed — the quantity
+	// CELF/CELF++ exist to reduce.
+	Evaluations int64
+}
+
+// ErrBadOptions wraps option-validation failures.
+var ErrBadOptions = errors.New("greedy: invalid options")
+
+// item is a CELF/CELF++ priority-queue entry.
+type item struct {
+	node uint32
+	gain float64 // marginal gain estimate (upper bound if stale)
+	// round is the |S| at which gain was computed; gain is exact for
+	// the current S iff round == len(S).
+	round int
+	// CELF++ extras: gain2 is the marginal gain w.r.t. S ∪ {bestAtEval}
+	// and bestAtEval the queue head when this entry was evaluated.
+	gain2      float64
+	bestAtEval int64 // node id, -1 if unset
+}
+
+// queue is a max-heap of items by gain.
+type queue []*item
+
+func (q queue) Len() int            { return len(q) }
+func (q queue) Less(i, j int) bool  { return q[i].gain > q[j].gain }
+func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x interface{}) { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Select runs the configured greedy variant and returns k seeds.
+func Select(g *graph.Graph, model diffusion.Model, k int, opts Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrBadOptions)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d with n=%d", ErrBadOptions, k, n)
+	}
+	if opts.R == 0 {
+		opts.R = 10000
+	}
+	if opts.R < 0 {
+		return nil, fmt.Errorf("%w: R=%d", ErrBadOptions, opts.R)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch opts.SpreadOracle {
+	case OracleFreshMC, OracleSnapshots:
+	default:
+		return nil, fmt.Errorf("%w: unknown oracle %d", ErrBadOptions, int(opts.SpreadOracle))
+	}
+	switch opts.Strategy {
+	case Plain:
+		return selectPlain(g, model, k, opts)
+	case CELF, CELFPlusPlus:
+		return selectLazy(g, model, k, opts)
+	}
+	return nil, fmt.Errorf("%w: unknown strategy %d", ErrBadOptions, int(opts.Strategy))
+}
+
+// estimator evaluates E[I(S)] with the run's fixed Monte-Carlo budget,
+// either with fresh cascades per call or against shared snapshots.
+type estimator struct {
+	g     *graph.Graph
+	model diffusion.Model
+	opts  Options
+	calls int64
+
+	snapEval *spread.Evaluator // non-nil for OracleSnapshots
+}
+
+func newEstimator(g *graph.Graph, model diffusion.Model, opts Options) *estimator {
+	e := &estimator{g: g, model: model, opts: opts}
+	if opts.SpreadOracle == OracleSnapshots {
+		snaps := spread.NewSnapshots(g, model, opts.R, opts.Workers, opts.Seed)
+		e.snapEval = snaps.NewEvaluator()
+	}
+	return e
+}
+
+func (e *estimator) spreadOf(seeds []uint32) float64 {
+	e.calls++
+	if e.snapEval != nil {
+		return e.snapEval.Spread(seeds)
+	}
+	return spread.Estimate(e.g, e.model, seeds, spread.Options{
+		Samples: e.opts.R,
+		Workers: e.opts.Workers,
+		// Distinct streams per call keep estimates independent.
+		Seed: e.opts.Seed + uint64(e.calls)*0x9e3779b97f4a7c15,
+	})
+}
+
+func selectPlain(g *graph.Graph, model diffusion.Model, k int, opts Options) (*Result, error) {
+	est := newEstimator(g, model, opts)
+	res := &Result{}
+	var cur float64
+	seeds := make([]uint32, 0, k)
+	inSeeds := make([]bool, g.N())
+	scratch := make([]uint32, 0, k+1)
+	for len(seeds) < k {
+		bestNode, bestSpread := int64(-1), cur
+		for v := 0; v < g.N(); v++ {
+			if inSeeds[v] {
+				continue
+			}
+			scratch = append(append(scratch[:0], seeds...), uint32(v))
+			s := est.spreadOf(scratch)
+			if s > bestSpread || bestNode < 0 {
+				bestNode, bestSpread = int64(v), s
+			}
+		}
+		seeds = append(seeds, uint32(bestNode))
+		inSeeds[bestNode] = true
+		cur = bestSpread
+		res.Spread = append(res.Spread, cur)
+	}
+	res.Seeds = seeds
+	res.Evaluations = est.calls
+	return res, nil
+}
+
+func selectLazy(g *graph.Graph, model diffusion.Model, k int, opts Options) (*Result, error) {
+	est := newEstimator(g, model, opts)
+	res := &Result{}
+	n := g.N()
+	seeds := make([]uint32, 0, k)
+	scratch := make([]uint32, 0, k+2)
+
+	// Round 0: evaluate every node once (unavoidable, §2.3's discussion
+	// of Greedy's first iteration).
+	q := make(queue, 0, n)
+	for v := 0; v < n; v++ {
+		s := est.spreadOf([]uint32{uint32(v)})
+		q = append(q, &item{node: uint32(v), gain: s, round: 0, bestAtEval: -1})
+	}
+	heap.Init(&q)
+
+	var cur float64
+	var lastPicked int64 = -1
+	for len(seeds) < k && q.Len() > 0 {
+		top := heap.Pop(&q).(*item)
+		if top.round == len(seeds) {
+			// Fresh estimate: select.
+			seeds = append(seeds, top.node)
+			cur += top.gain
+			res.Spread = append(res.Spread, cur)
+			lastPicked = int64(top.node)
+			continue
+		}
+		if opts.Strategy == CELFPlusPlus && top.bestAtEval >= 0 && top.bestAtEval == lastPicked && top.round == len(seeds)-1 {
+			// CELF++ shortcut: gain2 was computed against exactly the
+			// current seed set.
+			top.gain = top.gain2
+			top.round = len(seeds)
+			top.bestAtEval = -1
+			heap.Push(&q, top)
+			continue
+		}
+		// Re-evaluate marginal gain against the current S.
+		scratch = append(append(scratch[:0], seeds...), top.node)
+		s1 := est.spreadOf(scratch)
+		top.gain = s1 - cur
+		top.round = len(seeds)
+		if opts.Strategy == CELFPlusPlus && q.Len() > 0 {
+			head := q[0]
+			scratch = append(scratch, head.node)
+			s2 := est.spreadOf(scratch)
+			// gain2 is top's marginal if head joins S first.
+			top.gain2 = s2 - (cur + head.gain)
+			top.bestAtEval = int64(head.node)
+		} else {
+			top.bestAtEval = -1
+		}
+		heap.Push(&q, top)
+	}
+	res.Seeds = seeds
+	res.Evaluations = est.calls
+	return res, nil
+}

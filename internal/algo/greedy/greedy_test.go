@@ -1,0 +1,215 @@
+package greedy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func TestSelectStarAllStrategies(t *testing.T) {
+	g := gen.Star(12, 1)
+	for _, strat := range []Strategy{Plain, CELF, CELFPlusPlus} {
+		res, err := Select(g, diffusion.NewIC(), 1, Options{R: 200, Seed: 1, Strategy: strat, Workers: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Seeds[0] != 0 {
+			t.Fatalf("%v picked %v, want hub 0", strat, res.Seeds)
+		}
+		if math.Abs(res.Spread[0]-12) > 0.01 {
+			t.Fatalf("%v spread %v, want 12", strat, res.Spread)
+		}
+	}
+}
+
+func TestSelectPathCertain(t *testing.T) {
+	g := gen.Path(8, 1)
+	res, err := Select(g, diffusion.NewIC(), 1, Options{R: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want [0]", res.Seeds)
+	}
+}
+
+func TestSelectK2DisjointCliques(t *testing.T) {
+	var edges []graph.Edge
+	for base := 0; base < 10; base += 5 {
+		for u := base; u < base+5; u++ {
+			for v := base; v < base+5; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: 1})
+				}
+			}
+		}
+	}
+	g := graph.MustFromEdges(10, edges)
+	for _, strat := range []Strategy{CELF, CELFPlusPlus} {
+		res, err := Select(g, diffusion.NewIC(), 2, Options{R: 100, Seed: 3, Strategy: strat, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inA, inB := false, false
+		for _, s := range res.Seeds {
+			if s < 5 {
+				inA = true
+			} else {
+				inB = true
+			}
+		}
+		if !inA || !inB {
+			t.Fatalf("%v seeds=%v must span both cliques", strat, res.Seeds)
+		}
+	}
+}
+
+func TestCELFFewerEvaluationsThanPlain(t *testing.T) {
+	g := gen.ErdosRenyiGnm(60, 300, rng.New(4))
+	graph.AssignWeightedCascade(g)
+	plain, err := Select(g, diffusion.NewIC(), 3, Options{R: 50, Seed: 5, Strategy: Plain, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	celf, err := Select(g, diffusion.NewIC(), 3, Options{R: 50, Seed: 5, Strategy: CELF, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if celf.Evaluations >= plain.Evaluations {
+		t.Fatalf("CELF evals %d not fewer than Plain %d", celf.Evaluations, plain.Evaluations)
+	}
+}
+
+func TestSpreadNonDecreasing(t *testing.T) {
+	g := gen.ErdosRenyiGnm(50, 250, rng.New(6))
+	graph.AssignWeightedCascade(g)
+	res, err := Select(g, diffusion.NewIC(), 5, Options{R: 300, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Spread); i++ {
+		if res.Spread[i] < res.Spread[i-1]-0.5 {
+			t.Fatalf("spread decreased: %v", res.Spread)
+		}
+	}
+}
+
+func TestGreedyQualityVsTruth(t *testing.T) {
+	// CELF++ with decent R should be near the exhaustive best single
+	// seed.
+	g := gen.ChungLuDirected(150, 900, 2.4, 2.1, rng.New(8))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	res, err := Select(g, model, 1, Options{R: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 20000, Seed: 10})
+	best := 0.0
+	for v := 0; v < g.N(); v++ {
+		s := spread.Estimate(g, model, []uint32{uint32(v)}, spread.Options{Samples: 2000, Seed: 11})
+		if s > best {
+			best = s
+		}
+	}
+	if mine < 0.85*best {
+		t.Fatalf("greedy pick spread %v far below best single %v", mine, best)
+	}
+}
+
+func TestSelectLTModel(t *testing.T) {
+	g := gen.Star(10, 1)
+	res, err := Select(g, diffusion.NewLT(), 1, Options{R: 200, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("LT seeds=%v", res.Seeds)
+	}
+}
+
+func TestSelectOptionErrors(t *testing.T) {
+	g := gen.Path(5, 1)
+	model := diffusion.NewIC()
+	cases := []struct {
+		k    int
+		opts Options
+	}{
+		{0, Options{}},
+		{6, Options{}},
+		{-1, Options{}},
+		{1, Options{R: -5}},
+		{1, Options{Strategy: Strategy(9)}},
+	}
+	for i, c := range cases {
+		if _, err := Select(g, model, c.k, c.opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d: got %v", i, err)
+		}
+	}
+	empty := graph.MustFromEdges(0, nil)
+	if _, err := Select(empty, model, 1, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Plain.String() != "Greedy" || CELF.String() != "CELF" || CELFPlusPlus.String() != "CELF++" {
+		t.Fatal("Strategy.String broken")
+	}
+	if Strategy(5).String() == "" {
+		t.Fatal("unknown strategy empty")
+	}
+	if OracleFreshMC.String() != "fresh-mc" || OracleSnapshots.String() != "snapshots" {
+		t.Fatal("Oracle.String broken")
+	}
+	if Oracle(9).String() == "" {
+		t.Fatal("unknown oracle empty")
+	}
+}
+
+func TestSnapshotOracleStar(t *testing.T) {
+	g := gen.Star(12, 1)
+	for _, strat := range []Strategy{Plain, CELF, CELFPlusPlus} {
+		res, err := Select(g, diffusion.NewIC(), 1, Options{
+			R: 50, Seed: 1, Strategy: strat, Workers: 1, SpreadOracle: OracleSnapshots,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Seeds[0] != 0 {
+			t.Fatalf("%v snapshot oracle picked %v, want hub", strat, res.Seeds)
+		}
+	}
+}
+
+func TestSnapshotOracleQualityMatchesFreshMC(t *testing.T) {
+	g := gen.ChungLuDirected(200, 1200, 2.4, 2.1, rng.New(20))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	snap, err := Select(g, model, 5, Options{R: 500, Seed: 21, SpreadOracle: OracleSnapshots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Select(g, model, 5, Options{R: 500, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spread.Estimate(g, model, snap.Seeds, spread.Options{Samples: 20000, Seed: 23})
+	b := spread.Estimate(g, model, fresh.Seeds, spread.Options{Samples: 20000, Seed: 24})
+	if math.Abs(a-b) > 0.1*b+1 {
+		t.Fatalf("snapshot oracle quality %v vs fresh MC %v", a, b)
+	}
+}
+
+func TestUnknownOracleRejected(t *testing.T) {
+	g := gen.Path(5, 1)
+	if _, err := Select(g, diffusion.NewIC(), 1, Options{SpreadOracle: Oracle(7)}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("got %v", err)
+	}
+}

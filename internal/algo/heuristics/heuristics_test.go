@@ -1,0 +1,177 @@
+package heuristics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestDegreePicksHub(t *testing.T) {
+	g := gen.Star(10, 0.5)
+	seeds, err := Degree(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub", seeds)
+	}
+}
+
+func TestDegreeTopKOrdered(t *testing.T) {
+	// Node degrees: 0 has 3 out-edges, 1 has 2, 2 has 1, 3 has 0.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3},
+		{From: 1, To: 2}, {From: 1, To: 3},
+		{From: 2, To: 3},
+	})
+	seeds, err := Degree(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 1, 2}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("seeds=%v, want %v", seeds, want)
+		}
+	}
+}
+
+func TestDegreeTieBreakLowerID(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 1, To: 0}, {From: 2, To: 0}, {From: 3, To: 0},
+	})
+	seeds, err := Degree(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of 1,2,3 have degree 1; 0 has 0. Lower ids win ties.
+	if seeds[0] != 1 || seeds[1] != 2 {
+		t.Fatalf("seeds=%v, want [1 2]", seeds)
+	}
+}
+
+func TestSingleDiscountSpreadsPicks(t *testing.T) {
+	// Star hub plus a disconnected pair: after the hub, plain Degree
+	// would pick a leaf... all leaves have degree 0 here, so both agree;
+	// build overlapping stars instead. Hub 0 -> 1..4; node 1 -> 2,3.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 0, To: 4},
+		{From: 1, To: 2}, {From: 1, To: 3},
+	})
+	seeds, err := SingleDiscount(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first pick %v, want hub 0", seeds)
+	}
+	// Node 1's discounted score: degree 2 minus... 1 is an out-neighbor
+	// of selected 0, its score drops by... SingleDiscount discounts
+	// in-neighbors of the selected node: nodes pointing at 0 — none.
+	// So second pick is 1 (degree 2).
+	if seeds[1] != 1 {
+		t.Fatalf("seeds=%v", seeds)
+	}
+}
+
+func TestDegreeDiscount(t *testing.T) {
+	g := gen.Star(8, 0.1)
+	seeds, err := DegreeDiscount(g, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub first", seeds)
+	}
+	if _, err := DegreeDiscount(g, 2, 1.5); err == nil {
+		t.Fatal("bad p accepted")
+	}
+}
+
+func TestPageRankChain(t *testing.T) {
+	// Reverse PageRank on a path concentrates rank at the source, which
+	// influences everything downstream.
+	g := gen.Path(6, 1)
+	seeds, err := PageRank(g, 1, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want source 0", seeds)
+	}
+}
+
+func TestPageRankOptionErrors(t *testing.T) {
+	g := gen.Path(5, 1)
+	if _, err := PageRank(g, 1, PageRankOptions{Damping: 1.5}); err == nil {
+		t.Fatal("bad damping accepted")
+	}
+	if _, err := PageRank(g, 0, PageRankOptions{}); !errors.Is(err, ErrBadK) {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestRandomDistinct(t *testing.T) {
+	g := gen.Path(30, 1)
+	seeds, err := Random(g, 10, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate in %v", seeds)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAllRejectBadK(t *testing.T) {
+	g := gen.Path(5, 1)
+	if _, err := Degree(g, 0); !errors.Is(err, ErrBadK) {
+		t.Error("Degree k=0")
+	}
+	if _, err := Degree(g, 6); !errors.Is(err, ErrBadK) {
+		t.Error("Degree k>n")
+	}
+	if _, err := SingleDiscount(g, -1); !errors.Is(err, ErrBadK) {
+		t.Error("SingleDiscount k<0")
+	}
+	if _, err := DegreeDiscount(g, 9, 0.1); !errors.Is(err, ErrBadK) {
+		t.Error("DegreeDiscount k>n")
+	}
+	if _, err := Random(g, 0, rng.New(1)); !errors.Is(err, ErrBadK) {
+		t.Error("Random k=0")
+	}
+}
+
+func TestMeanWeight(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.2},
+		{From: 1, To: 2, Weight: 0.4},
+	})
+	if got := MeanWeight(g); math.Abs(got-0.3) > 1e-7 {
+		t.Fatalf("mean weight %v, want 0.3", got)
+	}
+	if got := MeanWeight(graph.MustFromEdges(2, nil)); got != 0 {
+		t.Fatalf("edgeless mean weight %v", got)
+	}
+}
+
+func TestTopKAllEqualScores(t *testing.T) {
+	g := gen.Cycle(6, 1) // every node has out-degree 1
+	seeds, err := Degree(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("seeds=%v", seeds)
+	}
+	if seeds[0] != 0 || seeds[1] != 1 || seeds[2] != 2 {
+		t.Fatalf("tie-break by id failed: %v", seeds)
+	}
+}

@@ -1,0 +1,145 @@
+package irie
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func TestSelectStar(t *testing.T) {
+	g := gen.Star(20, 1)
+	res, err := Select(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub", res.Seeds)
+	}
+	if len(res.Ranks) != 1 || res.Ranks[0] <= 1 {
+		t.Fatalf("ranks=%v; hub rank must exceed 1", res.Ranks)
+	}
+}
+
+func TestSelectPath(t *testing.T) {
+	g := gen.Path(10, 1)
+	res, err := Select(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want source of the path", res.Seeds)
+	}
+}
+
+func TestAPDiscountAvoidsOverlap(t *testing.T) {
+	// Two disjoint certain cliques: after taking a node in clique A,
+	// the AP discount must push the second pick into clique B.
+	var edges []graph.Edge
+	for base := 0; base < 12; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := base; v < base+6; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: 1})
+				}
+			}
+		}
+	}
+	g := graph.MustFromEdges(12, edges)
+	res, err := Select(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, inB := false, false
+	for _, s := range res.Seeds {
+		if s < 6 {
+			inA = true
+		} else {
+			inB = true
+		}
+	}
+	if !inA || !inB {
+		t.Fatalf("seeds=%v must span both cliques", res.Seeds)
+	}
+}
+
+func TestQualityAboveRandom(t *testing.T) {
+	g := gen.ChungLuDirected(2000, 12000, 2.4, 2.1, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	res, err := Select(g, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 10000, Seed: 2})
+	r := rng.New(3)
+	perm := make([]int, g.N())
+	r.Perm(perm)
+	rand := make([]uint32, 10)
+	for i := range rand {
+		rand[i] = uint32(perm[i])
+	}
+	base := spread.Estimate(g, model, rand, spread.Options{Samples: 10000, Seed: 4})
+	if mine <= 1.5*base {
+		t.Fatalf("IRIE spread %v not clearly above random %v", mine, base)
+	}
+}
+
+func TestDistinctSeeds(t *testing.T) {
+	g := gen.ErdosRenyiGnm(100, 500, rng.New(5))
+	graph.AssignWeightedCascade(g)
+	res, err := Select(g, Options{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d in %v", s, res.Seeds)
+		}
+		seen[s] = true
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	g := gen.Path(5, 1)
+	cases := []Options{
+		{K: 0},
+		{K: 6},
+		{K: 1, Alpha: 2},
+		{K: 1, Alpha: -0.1},
+		{K: 1, Theta: -1},
+		{K: 1, Iterations: -2},
+	}
+	for i, opts := range cases {
+		if _, err := Select(g, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d (%+v): got %v", i, opts, err)
+		}
+	}
+	empty := graph.MustFromEdges(0, nil)
+	if _, err := Select(empty, Options{K: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := gen.ChungLuDirected(300, 1500, 2.4, 2.1, rng.New(6))
+	graph.AssignWeightedCascade(g)
+	a, err := Select(g, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(g, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("IRIE nondeterministic: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+}

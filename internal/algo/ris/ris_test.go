@@ -1,0 +1,135 @@
+package ris
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func TestSelectStar(t *testing.T) {
+	g := gen.Star(20, 1)
+	res, err := Select(g, diffusion.NewIC(), Options{K: 1, Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub", res.Seeds)
+	}
+	if res.Cost < res.Tau {
+		t.Fatalf("stopped before threshold: cost=%d tau=%d", res.Cost, res.Tau)
+	}
+	if res.Capped {
+		t.Fatal("unexpected cap")
+	}
+}
+
+func TestSelectQuality(t *testing.T) {
+	g := gen.ChungLuDirected(500, 3000, 2.4, 2.1, rng.New(2))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	res, err := Select(g, model, Options{K: 5, Epsilon: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+	mine := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 10000, Seed: 4})
+	// Compare with a random baseline — RIS must do clearly better.
+	rand, err := randSeeds(g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spread.Estimate(g, model, rand, spread.Options{Samples: 10000, Seed: 5})
+	if mine <= base {
+		t.Fatalf("RIS spread %v not better than random %v", mine, base)
+	}
+}
+
+func randSeeds(n, k int) ([]uint32, error) {
+	r := rng.New(99)
+	perm := make([]int, n)
+	r.Perm(perm)
+	out := make([]uint32, k)
+	for i := range out {
+		out[i] = uint32(perm[i])
+	}
+	return out, nil
+}
+
+func TestCostCap(t *testing.T) {
+	g := gen.ChungLuDirected(2000, 12000, 2.4, 2.1, rng.New(6))
+	graph.AssignWeightedCascade(g)
+	res, err := Select(g, diffusion.NewIC(), Options{K: 10, Epsilon: 0.1, CostCap: 50_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Capped {
+		t.Fatalf("expected cap to fire: cost=%d tau=%d", res.Cost, res.Tau)
+	}
+	if len(res.Seeds) != 10 {
+		t.Fatalf("capped run still must return k seeds: %v", res.Seeds)
+	}
+}
+
+func TestTauScaling(t *testing.T) {
+	g := gen.Path(100, 0.5)
+	model := diffusion.NewIC()
+	// τ scales like k/ε³: halving ε must grow τ 8x; doubling k doubles τ.
+	r1, err := Select(g, model, Options{K: 1, Epsilon: 0.8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Select(g, model, Options{K: 1, Epsilon: 0.4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Tau < 7*r1.Tau || r2.Tau > 9*r1.Tau {
+		t.Fatalf("tau(ε/2)=%d not about 8x tau(ε)=%d", r2.Tau, r1.Tau)
+	}
+	r3, err := Select(g, model, Options{K: 2, Epsilon: 0.8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Tau < 2*r1.Tau-2 || r3.Tau > 2*r1.Tau+2 {
+		t.Fatalf("tau(2k)=%d not about 2x tau(k)=%d", r3.Tau, r1.Tau)
+	}
+}
+
+func TestSelectLT(t *testing.T) {
+	g := gen.Star(15, 1)
+	res, err := Select(g, diffusion.NewLT(), Options{K: 1, Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("LT seeds=%v", res.Seeds)
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	g := gen.Path(5, 1)
+	model := diffusion.NewIC()
+	cases := []Options{
+		{K: 0},
+		{K: 9},
+		{K: 1, Epsilon: 2},
+		{K: 1, Epsilon: -0.1},
+		{K: 1, Ell: -1},
+		{K: 1, TauConstant: -2},
+	}
+	for i, opts := range cases {
+		if _, err := Select(g, model, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d (%+v): got %v", i, opts, err)
+		}
+	}
+	empty := graph.MustFromEdges(0, nil)
+	if _, err := Select(empty, model, Options{K: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Error("empty graph accepted")
+	}
+}

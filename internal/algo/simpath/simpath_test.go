@@ -1,0 +1,207 @@
+package simpath
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func TestEnumeratorPath(t *testing.T) {
+	// Path 0→1→2 with weight 0.5: σ(0) = 1 + 0.5 + 0.25 = 1.75.
+	g := gen.Path(3, 0.5)
+	e := newEnumerator(g, 1e-6, 1<<20)
+	got := e.run(0, nil)
+	if math.Abs(got-1.75) > 1e-9 {
+		t.Fatalf("sigma(0)=%v, want 1.75", got)
+	}
+	// through[1] = weight of paths containing node 1 = 0.5 + 0.25.
+	if math.Abs(e.through[1]-0.75) > 1e-9 {
+		t.Fatalf("through[1]=%v, want 0.75", e.through[1])
+	}
+	// σ^{V−1}(0) = σ(0) − through[1] = 1 (just the trivial path).
+	if math.Abs(got-e.through[1]-1) > 1e-9 {
+		t.Fatal("sigma minus through mismatch")
+	}
+}
+
+func TestEnumeratorPruning(t *testing.T) {
+	// η above the edge weight prunes everything beyond the start.
+	g := gen.Path(5, 0.1)
+	e := newEnumerator(g, 0.5, 1<<20)
+	if got := e.run(0, nil); got != 1 {
+		t.Fatalf("pruned sigma=%v, want 1", got)
+	}
+}
+
+func TestEnumeratorExclusion(t *testing.T) {
+	g := gen.Path(4, 1)
+	e := newEnumerator(g, 1e-6, 1<<20)
+	// Excluding node 1 cuts the path: σ = 1.
+	if got := e.run(0, []uint32{1}); got != 1 {
+		t.Fatalf("sigma with exclusion=%v, want 1", got)
+	}
+}
+
+func TestEnumeratorSimplePathsOnly(t *testing.T) {
+	// Cycle with weight 1: paths cannot revisit, so σ(0) = n.
+	g := gen.Cycle(5, 1)
+	e := newEnumerator(g, 1e-9, 1<<20)
+	if got := e.run(0, nil); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("cycle sigma=%v, want 5", got)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	g := gen.Star(15, 1)
+	res, err := Select(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub", res.Seeds)
+	}
+	if math.Abs(res.Spread[0]-15) > 1e-9 {
+		t.Fatalf("spread=%v, want 15", res.Spread)
+	}
+}
+
+func TestSelectSpansCliques(t *testing.T) {
+	// Two disjoint LT cliques with weight 1/(half-1) per in-edge.
+	const half = 5
+	w := float32(1.0 / (half - 1))
+	var edges []graph.Edge
+	for base := 0; base < 2*half; base += half {
+		for u := base; u < base+half; u++ {
+			for v := base; v < base+half; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: w})
+				}
+			}
+		}
+	}
+	g := graph.MustFromEdges(2*half, edges)
+	res, err := Select(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, inB := false, false
+	for _, s := range res.Seeds {
+		if int(s) < half {
+			inA = true
+		} else {
+			inB = true
+		}
+	}
+	if !inA || !inB {
+		t.Fatalf("seeds=%v must span both cliques", res.Seeds)
+	}
+}
+
+func TestSpreadEstimateTracksMC(t *testing.T) {
+	// SIMPATH's path-based spread must be close to Monte-Carlo LT
+	// spread for the final seed set.
+	g := gen.ChungLuDirected(200, 1000, 2.4, 2.1, rng.New(1))
+	graph.AssignRandomNormalizedLT(g, rng.New(2))
+	res, err := Select(g, Options{K: 5, Eta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := spread.Estimate(g, diffusion.NewLT(), res.Seeds, spread.Options{Samples: 30000, Seed: 3})
+	est := res.Spread[len(res.Spread)-1]
+	if math.Abs(est-mc) > 0.15*mc+0.5 {
+		t.Fatalf("SIMPATH estimate %v vs MC %v", est, mc)
+	}
+}
+
+func TestQualityAboveRandom(t *testing.T) {
+	g := gen.ChungLuDirected(500, 2500, 2.4, 2.1, rng.New(4))
+	graph.AssignRandomNormalizedLT(g, rng.New(5))
+	res, err := Select(g, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := diffusion.NewLT()
+	mine := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 10000, Seed: 6})
+	r := rng.New(7)
+	perm := make([]int, g.N())
+	r.Perm(perm)
+	rand := make([]uint32, 10)
+	for i := range rand {
+		rand[i] = uint32(perm[i])
+	}
+	base := spread.Estimate(g, model, rand, spread.Options{Samples: 10000, Seed: 8})
+	if mine <= base {
+		t.Fatalf("SIMPATH spread %v not above random %v", mine, base)
+	}
+}
+
+func TestVertexCoverValid(t *testing.T) {
+	g := gen.ChungLuDirected(300, 1200, 2.4, 2.1, rng.New(9))
+	cover := vertexCover(g)
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		if !cover[e.From] && !cover[e.To] {
+			t.Fatalf("edge %d->%d uncovered", e.From, e.To)
+		}
+	}
+}
+
+func TestMaxStepsTruncates(t *testing.T) {
+	// Dense certain graph has exponentially many simple paths; the cap
+	// must fire and the run still terminate with k seeds.
+	g := gen.Complete(10, 1)
+	res, err := Select(g, Options{K: 2, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expected truncation on complete graph")
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	g := gen.Path(5, 1)
+	cases := []Options{
+		{K: 0},
+		{K: 6},
+		{K: 1, Eta: 2},
+		{K: 1, Eta: -0.5},
+		{K: 1, Lookahead: -1},
+		{K: 1, MaxSteps: -1},
+	}
+	for i, opts := range cases {
+		if _, err := Select(g, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d (%+v): got %v", i, opts, err)
+		}
+	}
+	empty := graph.MustFromEdges(0, nil)
+	if _, err := Select(empty, Options{K: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{
+		{From: 0, To: 0, Weight: 0.5},
+		{From: 0, To: 1, Weight: 0.5},
+		{From: 1, To: 2, Weight: 0.5},
+	})
+	res, err := Select(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+}

@@ -1,0 +1,104 @@
+package simpath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+// TestPathTheoremExact validates the theorem SIMPATH rests on: under the
+// LT model, σ({u}) = Σ over simple paths P from u of Π edge weights —
+// against exact hand computation on small structured graphs.
+func TestPathTheoremExact(t *testing.T) {
+	// Diamond: 0→1 (0.5), 0→2 (0.5), 1→3 (0.5), 2→3 (0.5).
+	// Simple paths from 0: [0]=1, [0,1]=.5, [0,2]=.5, [0,1,3]=.25,
+	// [0,2,3]=.25 → σ(0) = 2.5.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.5},
+		{From: 0, To: 2, Weight: 0.5},
+		{From: 1, To: 3, Weight: 0.5},
+		{From: 2, To: 3, Weight: 0.5},
+	})
+	e := newEnumerator(g, 1e-9, 1<<20)
+	if got := e.run(0, nil); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("sigma(0)=%v, want 2.5", got)
+	}
+	// Against Monte-Carlo LT simulation.
+	mc := spread.Estimate(g, diffusion.NewLT(), []uint32{0}, spread.Options{Samples: 200000, Seed: 1})
+	if math.Abs(mc-2.5) > 0.02 {
+		t.Fatalf("MC sigma(0)=%v, want 2.5", mc)
+	}
+}
+
+// TestPathTheoremRandomGraphs: path-enumerated spread with negligible
+// pruning must match Monte-Carlo LT spread on small random graphs where
+// enumeration is exact.
+func TestPathTheoremRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(8)
+		m := n + r.Intn(2*n)
+		g := gen.ErdosRenyiGnm(n, m, r)
+		graph.AssignRandomNormalizedLT(g, rng.New(seed+1))
+		u := uint32(r.Intn(n))
+		e := newEnumerator(g, 1e-12, 1<<22)
+		exact := e.run(u, nil)
+		if e.truncated {
+			return true // skip rare dense instances
+		}
+		mc := spread.Estimate(g, diffusion.NewLT(), []uint32{u}, spread.Options{
+			Samples: 60000, Workers: 1, Seed: seed + 2,
+		})
+		return math.Abs(exact-mc) < 0.05*exact+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedSetDecomposition: σ(S) = Σ_{u∈S} σ^{V−S+u}(u) — validate the
+// decomposition used by refreshWindow against Monte-Carlo on a seed set.
+func TestSeedSetDecomposition(t *testing.T) {
+	g := gen.ErdosRenyiGnm(12, 30, rng.New(3))
+	graph.AssignRandomNormalizedLT(g, rng.New(4))
+	S := []uint32{0, 5}
+	e := newEnumerator(g, 1e-12, 1<<22)
+	var sigma float64
+	for _, s := range S {
+		var excl []uint32
+		for _, x := range S {
+			if x != s {
+				excl = append(excl, x)
+			}
+		}
+		sigma += e.run(s, excl)
+	}
+	mc := spread.Estimate(g, diffusion.NewLT(), S, spread.Options{Samples: 200000, Seed: 5})
+	if math.Abs(sigma-mc) > 0.05*mc+0.1 {
+		t.Fatalf("decomposed sigma %v vs MC %v", sigma, mc)
+	}
+}
+
+// TestThroughBookkeeping: σ^{V−x}(u) = σ(u) − through[x] must equal a
+// direct exclusion run for every x.
+func TestThroughBookkeeping(t *testing.T) {
+	g := gen.ErdosRenyiGnm(10, 30, rng.New(6))
+	graph.AssignRandomNormalizedLT(g, rng.New(7))
+	e := newEnumerator(g, 1e-12, 1<<22)
+	total := e.run(0, nil)
+	// Snapshot through before reuse.
+	through := append([]float64(nil), e.through...)
+	for x := uint32(1); int(x) < g.N(); x++ {
+		direct := e.run(0, []uint32{x})
+		viaThrough := total - through[x]
+		if math.Abs(direct-viaThrough) > 1e-9 {
+			t.Fatalf("x=%d: direct %v vs through-derived %v", x, direct, viaThrough)
+		}
+	}
+}

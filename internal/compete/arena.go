@@ -1,0 +1,274 @@
+package compete
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+// TieBreak selects how a node reached by several campaigns in the same
+// timestep chooses its color.
+type TieBreak int
+
+const (
+	// TieRandom adopts one of the claiming campaigns uniformly at
+	// random — the rule of Bharathi et al. (default).
+	TieRandom TieBreak = iota
+	// TiePriority adopts the claiming campaign with the lowest index
+	// (models an incumbent that wins head-on collisions).
+	TiePriority
+)
+
+// String implements fmt.Stringer.
+func (t TieBreak) String() string {
+	switch t {
+	case TieRandom:
+		return "random"
+	case TiePriority:
+		return "priority"
+	}
+	return fmt.Sprintf("TieBreak(%d)", int(t))
+}
+
+// MaxParties is the largest supported number of simultaneous campaigns
+// (claims within a timestep are tracked in a 64-bit mask).
+const MaxParties = 64
+
+// Options configures an Arena.
+type Options struct {
+	// Samples is the number of live-edge worlds (default 1000). More
+	// worlds mean tighter share estimates; the standard error of a
+	// share scales as 1/√Samples.
+	Samples int
+	// Workers parallelizes world sampling and share evaluation
+	// (default GOMAXPROCS).
+	Workers int
+	// Seed fixes the sampled worlds and the TieRandom draws.
+	Seed uint64
+	// Tie selects the collision rule (default TieRandom).
+	Tie TieBreak
+}
+
+func (o *Options) normalize() {
+	if o.Samples <= 0 {
+		o.Samples = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// ErrBadSeeds wraps seed-set validation failures.
+var ErrBadSeeds = errors.New("compete: invalid seed sets")
+
+// Arena is a set of pre-sampled live-edge worlds shared by any number
+// of competitive evaluations. Construct once per (graph, model,
+// Options); evaluation methods are safe for concurrent use.
+type Arena struct {
+	n     int
+	snaps *spread.Snapshots
+	opts  Options
+}
+
+// NewArena samples opts.Samples live-edge worlds of g under model. All
+// triggering-style models work (IC, LT, custom): a world's live in-edges
+// of v are exactly v's sampled triggering set (§4.2 of the paper).
+func NewArena(g *graph.Graph, model diffusion.Model, opts Options) *Arena {
+	opts.normalize()
+	return &Arena{
+		n:     g.N(),
+		snaps: spread.NewSnapshots(g, model, opts.Samples, opts.Workers, opts.Seed),
+		opts:  opts,
+	}
+}
+
+// Worlds returns the number of sampled worlds.
+func (a *Arena) Worlds() int { return a.snaps.Count() }
+
+// MemoryBytes approximates the bytes retained by the sampled worlds.
+func (a *Arena) MemoryBytes() int64 { return a.snaps.MemoryBytes() }
+
+// validateSeeds checks party count and node ranges.
+func (a *Arena) validateSeeds(seedsByParty [][]uint32) error {
+	if len(seedsByParty) == 0 {
+		return fmt.Errorf("%w: no parties", ErrBadSeeds)
+	}
+	if len(seedsByParty) > MaxParties {
+		return fmt.Errorf("%w: %d parties exceeds the maximum %d", ErrBadSeeds, len(seedsByParty), MaxParties)
+	}
+	for p, seeds := range seedsByParty {
+		for _, v := range seeds {
+			if int(v) >= a.n {
+				return fmt.Errorf("%w: party %d seed %d outside [0, %d)", ErrBadSeeds, p, v, a.n)
+			}
+		}
+	}
+	return nil
+}
+
+// Shares estimates each party's expected converted-node count when all
+// parties' campaigns propagate simultaneously. The estimate averages
+// exact per-world outcomes over the arena's sampled worlds, so repeated
+// calls with the same arena are deterministic.
+func (a *Arena) Shares(seedsByParty [][]uint32) ([]float64, error) {
+	if err := a.validateSeeds(seedsByParty); err != nil {
+		return nil, err
+	}
+	parties := len(seedsByParty)
+	worlds := a.snaps.Count()
+	workers := a.opts.Workers
+	if workers > worlds {
+		workers = worlds
+	}
+	totals := make([]int64, parties)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := a.newEvaluator()
+			local := make([]int64, parties)
+			counts := make([]int64, parties)
+			for i := w; i < worlds; i += workers {
+				ev.run(i, seedsByParty, counts)
+				for p := range counts {
+					local[p] += counts[p]
+				}
+			}
+			mu.Lock()
+			for p := range local {
+				totals[p] += local[p]
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	out := make([]float64, parties)
+	for p := range out {
+		out[p] = float64(totals[p]) / float64(worlds)
+	}
+	return out, nil
+}
+
+// evaluator owns the scratch state of one goroutine's colored BFS runs.
+type evaluator struct {
+	a *Arena
+
+	epoch     uint32
+	mark      []uint32 // activation epoch per node
+	color     []uint8  // adopted party (valid when mark == epoch)
+	claimMark []uint32 // claim epoch per node within a level
+	claimMask []uint64 // claiming parties this level
+	claimList []uint32
+	frontier  []uint32
+	next      []uint32
+}
+
+func (a *Arena) newEvaluator() *evaluator {
+	return &evaluator{
+		a:         a,
+		mark:      make([]uint32, a.n),
+		color:     make([]uint8, a.n),
+		claimMark: make([]uint32, a.n),
+		claimMask: make([]uint64, a.n),
+	}
+}
+
+// run executes the simultaneous cascade of all parties in world i and
+// fills counts with the per-party converted-node totals (seeds
+// included; a node converts at most once).
+func (e *evaluator) run(world int, seedsByParty [][]uint32, counts []int64) {
+	e.epoch++
+	if e.epoch == 0 {
+		for i := range e.mark {
+			e.mark[i] = 0
+			e.claimMark[i] = 0
+		}
+		e.epoch = 1
+	}
+	for p := range counts {
+		counts[p] = 0
+	}
+	epoch := e.epoch
+
+	// Timestep 1: the seed claims. A node seeded by several parties is
+	// a genuine simultaneous collision.
+	e.claimList = e.claimList[:0]
+	for p, seeds := range seedsByParty {
+		for _, v := range seeds {
+			e.claim(v, uint8(p), epoch)
+		}
+	}
+	e.frontier = e.resolve(world, epoch, counts, e.frontier[:0])
+
+	// Subsequent timesteps: level-synchronized expansion. Claims are
+	// gathered for a whole level, then resolved at once, so two parties
+	// arriving in the same timestep genuinely tie.
+	for len(e.frontier) > 0 {
+		e.claimList = e.claimList[:0]
+		for _, u := range e.frontier {
+			cu := e.color[u]
+			for _, v := range e.a.snaps.WorldOut(world, u) {
+				if e.mark[v] == epoch {
+					continue
+				}
+				e.claim(v, cu, epoch)
+			}
+		}
+		e.next = e.resolve(world, epoch, counts, e.next[:0])
+		e.frontier, e.next = e.next, e.frontier
+	}
+}
+
+// claim records that party p reaches v in the current level.
+func (e *evaluator) claim(v uint32, p uint8, epoch uint32) {
+	if e.claimMark[v] != epoch {
+		e.claimMark[v] = epoch
+		e.claimMask[v] = 0
+		e.claimList = append(e.claimList, v)
+	}
+	e.claimMask[v] |= 1 << p
+}
+
+// resolve converts every claimed node, applying the tie rule, and
+// appends the conversions to dst (the next frontier). TieRandom draws
+// are keyed by (arena seed, world, node) so an arena's evaluations are
+// deterministic functions of the seed sets.
+func (e *evaluator) resolve(world int, epoch uint32, counts []int64, dst []uint32) []uint32 {
+	for _, v := range e.claimList {
+		mask := e.claimMask[v]
+		var p uint8
+		if mask&(mask-1) == 0 || e.a.opts.Tie == TiePriority {
+			p = uint8(bits.TrailingZeros64(mask))
+		} else {
+			idx := tieRand(e.a.opts.Seed, world, v).Intn(bits.OnesCount64(mask))
+			p = nthSetBit(mask, idx)
+		}
+		e.mark[v] = epoch
+		e.color[v] = p
+		counts[p]++
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// tieRand derives the deterministic tie-break stream for (world, node).
+func tieRand(seed uint64, world int, v uint32) *rng.Rand {
+	return rng.New(seed).Split(uint64(world) + 1).Split(uint64(v) + 1)
+}
+
+// nthSetBit returns the position of the idx-th (0-based) set bit.
+func nthSetBit(mask uint64, idx int) uint8 {
+	for i := 0; i < idx; i++ {
+		mask &= mask - 1
+	}
+	return uint8(bits.TrailingZeros64(mask))
+}

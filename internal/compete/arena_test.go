@@ -1,0 +1,284 @@
+package compete
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+// TestSharesSinglePartyMatchesSpread: with one party the competitive
+// model degenerates to plain diffusion, so the share must agree with the
+// independent Monte-Carlo spread estimator within sampling error.
+func TestSharesSinglePartyMatchesSpread(t *testing.T) {
+	for _, kind := range []diffusion.Kind{diffusion.IC, diffusion.LT} {
+		g := gen.BarabasiAlbert(300, 3, rng.New(5))
+		var model diffusion.Model
+		if kind == diffusion.IC {
+			graph.AssignWeightedCascade(g)
+			model = diffusion.NewIC()
+		} else {
+			graph.AssignRandomNormalizedLT(g, rng.New(6))
+			model = diffusion.NewLT()
+		}
+		a := NewArena(g, model, Options{Samples: 3000, Seed: 1})
+		seeds := []uint32{0, 7, 33}
+		shares, err := a.Shares([][]uint32{seeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := spread.Estimate(g, model, seeds, spread.Options{Samples: 6000, Seed: 2})
+		if math.Abs(shares[0]-mc) > 0.08*mc {
+			t.Fatalf("%v: competitive share %.2f vs MC spread %.2f", kind, shares[0], mc)
+		}
+	}
+}
+
+// TestSharesDeterministicPath: on a p=1 path seeded at the head, the
+// single party converts the whole path in every world.
+func TestSharesDeterministicPath(t *testing.T) {
+	g := gen.Path(7, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 50, Seed: 3})
+	shares, err := a.Shares([][]uint32{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0] != 7 {
+		t.Fatalf("share %.2f, want 7", shares[0])
+	}
+}
+
+// TestSharesFirstContactWins: the party whose seeds are closer converts
+// the contested node — distance decides before any tie rule.
+func TestSharesFirstContactWins(t *testing.T) {
+	// Party 0 seeds node 0 with a 1-hop path to node 4; party 1 seeds
+	// node 1 with a 2-hop path through node 2. All edges certain.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{From: 0, To: 4, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 4, Weight: 1},
+	})
+	for _, tie := range []TieBreak{TieRandom, TiePriority} {
+		a := NewArena(g, diffusion.NewIC(), Options{Samples: 64, Seed: 9, Tie: tie})
+		shares, err := a.Shares([][]uint32{{0}, {1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Party 0: {0, 4}; party 1: {1, 2}.
+		if shares[0] != 2 || shares[1] != 2 {
+			t.Fatalf("tie=%v: shares %v, want [2 2]", tie, shares)
+		}
+	}
+}
+
+// TestSharesBlocking: a converted node blocks rival propagation through
+// it — the essential competitive mechanic.
+func TestSharesBlocking(t *testing.T) {
+	// Chain 0 → 1 → 2, all certain. Incumbent seeds 0; challenger
+	// seeds 1. Node 2 must go to the challenger: by the time the
+	// incumbent's cascade reaches node 1 it is already converted, and
+	// conversion is final.
+	g := gen.Path(3, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 32, Seed: 4})
+	shares, err := a.Shares([][]uint32{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0] != 1 || shares[1] != 2 {
+		t.Fatalf("shares %v, want incumbent 1 (node 0), challenger 2 (nodes 1, 2)", shares)
+	}
+}
+
+// TestSharesTiePriority: on a head-on collision the lower party index
+// must win everything under TiePriority.
+func TestSharesTiePriority(t *testing.T) {
+	g := gen.Path(5, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 40, Seed: 8, Tie: TiePriority})
+	// Both parties seed the head: party 0 wins the collision and
+	// therefore the whole chain.
+	shares, err := a.Shares([][]uint32{{0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0] != 5 || shares[1] != 0 {
+		t.Fatalf("shares %v, want [5 0]", shares)
+	}
+	// Reversing the party order reverses the outcome.
+	sharesRev, err := a.Shares([][]uint32{{0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharesRev[0] != 5 {
+		t.Fatalf("priority must favor party 0, got %v", sharesRev)
+	}
+}
+
+// TestSharesTieRandomIsFair: under TieRandom a head-on collision on the
+// chain head is won by each party about half the time, so expected
+// shares are equal within Monte-Carlo noise.
+func TestSharesTieRandomIsFair(t *testing.T) {
+	g := gen.Path(4, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 4000, Seed: 12, Tie: TieRandom})
+	shares, err := a.Shares([][]uint32{{0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := shares[0] + shares[1]
+	if total != 4 {
+		t.Fatalf("collision must still convert the whole chain: %v", shares)
+	}
+	if math.Abs(shares[0]-shares[1]) > 0.15*total {
+		t.Fatalf("TieRandom shares unfair: %v", shares)
+	}
+}
+
+// TestSharesConservation: converted counts partition the reachable set;
+// they can never exceed n, and on a certain complete graph they cover n.
+func TestSharesConservation(t *testing.T) {
+	g := gen.Complete(6, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 100, Seed: 5})
+	shares, err := a.Shares([][]uint32{{0}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	if total != 6 {
+		t.Fatalf("complete certain graph must fully convert: shares %v sum %.2f", shares, total)
+	}
+	for p, s := range shares {
+		if s < 1 {
+			t.Fatalf("party %d seeded a node but converted %.2f < 1", p, s)
+		}
+	}
+}
+
+// TestSharesMonotoneInOwnSeeds: on a fixed arena, growing a party's
+// seed set never shrinks its share (monotonicity of the competitive
+// share, [2]).
+func TestSharesMonotoneInOwnSeeds(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, rng.New(9))
+	graph.AssignWeightedCascade(g)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 400, Seed: 10, Tie: TiePriority})
+	incumbent := []uint32{3, 14}
+	grow := []uint32{}
+	prev := 0.0
+	for _, v := range []uint32{1, 50, 90, 120} {
+		grow = append(grow, v)
+		shares, err := a.Shares([][]uint32{incumbent, grow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[1]+1e-9 < prev {
+			t.Fatalf("share fell from %.3f to %.3f after adding seed %d", prev, shares[1], v)
+		}
+		prev = shares[1]
+	}
+}
+
+// TestSharesDeterministicAcrossCalls: the same arena must return
+// bit-identical shares for repeated identical queries (fixed worlds +
+// keyed tie randomness).
+func TestSharesDeterministicAcrossCalls(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, rng.New(15))
+	graph.AssignWeightedCascade(g)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 500, Seed: 16})
+	q := [][]uint32{{1, 2}, {3, 4}}
+	s1, err := a.Shares(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Shares(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0] != s2[0] || s1[1] != s2[1] {
+		t.Fatalf("non-deterministic shares: %v vs %v", s1, s2)
+	}
+}
+
+// TestSharesErrors: validation of party counts and node ranges.
+func TestSharesErrors(t *testing.T) {
+	g := gen.Path(4, 0.5)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 10, Seed: 1})
+	if _, err := a.Shares(nil); !errors.Is(err, ErrBadSeeds) {
+		t.Fatalf("no parties: got %v", err)
+	}
+	if _, err := a.Shares([][]uint32{{9}}); !errors.Is(err, ErrBadSeeds) {
+		t.Fatalf("out-of-range seed: got %v", err)
+	}
+	tooMany := make([][]uint32, MaxParties+1)
+	for i := range tooMany {
+		tooMany[i] = []uint32{0}
+	}
+	if _, err := a.Shares(tooMany); !errors.Is(err, ErrBadSeeds) {
+		t.Fatalf("too many parties: got %v", err)
+	}
+}
+
+// TestSharesEmptyPartyAllowed: a party with no seeds converts nothing
+// but is a legal query (it is how the follower's baseline is computed).
+func TestSharesEmptyPartyAllowed(t *testing.T) {
+	g := gen.Path(4, 1)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 20, Seed: 2})
+	shares, err := a.Shares([][]uint32{{0}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0] != 4 || shares[1] != 0 {
+		t.Fatalf("shares %v, want [4 0]", shares)
+	}
+}
+
+// TestTieBreakString covers the Stringer.
+func TestTieBreakString(t *testing.T) {
+	if TieRandom.String() != "random" || TiePriority.String() != "priority" {
+		t.Fatalf("%q %q", TieRandom.String(), TiePriority.String())
+	}
+	if TieBreak(7).String() == "" {
+		t.Fatal("unknown tie rule should stringify")
+	}
+}
+
+// TestSharesEqualSnapshotSpreadQuick: an Arena wraps spread.Snapshots,
+// and with one party the colored BFS counts exactly the reachable set —
+// so a Snapshots built with the same (samples, workers, seed) must give
+// the *identical* spread value for any seed set. This pins the two BFS
+// implementations against each other exactly, not statistically.
+func TestSharesEqualSnapshotSpreadQuick(t *testing.T) {
+	g := gen.ChungLuDirected(150, 700, 2.3, 2.1, rng.New(77))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	const samples, workers, worldSeed = 200, 2, 5
+	a := NewArena(g, model, Options{Samples: samples, Workers: workers, Seed: worldSeed})
+	snaps := spread.NewSnapshots(g, model, samples, workers, worldSeed)
+	ev := snaps.NewEvaluator()
+	f := func(seedVals []uint16, dup uint8) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		seeds := make([]uint32, 0, len(seedVals)+1)
+		for _, v := range seedVals {
+			seeds = append(seeds, uint32(int(v)%g.N()))
+		}
+		if dup%2 == 0 {
+			seeds = append(seeds, seeds[0]) // duplicates must not double-count
+		}
+		shares, err := a.Shares([][]uint32{seeds})
+		if err != nil {
+			return false
+		}
+		return shares[0] == ev.Spread(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

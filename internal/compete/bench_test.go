@@ -1,0 +1,40 @@
+package compete
+
+import (
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// BenchmarkArenaShares measures one multi-party share evaluation over
+// the arena's worlds — the inner loop of the follower greedy.
+func BenchmarkArenaShares(b *testing.B) {
+	g := gen.ChungLuDirected(10000, 60000, 2.4, 2.1, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 1000, Seed: 2})
+	seeds := [][]uint32{{1, 2, 3}, {10, 20, 30}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Shares(seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowerGreedy measures the full follower selection: the
+// parallel singleton sweep plus the lazy rounds.
+func BenchmarkFollowerGreedy(b *testing.B) {
+	g := gen.ChungLuDirected(3000, 18000, 2.4, 2.1, rng.New(3))
+	graph.AssignWeightedCascade(g)
+	a := NewArena(g, diffusion.NewIC(), Options{Samples: 300, Seed: 4})
+	incumbent := [][]uint32{{0, 1, 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.FollowerGreedy(incumbent, FollowerOptions{K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

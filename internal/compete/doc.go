@@ -1,0 +1,35 @@
+// Package compete implements competitive influence maximization — the
+// second future-work direction of the paper's §8 ("we plan to extend
+// TIM to other formulations of the influence maximization problem,
+// e.g., competitive influence maximization [2, 23]"), following the
+// formulation of Bharathi, Kempe & Salek (WINE 2007), the paper's
+// reference [2].
+//
+// # Model
+//
+// Several parties seed disjoint campaigns in the same network. All
+// campaigns propagate simultaneously under the same diffusion model: in
+// a sampled live-edge world, a node adopts the color of the campaign
+// that reaches it first (fewest hops from that campaign's seeds), and a
+// node adopts at most once — conversions block rival propagation
+// through that node. Simultaneous arrivals are resolved by a TieBreak
+// rule: uniformly at random (the choice of [2]) or by party priority.
+//
+// # Evaluation
+//
+// Expected shares are estimated on pre-sampled live-edge worlds
+// (spread.Snapshots): per world, one level-synchronized multi-source
+// BFS colors every reached node, and shares average the per-color
+// counts. Fixing the worlds gives common random numbers across seed-set
+// evaluations — exactly what the lazy greedy of the follower's problem
+// needs to compare marginal gains without sampling noise.
+//
+// # The follower's problem
+//
+// FollowerGreedy answers the question of [2]: given the incumbent
+// campaigns' seeds, choose k seeds for a new campaign maximizing its
+// expected share. The follower's expected share is monotone and
+// submodular in its seed set ([2], Theorem 1 in continuous time), so
+// lazy greedy attains the usual (1 − 1/e) factor; with an empty
+// incumbent the problem degenerates to ordinary influence maximization.
+package compete

@@ -1,0 +1,210 @@
+package compete
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// FollowerOptions configures FollowerGreedy.
+type FollowerOptions struct {
+	// K is the follower's seed budget (required, K ≥ 1).
+	K int
+	// Candidates restricts the follower's choices. Empty means every
+	// node — including incumbent seeds: contesting a rival head-on is
+	// a real strategy whose value the arena's tie rule decides.
+	Candidates []uint32
+}
+
+// FollowerResult reports the follower's selected campaign.
+type FollowerResult struct {
+	// Seeds is the follower's seed set in greedy pick order.
+	Seeds []uint32
+	// Share is the follower's expected converted-node count with all
+	// incumbents present, evaluated on the arena's worlds.
+	Share float64
+	// SharesByParty is the final share of every party (incumbents in
+	// their input order, the follower last).
+	SharesByParty []float64
+	// Marginals[i] is the share gain of the i-th pick; non-increasing
+	// when the per-world share function is submodular.
+	Marginals []float64
+	// Evaluations counts share evaluations — the CELF diagnostic (a
+	// plain greedy would use K × |Candidates|).
+	Evaluations int64
+}
+
+// FollowerGreedy solves the follower's problem of Bharathi et al.: given
+// the incumbents' seed sets, pick K seeds for one additional campaign
+// (the last party index) maximizing its expected share. Selection is
+// lazy greedy (CELF) over the arena's fixed worlds; because the worlds
+// are fixed, marginal-gain comparisons carry no sampling noise.
+//
+// incumbents may be empty, in which case the problem reduces to
+// ordinary influence maximization on the arena's worlds.
+func (a *Arena) FollowerGreedy(incumbents [][]uint32, opts FollowerOptions) (*FollowerResult, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("%w: follower budget K=%d must be at least 1", ErrBadSeeds, opts.K)
+	}
+	if len(incumbents)+1 > MaxParties {
+		return nil, fmt.Errorf("%w: %d incumbents leave no room for a follower (max %d parties)",
+			ErrBadSeeds, len(incumbents), MaxParties)
+	}
+	if err := a.validateSeeds(append(append([][]uint32{}, incumbents...), []uint32{})); err != nil {
+		return nil, err
+	}
+	follower := len(incumbents)
+
+	candidates, err := a.followerCandidates(opts.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	if len(candidates) < opts.K {
+		return nil, fmt.Errorf("%w: budget K=%d exceeds the %d available candidates",
+			ErrBadSeeds, opts.K, len(candidates))
+	}
+
+	res := &FollowerResult{
+		Seeds:     make([]uint32, 0, opts.K),
+		Marginals: make([]float64, 0, opts.K),
+	}
+
+	// share evaluates the follower's expected count for a given seed
+	// set; seedsByParty aliases incumbents plus the follower's slot.
+	seedsByParty := append(append([][]uint32{}, incumbents...), nil)
+	share := func(followerSeeds []uint32) float64 {
+		seedsByParty[follower] = followerSeeds
+		shares, err := a.Shares(seedsByParty)
+		if err != nil {
+			panic(err) // inputs validated above
+		}
+		res.Evaluations++
+		return shares[follower]
+	}
+
+	// CELF round 0: evaluate every candidate's singleton share in
+	// parallel (this is the expensive sweep; later rounds are lazy).
+	gains := a.singletonShares(incumbents, follower, candidates)
+	res.Evaluations += int64(len(candidates))
+	pq := make(celfQueue, len(candidates))
+	for i, v := range candidates {
+		pq[i] = celfItem{node: v, gain: gains[i], round: 0}
+	}
+	heap.Init(&pq)
+
+	current := 0.0
+	for len(res.Seeds) < opts.K && pq.Len() > 0 {
+		top := heap.Pop(&pq).(celfItem)
+		if top.round == len(res.Seeds) {
+			// Gain is current w.r.t. the chosen prefix: pick it.
+			res.Seeds = append(res.Seeds, top.node)
+			res.Marginals = append(res.Marginals, top.gain)
+			current += top.gain
+			continue
+		}
+		// Stale: re-evaluate against the current prefix and push back.
+		total := share(append(res.Seeds, top.node))
+		top.gain = total - current
+		top.round = len(res.Seeds)
+		heap.Push(&pq, top)
+	}
+
+	seedsByParty[follower] = res.Seeds
+	final, err := a.Shares(seedsByParty)
+	if err != nil {
+		return nil, err
+	}
+	res.Share = final[follower]
+	res.SharesByParty = final
+	return res, nil
+}
+
+// followerCandidates returns the allowed candidate nodes: the explicit
+// list, or every node. Incumbent seeds are deliberately *not* excluded:
+// contesting a rival's seed head-on is a legitimate strategy whose value
+// the tie rule decides (roughly half the contested cascade under
+// TieRandom, nothing under TiePriority) — the greedy weighs it like any
+// other candidate. Pass Candidates to restrict the pool.
+func (a *Arena) followerCandidates(explicit []uint32) ([]uint32, error) {
+	if len(explicit) > 0 {
+		out := make([]uint32, 0, len(explicit))
+		for _, v := range explicit {
+			if int(v) >= a.n {
+				return nil, fmt.Errorf("%w: candidate %d outside [0, %d)", ErrBadSeeds, v, a.n)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	out := make([]uint32, a.n)
+	for v := range out {
+		out[v] = uint32(v)
+	}
+	return out, nil
+}
+
+// singletonShares evaluates the follower's share for every singleton
+// candidate, parallelized over candidates.
+func (a *Arena) singletonShares(incumbents [][]uint32, follower int, candidates []uint32) []float64 {
+	gains := make([]float64, len(candidates))
+	workers := a.opts.Workers
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	worlds := a.snaps.Count()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := a.newEvaluator()
+			parties := len(incumbents) + 1
+			counts := make([]int64, parties)
+			seedsByParty := append(append([][]uint32{}, incumbents...), nil)
+			single := make([]uint32, 1)
+			for ci := w; ci < len(candidates); ci += workers {
+				single[0] = candidates[ci]
+				seedsByParty[follower] = single
+				var total int64
+				for i := 0; i < worlds; i++ {
+					ev.run(i, seedsByParty, counts)
+					total += counts[follower]
+				}
+				gains[ci] = float64(total) / float64(worlds)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return gains
+}
+
+// celfItem is one lazy-greedy priority-queue entry.
+type celfItem struct {
+	node  uint32
+	gain  float64
+	round int // the prefix length the gain was evaluated against
+}
+
+// celfQueue is a max-heap on gain (ties to the lower node id for
+// deterministic output).
+type celfQueue []celfItem
+
+func (q celfQueue) Len() int { return len(q) }
+func (q celfQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].node < q[j].node
+}
+func (q celfQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *celfQueue) Push(x interface{}) { *q = append(*q, x.(celfItem)) }
+func (q *celfQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,206 @@
+package diffusion
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Simulator runs forward influence-propagation cascades (§2.1 of the
+// paper) and reports the realized spread I(S) of a seed set. It is the
+// Monte-Carlo oracle behind Kempe et al.'s Greedy, the spread numbers in
+// Figures 5, 9 and 11, and the ground truth for this repo's tests.
+//
+// A simulator owns reusable scratch buffers; create one per goroutine.
+type Simulator struct {
+	g     *graph.Graph
+	model Model
+
+	mark  []uint32 // activation epoch marks
+	epoch uint32
+	queue []uint32
+
+	// LT state: cumulative in-weight received and the node's sampled
+	// threshold, both epoch-stamped via mark2.
+	acc       []float32
+	threshold []float32
+	mark2     []uint32
+
+	trig []uint32 // triggering scratch
+}
+
+// NewSimulator returns a forward-cascade simulator for g under model.
+func NewSimulator(g *graph.Graph, model Model) *Simulator {
+	s := &Simulator{
+		g:     g,
+		model: model,
+		mark:  make([]uint32, g.N()),
+		queue: make([]uint32, 0, 64),
+	}
+	if model.kind == LT {
+		s.acc = make([]float32, g.N())
+		s.threshold = make([]float32, g.N())
+		s.mark2 = make([]uint32, g.N())
+	}
+	return s
+}
+
+func (s *Simulator) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		if s.mark2 != nil {
+			for i := range s.mark2 {
+				s.mark2[i] = 0
+			}
+		}
+		s.epoch = 1
+	}
+}
+
+// Run executes one cascade from the seed set and returns the number of
+// activated nodes, I(S). Duplicate seeds are counted once; seeds must be
+// valid node ids.
+func (s *Simulator) Run(r *rng.Rand, seeds []uint32) int {
+	switch s.model.kind {
+	case IC:
+		return s.runIC(r, seeds)
+	case LT:
+		return s.runLT(r, seeds)
+	default:
+		return s.runTriggering(r, seeds)
+	}
+}
+
+// runIC: each newly activated node tries each out-edge once.
+func (s *Simulator) runIC(r *rng.Rand, seeds []uint32) int {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	q := s.queue[:0]
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+		}
+	}
+	activated := len(q)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if r.Bernoulli32(w[i]) {
+				mark[v] = epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+// runLT: thresholds are sampled lazily the first time a node receives
+// weight; a node activates when its received weight passes its threshold.
+func (s *Simulator) runLT(r *rng.Rand, seeds []uint32) int {
+	s.nextEpoch()
+	g, mark, mark2, epoch := s.g, s.mark, s.mark2, s.epoch
+	q := s.queue[:0]
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+		}
+	}
+	activated := len(q)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if mark2[v] != epoch {
+				mark2[v] = epoch
+				s.acc[v] = 0
+				s.threshold[v] = r.Float32()
+			}
+			s.acc[v] += w[i]
+			if s.acc[v] >= s.threshold[v] {
+				mark[v] = epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+// runTriggering: each node's triggering set is sampled once, lazily, the
+// first time an active neighbor pokes it; the node activates if the poking
+// neighbor (or any earlier-activated one) is in the set. Sampling lazily
+// is equivalent to sampling everything upfront because the set does not
+// depend on cascade history.
+func (s *Simulator) runTriggering(r *rng.Rand, seeds []uint32) int {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	q := s.queue[:0]
+	// trigSets[v] caches v's sampled triggering set for this run.
+	trigSets := make(map[uint32][]uint32)
+	inSet := func(v, u uint32) bool {
+		set, ok := trigSets[v]
+		if !ok {
+			s.trig = s.model.trigger.AppendTrigger(s.trig[:0], g, v, r)
+			set = append([]uint32(nil), s.trig...)
+			trigSets[v] = set
+		}
+		for _, x := range set {
+			if x == u {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+		}
+	}
+	activated := len(q)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, _ := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if inSet(v, u) {
+				mark[v] = epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+// RunActivated executes one cascade and returns the activated nodes
+// themselves (in activation order) rather than just their count. Slower
+// than Run; used by tests and by consumers that need the activation set.
+func (s *Simulator) RunActivated(r *rng.Rand, seeds []uint32) []uint32 {
+	// Reuse Run's machinery: Run leaves the activation queue in s.queue
+	// with marks set for the current epoch.
+	n := s.Run(r, seeds)
+	out := make([]uint32, n)
+	copy(out, s.queue[:n])
+	return out
+}

@@ -1,0 +1,126 @@
+package diffusion
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RRCollection is a flat arena of RR sets: the members of set i live at
+// Flat[Off[i]:Off[i+1]]. Flat storage keeps millions of small sets cheap
+// for the garbage collector and makes the Figure 12 memory accounting
+// exact.
+type RRCollection struct {
+	Flat []uint32
+	Off  []int64
+	// TotalWidth is Σ w(R_i) (Equation 1), the input to EPT estimation.
+	TotalWidth int64
+}
+
+// Count returns the number of RR sets.
+func (c *RRCollection) Count() int { return len(c.Off) - 1 }
+
+// Set returns the members of set i (aliasing internal storage).
+func (c *RRCollection) Set(i int) []uint32 { return c.Flat[c.Off[i]:c.Off[i+1]] }
+
+// TotalNodes returns Σ |R_i|.
+func (c *RRCollection) TotalNodes() int64 { return int64(len(c.Flat)) }
+
+// MemoryBytes returns the approximate heap bytes held by the collection.
+func (c *RRCollection) MemoryBytes() int64 {
+	return int64(cap(c.Flat))*4 + int64(cap(c.Off))*8
+}
+
+// Append adds one RR set.
+func (c *RRCollection) Append(rr []uint32, width int64) {
+	if len(c.Off) == 0 {
+		c.Off = append(c.Off, 0)
+	}
+	c.Flat = append(c.Flat, rr...)
+	c.Off = append(c.Off, int64(len(c.Flat)))
+	c.TotalWidth += width
+}
+
+// Merge appends all sets of other to c.
+func (c *RRCollection) Merge(other *RRCollection) {
+	if len(c.Off) == 0 {
+		c.Off = append(c.Off, 0)
+	}
+	base := int64(len(c.Flat))
+	c.Flat = append(c.Flat, other.Flat...)
+	for _, off := range other.Off[1:] {
+		c.Off = append(c.Off, base+off)
+	}
+	c.TotalWidth += other.TotalWidth
+}
+
+// SampleOptions configures batch RR-set generation.
+type SampleOptions struct {
+	// Workers is the number of sampling goroutines (default GOMAXPROCS).
+	Workers int
+	// Seed selects the random stream. Batches that must be independent
+	// should use distinct seeds.
+	Seed uint64
+}
+
+func (o *SampleOptions) normalize(count int64) {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(o.Workers) > count && count > 0 {
+		o.Workers = int(count)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+}
+
+// SampleCollection generates count random RR sets in parallel and returns
+// them as one collection. The result is deterministic for fixed (count,
+// Seed, Workers): worker w draws its quota from stream Split(w) and
+// partial collections merge in worker order.
+func SampleCollection(g *graph.Graph, model Model, count int64, opts SampleOptions) *RRCollection {
+	out := &RRCollection{Off: []int64{0}}
+	if count <= 0 || g.N() == 0 {
+		return out
+	}
+	opts.normalize(count)
+	parts := make([]*RRCollection, opts.Workers)
+	base := rng.New(opts.Seed)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		quota := count / int64(opts.Workers)
+		if int64(w) < count%int64(opts.Workers) {
+			quota++
+		}
+		r := base.Split(uint64(w))
+		wg.Add(1)
+		go func(w int, quota int64, r *rng.Rand) {
+			defer wg.Done()
+			sampler := NewRRSampler(g, model)
+			col := &RRCollection{Off: make([]int64, 1, quota+1)}
+			var buf []uint32
+			for i := int64(0); i < quota; i++ {
+				var width int64
+				buf, width = sampler.Sample(r, buf[:0])
+				col.Append(buf, width)
+			}
+			parts[w] = col
+		}(w, quota, r)
+	}
+	wg.Wait()
+	// Pre-size the merged arena, then merge in worker order.
+	var flatLen, offLen int64
+	for _, p := range parts {
+		flatLen += int64(len(p.Flat))
+		offLen += int64(len(p.Off)) - 1
+	}
+	out.Flat = make([]uint32, 0, flatLen)
+	out.Off = make([]int64, 1, offLen+1)
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package diffusion
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RRSampler generates random reverse-reachable (RR) sets (Definitions 1
+// and 2 of the paper) with a randomized reverse breadth-first search over
+// the graph's in-edges (§3.1 "Implementation" and §4.2 for the triggering
+// generalization).
+//
+// A sampler owns reusable scratch buffers, so it is not safe for
+// concurrent use; create one per worker goroutine.
+type RRSampler struct {
+	g     *graph.Graph
+	model Model
+
+	mark  []uint32 // mark[v] == epoch ⇔ v visited in the current sample
+	epoch uint32
+	queue []uint32
+	trig  []uint32 // scratch for triggering-set samples
+}
+
+// NewRRSampler returns a sampler for the given graph and model.
+func NewRRSampler(g *graph.Graph, model Model) *RRSampler {
+	return &RRSampler{
+		g:     g,
+		model: model,
+		mark:  make([]uint32, g.N()),
+		queue: make([]uint32, 0, 64),
+	}
+}
+
+// nextEpoch advances the visited-mark epoch, clearing marks lazily.
+func (s *RRSampler) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: hard reset
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Sample generates one RR set rooted at a uniformly random node and
+// appends its members to dst. It returns the extended slice and the width
+// w(R) of the set — the number of edges in G that point to nodes in R
+// (Equation 1), which is also the number of coin flips a fresh IC
+// generation examines and the quantity κ(R) is computed from.
+func (s *RRSampler) Sample(r *rng.Rand, dst []uint32) ([]uint32, int64) {
+	root := uint32(r.Intn(s.g.N()))
+	return s.SampleFrom(r, root, dst)
+}
+
+// SampleFrom generates one RR set rooted at the given node.
+func (s *RRSampler) SampleFrom(r *rng.Rand, root uint32, dst []uint32) ([]uint32, int64) {
+	switch s.model.kind {
+	case IC:
+		return s.sampleIC(r, root, dst)
+	case LT:
+		return s.sampleLT(r, root, dst)
+	default:
+		return s.sampleTriggering(r, root, dst)
+	}
+}
+
+// sampleIC is the §3.1 randomized reverse BFS: each in-edge of a visited
+// node is retained with its propagation probability.
+func (s *RRSampler) sampleIC(r *rng.Rand, root uint32, dst []uint32) ([]uint32, int64) {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	start := len(dst)
+	mark[root] = epoch
+	dst = append(dst, root)
+	var width int64
+	// The queue is the tail of dst not yet expanded: BFS order preserved.
+	for head := start; head < len(dst); head++ {
+		v := dst[head]
+		src, w := g.InNeighbors(v)
+		width += int64(len(src))
+		for i := range src {
+			u := src[i]
+			if mark[u] == epoch {
+				continue
+			}
+			if r.Bernoulli32(w[i]) {
+				mark[u] = epoch
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst, width
+}
+
+// sampleLT walks a single reverse chain: under LT the triggering set of a
+// node is at most one in-neighbor, picked with probability equal to the
+// edge weight (§4.2; one random number per node visited, which is why LT
+// sampling is empirically faster than IC — §7.2 "Results on Large
+// Datasets").
+func (s *RRSampler) sampleLT(r *rng.Rand, root uint32, dst []uint32) ([]uint32, int64) {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	mark[root] = epoch
+	dst = append(dst, root)
+	var width int64
+	v := root
+	for {
+		src, w := g.InNeighbors(v)
+		width += int64(len(src))
+		if len(src) == 0 {
+			return dst, width
+		}
+		x := r.Float32()
+		var acc float32
+		next := uint32(0)
+		found := false
+		for i := range src {
+			acc += w[i]
+			if x < acc {
+				next = src[i]
+				found = true
+				break
+			}
+		}
+		if !found { // residual probability: empty triggering set
+			return dst, width
+		}
+		if mark[next] == epoch { // chain closed a cycle
+			return dst, width
+		}
+		mark[next] = epoch
+		dst = append(dst, next)
+		v = next
+	}
+}
+
+// sampleTriggering is the general §4.2 reverse BFS: for each visited node
+// sample its triggering set and enqueue unvisited members.
+func (s *RRSampler) sampleTriggering(r *rng.Rand, root uint32, dst []uint32) ([]uint32, int64) {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	start := len(dst)
+	mark[root] = epoch
+	dst = append(dst, root)
+	var width int64
+	for head := start; head < len(dst); head++ {
+		v := dst[head]
+		width += int64(g.InDegree(v))
+		s.trig = s.model.trigger.AppendTrigger(s.trig[:0], g, v, r)
+		for _, u := range s.trig {
+			if mark[u] != epoch {
+				mark[u] = epoch
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst, width
+}
+
+// Width recomputes w(R) for an arbitrary node set (Equation 1): the total
+// in-degree of its members. Exposed for tests and for consumers that store
+// RR sets without widths.
+func Width(g *graph.Graph, rr []uint32) int64 {
+	var width int64
+	for _, v := range rr {
+		width += int64(g.InDegree(v))
+	}
+	return width
+}

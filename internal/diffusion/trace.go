@@ -1,0 +1,175 @@
+package diffusion
+
+import (
+	"repro/internal/rng"
+)
+
+// Activation records one node activation inside a traced cascade.
+type Activation struct {
+	// Node is the activated node.
+	Node uint32
+	// By is the in-neighbor whose influence triggered the activation,
+	// or the node itself for seeds.
+	By uint32
+	// Step is the propagation timestamp: 0 for seeds, and i+1 for
+	// nodes activated by a step-i node (§2.1's timestamped process).
+	Step int
+}
+
+// Trace is the full record of one cascade: every activation in
+// activation order. Useful for application-side visualization and for
+// tests that need to assert on cascade structure, not just its size.
+type Trace struct {
+	Activations []Activation
+}
+
+// Spread returns the number of activated nodes.
+func (t *Trace) Spread() int { return len(t.Activations) }
+
+// MaxStep returns the largest propagation timestamp reached.
+func (t *Trace) MaxStep() int {
+	best := 0
+	for _, a := range t.Activations {
+		if a.Step > best {
+			best = a.Step
+		}
+	}
+	return best
+}
+
+// RunTrace executes one cascade like Run but records who activated whom
+// and when. It is slower than Run and allocates the trace; use it for
+// analysis, not inside estimation loops.
+func (s *Simulator) RunTrace(r *rng.Rand, seeds []uint32) *Trace {
+	switch s.model.kind {
+	case IC:
+		return s.traceIC(r, seeds)
+	case LT:
+		return s.traceLT(r, seeds)
+	default:
+		return s.traceTriggering(r, seeds)
+	}
+}
+
+func (s *Simulator) traceIC(r *rng.Rand, seeds []uint32) *Trace {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	tr := &Trace{}
+	step := make(map[uint32]int)
+	q := s.queue[:0]
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+			step[v] = 0
+			tr.Activations = append(tr.Activations, Activation{Node: v, By: v, Step: 0})
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if r.Bernoulli32(w[i]) {
+				mark[v] = epoch
+				q = append(q, v)
+				step[v] = step[u] + 1
+				tr.Activations = append(tr.Activations, Activation{Node: v, By: u, Step: step[v]})
+			}
+		}
+	}
+	s.queue = q
+	return tr
+}
+
+func (s *Simulator) traceLT(r *rng.Rand, seeds []uint32) *Trace {
+	s.nextEpoch()
+	g, mark, mark2, epoch := s.g, s.mark, s.mark2, s.epoch
+	tr := &Trace{}
+	step := make(map[uint32]int)
+	q := s.queue[:0]
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+			step[v] = 0
+			tr.Activations = append(tr.Activations, Activation{Node: v, By: v, Step: 0})
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if mark2[v] != epoch {
+				mark2[v] = epoch
+				s.acc[v] = 0
+				s.threshold[v] = r.Float32()
+			}
+			s.acc[v] += w[i]
+			if s.acc[v] >= s.threshold[v] {
+				mark[v] = epoch
+				q = append(q, v)
+				step[v] = step[u] + 1
+				tr.Activations = append(tr.Activations, Activation{Node: v, By: u, Step: step[v]})
+			}
+		}
+	}
+	s.queue = q
+	return tr
+}
+
+func (s *Simulator) traceTriggering(r *rng.Rand, seeds []uint32) *Trace {
+	s.nextEpoch()
+	g, mark, epoch := s.g, s.mark, s.epoch
+	tr := &Trace{}
+	step := make(map[uint32]int)
+	trigSets := make(map[uint32][]uint32)
+	inSet := func(v, u uint32) bool {
+		set, ok := trigSets[v]
+		if !ok {
+			s.trig = s.model.trigger.AppendTrigger(s.trig[:0], g, v, r)
+			set = append([]uint32(nil), s.trig...)
+			trigSets[v] = set
+		}
+		for _, x := range set {
+			if x == u {
+				return true
+			}
+		}
+		return false
+	}
+	q := s.queue[:0]
+	for _, v := range seeds {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			q = append(q, v)
+			step[v] = 0
+			tr.Activations = append(tr.Activations, Activation{Node: v, By: v, Step: 0})
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, _ := g.OutNeighbors(u)
+		for i := range to {
+			v := to[i]
+			if mark[v] == epoch {
+				continue
+			}
+			if inSet(v, u) {
+				mark[v] = epoch
+				q = append(q, v)
+				step[v] = step[u] + 1
+				tr.Activations = append(tr.Activations, Activation{Node: v, By: u, Step: step[v]})
+			}
+		}
+	}
+	s.queue = q
+	return tr
+}

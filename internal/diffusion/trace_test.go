@@ -1,0 +1,103 @@
+package diffusion
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestTraceICCertainPath(t *testing.T) {
+	g := gen.Path(5, 1)
+	sim := NewSimulator(g, NewIC())
+	tr := sim.RunTrace(rng.New(1), []uint32{0})
+	if tr.Spread() != 5 {
+		t.Fatalf("spread=%d", tr.Spread())
+	}
+	if tr.MaxStep() != 4 {
+		t.Fatalf("max step=%d, want 4 (chain depth)", tr.MaxStep())
+	}
+	// Every non-seed activation must name its true predecessor.
+	for _, a := range tr.Activations {
+		if a.Step == 0 {
+			if a.Node != 0 || a.By != 0 {
+				t.Fatalf("seed activation %+v", a)
+			}
+			continue
+		}
+		if a.By != a.Node-1 {
+			t.Fatalf("activation %+v: path node must be activated by predecessor", a)
+		}
+		if int(a.Node) != a.Step {
+			t.Fatalf("activation %+v: step must equal position on path", a)
+		}
+	}
+}
+
+func TestTraceSeedsStepZero(t *testing.T) {
+	g := gen.Path(5, 0)
+	sim := NewSimulator(g, NewIC())
+	tr := sim.RunTrace(rng.New(1), []uint32{2, 4, 2})
+	if tr.Spread() != 2 {
+		t.Fatalf("spread=%d, want 2 (dedup)", tr.Spread())
+	}
+	for _, a := range tr.Activations {
+		if a.Step != 0 || a.By != a.Node {
+			t.Fatalf("seed activation %+v", a)
+		}
+	}
+	if tr.MaxStep() != 0 {
+		t.Fatalf("max step=%d", tr.MaxStep())
+	}
+}
+
+func TestTraceSpreadMatchesRun(t *testing.T) {
+	// With the same RNG stream, RunTrace and Run consume randomness in
+	// the same order and must report the same spread.
+	g := gen.ErdosRenyiGnm(80, 400, rng.New(2))
+	graph.AssignWeightedCascade(g)
+	for _, model := range []Model{NewIC(), NewLT(), NewTriggering(ICTrigger{})} {
+		simA := NewSimulator(g, model)
+		simB := NewSimulator(g, model)
+		rA, rB := rng.New(3), rng.New(3)
+		for i := 0; i < 30; i++ {
+			a := simA.Run(rA, []uint32{0, 1})
+			b := simB.RunTrace(rB, []uint32{0, 1}).Spread()
+			if a != b {
+				t.Fatalf("%v: run %d spread %d vs trace %d", model, i, a, b)
+			}
+		}
+	}
+}
+
+func TestTraceLTStar(t *testing.T) {
+	g := gen.Star(6, 1)
+	sim := NewSimulator(g, NewLT())
+	tr := sim.RunTrace(rng.New(4), []uint32{0})
+	if tr.Spread() != 6 {
+		t.Fatalf("spread=%d", tr.Spread())
+	}
+	for _, a := range tr.Activations[1:] {
+		if a.By != 0 || a.Step != 1 {
+			t.Fatalf("leaf activation %+v, want by hub at step 1", a)
+		}
+	}
+}
+
+func TestTraceTriggeringConsistency(t *testing.T) {
+	g := gen.Cycle(8, 1)
+	sim := NewSimulator(g, NewTriggering(ICTrigger{}))
+	tr := sim.RunTrace(rng.New(5), []uint32{3})
+	if tr.Spread() != 8 {
+		t.Fatalf("spread=%d on certain cycle", tr.Spread())
+	}
+	// Steps must increase along the cycle from the seed.
+	want := 0
+	for _, a := range tr.Activations {
+		if a.Step != want {
+			t.Fatalf("activation %+v, want step %d", a, want)
+		}
+		want++
+	}
+}

@@ -1,0 +1,114 @@
+package diffusion
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Ready-made TriggerSampler implementations beyond the IC/LT embeddings.
+// They demonstrate the §4.2 generality of the triggering model and give
+// applications useful diffusion variants without writing a sampler from
+// scratch. All of them define valid triggering distributions (the sample
+// depends only on v's in-neighborhood and fresh randomness), so every
+// TIM/TIM+ guarantee carries over via Lemma 9.
+
+// BoundedTrigger samples each in-neighbor independently with its edge
+// probability (like IC) but keeps at most Max of the successes, chosen
+// uniformly among them. It models attention-limited adoption: a user
+// may hear about a product from everyone, yet only a few contacts can
+// actually trigger adoption.
+type BoundedTrigger struct {
+	// Max is the triggering-set size cap (values < 1 behave as 1).
+	Max int
+}
+
+// AppendTrigger implements TriggerSampler.
+func (b BoundedTrigger) AppendTrigger(dst []uint32, g *graph.Graph, v uint32, r *rng.Rand) []uint32 {
+	maxKeep := b.Max
+	if maxKeep < 1 {
+		maxKeep = 1
+	}
+	src, w := g.InNeighbors(v)
+	start := len(dst)
+	kept := 0
+	for i := range src {
+		if !r.Bernoulli32(w[i]) {
+			continue
+		}
+		if kept < maxKeep {
+			dst = append(dst, src[i])
+			kept++
+			continue
+		}
+		// Reservoir step: the (kept+1)-th success replaces a uniform
+		// slot with probability maxKeep/(kept+1), keeping the retained
+		// subset uniform among all successes.
+		kept++
+		j := r.Intn(kept)
+		if j < maxKeep {
+			dst[start+j] = src[i]
+		}
+	}
+	return dst
+}
+
+// ScaledICTrigger runs IC with every edge probability multiplied by
+// Factor (clamped to [0, 1]). It supports sensitivity studies — "how do
+// the chosen seeds change if all influence estimates are 20% off?" —
+// without rewriting graph weights.
+type ScaledICTrigger struct {
+	Factor float64
+}
+
+// AppendTrigger implements TriggerSampler.
+func (s ScaledICTrigger) AppendTrigger(dst []uint32, g *graph.Graph, v uint32, r *rng.Rand) []uint32 {
+	src, w := g.InNeighbors(v)
+	for i := range src {
+		p := float64(w[i]) * s.Factor
+		if p > 1 {
+			p = 1
+		}
+		if r.Bernoulli(p) {
+			dst = append(dst, src[i])
+		}
+	}
+	return dst
+}
+
+// TopWeightTrigger deterministically triggers on the Top highest-weight
+// in-neighbors (ties by position). It models "trusted sources": a node
+// always adopts once any of its strongest ties adopts. The triggering
+// distribution is a point mass, which is still a valid triggering
+// distribution.
+type TopWeightTrigger struct {
+	Top int
+}
+
+// AppendTrigger implements TriggerSampler.
+func (t TopWeightTrigger) AppendTrigger(dst []uint32, g *graph.Graph, v uint32, _ *rng.Rand) []uint32 {
+	top := t.Top
+	if top < 1 {
+		top = 1
+	}
+	src, w := g.InNeighbors(v)
+	if len(src) <= top {
+		return append(dst, src...)
+	}
+	// Partial selection of the top weights; in-neighborhoods are small,
+	// so a simple selection pass per slot is fine.
+	taken := make([]bool, len(src))
+	for s := 0; s < top; s++ {
+		best := -1
+		for i := range src {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || w[i] > w[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		dst = append(dst, src[best])
+	}
+	return dst
+}

@@ -1,0 +1,252 @@
+// Package diskrr provides disk-backed storage for reverse-reachable set
+// collections, plus an out-of-core greedy maximum-coverage selector.
+//
+// Motivation: §7.4 of the paper shows that TIM+'s memory is dominated by
+// the RR collection R (λ/KPT⁺ sets, ∝ 1/ε²), and §8 names "massive
+// graphs that do not fit in the main memory of a single machine" as
+// future work. This package removes R from the residency requirement:
+// RR sets stream to a temporary file as they are sampled, and node
+// selection runs in k+1 sequential passes over the file, holding only
+// O(n) counters and a covered-set bitmap in memory.
+//
+// The trade-off is explicit: selection cost grows from O(Σ|R|) to
+// O(k·Σ|R|) sequential I/O, in exchange for an O(n + θ/8)-byte resident
+// set. BenchmarkAblationOutOfCore quantifies it.
+package diskrr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Writer streams RR sets into a temporary file.
+type Writer struct {
+	f   *os.File
+	bw  *bufio.Writer
+	rec []byte
+
+	count      int64
+	totalNodes int64
+	totalWidth int64
+	closed     bool
+}
+
+// NewWriter creates a spill file in dir (empty dir = the OS temp
+// directory).
+func NewWriter(dir string) (*Writer, error) {
+	f, err := os.CreateTemp(dir, "rrspill-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("diskrr: creating spill file: %w", err)
+	}
+	return &Writer{
+		f:   f,
+		bw:  bufio.NewWriterSize(f, 1<<20),
+		rec: make([]byte, 4),
+	}, nil
+}
+
+// Append writes one RR set.
+func (w *Writer) Append(rr []uint32, width int64) error {
+	if w.closed {
+		return errors.New("diskrr: append after Finish")
+	}
+	binary.LittleEndian.PutUint32(w.rec, uint32(len(rr)))
+	if _, err := w.bw.Write(w.rec); err != nil {
+		return err
+	}
+	for _, v := range rr {
+		binary.LittleEndian.PutUint32(w.rec, v)
+		if _, err := w.bw.Write(w.rec); err != nil {
+			return err
+		}
+	}
+	w.count++
+	w.totalNodes += int64(len(rr))
+	w.totalWidth += width
+	return nil
+}
+
+// Count returns the number of sets appended so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Finish flushes and returns the readable collection. The writer must
+// not be used afterwards.
+func (w *Writer) Finish() (*Collection, error) {
+	if w.closed {
+		return nil, errors.New("diskrr: Finish twice")
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, err
+	}
+	return &Collection{
+		f:          w.f,
+		path:       w.f.Name(),
+		count:      w.count,
+		totalNodes: w.totalNodes,
+		totalWidth: w.totalWidth,
+	}, nil
+}
+
+// Abort discards the spill file.
+func (w *Writer) Abort() {
+	w.closed = true
+	name := w.f.Name()
+	w.f.Close()
+	os.Remove(name)
+}
+
+// Collection is a finished on-disk RR collection.
+type Collection struct {
+	f          *os.File
+	path       string
+	count      int64
+	totalNodes int64
+	totalWidth int64
+}
+
+// Count returns the number of RR sets.
+func (c *Collection) Count() int64 { return c.count }
+
+// TotalNodes returns Σ|R|.
+func (c *Collection) TotalNodes() int64 { return c.totalNodes }
+
+// TotalWidth returns Σw(R).
+func (c *Collection) TotalWidth() int64 { return c.totalWidth }
+
+// DiskBytes returns the size of the spill file.
+func (c *Collection) DiskBytes() int64 { return 4 * (c.count + c.totalNodes) }
+
+// Close removes the spill file.
+func (c *Collection) Close() error {
+	err := c.f.Close()
+	if rmErr := os.Remove(c.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Scan streams every RR set through fn in file order. The slice passed
+// to fn is reused between calls; fn must not retain it. Returning a
+// non-nil error from fn aborts the scan.
+func (c *Collection) Scan(fn func(i int64, set []uint32) error) error {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(c.f, 1<<20)
+	hdr := make([]byte, 4)
+	var buf []uint32
+	var raw []byte
+	for i := int64(0); i < c.count; i++ {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return fmt.Errorf("diskrr: reading set %d header: %w", i, err)
+		}
+		size := int(binary.LittleEndian.Uint32(hdr))
+		if cap(buf) < size {
+			buf = make([]uint32, size)
+			raw = make([]byte, 4*size)
+		}
+		buf = buf[:size]
+		raw = raw[:4*size]
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return fmt.Errorf("diskrr: reading set %d body: %w", i, err)
+		}
+		for j := 0; j < size; j++ {
+			buf[j] = binary.LittleEndian.Uint32(raw[4*j:])
+		}
+		if err := fn(i, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result mirrors maxcover.Result for the out-of-core selector.
+type Result struct {
+	Seeds     []uint32
+	Covered   int64
+	Marginals []int64
+}
+
+// GreedyOutOfCore selects k nodes from [0, n) greedily maximizing RR-set
+// coverage, in k+1 sequential passes over the spill file. Resident
+// memory is O(n) counters plus one bit per set. Tie-breaking is by
+// lowest node id (identical to maxcover.GreedyNaive).
+func GreedyOutOfCore(n int, col *Collection, k int) (Result, error) {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	res := Result{
+		Seeds:     make([]uint32, 0, k),
+		Marginals: make([]int64, 0, k),
+	}
+	if n == 0 || k == 0 {
+		return res, nil
+	}
+	covered := newBitmap(col.Count())
+	selected := make([]bool, n)
+	count := make([]int64, n)
+	var prevPick int64 = -1
+	for len(res.Seeds) < k {
+		for i := range count {
+			count[i] = 0
+		}
+		// One pass: retire sets covered by the previous pick, count
+		// membership of the live ones.
+		err := col.Scan(func(i int64, set []uint32) error {
+			if covered.get(i) {
+				return nil
+			}
+			if prevPick >= 0 {
+				for _, v := range set {
+					if int64(v) == prevPick {
+						covered.set(i)
+						return nil
+					}
+				}
+			}
+			for _, v := range set {
+				count[v]++
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		best := int64(-1)
+		var bestCount int64
+		for v := 0; v < n; v++ {
+			if selected[v] {
+				continue
+			}
+			if best < 0 || count[v] > bestCount {
+				best, bestCount = int64(v), count[v]
+			}
+		}
+		selected[best] = true
+		res.Seeds = append(res.Seeds, uint32(best))
+		res.Marginals = append(res.Marginals, bestCount)
+		res.Covered += bestCount
+		prevPick = best
+	}
+	return res, nil
+}
+
+// bitmap is a simple fixed-size bit set.
+type bitmap []uint64
+
+func newBitmap(bits int64) bitmap { return make(bitmap, (bits+63)/64) }
+
+func (b bitmap) get(i int64) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitmap) set(i int64) { b[i>>6] |= 1 << (uint(i) & 63) }

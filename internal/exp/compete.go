@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/compete"
+	"repro/internal/diffusion"
+)
+
+func init() {
+	registry["compete"] = runCompete
+	shapeChecks["compete"] = checkCompeteShape
+}
+
+// runCompete exercises the §8 competitive extension (internal/compete):
+// an incumbent holds the top-degree hubs; a challenger with budget k
+// picks seeds by the follower's-problem greedy versus two baselines.
+// The challenger column is its absolute expected adoptions — the
+// quantity the greedy maximizes.
+func runCompete(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Competitive IM: follower greedy vs baselines (NetHEPT profile, IC, random ties)",
+		Header: []string{"k", "strategy", "incumbent_adoptions", "challenger_adoptions", "seconds"},
+	}
+	g, err := dataset("nethept", cfg.Scale, diffusion.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	arena := compete.NewArena(g, modelOf(diffusion.IC), compete.Options{
+		Samples: cfg.MCSamples / 5,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed + 1,
+	})
+	incumbent := topByOutDegree(g, 3)
+
+	for _, k := range []int{1, 5, 10} {
+		start := time.Now()
+		greedy, err := arena.FollowerGreedy([][]uint32{incumbent}, compete.FollowerOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		greedyTime := time.Since(start)
+
+		nextDeg := topByOutDegree(g, 3+k)[3:]
+		strategies := []struct {
+			name  string
+			seeds []uint32
+		}{
+			{"greedy", greedy.Seeds},
+			{"next-degree", nextDeg},
+			{"copycat", append(append([]uint32{}, incumbent...), nextDeg[:max(0, k-3)]...)[:k]},
+		}
+		for _, s := range strategies {
+			start := time.Now()
+			shares, err := arena.Shares([][]uint32{incumbent, s.seeds})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if s.name == "greedy" {
+				elapsed = greedyTime
+			}
+			rep.Append(k, s.name, shares[0], shares[1], elapsed)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"challenger_adoptions is the follower's objective; greedy should lead that column (within greedy's (1-1/e) slack)",
+		"copycat may show the lowest incumbent_adoptions without leading the challenger column — hurting the rival is not winning")
+	return rep, nil
+}
+
+// topByOutDegree returns the k highest out-degree nodes (ties to the
+// lowest id).
+func topByOutDegree(g interface {
+	N() int
+	OutDegree(uint32) int
+}, k int) []uint32 {
+	ids := make([]uint32, g.N())
+	for v := range ids {
+		ids[v] = uint32(v)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.OutDegree(ids[i]), g.OutDegree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// checkCompeteShape: per k, greedy's challenger adoptions must be at
+// least 0.9 × the best baseline's (greedy has a (1−1/e) guarantee; in
+// practice it leads outright).
+func checkCompeteShape(rep *Report) []ShapeFinding {
+	byK := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		if byK[row[0]] == nil {
+			byK[row[0]] = map[string]float64{}
+		}
+		byK[row[0]][row[1]] = cell(row, 3)
+	}
+	var out []ShapeFinding
+	for k, strategies := range byK {
+		best := max(strategies["next-degree"], strategies["copycat"])
+		out = append(out, ShapeFinding{
+			Claim: "k=" + k + ": greedy challenger >= 0.9x best baseline",
+			OK:    strategies["greedy"] >= 0.9*best,
+			Got:   fmt.Sprintf("greedy=%.4g best-baseline=%.4g", strategies["greedy"], best),
+		})
+	}
+	return out
+}

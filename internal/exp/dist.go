@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/dist"
+	"repro/internal/tim"
+)
+
+func init() {
+	registry["dist"] = runDistScaling
+}
+
+// runDistScaling studies the §8 future-work direction implemented in
+// internal/dist: distributed TIM+ on P simulated machines versus the
+// single-machine implementation. The interesting columns are the
+// per-shard graph memory (the reason to distribute: it must fall as
+// ~1/P) and the network traffic paid for it (it grows with P). Seeds
+// and θ are invariant in P by construction, so solution quality columns
+// would be constant — the spread estimate is reported once to show it.
+func runDistScaling(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title: "Distributed TIM+ (simulated): shard count vs memory and traffic (NetHEPT profile, IC)",
+		Header: []string{"machines", "seconds", "max_shard_graph_MB", "net_messages",
+			"net_MB", "expand_round_trips", "theta", "spread_est"},
+	}
+	g, err := dataset("nethept", cfg.Scale, diffusion.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const k = 20
+
+	// Single-machine reference row (shards=0 denotes tim.Maximize).
+	start := time.Now()
+	ref, err := tim.Maximize(g, modelOf(diffusion.IC), tim.Options{
+		K: k, Epsilon: cfg.Epsilon, Workers: cfg.Workers, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Append("1 (tim.Maximize)", time.Since(start), float64(g.MemoryFootprint())/1e6,
+		0, 0.0, 0, ref.Theta, ref.SpreadEstimate)
+
+	for _, p := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res, err := dist.Maximize(g, modelOf(diffusion.IC), dist.Options{
+			K: k, Shards: p, Epsilon: cfg.Epsilon, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var maxShard int64
+		for _, b := range res.ShardMemoryBytes {
+			if b > maxShard {
+				maxShard = b
+			}
+		}
+		rep.Append(p, time.Since(start), float64(maxShard)/1e6,
+			res.Net.Messages, float64(res.Net.Bytes)/1e6,
+			res.Net.ExpandRequests, res.Theta, res.SpreadEstimate)
+	}
+	rep.Notes = append(rep.Notes,
+		"seeds and theta are shard-count invariant by construction (randomness keyed per (batch, RR id, node))",
+		fmt.Sprintf("single-machine graph footprint %.1f MB; per-shard footprint should fall ~1/P while traffic rises with P", float64(g.MemoryFootprint())/1e6))
+	return rep, nil
+}

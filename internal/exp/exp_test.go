@@ -1,0 +1,525 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// fastConfig keeps harness tests quick: tiny scale, small sweeps, loose
+// epsilon, tight caps.
+func fastConfig() Config {
+	return Config{
+		Scale:      gen.ScaleTiny,
+		Seed:       1,
+		KValues:    []int{1, 5},
+		EpsValues:  []float64{0.3, 0.4},
+		Epsilon:    0.3,
+		CelfR:      20,
+		RISCostCap: 200_000,
+		MCSamples:  500,
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"abl-epsprime", "abl-maxcover", "abl-refine", "abl-spill", "abl-workers",
+		"compete", "dist",
+		"fig10", "fig11", "fig12", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"headline", "table2",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestAblationRefine(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("abl-refine", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		ratio, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 1 {
+			t.Fatalf("refinement increased theta: %v", row)
+		}
+	}
+}
+
+func TestAblationSpill(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{3}
+	rep, err := Run("abl-spill", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	a, _ := strconv.ParseFloat(rep.Rows[0][4], 64)
+	b, _ := strconv.ParseFloat(rep.Rows[1][4], 64)
+	if a <= 0 || b <= 0 || b < 0.7*a || b > 1.3*a {
+		t.Fatalf("spread estimates diverge: in-memory %v vs spilled %v", a, b)
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	cfg := fastConfig()
+	rep, err := Run("headline", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		mc, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc < 50 {
+			t.Fatalf("headline spread %v below seed count", mc)
+		}
+	}
+}
+
+func TestAblationEpsPrime(t *testing.T) {
+	cfg := fastConfig()
+	rep, err := Run("abl-epsprime", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", fastConfig()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep, err := Run("table2", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows=%d, want 5 datasets", len(rep.Rows))
+	}
+	// Every synthetic n must match its profile at tiny scale.
+	for _, row := range rep.Rows {
+		p, err := gen.ProfileByName(row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != p.NodesAt(gen.ScaleTiny) {
+			t.Fatalf("%s: n=%d want %d", row[0], n, p.NodesAt(gen.ScaleTiny))
+		}
+	}
+}
+
+func TestFig3ShapeTIMvsBaselines(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models × 1 k × 4 algorithms.
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows=%d, want 8", len(rep.Rows))
+	}
+	times := map[string]float64{}
+	for _, row := range rep.Rows {
+		if row[0] == "IC" {
+			sec, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "s"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[row[2]] = sec
+		}
+	}
+	// The paper's ordering: TIM+ <= TIM << CELF++ (with our reduced R,
+	// CELF++ must still be slower than TIM+).
+	if !(times["TIM+"] <= times["TIM"]*3) {
+		t.Fatalf("TIM+ %v unexpectedly slower than 3x TIM %v", times["TIM+"], times["TIM"])
+	}
+	if times["CELF++"] < times["TIM+"] {
+		t.Fatalf("CELF++ %v faster than TIM+ %v — shape violated", times["CELF++"], times["TIM+"])
+	}
+}
+
+func TestFig4BreakdownSumsToTotal(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{1, 5} // non-default to skip the k-list override
+	rep, err := Run("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		var parts [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[2+i], "s"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[i] = v
+		}
+		sum := parts[0] + parts[1] + parts[2]
+		if sum > parts[3]*1.2+0.01 {
+			t.Fatalf("phase sum %v exceeds total %v: %v", sum, parts[3], row)
+		}
+	}
+}
+
+func TestFig5KptOrdering(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		key := row[0] + "/" + row[1]
+		if series[key] == nil {
+			series[key] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[key][row[2]] = v
+	}
+	for key, vals := range series {
+		if vals["KPT+"] < vals["KPT*"] {
+			t.Fatalf("%s: KPT+ %v < KPT* %v", key, vals["KPT+"], vals["KPT*"])
+		}
+		// KPT bounds must not exceed the methods' measured spreads by
+		// much (they lower-bound OPT).
+		if vals["KPT+"] > vals["TIM+_spread"]*1.3 {
+			t.Fatalf("%s: KPT+ %v above TIM+ spread %v", key, vals["KPT+"], vals["TIM+_spread"])
+		}
+	}
+}
+
+func TestFig7EpsilonMonotone(t *testing.T) {
+	cfg := fastConfig()
+	cfg.EpsValues = []float64{0.2, 0.5}
+	rep, err := Run("fig7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity only: report exists for all datasets/models/eps values.
+	want := len(largeProfiles) * 2 * len(cfg.EpsValues) * 2
+	if len(rep.Rows) != want {
+		t.Fatalf("rows=%d, want %d", len(rep.Rows), want)
+	}
+}
+
+func TestFig9SpreadComparable(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TIM+ should be no worse than 0.8x IRIE anywhere at this scale.
+	spreads := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		if spreads[row[0]] == nil {
+			spreads[row[0]] = map[string]float64{}
+		}
+		v, _ := strconv.ParseFloat(row[3], 64)
+		spreads[row[0]][row[2]] = v
+	}
+	for ds, vals := range spreads {
+		if vals["TIM+"] < 0.8*vals["IRIE"] {
+			t.Fatalf("%s: TIM+ spread %v far below IRIE %v", ds, vals["TIM+"], vals["IRIE"])
+		}
+	}
+}
+
+func TestFig6RowsComplete(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 datasets × 2 models × 1 k × 2 variants.
+	if len(rep.Rows) != 16 {
+		t.Fatalf("rows=%d, want 16", len(rep.Rows))
+	}
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("fig6 has no shape checks")
+	}
+	violated := 0
+	for _, f := range findings {
+		if !f.OK {
+			violated++
+			t.Logf("shape: %s (%s)", f.Claim, f.Got)
+		}
+	}
+	// Timing noise at tiny scale can flip individual cells; require the
+	// bulk of the claims to hold.
+	if violated > len(findings)/4 {
+		t.Fatalf("%d/%d fig6 shape claims violated", violated, len(findings))
+	}
+}
+
+func TestFig8CrossoverDirection(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{1, 50}
+	rep, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At k=1 IRIE should win on most datasets (the paper's small-k
+	// region); collect the ratio direction.
+	irieWinsAtK1, timWinsAtK50 := 0, 0
+	times := map[string]map[string]float64{} // dataset/k -> algo -> secs
+	for _, row := range rep.Rows {
+		key := row[0] + "/" + row[1]
+		if times[key] == nil {
+			times[key] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "s"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[key][row[2]] = v
+	}
+	for key, algos := range times {
+		if strings.HasSuffix(key, "/1") && algos["IRIE"] < algos["TIM+"] {
+			irieWinsAtK1++
+		}
+		if strings.HasSuffix(key, "/50") && algos["TIM+"] < algos["IRIE"] {
+			timWinsAtK50++
+		}
+	}
+	if irieWinsAtK1 < 3 {
+		t.Errorf("IRIE won at k=1 on only %d/4 datasets", irieWinsAtK1)
+	}
+	if timWinsAtK50 < 3 {
+		t.Errorf("TIM+ won at k=50 on only %d/4 datasets", timWinsAtK50)
+	}
+}
+
+func TestFig10TimPlusWinsAtLargeK(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{50}
+	rep, err := Run("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	times := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		if times[row[0]] == nil {
+			times[row[0]] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "s"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[row[0]][row[2]] = v
+	}
+	for _, algos := range times {
+		if algos["TIM+"] < algos["SIMPATH"] {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("TIM+ beat SIMPATH at k=50 on only %d/4 datasets", wins)
+	}
+}
+
+func TestFig12MemoryPositive(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5*2 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		mb, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mb <= 0 {
+			t.Fatalf("non-positive memory: %v", row)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "b"},
+	}
+	rep.Append("hello", 3.14159)
+	rep.Append(7, "world")
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hello") || !strings.Contains(out, "3.142") {
+		t.Fatalf("rendering: %q", out)
+	}
+	tsv := rep.TSV()
+	if !strings.HasPrefix(tsv, "a\tb\n") {
+		t.Fatalf("tsv: %q", tsv)
+	}
+}
+
+func TestDistExperimentShape(t *testing.T) {
+	cfg := fastConfig()
+	rep, err := Run("dist", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tim.Maximize reference row plus the four shard counts.
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("dist must register a shape check")
+	}
+	for _, f := range findings {
+		if !f.OK {
+			t.Fatalf("shape violated: %s (%s)", f.Claim, f.Got)
+		}
+	}
+}
+
+func TestCompeteExperimentShape(t *testing.T) {
+	cfg := fastConfig()
+	rep, err := Run("compete", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three strategies per k in {1, 5, 10}.
+	if len(rep.Rows) != 9 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("compete must register a shape check")
+	}
+	for _, f := range findings {
+		if !f.OK {
+			t.Fatalf("shape violated: %s (%s)", f.Claim, f.Got)
+		}
+	}
+	// Every adoption count must be positive: each party seeds at least
+	// one node.
+	for _, row := range rep.Rows {
+		inc, err1 := strconv.ParseFloat(row[2], 64)
+		ch, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || inc < 1 || ch < 1 {
+			t.Fatalf("implausible adoption counts in row %v", row)
+		}
+	}
+}
+
+func TestAblationWorkers(t *testing.T) {
+	rep, err := Run("abl-workers", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Every row's wall time must be positive.
+	for _, row := range rep.Rows {
+		if sec, _ := strconv.ParseFloat(strings.TrimSuffix(row[len(row)-1], "s"), 64); sec <= 0 {
+			t.Fatalf("non-positive wall time in %v", row)
+		}
+	}
+}
+
+func TestAblationMaxcover(t *testing.T) {
+	rep, err := Run("abl-maxcover", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows=%d, want one per RR-set count", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		speedup, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || speedup <= 0 {
+			t.Fatalf("bad speedup in %v: %v", row, err)
+		}
+	}
+	// A coverage mismatch beyond tie-breaking would be reported as a
+	// note by the experiment; surface any for the log.
+	for _, note := range rep.Notes {
+		t.Logf("note: %s", note)
+	}
+}
+
+func TestFig11TimPlusNoWorseThanSimpath(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{5}
+	rep, err := Run("fig11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		if spreads[row[0]] == nil {
+			spreads[row[0]] = map[string]float64{}
+		}
+		v, _ := strconv.ParseFloat(row[3], 64)
+		spreads[row[0]][row[2]] = v
+	}
+	for ds, vals := range spreads {
+		if vals["TIM+"] < 0.8*vals["SIMPATH"] {
+			t.Fatalf("%s: TIM+ LT spread %v far below SIMPATH %v", ds, vals["TIM+"], vals["SIMPATH"])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Epsilon != 0.1 || cfg.MCSamples != 10000 || cfg.CelfR != 200 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if len(cfg.KValues) == 0 || len(cfg.EpsValues) == 0 {
+		t.Fatal("sweep defaults missing")
+	}
+	if cfg.RISCostCap != 20_000_000 {
+		t.Fatalf("RIS cap default %d", cfg.RISCostCap)
+	}
+}

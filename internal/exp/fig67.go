@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/tim"
+)
+
+// largeProfiles are the four datasets of Figures 6 and 7.
+var largeProfiles = []string{"epinions", "dblp", "livejournal", "twitter"}
+
+// runFig6 reproduces Figure 6 (running time vs k of TIM and TIM+ on the
+// four large datasets, IC and LT).
+func runFig6(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Running time vs k on large profiles (TIM, TIM+; IC and LT)",
+		Header: []string{"dataset", "model", "k", "algorithm", "seconds"},
+	}
+	for _, name := range largeProfiles {
+		for _, kind := range []diffusion.Kind{diffusion.IC, diffusion.LT} {
+			g, err := dataset(name, cfg.Scale, kind, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			model := modelOf(kind)
+			for _, k := range cfg.KValues {
+				for _, variant := range []tim.Algorithm{tim.TIM, tim.TIMPlus} {
+					start := time.Now()
+					if _, err := tim.Maximize(g, model, tim.Options{
+						K: k, Epsilon: cfg.Epsilon, Variant: variant,
+						Workers: cfg.Workers, Seed: cfg.Seed,
+					}); err != nil {
+						return nil, err
+					}
+					rep.Append(name, kind, k, variant.String(), time.Since(start))
+				}
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("profiles generated at scale=%v; the paper runs the full crawls (see EXPERIMENTS.md for the shape comparison)", cfg.Scale),
+		"expected shape: TIM+ <= TIM everywhere; LT faster than IC; time tends to fall as k grows")
+	return rep, nil
+}
+
+// runFig7 reproduces Figure 7 (running time vs ε of TIM and TIM+ on the
+// four large datasets, IC and LT, k = 50).
+func runFig7(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Running time vs epsilon on large profiles (TIM, TIM+; k=50)",
+		Header: []string{"dataset", "model", "epsilon", "algorithm", "seconds"},
+	}
+	k := 50
+	for _, name := range largeProfiles {
+		for _, kind := range []diffusion.Kind{diffusion.IC, diffusion.LT} {
+			g, err := dataset(name, cfg.Scale, kind, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if k > g.N() {
+				k = g.N()
+			}
+			model := modelOf(kind)
+			for _, eps := range cfg.EpsValues {
+				for _, variant := range []tim.Algorithm{tim.TIM, tim.TIMPlus} {
+					start := time.Now()
+					if _, err := tim.Maximize(g, model, tim.Options{
+						K: k, Epsilon: eps, Variant: variant,
+						Workers: cfg.Workers, Seed: cfg.Seed,
+					}); err != nil {
+						return nil, err
+					}
+					rep.Append(name, kind, eps, variant.String(), time.Since(start))
+				}
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: time falls steeply as epsilon grows (theta is proportional to 1/eps^2)")
+	return rep, nil
+}

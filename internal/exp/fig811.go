@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/algo/irie"
+	"repro/internal/algo/simpath"
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/spread"
+	"repro/internal/tim"
+)
+
+// heuristicProfiles are the four datasets of Figures 8–11 (Twitter is
+// excluded in the paper because IRIE/SIMPATH exceed the machine's 48 GB).
+var heuristicProfiles = []string{"nethept", "epinions", "dblp", "livejournal"}
+
+// timPlusLoose runs TIM+ with ε = ℓ = 1, the §7.3 configuration that
+// trades guarantees for empirical speed when racing heuristics.
+func timPlusLoose(g *graph.Graph, model diffusion.Model, k, workers int, seed uint64) (*tim.Result, error) {
+	return tim.Maximize(g, model, tim.Options{
+		K: k, Epsilon: 1, Ell: 1, Variant: tim.TIMPlus,
+		Workers: workers, Seed: seed,
+	})
+}
+
+// runFig8 reproduces Figure 8 (running time vs k: TIM+ with ε=ℓ=1 versus
+// IRIE, IC model, four datasets).
+func runFig8(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Running time vs k under IC: TIM+ (eps=ell=1) vs IRIE",
+		Header: []string{"dataset", "k", "algorithm", "seconds"},
+	}
+	for _, name := range heuristicProfiles {
+		g, err := dataset(name, cfg.Scale, diffusion.IC, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model := modelOf(diffusion.IC)
+		for _, k := range cfg.KValues {
+			start := time.Now()
+			if _, err := timPlusLoose(g, model, k, cfg.Workers, cfg.Seed); err != nil {
+				return nil, err
+			}
+			rep.Append(name, k, "TIM+", time.Since(start))
+
+			start = time.Now()
+			if _, err := irie.Select(g, irie.Options{K: k}); err != nil {
+				return nil, err
+			}
+			rep.Append(name, k, "IRIE", time.Since(start))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: IRIE wins at small k; TIM+ flat-to-decreasing in k and ahead for k > 20")
+	return rep, nil
+}
+
+// runFig9 reproduces Figure 9 (expected spread vs k: TIM+ vs IRIE, IC).
+func runFig9(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Expected spread vs k under IC: TIM+ (eps=ell=1) vs IRIE",
+		Header: []string{"dataset", "k", "algorithm", "spread"},
+	}
+	for _, name := range heuristicProfiles {
+		g, err := dataset(name, cfg.Scale, diffusion.IC, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model := modelOf(diffusion.IC)
+		for _, k := range cfg.KValues {
+			timRes, err := timPlusLoose(g, model, k, cfg.Workers, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			irieRes, err := irie.Select(g, irie.Options{K: k})
+			if err != nil {
+				return nil, err
+			}
+			eval := func(seeds []uint32) float64 {
+				return spread.Estimate(g, model, seeds, spread.Options{
+					Samples: cfg.MCSamples, Workers: cfg.Workers, Seed: cfg.Seed + 999,
+				})
+			}
+			rep.Append(name, k, "TIM+", eval(timRes.Seeds))
+			rep.Append(name, k, "IRIE", eval(irieRes.Seeds))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: TIM+ spread >= IRIE everywhere, noticeably higher on the dblp/livejournal profiles")
+	return rep, nil
+}
+
+// runFig10 reproduces Figure 10 (running time vs k: TIM+ with ε=ℓ=1
+// versus SIMPATH, LT model, four datasets).
+func runFig10(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Running time vs k under LT: TIM+ (eps=ell=1) vs SIMPATH",
+		Header: []string{"dataset", "k", "algorithm", "seconds", "truncated"},
+	}
+	for _, name := range heuristicProfiles {
+		g, err := dataset(name, cfg.Scale, diffusion.LT, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model := modelOf(diffusion.LT)
+		for _, k := range cfg.KValues {
+			start := time.Now()
+			if _, err := timPlusLoose(g, model, k, cfg.Workers, cfg.Seed); err != nil {
+				return nil, err
+			}
+			rep.Append(name, k, "TIM+", time.Since(start), false)
+
+			start = time.Now()
+			spRes, err := simpath.Select(g, simpath.Options{K: k})
+			if err != nil {
+				return nil, err
+			}
+			rep.Append(name, k, "SIMPATH", time.Since(start), spRes.Truncated)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: TIM+ faster than SIMPATH by growing margins as k rises (three orders of magnitude at k=50 on the livejournal profile in the paper)")
+	return rep, nil
+}
+
+// runFig11 reproduces Figure 11 (expected spread vs k: TIM+ vs SIMPATH,
+// LT).
+func runFig11(cfg Config) (*Report, error) {
+	rep := &Report{
+		Title:  "Expected spread vs k under LT: TIM+ (eps=ell=1) vs SIMPATH",
+		Header: []string{"dataset", "k", "algorithm", "spread"},
+	}
+	for _, name := range heuristicProfiles {
+		g, err := dataset(name, cfg.Scale, diffusion.LT, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model := modelOf(diffusion.LT)
+		for _, k := range cfg.KValues {
+			timRes, err := timPlusLoose(g, model, k, cfg.Workers, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			spRes, err := simpath.Select(g, simpath.Options{K: k})
+			if err != nil {
+				return nil, err
+			}
+			eval := func(seeds []uint32) float64 {
+				return spread.Estimate(g, model, seeds, spread.Options{
+					Samples: cfg.MCSamples, Workers: cfg.Workers, Seed: cfg.Seed + 999,
+				})
+			}
+			rep.Append(name, k, "TIM+", eval(timRes.Seeds))
+			rep.Append(name, k, "SIMPATH", eval(spRes.Seeds))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: TIM+ spread no worse than SIMPATH, significantly higher on the livejournal profile")
+	return rep, nil
+}

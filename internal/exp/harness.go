@@ -1,0 +1,224 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§7) — Table 2 and Figures 3 through
+// 12 — on the synthetic dataset profiles. Each experiment is addressed by
+// the id used in DESIGN.md's per-experiment index ("table2", "fig3", ...,
+// "fig12") and produces a Report whose rows mirror the series the paper
+// plots.
+//
+// Scale and parameter knobs exist because the paper's runs take hours on
+// a 48 GB machine; the defaults keep a full sweep tractable on a laptop
+// while preserving the qualitative shape (who wins, by what order of
+// magnitude, where the crossovers fall). EXPERIMENTS.md records
+// paper-versus-measured for every experiment.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config holds the harness knobs shared by all experiments.
+type Config struct {
+	// Scale selects dataset profile size (default ScaleTiny).
+	Scale gen.Scale
+	// Seed drives dataset generation and every algorithm.
+	Seed uint64
+	// Workers is passed through to parallel samplers (0 = all cores).
+	Workers int
+
+	// KValues is the seed-set size sweep (default depends on the
+	// experiment; Figures 3-12 use {1,10,20,30,40,50}).
+	KValues []int
+	// EpsValues is Figure 7's ε sweep (default {0.1,0.2,0.3,0.4}).
+	EpsValues []float64
+	// Epsilon is the ε for experiments that fix it (default 0.1).
+	Epsilon float64
+
+	// CelfR is CELF++'s Monte-Carlo sample count (default 200 — the
+	// paper uses 10000, which is impractical inside a benchmark loop;
+	// EXPERIMENTS.md discusses the substitution).
+	CelfR int
+	// RISCostCap bounds RIS's examined nodes+edges (default 2e7). A
+	// faithful τ frequently exceeds any practical budget — that is the
+	// paper's point — so capped RIS rows are marked ">=" in reports.
+	RISCostCap int64
+	// MCSamples is the Monte-Carlo sample count for spread evaluation
+	// in Figures 5, 9, 11 (default 10000; the paper uses 1e5).
+	MCSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.KValues == nil {
+		c.KValues = []int{1, 10, 20, 30, 40, 50}
+	}
+	if c.EpsValues == nil {
+		c.EpsValues = []float64{0.1, 0.2, 0.3, 0.4}
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.CelfR == 0 {
+		c.CelfR = 200
+	}
+	if c.RISCostCap == 0 {
+		c.RISCostCap = 20_000_000
+	}
+	if c.MCSamples == 0 {
+		c.MCSamples = 10000
+	}
+	return c
+}
+
+// Report is one reproduced table or figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes document scaling substitutions and caps that applied.
+	Notes []string
+	// Elapsed is the wall-clock cost of producing the report.
+	Elapsed time.Duration
+}
+
+// Append adds a row, stringifying each cell with %v.
+func (r *Report) Append(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.4gs", v.Seconds())
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// WriteTo renders the report as an aligned text table.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s (%.3gs)\n", r.ID, r.Title, r.Elapsed.Seconds())
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", note)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// TSV renders the report as tab-separated values (header first).
+func (r *Report) TSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Header, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// runner is one experiment implementation.
+type runner func(cfg Config) (*Report, error)
+
+var registry = map[string]runner{
+	"table2": runTable2,
+	"fig3":   runFig3,
+	"fig4":   runFig4,
+	"fig5":   runFig5,
+	"fig6":   runFig6,
+	"fig7":   runFig7,
+	"fig8":   runFig8,
+	"fig9":   runFig9,
+	"fig10":  runFig10,
+	"fig11":  runFig11,
+	"fig12":  runFig12,
+}
+
+// IDs returns all experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Report, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rep, err := fn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.ID = id
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// dataset generates a profile instance and applies the model weighting
+// exactly as §7.1 prescribes: weighted cascade for IC, random-normalized
+// weights for LT.
+func dataset(name string, scale gen.Scale, model diffusion.Kind, seed uint64) (*graph.Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g := p.Generate(scale, seed)
+	switch model {
+	case diffusion.IC:
+		graph.AssignWeightedCascade(g)
+	case diffusion.LT:
+		graph.AssignRandomNormalizedLT(g, rng.New(seed+1))
+	default:
+		return nil, fmt.Errorf("exp: unsupported model kind %v", model)
+	}
+	return g, nil
+}
+
+func modelOf(kind diffusion.Kind) diffusion.Model {
+	if kind == diffusion.LT {
+		return diffusion.NewLT()
+	}
+	return diffusion.NewIC()
+}

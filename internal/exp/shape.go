@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shape checks: programmatic assertions of each figure's qualitative
+// claim ("who wins, by roughly what factor, where crossovers fall").
+// EXPERIMENTS.md narrates these; CheckShape makes them executable so a
+// regression that flips a figure's conclusion fails loudly — the LT
+// weight-normalization bug documented in EXPERIMENTS.md is exactly the
+// kind of failure these catch.
+
+// ShapeFinding is one checked claim.
+type ShapeFinding struct {
+	Claim string
+	OK    bool
+	Got   string
+}
+
+// CheckShape evaluates the registered claims for a report. Experiments
+// without registered claims return (nil, false).
+func CheckShape(rep *Report) ([]ShapeFinding, bool) {
+	check, ok := shapeChecks[rep.ID]
+	if !ok {
+		return nil, false
+	}
+	return check(rep), true
+}
+
+var shapeChecks = map[string]func(*Report) []ShapeFinding{
+	"fig3":  checkFig3Shape,
+	"fig5":  checkFig5Shape,
+	"fig6":  checkFig6Shape,
+	"fig12": checkFig12Shape,
+	"dist":  checkDistShape,
+}
+
+// cell parses a numeric cell, tolerating the "1.23s" duration suffix.
+func cell(row []string, i int) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "s"), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// checkFig3Shape: per (model, k), TIM+ <= TIM (with 1.5x slack for
+// timing noise) and CELF++ slower than TIM+.
+func checkFig3Shape(rep *Report) []ShapeFinding {
+	type key struct{ model, k string }
+	times := map[key]map[string]float64{}
+	for _, row := range rep.Rows {
+		k := key{row[0], row[1]}
+		if times[k] == nil {
+			times[k] = map[string]float64{}
+		}
+		times[k][row[2]] = cell(row, 3)
+	}
+	var out []ShapeFinding
+	for k, algos := range times {
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("%s k=%s: TIM+ <= 1.5x TIM", k.model, k.k),
+			OK:    algos["TIM+"] <= 1.5*algos["TIM"],
+			Got:   fmt.Sprintf("TIM+=%.3gs TIM=%.3gs", algos["TIM+"], algos["TIM"]),
+		})
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("%s k=%s: CELF++ slower than TIM+", k.model, k.k),
+			OK:    algos["CELF++"] >= algos["TIM+"],
+			Got:   fmt.Sprintf("CELF++=%.3gs TIM+=%.3gs", algos["CELF++"], algos["TIM+"]),
+		})
+	}
+	return out
+}
+
+// checkFig5Shape: per (model, k), the guaranteed methods' spreads agree
+// within 5%, KPT* <= KPT+ <= TIM+ spread, and per k the LT TIM+ spread
+// is at least the IC TIM+ spread (LT dominates weighted-cascade IC).
+func checkFig5Shape(rep *Report) []ShapeFinding {
+	vals := map[string]map[string]float64{} // model/k -> series -> value
+	for _, row := range rep.Rows {
+		mk := row[0] + "/" + row[1]
+		if vals[mk] == nil {
+			vals[mk] = map[string]float64{}
+		}
+		vals[mk][row[2]] = cell(row, 3)
+	}
+	var out []ShapeFinding
+	for mk, series := range vals {
+		timPlus := series["TIM+_spread"]
+		tim := series["TIM_spread"]
+		ris := series["RIS_spread"]
+		out = append(out, ShapeFinding{
+			Claim: mk + ": TIM/TIM+/RIS spreads within 5%",
+			OK: tim >= 0.95*timPlus && tim <= 1.05*timPlus &&
+				ris >= 0.95*timPlus && ris <= 1.05*timPlus,
+			Got: fmt.Sprintf("TIM+=%.4g TIM=%.4g RIS=%.4g", timPlus, tim, ris),
+		})
+		out = append(out, ShapeFinding{
+			Claim: mk + ": KPT* <= KPT+ <= 1.1x spread",
+			OK:    series["KPT*"] <= series["KPT+"] && series["KPT+"] <= 1.1*timPlus,
+			Got:   fmt.Sprintf("KPT*=%.4g KPT+=%.4g spread=%.4g", series["KPT*"], series["KPT+"], timPlus),
+		})
+	}
+	// LT >= 0.9x IC per k.
+	for mk, series := range vals {
+		if !strings.HasPrefix(mk, "LT/") {
+			continue
+		}
+		k := strings.TrimPrefix(mk, "LT/")
+		ic, ok := vals["IC/"+k]
+		if !ok {
+			continue
+		}
+		out = append(out, ShapeFinding{
+			Claim: "k=" + k + ": LT spread >= 0.9x IC spread",
+			OK:    series["TIM+_spread"] >= 0.9*ic["TIM+_spread"],
+			Got:   fmt.Sprintf("LT=%.4g IC=%.4g", series["TIM+_spread"], ic["TIM+_spread"]),
+		})
+	}
+	return out
+}
+
+// checkFig6Shape: per dataset/model/k, TIM+ <= 1.5x TIM; per dataset/k,
+// LT TIM+ <= IC TIM+ (LT sampling is cheaper).
+func checkFig6Shape(rep *Report) []ShapeFinding {
+	type key struct{ ds, model, k string }
+	times := map[key]map[string]float64{}
+	for _, row := range rep.Rows {
+		k := key{row[0], row[1], row[2]}
+		if times[k] == nil {
+			times[k] = map[string]float64{}
+		}
+		times[k][row[3]] = cell(row, 4)
+	}
+	var out []ShapeFinding
+	for k, algos := range times {
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("%s %s k=%s: TIM+ <= 1.5x TIM", k.ds, k.model, k.k),
+			OK:    algos["TIM+"] <= 1.5*algos["TIM"],
+			Got:   fmt.Sprintf("TIM+=%.3gs TIM=%.3gs", algos["TIM+"], algos["TIM"]),
+		})
+	}
+	for k, algos := range times {
+		if k.model != "LT" {
+			continue
+		}
+		ic, ok := times[key{k.ds, "IC", k.k}]
+		if !ok {
+			continue
+		}
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("%s k=%s: LT TIM+ <= 1.2x IC TIM+", k.ds, k.k),
+			OK:    algos["TIM+"] <= 1.2*ic["TIM+"],
+			Got:   fmt.Sprintf("LT=%.3gs IC=%.3gs", algos["TIM+"], ic["TIM+"]),
+		})
+	}
+	return out
+}
+
+// checkFig12Shape: per dataset/k, IC memory >= 0.9x LT memory (the
+// paper's IC > LT claim with noise slack).
+func checkFig12Shape(rep *Report) []ShapeFinding {
+	type key struct{ ds, k string }
+	mem := map[key]map[string]float64{}
+	for _, row := range rep.Rows {
+		k := key{row[0], row[2]}
+		if mem[k] == nil {
+			mem[k] = map[string]float64{}
+		}
+		mem[k][row[1]] = cell(row, 3)
+	}
+	var out []ShapeFinding
+	for k, models := range mem {
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("%s k=%s: IC memory >= 0.9x LT memory", k.ds, k.k),
+			OK:    models["IC"] >= 0.9*models["LT"],
+			Got:   fmt.Sprintf("IC=%.4gMB LT=%.4gMB", models["IC"], models["LT"]),
+		})
+	}
+	return out
+}
+
+// checkDistShape: the distributed rows (machines 1,2,4,8) must show the
+// trade the distribution buys — per-shard graph memory strictly falling
+// with P, network bytes rising with P — while θ and the spread estimate
+// stay invariant in P.
+func checkDistShape(rep *Report) []ShapeFinding {
+	type row struct {
+		machines       string
+		shardMB, netMB float64
+		theta, spread  float64
+	}
+	var rows []row
+	for _, r := range rep.Rows {
+		if strings.Contains(r[0], "tim.Maximize") {
+			continue // single-machine reference row
+		}
+		rows = append(rows, row{
+			machines: r[0],
+			shardMB:  cell(r, 2),
+			netMB:    cell(r, 4),
+			theta:    cell(r, 6),
+			spread:   cell(r, 7),
+		})
+	}
+	var out []ShapeFinding
+	for i := 1; i < len(rows); i++ {
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("P=%s: per-shard graph memory below P=%s", rows[i].machines, rows[i-1].machines),
+			OK:    rows[i].shardMB < rows[i-1].shardMB,
+			Got:   fmt.Sprintf("%.4g MB vs %.4g MB", rows[i].shardMB, rows[i-1].shardMB),
+		})
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("P=%s: network bytes above P=%s", rows[i].machines, rows[i-1].machines),
+			OK:    rows[i].netMB > rows[i-1].netMB,
+			Got:   fmt.Sprintf("%.4g MB vs %.4g MB", rows[i].netMB, rows[i-1].netMB),
+		})
+		out = append(out, ShapeFinding{
+			Claim: fmt.Sprintf("P=%s: theta and spread invariant vs P=%s", rows[i].machines, rows[i-1].machines),
+			OK:    rows[i].theta == rows[i-1].theta && rows[i].spread == rows[i-1].spread,
+			Got:   fmt.Sprintf("theta %.0f/%.0f spread %.4g/%.4g", rows[i].theta, rows[i-1].theta, rows[i].spread, rows[i-1].spread),
+		})
+	}
+	return out
+}

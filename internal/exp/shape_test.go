@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestShapeFig3(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{10}
+	rep, err := Run("fig3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, ok := CheckShape(rep)
+	if !ok || len(findings) == 0 {
+		t.Fatal("no shape checks ran")
+	}
+	for _, f := range findings {
+		if !f.OK {
+			t.Errorf("shape violated: %s (%s)", f.Claim, f.Got)
+		}
+	}
+}
+
+func TestShapeFig5(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{10}
+	cfg.MCSamples = 4000
+	rep, err := Run("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("no shape checks registered for fig5")
+	}
+	for _, f := range findings {
+		if !f.OK {
+			t.Errorf("shape violated: %s (%s)", f.Claim, f.Got)
+		}
+	}
+}
+
+func TestShapeFig12(t *testing.T) {
+	cfg := fastConfig()
+	cfg.KValues = []int{10}
+	rep, err := Run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("no shape checks registered for fig12")
+	}
+	for _, f := range findings {
+		if !f.OK {
+			t.Errorf("shape violated: %s (%s)", f.Claim, f.Got)
+		}
+	}
+}
+
+func TestShapeUnregistered(t *testing.T) {
+	rep := &Report{ID: "table2"}
+	if _, ok := CheckShape(rep); ok {
+		t.Fatal("table2 should have no shape checks")
+	}
+}
+
+func TestShapeSyntheticViolation(t *testing.T) {
+	// A hand-built fig3 report where CELF++ is faster than TIM+ must be
+	// flagged.
+	rep := &Report{ID: "fig3", Header: []string{"model", "k", "algorithm", "seconds", "capped"}}
+	rep.Append("IC", 10, "TIM", "1.0s", false)
+	rep.Append("IC", 10, "TIM+", "0.5s", false)
+	rep.Append("IC", 10, "RIS", "2.0s", true)
+	rep.Append("IC", 10, "CELF++", "0.1s", false)
+	findings, ok := CheckShape(rep)
+	if !ok {
+		t.Fatal("no checks ran")
+	}
+	violated := false
+	for _, f := range findings {
+		if !f.OK {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("synthetic violation not detected")
+	}
+}

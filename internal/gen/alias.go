@@ -1,0 +1,82 @@
+package gen
+
+import "repro/internal/rng"
+
+// AliasTable samples indices in O(1) from a fixed discrete distribution
+// using Walker's alias method. It backs the Chung–Lu generator, where
+// millions of edge endpoints are drawn from heavy-tailed weight vectors.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds a sampler over the given non-negative weights.
+// At least one weight must be positive; all-zero or empty input panics,
+// because a distribution cannot be formed.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("gen: negative weight in alias table")
+		}
+		total += w
+	}
+	if n == 0 || total == 0 {
+		panic("gen: alias table needs at least one positive weight")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the average is 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range scaled {
+		if w < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		// Numerical leftovers; treat as certain.
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Sample draws one index according to the table's distribution.
+func (t *AliasTable) Sample(r *rng.Rand) int {
+	i := r.Intn(len(t.prob))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }

@@ -1,0 +1,321 @@
+// Package gen produces synthetic graphs.
+//
+// The paper evaluates on five crawled social networks (Table 2). Those
+// datasets are external artifacts we cannot ship, so this package
+// synthesizes graphs whose *shape* matches each dataset: node count, edge
+// count, directed versus undirected, and a heavy-tailed degree
+// distribution. Every algorithm in this repository touches a graph only
+// through adjacency lists and edge probabilities, so matching those
+// dimensions reproduces the runtime and quality phenomena the paper
+// measures (see DESIGN.md §3 for the substitution argument).
+//
+// In addition to the dataset profiles, the package offers the classic
+// random-graph families (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+// planted-partition communities, directed Chung–Lu) and small deterministic
+// fixtures used throughout the test suites.
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ErdosRenyiGnm returns a directed G(n, m) graph: m edges drawn uniformly
+// at random with replacement (parallel edges and self-loops possible but
+// rare for sparse graphs).
+func ErdosRenyiGnm(n, m int, r *rng.Rand) *graph.Graph {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			From: uint32(r.Intn(n)),
+			To:   uint32(r.Intn(n)),
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// BarabasiAlbert grows an undirected preferential-attachment graph with
+// attach edges per new node, then mirrors each undirected edge into two
+// directed edges. The result has (n - seedClique) * attach undirected
+// edges plus the seed clique.
+func BarabasiAlbert(n, attach int, r *rng.Rand) *graph.Graph {
+	if attach < 1 {
+		attach = 1
+	}
+	if n < attach+1 {
+		n = attach + 1
+	}
+	// Repeated-nodes list implementation: each endpoint occurrence is one
+	// entry, so uniform sampling from the list is degree-proportional.
+	targets := make([]uint32, 0, 2*n*attach)
+	var und [][2]uint32
+	// Seed: a small clique of attach+1 nodes.
+	for i := 0; i <= attach; i++ {
+		for j := i + 1; j <= attach; j++ {
+			und = append(und, [2]uint32{uint32(i), uint32(j)})
+			targets = append(targets, uint32(i), uint32(j))
+		}
+	}
+	// chosen preserves first-draw order: iterating a map here would make
+	// the targets list — and with it every later degree-proportional
+	// draw — depend on the per-process map hash seed, breaking the
+	// determinism contract of seeded generators.
+	chosen := make([]uint32, 0, attach)
+	for v := attach + 1; v < n; v++ {
+		chosen = chosen[:0]
+	draw:
+		for len(chosen) < attach {
+			t := targets[r.Intn(len(targets))]
+			for _, c := range chosen {
+				if c == t {
+					continue draw
+				}
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			und = append(und, [2]uint32{uint32(v), t})
+			targets = append(targets, uint32(v), t)
+		}
+	}
+	edges := make([]graph.Edge, 0, 2*len(und))
+	for _, e := range und {
+		edges = append(edges, graph.Edge{From: e[0], To: e[1]}, graph.Edge{From: e[1], To: e[0]})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// WattsStrogatz builds an undirected small-world ring lattice with k
+// neighbors per side and rewiring probability beta, mirrored to directed
+// form. k is clamped to even and to at most n-1.
+func WattsStrogatz(n, k int, beta float64, r *rng.Rand) *graph.Graph {
+	if n < 3 {
+		n = 3
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k--
+	}
+	if k >= n {
+		k = n - 1
+		if k%2 == 1 {
+			k--
+		}
+	}
+	type pair struct{ a, b uint32 }
+	und := make([]pair, 0, n*k/2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			w := (v + j) % n
+			und = append(und, pair{uint32(v), uint32(w)})
+		}
+	}
+	for i := range und {
+		if r.Float64() < beta {
+			// Rewire the far endpoint to a uniform random node,
+			// avoiding a self-loop.
+			a := und[i].a
+			b := uint32(r.Intn(n))
+			for b == a {
+				b = uint32(r.Intn(n))
+			}
+			und[i].b = b
+		}
+	}
+	edges := make([]graph.Edge, 0, 2*len(und))
+	for _, e := range und {
+		edges = append(edges, graph.Edge{From: e.a, To: e.b}, graph.Edge{From: e.b, To: e.a})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// PlantedPartition builds a directed community graph with c equal-size
+// communities. Each ordered intra-community pair is an edge with
+// probability pIn and each inter-community pair with probability pOut,
+// sampled by geometric skipping so the cost is proportional to the number
+// of edges, not pairs.
+func PlantedPartition(n, c int, pIn, pOut float64, r *rng.Rand) *graph.Graph {
+	if c < 1 {
+		c = 1
+	}
+	community := make([]int, n)
+	for v := range community {
+		community[v] = v * c / n
+	}
+	var edges []graph.Edge
+	// Skip-sample over the n*n ordered-pair grid, switching probability by
+	// block membership. For simplicity and predictability, sample the two
+	// classes separately: iterate rows; within a row the intra-community
+	// columns form one contiguous block (communities are contiguous by
+	// construction).
+	for u := 0; u < n; u++ {
+		cu := community[u]
+		lo := cu * n / c
+		hi := (cu + 1) * n / c
+		edges = skipSampleRow(edges, u, lo, hi, pIn, n, r) // intra block
+		edges = skipSampleRow(edges, u, 0, lo, pOut, n, r) // left inter block
+		edges = skipSampleRow(edges, u, hi, n, pOut, n, r) // right inter block
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// skipSampleRow appends edges (u -> col) for cols in [lo, hi) hit by a
+// Bernoulli(p) process, using geometric jumps.
+func skipSampleRow(edges []graph.Edge, u, lo, hi int, p float64, n int, r *rng.Rand) []graph.Edge {
+	if p <= 0 || lo >= hi {
+		return edges
+	}
+	if p >= 1 {
+		for v := lo; v < hi; v++ {
+			if v != u {
+				edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v)})
+			}
+		}
+		return edges
+	}
+	logq := math.Log1p(-p)
+	v := lo
+	for {
+		// Geometric skip: number of failures before next success.
+		skip := int(math.Floor(r.Exp() / -logq))
+		v += skip
+		if v >= hi {
+			return edges
+		}
+		if v != u {
+			edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v)})
+		}
+		v++
+	}
+}
+
+// ChungLuDirected draws m directed edges whose endpoints follow
+// heavy-tailed weight sequences: sources ∝ rank^{-1/(gammaOut-1)}, targets
+// ∝ rank^{-1/(gammaIn-1)}. Rank-to-node assignment is randomized so node
+// ids carry no degree information. Self-loops and parallel edges may occur
+// with the frequency natural to the model.
+func ChungLuDirected(n, m int, gammaOut, gammaIn float64, r *rng.Rand) *graph.Graph {
+	outAlias := NewAliasTable(powerLawWeights(n, gammaOut))
+	inAlias := NewAliasTable(powerLawWeights(n, gammaIn))
+	outPerm := make([]int, n)
+	inPerm := make([]int, n)
+	r.Perm(outPerm)
+	r.Perm(inPerm)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			From: uint32(outPerm[outAlias.Sample(r)]),
+			To:   uint32(inPerm[inAlias.Sample(r)]),
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// ChungLuUndirected draws mUndirected undirected edges from one
+// heavy-tailed weight sequence and mirrors them, giving 2*mUndirected
+// directed edges.
+func ChungLuUndirected(n, mUndirected int, gamma float64, r *rng.Rand) *graph.Graph {
+	alias := NewAliasTable(powerLawWeights(n, gamma))
+	perm := make([]int, n)
+	r.Perm(perm)
+	edges := make([]graph.Edge, 0, 2*mUndirected)
+	for i := 0; i < mUndirected; i++ {
+		a := uint32(perm[alias.Sample(r)])
+		b := uint32(perm[alias.Sample(r)])
+		edges = append(edges, graph.Edge{From: a, To: b}, graph.Edge{From: b, To: a})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// powerLawWeights returns ranked weights w_i = (i + i0)^(-1/(gamma-1)),
+// which induce an expected degree distribution with power-law exponent
+// gamma. The offset i0 caps the maximum expected degree at a realistic
+// multiple of the average.
+func powerLawWeights(n int, gamma float64) []float64 {
+	if gamma <= 1 {
+		gamma = 2.1
+	}
+	alpha := 1 / (gamma - 1)
+	i0 := math.Max(1, float64(n)*0.001)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i)+i0, -alpha)
+	}
+	return w
+}
+
+// Deterministic fixtures (used heavily in tests).
+
+// Path returns the directed path 0 -> 1 -> ... -> n-1 with weight p.
+func Path(n int, p float32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{From: uint32(v), To: uint32(v + 1), Weight: p})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Cycle returns the directed cycle over n nodes with weight p.
+func Cycle(n int, p float32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{From: uint32(v), To: uint32((v + 1) % n), Weight: p})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Star returns a star with node 0 pointing at nodes 1..n-1 with weight p.
+func Star(n int, p float32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: uint32(v), Weight: p})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// InStar returns a star with nodes 1..n-1 pointing at node 0 with weight p.
+func InStar(n int, p float32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{From: uint32(v), To: 0, Weight: p})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Complete returns the complete directed graph (no self-loops) with
+// weight p on every edge.
+func Complete(n int, p float32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n*(n-1))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: p})
+			}
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// TwoCliquesBridge returns two complete directed cliques of size half
+// joined by a single bridge edge from the last node of the first clique to
+// the first node of the second. Useful for testing that seed selection
+// spreads across components.
+func TwoCliquesBridge(half int, p float32) *graph.Graph {
+	n := 2 * half
+	var edges []graph.Edge
+	for base := 0; base < n; base += half {
+		for u := base; u < base+half; u++ {
+			for v := base; v < base+half; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: p})
+				}
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{From: uint32(half - 1), To: uint32(half), Weight: p})
+	return graph.MustFromEdges(n, edges)
+}

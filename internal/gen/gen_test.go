@@ -1,0 +1,303 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestAliasTableUniform(t *testing.T) {
+	tab := NewAliasTable([]float64{1, 1, 1, 1})
+	r := rng.New(1)
+	counts := make([]int, 4)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[tab.Sample(r)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-trials/4) > trials/4*0.05 {
+			t.Fatalf("outcome %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestAliasTableSkewed(t *testing.T) {
+	tab := NewAliasTable([]float64{9, 1})
+	r := rng.New(2)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if tab.Sample(r) == 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.9) > 0.01 {
+		t.Fatalf("skewed alias rate %v, want 0.9", rate)
+	}
+}
+
+func TestAliasTableZeroWeightNeverSampled(t *testing.T) {
+	tab := NewAliasTable([]float64{1, 0, 1})
+	r := rng.New(3)
+	for i := 0; i < 10000; i++ {
+		if tab.Sample(r) == 1 {
+			t.Fatal("zero-weight outcome sampled")
+		}
+	}
+}
+
+func TestAliasTablePanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v: expected panic", weights)
+				}
+			}()
+			NewAliasTable(weights)
+		}()
+	}
+}
+
+func TestErdosRenyiGnm(t *testing.T) {
+	g := ErdosRenyiGnm(100, 500, rng.New(1))
+	if g.N() != 100 || g.M() != 500 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, rng.New(1))
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Undirected: every edge mirrored, so in-degree equals out-degree.
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if g.InDegree(v) != g.OutDegree(v) {
+			t.Fatalf("node %d: in %d != out %d", v, g.InDegree(v), g.OutDegree(v))
+		}
+	}
+	// Preferential attachment should produce a hub much larger than the
+	// average degree.
+	stats := graph.ComputeStats(g)
+	if stats.MaxOutDegree < 3*int(stats.AverageDegree) {
+		t.Fatalf("no hub: max %d avg %.1f", stats.MaxOutDegree, stats.AverageDegree)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 4, 0.1, rng.New(1))
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() != 2*200*4/2 {
+		t.Fatalf("m=%d, want %d", g.M(), 2*200*4/2)
+	}
+}
+
+func TestWattsStrogatzClamps(t *testing.T) {
+	// Degenerate parameters must not panic.
+	g := WattsStrogatz(2, 7, 0.5, rng.New(1))
+	if g.N() < 3 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+func TestPlantedPartitionDensity(t *testing.T) {
+	const n, c = 300, 3
+	g := PlantedPartition(n, c, 0.1, 0.001, rng.New(5))
+	if g.N() != n {
+		t.Fatalf("n=%d", g.N())
+	}
+	intra, inter := 0, 0
+	community := func(v uint32) int { return int(v) * c / n }
+	for _, e := range g.Edges() {
+		if community(e.From) == community(e.To) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	// Expected intra ≈ 3 * 100*99 * 0.1 ≈ 2970, inter ≈ 60000*2*... small.
+	if intra < 2000 || intra > 4000 {
+		t.Fatalf("intra-community edges %d outside expected band", intra)
+	}
+	if inter > intra/2 {
+		t.Fatalf("inter-community edges %d too dense vs intra %d", inter, intra)
+	}
+}
+
+func TestPlantedPartitionExtremes(t *testing.T) {
+	// p=0 everywhere: no edges.
+	g := PlantedPartition(50, 5, 0, 0, rng.New(1))
+	if g.M() != 0 {
+		t.Fatalf("m=%d, want 0", g.M())
+	}
+	// pIn=1, pOut=0: each community is a complete directed subgraph.
+	g = PlantedPartition(20, 2, 1, 0, rng.New(1))
+	want := 2 * 10 * 9
+	if g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+}
+
+func TestChungLuDirectedShape(t *testing.T) {
+	g := ChungLuDirected(2000, 20000, 2.4, 2.1, rng.New(9))
+	if g.N() != 2000 || g.M() != 20000 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	stats := graph.ComputeStats(g)
+	// Heavy tail: the 99th percentile out-degree should far exceed the median.
+	if stats.DegreePercentiles[2] < 3*stats.DegreePercentiles[0] {
+		t.Fatalf("degree distribution not heavy-tailed: %+v", stats.DegreePercentiles)
+	}
+	if stats.MaxInDegree < 50 {
+		t.Fatalf("expected an in-degree hub, max in-degree %d", stats.MaxInDegree)
+	}
+}
+
+func TestChungLuUndirectedMirrored(t *testing.T) {
+	g := ChungLuUndirected(500, 2000, 2.5, rng.New(11))
+	if g.M() != 4000 {
+		t.Fatalf("m=%d, want 4000 directed", g.M())
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if g.InDegree(v) != g.OutDegree(v) {
+			t.Fatalf("node %d: in %d != out %d", v, g.InDegree(v), g.OutDegree(v))
+		}
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	if g := Path(5, 0.5); g.M() != 4 || g.OutDegree(4) != 0 || g.InDegree(0) != 0 {
+		t.Fatal("Path shape wrong")
+	}
+	if g := Cycle(5, 0.5); g.M() != 5 || g.InDegree(0) != 1 {
+		t.Fatal("Cycle shape wrong")
+	}
+	if g := Star(5, 0.5); g.OutDegree(0) != 4 || g.InDegree(0) != 0 {
+		t.Fatal("Star shape wrong")
+	}
+	if g := InStar(5, 0.5); g.InDegree(0) != 4 || g.OutDegree(0) != 0 {
+		t.Fatal("InStar shape wrong")
+	}
+	if g := Complete(4, 0.5); g.M() != 12 {
+		t.Fatal("Complete shape wrong")
+	}
+	if g := TwoCliquesBridge(3, 0.5); g.M() != 2*6+1 || g.N() != 6 {
+		t.Fatal("TwoCliquesBridge shape wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, err := ProfileByName("nethept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := p.Generate(ScaleTiny, 42)
+	g2 := p.Generate(ScaleTiny, 42)
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatal("same seed produced different sizes")
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	g3 := p.Generate(ScaleTiny, 43)
+	same := g3.M() == g1.M()
+	if same {
+		d := 0
+		e3 := g3.Edges()
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				d++
+			}
+		}
+		if d == 0 {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestProfilesMatchTable2Shape(t *testing.T) {
+	for _, p := range Profiles() {
+		g := p.Generate(ScaleTiny, 1)
+		if g.N() != p.NodesAt(ScaleTiny) {
+			t.Fatalf("%s: n=%d want %d", p.Name, g.N(), p.NodesAt(ScaleTiny))
+		}
+		if g.M() != p.DirectedEdgesAt(ScaleTiny) {
+			t.Fatalf("%s: m=%d want %d", p.Name, g.M(), p.DirectedEdgesAt(ScaleTiny))
+		}
+		// Average directed degree should be within 2x of the paper's
+		// average-degree column interpretation at this scale (tiny
+		// scales clamp edges up so allow slack).
+		if !p.Directed {
+			for v := uint32(0); int(v) < g.N(); v++ {
+				if g.InDegree(v) != g.OutDegree(v) {
+					t.Fatalf("%s: undirected profile asymmetric at node %d", p.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("orkut"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+	}{{"tiny", ScaleTiny}, {"SMALL", ScaleSmall}, {"Full", ScaleFull}} {
+		got, err := ParseScale(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseScale(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if ScaleTiny.String() != "tiny" || Scale(9).String() == "" {
+		t.Fatal("Scale.String broken")
+	}
+}
+
+// Property: alias table sampling frequencies converge to the weights.
+func TestAliasTableFrequenciesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		weights := make([]float64, n)
+		var total float64
+		for i := range weights {
+			weights[i] = float64(1 + r.Intn(10))
+			total += weights[i]
+		}
+		tab := NewAliasTable(weights)
+		counts := make([]int, n)
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			counts[tab.Sample(r)]++
+		}
+		for i := range weights {
+			want := weights[i] / total
+			got := float64(counts[i]) / trials
+			if math.Abs(got-want) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// StochasticKronecker samples a directed graph from the stochastic
+// Kronecker model (Leskovec et al.): the adjacency probability matrix is
+// the iterations-fold Kronecker power of a 2×2 initiator
+//
+//	[ a b ]
+//	[ c d ]
+//
+// with a,b,c,d ∈ [0,1]. The graph has n = 2^iterations nodes and
+// approximately (a+b+c+d)^iterations expected edges; edges are placed
+// with the standard ball-dropping procedure (one descent through the
+// initiator per edge), which samples from a close approximation of the
+// model. Kronecker graphs reproduce the heavy tails, densification, and
+// core-periphery structure of real social networks, complementing the
+// Chung–Lu profiles used for Table 2.
+func StochasticKronecker(iterations int, a, b, c, d float64, edges int, r *rng.Rand) *graph.Graph {
+	if iterations < 1 {
+		iterations = 1
+	}
+	if iterations > 30 {
+		iterations = 30
+	}
+	n := 1 << uint(iterations)
+	total := a + b + c + d
+	if total <= 0 {
+		return graph.MustFromEdges(n, nil)
+	}
+	pa, pb, pc := a/total, b/total, c/total
+	es := make([]graph.Edge, edges)
+	for i := range es {
+		var row, col int
+		for level := 0; level < iterations; level++ {
+			x := r.Float64()
+			row <<= 1
+			col <<= 1
+			switch {
+			case x < pa:
+				// top-left: no bits set
+			case x < pa+pb:
+				col |= 1
+			case x < pa+pb+pc:
+				row |= 1
+			default:
+				row |= 1
+				col |= 1
+			}
+		}
+		es[i] = graph.Edge{From: uint32(row), To: uint32(col)}
+	}
+	return graph.MustFromEdges(n, es)
+}
+
+// ForestFire grows a directed graph with the forest-fire model
+// (Leskovec, Kleinberg, Faloutsos): each new node links to a uniformly
+// chosen ambassador, then recursively "burns" through the ambassador's
+// out- and in-links with forward probability p and backward probability
+// pb·p, linking to every burned node. Forest-fire graphs show the
+// densification and shrinking-diameter behaviour of real social
+// networks.
+func ForestFire(n int, p, backward float64, r *rng.Rand) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.99 {
+		p = 0.99 // keep the expected burn size finite
+	}
+	type adj struct{ out, in []uint32 }
+	nodes := make([]adj, n)
+	var edges []graph.Edge
+	addEdge := func(from, to uint32) {
+		edges = append(edges, graph.Edge{From: from, To: to})
+		nodes[from].out = append(nodes[from].out, to)
+		nodes[to].in = append(nodes[to].in, from)
+	}
+	burned := make([]bool, n)
+	var frontier, toClear []uint32
+	// geometric draws the number of links burned from one list:
+	// Geometric(1-p) successes.
+	geometric := func(prob float64) int {
+		if prob <= 0 {
+			return 0
+		}
+		count := 0
+		for r.Float64() < prob {
+			count++
+		}
+		return count
+	}
+	for v := 1; v < n; v++ {
+		ambassador := uint32(r.Intn(v))
+		frontier = frontier[:0]
+		toClear = toClear[:0]
+		frontier = append(frontier, ambassador)
+		burned[ambassador] = true
+		toClear = append(toClear, ambassador)
+		for head := 0; head < len(frontier); head++ {
+			u := frontier[head]
+			// Burn forward links.
+			burnFrom(&frontier, &toClear, burned, nodes[u].out, geometric(p), r)
+			// Burn backward links with damped probability.
+			burnFrom(&frontier, &toClear, burned, nodes[u].in, geometric(p*backward), r)
+		}
+		for _, u := range frontier {
+			addEdge(uint32(v), u)
+		}
+		for _, u := range toClear {
+			burned[u] = false
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// burnFrom picks up to count distinct unburned nodes from candidates and
+// appends them to the frontier.
+func burnFrom(frontier, toClear *[]uint32, burned []bool, candidates []uint32, count int, r *rng.Rand) {
+	if count <= 0 || len(candidates) == 0 {
+		return
+	}
+	if count > len(candidates) {
+		count = len(candidates)
+	}
+	// Sample without replacement via partial Fisher-Yates over a copy
+	// of the indices (candidate lists are small).
+	idx := make([]int, len(candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	for s := 0; s < count; s++ {
+		j := s + r.Intn(len(idx)-s)
+		idx[s], idx[j] = idx[j], idx[s]
+		u := candidates[idx[s]]
+		if !burned[u] {
+			burned[u] = true
+			*frontier = append(*frontier, u)
+			*toClear = append(*toClear, u)
+		}
+	}
+}
+
+// ExpectedKroneckerEdges returns the expected edge count of the full
+// stochastic Kronecker model for the given initiator and iteration
+// count: (a+b+c+d)^iterations.
+func ExpectedKroneckerEdges(iterations int, a, b, c, d float64) float64 {
+	return math.Pow(a+b+c+d, float64(iterations))
+}

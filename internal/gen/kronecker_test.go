@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestStochasticKroneckerShape(t *testing.T) {
+	g := StochasticKronecker(12, 0.9, 0.5, 0.5, 0.2, 40000, rng.New(1))
+	if g.N() != 1<<12 {
+		t.Fatalf("n=%d, want %d", g.N(), 1<<12)
+	}
+	if g.M() != 40000 {
+		t.Fatalf("m=%d", g.M())
+	}
+	st := graph.ComputeStats(g)
+	// Kronecker with a dominant top-left block concentrates degree on
+	// low node ids — heavy-tailed out-degree expected.
+	if st.MaxOutDegree < 10*int(st.AverageDegree) {
+		t.Fatalf("no hub: max out %d avg %.1f", st.MaxOutDegree, st.AverageDegree)
+	}
+}
+
+func TestStochasticKroneckerClamps(t *testing.T) {
+	g := StochasticKronecker(0, 0.5, 0.5, 0.5, 0.5, 10, rng.New(2))
+	if g.N() != 2 {
+		t.Fatalf("iterations clamp: n=%d", g.N())
+	}
+	g = StochasticKronecker(3, 0, 0, 0, 0, 10, rng.New(3))
+	if g.M() != 0 {
+		t.Fatalf("zero initiator should yield no edges, m=%d", g.M())
+	}
+}
+
+func TestStochasticKroneckerDeterministic(t *testing.T) {
+	a := StochasticKronecker(8, 0.9, 0.5, 0.5, 0.2, 1000, rng.New(7))
+	b := StochasticKronecker(8, 0.9, 0.5, 0.5, 0.2, 1000, rng.New(7))
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestExpectedKroneckerEdges(t *testing.T) {
+	got := ExpectedKroneckerEdges(10, 0.9, 0.5, 0.5, 0.2)
+	want := math.Pow(2.1, 10)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("expected edges %v, want %v", got, want)
+	}
+}
+
+func TestForestFireBasics(t *testing.T) {
+	g := ForestFire(2000, 0.35, 0.3, rng.New(4))
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Every non-root node must have at least one out-edge (to its
+	// ambassador's burn set).
+	for v := uint32(1); int(v) < g.N(); v++ {
+		if g.OutDegree(v) == 0 {
+			t.Fatalf("node %d has no out-edges", v)
+		}
+	}
+	// Densification: average degree must exceed 1 (pure ambassador
+	// linking would give exactly 1).
+	st := graph.ComputeStats(g)
+	if st.AverageDegree <= 1.01 {
+		t.Fatalf("no densification: avg degree %.2f", st.AverageDegree)
+	}
+	// In-degree skew: early nodes accumulate burns.
+	if st.MaxInDegree < 5 {
+		t.Fatalf("max in-degree %d suspiciously flat", st.MaxInDegree)
+	}
+}
+
+func TestForestFireEdgesPointBackward(t *testing.T) {
+	g := ForestFire(300, 0.3, 0.2, rng.New(5))
+	for _, e := range g.Edges() {
+		if e.From <= e.To {
+			t.Fatalf("edge %d->%d: forest fire links newer to older only", e.From, e.To)
+		}
+	}
+}
+
+func TestForestFireExtremes(t *testing.T) {
+	// p=0: exactly one edge per new node (the ambassador link).
+	g := ForestFire(100, 0, 0, rng.New(6))
+	if g.M() != 99 {
+		t.Fatalf("p=0: m=%d, want 99", g.M())
+	}
+	// Degenerate n clamps.
+	g = ForestFire(1, 0.5, 0.5, rng.New(7))
+	if g.N() != 2 {
+		t.Fatalf("n clamp: %d", g.N())
+	}
+	// High p clamps rather than burning forever.
+	g = ForestFire(200, 5, 0.1, rng.New(8))
+	if g.N() != 200 {
+		t.Fatalf("high p: n=%d", g.N())
+	}
+}
+
+func TestForestFireRunsWithTIMStack(t *testing.T) {
+	// The generated graph must be a valid substrate for the full stack.
+	g := ForestFire(500, 0.3, 0.3, rng.New(9))
+	graph.AssignWeightedCascade(g)
+	st := graph.ComputeStats(g)
+	if st.Edges != g.M() {
+		t.Fatalf("stats disagree: %+v", st)
+	}
+}

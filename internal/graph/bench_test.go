@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomEdges(n, m int, seed uint64) []Edge {
+	r := rng.New(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			From:   uint32(r.Intn(n)),
+			To:     uint32(r.Intn(n)),
+			Weight: r.Float32(),
+		}
+	}
+	return edges
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	const n, m = 100_000, 1_000_000
+	edges := randomEdges(n, m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m), "edges/op")
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	g := MustFromEdges(50_000, randomEdges(50_000, 500_000, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Transpose()
+	}
+}
+
+func BenchmarkAssignWeightedCascade(b *testing.B) {
+	g := MustFromEdges(50_000, randomEdges(50_000, 500_000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AssignWeightedCascade(g)
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := MustFromEdges(50_000, randomEdges(50_000, 500_000, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeStats(g)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := MustFromEdges(50_000, randomEdges(50_000, 250_000, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = StronglyConnectedComponents(g)
+	}
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers. `go test` runs the seed corpus as
+// regular unit tests; `go test -fuzz=FuzzReadEdgeList ./internal/graph`
+// explores further. The invariant under test is total robustness: any
+// byte input either parses into a graph satisfying the CSR invariants
+// or returns an error — never a panic, never an unbounded allocation.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n% other comment\n\n0 1 0.5\n")
+	f.Add("0 0 1.0\n")                // self-loop, certain
+	f.Add("3 4 0.25\n3 4 0.5\n")      // parallel edges
+	f.Add("0 1 1.5\n")                // weight out of range
+	f.Add("0 1 NaN\n")                // weight NaN
+	f.Add("0\n")                      // too few fields
+	f.Add("0 1 2 3\n")                // too many fields
+	f.Add("a b\n")                    // non-numeric
+	f.Add("-1 2\n")                   // negative id
+	f.Add("4294967295 0\n")           // max uint32 id
+	f.Add("18446744073709551616 0\n") // uint64 overflow
+	f.Add(strings.Repeat("1 2\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		// Huge endpoint ids are legal syntax but imply graphs with
+		// billions of implicit nodes; skip them to keep the CSR
+		// allocation bounded during fuzzing (ReadEdgeListN covers the
+		// validated-range path below).
+		for _, fields := range strings.Fields(input) {
+			if len(fields) > 6 && !strings.ContainsAny(fields, "#%") {
+				return
+			}
+		}
+		for _, undirected := range []bool{false, true} {
+			g, err := ReadEdgeList(strings.NewReader(input), undirected)
+			if err != nil {
+				continue
+			}
+			checkGraphInvariants(t, g)
+			// Round-trip: writing and reparsing must preserve the graph.
+			var buf bytes.Buffer
+			if err := WriteEdgeList(&buf, g); err != nil {
+				t.Fatalf("write after successful parse: %v", err)
+			}
+			g2, err := ReadEdgeListN(&buf, false, g.N())
+			if err != nil {
+				t.Fatalf("reparse after write: %v", err)
+			}
+			if g2.N() != g.N() || g2.M() != g.M() {
+				t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+			}
+		}
+		// The fixed-n variant must reject out-of-range endpoints rather
+		// than grow the graph.
+		if g, err := ReadEdgeListN(strings.NewReader(input), false, 8); err == nil {
+			if g.N() != 8 {
+				t.Fatalf("ReadEdgeListN ignored n: %d", g.N())
+			}
+			checkGraphInvariants(t, g)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Valid two-edge file.
+	var valid bytes.Buffer
+	g := MustFromEdges(3, []Edge{{From: 0, To: 1, Weight: 0.5}, {From: 2, To: 0, Weight: 1}})
+	if err := WriteBinary(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})                   // empty
+	f.Add([]byte("TIMG"))             // magic only
+	f.Add([]byte("XXXX\x00\x00\x00")) // wrong magic
+	// Header claiming far more edges than the stream carries.
+	lying := append([]byte{}, valid.Bytes()...)
+	binary.LittleEndian.PutUint64(lying[16:], 1<<60)
+	f.Add(lying)
+	// Header claiming an absurd node count.
+	bigN := append([]byte{}, valid.Bytes()...)
+	binary.LittleEndian.PutUint64(bigN[8:], 1<<40)
+	f.Add(bigN)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return
+		}
+		// Cap the declared node count: a legitimate giant graph may
+		// demand terabytes of CSR, which is not what robustness fuzzing
+		// should measure.
+		if len(input) >= 16 {
+			if n := binary.LittleEndian.Uint64(input[8:16]); n > 1<<22 {
+				return
+			}
+		}
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		checkGraphInvariants(t, g)
+		// Round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("reparse after write: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// checkGraphInvariants asserts the CSR structure is internally
+// consistent: degrees sum to m in both directions, every adjacency
+// entry is in range, every weight is in [0, 1], and forward/reverse
+// views agree edge for edge.
+func checkGraphInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	n, m := g.N(), g.M()
+	var outSum, inSum int
+	type edge struct {
+		from, to uint32
+		w        float32
+	}
+	fwd := make(map[edge]int)
+	for u := uint32(0); int(u) < n; u++ {
+		to, w := g.OutNeighbors(u)
+		outSum += len(to)
+		for i := range to {
+			if int(to[i]) >= n {
+				t.Fatalf("out-neighbor %d of %d outside [0,%d)", to[i], u, n)
+			}
+			if !(w[i] >= 0 && w[i] <= 1) {
+				t.Fatalf("weight %v on edge %d->%d outside [0,1]", w[i], u, to[i])
+			}
+			fwd[edge{u, to[i], w[i]}]++
+		}
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		src, w := g.InNeighbors(v)
+		inSum += len(src)
+		for i := range src {
+			if int(src[i]) >= n {
+				t.Fatalf("in-neighbor %d of %d outside [0,%d)", src[i], v, n)
+			}
+			e := edge{src[i], v, w[i]}
+			if fwd[e] == 0 {
+				t.Fatalf("reverse edge %d->%d (w=%v) missing from forward view", src[i], v, w[i])
+			}
+			fwd[e]--
+		}
+	}
+	if outSum != m || inSum != m {
+		t.Fatalf("degree sums %d/%d != m=%d", outSum, inSum, m)
+	}
+}

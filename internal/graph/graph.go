@@ -1,0 +1,271 @@
+// Package graph provides the directed-graph substrate shared by every
+// influence-maximization algorithm in this repository.
+//
+// A Graph is stored in compressed sparse row (CSR) form twice: once over
+// out-edges (forward adjacency, used by forward cascade simulation) and once
+// over in-edges (reverse adjacency, used by reverse-reachable-set sampling —
+// the paper's G^T). Each directed edge carries a float32 weight whose
+// meaning depends on the diffusion model: the propagation probability p(e)
+// under independent cascade, or the influence weight b(u,v) under linear
+// threshold. Both copies of an edge always carry the same weight.
+//
+// Node identifiers are dense uint32 values in [0, N()).
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is one directed edge with an attached weight. The zero Weight is
+// meaningful ("never propagates"), so builders leave weights untouched
+// unless a weighting strategy is applied afterwards.
+type Edge struct {
+	From   uint32
+	To     uint32
+	Weight float32
+}
+
+// Graph is an immutable-topology directed graph. Weights are mutable via
+// the weighting strategies in this package; topology is fixed at build time.
+type Graph struct {
+	n int // number of nodes
+	m int // number of directed edges
+
+	// Forward CSR: out-edges of node u live at outTo[outOff[u]:outOff[u+1]].
+	outOff []int64
+	outTo  []uint32
+	outW   []float32
+
+	// Reverse CSR: in-edges of node v live at inSrc[inOff[v]:inOff[v+1]].
+	inOff []int64
+	inSrc []uint32
+	inW   []float32
+
+	// inToOut maps a position in the reverse CSR to the position of the
+	// same edge in the forward CSR, so per-in-edge weight updates can be
+	// mirrored exactly even in the presence of parallel edges.
+	inToOut []int64
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.m }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u uint32) int {
+	return int(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v uint32) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutNeighbors returns the targets and weights of u's out-edges. The
+// returned slices alias internal storage and must not be modified.
+func (g *Graph) OutNeighbors(u uint32) ([]uint32, []float32) {
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	return g.outTo[lo:hi], g.outW[lo:hi]
+}
+
+// InNeighbors returns the sources and weights of v's in-edges. The returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) InNeighbors(v uint32) ([]uint32, []float32) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inSrc[lo:hi], g.inW[lo:hi]
+}
+
+// Edges returns a fresh slice of all edges in forward-CSR order.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := uint32(0); int(u) < g.n; u++ {
+		lo, hi := g.outOff[u], g.outOff[u+1]
+		for i := lo; i < hi; i++ {
+			edges = append(edges, Edge{From: u, To: g.outTo[i], Weight: g.outW[i]})
+		}
+	}
+	return edges
+}
+
+// MaxInDegree returns the largest in-degree in the graph (0 for empty).
+func (g *Graph) MaxInDegree() int {
+	best := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		if d := g.InDegree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MaxOutDegree returns the largest out-degree in the graph (0 for empty).
+func (g *Graph) MaxOutDegree() int {
+	best := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		if d := g.OutDegree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// AverageDegree returns m/n, the paper's "average degree" column in
+// Table 2 (0 for an empty graph).
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// Transpose returns a graph with every edge reversed. Weights follow their
+// edges. The transpose is a view: it shares adjacency and weight storage
+// with the receiver, so weight mutations through either graph are visible
+// in both.
+func (g *Graph) Transpose() *Graph {
+	inv := make([]int64, g.m)
+	for q, p := range g.inToOut {
+		inv[p] = int64(q)
+	}
+	return &Graph{
+		n:       g.n,
+		m:       g.m,
+		outOff:  g.inOff,
+		outTo:   g.inSrc,
+		outW:    g.inW,
+		inOff:   g.outOff,
+		inSrc:   g.outTo,
+		inW:     g.outW,
+		inToOut: inv,
+	}
+}
+
+// MemoryFootprint returns the approximate number of bytes held by the
+// graph's adjacency arrays. Used by the Figure 12 memory experiment.
+func (g *Graph) MemoryFootprint() int64 {
+	var total int64
+	total += int64(len(g.outOff)+len(g.inOff)) * 8
+	total += int64(len(g.outTo)+len(g.inSrc)) * 4
+	total += int64(len(g.outW)+len(g.inW)) * 4
+	total += int64(len(g.inToOut)) * 8
+	return total
+}
+
+var (
+	// ErrNodeRange reports an edge endpoint outside [0, n).
+	ErrNodeRange = errors.New("graph: edge endpoint out of node range")
+	// ErrBadWeight reports an edge weight outside [0, 1] or NaN.
+	ErrBadWeight = errors.New("graph: edge weight outside [0, 1]")
+)
+
+// FromEdges builds a graph with n nodes from the given directed edges.
+// Endpoints must lie in [0, n); weights must be in [0, 1]. Self-loops and
+// parallel edges are permitted (the diffusion models tolerate both; a
+// self-loop never changes a cascade because its endpoint is already
+// active).
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	for i, e := range edges {
+		if int(e.From) >= n || int(e.To) >= n {
+			return nil, fmt.Errorf("%w: edge %d (%d -> %d) with n=%d", ErrNodeRange, i, e.From, e.To, n)
+		}
+		if !(e.Weight >= 0 && e.Weight <= 1) { // negated to catch NaN
+			return nil, fmt.Errorf("%w: edge %d (%d -> %d) weight %v", ErrBadWeight, i, e.From, e.To, e.Weight)
+		}
+	}
+	g := &Graph{n: n, m: len(edges)}
+	g.buildCSR(edges)
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; intended for tests and
+// fixtures with hand-written edges.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildCSR populates both CSR directions with counting sort, O(n + m).
+func (g *Graph) buildCSR(edges []Edge) {
+	n, m := g.n, g.m
+	g.outOff = make([]int64, n+1)
+	g.inOff = make([]int64, n+1)
+	g.outTo = make([]uint32, m)
+	g.outW = make([]float32, m)
+	g.inSrc = make([]uint32, m)
+	g.inW = make([]float32, m)
+
+	for _, e := range edges {
+		g.outOff[e.From+1]++
+		g.inOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	outPos := make([]int64, n)
+	inPos := make([]int64, n)
+	for i := range outPos {
+		outPos[i] = g.outOff[i]
+		inPos[i] = g.inOff[i]
+	}
+	g.inToOut = make([]int64, m)
+	for _, e := range edges {
+		op := outPos[e.From]
+		g.outTo[op] = e.To
+		g.outW[op] = e.Weight
+		outPos[e.From]++
+
+		ip := inPos[e.To]
+		g.inSrc[ip] = e.From
+		g.inW[ip] = e.Weight
+		inPos[e.To]++
+
+		g.inToOut[ip] = op
+	}
+}
+
+// SetInWeights rewrites the weights of v's in-edges and mirrors the change
+// into the forward CSR. The callback receives the in-neighbor sources of v
+// and a weight slice to fill; it is called once per node. Weights must be
+// in [0, 1].
+func (g *Graph) SetInWeights(fill func(v uint32, src []uint32, w []float32)) error {
+	cross := g.inToOut
+	for v := uint32(0); int(v) < g.n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		fill(v, g.inSrc[lo:hi], g.inW[lo:hi])
+		for p := lo; p < hi; p++ {
+			w := g.inW[p]
+			if !(w >= 0 && w <= 1) {
+				return fmt.Errorf("%w: node %d in-edge weight %v", ErrBadWeight, v, w)
+			}
+			g.outW[cross[p]] = w
+		}
+	}
+	return nil
+}
+
+// SetUniformWeights assigns probability p to every edge.
+func (g *Graph) SetUniformWeights(p float32) error {
+	if !(p >= 0 && p <= 1) {
+		return fmt.Errorf("%w: %v", ErrBadWeight, p)
+	}
+	for i := range g.outW {
+		g.outW[i] = p
+	}
+	for i := range g.inW {
+		g.inW[i] = p
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// paperFigure1 builds the four-node example network from Figure 1 of the
+// paper: v2->v1 (0.01), v2->v4 (0.01), v4->v1 (1.0), v1->v3 (0.01),
+// v3->v4 (0.01). Node ids are shifted down by one (v1 = 0).
+func paperFigure1() *Graph {
+	return MustFromEdges(4, []Edge{
+		{From: 1, To: 0, Weight: 0.01},
+		{From: 1, To: 3, Weight: 0.01},
+		{From: 3, To: 0, Weight: 1.0},
+		{From: 0, To: 2, Weight: 0.01},
+		{From: 2, To: 3, Weight: 0.01},
+	})
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := paperFigure1()
+	if g.N() != 4 || g.M() != 5 {
+		t.Fatalf("n=%d m=%d, want 4, 5", g.N(), g.M())
+	}
+	if d := g.OutDegree(1); d != 2 {
+		t.Errorf("outdeg(v2)=%d, want 2", d)
+	}
+	if d := g.InDegree(0); d != 2 {
+		t.Errorf("indeg(v1)=%d, want 2", d)
+	}
+	if d := g.InDegree(1); d != 0 {
+		t.Errorf("indeg(v2)=%d, want 0", d)
+	}
+	to, w := g.OutNeighbors(1)
+	if len(to) != 2 {
+		t.Fatalf("v2 out-neighbors: %v", to)
+	}
+	for i := range to {
+		if w[i] != 0.01 {
+			t.Errorf("v2 edge weight %v, want 0.01", w[i])
+		}
+	}
+	src, w2 := g.InNeighbors(0)
+	got := map[uint32]float32{}
+	for i := range src {
+		got[src[i]] = w2[i]
+	}
+	if got[1] != 0.01 || got[3] != 1.0 {
+		t.Errorf("v1 in-edges: %v", got)
+	}
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph n=%d m=%d", g.N(), g.M())
+	}
+	if g.AverageDegree() != 0 {
+		t.Fatal("empty graph average degree nonzero")
+	}
+	if g.MaxInDegree() != 0 || g.MaxOutDegree() != 0 {
+		t.Fatal("empty graph max degrees nonzero")
+	}
+}
+
+func TestFromEdgesNoEdges(t *testing.T) {
+	g, err := FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 5; v++ {
+		if g.InDegree(v) != 0 || g.OutDegree(v) != 0 {
+			t.Fatalf("node %d has edges in an edgeless graph", v)
+		}
+	}
+}
+
+func TestFromEdgesRangeError(t *testing.T) {
+	_, err := FromEdges(3, []Edge{{From: 0, To: 3}})
+	if !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("got %v, want ErrNodeRange", err)
+	}
+	_, err = FromEdges(3, []Edge{{From: 7, To: 0}})
+	if !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("got %v, want ErrNodeRange", err)
+	}
+}
+
+func TestFromEdgesWeightError(t *testing.T) {
+	_, err := FromEdges(2, []Edge{{From: 0, To: 1, Weight: 1.5}})
+	if !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("got %v, want ErrBadWeight", err)
+	}
+	_, err = FromEdges(2, []Edge{{From: 0, To: 1, Weight: -0.1}})
+	if !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("got %v, want ErrBadWeight", err)
+	}
+	_, err = FromEdges(2, []Edge{{From: 0, To: 1, Weight: float32(math.NaN())}})
+	if !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("got %v, want ErrBadWeight for NaN", err)
+	}
+}
+
+func TestSelfLoopsAndParallelEdges(t *testing.T) {
+	g, err := FromEdges(2, []Edge{
+		{From: 0, To: 0, Weight: 0.5},
+		{From: 0, To: 1, Weight: 0.1},
+		{From: 0, To: 1, Weight: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(0) != 3 {
+		t.Fatalf("outdeg(0)=%d, want 3 (self-loop + two parallel)", g.OutDegree(0))
+	}
+	if g.InDegree(1) != 2 {
+		t.Fatalf("indeg(1)=%d, want 2", g.InDegree(1))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := paperFigure1()
+	tr := g.Transpose()
+	if tr.N() != g.N() || tr.M() != g.M() {
+		t.Fatalf("transpose changed size: %d/%d", tr.N(), tr.M())
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if g.InDegree(v) != tr.OutDegree(v) || g.OutDegree(v) != tr.InDegree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	// Edge (1->0, 0.01) must appear as (0->1, 0.01) in the transpose.
+	to, w := tr.OutNeighbors(0)
+	found := false
+	for i := range to {
+		if to[i] == 1 && w[i] == 0.01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transposed edge 0->1 not found")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := paperFigure1()
+	tt := g.Transpose().Transpose()
+	if !sameEdgeMultiset(g, tt) {
+		t.Fatal("transpose twice is not the identity on the edge multiset")
+	}
+}
+
+func sameEdgeMultiset(a, b *Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	norm := func(es []Edge) []Edge {
+		out := append([]Edge(nil), es...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].From != out[j].From {
+				return out[i].From < out[j].From
+			}
+			if out[i].To != out[j].To {
+				return out[i].To < out[j].To
+			}
+			return out[i].Weight < out[j].Weight
+		})
+		return out
+	}
+	return reflect.DeepEqual(norm(ea), norm(eb))
+}
+
+func TestSetInWeightsMirrors(t *testing.T) {
+	g := paperFigure1()
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		for i := range w {
+			w[i] = float32(v+1) / 10
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every out-edge weight must equal (target+1)/10.
+	for u := uint32(0); int(u) < g.N(); u++ {
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			want := float32(to[i]+1) / 10
+			if w[i] != want {
+				t.Fatalf("edge %d->%d forward weight %v, want %v", u, to[i], w[i], want)
+			}
+		}
+	}
+}
+
+func TestSetInWeightsMirrorsWithParallelEdges(t *testing.T) {
+	g := MustFromEdges(3, []Edge{
+		{From: 0, To: 2}, {From: 1, To: 2}, {From: 0, To: 2}, {From: 2, To: 0},
+	})
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		for i := range w {
+			w[i] = 0.25 * float32(i+1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward weights into node 2 must be {0.25, 0.5, 0.75} as a multiset.
+	var fwd []float32
+	for u := uint32(0); u < 3; u++ {
+		to, w := g.OutNeighbors(u)
+		for i := range to {
+			if to[i] == 2 {
+				fwd = append(fwd, w[i])
+			}
+		}
+	}
+	sort.Slice(fwd, func(i, j int) bool { return fwd[i] < fwd[j] })
+	want := []float32{0.25, 0.5, 0.75}
+	if !reflect.DeepEqual(fwd, want) {
+		t.Fatalf("forward weights into 2: %v, want %v", fwd, want)
+	}
+}
+
+func TestSetInWeightsRejectsBadWeight(t *testing.T) {
+	g := paperFigure1()
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		for i := range w {
+			w[i] = 2
+		}
+	})
+	if !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("got %v, want ErrBadWeight", err)
+	}
+}
+
+func TestAssignWeightedCascade(t *testing.T) {
+	g := paperFigure1()
+	AssignWeightedCascade(g)
+	for v := uint32(0); int(v) < g.N(); v++ {
+		src, w := g.InNeighbors(v)
+		for i := range src {
+			want := float32(1.0) / float32(len(src))
+			if w[i] != want {
+				t.Fatalf("node %d in-weight %v, want %v", v, w[i], want)
+			}
+		}
+	}
+}
+
+func TestAssignUniformIC(t *testing.T) {
+	g := paperFigure1()
+	if err := AssignUniformIC(g, 0.42); err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); int(u) < g.N(); u++ {
+		_, w := g.OutNeighbors(u)
+		for _, x := range w {
+			if x != 0.42 {
+				t.Fatalf("weight %v, want 0.42", x)
+			}
+		}
+	}
+	if err := AssignUniformIC(g, 1.5); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("got %v, want ErrBadWeight", err)
+	}
+}
+
+func TestAssignTrivalency(t *testing.T) {
+	g := paperFigure1()
+	AssignTrivalency(g, rng.New(1))
+	valid := map[float32]bool{0.1: true, 0.01: true, 0.001: true}
+	for u := uint32(0); int(u) < g.N(); u++ {
+		_, w := g.OutNeighbors(u)
+		for _, x := range w {
+			if !valid[x] {
+				t.Fatalf("trivalency produced %v", x)
+			}
+		}
+	}
+}
+
+func TestAssignRandomNormalizedLT(t *testing.T) {
+	g := paperFigure1()
+	AssignRandomNormalizedLT(g, rng.New(7))
+	sums := InWeightSums(g)
+	for v, s := range sums {
+		if g.InDegree(uint32(v)) == 0 {
+			if s != 0 {
+				t.Fatalf("node %d has no in-edges but weight sum %v", v, s)
+			}
+			continue
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("node %d LT weights sum to %v, want 1", v, s)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := paperFigure1()
+	r := Reachable(g, []uint32{1}) // v2 reaches everything
+	for v := 0; v < 4; v++ {
+		if !r[v] {
+			t.Fatalf("v2 should reach node %d", v)
+		}
+	}
+	r = Reachable(g, []uint32{3}) // v4 -> v1 -> v3 -> v4
+	for v := 0; v < 4; v++ {
+		want := v != 1 // everything but v2
+		if r[v] != want {
+			t.Fatalf("reach from v4: node %d got %v want %v", v, r[v], want)
+		}
+	}
+}
+
+func TestReachableOutOfRangeSeedIgnored(t *testing.T) {
+	g := paperFigure1()
+	r := Reachable(g, []uint32{99})
+	for v, ok := range r {
+		if ok {
+			t.Fatalf("node %d reachable from out-of-range seed", v)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := paperFigure1()
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 5 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MaxInDegree != 2 || s.MaxOutDegree != 2 {
+		t.Fatalf("max degrees: %+v", s)
+	}
+	if s.Isolated != 0 {
+		t.Fatalf("isolated: %+v", s)
+	}
+	if s.AverageDegree != 1.25 {
+		t.Fatalf("avg degree %v, want 1.25", s.AverageDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestStatsIsolatedNodes(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{From: 0, To: 1}})
+	s := ComputeStats(g)
+	if s.Isolated != 3 {
+		t.Fatalf("isolated=%d, want 3", s.Isolated)
+	}
+}
+
+func TestMemoryFootprintPositive(t *testing.T) {
+	g := paperFigure1()
+	if g.MemoryFootprint() <= 0 {
+		t.Fatal("memory footprint not positive")
+	}
+}
+
+// Property: for random graphs, transpose preserves the degree sequence
+// swapped between in and out.
+func TestTransposeDegreesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		m := r.Intn(100)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{From: uint32(r.Intn(n)), To: uint32(r.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		tr := g.Transpose()
+		for v := uint32(0); int(v) < n; v++ {
+			if g.InDegree(v) != tr.OutDegree(v) || g.OutDegree(v) != tr.InDegree(v) {
+				return false
+			}
+		}
+		return sameEdgeMultisetTransposed(g, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameEdgeMultisetTransposed(g, tr *Graph) bool {
+	rev := make([]Edge, 0, tr.M())
+	for _, e := range tr.Edges() {
+		rev = append(rev, Edge{From: e.To, To: e.From, Weight: e.Weight})
+	}
+	revG := MustFromEdges(g.N(), rev)
+	return sameEdgeMultiset(g, revG)
+}
+
+// Property: Edges() round-trips through FromEdges.
+func TestEdgesRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		m := r.Intn(60)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{
+				From:   uint32(r.Intn(n)),
+				To:     uint32(r.Intn(n)),
+				Weight: float32(r.Intn(100)) / 100,
+			}
+		}
+		g := MustFromEdges(n, edges)
+		g2 := MustFromEdges(n, g.Edges())
+		return sameEdgeMultiset(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

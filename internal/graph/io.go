@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format
+//
+// One edge per line: "from to [weight]". Whitespace-separated. Lines that
+// are empty or start with '#' or '%' are ignored (SNAP and KONECT dataset
+// conventions). If weight is omitted it defaults to 0 and a weighting
+// strategy must be applied before running any algorithm.
+
+// ErrSyntax reports a malformed edge-list line.
+var ErrSyntax = errors.New("graph: malformed edge list line")
+
+// ReadEdgeList parses a text edge list. If undirected is true each line
+// contributes both directions. The node count is 1 + the maximum endpoint
+// id seen, except that a leading "# nodes=N edges=M" header (as written
+// by WriteEdgeList) raises it to N — so Write/Read round trips preserve
+// isolated trailing nodes. Use ReadEdgeListN when the node count is known
+// out of band.
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	return readEdgeList(r, undirected, -1)
+}
+
+// ReadEdgeListN parses a text edge list for a graph with exactly n nodes.
+// Endpoints outside [0, n) are an error.
+func ReadEdgeListN(r io.Reader, undirected bool, n int) (*Graph, error) {
+	return readEdgeList(r, undirected, n)
+}
+
+func readEdgeList(r io.Reader, undirected bool, n int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edges []Edge
+	maxID := -1
+	declaredN := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			// WriteEdgeList's own header declares the node count;
+			// honoring it preserves isolated trailing nodes across a
+			// Write/Read round trip. Other comments are ignored.
+			if d, ok := parseNodesHeader(line); ok && d > declaredN {
+				declaredN = d
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, lineNo, line)
+		}
+		from, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad source: %v", ErrSyntax, lineNo, err)
+		}
+		to, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad target: %v", ErrSyntax, lineNo, err)
+		}
+		var weight float64
+		if len(fields) == 3 {
+			weight, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad weight: %v", ErrSyntax, lineNo, err)
+			}
+			if !(weight >= 0 && weight <= 1) {
+				return nil, fmt.Errorf("%w: line %d: weight %v outside [0,1]", ErrBadWeight, lineNo, weight)
+			}
+		}
+		e := Edge{From: uint32(from), To: uint32(to), Weight: float32(weight)}
+		edges = append(edges, e)
+		if undirected {
+			edges = append(edges, Edge{From: e.To, To: e.From, Weight: e.Weight})
+		}
+		if int(from) > maxID {
+			maxID = int(from)
+		}
+		if int(to) > maxID {
+			maxID = int(to)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+		if declaredN > n {
+			n = declaredN
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// parseNodesHeader matches the exact "# nodes=N edges=M" comment that
+// WriteEdgeList emits and returns N. Any other comment returns ok=false.
+func parseNodesHeader(line string) (n int, ok bool) {
+	rest, found := strings.CutPrefix(line, "# nodes=")
+	if !found {
+		return 0, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 || !strings.HasPrefix(fields[1], "edges=") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// WriteEdgeList writes the graph as a text edge list with weights, one
+// directed edge per line, prefixed by a comment header recording n and m.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := uint32(0); int(u) < g.N(); u++ {
+		to, wt := g.OutNeighbors(u)
+		for i := range to {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, to[i], wt[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary format
+//
+// Little-endian: magic "TIMG", version uint32, n uint64, m uint64, then m
+// records of (from uint32, to uint32, weight float32). Fast enough for the
+// cmd tools and compact enough for multi-million-edge fixtures.
+
+var binMagic = [4]byte{'T', 'I', 'M', 'G'}
+
+const binVersion = 1
+
+// WriteBinary writes the graph in the TIMG binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.M()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for u := uint32(0); int(u) < g.N(); u++ {
+		to, wt := g.OutNeighbors(u)
+		for i := range to {
+			binary.LittleEndian.PutUint32(rec[0:], u)
+			binary.LittleEndian.PutUint32(rec[4:], to[i])
+			binary.LittleEndian.PutUint32(rec[8:], floatBits(wt[i]))
+			if _, err := bw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the TIMG binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	m := binary.LittleEndian.Uint64(hdr[12:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("graph: node count %d exceeds uint32 id space", n)
+	}
+	// The header is untrusted input: preallocating m records outright
+	// would let a 24-byte file demand petabytes. Cap the upfront
+	// reservation and let append grow as records actually arrive — a
+	// short stream then fails in ReadFull long before exhausting memory.
+	reserve := m
+	if reserve > 1<<20 {
+		reserve = 1 << 20
+	}
+	edges := make([]Edge, 0, reserve)
+	rec := make([]byte, 12)
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		edges = append(edges, Edge{
+			From:   binary.LittleEndian.Uint32(rec[0:]),
+			To:     binary.LittleEndian.Uint32(rec[4:]),
+			Weight: floatFromBits(binary.LittleEndian.Uint32(rec[8:])),
+		})
+	}
+	return FromEdges(int(n), edges)
+}
+
+func floatBits(f float32) uint32     { return math.Float32bits(f) }
+func floatFromBits(b uint32) float32 { return math.Float32frombits(b) }

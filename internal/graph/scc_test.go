@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSCCSingleCycle(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}
+	g := MustFromEdges(3, edges)
+	scc := StronglyConnectedComponents(g)
+	if scc.Count != 1 {
+		t.Fatalf("count=%d, want 1", scc.Count)
+	}
+	if scc.LargestSize() != 3 {
+		t.Fatalf("largest=%d", scc.LargestSize())
+	}
+}
+
+func TestSCCPath(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
+	scc := StronglyConnectedComponents(g)
+	if scc.Count != 4 {
+		t.Fatalf("count=%d, want 4 singleton components", scc.Count)
+	}
+	// Reverse-topological ids: edge u→v across components implies
+	// Comp[u] > Comp[v].
+	for _, e := range g.Edges() {
+		if scc.Comp[e.From] <= scc.Comp[e.To] {
+			t.Fatalf("component order violated on %d->%d: %d <= %d",
+				e.From, e.To, scc.Comp[e.From], scc.Comp[e.To])
+		}
+	}
+}
+
+func TestSCCTwoCyclesBridged(t *testing.T) {
+	// 0↔1 → 2↔3: two components, bridge respects order.
+	g := MustFromEdges(4, []Edge{
+		{From: 0, To: 1}, {From: 1, To: 0},
+		{From: 1, To: 2},
+		{From: 2, To: 3}, {From: 3, To: 2},
+	})
+	scc := StronglyConnectedComponents(g)
+	if scc.Count != 2 {
+		t.Fatalf("count=%d", scc.Count)
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[2] != scc.Comp[3] || scc.Comp[0] == scc.Comp[2] {
+		t.Fatalf("components: %v", scc.Comp)
+	}
+	if scc.Comp[1] <= scc.Comp[2] {
+		t.Fatal("cross edge must go from higher to lower component id")
+	}
+}
+
+func TestSCCEmptyAndIsolated(t *testing.T) {
+	scc := StronglyConnectedComponents(MustFromEdges(0, nil))
+	if scc.Count != 0 || scc.LargestSize() != 0 {
+		t.Fatalf("empty: %+v", scc)
+	}
+	scc = StronglyConnectedComponents(MustFromEdges(5, nil))
+	if scc.Count != 5 {
+		t.Fatalf("isolated: count=%d", scc.Count)
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{From: 0, To: 0}, {From: 0, To: 1}})
+	scc := StronglyConnectedComponents(g)
+	if scc.Count != 2 {
+		t.Fatalf("count=%d", scc.Count)
+	}
+}
+
+func TestSCCDeepChainNoStackOverflow(t *testing.T) {
+	// 200k-node chain would blow a recursive Tarjan's stack.
+	const n = 200_000
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, Edge{From: uint32(v), To: uint32(v + 1)})
+	}
+	g := MustFromEdges(n, edges)
+	scc := StronglyConnectedComponents(g)
+	if scc.Count != n {
+		t.Fatalf("count=%d", scc.Count)
+	}
+}
+
+func TestCondenseIsDAG(t *testing.T) {
+	r := rng.New(7)
+	edges := make([]Edge, 600)
+	for i := range edges {
+		edges[i] = Edge{From: uint32(r.Intn(100)), To: uint32(r.Intn(100))}
+	}
+	g := MustFromEdges(100, edges)
+	scc := StronglyConnectedComponents(g)
+	dag := Condense(g, scc)
+	if dag.N() != scc.Count {
+		t.Fatalf("condensation nodes %d != components %d", dag.N(), scc.Count)
+	}
+	dagSCC := StronglyConnectedComponents(dag)
+	if dagSCC.Count != dag.N() {
+		t.Fatal("condensation is not a DAG")
+	}
+	for _, e := range dag.Edges() {
+		if e.From == e.To {
+			t.Fatal("condensation has a self-loop")
+		}
+	}
+}
+
+// Property: components partition the nodes, sizes sum to n, and mutual
+// reachability holds exactly within components.
+func TestSCCInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(18)
+		m := r.Intn(50)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{From: uint32(r.Intn(n)), To: uint32(r.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		scc := StronglyConnectedComponents(g)
+		var total int32
+		for _, s := range scc.Sizes {
+			total += s
+		}
+		if int(total) != n {
+			return false
+		}
+		// Mutual-reachability check against brute force.
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = Reachable(g, []uint32{uint32(v)})
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := scc.Comp[u] == scc.Comp[v]
+				mutual := reach[u][v] && reach[v][u]
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

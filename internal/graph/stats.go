@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's shape, mirroring the columns of the paper's
+// Table 2 plus degree-distribution detail used to validate the synthetic
+// dataset profiles.
+type Stats struct {
+	Nodes         int
+	Edges         int // directed edge count
+	AverageDegree float64
+	MaxInDegree   int
+	MaxOutDegree  int
+	Isolated      int // nodes with neither in- nor out-edges
+
+	// DegreePercentiles holds the out-degree values at the 50th, 90th,
+	// 99th percentile, in that order. A heavy-tailed profile shows
+	// p99 >> p50.
+	DegreePercentiles [3]int
+}
+
+// ComputeStats scans the graph once and returns its summary.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.N(), Edges: g.M(), AverageDegree: g.AverageDegree()}
+	degs := make([]int, g.N())
+	for v := uint32(0); int(v) < g.N(); v++ {
+		in, out := g.InDegree(v), g.OutDegree(v)
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in == 0 && out == 0 {
+			s.Isolated++
+		}
+		degs[v] = out
+	}
+	if len(degs) > 0 {
+		sort.Ints(degs)
+		pick := func(p float64) int {
+			idx := int(p * float64(len(degs)-1))
+			return degs[idx]
+		}
+		s.DegreePercentiles = [3]int{pick(0.50), pick(0.90), pick(0.99)}
+	}
+	return s
+}
+
+// String renders the stats as a single Table 2-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d avgdeg=%.1f maxin=%d maxout=%d p50/p90/p99=%d/%d/%d isolated=%d",
+		s.Nodes, s.Edges, s.AverageDegree, s.MaxInDegree, s.MaxOutDegree,
+		s.DegreePercentiles[0], s.DegreePercentiles[1], s.DegreePercentiles[2], s.Isolated)
+}
+
+// Reachable returns the set of nodes reachable from seeds in the directed
+// graph (ignoring weights), as a boolean slice. Used by tests to validate
+// RR-set membership against ground-truth reachability.
+func Reachable(g *Graph, seeds []uint32) []bool {
+	visited := make([]bool, g.N())
+	queue := make([]uint32, 0, len(seeds))
+	for _, s := range seeds {
+		if int(s) < g.N() && !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		to, _ := g.OutNeighbors(u)
+		for _, v := range to {
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited
+}

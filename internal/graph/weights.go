@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"repro/internal/rng"
+)
+
+// AssignWeightedCascade sets every edge's probability to 1/indeg(target),
+// the standard "weighted cascade" parameterization of the IC model used
+// throughout the paper's experiments (§7.1): p(e) = 1/i where i is the
+// in-degree of the node e points to.
+func AssignWeightedCascade(g *Graph) {
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		p := float32(1.0) / float32(len(w))
+		for i := range w {
+			w[i] = p
+		}
+	})
+	if err != nil {
+		panic(err) // unreachable: 1/len is always in (0, 1]
+	}
+}
+
+// AssignUniformIC sets every edge's probability to p. Common values in the
+// influence-maximization literature are 0.01 and 0.1.
+func AssignUniformIC(g *Graph, p float32) error {
+	return g.SetUniformWeights(p)
+}
+
+// AssignTrivalency draws each edge's probability uniformly from
+// {0.1, 0.01, 0.001}, the "trivalency" IC parameterization of Chen et al.
+func AssignTrivalency(g *Graph, r *rng.Rand) {
+	levels := [3]float32{0.1, 0.01, 0.001}
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		for i := range w {
+			w[i] = levels[r.Intn(3)]
+		}
+	})
+	if err != nil {
+		panic(err) // unreachable: all levels are in (0, 1]
+	}
+}
+
+// AssignRandomNormalizedLT implements the paper's LT-model construction
+// (§7.1): each of v's incoming edges receives a random weight in [0, 1],
+// then the weights of v's in-edges are normalized to sum to 1. Nodes with
+// no in-edges are unaffected.
+//
+// The scaled weights are clamped to [0, 1]: float32 rounding of x·(1/sum)
+// can otherwise land one ulp above 1, which the graph would reject.
+// (A regression here once zeroed the LT weights of most of the graph and
+// silently collapsed every LT spread measurement — see
+// TestAssignRandomNormalizedLTAllNodes.)
+func AssignRandomNormalizedLT(g *Graph, r *rng.Rand) {
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		var sum float64
+		for i := range w {
+			x := r.Float64()
+			w[i] = float32(x)
+			sum += x
+		}
+		if sum == 0 {
+			// All-zero draws are measure zero but handle them: fall
+			// back to uniform weights.
+			p := float32(1.0) / float32(len(w))
+			for i := range w {
+				w[i] = p
+			}
+			return
+		}
+		inv := float32(1.0 / sum)
+		for i := range w {
+			w[i] *= inv
+			if w[i] > 1 {
+				w[i] = 1
+			}
+		}
+	})
+	if err != nil {
+		// Unreachable: every weight is clamped into [0, 1] above.
+		panic(err)
+	}
+}
+
+// AssignUniformLT sets each of v's in-edge weights to 1/indeg(v), the
+// degree-normalized LT parameterization (identical numerically to the
+// weighted cascade assignment, but conventionally named separately because
+// the weights mean "influence share", not probability).
+func AssignUniformLT(g *Graph) {
+	AssignWeightedCascade(g)
+}
+
+// InWeightSums returns, for each node, the sum of its in-edge weights.
+// Under a valid LT parameterization every entry is at most 1 (+ float
+// tolerance).
+func InWeightSums(g *Graph) []float64 {
+	sums := make([]float64, g.N())
+	for v := uint32(0); int(v) < g.N(); v++ {
+		_, w := g.InNeighbors(v)
+		var s float64
+		for _, x := range w {
+			s += float64(x)
+		}
+		sums[v] = s
+	}
+	return sums
+}

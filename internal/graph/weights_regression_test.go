@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestAssignRandomNormalizedLTAllNodes is the regression test for a bug
+// where float32 rounding produced a normalized weight one ulp above 1,
+// SetInWeights rejected it, and — because the error was discarded — every
+// node after the offender silently kept zero LT weights, collapsing all
+// LT spread measurements. Every node with in-edges must end up with
+// weights summing to 1 for many seeds, including seeds known to have
+// triggered the rounding.
+func TestAssignRandomNormalizedLTAllNodes(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		g := buildSkewedMirror(2000, 4133, seed)
+		AssignRandomNormalizedLT(g, rng.New(seed))
+		sums := InWeightSums(g)
+		for v, s := range sums {
+			if g.InDegree(uint32(v)) == 0 {
+				continue
+			}
+			if math.Abs(s-1) > 1e-4 {
+				t.Fatalf("seed %d: node %d in-weight sum %v, want 1", seed, v, s)
+			}
+		}
+		// Every individual weight must be a valid probability.
+		for v := uint32(0); int(v) < g.N(); v++ {
+			_, w := g.InNeighbors(v)
+			for _, x := range w {
+				if !(x >= 0 && x <= 1) {
+					t.Fatalf("seed %d: node %d weight %v outside [0,1]", seed, v, x)
+				}
+			}
+		}
+	}
+}
+
+// buildSkewedMirror reproduces the dataset-profile shape (heavy-tailed
+// mirrored Chung-Lu) without importing gen (which would cycle).
+func buildSkewedMirror(n, und int, seed uint64) *Graph {
+	r := rng.New(seed)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i)+2, -0.625)
+	}
+	cum := make([]float64, n+1)
+	for i, w := range weights {
+		cum[i+1] = cum[i] + w
+	}
+	total := cum[n]
+	sample := func() uint32 {
+		x := r.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+	edges := make([]Edge, 0, 2*und)
+	for i := 0; i < und; i++ {
+		a, b := sample(), sample()
+		edges = append(edges, Edge{From: a, To: b}, Edge{From: b, To: a})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// TestWeightAssignersPanicOnlyWhenImpossible: the cascade and trivalency
+// assigners must not panic on any normal graph, including ones with
+// parallel edges and self-loops.
+func TestWeightAssignersPanicOnlyWhenImpossible(t *testing.T) {
+	g := MustFromEdges(3, []Edge{
+		{From: 0, To: 1}, {From: 0, To: 1}, {From: 1, To: 1}, {From: 2, To: 0},
+	})
+	AssignWeightedCascade(g)
+	AssignTrivalency(g, rng.New(1))
+	AssignRandomNormalizedLT(g, rng.New(2))
+}

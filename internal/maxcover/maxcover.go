@@ -1,0 +1,174 @@
+// Package maxcover implements the greedy algorithm for maximum coverage
+// used by the node-selection phase of TIM (Algorithm 1 lines 3-7), the
+// refinement step (Algorithm 3 lines 2-6), and the second step of Borgs et
+// al.'s RIS. Given a family of RR sets over nodes, it repeatedly picks the
+// node covering the most still-uncovered sets — the classic
+// (1 − 1/e)-approximation for maximum coverage.
+//
+// The implementation is the linear-time bucket variant: exact coverage
+// counts are maintained under decrements (each set contributes to count
+// updates exactly once, when it first becomes covered), and the current
+// maximum is tracked with lazily repositioned count buckets. Total work is
+// O(Σ|R| + n + k), matching the "linear-time implementation" the paper
+// relies on for its complexity claims.
+package maxcover
+
+import (
+	"repro/internal/diffusion"
+)
+
+// Result reports one greedy selection.
+type Result struct {
+	// Seeds are the selected nodes in pick order.
+	Seeds []uint32
+	// Covered is the number of RR sets covered by Seeds.
+	Covered int64
+	// Marginals[i] is the number of newly covered sets when Seeds[i]
+	// was picked; non-increasing by submodularity.
+	Marginals []int64
+}
+
+// Greedy selects k nodes from [0, n) maximizing coverage of the sets in
+// col. If k exceeds n it is clamped. When every set is covered before k
+// picks, the remaining picks have zero marginal and are filled with the
+// lowest-id unselected nodes (the paper's algorithms always return exactly
+// k nodes).
+func Greedy(n int, col *diffusion.RRCollection, k int) Result {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	res := Result{
+		Seeds:     make([]uint32, 0, k),
+		Marginals: make([]int64, 0, k),
+	}
+	if n == 0 || k == 0 {
+		return res
+	}
+	count := countOccurrences(n, col)
+
+	// Inverted index: setsOf[v] = ids of sets containing v, in CSR form.
+	idxOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		idxOff[v+1] = idxOff[v] + count[v]
+	}
+	idxSets := make([]uint32, len(col.Flat))
+	fill := make([]int64, n)
+	copy(fill, idxOff[:n])
+	numSets := col.Count()
+	for s := 0; s < numSets; s++ {
+		for _, v := range col.Set(s) {
+			idxSets[fill[v]] = uint32(s)
+			fill[v]++
+		}
+	}
+
+	// Buckets by count with lazy repositioning. counts only decrease, so
+	// a node found in a bucket above its true count is moved down.
+	maxCount := int64(0)
+	for _, c := range count {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	buckets := make([][]uint32, maxCount+1)
+	for v := 0; v < n; v++ {
+		c := count[v]
+		buckets[c] = append(buckets[c], uint32(v))
+	}
+	coveredSet := make([]bool, numSets)
+	selected := make([]bool, n)
+	var covered int64
+
+	cur := maxCount
+	for len(res.Seeds) < k {
+		// Find the true current maximum.
+		var pick int64 = -1
+		for cur > 0 {
+			b := buckets[cur]
+			if len(b) == 0 {
+				cur--
+				continue
+			}
+			v := b[len(b)-1]
+			buckets[cur] = b[:len(b)-1]
+			if selected[v] {
+				continue
+			}
+			if count[v] != cur {
+				// Stale: reposition at its true count.
+				buckets[count[v]] = append(buckets[count[v]], v)
+				continue
+			}
+			pick = int64(v)
+			break
+		}
+		if pick < 0 {
+			// All remaining nodes have zero marginal coverage; fill
+			// with lowest unselected ids.
+			for v := 0; v < n && len(res.Seeds) < k; v++ {
+				if !selected[v] {
+					selected[v] = true
+					res.Seeds = append(res.Seeds, uint32(v))
+					res.Marginals = append(res.Marginals, 0)
+				}
+			}
+			break
+		}
+		v := uint32(pick)
+		selected[v] = true
+		gain := count[v]
+		res.Seeds = append(res.Seeds, v)
+		res.Marginals = append(res.Marginals, gain)
+		covered += gain
+		// Cover v's sets; decrement counts of their other members.
+		for _, s := range idxSets[idxOff[v]:idxOff[v+1]] {
+			if coveredSet[s] {
+				continue
+			}
+			coveredSet[s] = true
+			for _, u := range col.Set(int(s)) {
+				count[u]--
+			}
+		}
+		// count[v] is now 0 by construction (all its sets got covered).
+	}
+	res.Covered = covered
+	return res
+}
+
+// countOccurrences returns, for each node, the number of sets containing
+// it. A node may appear at most once per set (RR sets are duplicate-free),
+// so this is the initial coverage count.
+func countOccurrences(n int, col *diffusion.RRCollection) []int64 {
+	count := make([]int64, n)
+	for _, v := range col.Flat {
+		count[v]++
+	}
+	return count
+}
+
+// CountCovered returns how many sets in col contain at least one of the
+// given seeds. Used by Algorithm 3 to measure the fraction f of fresh RR
+// sets covered by S'_k.
+func CountCovered(n int, col *diffusion.RRCollection, seeds []uint32) int64 {
+	inSeeds := make([]bool, n)
+	for _, s := range seeds {
+		if int(s) < n {
+			inSeeds[s] = true
+		}
+	}
+	var covered int64
+	numSets := col.Count()
+	for s := 0; s < numSets; s++ {
+		for _, v := range col.Set(s) {
+			if inSeeds[v] {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}

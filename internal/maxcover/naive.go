@@ -1,0 +1,73 @@
+package maxcover
+
+import (
+	"repro/internal/diffusion"
+)
+
+// GreedyNaive is a reference implementation of the same greedy maximum
+// coverage as Greedy, recomputing every node's marginal coverage from
+// scratch at each of the k picks — O(k·Σ|R|) instead of O(Σ|R|). It
+// exists (a) as an oracle for equivalence tests and (b) as the ablation
+// baseline quantifying what the paper's "linear-time implementation"
+// remark is worth (see BenchmarkAblationMaxcover).
+func GreedyNaive(n int, col *diffusion.RRCollection, k int) Result {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	res := Result{
+		Seeds:     make([]uint32, 0, k),
+		Marginals: make([]int64, 0, k),
+	}
+	if n == 0 || k == 0 {
+		return res
+	}
+	numSets := col.Count()
+	covered := make([]bool, numSets)
+	selected := make([]bool, n)
+	count := make([]int64, n)
+	var total int64
+	for len(res.Seeds) < k {
+		for i := range count {
+			count[i] = 0
+		}
+		for s := 0; s < numSets; s++ {
+			if covered[s] {
+				continue
+			}
+			for _, v := range col.Set(s) {
+				count[v]++
+			}
+		}
+		best := int64(-1)
+		var bestCount int64
+		for v := 0; v < n; v++ {
+			if selected[v] {
+				continue
+			}
+			if best < 0 || count[v] > bestCount {
+				best, bestCount = int64(v), count[v]
+			}
+		}
+		v := uint32(best)
+		selected[best] = true
+		res.Seeds = append(res.Seeds, v)
+		res.Marginals = append(res.Marginals, bestCount)
+		total += bestCount
+		for s := 0; s < numSets; s++ {
+			if covered[s] {
+				continue
+			}
+			for _, u := range col.Set(s) {
+				if u == v {
+					covered[s] = true
+					break
+				}
+			}
+		}
+	}
+	res.Covered = total
+	return res
+}

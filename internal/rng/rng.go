@@ -1,0 +1,174 @@
+// Package rng provides fast, seedable pseudo-random number generators for
+// the sampling-heavy inner loops of influence maximization.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64 so that any 64-bit seed — including zero — yields a
+// well-distributed initial state. Distinct worker streams are derived with
+// Split, which is guaranteed to produce independent-looking streams for
+// distinct indices.
+//
+// All methods are deliberately not safe for concurrent use: each goroutine
+// must own its *Rand. That is the point — the hot path (RR-set generation)
+// must not contend on a lock the way math/rand's global source does.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a xoshiro256++ pseudo-random number generator.
+// The zero value is not usable; construct with New or Split.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output.
+// It is the canonical seeding function recommended for xoshiro.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Any seed is acceptable.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state as if freshly constructed with New(seed).
+func (r *Rand) Seed(seed uint64) {
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+}
+
+// Split returns a new generator whose stream is independent of r's for all
+// practical purposes. It is used to hand one stream to each sampling worker:
+//
+//	base := rng.New(seed)
+//	for w := 0; w < workers; w++ { go run(base.Split(uint64(w))) }
+//
+// Split does not advance r.
+func (r *Rand) Split(index uint64) *Rand {
+	// Mix the worker index into a fresh splitmix stream keyed by the
+	// parent state. Using the golden-ratio multiple keeps indices 0,1,2,...
+	// far apart in the seed space.
+	x := r.s0 ^ (index+1)*0x9e3779b97f4a7c15
+	child := &Rand{}
+	child.s0 = splitmix64(&x)
+	child.s1 = splitmix64(&x)
+	child.s2 = splitmix64(&x)
+	child.s3 = splitmix64(&x)
+	return child
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high bits → [0,1) with full double precision.
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *Rand) Float32() float32 {
+	return float32(r.Uint64()>>40) * (1.0 / (1 << 24))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's nearly
+// divisionless method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0,1]
+// clamp to the nearest bound (p<=0 never fires, p>=1 always fires).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Bernoulli32 reports true with probability p, using a single float32
+// comparison. It is the hot-path coin flip for IC edge sampling where the
+// per-edge probabilities are stored as float32.
+func (r *Rand) Bernoulli32(p float32) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float32() < p
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed float64 with rate 1, using
+// inversion. Useful for geometric skipping in sparse samplers.
+func (r *Rand) Exp() float64 {
+	// -ln(1-U) where U in [0,1); 1-U in (0,1] avoids ln(0).
+	return -math.Log1p(-r.Float64())
+}

@@ -1,0 +1,291 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, step %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from distinct seeds coincide on %d/64 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := New(99)
+	c0 := base.Split(0)
+	c1 := base.Split(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c0.Uint64() == c1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide on %d/64 outputs", same)
+	}
+	// Split must not advance the parent.
+	a, b := New(99), New(99)
+	_ = a.Split(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(3).Split(17)
+	b := New(3).Split(17)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformSmall(t *testing.T) {
+	r := New(17)
+	const n, trials = 8, 160000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Fatalf("value %d observed %d times, want about %.0f", v, c, want)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) fired")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) did not fire")
+		}
+		if r.Bernoulli32(0) {
+			t.Fatal("Bernoulli32(0) fired")
+		}
+		if !r.Bernoulli32(1) {
+			t.Fatal("Bernoulli32(1) did not fire")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(23)
+	const p, trials = 0.3, 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate %v", p, rate)
+	}
+}
+
+func TestBernoulli32Rate(t *testing.T) {
+	r := New(29)
+	const p, trials = 0.25, 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli32(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli32(%v) rate %v", p, rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make(map[int]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(37)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: %v", s)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	r := New(41)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp()
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp produced %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %v, want about 1", mean)
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nInRangeQuick(t *testing.T) {
+	r := New(43)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds yield identical 8-step prefixes.
+func TestSeedDeterminismQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

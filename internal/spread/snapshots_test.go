@@ -1,0 +1,121 @@
+package spread
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSnapshotsCertainPath(t *testing.T) {
+	g := gen.Path(6, 1)
+	s := NewSnapshots(g, diffusion.NewIC(), 10, 1, 1)
+	ev := s.NewEvaluator()
+	if got := ev.Spread([]uint32{0}); got != 6 {
+		t.Fatalf("spread=%v, want 6", got)
+	}
+	if got := ev.Spread([]uint32{4}); got != 2 {
+		t.Fatalf("spread=%v, want 2", got)
+	}
+	if got := ev.Spread(nil); got != 0 {
+		t.Fatalf("empty seeds spread=%v", got)
+	}
+}
+
+func TestSnapshotsImpossiblePath(t *testing.T) {
+	g := gen.Path(6, 0)
+	s := NewSnapshots(g, diffusion.NewIC(), 10, 1, 1)
+	ev := s.NewEvaluator()
+	if got := ev.Spread([]uint32{0, 3}); got != 2 {
+		t.Fatalf("spread=%v, want 2 (seeds only)", got)
+	}
+}
+
+func TestSnapshotsMatchMonteCarloIC(t *testing.T) {
+	g := gen.ChungLuDirected(300, 1800, 2.4, 2.1, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	seeds := []uint32{0, 5, 9}
+	s := NewSnapshots(g, diffusion.NewIC(), 4000, 0, 2)
+	snap := s.NewEvaluator().Spread(seeds)
+	mc := Estimate(g, diffusion.NewIC(), seeds, Options{Samples: 40000, Seed: 3})
+	if math.Abs(snap-mc) > 0.05*mc+0.5 {
+		t.Fatalf("snapshot estimate %v vs Monte-Carlo %v", snap, mc)
+	}
+}
+
+func TestSnapshotsMatchMonteCarloLT(t *testing.T) {
+	g := gen.ChungLuDirected(300, 1800, 2.4, 2.1, rng.New(4))
+	graph.AssignRandomNormalizedLT(g, rng.New(5))
+	seeds := []uint32{1, 2, 3}
+	s := NewSnapshots(g, diffusion.NewLT(), 4000, 0, 6)
+	snap := s.NewEvaluator().Spread(seeds)
+	mc := Estimate(g, diffusion.NewLT(), seeds, Options{Samples: 40000, Seed: 7})
+	if math.Abs(snap-mc) > 0.05*mc+0.5 {
+		t.Fatalf("snapshot LT estimate %v vs Monte-Carlo %v", snap, mc)
+	}
+}
+
+func TestSnapshotsTriggeringModel(t *testing.T) {
+	g := gen.Star(10, 1)
+	s := NewSnapshots(g, diffusion.NewTriggering(diffusion.ICTrigger{}), 20, 1, 8)
+	ev := s.NewEvaluator()
+	if got := ev.Spread([]uint32{0}); got != 10 {
+		t.Fatalf("triggering snapshot spread=%v, want 10", got)
+	}
+}
+
+func TestSnapshotsDeterministic(t *testing.T) {
+	g := gen.ErdosRenyiGnm(100, 500, rng.New(9))
+	graph.AssignWeightedCascade(g)
+	a := NewSnapshots(g, diffusion.NewIC(), 50, 2, 11)
+	b := NewSnapshots(g, diffusion.NewIC(), 50, 2, 11)
+	seeds := []uint32{1, 2}
+	if a.NewEvaluator().Spread(seeds) != b.NewEvaluator().Spread(seeds) {
+		t.Fatal("same seed produced different snapshots")
+	}
+}
+
+func TestSnapshotsEvaluatorMonotone(t *testing.T) {
+	g := gen.ChungLuDirected(200, 1200, 2.4, 2.1, rng.New(12))
+	graph.AssignWeightedCascade(g)
+	s := NewSnapshots(g, diffusion.NewIC(), 500, 0, 13)
+	ev := s.NewEvaluator()
+	// Exact monotonicity: reachable(S) ⊆ reachable(S ∪ {v}) per world,
+	// so the snapshot spread can never decrease when adding a seed.
+	base := ev.Spread([]uint32{7})
+	for v := uint32(0); v < 20; v++ {
+		got := ev.Spread([]uint32{7, v})
+		if got < base {
+			t.Fatalf("adding seed %d decreased snapshot spread: %v -> %v", v, base, got)
+		}
+	}
+}
+
+func TestSnapshotsSubmodularExact(t *testing.T) {
+	// Snapshot spreads are exactly submodular (reachability union),
+	// unlike noisy MC estimates: gain(v | S) >= gain(v | S+u).
+	g := gen.ChungLuDirected(150, 900, 2.4, 2.1, rng.New(14))
+	graph.AssignWeightedCascade(g)
+	s := NewSnapshots(g, diffusion.NewIC(), 300, 0, 15)
+	ev := s.NewEvaluator()
+	S := []uint32{3}
+	Su := []uint32{3, 8}
+	for v := uint32(20); v < 40; v++ {
+		gainS := ev.Spread(append(append([]uint32{}, S...), v)) - ev.Spread(S)
+		gainSu := ev.Spread(append(append([]uint32{}, Su...), v)) - ev.Spread(Su)
+		if gainSu > gainS+1e-9 {
+			t.Fatalf("submodularity violated at v=%d: %v > %v", v, gainSu, gainS)
+		}
+	}
+}
+
+func TestSnapshotsMemoryBytes(t *testing.T) {
+	g := gen.Cycle(50, 1)
+	s := NewSnapshots(g, diffusion.NewIC(), 5, 1, 16)
+	if s.Count() != 5 || s.MemoryBytes() <= 0 {
+		t.Fatalf("count=%d mem=%d", s.Count(), s.MemoryBytes())
+	}
+}

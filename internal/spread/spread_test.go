@@ -1,0 +1,88 @@
+package spread
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestEstimateCertainPath(t *testing.T) {
+	g := gen.Path(10, 1)
+	got := Estimate(g, diffusion.NewIC(), []uint32{0}, Options{Samples: 100, Seed: 1})
+	if got != 10 {
+		t.Fatalf("spread=%v, want 10", got)
+	}
+}
+
+func TestEstimateEmptySeeds(t *testing.T) {
+	g := gen.Path(10, 1)
+	if got := Estimate(g, diffusion.NewIC(), nil, Options{Samples: 10}); got != 0 {
+		t.Fatalf("spread=%v, want 0", got)
+	}
+}
+
+func TestEstimateSingleEdgeProbability(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{From: 0, To: 1, Weight: 0.3}})
+	mean, stderr := EstimateWithStderr(g, diffusion.NewIC(), []uint32{0}, Options{Samples: 100000, Seed: 5})
+	if math.Abs(mean-1.3) > 0.01 {
+		t.Fatalf("mean=%v, want about 1.3", mean)
+	}
+	if stderr <= 0 || stderr > 0.01 {
+		t.Fatalf("stderr=%v out of expected band", stderr)
+	}
+}
+
+func TestEstimateParallelMatchesSerial(t *testing.T) {
+	g := gen.ErdosRenyiGnm(100, 600, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	seeds := []uint32{1, 2, 3}
+	serial := Estimate(g, diffusion.NewIC(), seeds, Options{Samples: 40000, Workers: 1, Seed: 9})
+	parallel := Estimate(g, diffusion.NewIC(), seeds, Options{Samples: 40000, Workers: 8, Seed: 10})
+	if math.Abs(serial-parallel) > 0.05*serial+0.2 {
+		t.Fatalf("serial %v vs parallel %v", serial, parallel)
+	}
+}
+
+func TestEstimateDeterministicSingleWorker(t *testing.T) {
+	g := gen.ErdosRenyiGnm(50, 200, rng.New(2))
+	graph.AssignWeightedCascade(g)
+	seeds := []uint32{0}
+	a := Estimate(g, diffusion.NewIC(), seeds, Options{Samples: 1000, Workers: 1, Seed: 7})
+	b := Estimate(g, diffusion.NewIC(), seeds, Options{Samples: 1000, Workers: 1, Seed: 7})
+	if a != b {
+		t.Fatalf("same seed, different estimates: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateMoreWorkersThanSamples(t *testing.T) {
+	g := gen.Path(5, 1)
+	got := Estimate(g, diffusion.NewIC(), []uint32{0}, Options{Samples: 3, Workers: 64, Seed: 1})
+	if got != 5 {
+		t.Fatalf("spread=%v, want 5", got)
+	}
+}
+
+func TestEstimateLTModel(t *testing.T) {
+	g := gen.Star(11, 1)
+	got := Estimate(g, diffusion.NewLT(), []uint32{0}, Options{Samples: 500, Seed: 3})
+	if got != 11 {
+		t.Fatalf("LT star spread=%v, want 11", got)
+	}
+}
+
+func TestEstimateMonotoneInSeeds(t *testing.T) {
+	// Adding a seed cannot decrease expected spread (submodular
+	// monotone function); check estimates respect this within noise.
+	g := gen.ErdosRenyiGnm(120, 700, rng.New(4))
+	graph.AssignWeightedCascade(g)
+	opts := Options{Samples: 30000, Seed: 11}
+	s1 := Estimate(g, diffusion.NewIC(), []uint32{5}, opts)
+	s2 := Estimate(g, diffusion.NewIC(), []uint32{5, 17}, opts)
+	if s2 < s1-0.2 {
+		t.Fatalf("spread decreased when adding a seed: %v -> %v", s1, s2)
+	}
+}

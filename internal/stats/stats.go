@@ -1,0 +1,170 @@
+// Package stats provides the numeric helpers behind the paper's parameter
+// formulas: log-binomial coefficients, the λ and λ′ thresholds (Equations
+// 2/4 and Algorithm 3 line 7), the c_i sample schedule of Algorithm 2, the
+// Chernoff tail bounds of Lemma 1, and small summary-statistics utilities
+// used by the experiment harness.
+package stats
+
+import (
+	"math"
+)
+
+// LogChoose returns ln C(n, k) computed via log-gamma, valid for large n
+// where the binomial itself overflows. k outside [0, n] yields -Inf
+// (an impossible event).
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+}
+
+// Lambda computes Equation 4 of the paper:
+//
+//	λ = (8 + 2ε) n (ℓ ln n + ln C(n,k) + ln 2) / ε²
+//
+// θ = λ/OPT is the RR-set count that makes Algorithm 1's estimates
+// ε/2-accurate for every size-k seed set simultaneously (Lemma 3).
+func Lambda(n, k int, eps, ell float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	nf := float64(n)
+	return (8 + 2*eps) * nf * (ell*math.Log(nf) + LogChoose(n, k) + math.Ln2) / (eps * eps)
+}
+
+// LambdaPrime computes Algorithm 3 line 7:
+//
+//	λ′ = (2 + ε′) ℓ n ln n / (ε′)²
+//
+// θ′ = λ′/KPT* RR sets make the Algorithm 3 estimate of E[I(S'_k)]
+// (1+ε′)-accurate with probability 1 − n^−ℓ.
+func LambdaPrime(n int, ell, epsPrime float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	nf := float64(n)
+	return (2 + epsPrime) * ell * nf * math.Log(nf) / (epsPrime * epsPrime)
+}
+
+// EpsPrime returns the paper's §4.1 heuristic choice for Algorithm 3's
+// accuracy parameter: ε′ = 5 ∛(ℓ ε² / (k + ℓ)), the approximate minimizer
+// of the total RR sets generated across Algorithms 1 and 3.
+func EpsPrime(k int, eps, ell float64) float64 {
+	return 5 * math.Cbrt(ell*eps*eps/(float64(k)+ell))
+}
+
+// SampleScheduleCi returns Algorithm 2's per-iteration sample count
+// (Equation 9): c_i = (6ℓ ln n + 6 ln log2(n)) · 2^i.
+func SampleScheduleCi(n int, ell float64, i int) int64 {
+	if n < 2 {
+		n = 2
+	}
+	nf := float64(n)
+	base := 6*ell*math.Log(nf) + 6*math.Log(math.Log2(nf))
+	if base < 1 {
+		base = 1
+	}
+	c := base * math.Pow(2, float64(i))
+	if c > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(math.Ceil(c))
+}
+
+// KptIterations returns Algorithm 2's iteration budget, log2(n) − 1,
+// and at least 1 so degenerate graphs still take one look.
+func KptIterations(n int) int {
+	if n < 2 {
+		return 1
+	}
+	it := int(math.Log2(float64(n))) - 1
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// ChernoffUpperTail bounds Pr[X − cμ ≥ δ·cμ] ≤ exp(−δ²/(2+δ)·cμ) for X a
+// sum of c i.i.d. [0,1] variables with mean μ (Lemma 1, first bound).
+func ChernoffUpperTail(delta, cmu float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta / (2 + delta) * cmu)
+}
+
+// ChernoffLowerTail bounds Pr[X − cμ ≤ −δ·cμ] ≤ exp(−δ²/2·cμ)
+// (Lemma 1, second bound).
+func ChernoffLowerTail(delta, cmu float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta / 2 * cmu)
+}
+
+// GreedyMonteCarloR returns Lemma 10's lower bound on the Monte-Carlo
+// sample count r for Kempe et al.'s Greedy to be (1−1/e−ε)-approximate
+// with probability 1 − n^−ℓ:
+//
+//	r ≥ (8k² + 2kε) n ((ℓ+1) ln n + ln k) / (ε² OPT)
+//
+// opt is any lower bound on OPT (using a smaller opt is conservative).
+func GreedyMonteCarloR(n, k int, eps, ell, opt float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if opt < 1 {
+		opt = 1
+	}
+	kf := float64(k)
+	nf := float64(n)
+	return (8*kf*kf + 2*kf*eps) * nf * ((ell+1)*math.Log(nf) + math.Log(kf)) / (eps * eps * opt)
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Stderr float64
+}
+
+// Summarize computes summary statistics; an empty input returns zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+		s.Stderr = s.Std / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}

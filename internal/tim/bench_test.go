@@ -1,0 +1,67 @@
+package tim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func benchGraph(b *testing.B, kind diffusion.Kind) *graph.Graph {
+	b.Helper()
+	g := gen.ChungLuDirected(20_000, 160_000, 2.4, 2.1, rng.New(1))
+	if kind == diffusion.LT {
+		graph.AssignRandomNormalizedLT(g, rng.New(2))
+	} else {
+		graph.AssignWeightedCascade(g)
+	}
+	return g
+}
+
+func BenchmarkMaximize(b *testing.B) {
+	for _, kind := range []diffusion.Kind{diffusion.IC, diffusion.LT} {
+		g := benchGraph(b, kind)
+		model := diffusion.NewIC()
+		if kind == diffusion.LT {
+			model = diffusion.NewLT()
+		}
+		for _, variant := range []Algorithm{TIM, TIMPlus} {
+			name := fmt.Sprintf("%v/%v", kind, variant)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := Maximize(g, model, Options{
+						K: 50, Epsilon: 0.2, Variant: variant, Seed: uint64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Theta), "theta")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKptEstimation(b *testing.B) {
+	g := benchGraph(b, diffusion.IC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = estimateKPT(g, diffusion.NewIC(), 50, 1, 0, newSeedSequence(uint64(i)))
+	}
+}
+
+func BenchmarkNodeSelectionTheta(b *testing.B) {
+	g := benchGraph(b, diffusion.IC)
+	for _, theta := range []int64{10_000, 100_000} {
+		b.Run(fmt.Sprintf("theta=%d", theta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SelectWithTheta(g, diffusion.NewIC(), 50, theta, 0, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package tim
+
+import (
+	"math"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// kptEstimate is the output of Algorithm 2 plus what Algorithm 3 reuses.
+type kptEstimate struct {
+	kptStar    float64
+	iterations int
+	// lastBatch is R′, the RR sets generated in the final iteration —
+	// Algorithm 3 line 1 retrieves exactly these.
+	lastBatch *diffusion.RRCollection
+	// ept is the observed mean width, an estimate of EPT.
+	ept float64
+}
+
+// estimateKPT is Algorithm 2 (KptEstimation). It runs at most
+// log2(n) − 1 iterations; iteration i samples
+// c_i = (6ℓ ln n + 6 ln log2 n)·2^i RR sets, measures
+// κ(R) = 1 − (1 − w(R)/m)^k on each (Equation 8), and stops as soon as
+// the average exceeds 2^−i, returning KPT* = n·avg/2. If no iteration
+// triggers, KPT* = 1 — the smallest possible value, since a seed always
+// activates itself (§3.2).
+func estimateKPT(g *graph.Graph, model diffusion.Model, k int, ell float64, workers int, seeds *seedSequence) kptEstimate {
+	n := g.N()
+	m := g.M()
+	iterations := stats.KptIterations(n)
+	var last *diffusion.RRCollection
+	for i := 1; i <= iterations; i++ {
+		ci := stats.SampleScheduleCi(n, ell, i)
+		col := diffusion.SampleCollection(g, model, ci, diffusion.SampleOptions{
+			Workers: workers,
+			Seed:    seeds.next(),
+		})
+		last = col
+		sum := kappaSum(g, col, k, m)
+		avg := sum / float64(ci)
+		if avg > math.Pow(2, -float64(i)) {
+			return kptEstimate{
+				kptStar:    float64(n) * sum / (2 * float64(ci)),
+				iterations: i,
+				lastBatch:  col,
+				ept:        eptOf(col),
+			}
+		}
+	}
+	return kptEstimate{
+		kptStar:    1,
+		iterations: iterations,
+		lastBatch:  last,
+		ept:        eptOf(last),
+	}
+}
+
+// kappaSum computes Σ κ(R) over the collection, where
+// κ(R) = 1 − (1 − w(R)/m)^k. With no edges (m = 0) every κ is 0: a
+// uniformly random edge cannot point into R because there are none
+// (Lemma 5's edge-sampling argument).
+func kappaSum(g *graph.Graph, col *diffusion.RRCollection, k, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	count := col.Count()
+	for i := 0; i < count; i++ {
+		w := diffusion.Width(g, col.Set(i))
+		sum += 1 - math.Pow(1-float64(w)/float64(m), float64(k))
+	}
+	return sum
+}
+
+// eptOf estimates EPT (the expected RR-set width) as the mean width of the
+// final Algorithm 2 batch, which geometrically dominates the sample size.
+func eptOf(col *diffusion.RRCollection) float64 {
+	if col == nil || col.Count() == 0 {
+		return 0
+	}
+	return float64(col.TotalWidth) / float64(col.Count())
+}

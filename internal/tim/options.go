@@ -1,0 +1,136 @@
+// Package tim implements the paper's primary contribution: Two-phase
+// Influence Maximization (TIM) and its heuristically improved variant TIM+.
+//
+// TIM runs in two phases (§3):
+//
+//  1. Parameter estimation (Algorithm 2) computes KPT*, a lower bound of
+//     the optimum OPT, from the widths of a geometrically growing number
+//     of random RR sets.
+//  2. Node selection (Algorithm 1) samples θ = λ/KPT* random RR sets and
+//     greedily solves maximum coverage over them.
+//
+// TIM+ inserts the intermediate refinement of §4.1 (Algorithm 3), which
+// tightens KPT* into KPT+ ≥ KPT* and typically shrinks θ several-fold
+// without affecting the (1 − 1/e − ε) approximation guarantee.
+//
+// The implementation supports the IC model, the LT model, and arbitrary
+// triggering models (§4.2) through the diffusion package.
+package tim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Algorithm selects the TIM variant.
+type Algorithm int
+
+const (
+	// TIMPlus is Algorithms 2 + 3 + 1 (the paper's TIM+; default).
+	TIMPlus Algorithm = iota
+	// TIM is Algorithms 2 + 1 without refinement.
+	TIM
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case TIMPlus:
+		return "TIM+"
+	case TIM:
+		return "TIM"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures a Maximize run. The zero value is not valid: K must
+// be set. Other fields default sensibly (ε=0.1, ℓ=1, TIM+, all cores).
+type Options struct {
+	// K is the seed-set size (required, 1 ≤ K ≤ n).
+	K int
+	// Epsilon is the approximation slack ε in (0, 1]; the returned seed
+	// set is (1 − 1/e − ε)-approximate. Default 0.1.
+	Epsilon float64
+	// Ell controls the failure probability n^−ℓ. Default 1. Unless
+	// ExactEll is set, ℓ is internally inflated by 1 + ln(2)/ln(n) (TIM)
+	// or 1 + ln(3)/ln(n) (TIM+) so that the *overall* success
+	// probability is 1 − n^−ℓ, per §3.3 and §4.1.
+	Ell float64
+	// ExactEll disables the internal ℓ inflation.
+	ExactEll bool
+	// Variant selects TIM+ (default) or TIM.
+	Variant Algorithm
+	// EpsPrime is Algorithm 3's accuracy parameter ε′. Zero selects the
+	// paper's heuristic 5·∛(ℓε²/(k+ℓ)) (§4.1). Ignored by plain TIM.
+	EpsPrime float64
+	// Workers is the sampling parallelism (default GOMAXPROCS). With
+	// Workers=1 and a fixed Seed, runs are fully deterministic.
+	Workers int
+	// Seed drives all randomness.
+	Seed uint64
+	// ThetaCap, when positive, truncates the number of RR sets sampled
+	// in node selection. It exists for memory-bounded experimentation
+	// and voids the approximation guarantee when it binds; Result
+	// records whether it bound.
+	ThetaCap int64
+	// SpillDir, when non-empty, streams the node-selection RR sets to
+	// a temporary file in that directory and runs the greedy cover
+	// out-of-core (k+1 sequential passes; see internal/diskrr). Peak
+	// memory drops from O(Σ|R|) to O(n + θ/8) bytes at the cost of
+	// extra sequential I/O. The approximation guarantee is unchanged.
+	// Use os.TempDir() for the system default location.
+	SpillDir string
+}
+
+// ErrBadOptions wraps every option-validation failure.
+var ErrBadOptions = errors.New("tim: invalid options")
+
+func (o *Options) validate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: graph has no nodes", ErrBadOptions)
+	}
+	if o.K <= 0 {
+		return fmt.Errorf("%w: K=%d must be positive", ErrBadOptions, o.K)
+	}
+	if o.K > n {
+		return fmt.Errorf("%w: K=%d exceeds node count %d", ErrBadOptions, o.K, n)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		return fmt.Errorf("%w: Epsilon=%v outside (0, 1]", ErrBadOptions, o.Epsilon)
+	}
+	if o.Ell == 0 {
+		o.Ell = 1
+	}
+	if o.Ell <= 0 {
+		return fmt.Errorf("%w: Ell=%v must be positive", ErrBadOptions, o.Ell)
+	}
+	if o.Variant != TIM && o.Variant != TIMPlus {
+		return fmt.Errorf("%w: unknown variant %d", ErrBadOptions, int(o.Variant))
+	}
+	if o.EpsPrime == 0 {
+		o.EpsPrime = stats.EpsPrime(o.K, o.Epsilon, o.Ell)
+	}
+	if o.EpsPrime <= 0 {
+		return fmt.Errorf("%w: EpsPrime=%v must be positive", ErrBadOptions, o.EpsPrime)
+	}
+	return nil
+}
+
+// effectiveEll returns ℓ after the §3.3/§4.1 success-probability
+// adjustment (union bound over the 2 or 3 sub-procedures).
+func (o *Options) effectiveEll(n int) float64 {
+	if o.ExactEll || n < 2 {
+		return o.Ell
+	}
+	factor := math.Ln2 // TIM: 1 − 2n^−ℓ → scale by 1 + ln2/ln n
+	if o.Variant == TIMPlus {
+		factor = math.Log(3) // TIM+: 1 − 3n^−ℓ
+	}
+	return o.Ell * (1 + factor/math.Log(float64(n)))
+}

@@ -1,0 +1,70 @@
+package tim
+
+import (
+	"fmt"
+
+	"repro/internal/diffusion"
+	"repro/internal/diskrr"
+	"repro/internal/graph"
+)
+
+// Out-of-core node selection: the §8 "graphs that do not fit in main
+// memory" direction. When Options.SpillDir is set, the θ RR sets of the
+// node-selection phase stream to a temporary file in chunks instead of
+// accumulating in RAM, and the greedy cover runs in k+1 sequential passes
+// over that file (see internal/diskrr). Parameter estimation and
+// refinement still run in memory — their collections are O(ℓ(m+n)log n)
+// small by Theorem 2.
+
+// spillChunk is the number of RR sets sampled (in parallel, in memory)
+// between spill flushes. Peak memory is one chunk plus O(n) counters.
+const spillChunk = 1 << 14
+
+// selectOutOfCore runs Algorithm 1 with disk-resident RR storage.
+func selectOutOfCore(g *graph.Graph, model diffusion.Model, k int, theta int64,
+	workers int, dir string, seeds *seedSequence) (*diskrr.Result, *diskSelStats, error) {
+
+	w, err := diskrr.NewWriter(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for generated := int64(0); generated < theta; {
+		batch := theta - generated
+		if batch > spillChunk {
+			batch = spillChunk
+		}
+		col := diffusion.SampleCollection(g, model, batch, diffusion.SampleOptions{
+			Workers: workers,
+			Seed:    seeds.next(),
+		})
+		for i := 0; i < col.Count(); i++ {
+			set := col.Set(i)
+			if err := w.Append(set, diffusion.Width(g, set)); err != nil {
+				w.Abort()
+				return nil, nil, fmt.Errorf("tim: spilling RR sets: %w", err)
+			}
+		}
+		generated += batch
+	}
+	disk, err := w.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer disk.Close()
+	cover, err := diskrr.GreedyOutOfCore(g.N(), disk, k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tim: out-of-core selection: %w", err)
+	}
+	stats := &diskSelStats{
+		totalNodes: disk.TotalNodes(),
+		totalWidth: disk.TotalWidth(),
+		diskBytes:  disk.DiskBytes(),
+	}
+	return &cover, stats, nil
+}
+
+type diskSelStats struct {
+	totalNodes int64
+	totalWidth int64
+	diskBytes  int64
+}

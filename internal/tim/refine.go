@@ -1,0 +1,42 @@
+package tim
+
+import (
+	"math"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/maxcover"
+	"repro/internal/stats"
+)
+
+// refineKPT is Algorithm 3 (RefineKPT), the §4.1 intermediate step of
+// TIM+. It greedily covers R′ (the final Algorithm 2 batch) to obtain a
+// candidate seed set S′_k, estimates E[I(S′_k)] on θ′ = λ′/KPT* fresh RR
+// sets as f·n (Corollary 1), deflates by (1 + ε′) so that
+// KPT′ ≤ E[I(S′_k)] ≤ OPT with probability 1 − n^−ℓ, and returns
+// KPT⁺ = max(KPT′, KPT*).
+func refineKPT(g *graph.Graph, model diffusion.Model, lastBatch *diffusion.RRCollection,
+	k int, kptStar, epsPrime, ell float64, workers int, seeds *seedSequence) float64 {
+
+	n := g.N()
+	if lastBatch == nil || kptStar <= 0 {
+		return kptStar
+	}
+	cover := maxcover.Greedy(n, lastBatch, k)
+	lambdaPrime := stats.LambdaPrime(n, ell, epsPrime)
+	thetaPrime := int64(math.Ceil(lambdaPrime / kptStar))
+	if thetaPrime < 1 {
+		thetaPrime = 1
+	}
+	fresh := diffusion.SampleCollection(g, model, thetaPrime, diffusion.SampleOptions{
+		Workers: workers,
+		Seed:    seeds.next(),
+	})
+	covered := maxcover.CountCovered(n, fresh, cover.Seeds)
+	f := float64(covered) / float64(thetaPrime)
+	kptPrime := f * float64(n) / (1 + epsPrime)
+	if kptPrime > kptStar {
+		return kptPrime
+	}
+	return kptStar
+}

@@ -1,0 +1,65 @@
+package tim
+
+import "time"
+
+// Timings is the per-phase wall-clock breakdown reported in Figure 4 of
+// the paper.
+type Timings struct {
+	// KptEstimation is Algorithm 2 (parameter estimation).
+	KptEstimation time.Duration
+	// Refinement is Algorithm 3 (the TIM+ intermediate step; zero for
+	// plain TIM).
+	Refinement time.Duration
+	// NodeSelection is Algorithm 1 (θ-set sampling + greedy coverage).
+	NodeSelection time.Duration
+	// Total is the full Maximize call.
+	Total time.Duration
+}
+
+// Result is the output of a Maximize run, with the diagnostics the
+// paper's experiments chart: the KPT bounds (Figure 5), θ, per-phase
+// timings (Figure 4), and memory held by the RR-set collection
+// (Figure 12).
+type Result struct {
+	// Seeds is the selected seed set, in greedy pick order (|Seeds| = K).
+	Seeds []uint32
+
+	// KptStar is Algorithm 2's lower bound KPT* of OPT.
+	KptStar float64
+	// KptPlus is Algorithm 3's refined bound KPT+ (equals KptStar for
+	// plain TIM).
+	KptPlus float64
+	// EptEstimate is the mean RR-set width observed during parameter
+	// estimation — an estimate of EPT (§3.2).
+	EptEstimate float64
+
+	// Theta is the number of RR sets sampled by node selection.
+	Theta int64
+	// ThetaCapped reports whether Options.ThetaCap truncated Theta
+	// (in which case the approximation guarantee is void).
+	ThetaCapped bool
+
+	// CoverageFraction is F_R(Seeds): the fraction of the θ RR sets
+	// covered by the selected seeds.
+	CoverageFraction float64
+	// SpreadEstimate is n·F_R(Seeds), the unbiased estimate of
+	// E[I(Seeds)] (Corollary 1).
+	SpreadEstimate float64
+
+	// RRTotalNodes and RRTotalWidth are Σ|R| and Σw(R) over the node
+	// selection collection.
+	RRTotalNodes int64
+	RRTotalWidth int64
+	// MemoryBytes approximates the heap held by the RR collection at
+	// selection time (the dominant memory cost per §7.4). For spilled
+	// runs it is the on-disk footprint instead; see Spilled.
+	MemoryBytes int64
+	// Spilled reports that Options.SpillDir diverted the RR collection
+	// to disk; MemoryBytes then measures the spill file.
+	Spilled bool
+
+	// KptIterations is how many Algorithm 2 iterations ran.
+	KptIterations int
+
+	Timings Timings
+}

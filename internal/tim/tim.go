@@ -1,0 +1,146 @@
+package tim
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/maxcover"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// seedSequence deals deterministic sub-seeds to the successive sampling
+// batches of a run, so that batches are mutually independent streams while
+// the whole run stays reproducible from one master seed.
+type seedSequence struct {
+	r *rng.Rand
+}
+
+func newSeedSequence(master uint64) *seedSequence {
+	return &seedSequence{r: rng.New(master)}
+}
+
+func (s *seedSequence) next() uint64 { return s.r.Uint64() }
+
+// Maximize runs TIM or TIM+ (per opts.Variant) on g under the given
+// diffusion model and returns the selected seed set with diagnostics.
+//
+// Guarantees (Theorems 1–3): the result is (1 − 1/e − ε)-approximate with
+// probability at least 1 − n^−ℓ, in O((k + ℓ)(m + n) log n / ε²) expected
+// time, under IC, LT, and any triggering model.
+func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, error) {
+	n := g.N()
+	if err := opts.validate(n); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	ell := opts.effectiveEll(n)
+	seeds := newSeedSequence(opts.Seed)
+	res := &Result{}
+	start := time.Now()
+
+	// Phase 1: parameter estimation (Algorithm 2).
+	t0 := time.Now()
+	est := estimateKPT(g, model, opts.K, ell, opts.Workers, seeds)
+	res.Timings.KptEstimation = time.Since(t0)
+	res.KptStar = est.kptStar
+	res.KptPlus = est.kptStar
+	res.EptEstimate = est.ept
+	res.KptIterations = est.iterations
+
+	// Intermediate step: refinement (Algorithm 3, TIM+ only).
+	if opts.Variant == TIMPlus {
+		t1 := time.Now()
+		res.KptPlus = refineKPT(g, model, est.lastBatch, opts.K,
+			est.kptStar, opts.EpsPrime, ell, opts.Workers, seeds)
+		res.Timings.Refinement = time.Since(t1)
+	}
+
+	// Phase 2: node selection (Algorithm 1) with θ = λ/KPT.
+	t2 := time.Now()
+	lambda := stats.Lambda(n, opts.K, opts.Epsilon, ell)
+	kpt := res.KptPlus
+	if kpt < 1 {
+		kpt = 1
+	}
+	theta := int64(math.Ceil(lambda / kpt))
+	if theta < 1 {
+		theta = 1
+	}
+	if opts.ThetaCap > 0 && theta > opts.ThetaCap {
+		theta = opts.ThetaCap
+		res.ThetaCapped = true
+	}
+	if opts.SpillDir != "" {
+		cover, stats, err := selectOutOfCore(g, model, opts.K, theta, opts.Workers, opts.SpillDir, seeds)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.NodeSelection = time.Since(t2)
+		res.Seeds = cover.Seeds
+		res.Theta = theta
+		res.CoverageFraction = float64(cover.Covered) / float64(theta)
+		res.SpreadEstimate = res.CoverageFraction * float64(n)
+		res.RRTotalNodes = stats.totalNodes
+		res.RRTotalWidth = stats.totalWidth
+		res.MemoryBytes = stats.diskBytes
+		res.Spilled = true
+		res.Timings.Total = time.Since(start)
+		return res, nil
+	}
+	col := diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{
+		Workers: opts.Workers,
+		Seed:    seeds.next(),
+	})
+	cover := maxcover.Greedy(n, col, opts.K)
+	res.Timings.NodeSelection = time.Since(t2)
+
+	res.Seeds = cover.Seeds
+	res.Theta = theta
+	res.CoverageFraction = float64(cover.Covered) / float64(theta)
+	res.SpreadEstimate = res.CoverageFraction * float64(n)
+	res.RRTotalNodes = col.TotalNodes()
+	res.RRTotalWidth = col.TotalWidth
+	res.MemoryBytes = col.MemoryBytes()
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// SelectWithTheta runs Algorithm 1 alone with an explicitly chosen θ —
+// the paper's NodeSelection(G, k, θ). It is exposed for experiments that
+// study θ directly; Maximize is the supported entry point.
+func SelectWithTheta(g *graph.Graph, model diffusion.Model, k int, theta int64, workers int, seed uint64) (*Result, error) {
+	opts := Options{K: k}
+	if err := opts.validate(g.N()); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if theta < 1 {
+		theta = 1
+	}
+	start := time.Now()
+	col := diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{
+		Workers: workers,
+		Seed:    seed,
+	})
+	cover := maxcover.Greedy(g.N(), col, k)
+	res := &Result{
+		Seeds:            cover.Seeds,
+		Theta:            theta,
+		CoverageFraction: float64(cover.Covered) / float64(theta),
+		RRTotalNodes:     col.TotalNodes(),
+		RRTotalWidth:     col.TotalWidth,
+		MemoryBytes:      col.MemoryBytes(),
+	}
+	res.SpreadEstimate = res.CoverageFraction * float64(g.N())
+	res.Timings.NodeSelection = time.Since(start)
+	res.Timings.Total = res.Timings.NodeSelection
+	return res, nil
+}

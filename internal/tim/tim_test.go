@@ -1,0 +1,416 @@
+package tim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func TestMaximizePathCertain(t *testing.T) {
+	// On the path 0→1→…→9 with p=1 the unique optimal single seed is
+	// node 0 (spread 10).
+	g := gen.Path(10, 1)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 1, Epsilon: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want [0]", res.Seeds)
+	}
+	if math.Abs(res.SpreadEstimate-10) > 0.5 {
+		t.Fatalf("spread estimate %v, want about 10", res.SpreadEstimate)
+	}
+}
+
+func TestMaximizeStarCertain(t *testing.T) {
+	g := gen.Star(20, 1)
+	for _, variant := range []Algorithm{TIM, TIMPlus} {
+		res, err := Maximize(g, diffusion.NewIC(), Options{K: 1, Epsilon: 0.3, Variant: variant, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Seeds[0] != 0 {
+			t.Fatalf("%v picked %v, want hub 0", variant, res.Seeds)
+		}
+	}
+}
+
+func TestMaximizeTwoCliques(t *testing.T) {
+	// Clique A (nodes 0..4) bridges into clique B (5..9); any seed in A
+	// activates everything under p=1, so the chosen seed must be in A.
+	g := gen.TwoCliquesBridge(5, 1)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 1, Epsilon: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] >= 5 {
+		t.Fatalf("seed %d in the downstream clique", res.Seeds[0])
+	}
+	if math.Abs(res.SpreadEstimate-10) > 0.5 {
+		t.Fatalf("spread estimate %v, want 10", res.SpreadEstimate)
+	}
+}
+
+func TestMaximizeK2CoversBothCliques(t *testing.T) {
+	// Two disconnected cliques (no bridge): k=2 must take one node from
+	// each. Build explicitly.
+	var edges []graph.Edge
+	for base := 0; base < 10; base += 5 {
+		for u := base; u < base+5; u++ {
+			for v := base; v < base+5; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v), Weight: 1})
+				}
+			}
+		}
+	}
+	g := graph.MustFromEdges(10, edges)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 2, Epsilon: 0.2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, inB := false, false
+	for _, s := range res.Seeds {
+		if s < 5 {
+			inA = true
+		} else {
+			inB = true
+		}
+	}
+	if !inA || !inB {
+		t.Fatalf("seeds=%v must span both cliques", res.Seeds)
+	}
+}
+
+func TestMaximizeLTStar(t *testing.T) {
+	g := gen.Star(15, 1)
+	res, err := Maximize(g, diffusion.NewLT(), Options{K: 1, Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("LT star seeds=%v, want hub", res.Seeds)
+	}
+}
+
+func TestMaximizeTriggeringModel(t *testing.T) {
+	// The generic triggering path (ICTrigger reproduces IC) must find
+	// the same seed on an easy instance.
+	g := gen.Star(15, 1)
+	res, err := Maximize(g, diffusion.NewTriggering(diffusion.ICTrigger{}), Options{K: 1, Epsilon: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("triggering seeds=%v, want hub", res.Seeds)
+	}
+}
+
+func TestMaximizeDeterministic(t *testing.T) {
+	g := gen.ErdosRenyiGnm(200, 1000, rng.New(7))
+	graph.AssignWeightedCascade(g)
+	opts := Options{K: 5, Epsilon: 0.3, Workers: 1, Seed: 42}
+	a, err := Maximize(g, diffusion.NewIC(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Maximize(g, diffusion.NewIC(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Seeds, b.Seeds) {
+		t.Fatalf("nondeterministic: %v vs %v", a.Seeds, b.Seeds)
+	}
+	if a.KptStar != b.KptStar || a.Theta != b.Theta {
+		t.Fatalf("diagnostics differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMaximizeInvariants(t *testing.T) {
+	g := gen.ErdosRenyiGnm(300, 1800, rng.New(8))
+	graph.AssignWeightedCascade(g)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 10, Epsilon: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 10 {
+		t.Fatalf("|seeds|=%d", len(res.Seeds))
+	}
+	seen := map[uint32]bool{}
+	for _, s := range res.Seeds {
+		if int(s) >= g.N() {
+			t.Fatalf("seed %d out of range", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if res.KptStar < 1 {
+		t.Fatalf("KPT*=%v below minimum 1", res.KptStar)
+	}
+	if res.KptPlus < res.KptStar {
+		t.Fatalf("KPT+ %v < KPT* %v", res.KptPlus, res.KptStar)
+	}
+	if res.Theta < 1 {
+		t.Fatalf("theta=%d", res.Theta)
+	}
+	if res.CoverageFraction < 0 || res.CoverageFraction > 1 {
+		t.Fatalf("coverage fraction %v", res.CoverageFraction)
+	}
+	if res.SpreadEstimate < float64(len(res.Seeds))*0.5 {
+		t.Fatalf("spread estimate %v implausibly small", res.SpreadEstimate)
+	}
+	if res.MemoryBytes <= 0 || res.RRTotalNodes <= 0 {
+		t.Fatalf("diagnostics: %+v", res)
+	}
+	if res.Timings.Total <= 0 || res.Timings.NodeSelection <= 0 {
+		t.Fatalf("timings not recorded: %+v", res.Timings)
+	}
+}
+
+func TestKptBoundsAgainstOPT(t *testing.T) {
+	// KPT* and KPT+ must be lower bounds of OPT (within Monte-Carlo
+	// noise). Estimate OPT as the MC spread of the chosen seed set —
+	// itself a lower bound of the true OPT, but within (1-1/e-ε) of it;
+	// we check KPT+ ≤ measured spread / (1-1/e-ε) + slack.
+	g := gen.ChungLuDirected(2000, 12000, 2.4, 2.1, rng.New(10))
+	graph.AssignWeightedCascade(g)
+	const k, eps = 10, 0.2
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: k, Epsilon: eps, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := spread.Estimate(g, diffusion.NewIC(), res.Seeds, spread.Options{Samples: 20000, Seed: 12})
+	optUpper := measured / (1 - 1/math.E - eps) * 1.15 // generous noise slack
+	if res.KptPlus > optUpper {
+		t.Fatalf("KPT+ %v exceeds OPT upper bound %v (measured spread %v)", res.KptPlus, optUpper, measured)
+	}
+	if res.KptStar > optUpper {
+		t.Fatalf("KPT* %v exceeds OPT upper bound %v", res.KptStar, optUpper)
+	}
+}
+
+func TestTimPlusRefinementShrinksTheta(t *testing.T) {
+	// On real-shaped graphs KPT+ is typically much larger than KPT*
+	// (§4.1 and Figure 5), so TIM+ uses fewer RR sets than TIM.
+	g := gen.ChungLuDirected(3000, 18000, 2.4, 2.1, rng.New(13))
+	graph.AssignWeightedCascade(g)
+	plus, err := Maximize(g, diffusion.NewIC(), Options{K: 20, Epsilon: 0.2, Variant: TIMPlus, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Maximize(g, diffusion.NewIC(), Options{K: 20, Epsilon: 0.2, Variant: TIM, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.KptPlus < plain.KptStar {
+		t.Fatalf("KPT+ %v < KPT* %v", plus.KptPlus, plain.KptStar)
+	}
+	if plus.Theta > plain.Theta {
+		t.Fatalf("TIM+ theta %d > TIM theta %d", plus.Theta, plain.Theta)
+	}
+	// Refinement should have a recorded (nonzero) duration for TIM+ and
+	// zero for TIM.
+	if plus.Timings.Refinement <= 0 {
+		t.Fatal("TIM+ refinement timing missing")
+	}
+	if plain.Timings.Refinement != 0 {
+		t.Fatal("plain TIM should skip refinement")
+	}
+}
+
+func TestApproximationQualityVsBruteForce(t *testing.T) {
+	// Exhaustively compute the optimal k=2 seed set by Monte Carlo on a
+	// small graph, then require TIM+'s seed set to achieve at least
+	// (1 − 1/e − ε) of it (with sampling slack).
+	g := gen.ErdosRenyiGnm(40, 200, rng.New(15))
+	graph.AssignWeightedCascade(g)
+	model := diffusion.NewIC()
+	const k, eps = 2, 0.1
+	res, err := Maximize(g, model, Options{K: k, Epsilon: eps, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 20000, Seed: 17})
+	best := 0.0
+	for a := 0; a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			s := spread.Estimate(g, model, []uint32{uint32(a), uint32(b)}, spread.Options{Samples: 2000, Seed: 18})
+			if s > best {
+				best = s
+			}
+		}
+	}
+	ratio := mine / best
+	if ratio < (1 - 1/math.E - eps - 0.1) {
+		t.Fatalf("approximation ratio %v too low (mine %v, best %v)", ratio, mine, best)
+	}
+}
+
+func TestSpreadEstimateMatchesMC(t *testing.T) {
+	// Corollary 1 end-to-end: the coverage-based spread estimate from
+	// node selection must agree with forward Monte Carlo.
+	g := gen.ChungLuDirected(1500, 9000, 2.4, 2.1, rng.New(19))
+	graph.AssignWeightedCascade(g)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 5, Epsilon: 0.15, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := spread.Estimate(g, diffusion.NewIC(), res.Seeds, spread.Options{Samples: 30000, Seed: 21})
+	if math.Abs(res.SpreadEstimate-mc) > 0.1*mc+1 {
+		t.Fatalf("coverage estimate %v vs MC %v", res.SpreadEstimate, mc)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := gen.Path(5, 1)
+	model := diffusion.NewIC()
+	cases := []Options{
+		{K: 0},
+		{K: -3},
+		{K: 6},                // k > n
+		{K: 1, Epsilon: -0.5}, // bad eps
+		{K: 1, Epsilon: 1.5},  // bad eps
+		{K: 1, Ell: -1},       // bad ell
+		{K: 1, Variant: Algorithm(9)},
+		{K: 1, EpsPrime: -2},
+	}
+	for i, opts := range cases {
+		if _, err := Maximize(g, model, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d (%+v): got %v, want ErrBadOptions", i, opts, err)
+		}
+	}
+	empty := graph.MustFromEdges(0, nil)
+	if _, err := Maximize(empty, model, Options{K: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("empty graph: got %v", err)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	g := gen.Path(6, 0.5)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 6, Epsilon: 0.5, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 6 {
+		t.Fatalf("|seeds|=%d, want all 6", len(res.Seeds))
+	}
+	if math.Abs(res.SpreadEstimate-6) > 0.3 {
+		t.Fatalf("spread %v, want 6 (all nodes seeded)", res.SpreadEstimate)
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.MustFromEdges(1, nil)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+	if res.SpreadEstimate < 0.99 {
+		t.Fatalf("spread %v, want 1", res.SpreadEstimate)
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.MustFromEdges(50, nil)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 3, Epsilon: 0.5, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+	// KPT* should bottom out at 1 (every node only activates itself).
+	if res.KptStar < 1 || res.KptStar > 3.5 {
+		t.Fatalf("KPT*=%v on an edgeless graph", res.KptStar)
+	}
+}
+
+func TestThetaCap(t *testing.T) {
+	g := gen.ErdosRenyiGnm(500, 2500, rng.New(25))
+	graph.AssignWeightedCascade(g)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 3, Epsilon: 0.1, ThetaCap: 100, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta != 100 || !res.ThetaCapped {
+		t.Fatalf("theta=%d capped=%v, want 100/true", res.Theta, res.ThetaCapped)
+	}
+}
+
+func TestSelectWithTheta(t *testing.T) {
+	g := gen.Star(10, 1)
+	res, err := SelectWithTheta(g, diffusion.NewIC(), 1, 500, 1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want hub", res.Seeds)
+	}
+	if res.Theta != 500 {
+		t.Fatalf("theta=%d", res.Theta)
+	}
+	if _, err := SelectWithTheta(g, diffusion.NewIC(), 0, 10, 1, 1); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad k accepted: %v", err)
+	}
+}
+
+func TestEffectiveEllInflation(t *testing.T) {
+	o := Options{K: 1, Ell: 1, Variant: TIMPlus}
+	if err := o.validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	ell := o.effectiveEll(1000)
+	want := 1 + math.Log(3)/math.Log(1000)
+	if math.Abs(ell-want) > 1e-12 {
+		t.Fatalf("effective ell %v, want %v", ell, want)
+	}
+	o.ExactEll = true
+	if o.effectiveEll(1000) != 1 {
+		t.Fatal("ExactEll ignored")
+	}
+	o2 := Options{K: 1, Ell: 1, Variant: TIM}
+	if err := o2.validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	want2 := 1 + math.Ln2/math.Log(1000)
+	if math.Abs(o2.effectiveEll(1000)-want2) > 1e-12 {
+		t.Fatal("TIM ell inflation wrong")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if TIM.String() != "TIM" || TIMPlus.String() != "TIM+" {
+		t.Fatal("Algorithm.String broken")
+	}
+	if Algorithm(7).String() == "" {
+		t.Fatal("unknown variant String empty")
+	}
+}
+
+func TestLTRunsOnRealShape(t *testing.T) {
+	g := gen.ChungLuDirected(1000, 6000, 2.4, 2.1, rng.New(28))
+	graph.AssignRandomNormalizedLT(g, rng.New(29))
+	res, err := Maximize(g, diffusion.NewLT(), Options{K: 10, Epsilon: 0.3, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 10 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+	mc := spread.Estimate(g, diffusion.NewLT(), res.Seeds, spread.Options{Samples: 20000, Seed: 31})
+	if math.Abs(res.SpreadEstimate-mc) > 0.15*mc+1 {
+		t.Fatalf("LT coverage estimate %v vs MC %v", res.SpreadEstimate, mc)
+	}
+}

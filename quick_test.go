@@ -1,0 +1,183 @@
+package repro
+
+// Property-based tests over the public API: for arbitrary (seeded)
+// graphs and valid options, the documented invariants must hold. These
+// complement the per-package unit tests with whole-stack checks.
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// arbitraryGraph builds a random weighted graph from a seed, cycling
+// through generator families and weighting schemes.
+func arbitraryGraph(seed uint64) *Graph {
+	n := 20 + int(seed%5)*30
+	var g *Graph
+	switch seed % 4 {
+	case 0:
+		g = GenerateErdosRenyi(n, n*4, seed)
+	case 1:
+		g = GenerateBarabasiAlbert(n, 2, seed)
+	case 2:
+		g = GenerateChungLu(n, n*5, 2.4, 2.1, seed)
+	default:
+		g = GenerateForestFire(n, 0.3, 0.3, seed)
+	}
+	switch seed % 3 {
+	case 0:
+		UseWeightedCascade(g)
+	case 1:
+		_ = UseUniformIC(g, 0.1)
+	default:
+		UseTrivalency(g, seed)
+	}
+	return g
+}
+
+// TestMaximizeInvariantsQuick: for any valid instance, Maximize returns
+// exactly K distinct in-range seeds, sane diagnostics, and a spread
+// estimate within [K·something, n].
+func TestMaximizeInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := arbitraryGraph(seed)
+		k := 1 + int(seed%7)
+		if k > g.N() {
+			k = g.N()
+		}
+		res, err := Maximize(g, IC(), Options{K: k, Epsilon: 0.4, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(res.Seeds) != k {
+			return false
+		}
+		seen := map[uint32]bool{}
+		for _, s := range res.Seeds {
+			if int(s) >= g.N() || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		if res.KptPlus < res.KptStar || res.KptStar < 1 {
+			return false
+		}
+		if res.Theta < 1 || res.CoverageFraction < 0 || res.CoverageFraction > 1 {
+			return false
+		}
+		return res.SpreadEstimate <= float64(g.N())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadBoundsQuick: Monte-Carlo spread is bounded by [|S|, n] and
+// is monotone under superset seeds (within noise allowance).
+func TestSpreadBoundsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := arbitraryGraph(seed)
+		s1 := []uint32{uint32(seed % uint64(g.N()))}
+		s2 := append([]uint32{}, s1[0], uint32((seed+7)%uint64(g.N())))
+		opts := SpreadOptions{Samples: 3000, Seed: seed}
+		sp1 := EstimateSpread(g, IC(), s1, opts)
+		sp2 := EstimateSpread(g, IC(), s2, opts)
+		if sp1 < 1 || sp1 > float64(g.N()) {
+			return false
+		}
+		distinct := 2.0
+		if s2[0] == s2[1] {
+			distinct = 1
+		}
+		if sp2 < distinct-1e-9 || sp2 > float64(g.N()) {
+			return false
+		}
+		return sp2 >= sp1-0.5 // monotone up to MC noise
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCPartitionQuick: component sizes sum to n on arbitrary graphs.
+func TestSCCPartitionQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := arbitraryGraph(seed)
+		scc := SCC(g)
+		var total int32
+		for _, s := range scc.Sizes {
+			total += s
+		}
+		if int(total) != g.N() {
+			return false
+		}
+		dag := CondenseSCC(g, scc)
+		return SCC(dag).Count == dag.N() // condensation is a DAG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceConsistencyQuick: a trace's spread equals its activation
+// count, seeds are step 0, and every step is either 0 or one more than
+// some earlier activation by its "By" node.
+func TestTraceConsistencyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := arbitraryGraph(seed)
+		seeds := []uint32{uint32(seed % uint64(g.N()))}
+		tr := TraceCascade(g, IC(), seeds, seed)
+		if tr.Spread() != len(tr.Activations) {
+			return false
+		}
+		stepOf := map[uint32]int{}
+		for _, a := range tr.Activations {
+			stepOf[a.Node] = a.Step
+		}
+		for _, a := range tr.Activations {
+			if a.Step == 0 {
+				if a.By != a.Node {
+					return false
+				}
+				continue
+			}
+			byStep, ok := stepOf[a.By]
+			if !ok || a.Step != byStep+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializationQuick: text and binary round trips preserve the edge
+// multiset for arbitrary graphs.
+func TestSerializationQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := arbitraryGraph(seed)
+		var text, bin bytes.Buffer
+		if err := SaveEdgeList(&text, g); err != nil {
+			return false
+		}
+		if err := SaveBinary(&bin, g); err != nil {
+			return false
+		}
+		g2, err := LoadEdgeList(&text, false)
+		if err != nil {
+			return false
+		}
+		g3, err := LoadBinary(&bin)
+		if err != nil {
+			return false
+		}
+		return g2.M() == g.M() && g3.M() == g.M() && g2.N() == g.N() && g3.N() == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented workflow: load, weight,
+// maximize, evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const edgeList = `# tiny network
+0 1
+0 2
+1 3
+2 3
+3 4
+`
+	g, err := LoadEdgeList(strings.NewReader(edgeList), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseWeightedCascade(g)
+	res, err := Maximize(g, IC(), Options{K: 1, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want [0] (only node reaching everything)", res.Seeds)
+	}
+	sp := EstimateSpread(g, IC(), res.Seeds, SpreadOptions{Samples: 5000, Seed: 2})
+	if sp < 1 || sp > 5 {
+		t.Fatalf("spread=%v outside [1,5]", sp)
+	}
+}
+
+func TestPublicGraphConstruction(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	st := Stats(g)
+	if st.Nodes != 3 || st.Edges != 2 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestPublicRoundTrips(t *testing.T) {
+	g := GenerateErdosRenyi(50, 200, 1)
+	UseWeightedCascade(g)
+	var text, bin bytes.Buffer
+	if err := SaveEdgeList(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&text, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() || g3.M() != g.M() {
+		t.Fatalf("round trips lost edges: %d %d %d", g.M(), g2.M(), g3.M())
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	if g := GenerateBarabasiAlbert(100, 2, 1); g.N() != 100 {
+		t.Fatal("BA size")
+	}
+	if g := GenerateWattsStrogatz(100, 4, 0.1, 1); g.N() != 100 {
+		t.Fatal("WS size")
+	}
+	if g := GenerateChungLu(100, 400, 2.4, 2.1, 1); g.M() != 400 {
+		t.Fatal("ChungLu size")
+	}
+	if g := GenerateCommunity(60, 3, 0.2, 0.01, 1); g.N() != 60 {
+		t.Fatal("Community size")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 5 {
+		t.Fatalf("datasets: %v", names)
+	}
+	g, err := GenerateDataset("nethept", ScaleTiny, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("nethept tiny n=%d", g.N())
+	}
+	if _, err := GenerateDataset("unknown", ScaleTiny, 7); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := GenerateDataset("nethept", "enormous", 7); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := GenerateChungLu(300, 1500, 2.4, 2.1, 3)
+	UseWeightedCascade(g)
+	if seeds, err := DegreeSelect(g, 5); err != nil || len(seeds) != 5 {
+		t.Fatalf("Degree: %v %v", seeds, err)
+	}
+	if seeds, err := PageRankSelect(g, 5); err != nil || len(seeds) != 5 {
+		t.Fatalf("PageRank: %v %v", seeds, err)
+	}
+	if seeds, err := RandomSelect(g, 5, 1); err != nil || len(seeds) != 5 {
+		t.Fatalf("Random: %v %v", seeds, err)
+	}
+	if seeds, err := DegreeDiscountSelect(g, 5, 0.05); err != nil || len(seeds) != 5 {
+		t.Fatalf("DegreeDiscount: %v %v", seeds, err)
+	}
+	if res, err := IRIESelect(g, IRIEOptions{K: 5}); err != nil || len(res.Seeds) != 5 {
+		t.Fatalf("IRIE: %v", err)
+	}
+	if res, err := RISSelect(g, IC(), RISOptions{K: 5, Epsilon: 0.5, Seed: 2}); err != nil || len(res.Seeds) != 5 {
+		t.Fatalf("RIS: %v", err)
+	}
+	if res, err := GreedySelect(g, IC(), 2, GreedyOptions{R: 50, Seed: 3}); err != nil || len(res.Seeds) != 2 {
+		t.Fatalf("Greedy: %v", err)
+	}
+	UseRandomLTWeights(g, 4)
+	if res, err := SimpathSelect(g, SimpathOptions{K: 3}); err != nil || len(res.Seeds) != 3 {
+		t.Fatalf("SIMPATH: %v", err)
+	}
+}
+
+func TestCustomTriggeringModel(t *testing.T) {
+	// A sampler that returns every in-neighbor with certainty turns
+	// reachability deterministic: the RR set for v is everything that
+	// reaches v, so the best seed on a path is its source.
+	g, err := NewGraph(4, []Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 3, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Maximize(g, TriggeringModel(allInNeighbors{}), Options{K: 1, Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("seeds=%v, want [0]", res.Seeds)
+	}
+}
+
+// allInNeighbors is a TriggerSampler whose triggering set is always the
+// full in-neighborhood.
+type allInNeighbors struct{}
+
+func (allInNeighbors) AppendTrigger(dst []uint32, g *Graph, v uint32, _ *Rand) []uint32 {
+	src, _ := g.InNeighbors(v)
+	return append(dst, src...)
+}
+
+func TestSpreadStderr(t *testing.T) {
+	g, err := NewGraph(2, []Edge{{From: 0, To: 1, Weight: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, stderr := EstimateSpreadStderr(g, IC(), []uint32{0}, SpreadOptions{Samples: 50000, Seed: 6})
+	if math.Abs(mean-1.5) > 0.02 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if stderr <= 0 {
+		t.Fatalf("stderr=%v", stderr)
+	}
+}
+
+func TestWeightingSchemes(t *testing.T) {
+	g := GenerateErdosRenyi(100, 500, 9)
+	if err := UseUniformIC(g, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	UseTrivalency(g, 10)
+	UseUniformLTWeights(g)
+	UseRandomLTWeights(g, 11)
+	// After LT weighting, Maximize under LT must run.
+	res, err := Maximize(g, LT(), Options{K: 3, Epsilon: 0.4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds=%v", res.Seeds)
+	}
+}
