@@ -1,0 +1,130 @@
+// Command timserver serves influence-maximization queries over HTTP: it
+// loads a registry of named graphs once at startup and answers repeated
+// (k, ε, model) queries from an LRU result cache and an RR-collection
+// reuse layer, instead of paying the full TIM+ pipeline per invocation
+// the way timcli does.
+//
+// Example:
+//
+//	timserver -listen :8080 \
+//	    -dataset nethept=profile:nethept:tiny \
+//	    -dataset mygraph=file:network.txt
+//
+//	curl -s localhost:8080/v1/maximize -d '{"dataset":"nethept","k":20,"epsilon":0.1}'
+//	curl -s localhost:8080/v1/spread   -d '{"dataset":"nethept","seeds":[1,2,3]}'
+//	curl -s localhost:8080/v1/stats
+//
+// Endpoints: POST /v1/maximize, POST /v1/spread, GET /v1/stats,
+// GET /v1/datasets, GET /healthz. The server drains in-flight requests on
+// SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// datasetFlags collects repeated -dataset name=source flags.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *datasetFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var datasets datasetFlags
+	var (
+		listen    = flag.String("listen", ":8080", "address to listen on")
+		cacheSize = flag.Int("cache", 256, "LRU result cache capacity (entries)")
+		rrCap     = flag.Int("rr-collections", 64, "max live RR collections in the reuse layer (LRU-evicted beyond)")
+		maxTheta  = flag.Int64("max-theta", 4_000_000, "cap on RR sets sampled per query (tiny-epsilon OOM guard; responses report theta_capped)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
+		workers   = flag.Int("workers", 0, "sampling workers per query (0 = all cores)")
+		seed      = flag.Uint64("seed", 1, "base seed for the RR reuse layer and default query seed")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Var(&datasets, "dataset",
+		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
+	flag.Parse()
+
+	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "timserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, datasets []string, cacheSize, rrCollections int,
+	maxTheta int64, timeout time.Duration, workers int, seed uint64,
+	drain time.Duration) error {
+
+	if len(datasets) == 0 {
+		return fmt.Errorf("at least one -dataset name=source is required")
+	}
+	specs := make([]server.DatasetSpec, 0, len(datasets))
+	for _, d := range datasets {
+		spec, err := server.ParseDatasetSpec(d, seed)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	srv, err := server.New(server.Config{
+		Datasets:       specs,
+		CacheSize:      cacheSize,
+		RRCollections:  rrCollections,
+		MaxTheta:       maxTheta,
+		RequestTimeout: timeout,
+		Workers:        workers,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("timserver: listening on %s with %d dataset(s)", listen, len(specs))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("timserver: shutting down (draining up to %v)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("timserver: drained cleanly")
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDatasetFlags(t *testing.T) {
+	var d datasetFlags
+	if err := d.Set("a=ba:10:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("b=er:10:20"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "a=ba:10:2,b=er:10:20" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		datasets []string
+		wantSub  string
+	}{
+		{"no datasets", nil, "at least one -dataset"},
+		{"bad spec", []string{"noequals"}, "name=source"},
+		{"duplicate", []string{"a=ba:10:2", "a=ba:20:2"}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestRunBadListenAddress(t *testing.T) {
+	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second)
+	if err == nil {
+		t.Fatal("want listen error")
+	}
+}

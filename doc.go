@@ -28,9 +28,13 @@
 //     accounting), NewArena/FollowerGreedy (competitive influence
 //     maximization, the follower's problem), and Options.SpillDir
 //     (out-of-core node selection).
+//   - A query server (cmd/timserver, internal/server) that loads graphs
+//     once and serves repeated (k, ε, model) queries from an LRU result
+//     cache and an RR-collection reuse layer; MaximizeContext and
+//     Options.Source are the library-level hooks it is built on.
 //
 // The subpackages under internal/ hold the implementation; this package
-// is the supported public surface. See DESIGN.md for the architecture and
-// EXPERIMENTS.md for the reproduction of every table and figure in the
-// paper.
+// is the supported public surface. See README.md for the quick start,
+// DESIGN.md for the architecture, and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
 package repro

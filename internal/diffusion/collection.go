@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -63,6 +64,11 @@ type SampleOptions struct {
 	// Seed selects the random stream. Batches that must be independent
 	// should use distinct seeds.
 	Seed uint64
+	// Ctx, when non-nil, lets callers cancel a long sampling run: workers
+	// poll it periodically and stop early, so the returned collection may
+	// hold fewer than count sets. Callers that need to distinguish a
+	// cancelled partial result should check Ctx.Err() afterwards.
+	Ctx context.Context
 }
 
 func (o *SampleOptions) normalize(count int64) {
@@ -103,6 +109,9 @@ func SampleCollection(g *graph.Graph, model Model, count int64, opts SampleOptio
 			col := &RRCollection{Off: make([]int64, 1, quota+1)}
 			var buf []uint32
 			for i := int64(0); i < quota; i++ {
+				if opts.Ctx != nil && i&63 == 0 && opts.Ctx.Err() != nil {
+					break
+				}
 				var width int64
 				buf, width = sampler.Sample(r, buf[:0])
 				col.Append(buf, width)

@@ -1,0 +1,114 @@
+package diffusion
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ExtendCollection grows col so that it holds total RR sets, sampling
+// only the missing tail. Set i is always drawn from stream
+// rng.New(seed).Split(i), regardless of how many ExtendCollection calls
+// produced the collection — so extending to θ₁ and later to θ₂ > θ₁
+// yields bit-identical sets to sampling θ₂ in one call with the same
+// seed. That prefix determinism is what makes cached RR collections
+// reusable across queries with growing θ: a warm cache can never change
+// an answer, only skip the sampling a cold run would have done.
+//
+// The per-set widths of the newly sampled tail are appended to widths
+// (which callers maintaining prefix sums can pass as nil to discard), and
+// the extended slice is returned. Sampling parallelizes over opts.Workers
+// with contiguous index ranges merged in order, so the result is
+// independent of the worker count.
+//
+// If ctx is non-nil and is cancelled mid-extension, ExtendCollection
+// stops early and returns ctx's error with the collection unchanged.
+func ExtendCollection(ctx context.Context, g *graph.Graph, model Model, col *RRCollection, total int64, seed uint64, workers int, widths []int64) ([]int64, error) {
+	if len(col.Off) == 0 {
+		col.Off = append(col.Off, 0)
+	}
+	cur := int64(col.Count())
+	if total <= cur || g.N() == 0 {
+		return widths, ctxErr(ctx)
+	}
+	missing := total - cur
+	opts := SampleOptions{Workers: workers}
+	opts.normalize(missing)
+
+	base := rng.New(seed)
+	parts := make([]*RRCollection, opts.Workers)
+	partWidths := make([][]int64, opts.Workers)
+	var wg sync.WaitGroup
+	lo := cur
+	for w := 0; w < opts.Workers; w++ {
+		quota := missing / int64(opts.Workers)
+		if int64(w) < missing%int64(opts.Workers) {
+			quota++
+		}
+		hi := lo + quota
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			sampler := NewRRSampler(g, model)
+			part := &RRCollection{Off: make([]int64, 1, hi-lo+1)}
+			ws := make([]int64, 0, hi-lo)
+			var buf []uint32
+			var stream rng.Rand
+			for i := lo; i < hi; i++ {
+				if ctx != nil && (i-lo)&63 == 0 && ctx.Err() != nil {
+					return
+				}
+				base.SplitInto(uint64(i), &stream)
+				var width int64
+				buf, width = sampler.Sample(&stream, buf[:0])
+				part.Append(buf, width)
+				ws = append(ws, width)
+			}
+			parts[w] = part
+			partWidths[w] = ws
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return widths, err
+	}
+	for w := range parts {
+		if parts[w] == nil { // a worker bailed on a cancelled ctx
+			return widths, context.Canceled
+		}
+	}
+	for w := range parts {
+		col.Merge(parts[w])
+		widths = append(widths, partWidths[w]...)
+	}
+	return widths, nil
+}
+
+// ctxErr is ctx.Err() tolerant of a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Prefix returns a read-only view of the first count sets of c, with
+// totalWidth as its Σw(R). The view aliases c's storage: it stays valid
+// even if c is extended afterwards (appends either write past the view's
+// length or relocate into a new array), but callers must not mutate it.
+func (c *RRCollection) Prefix(count int, totalWidth int64) *RRCollection {
+	if count > c.Count() {
+		count = c.Count()
+	}
+	if count < 0 {
+		count = 0
+	}
+	return &RRCollection{
+		Flat:       c.Flat[:c.Off[count]],
+		Off:        c.Off[:count+1],
+		TotalWidth: totalWidth,
+	}
+}

@@ -137,6 +137,9 @@ func TestAbortRemovesFile(t *testing.T) {
 // TestGreedyOutOfCoreMatchesNaive: identical algorithm, different
 // storage — results must be exactly equal (both tie-break by lowest id).
 func TestGreedyOutOfCoreMatchesNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized cross-check sweep")
+	}
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 3 + r.Intn(20)
@@ -181,6 +184,9 @@ func TestGreedyOutOfCoreMatchesNaive(t *testing.T) {
 }
 
 func TestGreedyOutOfCoreRealisticGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy out-of-core pass")
+	}
 	g := gen.ChungLuDirected(400, 2400, 2.4, 2.1, rng.New(1))
 	graph.AssignWeightedCascade(g)
 	col := diffusion.SampleCollection(g, diffusion.NewIC(), 2000, diffusion.SampleOptions{Workers: 1, Seed: 2})

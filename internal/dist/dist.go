@@ -1,0 +1,218 @@
+// Package dist implements the paper's §8 future-work direction: TIM/TIM+
+// as a distributed algorithm, run as a single-process simulation of a
+// cluster of P machines.
+//
+// The graph is vertex-partitioned over the simulated machines. RR-set
+// sampling becomes a distributed reverse BFS whose frontier hops between
+// shards as accounted messages, and node selection becomes a distributed
+// greedy cover driven by a coordinator. The simulation is faithful about
+// the two quantities a real deployment trades: per-machine graph memory
+// (which falls like 1/P) and network traffic (which grows with P).
+//
+// Determinism contract: every random decision is keyed by
+// (batch seed, RR id, node) rather than by machine, so the selected seeds
+// and θ are invariant in the shard count. That is what makes the
+// simulation trustworthy — distributing the computation changes where
+// work happens, never what is computed.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/tim"
+)
+
+// PartitionKind selects how nodes map to simulated machines.
+type PartitionKind int
+
+const (
+	// Hash partitions nodes by id modulo the shard count (default).
+	Hash PartitionKind = iota
+	// Block partitions contiguous id ranges of near-equal size.
+	Block
+)
+
+// String implements fmt.Stringer.
+func (p PartitionKind) String() string {
+	switch p {
+	case Hash:
+		return "hash"
+	case Block:
+		return "block"
+	}
+	return fmt.Sprintf("PartitionKind(%d)", int(p))
+}
+
+// Options configures a distributed Maximize run. K is required; the other
+// fields default like tim.Options (ε=0.1, ℓ=1, TIM+), with Shards
+// defaulting to 1 and Partition to Hash.
+type Options struct {
+	// K is the seed-set size (required, 1 ≤ K ≤ n).
+	K int
+	// Shards is the number of simulated machines (default 1).
+	Shards int
+	// Partition selects the node-to-machine mapping (default Hash).
+	Partition PartitionKind
+	// Epsilon is the approximation slack ε in (0, 1]. Default 0.1.
+	Epsilon float64
+	// Ell controls the failure probability n^−ℓ. Default 1.
+	Ell float64
+	// Variant selects TIM+ (default) or TIM.
+	Variant tim.Algorithm
+	// EpsPrime is Algorithm 3's ε′; zero selects the paper's heuristic.
+	EpsPrime float64
+	// Seed drives all randomness. Results are deterministic in Seed and
+	// independent of Shards and Partition.
+	Seed uint64
+}
+
+// NetStats aggregates the simulated network traffic of a run.
+type NetStats struct {
+	// Messages is the total number of messages exchanged.
+	Messages int64
+	// Bytes is the total payload volume.
+	Bytes int64
+	// ExpandRequests counts frontier round trips of the distributed
+	// reverse BFS: one per retained cross-shard edge.
+	ExpandRequests int64
+	// CoverRounds counts coordinator rounds of the distributed greedy
+	// cover (one per selected seed).
+	CoverRounds int64
+}
+
+// add merges o into s.
+func (s *NetStats) add(o NetStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.ExpandRequests += o.ExpandRequests
+	s.CoverRounds += o.CoverRounds
+}
+
+// Result is the output of a distributed run: the same core diagnostics as
+// tim.Result plus per-shard memory footprints and network traffic.
+type Result struct {
+	// Seeds is the selected seed set, in greedy pick order.
+	Seeds []uint32
+	// Shards is the number of simulated machines that ran.
+	Shards int
+
+	// KptStar and KptPlus are the Algorithm 2 / Algorithm 3 bounds.
+	KptStar float64
+	KptPlus float64
+	// Theta is the number of RR sets sampled by node selection.
+	Theta int64
+	// CoverageFraction is the fraction of the θ RR sets covered by Seeds.
+	CoverageFraction float64
+	// SpreadEstimate is n·CoverageFraction (Corollary 1).
+	SpreadEstimate float64
+
+	// ShardMemoryBytes[i] is the adjacency bytes machine i holds — the
+	// quantity distribution exists to shrink.
+	ShardMemoryBytes []int64
+	// Net is the traffic paid for that shrinkage.
+	Net NetStats
+}
+
+// ErrTriggeringUnsupported is returned for custom triggering models:
+// sampling a triggering set requires whole-graph access at the owning
+// node, which a vertex-partitioned machine does not have for remote
+// in-neighbors. IC and LT have local per-edge factorizations and are
+// supported.
+var ErrTriggeringUnsupported = errors.New("dist: custom triggering models are not supported by the distributed runner (use IC or LT)")
+
+// ErrBadOptions wraps option-validation failures.
+var ErrBadOptions = errors.New("dist: invalid options")
+
+func (o *Options) validate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: graph has no nodes", ErrBadOptions)
+	}
+	if o.K <= 0 || o.K > n {
+		return fmt.Errorf("%w: K=%d outside [1, %d]", ErrBadOptions, o.K, n)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		return fmt.Errorf("%w: Epsilon=%v outside (0, 1]", ErrBadOptions, o.Epsilon)
+	}
+	if o.Ell == 0 {
+		o.Ell = 1
+	}
+	if o.Ell <= 0 {
+		return fmt.Errorf("%w: Ell=%v must be positive", ErrBadOptions, o.Ell)
+	}
+	if o.Partition != Hash && o.Partition != Block {
+		return fmt.Errorf("%w: unknown partition kind %d", ErrBadOptions, int(o.Partition))
+	}
+	return nil
+}
+
+// partitioner maps nodes to shards.
+type partitioner struct {
+	kind      PartitionKind
+	shards    uint32
+	blockSize uint32
+}
+
+func newPartitioner(kind PartitionKind, n, shards int) partitioner {
+	p := partitioner{kind: kind, shards: uint32(shards)}
+	if kind == Block {
+		p.blockSize = uint32((n + shards - 1) / shards)
+		if p.blockSize == 0 {
+			p.blockSize = 1
+		}
+	}
+	return p
+}
+
+func (p partitioner) shardOf(v uint32) uint32 {
+	if p.kind == Block {
+		s := v / p.blockSize
+		if s >= p.shards {
+			s = p.shards - 1
+		}
+		return s
+	}
+	return v % p.shards
+}
+
+// shardMemory returns the adjacency bytes each machine holds: its nodes'
+// CSR offsets plus both directions of their incident edge arrays, using
+// the same per-element costs as graph.MemoryFootprint.
+func shardMemory(g *graph.Graph, p partitioner, shards int) []int64 {
+	mem := make([]int64, shards)
+	for v := uint32(0); int(v) < g.N(); v++ {
+		s := p.shardOf(v)
+		out := int64(g.OutDegree(v))
+		in := int64(g.InDegree(v))
+		// Two offset entries (8 bytes each), 8 bytes per out-edge
+		// (target + weight), 16 per in-edge (source + weight + inToOut).
+		mem[s] += 16 + out*8 + in*16
+	}
+	return mem
+}
+
+// dedup for message sizing: a frontier hop ships (rr id, node id) and the
+// reply ships the retained neighbors; the constants below are the
+// per-message envelope and per-node payload in bytes.
+const (
+	msgEnvelopeBytes = 12 // rr id (8) + node id (4)
+	nodeIDBytes      = 4
+)
+
+// modelSupported reports whether the model has a local per-edge
+// factorization usable by the distributed sampler.
+func modelSupported(m diffusion.Model) bool {
+	switch m.Kind() {
+	case diffusion.IC, diffusion.LT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/tim"
+)
+
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := gen.BarabasiAlbert(n, 3, rng.New(11))
+	graph.AssignWeightedCascade(g)
+	return g
+}
+
+// TestShardInvariance is the determinism contract: seeds, θ, and KPT are
+// identical for every shard count and partition kind.
+func TestShardInvariance(t *testing.T) {
+	g := testGraph(t, 250)
+	var want *Result
+	for _, kind := range []PartitionKind{Hash, Block} {
+		for _, shards := range []int{1, 2, 3, 5, 8} {
+			res, err := Maximize(g, diffusion.NewIC(), Options{
+				K: 5, Shards: shards, Partition: kind, Epsilon: 0.3, Seed: 7,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, shards, err)
+			}
+			if want == nil {
+				want = res
+				continue
+			}
+			if fmt.Sprint(res.Seeds) != fmt.Sprint(want.Seeds) {
+				t.Fatalf("%v/%d: seeds %v != %v", kind, shards, res.Seeds, want.Seeds)
+			}
+			if res.Theta != want.Theta || res.KptPlus != want.KptPlus {
+				t.Fatalf("%v/%d: theta/kpt drifted: %d/%g vs %d/%g",
+					kind, shards, res.Theta, res.KptPlus, want.Theta, want.KptPlus)
+			}
+		}
+	}
+}
+
+// TestMemoryTrafficTrade checks the quantities the simulation exists to
+// expose: per-shard memory falls with P, traffic grows with P.
+func TestMemoryTrafficTrade(t *testing.T) {
+	g := testGraph(t, 300)
+	maxShard := func(res *Result) int64 {
+		var m int64
+		for _, b := range res.ShardMemoryBytes {
+			if b > m {
+				m = b
+			}
+		}
+		return m
+	}
+	var prevMem, prevBytes int64
+	for i, shards := range []int{1, 2, 4, 8} {
+		res, err := Maximize(g, diffusion.NewIC(), Options{K: 4, Shards: shards, Epsilon: 0.3, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ShardMemoryBytes) != shards {
+			t.Fatalf("want %d shard footprints, got %d", shards, len(res.ShardMemoryBytes))
+		}
+		var total int64
+		for _, b := range res.ShardMemoryBytes {
+			total += b
+		}
+		if total != maxShard(res)*1 && total <= 0 {
+			t.Fatalf("implausible shard memory %v", res.ShardMemoryBytes)
+		}
+		if i > 0 {
+			if m := maxShard(res); m >= prevMem {
+				t.Fatalf("shards=%d: max shard memory %d did not shrink from %d", shards, m, prevMem)
+			}
+			if res.Net.Bytes <= prevBytes {
+				t.Fatalf("shards=%d: traffic %d did not grow from %d", shards, res.Net.Bytes, prevBytes)
+			}
+		}
+		prevMem = maxShard(res)
+		prevBytes = res.Net.Bytes
+	}
+}
+
+// TestLTModel runs the LT fast path end to end.
+func TestLTModel(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, rng.New(5))
+	graph.AssignRandomNormalizedLT(g, rng.New(6))
+	r2, err := Maximize(g, diffusion.NewLT(), Options{K: 3, Shards: 2, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Maximize(g, diffusion.NewLT(), Options{K: 3, Shards: 4, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r2.Seeds) != fmt.Sprint(r4.Seeds) {
+		t.Fatalf("LT seeds vary with shards: %v vs %v", r2.Seeds, r4.Seeds)
+	}
+	if len(r2.Seeds) != 3 {
+		t.Fatalf("want 3 seeds, got %v", r2.Seeds)
+	}
+}
+
+// TestRejectsTriggering checks the documented limitation.
+func TestRejectsTriggering(t *testing.T) {
+	g := testGraph(t, 50)
+	_, err := Maximize(g, diffusion.NewTriggering(diffusion.ICTrigger{}), Options{K: 2})
+	if !errors.Is(err, ErrTriggeringUnsupported) {
+		t.Fatalf("want ErrTriggeringUnsupported, got %v", err)
+	}
+}
+
+// TestOptionValidation covers the error paths.
+func TestOptionValidation(t *testing.T) {
+	g := testGraph(t, 50)
+	for name, opts := range map[string]Options{
+		"zero-k":      {K: 0},
+		"k-too-large": {K: 51},
+		"bad-eps":     {K: 2, Epsilon: 1.5},
+		"bad-ell":     {K: 2, Ell: -1},
+		"bad-part":    {K: 2, Partition: PartitionKind(9)},
+	} {
+		if _, err := Maximize(g, diffusion.NewIC(), opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: want ErrBadOptions, got %v", name, err)
+		}
+	}
+	if _, err := Maximize(g, diffusion.NewIC(), Options{K: 2, Variant: tim.Algorithm(7)}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("bad variant: want ErrBadOptions, got %v", err)
+	}
+}
+
+// TestPlainTIMVariant exercises the no-refinement path.
+func TestPlainTIMVariant(t *testing.T) {
+	g := testGraph(t, 150)
+	res, err := Maximize(g, diffusion.NewIC(), Options{K: 3, Shards: 3, Epsilon: 0.4, Variant: tim.TIM, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KptPlus != res.KptStar {
+		t.Fatalf("plain TIM must not refine: kpt+=%g kpt*=%g", res.KptPlus, res.KptStar)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("want 3 seeds, got %v", res.Seeds)
+	}
+}

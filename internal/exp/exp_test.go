@@ -81,6 +81,9 @@ func TestAblationSpill(t *testing.T) {
 }
 
 func TestHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo sweep")
+	}
 	cfg := fastConfig()
 	rep, err := Run("headline", cfg)
 	if err != nil {
@@ -227,6 +230,9 @@ func TestFig5KptOrdering(t *testing.T) {
 }
 
 func TestFig7EpsilonMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo sweep")
+	}
 	cfg := fastConfig()
 	cfg.EpsValues = []float64{0.2, 0.5}
 	rep, err := Run("fig7", cfg)
@@ -264,6 +270,9 @@ func TestFig9SpreadComparable(t *testing.T) {
 }
 
 func TestFig6RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo sweep")
+	}
 	cfg := fastConfig()
 	cfg.KValues = []int{5}
 	rep, err := Run("fig6", cfg)

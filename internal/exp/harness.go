@@ -1,9 +1,9 @@
 // Package exp is the experiment harness: it regenerates every table and
 // figure of the paper's evaluation (§7) — Table 2 and Figures 3 through
 // 12 — on the synthetic dataset profiles. Each experiment is addressed by
-// the id used in DESIGN.md's per-experiment index ("table2", "fig3", ...,
-// "fig12") and produces a Report whose rows mirror the series the paper
-// plots.
+// the id used in EXPERIMENTS.md's per-experiment index ("table2", "fig3",
+// ..., "fig12") and produces a Report whose rows mirror the series the
+// paper plots.
 //
 // Scale and parameter knobs exist because the paper's runs take hours on
 // a 48 GB machine; the defaults keep a full sweep tractable on a laptop

@@ -57,16 +57,24 @@ func (r *Rand) Seed(seed uint64) {
 //
 // Split does not advance r.
 func (r *Rand) Split(index uint64) *Rand {
-	// Mix the worker index into a fresh splitmix stream keyed by the
-	// parent state. Using the golden-ratio multiple keeps indices 0,1,2,...
+	child := &Rand{}
+	r.SplitInto(index, child)
+	return child
+}
+
+// SplitInto reseeds child to the exact stream Split(index) would return,
+// without allocating. It exists for per-item keyed sampling loops
+// (diffusion.ExtendCollection draws set i from stream i) where a fresh
+// heap allocation per item would dominate the inner loop.
+func (r *Rand) SplitInto(index uint64, child *Rand) {
+	// Mix the index into a fresh splitmix stream keyed by the parent
+	// state. Using the golden-ratio multiple keeps indices 0,1,2,...
 	// far apart in the seed space.
 	x := r.s0 ^ (index+1)*0x9e3779b97f4a7c15
-	child := &Rand{}
 	child.s0 = splitmix64(&x)
 	child.s1 = splitmix64(&x)
 	child.s2 = splitmix64(&x)
 	child.s3 = splitmix64(&x)
-	return child
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

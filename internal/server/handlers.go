@@ -1,0 +1,372 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/spread"
+	"repro/internal/tim"
+)
+
+// MaximizeRequest is the body of POST /v1/maximize.
+type MaximizeRequest struct {
+	// Dataset names a registry entry (required).
+	Dataset string `json:"dataset"`
+	// Model is "ic" (default) or "lt".
+	Model string `json:"model,omitempty"`
+	// K is the seed-set size (required).
+	K int `json:"k"`
+	// Epsilon is the approximation slack ε (default 0.1).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Ell is the failure exponent ℓ (default 1).
+	Ell float64 `json:"ell,omitempty"`
+	// Algorithm is "tim+" (default) or "tim".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives the query's randomness (default: the server seed).
+	Seed *uint64 `json:"seed,omitempty"`
+	// NoReuse opts this query out of the RR-collection reuse layer; it
+	// then samples exactly as the one-shot CLI would.
+	NoReuse bool `json:"no_reuse,omitempty"`
+}
+
+// MaximizeResponse is the body of a successful /v1/maximize reply.
+type MaximizeResponse struct {
+	Seeds   []uint32 `json:"seeds"`
+	Theta   int64    `json:"theta"`
+	KptStar float64  `json:"kpt_star"`
+	KptPlus float64  `json:"kpt_plus"`
+	// ThetaCapped reports that the server's MaxTheta bound truncated θ;
+	// the (1 − 1/e − ε) guarantee does not hold for this response.
+	ThetaCapped      bool    `json:"theta_capped,omitempty"`
+	CoverageFraction float64 `json:"coverage_fraction"`
+	SpreadEstimate   float64 `json:"spread_estimate"`
+	// Cached reports an LRU result-cache hit (no computation at all).
+	Cached bool `json:"cached"`
+	// RRSetsReused and RRSetsSampled split node selection's θ between
+	// sets served from the reuse layer and sets newly sampled.
+	RRSetsReused  int64   `json:"rr_sets_reused"`
+	RRSetsSampled int64   `json:"rr_sets_sampled"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+}
+
+// SpreadRequest is the body of POST /v1/spread.
+type SpreadRequest struct {
+	Dataset string `json:"dataset"`
+	Model   string `json:"model,omitempty"`
+	// Seeds is the seed set to evaluate (required, non-empty).
+	Seeds []uint32 `json:"seeds"`
+	// Samples is the Monte-Carlo cascade count (default 10000).
+	Samples int `json:"samples,omitempty"`
+	// Seed drives the simulation (default: the server seed).
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+// SpreadResponse is the body of a successful /v1/spread reply.
+type SpreadResponse struct {
+	Spread    float64 `json:"spread"`
+	Stderr    float64 `json:"stderr"`
+	Samples   int     `json:"samples"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps the error to an HTTP status: unknown datasets are 404,
+// invalid options 400, timeouts 504, everything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		status = http.StatusNotFound
+	case errors.Is(err, tim.ErrBadOptions), errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+var errBadRequest = errors.New("server: bad request")
+
+func parseModel(name string) (diffusion.Model, string, error) {
+	switch strings.ToLower(name) {
+	case "", "ic":
+		return diffusion.NewIC(), "ic", nil
+	case "lt":
+		return diffusion.NewLT(), "lt", nil
+	}
+	return diffusion.Model{}, "", fmt.Errorf("%w: unknown model %q (want ic or lt)", errBadRequest, name)
+}
+
+func parseAlgorithm(name string) (tim.Algorithm, string, error) {
+	switch strings.ToLower(name) {
+	case "", "tim+", "timplus":
+		return tim.TIMPlus, "tim+", nil
+	case "tim":
+		return tim.TIM, "tim", nil
+	}
+	return 0, "", fmt.Errorf("%w: unknown algorithm %q (want tim+ or tim)", errBadRequest, name)
+}
+
+// queryCtx applies the configured request timeout on top of the client's
+// own cancellation.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req MaximizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	model, modelName, err := parseModel(req.Model)
+	if err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, err)
+		return
+	}
+	variant, algoName, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, err)
+		return
+	}
+	if req.Epsilon == 0 {
+		req.Epsilon = 0.1
+	}
+	if req.Ell == 0 {
+		req.Ell = 1
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	key := fmt.Sprintf("maximize|%s|%s|%s|k=%d|eps=%g|ell=%g|seed=%d|reuse=%t",
+		req.Dataset, modelName, algoName, req.K, req.Epsilon, req.Ell, seed, !req.NoReuse)
+	if v, ok := s.results.get(key); ok {
+		resp := v.(MaximizeResponse)
+		resp.Cached = true
+		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+		s.observe("maximize", start, true, false)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	g, err := s.registry.get(req.Dataset, model.Kind())
+	if err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, err)
+		return
+	}
+	opts := tim.Options{
+		K:        req.K,
+		Epsilon:  req.Epsilon,
+		Ell:      req.Ell,
+		Variant:  variant,
+		Workers:  s.cfg.Workers,
+		Seed:     seed,
+		ThetaCap: s.cfg.MaxTheta,
+	}
+	var src *rrSource
+	if !req.NoReuse {
+		// The reuse key deliberately excludes k, seed, and algorithm:
+		// any i.i.d. RR sets serve any of them, so all such queries
+		// share one growing collection per (dataset, model, ε).
+		src = s.rr.source(fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon))
+		opts.Source = src
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	res, err := tim.MaximizeContext(ctx, g, model, opts)
+	if err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, err)
+		return
+	}
+	resp := MaximizeResponse{
+		Seeds:            res.Seeds,
+		Theta:            res.Theta,
+		KptStar:          res.KptStar,
+		KptPlus:          res.KptPlus,
+		ThetaCapped:      res.ThetaCapped,
+		CoverageFraction: res.CoverageFraction,
+		SpreadEstimate:   res.SpreadEstimate,
+	}
+	if src != nil {
+		resp.RRSetsReused = src.reused
+		resp.RRSetsSampled = src.sampled
+	} else {
+		resp.RRSetsSampled = res.Theta
+	}
+	s.results.put(key, resp)
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	s.observe("maximize", start, false, false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SpreadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.observe("spread", start, false, true)
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	model, modelName, err := parseModel(req.Model)
+	if err != nil {
+		s.observe("spread", start, false, true)
+		writeError(w, err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		s.observe("spread", start, false, true)
+		writeError(w, fmt.Errorf("%w: seeds must be non-empty", errBadRequest))
+		return
+	}
+	if req.Samples == 0 {
+		req.Samples = 10000
+	}
+	if req.Samples < 0 {
+		s.observe("spread", start, false, true)
+		writeError(w, fmt.Errorf("%w: samples must be positive", errBadRequest))
+		return
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	key := fmt.Sprintf("spread|%s|%s|seeds=%v|samples=%d|seed=%d",
+		req.Dataset, modelName, req.Seeds, req.Samples, seed)
+	if v, ok := s.results.get(key); ok {
+		resp := v.(SpreadResponse)
+		resp.Cached = true
+		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+		s.observe("spread", start, true, false)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	g, err := s.registry.get(req.Dataset, model.Kind())
+	if err != nil {
+		s.observe("spread", start, false, true)
+		writeError(w, err)
+		return
+	}
+	for _, v := range req.Seeds {
+		if int(v) >= g.N() {
+			s.observe("spread", start, false, true)
+			writeError(w, fmt.Errorf("%w: seed node %d outside [0, %d)", errBadRequest, v, g.N()))
+			return
+		}
+	}
+	// Spread estimation has no context hook; bound it by splitting the
+	// Monte-Carlo budget into slices and checking the deadline between
+	// slices.
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	mean, stderr, err := estimateSpreadCtx(ctx, g, model, req.Seeds, req.Samples, s.cfg.Workers, seed)
+	if err != nil {
+		s.observe("spread", start, false, true)
+		writeError(w, err)
+		return
+	}
+	resp := SpreadResponse{Spread: mean, Stderr: stderr, Samples: req.Samples}
+	s.results.put(key, resp)
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	s.observe("spread", start, false, false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimateSpreadCtx runs spread.EstimateWithStderr in deadline-checked
+// slices of at most sliceSamples cascades, pooling the per-slice moments
+// with the parallel-variance formula. It follows the same population
+// (n-divisor) variance convention as EstimateWithStderr itself, so the
+// pooled stderr is what one full-budget call over the same per-slice
+// cascades would report.
+func estimateSpreadCtx(ctx context.Context, g *graph.Graph, model diffusion.Model, seeds []uint32, samples, workers int, seed uint64) (float64, float64, error) {
+	const sliceSamples = 2000
+	var mean, m2 float64 // running pooled mean and Σ(x−μ)²
+	done := 0
+	for done < samples {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		n := samples - done
+		if n > sliceSamples {
+			n = sliceSamples
+		}
+		sliceMean, sliceStderr := spread.EstimateWithStderr(g, model, seeds, spread.Options{
+			Samples: n, Workers: workers, Seed: seed + uint64(done),
+		})
+		// EstimateWithStderr reports stderr = sqrt((Σ(x−μ)²/n)/n), so
+		// the slice's Σ(x−μ)² is stderr²·n².
+		sliceM2 := sliceStderr * sliceStderr * float64(n) * float64(n)
+		delta := sliceMean - mean
+		total := done + n
+		mean += delta * float64(n) / float64(total)
+		m2 += sliceM2 + delta*delta*float64(done)*float64(n)/float64(total)
+		done = total
+	}
+	if done == 0 {
+		return 0, 0, nil
+	}
+	variance := m2 / float64(done)
+	return mean, math.Sqrt(variance / float64(done)), nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	endpoints := make(map[string]endpointStats, len(s.endpoints))
+	for name, e := range s.endpoints {
+		endpoints[name] = *e
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		UptimeSeconds float64                  `json:"uptime_seconds"`
+		Endpoints     map[string]endpointStats `json:"endpoints"`
+		ResultCache   cacheStats               `json:"result_cache"`
+		RRCache       rrStoreStats             `json:"rr_cache"`
+	}{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     endpoints,
+		ResultCache:   s.results.stats(),
+		RRCache:       s.rr.stats(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}{Datasets: s.registry.list()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ErrUnknownDataset is returned for queries naming a dataset the registry
+// does not hold; handlers map it to 404.
+var ErrUnknownDataset = errors.New("server: unknown dataset")
+
+// DatasetSpec declares one named dataset for the registry, in the string
+// form accepted by timserver's -dataset flag: "name=source" where source
+// is one of
+//
+//	file:PATH            directed edge-list file ('#' comments, optional
+//	                     "# Nodes: n" header)
+//	ufile:PATH           undirected edge-list file
+//	profile:NAME:SCALE   synthetic Table 2 stand-in (nethept, epinions,
+//	                     dblp, livejournal, twitter) at tiny|small|full
+//	ba:N:ATTACH          Barabási–Albert graph with N nodes
+//	er:N:M               Erdős–Rényi G(n, m) graph
+//
+// A bare source with no prefix is treated as file:PATH.
+type DatasetSpec struct {
+	Name   string
+	Source string
+	// Seed drives synthetic generation (and LT weight assignment).
+	Seed uint64
+}
+
+// ParseDatasetSpec parses "name=source".
+func ParseDatasetSpec(s string, seed uint64) (DatasetSpec, error) {
+	name, source, ok := strings.Cut(s, "=")
+	if !ok || name == "" || source == "" {
+		return DatasetSpec{}, fmt.Errorf("server: dataset spec %q is not name=source", s)
+	}
+	return DatasetSpec{Name: name, Source: source, Seed: seed}, nil
+}
+
+// build constructs a fresh topology instance from the spec. Each diffusion
+// model gets its own instance (weights are mutable, per-model, and shared
+// between a graph and its transpose), so build may run more than once.
+func (d DatasetSpec) build() (*graph.Graph, error) {
+	kind, rest, found := strings.Cut(d.Source, ":")
+	if !found {
+		kind, rest = "file", d.Source
+	}
+	switch kind {
+	case "file", "ufile":
+		f, err := os.Open(rest)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, kind == "ufile")
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+		}
+		return g, nil
+	case "profile":
+		name, scaleStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			scaleStr = "tiny"
+		}
+		p, err := gen.ProfileByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+		}
+		scale, err := gen.ParseScale(scaleStr)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+		}
+		return p.Generate(scale, d.Seed), nil
+	case "ba":
+		n, attach, err := twoInts(rest)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: ba:N:ATTACH: %w", d.Name, err)
+		}
+		return gen.BarabasiAlbert(n, attach, rng.New(d.Seed)), nil
+	case "er":
+		n, m, err := twoInts(rest)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: er:N:M: %w", d.Name, err)
+		}
+		return gen.ErdosRenyiGnm(n, m, rng.New(d.Seed)), nil
+	}
+	return nil, fmt.Errorf("server: dataset %q: unknown source kind %q", d.Name, kind)
+}
+
+func twoInts(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want two ':'-separated integers, got %q", s)
+	}
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if x <= 0 || y <= 0 {
+		return 0, 0, fmt.Errorf("values must be positive, got %d:%d", x, y)
+	}
+	return x, y, nil
+}
+
+// registry holds the named datasets a server answers queries about, with
+// one lazily built, permanently cached weighted graph per diffusion model
+// — graphs are loaded once and shared by every subsequent query, which is
+// the first thing that makes a long-lived server cheaper than the CLI.
+type registry struct {
+	mu       sync.Mutex
+	datasets map[string]*dataset
+}
+
+type dataset struct {
+	spec DatasetSpec
+
+	mu      sync.Mutex
+	byModel map[diffusion.Kind]*graph.Graph
+}
+
+func newRegistry(specs []DatasetSpec) (*registry, error) {
+	r := &registry{datasets: make(map[string]*dataset, len(specs))}
+	for _, spec := range specs {
+		if _, dup := r.datasets[spec.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate dataset name %q", spec.Name)
+		}
+		r.datasets[spec.Name] = &dataset{
+			spec:    spec,
+			byModel: make(map[diffusion.Kind]*graph.Graph, 2),
+		}
+	}
+	return r, nil
+}
+
+// get returns the weighted graph for (name, model kind), building it on
+// first use: weighted cascade for IC (the paper's §7.1 setup), random
+// normalized weights for LT.
+func (r *registry) get(name string, kind diffusion.Kind) (*graph.Graph, error) {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if g, ok := d.byModel[kind]; ok {
+		return g, nil
+	}
+	g, err := d.spec.build()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case diffusion.IC:
+		graph.AssignWeightedCascade(g)
+	case diffusion.LT:
+		graph.AssignRandomNormalizedLT(g, rng.New(d.spec.Seed+1))
+	default:
+		return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", name, kind)
+	}
+	d.byModel[kind] = g
+	return g, nil
+}
+
+// datasetInfo describes one registry entry for GET /v1/datasets.
+type datasetInfo struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Nodes and Edges are present once any model variant has been built.
+	Nodes        int      `json:"nodes,omitempty"`
+	Edges        int      `json:"edges,omitempty"`
+	LoadedModels []string `json:"loaded_models,omitempty"`
+}
+
+func (r *registry) list() []datasetInfo {
+	r.mu.Lock()
+	datasets := make([]*dataset, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		datasets = append(datasets, d)
+	}
+	r.mu.Unlock()
+	infos := make([]datasetInfo, 0, len(datasets))
+	for _, d := range datasets {
+		d.mu.Lock()
+		info := datasetInfo{Name: d.spec.Name, Source: d.spec.Source}
+		for kind, g := range d.byModel {
+			info.Nodes, info.Edges = g.N(), g.M()
+			info.LoadedModels = append(info.LoadedModels, strings.ToLower(kind.String()))
+		}
+		sort.Strings(info.LoadedModels)
+		d.mu.Unlock()
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

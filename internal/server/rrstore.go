@@ -1,0 +1,195 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+)
+
+// rrStore is the RR-collection reuse layer. It holds one growing RR
+// collection per (dataset, model, ε) key and hands exact-θ prefix views
+// to queries through the tim.CollectionSource hook. Because extensions
+// are prefix-deterministic (diffusion.ExtendCollection keys set i by
+// (entry seed, i)), a query sees bit-identical RR sets whether the store
+// was cold, partially warm from a smaller-k query, or fully warm — reuse
+// can only skip sampling, never change an answer.
+//
+// ε is part of the key not for statistical validity (any i.i.d. RR sets
+// serve any ε) but to keep the per-key growth pattern matched to one θ
+// schedule, so collections do not balloon past what their query mix
+// needs. Because ε is client-supplied, the key space is unbounded; the
+// store therefore caps the number of live collections and evicts the
+// least recently used one — a query on an evicted key simply resamples,
+// and determinism is unaffected (the entry seed depends only on the
+// key).
+type rrStore struct {
+	mu       sync.Mutex
+	entries  map[string]*rrEntry
+	order    *list.List // front = most recently used key
+	capacity int
+	seed     uint64
+
+	// Counters for /v1/stats (guarded by mu, never by entry mutexes, so
+	// reading stats cannot block behind an in-flight extension).
+	setsSampled int64
+	setsReused  int64
+	extensions  int64
+	evictions   int64
+	memoryBytes int64
+}
+
+// rrEntry is one cached collection. cumWidth[i] is Σ widths of the first
+// i sets, so a θ-prefix view knows its TotalWidth in O(1).
+type rrEntry struct {
+	mu       sync.Mutex
+	col      *diffusion.RRCollection
+	cumWidth []int64
+	seed     uint64
+	// memory, elem, and evicted are guarded by the *store* mutex (memory
+	// is read by eviction, which holds only the store mutex). An evicted
+	// entry may still be held by an in-flight query; it finishes
+	// normally but no longer contributes to the store's memory
+	// accounting.
+	memory  int64
+	elem    *list.Element
+	evicted bool
+}
+
+func newRRStore(seed uint64, capacity int) *rrStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &rrStore{
+		entries:  make(map[string]*rrEntry),
+		order:    list.New(),
+		capacity: capacity,
+		seed:     seed,
+	}
+}
+
+// entry returns (creating if needed) the collection for key, evicting
+// the least recently used entry when the cap is exceeded. The entry's
+// sampling seed depends only on (store seed, key), so two servers with
+// the same base seed answer identically — as does one server before and
+// after an eviction.
+func (s *rrStore) entry(key string) *rrEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.order.MoveToFront(e.elem)
+		return e
+	}
+	for len(s.entries) >= s.capacity {
+		oldest := s.order.Back()
+		if oldest == nil {
+			break
+		}
+		victimKey := oldest.Value.(string)
+		victim := s.entries[victimKey]
+		s.order.Remove(oldest)
+		delete(s.entries, victimKey)
+		victim.evicted = true
+		s.memoryBytes -= victim.memory
+		s.evictions++
+	}
+	e := &rrEntry{
+		col:      &diffusion.RRCollection{Off: []int64{0}},
+		cumWidth: []int64{0},
+		seed:     s.seed ^ fnv64(key),
+	}
+	e.elem = s.order.PushFront(key)
+	s.entries[key] = e
+	return e
+}
+
+// fnv64 is the FNV-1a hash, used to derive per-key sampling seeds.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// source binds the store to one key as a tim.CollectionSource. It also
+// records the per-query reuse split so handlers can report it.
+type rrSource struct {
+	store *rrStore
+	key   string
+
+	// Filled by NodeSelectionSets for the handler to read back. A source
+	// is used for a single Maximize call, so no locking is needed.
+	reused  int64
+	sampled int64
+}
+
+func (s *rrStore) source(key string) *rrSource {
+	return &rrSource{store: s, key: key}
+}
+
+// NodeSelectionSets implements tim.CollectionSource: extend the cached
+// collection to θ sets if needed and return the θ-prefix view.
+func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
+	e := r.store.entry(r.key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	have := int64(e.col.Count())
+	if have < theta {
+		tail, err := diffusion.ExtendCollection(ctx, g, model, e.col, theta, e.seed, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range tail {
+			e.cumWidth = append(e.cumWidth, e.cumWidth[len(e.cumWidth)-1]+w)
+		}
+		r.reused = have
+		r.sampled = theta - have
+	} else {
+		r.reused = theta
+	}
+	memory := e.col.MemoryBytes() + int64(cap(e.cumWidth))*8
+
+	r.store.mu.Lock()
+	r.store.setsReused += r.reused
+	r.store.setsSampled += r.sampled
+	if r.sampled > 0 {
+		r.store.extensions++
+	}
+	if !e.evicted {
+		r.store.memoryBytes += memory - e.memory
+	}
+	e.memory = memory // under store.mu: eviction reads it there
+	r.store.mu.Unlock()
+
+	return e.col.Prefix(int(theta), e.cumWidth[theta]), nil
+}
+
+// rrStoreStats is the /v1/stats snapshot of the reuse layer.
+type rrStoreStats struct {
+	Collections int64 `json:"collections"`
+	Capacity    int   `json:"capacity"`
+	SetsSampled int64 `json:"sets_sampled"`
+	SetsReused  int64 `json:"sets_reused"`
+	Extensions  int64 `json:"extensions"`
+	Evictions   int64 `json:"evictions"`
+	MemoryBytes int64 `json:"memory_bytes"`
+}
+
+func (s *rrStore) stats() rrStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return rrStoreStats{
+		Collections: int64(len(s.entries)),
+		Capacity:    s.capacity,
+		SetsSampled: s.setsSampled,
+		SetsReused:  s.setsReused,
+		Extensions:  s.extensions,
+		Evictions:   s.evictions,
+		MemoryBytes: s.memoryBytes,
+	}
+}

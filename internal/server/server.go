@@ -1,0 +1,162 @@
+// Package server implements the influence-maximization query service
+// behind cmd/timserver: a long-lived HTTP/JSON front end over the tim,
+// spread, and diffusion packages.
+//
+// Three layers make repeated queries cheap, in decreasing order of
+// savings:
+//
+//  1. A graph registry loads each named dataset once at startup
+//     configuration and weights it once per diffusion model, so no query
+//     ever pays graph construction.
+//  2. An LRU result cache keyed on the full query tuple answers exact
+//     repeats without any computation.
+//  3. An RR-collection reuse layer keyed on (dataset, model, ε) feeds
+//     tim's node-selection phase through the tim.CollectionSource hook:
+//     a query needing θ₂ RR sets after an earlier query sampled θ₁ < θ₂
+//     extends the cached collection by θ₂ − θ₁ sets instead of
+//     resampling from scratch — the Borgs et al. amortization argument
+//     turned into a data structure. Extensions are prefix-deterministic,
+//     so a warm cache can never change an answer, only skip work.
+//
+// Endpoints: POST /v1/maximize, POST /v1/spread, GET /v1/stats,
+// GET /v1/datasets, GET /healthz. Every request runs under a configurable
+// timeout whose context threads into the sampling loops via
+// tim.MaximizeContext, so a slow query cannot wedge a worker forever.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config configures New. The zero value of every field except Datasets is
+// usable.
+type Config struct {
+	// Datasets is the registry content. Queries can only reference these.
+	Datasets []DatasetSpec
+	// CacheSize bounds the LRU result cache (default 256 entries).
+	CacheSize int
+	// RRCollections bounds the RR-collection reuse layer to this many
+	// live (dataset, model, ε) collections (default 64); the least
+	// recently used collection is evicted beyond that. ε is
+	// client-supplied, so without a bound the reuse layer would grow
+	// with the number of distinct query tuples ever seen.
+	RRCollections int
+	// RequestTimeout bounds each query's computation (default 60s; the
+	// context is threaded into tim's sampling loops, so timeouts abort
+	// promptly rather than after the current phase).
+	RequestTimeout time.Duration
+	// MaxTheta bounds the RR sets any single query may sample (default
+	// 4 million; θ grows as 1/ε², so without a cap one tiny-ε request
+	// can exhaust server memory inside the request timeout). Responses
+	// report theta_capped when the cap bound; the approximation
+	// guarantee is void for such queries.
+	MaxTheta int64
+	// Workers is the sampling parallelism per query (default GOMAXPROCS).
+	Workers int
+	// Seed is the base seed of the RR reuse layer and the default query
+	// seed. Two servers with equal Config answer identically.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.RRCollections == 0 {
+		c.RRCollections = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxTheta == 0 {
+		c.MaxTheta = 4_000_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the query service. It implements http.Handler; wrap it in an
+// http.Server (as cmd/timserver does) to listen on a port.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	registry *registry
+	results  *lruCache
+	rr       *rrStore
+	start    time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// endpointStats are the per-endpoint counters of /v1/stats.
+type endpointStats struct {
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	TotalLatencyMs float64 `json:"total_latency_ms"`
+	MaxLatencyMs   float64 `json:"max_latency_ms"`
+}
+
+// New builds a Server from cfg. Dataset files are not opened until the
+// first query touches them; New fails only on malformed configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := newRegistry(cfg.Datasets)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		registry: reg,
+		results:  newLRUCache(cfg.CacheSize),
+		rr:       newRRStore(cfg.Seed, cfg.RRCollections),
+		start:    time.Now(),
+		endpoints: map[string]*endpointStats{
+			"maximize": {},
+			"spread":   {},
+		},
+	}
+	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
+	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// observe records one request's outcome on the named endpoint.
+func (s *Server) observe(endpoint string, start time.Time, cacheHit bool, failed bool) {
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.endpoints[endpoint]
+	if e == nil {
+		e = &endpointStats{}
+		s.endpoints[endpoint] = e
+	}
+	e.Requests++
+	if failed {
+		e.Errors++
+	} else if cacheHit {
+		e.CacheHits++
+	} else {
+		e.CacheMisses++
+	}
+	e.TotalLatencyMs += ms
+	if ms > e.MaxLatencyMs {
+		e.MaxLatencyMs = ms
+	}
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a Server over one small synthetic dataset plus one
+// file-backed dataset.
+func newTestServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ring.txt")
+	content := "# tiny ring\n0 1\n1 2\n2 3\n3 4\n4 0\n0 2\n1 3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Datasets: []DatasetSpec{
+			{Name: "ba", Source: "ba:300:3", Seed: 7},
+			{Name: "ring", Source: "file:" + path, Seed: 7},
+		},
+		CacheSize:      8,
+		RequestTimeout: time.Minute,
+		Workers:        2,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t testing.TB, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decoding %q: %v", raw.String(), err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// statsSnapshot mirrors the /v1/stats body.
+type statsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]endpointStats `json:"endpoints"`
+	ResultCache   cacheStats               `json:"result_cache"`
+	RRCache       rrStoreStats             `json:"rr_cache"`
+}
+
+// TestMaximizeSpreadStatsRoundTrip is the acceptance-criteria test: the
+// server answers /v1/maximize and /v1/spread on a registry dataset, and a
+// repeated query shows up as a result-cache hit in /v1/stats.
+func TestMaximizeSpreadStatsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var m1 MaximizeResponse
+	status, body := postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3}, &m1)
+	if status != http.StatusOK {
+		t.Fatalf("maximize: status %d body %s", status, body)
+	}
+	if len(m1.Seeds) != 5 || m1.Theta < 1 || m1.Cached {
+		t.Fatalf("implausible first maximize: %+v", m1)
+	}
+	if m1.RRSetsSampled != m1.Theta || m1.RRSetsReused != 0 {
+		t.Fatalf("cold query must sample all θ sets: %+v", m1)
+	}
+
+	// The exact same query again: served from the LRU result cache.
+	var m2 MaximizeResponse
+	status, body = postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3}, &m2)
+	if status != http.StatusOK {
+		t.Fatalf("repeat maximize: status %d body %s", status, body)
+	}
+	if !m2.Cached {
+		t.Fatalf("repeat query not served from cache: %+v", m2)
+	}
+	if fmt.Sprint(m2.Seeds) != fmt.Sprint(m1.Seeds) {
+		t.Fatalf("cached seeds differ: %v vs %v", m2.Seeds, m1.Seeds)
+	}
+
+	var sp SpreadResponse
+	status, body = postJSON(t, ts.URL+"/v1/spread",
+		SpreadRequest{Dataset: "ba", Seeds: m1.Seeds, Samples: 2000}, &sp)
+	if status != http.StatusOK {
+		t.Fatalf("spread: status %d body %s", status, body)
+	}
+	if sp.Spread < float64(len(m1.Seeds)) {
+		t.Fatalf("spread %v below seed count — seeds always activate themselves", sp.Spread)
+	}
+
+	var st statsSnapshot
+	if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	if st.Endpoints["maximize"].Requests != 2 || st.Endpoints["maximize"].CacheHits != 1 {
+		t.Fatalf("maximize counters: %+v", st.Endpoints["maximize"])
+	}
+	if st.Endpoints["spread"].Requests != 1 {
+		t.Fatalf("spread counters: %+v", st.Endpoints["spread"])
+	}
+	if st.ResultCache.Hits != 1 || st.ResultCache.Size != 2 {
+		t.Fatalf("result cache: %+v", st.ResultCache)
+	}
+}
+
+// TestRRCollectionReuse is the reuse-layer acceptance test: a second
+// maximize with larger k on the same (dataset, model, ε) extends the
+// cached RR collection instead of resampling — visible in the /v1/stats
+// counters — and returns exactly the seeds a cold server returns for the
+// same query.
+func TestRRCollectionReuse(t *testing.T) {
+	_, warm := newTestServer(t)
+
+	var small MaximizeResponse
+	status, body := postJSON(t, warm.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 0.3}, &small)
+	if status != http.StatusOK {
+		t.Fatalf("k=2: status %d body %s", status, body)
+	}
+
+	var large MaximizeResponse
+	status, body = postJSON(t, warm.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 8, Epsilon: 0.3}, &large)
+	if status != http.StatusOK {
+		t.Fatalf("k=8: status %d body %s", status, body)
+	}
+	if large.Cached {
+		t.Fatal("different k must not hit the result cache")
+	}
+	if large.RRSetsReused == 0 {
+		t.Fatalf("k=8 after k=2 reused no RR sets: %+v", large)
+	}
+	if large.RRSetsReused+large.RRSetsSampled != large.Theta {
+		t.Fatalf("reuse split %d+%d != θ=%d", large.RRSetsReused, large.RRSetsSampled, large.Theta)
+	}
+
+	var st statsSnapshot
+	getJSON(t, warm.URL+"/v1/stats", &st)
+	if st.RRCache.SetsReused < large.RRSetsReused || st.RRCache.Collections != 1 {
+		t.Fatalf("rr cache counters don't show the reuse: %+v", st.RRCache)
+	}
+	// θ is not monotone in k (λ and KPT⁺ both grow), so the second query
+	// may extend the collection or reuse it outright — but never both
+	// zero extensions and zero full-reuse.
+	if st.RRCache.Extensions < 1 || st.RRCache.SetsSampled == 0 {
+		t.Fatalf("rr cache never sampled: %+v", st.RRCache)
+	}
+
+	// A cold server given the k=8 query directly must return identical
+	// seeds: prefix-deterministic extension means a warm cache can only
+	// skip sampling, never change the answer.
+	_, cold := newTestServer(t)
+	var coldLarge MaximizeResponse
+	status, body = postJSON(t, cold.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 8, Epsilon: 0.3}, &coldLarge)
+	if status != http.StatusOK {
+		t.Fatalf("cold k=8: status %d body %s", status, body)
+	}
+	if fmt.Sprint(coldLarge.Seeds) != fmt.Sprint(large.Seeds) {
+		t.Fatalf("warm-cache answer differs from cold run: %v vs %v", large.Seeds, coldLarge.Seeds)
+	}
+	if coldLarge.Theta != large.Theta {
+		t.Fatalf("θ differs warm vs cold: %d vs %d", large.Theta, coldLarge.Theta)
+	}
+	if coldLarge.RRSetsReused != 0 || coldLarge.RRSetsSampled != coldLarge.Theta {
+		t.Fatalf("cold run claims reuse: %+v", coldLarge)
+	}
+}
+
+// TestNoReuseOptOut: no_reuse queries bypass the reuse layer entirely.
+func TestNoReuseOptOut(t *testing.T) {
+	_, ts := newTestServer(t)
+	var m MaximizeResponse
+	status, body := postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 3, Epsilon: 0.3, NoReuse: true}, &m)
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	var st statsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.RRCache.Collections != 0 {
+		t.Fatalf("no_reuse query populated the rr cache: %+v", st.RRCache)
+	}
+}
+
+// TestFileDatasetAndModels: the file-backed dataset works under both
+// models, and LT gets its own weighted instance.
+func TestFileDatasetAndModels(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, model := range []string{"ic", "lt"} {
+		var m MaximizeResponse
+		status, body := postJSON(t, ts.URL+"/v1/maximize",
+			MaximizeRequest{Dataset: "ring", Model: model, K: 2, Epsilon: 0.5}, &m)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", model, status, body)
+		}
+		if len(m.Seeds) != 2 {
+			t.Fatalf("%s: seeds %v", model, m.Seeds)
+		}
+	}
+	var ds struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/v1/datasets", &ds)
+	if len(ds.Datasets) != 2 {
+		t.Fatalf("want 2 datasets, got %+v", ds.Datasets)
+	}
+	for _, d := range ds.Datasets {
+		if d.Name == "ring" {
+			if d.Nodes != 5 || len(d.LoadedModels) != 2 {
+				t.Fatalf("ring after ic+lt queries: %+v", d)
+			}
+		}
+	}
+}
+
+// TestErrorMapping: unknown datasets are 404, bad input 400, bad method
+// 405.
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"unknown dataset", MaximizeRequest{Dataset: "nope", K: 2}, http.StatusNotFound},
+		{"zero k", MaximizeRequest{Dataset: "ba", K: 0}, http.StatusBadRequest},
+		{"k too large", MaximizeRequest{Dataset: "ba", K: 10_000}, http.StatusBadRequest},
+		{"bad epsilon", MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 3}, http.StatusBadRequest},
+		{"bad model", MaximizeRequest{Dataset: "ba", K: 2, Model: "sir"}, http.StatusBadRequest},
+		{"bad algorithm", MaximizeRequest{Dataset: "ba", K: 2, Algorithm: "greedy"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", c.req, nil); status != c.want {
+			t.Errorf("%s: status %d (want %d) body %s", c.name, status, c.want, body)
+		}
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/spread",
+		SpreadRequest{Dataset: "ba", Seeds: nil}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty seeds: status %d body %s", status, body)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/spread",
+		SpreadRequest{Dataset: "ba", Seeds: []uint32{999_999}}, nil); status != http.StatusBadRequest {
+		t.Errorf("out-of-range seed: status %d body %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/maximize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on maximize: status %d", resp.StatusCode)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/maximize", "not json", nil); status != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d body %s", status, body)
+	}
+}
+
+// TestRequestTimeout: a tiny RequestTimeout aborts heavy queries with
+// 504 instead of wedging the worker.
+func TestRequestTimeout(t *testing.T) {
+	srv, err := New(Config{
+		Datasets:       []DatasetSpec{{Name: "big", Source: "ba:20000:5", Seed: 3}},
+		RequestTimeout: time.Millisecond,
+		Workers:        2,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	status, body := postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "big", K: 50, Epsilon: 0.1}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %d body %s", status, body)
+	}
+	if !strings.Contains(body, "deadline") {
+		t.Fatalf("timeout body should mention the deadline: %s", body)
+	}
+}
+
+// TestSpreadCache: identical spread queries hit the result cache.
+func TestSpreadCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := SpreadRequest{Dataset: "ba", Seeds: []uint32{0, 1}, Samples: 1000}
+	var s1, s2 SpreadResponse
+	if status, body := postJSON(t, ts.URL+"/v1/spread", req, &s1); status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/spread", req, &s2); status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	if !s2.Cached || s2.Spread != s1.Spread {
+		t.Fatalf("second spread not cached: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestLRUEviction: the cache respects its capacity and evicts the least
+// recently used entry.
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // promote a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+}
+
+// TestRRStoreEviction: the reuse layer is bounded — distinct ε values
+// cannot grow it past its capacity, and a re-query of an evicted key
+// still answers identically (entry seeds depend only on the key).
+func TestRRStoreEviction(t *testing.T) {
+	srv, err := New(Config{
+		Datasets:      []DatasetSpec{{Name: "ba", Source: "ba:300:3", Seed: 7}},
+		RRCollections: 2,
+		Workers:       2,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/maximize", MaximizeRequest{Dataset: "ba", K: 3, Epsilon: 0.3}, nil)
+	for _, eps := range []float64{0.4, 0.5, 0.6} {
+		if status, body := postJSON(t, ts.URL+"/v1/maximize",
+			MaximizeRequest{Dataset: "ba", K: 3, Epsilon: eps}, nil); status != http.StatusOK {
+			t.Fatalf("eps=%g: status %d body %s", eps, status, body)
+		}
+	}
+	var st statsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.RRCache.Collections != 2 || st.RRCache.Evictions != 2 {
+		t.Fatalf("store not bounded: %+v", st.RRCache)
+	}
+	if st.RRCache.MemoryBytes <= 0 {
+		t.Fatalf("memory accounting went non-positive after evictions: %+v", st.RRCache)
+	}
+
+	// The ε=0.3 entry was evicted. A fresh query tuple on that key
+	// resamples from scratch — and because entry seeds depend only on
+	// (server seed, key), it must match what a cold server answers.
+	var warm MaximizeResponse
+	postJSON(t, ts.URL+"/v1/maximize", MaximizeRequest{Dataset: "ba", K: 4, Epsilon: 0.3}, &warm)
+
+	cold, err := New(Config{
+		Datasets:      []DatasetSpec{{Name: "ba", Source: "ba:300:3", Seed: 7}},
+		RRCollections: 2,
+		Workers:       2,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsCold := httptest.NewServer(cold)
+	defer tsCold.Close()
+	var coldResp MaximizeResponse
+	postJSON(t, tsCold.URL+"/v1/maximize", MaximizeRequest{Dataset: "ba", K: 4, Epsilon: 0.3}, &coldResp)
+	if fmt.Sprint(warm.Seeds) != fmt.Sprint(coldResp.Seeds) {
+		t.Fatalf("post-eviction answer differs from cold server: %v vs %v", warm.Seeds, coldResp.Seeds)
+	}
+}
+
+// TestMaxThetaCap: a tiny-ε query cannot balloon θ past the configured
+// cap — the OOM guard for a long-lived server — and the response admits
+// the guarantee is void via theta_capped.
+func TestMaxThetaCap(t *testing.T) {
+	srv, err := New(Config{
+		Datasets: []DatasetSpec{{Name: "ba", Source: "ba:300:3", Seed: 7}},
+		MaxTheta: 500,
+		Workers:  2,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var m MaximizeResponse
+	status, body := postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 3, Epsilon: 0.01}, &m)
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	if m.Theta > 500 || !m.ThetaCapped {
+		t.Fatalf("cap not enforced: θ=%d capped=%v", m.Theta, m.ThetaCapped)
+	}
+	if len(m.Seeds) != 3 {
+		t.Fatalf("capped query still returns k seeds, got %v", m.Seeds)
+	}
+}
+
+// TestHealthz: liveness endpoint answers.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var h struct {
+		Status string `json:"status"`
+	}
+	if status := getJSON(t, ts.URL+"/healthz", &h); status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", status, h)
+	}
+}
+
+// TestParseDatasetSpec covers the flag-parsing helper.
+func TestParseDatasetSpec(t *testing.T) {
+	if _, err := ParseDatasetSpec("no-equals", 1); err == nil {
+		t.Error("want error for missing =")
+	}
+	if _, err := ParseDatasetSpec("=x", 1); err == nil {
+		t.Error("want error for empty name")
+	}
+	spec, err := ParseDatasetSpec("g=profile:nethept:tiny", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "g" || spec.Source != "profile:nethept:tiny" || spec.Seed != 9 {
+		t.Fatalf("spec %+v", spec)
+	}
+	for _, bad := range []string{"g=unknownkind:1:2", "g=ba:0:3", "g=ba:xx:3", "g=er:5", "g=profile:nosuch:tiny", "g=profile:nethept:huge", "g=file:/does/not/exist"} {
+		spec, err := ParseDatasetSpec(bad, 1)
+		if err != nil {
+			t.Fatalf("%s: parse should succeed, build should fail", bad)
+		}
+		if _, err := spec.build(); err == nil {
+			t.Errorf("%s: build should fail", bad)
+		}
+	}
+}
+
+// TestDuplicateDataset: duplicate names are a configuration error.
+func TestDuplicateDataset(t *testing.T) {
+	_, err := New(Config{Datasets: []DatasetSpec{
+		{Name: "a", Source: "ba:10:2"},
+		{Name: "a", Source: "ba:20:2"},
+	}})
+	if err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+}
+
+// BenchmarkServerMaximize measures the served query path: cold (reuse
+// layer populated once, results cache disabled by distinct seeds), warm
+// reuse (same ε, growing k), and result-cache hits.
+func BenchmarkServerMaximize(b *testing.B) {
+	_, ts := newTestServer(b)
+	b.Run("result-cache-hit", func(b *testing.B) {
+		req := MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3}
+		postJSON(b, ts.URL+"/v1/maximize", req, nil) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if status, body := postJSON(b, ts.URL+"/v1/maximize", req, nil); status != http.StatusOK {
+				b.Fatalf("status %d body %s", status, body)
+			}
+		}
+	})
+	b.Run("rr-reuse", func(b *testing.B) {
+		// Distinct seeds defeat the result cache; the shared (dataset,
+		// model, ε) key keeps the RR collection warm.
+		postJSON(b, ts.URL+"/v1/maximize", MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i + 2)
+			req := MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3, Seed: &seed}
+			if status, body := postJSON(b, ts.URL+"/v1/maximize", req, nil); status != http.StatusOK {
+				b.Fatalf("status %d body %s", status, body)
+			}
+		}
+	})
+	b.Run("no-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i + 2)
+			req := MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3, Seed: &seed, NoReuse: true}
+			if status, body := postJSON(b, ts.URL+"/v1/maximize", req, nil); status != http.StatusOK {
+				b.Fatalf("status %d body %s", status, body)
+			}
+		}
+	})
+}

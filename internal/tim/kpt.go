@@ -1,6 +1,7 @@
 package tim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/diffusion"
@@ -26,19 +27,23 @@ type kptEstimate struct {
 // the average exceeds 2^−i, returning KPT* = n·avg/2. If no iteration
 // triggers, KPT* = 1 — the smallest possible value, since a seed always
 // activates itself (§3.2).
-func estimateKPT(g *graph.Graph, model diffusion.Model, k int, ell float64, workers int, seeds *seedSequence) kptEstimate {
+func estimateKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, k int, ell float64, workers int, seeds *seedSequence) kptEstimate {
 	n := g.N()
 	m := g.M()
 	iterations := stats.KptIterations(n)
 	var last *diffusion.RRCollection
 	for i := 1; i <= iterations; i++ {
+		if ctx.Err() != nil {
+			break // caller surfaces ctx.Err(); the estimate is discarded
+		}
 		ci := stats.SampleScheduleCi(n, ell, i)
 		col := diffusion.SampleCollection(g, model, ci, diffusion.SampleOptions{
 			Workers: workers,
 			Seed:    seeds.next(),
+			Ctx:     ctx,
 		})
 		last = col
-		sum := kappaSum(g, col, k, m)
+		sum := KappaSum(g, col, k, m)
 		avg := sum / float64(ci)
 		if avg > math.Pow(2, -float64(i)) {
 			return kptEstimate{
@@ -57,11 +62,12 @@ func estimateKPT(g *graph.Graph, model diffusion.Model, k int, ell float64, work
 	}
 }
 
-// kappaSum computes Σ κ(R) over the collection, where
-// κ(R) = 1 − (1 − w(R)/m)^k. With no edges (m = 0) every κ is 0: a
-// uniformly random edge cannot point into R because there are none
-// (Lemma 5's edge-sampling argument).
-func kappaSum(g *graph.Graph, col *diffusion.RRCollection, k, m int) float64 {
+// KappaSum computes Σ κ(R) over the collection, where
+// κ(R) = 1 − (1 − w(R)/m)^k (Equation 8). With no edges (m = 0) every κ
+// is 0: a uniformly random edge cannot point into R because there are
+// none (Lemma 5's edge-sampling argument). Exported because the
+// distributed runner (internal/dist) shares this paper-critical formula.
+func KappaSum(g *graph.Graph, col *diffusion.RRCollection, k, m int) float64 {
 	if m == 0 {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package tim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 func TestKappaSumEdgeless(t *testing.T) {
 	g := graph.MustFromEdges(10, nil)
 	col := diffusion.SampleCollection(g, diffusion.NewIC(), 50, diffusion.SampleOptions{Workers: 1, Seed: 1})
-	if got := kappaSum(g, col, 3, g.M()); got != 0 {
+	if got := KappaSum(g, col, 3, g.M()); got != 0 {
 		t.Fatalf("kappaSum=%v, want 0 with no edges", got)
 	}
 }
@@ -26,7 +27,7 @@ func TestKappaSumEdgeless(t *testing.T) {
 func TestKappaSumCompleteGraph(t *testing.T) {
 	g := gen.Complete(6, 1)
 	col := diffusion.SampleCollection(g, diffusion.NewIC(), 40, diffusion.SampleOptions{Workers: 1, Seed: 2})
-	got := kappaSum(g, col, 2, g.M())
+	got := KappaSum(g, col, 2, g.M())
 	if math.Abs(got-40) > 1e-9 {
 		t.Fatalf("kappaSum=%v, want 40 (kappa=1 per set)", got)
 	}
@@ -37,7 +38,7 @@ func TestKappaSumRange(t *testing.T) {
 	g := gen.ChungLuDirected(500, 3000, 2.4, 2.1, rng.New(3))
 	graph.AssignWeightedCascade(g)
 	col := diffusion.SampleCollection(g, diffusion.NewIC(), 200, diffusion.SampleOptions{Workers: 1, Seed: 4})
-	sum := kappaSum(g, col, 10, g.M())
+	sum := KappaSum(g, col, 10, g.M())
 	if sum < 0 || sum > float64(col.Count()) {
 		t.Fatalf("kappaSum=%v outside [0, %d]", sum, col.Count())
 	}
@@ -50,7 +51,7 @@ func TestEstimateKPTIsLowerBoundOfOPT(t *testing.T) {
 	g := gen.ChungLuDirected(1000, 6000, 2.4, 2.1, rng.New(5))
 	graph.AssignWeightedCascade(g)
 	const k = 5
-	est := estimateKPT(g, diffusion.NewIC(), k, 1, 1, newSeedSequence(6))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), k, 1, 1, newSeedSequence(6))
 	if est.kptStar < 1 {
 		t.Fatalf("KPT*=%v below the minimum 1", est.kptStar)
 	}
@@ -75,7 +76,7 @@ func TestEstimateKPTIsLowerBoundOfOPT(t *testing.T) {
 func TestEstimateKPTTracksNmEPT(t *testing.T) {
 	g := gen.ChungLuDirected(2000, 12000, 2.4, 2.1, rng.New(9))
 	graph.AssignWeightedCascade(g)
-	est := estimateKPT(g, diffusion.NewIC(), 10, 1, 1, newSeedSequence(10))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 10, 1, 1, newSeedSequence(10))
 	nmEPT := float64(g.N()) / float64(g.M()) * est.ept
 	// Theorem 2: KPT* >= KPT/4 >= (n/m)EPT/4 with high probability.
 	if est.kptStar < nmEPT/4*0.5 { // extra 2x slack for sampling noise
@@ -88,7 +89,7 @@ func TestEstimateKPTTracksNmEPT(t *testing.T) {
 func TestEstimateKPTLastBatchUsable(t *testing.T) {
 	g := gen.ChungLuDirected(500, 3000, 2.4, 2.1, rng.New(11))
 	graph.AssignWeightedCascade(g)
-	est := estimateKPT(g, diffusion.NewIC(), 5, 1, 1, newSeedSequence(12))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 5, 1, 1, newSeedSequence(12))
 	if est.lastBatch == nil || est.lastBatch.Count() == 0 {
 		t.Fatal("no last batch returned")
 	}
@@ -103,7 +104,7 @@ func TestEstimateKPTLastBatchUsable(t *testing.T) {
 // iterations and return the floor value 1.
 func TestEstimateKPTEdgeless(t *testing.T) {
 	g := graph.MustFromEdges(64, nil)
-	est := estimateKPT(g, diffusion.NewIC(), 3, 1, 1, newSeedSequence(13))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 3, 1, 1, newSeedSequence(13))
 	if est.kptStar != 1 {
 		t.Fatalf("KPT*=%v on an edgeless graph, want 1", est.kptStar)
 	}
@@ -118,7 +119,7 @@ func TestEstimateKPTEdgeless(t *testing.T) {
 // least reflects a spread above 1.
 func TestEstimateKPTStarOnStar(t *testing.T) {
 	g := gen.Star(256, 1)
-	est := estimateKPT(g, diffusion.NewIC(), 1, 1, 1, newSeedSequence(14))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 1, 1, 1, newSeedSequence(14))
 	// Every RR set rooted at a leaf is {leaf, hub} with width 1;
 	// κ(R) = w/m = 1/255 per leaf-rooted set. KPT = n·E[κ] ≈ 256/255 ≈ 1.
 	if est.kptStar < 0.4 || est.kptStar > 4 {
@@ -133,8 +134,8 @@ func TestRefineKPTImproves(t *testing.T) {
 	graph.AssignWeightedCascade(g)
 	model := diffusion.NewIC()
 	seeds := newSeedSequence(16)
-	est := estimateKPT(g, model, 20, 1, 1, seeds)
-	kptPlus := refineKPT(g, model, est.lastBatch, 20, est.kptStar, 0.3, 1, 1, seeds)
+	est := estimateKPT(context.Background(), g, model, 20, 1, 1, seeds)
+	kptPlus := refineKPT(context.Background(), g, model, est.lastBatch, 20, est.kptStar, 0.3, 1, 1, seeds)
 	if kptPlus < est.kptStar {
 		t.Fatalf("KPT+ %v < KPT* %v", kptPlus, est.kptStar)
 	}
@@ -150,8 +151,8 @@ func TestRefineKPTIsLowerBound(t *testing.T) {
 	model := diffusion.NewIC()
 	const k = 10
 	seeds := newSeedSequence(18)
-	est := estimateKPT(g, model, k, 1, 1, seeds)
-	kptPlus := refineKPT(g, model, est.lastBatch, k, est.kptStar, 0.3, 1, 1, seeds)
+	est := estimateKPT(context.Background(), g, model, k, 1, 1, seeds)
+	kptPlus := refineKPT(context.Background(), g, model, est.lastBatch, k, est.kptStar, 0.3, 1, 1, seeds)
 	res, err := Maximize(g, model, Options{K: k, Epsilon: 0.2, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
@@ -168,11 +169,11 @@ func TestRefineKPTIsLowerBound(t *testing.T) {
 func TestRefineKPTDegenerateInputs(t *testing.T) {
 	g := gen.Path(10, 0.5)
 	model := diffusion.NewIC()
-	if got := refineKPT(g, model, nil, 2, 5, 0.3, 1, 1, newSeedSequence(1)); got != 5 {
+	if got := refineKPT(context.Background(), g, model, nil, 2, 5, 0.3, 1, 1, newSeedSequence(1)); got != 5 {
 		t.Fatalf("nil batch: got %v, want passthrough 5", got)
 	}
 	col := diffusion.SampleCollection(g, model, 10, diffusion.SampleOptions{Workers: 1, Seed: 2})
-	if got := refineKPT(g, model, col, 2, 0, 0.3, 1, 1, newSeedSequence(3)); got != 0 {
+	if got := refineKPT(context.Background(), g, model, col, 2, 0, 0.3, 1, 1, newSeedSequence(3)); got != 0 {
 		t.Fatalf("zero KPT*: got %v, want passthrough 0", got)
 	}
 }
@@ -195,7 +196,7 @@ func TestSeedSequenceDeterministic(t *testing.T) {
 // with edges.
 func TestEptEstimatePositive(t *testing.T) {
 	g := gen.Cycle(50, 0.5)
-	est := estimateKPT(g, diffusion.NewIC(), 2, 1, 1, newSeedSequence(21))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 2, 1, 1, newSeedSequence(21))
 	if est.ept <= 0 {
 		t.Fatalf("EPT estimate %v", est.ept)
 	}

@@ -18,10 +18,13 @@
 package tim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/diffusion"
+	"repro/internal/graph"
 	"repro/internal/stats"
 )
 
@@ -83,10 +86,34 @@ type Options struct {
 	// extra sequential I/O. The approximation guarantee is unchanged.
 	// Use os.TempDir() for the system default location.
 	SpillDir string
+	// Source, when non-nil, supplies the node-selection RR collection
+	// instead of fresh sampling — the reuse hook long-lived services
+	// (internal/server) use to extend one cached collection across
+	// queries with growing θ rather than resampling from scratch. It is
+	// ignored when SpillDir is set. Parameter estimation and refinement
+	// always sample fresh: they are cheap, k-dependent, and feed only the
+	// choice of θ.
+	Source CollectionSource
 }
 
-// ErrBadOptions wraps every option-validation failure.
+// CollectionSource supplies node-selection RR collections for Maximize.
+// Implementations must return a collection of at least theta independent
+// uniformly-rooted RR sets for (g, model); returning more than theta is
+// permitted — extra i.i.d. sets only tighten the coverage estimate — and
+// Result.Theta reports the count actually used. The returned collection
+// must not be mutated afterwards while the Result is in use.
+type CollectionSource interface {
+	NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error)
+}
+
+// ErrBadOptions wraps every option-validation failure. It indicates a
+// caller mistake (servers should map it to a 4xx status).
 var ErrBadOptions = errors.New("tim: invalid options")
+
+// ErrBadSource reports a CollectionSource contract violation (fewer than
+// θ sets returned). Unlike ErrBadOptions this is a defect in the source
+// implementation, not in the query that triggered it.
+var ErrBadSource = errors.New("tim: CollectionSource contract violation")
 
 func (o *Options) validate(n int) error {
 	if n <= 0 {
@@ -125,12 +152,23 @@ func (o *Options) validate(n int) error {
 // effectiveEll returns ℓ after the §3.3/§4.1 success-probability
 // adjustment (union bound over the 2 or 3 sub-procedures).
 func (o *Options) effectiveEll(n int) float64 {
-	if o.ExactEll || n < 2 {
+	if o.ExactEll {
 		return o.Ell
 	}
-	factor := math.Ln2 // TIM: 1 − 2n^−ℓ → scale by 1 + ln2/ln n
-	if o.Variant == TIMPlus {
-		factor = math.Log(3) // TIM+: 1 − 3n^−ℓ
+	return EffectiveEll(o.Ell, o.Variant, n)
+}
+
+// EffectiveEll applies the §3.3/§4.1 success-probability inflation to ℓ:
+// TIM unions over 2 sub-procedures (1 − 2n^−ℓ → scale by 1 + ln2/ln n),
+// TIM+ over 3. Exported because the distributed runner (internal/dist)
+// applies the same adjustment.
+func EffectiveEll(ell float64, variant Algorithm, n int) float64 {
+	if n < 2 {
+		return ell
 	}
-	return o.Ell * (1 + factor/math.Log(float64(n)))
+	factor := math.Ln2
+	if variant == TIMPlus {
+		factor = math.Log(3)
+	}
+	return ell * (1 + factor/math.Log(float64(n)))
 }

@@ -1,6 +1,7 @@
 package tim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/diffusion"
@@ -20,8 +21,10 @@ import (
 // between spill flushes. Peak memory is one chunk plus O(n) counters.
 const spillChunk = 1 << 14
 
-// selectOutOfCore runs Algorithm 1 with disk-resident RR storage.
-func selectOutOfCore(g *graph.Graph, model diffusion.Model, k int, theta int64,
+// selectOutOfCore runs Algorithm 1 with disk-resident RR storage. The
+// context is polled between spill chunks (the granularity disk streaming
+// naturally provides), so cancellation aborts within one chunk's work.
+func selectOutOfCore(ctx context.Context, g *graph.Graph, model diffusion.Model, k int, theta int64,
 	workers int, dir string, seeds *seedSequence) (*diskrr.Result, *diskSelStats, error) {
 
 	w, err := diskrr.NewWriter(dir)
@@ -29,6 +32,10 @@ func selectOutOfCore(g *graph.Graph, model diffusion.Model, k int, theta int64,
 		return nil, nil, err
 	}
 	for generated := int64(0); generated < theta; {
+		if err := ctx.Err(); err != nil {
+			w.Abort()
+			return nil, nil, err
+		}
 		batch := theta - generated
 		if batch > spillChunk {
 			batch = spillChunk
@@ -36,6 +43,7 @@ func selectOutOfCore(g *graph.Graph, model diffusion.Model, k int, theta int64,
 		col := diffusion.SampleCollection(g, model, batch, diffusion.SampleOptions{
 			Workers: workers,
 			Seed:    seeds.next(),
+			Ctx:     ctx,
 		})
 		for i := 0; i < col.Count(); i++ {
 			set := col.Set(i)
@@ -51,6 +59,9 @@ func selectOutOfCore(g *graph.Graph, model diffusion.Model, k int, theta int64,
 		return nil, nil, err
 	}
 	defer disk.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	cover, err := diskrr.GreedyOutOfCore(g.N(), disk, k)
 	if err != nil {
 		return nil, nil, fmt.Errorf("tim: out-of-core selection: %w", err)

@@ -1,6 +1,7 @@
 package tim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/diffusion"
@@ -15,11 +16,11 @@ import (
 // sets as f·n (Corollary 1), deflates by (1 + ε′) so that
 // KPT′ ≤ E[I(S′_k)] ≤ OPT with probability 1 − n^−ℓ, and returns
 // KPT⁺ = max(KPT′, KPT*).
-func refineKPT(g *graph.Graph, model diffusion.Model, lastBatch *diffusion.RRCollection,
+func refineKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, lastBatch *diffusion.RRCollection,
 	k int, kptStar, epsPrime, ell float64, workers int, seeds *seedSequence) float64 {
 
 	n := g.N()
-	if lastBatch == nil || kptStar <= 0 {
+	if lastBatch == nil || kptStar <= 0 || ctx.Err() != nil {
 		return kptStar
 	}
 	cover := maxcover.Greedy(n, lastBatch, k)
@@ -31,7 +32,11 @@ func refineKPT(g *graph.Graph, model diffusion.Model, lastBatch *diffusion.RRCol
 	fresh := diffusion.SampleCollection(g, model, thetaPrime, diffusion.SampleOptions{
 		Workers: workers,
 		Seed:    seeds.next(),
+		Ctx:     ctx,
 	})
+	if ctx.Err() != nil {
+		return kptStar
+	}
 	covered := maxcover.CountCovered(n, fresh, cover.Seeds)
 	f := float64(covered) / float64(thetaPrime)
 	kptPrime := f * float64(n) / (1 + epsPrime)

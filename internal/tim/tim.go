@@ -1,6 +1,8 @@
 package tim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"time"
@@ -32,6 +34,15 @@ func (s *seedSequence) next() uint64 { return s.r.Uint64() }
 // probability at least 1 − n^−ℓ, in O((k + ℓ)(m + n) log n / ε²) expected
 // time, under IC, LT, and any triggering model.
 func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, error) {
+	return MaximizeContext(context.Background(), g, model, opts)
+}
+
+// MaximizeContext is Maximize with cancellation: the context is polled
+// inside every sampling loop (the phases where all the time goes), so a
+// cancelled or deadline-exceeded ctx aborts the run promptly and returns
+// ctx's error. Long-lived callers — request-scoped services especially —
+// should prefer it over Maximize.
+func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model, opts Options) (*Result, error) {
 	n := g.N()
 	if err := opts.validate(n); err != nil {
 		return nil, err
@@ -46,7 +57,10 @@ func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, err
 
 	// Phase 1: parameter estimation (Algorithm 2).
 	t0 := time.Now()
-	est := estimateKPT(g, model, opts.K, ell, opts.Workers, seeds)
+	est := estimateKPT(ctx, g, model, opts.K, ell, opts.Workers, seeds)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Timings.KptEstimation = time.Since(t0)
 	res.KptStar = est.kptStar
 	res.KptPlus = est.kptStar
@@ -56,8 +70,11 @@ func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, err
 	// Intermediate step: refinement (Algorithm 3, TIM+ only).
 	if opts.Variant == TIMPlus {
 		t1 := time.Now()
-		res.KptPlus = refineKPT(g, model, est.lastBatch, opts.K,
+		res.KptPlus = refineKPT(ctx, g, model, est.lastBatch, opts.K,
 			est.kptStar, opts.EpsPrime, ell, opts.Workers, seeds)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Timings.Refinement = time.Since(t1)
 	}
 
@@ -77,7 +94,7 @@ func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, err
 		res.ThetaCapped = true
 	}
 	if opts.SpillDir != "" {
-		cover, stats, err := selectOutOfCore(g, model, opts.K, theta, opts.Workers, opts.SpillDir, seeds)
+		cover, stats, err := selectOutOfCore(ctx, g, model, opts.K, theta, opts.Workers, opts.SpillDir, seeds)
 		if err != nil {
 			return nil, err
 		}
@@ -93,10 +110,28 @@ func Maximize(g *graph.Graph, model diffusion.Model, opts Options) (*Result, err
 		res.Timings.Total = time.Since(start)
 		return res, nil
 	}
-	col := diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{
-		Workers: opts.Workers,
-		Seed:    seeds.next(),
-	})
+	var col *diffusion.RRCollection
+	if opts.Source != nil {
+		var err error
+		col, err = opts.Source.NodeSelectionSets(ctx, g, model, theta, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if int64(col.Count()) < theta {
+			return nil, fmt.Errorf("%w: returned %d RR sets, need θ=%d",
+				ErrBadSource, col.Count(), theta)
+		}
+		theta = int64(col.Count())
+	} else {
+		col = diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{
+			Workers: opts.Workers,
+			Seed:    seeds.next(),
+			Ctx:     ctx,
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	cover := maxcover.Greedy(n, col, opts.K)
 	res.Timings.NodeSelection = time.Since(t2)
 

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/diffusion"
 	"repro/internal/rng"
 	"repro/internal/spread"
@@ -68,6 +70,31 @@ var ErrBadOptions = tim.ErrBadOptions
 func Maximize(g *Graph, model Model, opts Options) (*Result, error) {
 	return tim.Maximize(g, model, opts)
 }
+
+// MaximizeContext is Maximize with cancellation: ctx is polled inside the
+// sampling loops of all three phases, so a cancelled or deadline-exceeded
+// context aborts the run promptly with ctx's error. Request-scoped
+// callers (for example cmd/timserver) should prefer it over Maximize.
+func MaximizeContext(ctx context.Context, g *Graph, model Model, opts Options) (*Result, error) {
+	return tim.MaximizeContext(ctx, g, model, opts)
+}
+
+// RRCollection is a flat arena of reverse-reachable sets — the type a
+// CollectionSource produces. See ExtendCollection in internal/diffusion
+// for the prefix-deterministic way to grow one.
+type RRCollection = diffusion.RRCollection
+
+// CollectionSource is the RR-collection reuse hook of Options.Source: a
+// long-lived caller can supply node-selection RR collections from a
+// cache that is extended — never resampled — as θ grows across queries.
+// Implementations return an *RRCollection with at least θ sets; see
+// tim.CollectionSource for the exact contract and internal/server for
+// the canonical implementation.
+type CollectionSource = tim.CollectionSource
+
+// ErrBadSource is returned by Maximize when a CollectionSource violates
+// its contract (fewer than θ sets returned).
+var ErrBadSource = tim.ErrBadSource
 
 // SpreadOptions configures EstimateSpread.
 type SpreadOptions = spread.Options
