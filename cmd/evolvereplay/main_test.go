@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseConfig(out *bytes.Buffer) config {
+	return config{
+		profile:   "nethept",
+		scale:     "tiny",
+		model:     "ic",
+		k:         5,
+		eps:       0.3,
+		seed:      1,
+		batches:   4,
+		batchEdge: 6,
+		coldEvery: 2,
+		workers:   2,
+		out:       out,
+	}
+}
+
+// TestRunSynthetic drives the full replay loop, including the embedded
+// bit-identity checks against cold resamples (run fails if any diverge).
+func TestRunSynthetic(t *testing.T) {
+	var out bytes.Buffer
+	cfg := baseConfig(&out)
+	cfg.verbose = true
+	cfg.growEvery = 3
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"repair latency: p50=", "sets repaired:", "cold resample:", "bit-identical", "seed churn:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunLTWithTrace(t *testing.T) {
+	var out bytes.Buffer
+	cfg := baseConfig(&out)
+	cfg.model = "lt"
+	cfg.trace = true
+	cfg.batches = 3
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "membership-risk") {
+		t.Errorf("trace mode output missing impact line:\n%s", out.String())
+	}
+}
+
+// TestRunStream replays a timestamped file, including growth to a node id
+// beyond the initial graph.
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gpath, []byte("# nodes=6 edges=6\n0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, "edits.txt")
+	stream := "# t op u v\n1 + 0 3\n1 - 1 2\n2 + 6 0\n2 + 0 6\n3 - 0 3\n"
+	if err := os.WriteFile(spath, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cfg := baseConfig(&out)
+	cfg.graphPath = gpath
+	cfg.stream = spath
+	cfg.k = 2
+	cfg.coldEvery = 1
+	if err := run(cfg); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replayed 3 batches") {
+		t.Errorf("stream batching wrong:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	cfg := baseConfig(&out)
+	cfg.model = "bogus"
+	if err := run(cfg); err == nil {
+		t.Error("bogus model accepted")
+	}
+	cfg = baseConfig(&out)
+	cfg.profile = "not-a-profile"
+	if err := run(cfg); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	cfg = baseConfig(&out)
+	cfg.graphPath = "/does/not/exist"
+	if err := run(cfg); err == nil {
+		t.Error("missing graph accepted")
+	}
+}

@@ -12,11 +12,17 @@
 //
 //	curl -s localhost:8080/v1/maximize -d '{"dataset":"nethept","k":20,"epsilon":0.1}'
 //	curl -s localhost:8080/v1/spread   -d '{"dataset":"nethept","seeds":[1,2,3]}'
+//	curl -s localhost:8080/v1/update   -d '{"dataset":"nethept","insert":[{"from":3,"to":9}],"delete":[{"from":1,"to":2}]}'
 //	curl -s localhost:8080/v1/stats
 //
-// Endpoints: POST /v1/maximize, POST /v1/spread, GET /v1/stats,
-// GET /v1/datasets, GET /healthz. The server drains in-flight requests on
-// SIGINT/SIGTERM before exiting.
+// Datasets are live: /v1/update applies batched edge inserts/deletes and
+// node growth through the evolving-graph layer, warm RR collections are
+// repaired incrementally instead of dropped, and every query reports the
+// graph_version it was answered at.
+//
+// Endpoints: POST /v1/maximize, POST /v1/spread, POST /v1/update,
+// GET /v1/stats, GET /v1/datasets, GET /healthz. The server drains
+// in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
@@ -56,12 +62,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "sampling workers per query (0 = all cores)")
 		seed      = flag.Uint64("seed", 1, "base seed for the RR reuse layer and default query seed")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+		deltaLog  = flag.Int("delta-log", 0, "mutations retained per dataset for incremental RR repair (0 = default 1M; older warm collections reset cold)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
 	flag.Parse()
 
-	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain); err != nil {
+	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog); err != nil {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
 		os.Exit(1)
 	}
@@ -69,7 +76,7 @@ func main() {
 
 func run(listen string, datasets []string, cacheSize, rrCollections int,
 	maxTheta int64, timeout time.Duration, workers int, seed uint64,
-	drain time.Duration) error {
+	drain time.Duration, deltaLog int) error {
 
 	if len(datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=source is required")
@@ -90,6 +97,7 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 		RequestTimeout: timeout,
 		Workers:        workers,
 		Seed:           seed,
+		MaxDeltaLog:    deltaLog,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,54 @@
+package evolve
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// WeightPolicy derives the in-edge weights of a head whose in-edge list
+// just changed. A policy makes weights a pure function of (head, in-edge
+// list): after any mutation batch, re-deriving only the touched heads
+// leaves every weight identical to what a cold assignment over the final
+// topology would produce — the property the server's warm-equals-cold
+// guarantee rests on. Implementations must fill w with values in [0, 1]
+// and must not retain the slices.
+type WeightPolicy interface {
+	// WeightIn receives head v's in-edge sources and current weights in
+	// canonical order and overwrites w in place.
+	WeightIn(v uint32, src []uint32, w []float32)
+}
+
+// WeightedCascade is the paper's §7.1 IC parameterization as a policy:
+// every in-edge of v weighs 1/indeg(v). Matches
+// graph.AssignWeightedCascade head for head.
+type WeightedCascade struct{}
+
+// WeightIn implements WeightPolicy.
+func (WeightedCascade) WeightIn(v uint32, src []uint32, w []float32) {
+	p := float32(1.0) / float32(len(w))
+	for i := range w {
+		w[i] = p
+	}
+}
+
+// KeyedNormalizedLT is the keyed LT parameterization as a policy: head
+// v's weights are drawn from stream Split(v) of Seed and normalized,
+// matching graph.AssignRandomNormalizedLTKeyed head for head.
+type KeyedNormalizedLT struct {
+	Seed uint64
+
+	base *rng.Rand
+}
+
+// NewKeyedNormalizedLT returns the policy for the given assignment seed.
+func NewKeyedNormalizedLT(seed uint64) *KeyedNormalizedLT {
+	return &KeyedNormalizedLT{Seed: seed, base: rng.New(seed)}
+}
+
+// WeightIn implements WeightPolicy.
+func (p *KeyedNormalizedLT) WeightIn(v uint32, src []uint32, w []float32) {
+	if p.base == nil {
+		p.base = rng.New(p.Seed)
+	}
+	graph.FillNormalizedLTKeyed(p.base, v, src, w)
+}

@@ -89,6 +89,12 @@ func FuzzReadBinary(f *testing.F) {
 	bigN := append([]byte{}, valid.Bytes()...)
 	binary.LittleEndian.PutUint64(bigN[8:], 1<<40)
 	f.Add(bigN)
+	// Clipped streams: magic cut short, header cut short, mid-record cut.
+	for _, cut := range []int{2, 9, 25} {
+		if cut < valid.Len() {
+			f.Add(append([]byte{}, valid.Bytes()[:cut]...))
+		}
+	}
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if len(input) > 1<<16 {
 			return

@@ -148,6 +148,17 @@ var binMagic = [4]byte{'T', 'I', 'M', 'G'}
 
 const binVersion = 1
 
+var (
+	// ErrTruncated reports a binary stream that ended before the bytes its
+	// own header promised — the typical result of an interrupted download
+	// or a clipped file. It always wraps enough context to locate the cut.
+	ErrTruncated = errors.New("graph: truncated binary graph data")
+	// ErrBinFormat reports structurally invalid binary data: wrong magic,
+	// unsupported version, or an impossible header. Unlike ErrTruncated,
+	// retrying with more bytes cannot fix it.
+	ErrBinFormat = errors.New("graph: invalid binary graph data")
+)
+
 // WriteBinary writes the graph in the TIMG binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
@@ -176,27 +187,30 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph in the TIMG binary format.
+// ReadBinary reads a graph in the TIMG binary format. The input is
+// treated as untrusted: malformed or clipped data yields a typed error
+// (ErrBinFormat, ErrTruncated, ErrNodeRange, or ErrBadWeight), never a
+// panic, and never an allocation proportional to a lying header.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
 	}
 	if magic != binMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBinFormat, magic[:])
 	}
 	hdr := make([]byte, 4+8+8)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binVersion {
-		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBinFormat, v)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
 	m := binary.LittleEndian.Uint64(hdr[12:])
 	if n > 1<<32 {
-		return nil, fmt.Errorf("graph: node count %d exceeds uint32 id space", n)
+		return nil, fmt.Errorf("%w: node count %d exceeds uint32 id space", ErrBinFormat, n)
 	}
 	// The header is untrusted input: preallocating m records outright
 	// would let a 24-byte file demand petabytes. Cap the upfront
@@ -210,7 +224,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	rec := make([]byte, 12)
 	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+			return nil, fmt.Errorf("%w: edge %d of %d: %v", ErrTruncated, i, m, err)
 		}
 		edges = append(edges, Edge{
 			From:   binary.LittleEndian.Uint32(rec[0:]),

@@ -120,22 +120,82 @@ func TestBinaryRoundTrip(t *testing.T) {
 }
 
 func TestReadBinaryBadMagic(t *testing.T) {
-	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+	_, err := ReadBinary(strings.NewReader("NOPE...."))
+	if err == nil {
 		t.Fatal("bad magic accepted")
+	}
+	if !errors.Is(err, ErrBinFormat) {
+		t.Fatalf("bad magic: got %v, want ErrBinFormat", err)
 	}
 }
 
+// TestReadBinaryTruncated clips a valid WriteBinary stream at every byte
+// boundary: each prefix must fail with ErrTruncated (except a prefix that
+// breaks the magic itself, which is ErrTruncated too since the magic read
+// comes up short) — never panic, never succeed.
 func TestReadBinaryTruncated(t *testing.T) {
-	g := MustFromEdges(2, []Edge{{From: 0, To: 1, Weight: 0.5}})
+	g := MustFromEdges(3, []Edge{
+		{From: 0, To: 1, Weight: 0.5},
+		{From: 1, To: 2, Weight: 0.25},
+		{From: 2, To: 0, Weight: 1},
+	})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	for _, cut := range []int{1, 4, 10, len(full) - 1} {
-		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
-			t.Errorf("truncation at %d accepted", cut)
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadBinary(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
 		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream must still parse: %v", err)
+	}
+}
+
+// TestReadBinaryCorrupt flips header fields and record bytes of a valid
+// stream: every corruption fails with a typed error, never a panic.
+func TestReadBinaryCorrupt(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{From: 0, To: 1, Weight: 0.5}, {From: 1, To: 2, Weight: 0.25}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	clone := func() []byte { return append([]byte(nil), pristine...) }
+
+	badVersion := clone()
+	binary.LittleEndian.PutUint32(badVersion[4:], 99)
+	if _, err := ReadBinary(bytes.NewReader(badVersion)); !errors.Is(err, ErrBinFormat) {
+		t.Fatalf("bad version: got %v, want ErrBinFormat", err)
+	}
+
+	hugeN := clone()
+	binary.LittleEndian.PutUint64(hugeN[8:], 1<<33)
+	if _, err := ReadBinary(bytes.NewReader(hugeN)); !errors.Is(err, ErrBinFormat) {
+		t.Fatalf("huge node count: got %v, want ErrBinFormat", err)
+	}
+
+	// Records start after magic (4) + version (4) + n (8) + m (8).
+	const rec0 = 24
+
+	// First record's target id pushed outside [0, n).
+	badNode := clone()
+	binary.LittleEndian.PutUint32(badNode[rec0+4:], 1<<30)
+	if _, err := ReadBinary(bytes.NewReader(badNode)); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("out-of-range endpoint: got %v, want ErrNodeRange", err)
+	}
+
+	// First record's weight bits set to NaN.
+	badWeight := clone()
+	binary.LittleEndian.PutUint32(badWeight[rec0+8:], 0x7fc00000)
+	if _, err := ReadBinary(bytes.NewReader(badWeight)); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("NaN weight: got %v, want ErrBadWeight", err)
 	}
 }
 

@@ -81,6 +81,61 @@ func AssignRandomNormalizedLT(g *Graph, r *rng.Rand) {
 	}
 }
 
+// AssignRandomNormalizedLTKeyed is AssignRandomNormalizedLT with the
+// random draws keyed per edge instead of consumed from one sequential
+// stream: the raw draw for in-edge u→v comes from stream
+// Split(v).Split(u) of the seed, then v's draws are normalized to sum
+// to 1. Node v's weights are therefore a pure function of (seed, v, the
+// multiset of v's in-neighbors) — independent of edge order and of the
+// rest of the graph. That is the property that lets an evolving graph
+// (internal/evolve) re-derive weights only at heads whose in-list changed
+// and still match a cold assignment over the final topology, no matter
+// how either graph orders its edges. Parallel u→v edges share one draw
+// and so split v's mass equally between them.
+func AssignRandomNormalizedLTKeyed(g *Graph, seed uint64) {
+	base := rng.New(seed)
+	err := g.SetInWeights(func(v uint32, src []uint32, w []float32) {
+		FillNormalizedLTKeyed(base, v, src, w)
+	})
+	if err != nil {
+		// Unreachable: FillNormalizedLTKeyed clamps into [0, 1].
+		panic(err)
+	}
+}
+
+// FillNormalizedLTKeyed fills w with head v's keyed normalized LT
+// weights: one uniform draw per in-edge from stream
+// base.Split(v).Split(src[i]), normalized to sum to 1 and clamped against
+// float32 round-up. base must be rng.New of the assignment seed; Split
+// does not advance it, so the same base serves every head. Exported so
+// incremental reweighting (internal/evolve) and the whole-graph
+// assignment above share one definition.
+func FillNormalizedLTKeyed(base *rng.Rand, v uint32, src []uint32, w []float32) {
+	var rv, re rng.Rand
+	base.SplitInto(uint64(v), &rv)
+	var sum float64
+	for i := range w {
+		rv.SplitInto(uint64(src[i]), &re)
+		x := re.Float64()
+		w[i] = float32(x)
+		sum += x
+	}
+	if sum == 0 {
+		p := float32(1.0) / float32(len(w))
+		for i := range w {
+			w[i] = p
+		}
+		return
+	}
+	inv := float32(1.0 / sum)
+	for i := range w {
+		w[i] *= inv
+		if w[i] > 1 {
+			w[i] = 1
+		}
+	}
+}
+
 // AssignUniformLT sets each of v's in-edge weights to 1/indeg(v), the
 // degree-normalized LT parameterization (identical numerically to the
 // weighted cascade assignment, but conventionally named separately because

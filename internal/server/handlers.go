@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/diffusion"
+	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/spread"
 	"repro/internal/tim"
@@ -52,9 +53,16 @@ type MaximizeResponse struct {
 	Cached bool `json:"cached"`
 	// RRSetsReused and RRSetsSampled split node selection's θ between
 	// sets served from the reuse layer and sets newly sampled.
-	RRSetsReused  int64   `json:"rr_sets_reused"`
-	RRSetsSampled int64   `json:"rr_sets_sampled"`
-	ElapsedMs     float64 `json:"elapsed_ms"`
+	RRSetsReused  int64 `json:"rr_sets_reused"`
+	RRSetsSampled int64 `json:"rr_sets_sampled"`
+	// RRSetsRepaired counts cached sets re-derived by the incremental
+	// maintainer because graph updates landed since the collection was
+	// last used (see /v1/update).
+	RRSetsRepaired int64 `json:"rr_sets_repaired,omitempty"`
+	// GraphVersion is the dataset version (update batches applied) this
+	// answer was computed at.
+	GraphVersion uint64  `json:"graph_version"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
 }
 
 // SpreadRequest is the body of POST /v1/spread.
@@ -71,11 +79,52 @@ type SpreadRequest struct {
 
 // SpreadResponse is the body of a successful /v1/spread reply.
 type SpreadResponse struct {
-	Spread    float64 `json:"spread"`
-	Stderr    float64 `json:"stderr"`
-	Samples   int     `json:"samples"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsed_ms"`
+	Spread       float64 `json:"spread"`
+	Stderr       float64 `json:"stderr"`
+	Samples      int     `json:"samples"`
+	Cached       bool    `json:"cached"`
+	GraphVersion uint64  `json:"graph_version"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// UpdateEdge names one directed edge in an update request. Updates never
+// carry weights: edge weights are owned by the dataset's per-model weight
+// policy (weighted cascade for IC, keyed normalized for LT), which
+// re-derives them at every head an update touches — that is what keeps a
+// mutated warm graph identical to a cold load of the final topology.
+type UpdateEdge struct {
+	From uint32 `json:"from"`
+	To   uint32 `json:"to"`
+}
+
+// UpdateRequest is the body of POST /v1/update: one atomic mutation batch
+// against a registered dataset. Within the batch, nodes are added first,
+// then deletions, then insertions — so deletions always refer to
+// pre-batch edges and insertions may target brand-new nodes. Either every
+// mutation applies or none does.
+type UpdateRequest struct {
+	// Dataset names a registry entry (required).
+	Dataset string `json:"dataset"`
+	// AddNodes grows the node-id space by this many isolated nodes.
+	AddNodes int `json:"add_nodes,omitempty"`
+	// Insert adds directed edges (endpoints may reference new nodes).
+	Insert []UpdateEdge `json:"insert,omitempty"`
+	// Delete removes one live occurrence of each named edge.
+	Delete []UpdateEdge `json:"delete,omitempty"`
+}
+
+// UpdateResponse is the body of a successful /v1/update reply.
+type UpdateResponse struct {
+	Dataset string `json:"dataset"`
+	// Version is the dataset's new version; queries answered at this
+	// version report it as graph_version.
+	Version    uint64  `json:"version"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Inserted   int     `json:"inserted"`
+	Deleted    int     `json:"deleted"`
+	AddedNodes int     `json:"added_nodes"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
 }
 
 // errorResponse is every non-2xx body.
@@ -90,13 +139,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps the error to an HTTP status: unknown datasets are 404,
-// invalid options 400, timeouts 504, everything else 500.
+// invalid options and mutations 400, timeouts 504, everything else 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrUnknownDataset):
 		status = http.StatusNotFound
-	case errors.Is(err, tim.ErrBadOptions), errors.Is(err, errBadRequest):
+	case errors.Is(err, tim.ErrBadOptions), errors.Is(err, errBadRequest),
+		errors.Is(err, evolve.ErrUnknownEdge), errors.Is(err, graph.ErrNodeRange),
+		errors.Is(err, graph.ErrBadWeight):
 		status = http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
@@ -165,8 +216,21 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		seed = *req.Seed
 	}
 
-	key := fmt.Sprintf("maximize|%s|%s|%s|k=%d|eps=%g|ell=%g|seed=%d|reuse=%t",
-		req.Dataset, modelName, algoName, req.K, req.Epsilon, req.Ell, seed, !req.NoReuse)
+	evg, err := s.registry.get(req.Dataset, model.Kind())
+	if err != nil {
+		s.observe("maximize", start, false, true)
+		writeError(w, err)
+		return
+	}
+	// The snapshot is immutable: concurrent /v1/update calls bump the
+	// dataset version but never touch a materialized snapshot, so the
+	// whole query — estimation, refinement, node selection — runs against
+	// one coherent graph. The version keys both caches: an update
+	// invalidates every cached answer derived from the old topology.
+	g, version := evg.Snapshot()
+
+	key := fmt.Sprintf("maximize|%s|%s|%s|k=%d|eps=%g|ell=%g|seed=%d|reuse=%t|v=%d",
+		req.Dataset, modelName, algoName, req.K, req.Epsilon, req.Ell, seed, !req.NoReuse, version)
 	if v, ok := s.results.get(key); ok {
 		resp := v.(MaximizeResponse)
 		resp.Cached = true
@@ -176,12 +240,6 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	g, err := s.registry.get(req.Dataset, model.Kind())
-	if err != nil {
-		s.observe("maximize", start, false, true)
-		writeError(w, err)
-		return
-	}
 	opts := tim.Options{
 		K:        req.K,
 		Epsilon:  req.Epsilon,
@@ -195,8 +253,11 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	if !req.NoReuse {
 		// The reuse key deliberately excludes k, seed, and algorithm:
 		// any i.i.d. RR sets serve any of them, so all such queries
-		// share one growing collection per (dataset, model, ε).
-		src = s.rr.source(fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon))
+		// share one growing collection per (dataset, model, ε). It also
+		// excludes the graph version: the whole point of the maintainer
+		// is that one collection follows the dataset across versions,
+		// repaired in place.
+		src = s.rr.source(fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon), evg, version)
 		opts.Source = src
 	}
 	ctx, cancel := s.queryCtx(r)
@@ -215,10 +276,12 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		ThetaCapped:      res.ThetaCapped,
 		CoverageFraction: res.CoverageFraction,
 		SpreadEstimate:   res.SpreadEstimate,
+		GraphVersion:     version,
 	}
 	if src != nil {
 		resp.RRSetsReused = src.reused
 		resp.RRSetsSampled = src.sampled
+		resp.RRSetsRepaired = src.repaired
 	} else {
 		resp.RRSetsSampled = res.Theta
 	}
@@ -260,8 +323,16 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		seed = *req.Seed
 	}
 
-	key := fmt.Sprintf("spread|%s|%s|seeds=%v|samples=%d|seed=%d",
-		req.Dataset, modelName, req.Seeds, req.Samples, seed)
+	evg, err := s.registry.get(req.Dataset, model.Kind())
+	if err != nil {
+		s.observe("spread", start, false, true)
+		writeError(w, err)
+		return
+	}
+	g, version := evg.Snapshot()
+
+	key := fmt.Sprintf("spread|%s|%s|seeds=%v|samples=%d|seed=%d|v=%d",
+		req.Dataset, modelName, req.Seeds, req.Samples, seed, version)
 	if v, ok := s.results.get(key); ok {
 		resp := v.(SpreadResponse)
 		resp.Cached = true
@@ -271,12 +342,6 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	g, err := s.registry.get(req.Dataset, model.Kind())
-	if err != nil {
-		s.observe("spread", start, false, true)
-		writeError(w, err)
-		return
-	}
 	for _, v := range req.Seeds {
 		if int(v) >= g.N() {
 			s.observe("spread", start, false, true)
@@ -295,7 +360,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp := SpreadResponse{Spread: mean, Stderr: stderr, Samples: req.Samples}
+	resp := SpreadResponse{Spread: mean, Stderr: stderr, Samples: req.Samples, GraphVersion: version}
 	s.results.put(key, resp)
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.observe("spread", start, false, false)
@@ -339,6 +404,56 @@ func estimateSpreadCtx(ctx context.Context, g *graph.Graph, model diffusion.Mode
 	return mean, math.Sqrt(variance / float64(done)), nil
 }
 
+// handleUpdate applies one mutation batch to a dataset. Warm RR
+// collections are NOT touched here: they repair lazily, on the next query
+// that observes the new version, so a burst of updates costs one repair,
+// not one per batch.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.observe("update", start, false, true)
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if req.AddNodes < 0 {
+		s.observe("update", start, false, true)
+		writeError(w, fmt.Errorf("%w: add_nodes must be non-negative", errBadRequest))
+		return
+	}
+	b := evolve.Batch{AddNodes: req.AddNodes}
+	for _, e := range req.Insert {
+		// Weight 0 is provisional: the dataset's weight policy rewrites
+		// every touched head's in-weights during Apply.
+		b.Inserts = append(b.Inserts, graph.Edge{From: e.From, To: e.To})
+	}
+	for _, e := range req.Delete {
+		b.Deletes = append(b.Deletes, evolve.EdgeKey{From: e.From, To: e.To})
+	}
+	if b.Empty() {
+		s.observe("update", start, false, true)
+		writeError(w, fmt.Errorf("%w: empty update batch", errBadRequest))
+		return
+	}
+	info, err := s.registry.update(req.Dataset, b)
+	if err != nil {
+		s.observe("update", start, false, true)
+		writeError(w, err)
+		return
+	}
+	s.observe("update", start, false, false)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Dataset:    req.Dataset,
+		Version:    info.Version,
+		Nodes:      info.Nodes,
+		Edges:      info.Edges,
+		Inserted:   len(req.Insert),
+		Deleted:    len(req.Delete),
+		AddedNodes: req.AddNodes,
+		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	endpoints := make(map[string]endpointStats, len(s.endpoints))
@@ -348,14 +463,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
 		UptimeSeconds float64                  `json:"uptime_seconds"`
+		StartedAt     string                   `json:"started_at"`
 		Endpoints     map[string]endpointStats `json:"endpoints"`
 		ResultCache   cacheStats               `json:"result_cache"`
 		RRCache       rrStoreStats             `json:"rr_cache"`
+		// Datasets reports each dataset's version and size so operators
+		// can confirm an update landed without a maximize round-trip.
+		Datasets []datasetInfo `json:"datasets"`
 	}{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		StartedAt:     s.start.UTC().Format(time.RFC3339),
 		Endpoints:     endpoints,
 		ResultCache:   s.results.stats(),
 		RRCache:       s.rr.stats(),
+		Datasets:      s.registry.list(),
 	})
 }
 

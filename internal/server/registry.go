@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/diffusion"
+	"repro/internal/evolve"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -118,39 +119,60 @@ func twoInts(s string) (int, int, error) {
 }
 
 // registry holds the named datasets a server answers queries about, with
-// one lazily built, permanently cached weighted graph per diffusion model
+// one lazily built, permanently cached evolving graph per diffusion model
 // — graphs are loaded once and shared by every subsequent query, which is
 // the first thing that makes a long-lived server cheaper than the CLI.
+//
+// Every model variant of a dataset is an evolve.Graph sharing one logical
+// topology. The first /v1/update on a dataset eagerly builds every
+// supported variant (IC and LT) so that each subsequent batch applies to
+// all of them in lockstep — variants always sit at the same version, and
+// no unbounded mutation history needs to be retained for late-built
+// variants. Weights are policy-owned per model — weighted cascade for IC
+// (the paper's §7.1 setup), keyed normalized random weights for LT — so
+// an update never carries weights: the policy re-derives them at the
+// touched heads, which keeps a mutated warm graph byte-identical to a
+// cold build over the final topology.
 type registry struct {
 	mu       sync.Mutex
 	datasets map[string]*dataset
+	evolve   evolve.Options
 }
+
+// supportedKinds are the model variants the registry can build — and
+// therefore the set update() must materialize before mutating anything.
+var supportedKinds = []diffusion.Kind{diffusion.IC, diffusion.LT}
 
 type dataset struct {
 	spec DatasetSpec
 
 	mu      sync.Mutex
-	byModel map[diffusion.Kind]*graph.Graph
+	byModel map[diffusion.Kind]*evolve.Graph
+	// version mirrors the variants' evolve version so /v1/datasets can
+	// report it before any variant is built (0) and without locking them.
+	version uint64
 }
 
-func newRegistry(specs []DatasetSpec) (*registry, error) {
-	r := &registry{datasets: make(map[string]*dataset, len(specs))}
+func newRegistry(specs []DatasetSpec, opts evolve.Options) (*registry, error) {
+	r := &registry{datasets: make(map[string]*dataset, len(specs)), evolve: opts}
 	for _, spec := range specs {
 		if _, dup := r.datasets[spec.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate dataset name %q", spec.Name)
 		}
 		r.datasets[spec.Name] = &dataset{
 			spec:    spec,
-			byModel: make(map[diffusion.Kind]*graph.Graph, 2),
+			byModel: make(map[diffusion.Kind]*evolve.Graph, 2),
 		}
 	}
 	return r, nil
 }
 
-// get returns the weighted graph for (name, model kind), building it on
-// first use: weighted cascade for IC (the paper's §7.1 setup), random
-// normalized weights for LT.
-func (r *registry) get(name string, kind diffusion.Kind) (*graph.Graph, error) {
+// get returns the evolving graph for (name, model kind), building and
+// weighting it on first use. A variant requested only after updates
+// landed does not exist yet *only* when the dataset was never updated —
+// update() materializes all supported variants — so lazy building from
+// the spec is always building at version 0.
+func (r *registry) get(name string, kind diffusion.Kind) (*evolve.Graph, error) {
 	r.mu.Lock()
 	d, ok := r.datasets[name]
 	r.mu.Unlock()
@@ -159,29 +181,90 @@ func (r *registry) get(name string, kind diffusion.Kind) (*graph.Graph, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if g, ok := d.byModel[kind]; ok {
-		return g, nil
+	return d.variant(kind, r.evolve)
+}
+
+// variant returns (building if needed) the model variant. Caller holds d.mu.
+func (d *dataset) variant(kind diffusion.Kind, opts evolve.Options) (*evolve.Graph, error) {
+	if eg, ok := d.byModel[kind]; ok {
+		return eg, nil
 	}
 	g, err := d.spec.build()
 	if err != nil {
 		return nil, err
 	}
+	var policy evolve.WeightPolicy
 	switch kind {
 	case diffusion.IC:
 		graph.AssignWeightedCascade(g)
+		policy = evolve.WeightedCascade{}
 	case diffusion.LT:
-		graph.AssignRandomNormalizedLT(g, rng.New(d.spec.Seed+1))
+		graph.AssignRandomNormalizedLTKeyed(g, d.spec.Seed+1)
+		policy = evolve.NewKeyedNormalizedLT(d.spec.Seed + 1)
 	default:
-		return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", name, kind)
+		return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", d.spec.Name, kind)
 	}
-	d.byModel[kind] = g
-	return g, nil
+	eg := evolve.New(g, policy, opts)
+	d.byModel[kind] = eg
+	return eg, nil
 }
 
-// datasetInfo describes one registry entry for GET /v1/datasets.
+// updateInfo reports the post-update state of a dataset.
+type updateInfo struct {
+	Version uint64
+	Nodes   int
+	Edges   int
+}
+
+// update applies one mutation batch to every model variant of the
+// dataset. All supported variants are materialized first (bounded work:
+// there are two), so no mutation history ever needs to be retained for
+// variants built later, and every variant advances in lockstep. The
+// batch is validated atomically: on error nothing is applied.
+func (r *registry) update(name string, b evolve.Batch) (updateInfo, error) {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	r.mu.Unlock()
+	if !ok {
+		return updateInfo{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	variants := make([]*evolve.Graph, 0, len(supportedKinds))
+	for _, kind := range supportedKinds {
+		eg, err := d.variant(kind, r.evolve)
+		if err != nil {
+			return updateInfo{}, err
+		}
+		variants = append(variants, eg)
+	}
+	// Validate against the first variant; all variants share the same
+	// topology, so acceptance there implies acceptance everywhere.
+	info := updateInfo{}
+	if v, err := variants[0].Apply(b); err != nil {
+		return updateInfo{}, err
+	} else {
+		info.Version = v
+	}
+	for _, eg := range variants[1:] {
+		if v, err := eg.Apply(b); err != nil {
+			return updateInfo{}, fmt.Errorf("server: dataset %q: variants diverged applying update: %v", name, err)
+		} else if v != info.Version {
+			return updateInfo{}, fmt.Errorf("server: dataset %q: variant versions diverged (%d vs %d)", name, v, info.Version)
+		}
+	}
+	d.version = info.Version
+	info.Nodes, info.Edges = variants[0].N(), variants[0].M()
+	return info, nil
+}
+
+// datasetInfo describes one registry entry for GET /v1/datasets and the
+// datasets section of /v1/stats.
 type datasetInfo struct {
 	Name   string `json:"name"`
 	Source string `json:"source"`
+	// Version counts the update batches applied to the dataset.
+	Version uint64 `json:"version"`
 	// Nodes and Edges are present once any model variant has been built.
 	Nodes        int      `json:"nodes,omitempty"`
 	Edges        int      `json:"edges,omitempty"`
@@ -198,9 +281,9 @@ func (r *registry) list() []datasetInfo {
 	infos := make([]datasetInfo, 0, len(datasets))
 	for _, d := range datasets {
 		d.mu.Lock()
-		info := datasetInfo{Name: d.spec.Name, Source: d.spec.Source}
-		for kind, g := range d.byModel {
-			info.Nodes, info.Edges = g.N(), g.M()
+		info := datasetInfo{Name: d.spec.Name, Source: d.spec.Source, Version: d.version}
+		for kind, eg := range d.byModel {
+			info.Nodes, info.Edges = eg.N(), eg.M()
 			info.LoadedModels = append(info.LoadedModels, strings.ToLower(kind.String()))
 		}
 		sort.Strings(info.LoadedModels)

@@ -3,9 +3,12 @@ package server
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/diffusion"
+	"repro/internal/evolve"
 	"repro/internal/graph"
 )
 
@@ -16,6 +19,14 @@ import (
 // (entry seed, i)), a query sees bit-identical RR sets whether the store
 // was cold, partially warm from a smaller-k query, or fully warm — reuse
 // can only skip sampling, never change an answer.
+//
+// Collections are also version-aware: each entry remembers the graph
+// version it was sampled at, and when a query arrives on a newer
+// snapshot the entry is repaired in place (evolve.Repair re-derives only
+// the sets the delta could have touched, bit-identical to a cold sample
+// on the new snapshot) instead of being dropped. Only when the delta log
+// no longer reaches back to the entry's version — or the model is not
+// incrementally maintainable — does the entry reset cold.
 //
 // ε is part of the key not for statistical validity (any i.i.d. RR sets
 // serve any ε) but to keep the per-key growth pattern matched to one θ
@@ -34,20 +45,31 @@ type rrStore struct {
 
 	// Counters for /v1/stats (guarded by mu, never by entry mutexes, so
 	// reading stats cannot block behind an in-flight extension).
-	setsSampled int64
-	setsReused  int64
-	extensions  int64
-	evictions   int64
-	memoryBytes int64
+	setsSampled      int64
+	setsReused       int64
+	extensions       int64
+	evictions        int64
+	memoryBytes      int64
+	repairs          int64
+	setsRepaired     int64
+	setsRepairReused int64
+	repairColdResets int64
+	repairTotalMs    float64
+	repairMaxMs      float64
+	staleBypasses    int64
 }
 
 // rrEntry is one cached collection. cumWidth[i] is Σ widths of the first
-// i sets, so a θ-prefix view knows its TotalWidth in O(1).
+// i sets, so a θ-prefix view knows its TotalWidth in O(1). version is the
+// graph version the collection's sets were (re)derived on; versioned
+// records whether version has been initialized by a first query.
 type rrEntry struct {
-	mu       sync.Mutex
-	col      *diffusion.RRCollection
-	cumWidth []int64
-	seed     uint64
+	mu        sync.Mutex
+	col       *diffusion.RRCollection
+	cumWidth  []int64
+	seed      uint64
+	version   uint64
+	versioned bool
 	// memory, elem, and evicted are guarded by the *store* mutex (memory
 	// is read by eviction, which holds only the store mutex). An evicted
 	// entry may still be held by an in-flight query; it finishes
@@ -115,28 +137,88 @@ func fnv64(s string) uint64 {
 	return h
 }
 
-// source binds the store to one key as a tim.CollectionSource. It also
-// records the per-query reuse split so handlers can report it.
+// source binds the store to one key as a tim.CollectionSource for one
+// query against one graph snapshot. It also records the per-query
+// reuse/repair split so handlers can report it.
 type rrSource struct {
 	store *rrStore
 	key   string
+	evg   *evolve.Graph
+	// snapVersion is the version of the snapshot the handler passes into
+	// tim.MaximizeContext — the graph NodeSelectionSets will receive.
+	snapVersion uint64
 
 	// Filled by NodeSelectionSets for the handler to read back. A source
 	// is used for a single Maximize call, so no locking is needed.
-	reused  int64
-	sampled int64
+	reused   int64
+	sampled  int64
+	repaired int64
 }
 
-func (s *rrStore) source(key string) *rrSource {
-	return &rrSource{store: s, key: key}
+func (s *rrStore) source(key string, evg *evolve.Graph, snapVersion uint64) *rrSource {
+	return &rrSource{store: s, key: key, evg: evg, snapVersion: snapVersion}
 }
 
-// NodeSelectionSets implements tim.CollectionSource: extend the cached
-// collection to θ sets if needed and return the θ-prefix view.
+// NodeSelectionSets implements tim.CollectionSource: bring the cached
+// collection to exactly the query's snapshot version (repairing
+// incrementally when the delta log allows, resetting cold otherwise),
+// extend it to θ sets if needed, and return the θ-prefix view.
 func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
 	e := r.store.entry(r.key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+
+	if e.versioned && e.version > r.snapVersion {
+		// This query resolved its snapshot before a concurrent update
+		// landed, and another query has since moved the shared entry
+		// past it. Serve the stale snapshot from a private cold sample
+		// — the same bytes a cold server at that version would draw —
+		// and leave the newer entry alone.
+		return r.sampleBypass(ctx, g, model, theta, workers)
+	}
+
+	var repairStats evolve.RepairStats
+	var repairMs float64
+	didRepair, coldReset := false, false
+	switch {
+	case !e.versioned:
+		e.version, e.versioned = r.snapVersion, true
+	case e.version != r.snapVersion:
+		start := time.Now()
+		delta, ok := r.evg.DeltaBetween(e.version, r.snapVersion)
+		if ok && e.col.Count() > 0 {
+			widths := make([]int64, e.col.Count())
+			for i := range widths {
+				widths[i] = e.cumWidth[i+1] - e.cumWidth[i]
+			}
+			newCol, newWidths, st, err := evolve.Repair(ctx, g, model, e.col, widths, delta, e.seed, workers)
+			switch {
+			case err == nil:
+				e.col = newCol
+				e.cumWidth = e.cumWidth[:1]
+				for _, w := range newWidths {
+					e.cumWidth = append(e.cumWidth, e.cumWidth[len(e.cumWidth)-1]+w)
+				}
+				repairStats = st
+				didRepair = true
+			case errors.Is(err, evolve.ErrUnsupportedModel):
+				coldReset = true
+			default:
+				return nil, err // context cancellation and the like
+			}
+		} else if !ok {
+			// The delta log no longer reaches back to the entry's
+			// version: repair-instead-of-drop is off the table.
+			coldReset = e.col.Count() > 0
+		}
+		if coldReset {
+			e.col = &diffusion.RRCollection{Off: []int64{0}}
+			e.cumWidth = []int64{0}
+		}
+		e.version = r.snapVersion
+		repairMs = float64(time.Since(start).Microseconds()) / 1000
+		r.repaired = repairStats.Repaired
+	}
 
 	have := int64(e.col.Count())
 	if have < theta {
@@ -160,6 +242,18 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	if r.sampled > 0 {
 		r.store.extensions++
 	}
+	if didRepair {
+		r.store.repairs++
+		r.store.setsRepaired += repairStats.Repaired
+		r.store.setsRepairReused += repairStats.Reused
+		r.store.repairTotalMs += repairMs
+		if repairMs > r.store.repairMaxMs {
+			r.store.repairMaxMs = repairMs
+		}
+	}
+	if coldReset {
+		r.store.repairColdResets++
+	}
 	if !e.evicted {
 		r.store.memoryBytes += memory - e.memory
 	}
@@ -167,6 +261,26 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	r.store.mu.Unlock()
 
 	return e.col.Prefix(int(theta), e.cumWidth[theta]), nil
+}
+
+// sampleBypass serves one query from a private collection sampled cold
+// with the entry's keyed seed, without touching the shared entry. Used
+// only on the rare race where the shared collection has already advanced
+// past the query's snapshot; determinism holds because cold sampling at
+// the snapshot version with the entry seed is exactly what a cold server
+// at that version would do.
+func (r *rrSource) sampleBypass(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
+	seed := r.store.seed ^ fnv64(r.key)
+	col := &diffusion.RRCollection{Off: []int64{0}}
+	if _, err := diffusion.ExtendCollection(ctx, g, model, col, theta, seed, workers, nil); err != nil {
+		return nil, err
+	}
+	r.sampled = theta
+	r.store.mu.Lock()
+	r.store.setsSampled += theta
+	r.store.staleBypasses++
+	r.store.mu.Unlock()
+	return col, nil
 }
 
 // rrStoreStats is the /v1/stats snapshot of the reuse layer.
@@ -178,18 +292,38 @@ type rrStoreStats struct {
 	Extensions  int64 `json:"extensions"`
 	Evictions   int64 `json:"evictions"`
 	MemoryBytes int64 `json:"memory_bytes"`
+	// Repairs counts update-triggered incremental repairs of warm
+	// collections; SetsRepaired / SetsRepairReused split their sets into
+	// re-derived and kept. RepairColdResets counts collections that had
+	// to restart cold (delta log exhausted or unsupported model).
+	Repairs          int64   `json:"repairs"`
+	SetsRepaired     int64   `json:"sets_repaired"`
+	SetsRepairReused int64   `json:"sets_repair_reused"`
+	RepairColdResets int64   `json:"repair_cold_resets"`
+	RepairTotalMs    float64 `json:"repair_total_ms"`
+	RepairMaxMs      float64 `json:"repair_max_ms"`
+	// StaleBypasses counts queries served from a private cold sample
+	// because their snapshot raced behind the shared collection.
+	StaleBypasses int64 `json:"stale_bypasses"`
 }
 
 func (s *rrStore) stats() rrStoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return rrStoreStats{
-		Collections: int64(len(s.entries)),
-		Capacity:    s.capacity,
-		SetsSampled: s.setsSampled,
-		SetsReused:  s.setsReused,
-		Extensions:  s.extensions,
-		Evictions:   s.evictions,
-		MemoryBytes: s.memoryBytes,
+		Collections:      int64(len(s.entries)),
+		Capacity:         s.capacity,
+		SetsSampled:      s.setsSampled,
+		SetsReused:       s.setsReused,
+		Extensions:       s.extensions,
+		Evictions:        s.evictions,
+		MemoryBytes:      s.memoryBytes,
+		Repairs:          s.repairs,
+		SetsRepaired:     s.setsRepaired,
+		SetsRepairReused: s.setsRepairReused,
+		RepairColdResets: s.repairColdResets,
+		RepairTotalMs:    s.repairTotalMs,
+		RepairMaxMs:      s.repairMaxMs,
+		StaleBypasses:    s.staleBypasses,
 	}
 }

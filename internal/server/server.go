@@ -18,10 +18,19 @@
 //     turned into a data structure. Extensions are prefix-deterministic,
 //     so a warm cache can never change an answer, only skip work.
 //
-// Endpoints: POST /v1/maximize, POST /v1/spread, GET /v1/stats,
-// GET /v1/datasets, GET /healthz. Every request runs under a configurable
-// timeout whose context threads into the sampling loops via
-// tim.MaximizeContext, so a slow query cannot wedge a worker forever.
+// Datasets are mutable: POST /v1/update applies a batched topology
+// mutation (edge inserts/deletes, node growth) through the evolving-graph
+// layer (internal/evolve). Queries always run against an immutable
+// snapshot, caches are keyed by graph version, and warm RR collections
+// are repaired incrementally — only the sets an update could have touched
+// are re-derived — instead of being dropped, so the server keeps
+// answering exactly as a cold server on the mutated graph would while
+// resampling a fraction of the sets.
+//
+// Endpoints: POST /v1/maximize, POST /v1/spread, POST /v1/update,
+// GET /v1/stats, GET /v1/datasets, GET /healthz. Every request runs under
+// a configurable timeout whose context threads into the sampling loops
+// via tim.MaximizeContext, so a slow query cannot wedge a worker forever.
 package server
 
 import (
@@ -29,6 +38,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/evolve"
 )
 
 // Config configures New. The zero value of every field except Datasets is
@@ -59,6 +70,11 @@ type Config struct {
 	// Seed is the base seed of the RR reuse layer and the default query
 	// seed. Two servers with equal Config answer identically.
 	Seed uint64
+	// MaxDeltaLog bounds the mutations each dataset retains for
+	// incremental RR-collection repair (default 1<<20). A warm collection
+	// older than the retained window resets cold on its next use instead
+	// of repairing.
+	MaxDeltaLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +124,7 @@ type endpointStats struct {
 // first query touches them; New fails only on malformed configuration.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	reg, err := newRegistry(cfg.Datasets)
+	reg, err := newRegistry(cfg.Datasets, evolve.Options{MaxLogMutations: cfg.MaxDeltaLog})
 	if err != nil {
 		return nil, err
 	}
@@ -122,10 +138,12 @@ func New(cfg Config) (*Server, error) {
 		endpoints: map[string]*endpointStats{
 			"maximize": {},
 			"spread":   {},
+			"update":   {},
 		},
 	}
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -82,9 +82,11 @@ func getJSON(t testing.TB, url string, out any) int {
 // statsSnapshot mirrors the /v1/stats body.
 type statsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	StartedAt     string                   `json:"started_at"`
 	Endpoints     map[string]endpointStats `json:"endpoints"`
 	ResultCache   cacheStats               `json:"result_cache"`
 	RRCache       rrStoreStats             `json:"rr_cache"`
+	Datasets      []datasetInfo            `json:"datasets"`
 }
 
 // TestMaximizeSpreadStatsRoundTrip is the acceptance-criteria test: the

@@ -102,6 +102,17 @@ type Options struct {
 // permitted — extra i.i.d. sets only tighten the coverage estimate — and
 // Result.Theta reports the count actually used. The returned collection
 // must not be mutated afterwards while the Result is in use.
+//
+// Snapshot contract: the g passed to NodeSelectionSets is the same graph
+// the whole Maximize call runs against — parameter estimation,
+// refinement, and node selection all see one coherent view. Callers
+// serving mutable datasets (internal/server over internal/evolve) must
+// therefore pass Maximize an immutable snapshot and key any cached
+// collections by that snapshot's version: a source that returned sets
+// sampled on a different topology than g would silently bias the
+// coverage estimate. The evolving-graph reuse layer meets the contract
+// by repairing its cached collection to the query's snapshot version
+// (evolve.Repair) before extending it to θ.
 type CollectionSource interface {
 	NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error)
 }
