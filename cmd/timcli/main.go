@@ -4,16 +4,31 @@
 //
 // Examples:
 //
-//	timcli -graph network.txt -k 50 -algo tim+ -model ic -weights wc
+//	timcli -graph network.txt -k 50 -algo tim+ -model ic -edge-weights wc
 //	timcli -profile epinions -scale tiny -k 20 -algo irie -eval 10000
 //	timcli -profile nethept -scale small -k 10 -model lt -algo simpath
+//
+// Constrained queries (tim/tim+ only): target an audience, cap the
+// budget, pin or ban seeds, bound the diffusion deadline:
+//
+//	timcli -profile nethept -scale tiny -k 10 \
+//	    -weights 3:5,17:2 -weight-default 0.1 \
+//	    -costs @costs.txt -budget 25 \
+//	    -force 3 -exclude 9,12 -max-hops 4 -eval 10000
+//
+// Node-valued flags (-weights, -costs) take either an inline
+// "node:value,node:value" list or "@path" to a file of "node value"
+// lines; unlisted nodes get -weight-default (default 0) respectively
+// -cost-default (default 1).
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -27,92 +42,147 @@ type jsonOutput struct {
 	Nodes     int      `json:"nodes"`
 	Edges     int      `json:"edges"`
 	Seeds     []uint32 `json:"seeds"`
-	// Spread and SpreadStderr are present only when -eval > 0.
+	// Spread and SpreadStderr are present only when -eval > 0; for
+	// constrained runs they measure the weighted, deadline-bounded spread.
 	Spread       *float64 `json:"spread,omitempty"`
 	SpreadStderr *float64 `json:"spread_stderr,omitempty"`
 	// TIM diagnostics, present for tim/tim+ runs.
 	KptStar *float64 `json:"kpt_star,omitempty"`
 	KptPlus *float64 `json:"kpt_plus,omitempty"`
 	Theta   *int64   `json:"theta,omitempty"`
+	// Constrained-query diagnostics.
+	AudienceMass *float64 `json:"audience_mass,omitempty"`
+	ForcedSeeds  int      `json:"forced_seeds,omitempty"`
+	SeedCost     *float64 `json:"seed_cost,omitempty"`
+}
+
+// cliOptions carries every flag; main fills it, run consumes it.
+type cliOptions struct {
+	graphPath  string
+	binary     bool
+	undirected bool
+	profile    string
+	scale      string
+	modelName  string
+	edgeScheme string
+	algo       string
+	k          int
+	shards     int
+	eps        float64
+	ell        float64
+	seed       uint64
+	workers    int
+	evalN      int
+	celfR      int
+	risCap     int64
+	jsonOut    bool
+
+	// Constraint flags (tim/tim+ only).
+	weightsSpec   string
+	weightDefault float64
+	costsSpec     string
+	costDefault   float64
+	budget        float64
+	forceSpec     string
+	excludeSpec   string
+	maxHops       int
 }
 
 func main() {
-	var (
-		graphPath  = flag.String("graph", "", "edge list file to load (whitespace separated, '#' comments)")
-		binary     = flag.Bool("binary", false, "graph file is in TIMG binary format")
-		undirected = flag.Bool("undirected", false, "treat edge list lines as undirected")
-		profile    = flag.String("profile", "", "generate a synthetic dataset profile instead of loading (nethept|epinions|dblp|livejournal|twitter)")
-		scale      = flag.String("scale", "tiny", "profile scale: tiny|small|full")
-		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
-		weights    = flag.String("weights", "wc", "weight scheme: wc (weighted cascade) | uniform:<p> | trivalency | lt-random | lt-uniform | keep")
-		algo       = flag.String("algo", "tim+", "algorithm: tim+|tim|dist|ris|celf++|celf|greedy|irie|simpath|degree|degreediscount|pagerank|random")
-		k          = flag.Int("k", 50, "seed set size")
-		shards     = flag.Int("shards", 4, "simulated machines for -algo dist")
-		eps        = flag.Float64("eps", 0.1, "approximation slack epsilon")
-		ell        = flag.Float64("ell", 1, "failure exponent ell (success prob 1-n^-ell)")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		workers    = flag.Int("workers", 0, "sampling workers (0 = all cores)")
-		evalN      = flag.Int("eval", 0, "if > 0, Monte-Carlo samples for evaluating the selected seeds")
-		celfR      = flag.Int("celf-r", 10000, "Monte-Carlo samples per estimate for greedy variants")
-		risCap     = flag.Int64("ris-cap", 0, "optional cost cap for RIS (0 = faithful tau)")
-		jsonOut    = flag.Bool("json", false, "emit a single JSON object instead of text")
-	)
+	var o cliOptions
+	flag.StringVar(&o.graphPath, "graph", "", "edge list file to load (whitespace separated, '#' comments)")
+	flag.BoolVar(&o.binary, "binary", false, "graph file is in TIMG binary format")
+	flag.BoolVar(&o.undirected, "undirected", false, "treat edge list lines as undirected")
+	flag.StringVar(&o.profile, "profile", "", "generate a synthetic dataset profile instead of loading (nethept|epinions|dblp|livejournal|twitter)")
+	flag.StringVar(&o.scale, "scale", "tiny", "profile scale: tiny|small|full")
+	flag.StringVar(&o.modelName, "model", "ic", "diffusion model: ic|lt")
+	flag.StringVar(&o.edgeScheme, "edge-weights", "wc", "edge weight scheme: wc (weighted cascade) | uniform:<p> | trivalency | lt-random | lt-uniform | keep")
+	flag.StringVar(&o.algo, "algo", "tim+", "algorithm: tim+|tim|dist|ris|celf++|celf|greedy|irie|simpath|degree|degreediscount|pagerank|random")
+	flag.IntVar(&o.k, "k", 50, "seed set size")
+	flag.IntVar(&o.shards, "shards", 4, "simulated machines for -algo dist")
+	flag.Float64Var(&o.eps, "eps", 0.1, "approximation slack epsilon")
+	flag.Float64Var(&o.ell, "ell", 1, "failure exponent ell (success prob 1-n^-ell)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.workers, "workers", 0, "sampling workers (0 = all cores)")
+	flag.IntVar(&o.evalN, "eval", 0, "if > 0, Monte-Carlo samples for evaluating the selected seeds")
+	flag.IntVar(&o.celfR, "celf-r", 10000, "Monte-Carlo samples per estimate for greedy variants")
+	flag.Int64Var(&o.risCap, "ris-cap", 0, "optional cost cap for RIS (0 = faithful tau)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit a single JSON object instead of text")
+
+	flag.StringVar(&o.weightsSpec, "weights", "", "audience node weights: 'node:w,node:w' or '@file' of 'node w' lines (tim/tim+ only)")
+	flag.Float64Var(&o.weightDefault, "weight-default", 0, "audience weight of nodes absent from -weights")
+	flag.StringVar(&o.costsSpec, "costs", "", "seeding costs: 'node:c,node:c' or '@file' of 'node c' lines (needs -budget)")
+	flag.Float64Var(&o.costDefault, "cost-default", 1, "seeding cost of nodes absent from -costs")
+	flag.Float64Var(&o.budget, "budget", 0, "seeding budget B: total cost of picked seeds stays <= B")
+	flag.StringVar(&o.forceSpec, "force", "", "comma-separated warm-start seeds (always included, consume neither k nor budget)")
+	flag.StringVar(&o.excludeSpec, "exclude", "", "comma-separated node ids that must not be picked")
+	flag.IntVar(&o.maxHops, "max-hops", 0, "diffusion deadline in propagation rounds (0 = unlimited)")
 	flag.Parse()
-	if err := run(*graphPath, *binary, *undirected, *profile, *scale, *modelName,
-		*weights, *algo, *k, *shards, *eps, *ell, *seed, *workers, *evalN, *celfR, *risCap, *jsonOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "timcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, binary, undirected bool, profile, scale, modelName,
-	weights, algo string, k, shards int, eps, ell float64, seed uint64,
-	workers, evalN, celfR int, risCap int64, jsonMode bool) error {
-
-	g, err := loadGraph(graphPath, binary, undirected, profile, scale, seed)
+func run(o cliOptions) error {
+	g, err := loadGraph(o.graphPath, o.binary, o.undirected, o.profile, o.scale, o.seed)
 	if err != nil {
 		return err
 	}
 	st := repro.Stats(g)
-	if !jsonMode {
+	if !o.jsonOut {
 		fmt.Printf("graph: n=%d m=%d avg_degree=%.2f\n", st.Nodes, st.Edges, st.AverageDegree)
 	}
 
-	if err := applyWeights(g, weights, seed); err != nil {
+	if err := applyWeights(g, o.edgeScheme, o.seed); err != nil {
 		return err
 	}
-	model, err := pickModel(modelName)
+	model, err := pickModel(o.modelName)
+	if err != nil {
+		return err
+	}
+	spec, err := buildSpec(o, st.Nodes)
 	if err != nil {
 		return err
 	}
 
-	seeds, timRes, err := selectSeeds(g, model, algo, k, shards, eps, ell, seed, workers, celfR, risCap, jsonMode)
+	seeds, timRes, err := selectSeeds(g, model, spec, o)
 	if err != nil {
 		return err
 	}
-	if !jsonMode {
-		fmt.Printf("algorithm: %s\nseeds: %s\n", algo, joinSeeds(seeds))
+	if !o.jsonOut {
+		fmt.Printf("algorithm: %s\nseeds: %s\n", o.algo, joinSeeds(seeds))
 	}
 
 	var mean, stderr float64
-	if evalN > 0 {
-		mean, stderr = repro.EstimateSpreadStderr(g, model, seeds, repro.SpreadOptions{
-			Samples: evalN, Workers: workers, Seed: seed + 1,
+	if o.evalN > 0 {
+		var audience []float64
+		maxHops := 0
+		if spec != nil {
+			audience = spec.Weights
+			maxHops = spec.MaxHops
+		}
+		mean, stderr = repro.EstimateSpreadConstrained(g, model, seeds, audience, maxHops, repro.SpreadOptions{
+			Samples: o.evalN, Workers: o.workers, Seed: o.seed + 1,
 		})
-		if !jsonMode {
-			fmt.Printf("spread: %.2f +- %.2f (%d Monte-Carlo samples)\n", mean, stderr, evalN)
+		if !o.jsonOut {
+			kind := "spread"
+			if spec != nil && (audience != nil || maxHops > 0) {
+				kind = "constrained spread"
+			}
+			fmt.Printf("%s: %.2f +- %.2f (%d Monte-Carlo samples)\n", kind, mean, stderr, o.evalN)
 		}
 	}
-	if jsonMode {
+	if o.jsonOut {
 		out := jsonOutput{
-			Algorithm: algo,
-			Model:     strings.ToLower(modelName),
-			K:         k,
+			Algorithm: o.algo,
+			Model:     strings.ToLower(o.modelName),
+			K:         o.k,
 			Nodes:     st.Nodes,
 			Edges:     st.Edges,
 			Seeds:     seeds,
 		}
-		if evalN > 0 {
+		if o.evalN > 0 {
 			out.Spread = &mean
 			out.SpreadStderr = &stderr
 		}
@@ -120,12 +190,125 @@ func run(graphPath string, binary, undirected bool, profile, scale, modelName,
 			out.KptStar = &timRes.KptStar
 			out.KptPlus = &timRes.KptPlus
 			out.Theta = &timRes.Theta
+			out.ForcedSeeds = timRes.ForcedSeeds
+			if spec != nil && spec.Weights != nil {
+				out.AudienceMass = &timRes.Mass
+			}
+			if timRes.SeedCost > 0 {
+				out.SeedCost = &timRes.SeedCost
+			}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
 	return nil
+}
+
+// buildSpec lowers the constraint flags into a QuerySpec (nil when no
+// constraint flag was given). Constraints need the constrained TIM path,
+// so any other algorithm rejects them.
+func buildSpec(o cliOptions, n int) (*repro.QuerySpec, error) {
+	spec := &repro.QuerySpec{Budget: o.budget, MaxHops: o.maxHops}
+	var err error
+	if o.weightsSpec != "" {
+		if spec.Weights, err = parseNodeValues(o.weightsSpec, o.weightDefault, n); err != nil {
+			return nil, fmt.Errorf("-weights: %w", err)
+		}
+	}
+	if o.costsSpec != "" {
+		if spec.Costs, err = parseNodeValues(o.costsSpec, o.costDefault, n); err != nil {
+			return nil, fmt.Errorf("-costs: %w", err)
+		}
+	}
+	if spec.Force, err = parseNodeList(o.forceSpec); err != nil {
+		return nil, fmt.Errorf("-force: %w", err)
+	}
+	if spec.Exclude, err = parseNodeList(o.excludeSpec); err != nil {
+		return nil, fmt.Errorf("-exclude: %w", err)
+	}
+	if spec.Zero() {
+		return nil, nil
+	}
+	switch strings.ToLower(o.algo) {
+	case "tim+", "timplus", "tim":
+	default:
+		return nil, fmt.Errorf("constraint flags need -algo tim+ or tim, not %q", o.algo)
+	}
+	return spec, nil
+}
+
+// parseNodeValues reads "node:value,node:value" or "@path" (lines of
+// "node value", '#' comments) into a dense length-n vector defaulted to
+// def.
+func parseNodeValues(spec string, def float64, n int) ([]float64, error) {
+	dense := make([]float64, n)
+	for i := range dense {
+		dense[i] = def
+	}
+	set := func(idStr, valStr string) error {
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return fmt.Errorf("node id %q: %w", idStr, err)
+		}
+		if id >= uint64(n) {
+			return fmt.Errorf("node %d outside [0, %d)", id, n)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %w", valStr, err)
+		}
+		dense[id] = v
+		return nil
+	}
+	if path, ok := strings.CutPrefix(spec, "@"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: want 'node value', got %q", path, line, text)
+			}
+			if err := set(fields[0], fields[1]); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+		}
+		return dense, sc.Err()
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		id, val, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not node:value", pair)
+		}
+		if err := set(id, val); err != nil {
+			return nil, err
+		}
+	}
+	return dense, nil
+}
+
+// parseNodeList reads a comma-separated node-id list ("" = none).
+func parseNodeList(spec string) ([]uint32, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []uint32
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("node id %q: %w", part, err)
+		}
+		out = append(out, uint32(id))
+	}
+	return out, nil
 }
 
 func loadGraph(path string, binary, undirected bool, profile, scale string, seed uint64) (*repro.Graph, error) {
@@ -168,7 +351,7 @@ func applyWeights(g *repro.Graph, scheme string, seed uint64) error {
 		}
 		return repro.UseUniformIC(g, float32(p))
 	default:
-		return fmt.Errorf("unknown weight scheme %q", scheme)
+		return fmt.Errorf("unknown edge weight scheme %q", scheme)
 	}
 	return nil
 }
@@ -183,14 +366,12 @@ func pickModel(name string) (repro.Model, error) {
 	return repro.Model{}, fmt.Errorf("unknown model %q (want ic or lt)", name)
 }
 
-func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
-	eps, ell float64, seed uint64, workers, celfR int, risCap int64,
-	quiet bool) ([]uint32, *repro.Result, error) {
-
-	switch strings.ToLower(algo) {
+func selectSeeds(g *repro.Graph, model repro.Model, spec *repro.QuerySpec, o cliOptions) ([]uint32, *repro.Result, error) {
+	quiet := o.jsonOut
+	switch strings.ToLower(o.algo) {
 	case "dist", "dist+", "tim+dist":
 		res, err := repro.MaximizeDistributed(g, model, repro.DistOptions{
-			K: k, Shards: shards, Epsilon: eps, Ell: ell, Seed: seed,
+			K: o.k, Shards: o.shards, Epsilon: o.eps, Ell: o.ell, Seed: o.seed,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -211,24 +392,24 @@ func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
 		return res.Seeds, nil, nil
 	case "tim+", "timplus", "tim":
 		variant := repro.TIMPlus
-		if strings.ToLower(algo) == "tim" {
+		if strings.ToLower(o.algo) == "tim" {
 			variant = repro.TIM
 		}
 		res, err := repro.Maximize(g, model, repro.Options{
-			K: k, Epsilon: eps, Ell: ell, Variant: variant,
-			Workers: workers, Seed: seed,
+			K: o.k, Epsilon: o.eps, Ell: o.ell, Variant: variant,
+			Workers: o.workers, Seed: o.seed, Query: spec,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		if !quiet {
-			printTimDiagnostics(res)
+			printTimDiagnostics(res, spec)
 		}
 		return res.Seeds, res, nil
 	case "ris":
 		res, err := repro.RISSelect(g, model, repro.RISOptions{
-			K: k, Epsilon: eps, Ell: ell, CostCap: risCap,
-			Workers: workers, Seed: seed,
+			K: o.k, Epsilon: o.eps, Ell: o.ell, CostCap: o.risCap,
+			Workers: o.workers, Seed: o.seed,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -239,14 +420,14 @@ func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
 		return res.Seeds, nil, nil
 	case "celf++", "celf", "greedy":
 		strategy := repro.StrategyCELFPlusPlus
-		switch strings.ToLower(algo) {
+		switch strings.ToLower(o.algo) {
 		case "celf":
 			strategy = repro.StrategyCELF
 		case "greedy":
 			strategy = repro.StrategyPlain
 		}
-		res, err := repro.GreedySelect(g, model, k, repro.GreedyOptions{
-			R: celfR, Workers: workers, Seed: seed, Strategy: strategy,
+		res, err := repro.GreedySelect(g, model, o.k, repro.GreedyOptions{
+			R: o.celfR, Workers: o.workers, Seed: o.seed, Strategy: strategy,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -256,13 +437,13 @@ func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
 		}
 		return res.Seeds, nil, nil
 	case "irie":
-		res, err := repro.IRIESelect(g, repro.IRIEOptions{K: k})
+		res, err := repro.IRIESelect(g, repro.IRIEOptions{K: o.k})
 		if err != nil {
 			return nil, nil, err
 		}
 		return res.Seeds, nil, nil
 	case "simpath":
-		res, err := repro.SimpathSelect(g, repro.SimpathOptions{K: k})
+		res, err := repro.SimpathSelect(g, repro.SimpathOptions{K: o.k})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -271,25 +452,29 @@ func selectSeeds(g *repro.Graph, model repro.Model, algo string, k, shards int,
 		}
 		return res.Seeds, nil, nil
 	case "degree":
-		seeds, err := repro.DegreeSelect(g, k)
+		seeds, err := repro.DegreeSelect(g, o.k)
 		return seeds, nil, err
 	case "degreediscount":
-		seeds, err := repro.DegreeDiscountSelect(g, k, 0.01)
+		seeds, err := repro.DegreeDiscountSelect(g, o.k, 0.01)
 		return seeds, nil, err
 	case "pagerank":
-		seeds, err := repro.PageRankSelect(g, k)
+		seeds, err := repro.PageRankSelect(g, o.k)
 		return seeds, nil, err
 	case "random":
-		seeds, err := repro.RandomSelect(g, k, seed)
+		seeds, err := repro.RandomSelect(g, o.k, o.seed)
 		return seeds, nil, err
 	}
-	return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+	return nil, nil, fmt.Errorf("unknown algorithm %q", o.algo)
 }
 
-func printTimDiagnostics(res *repro.Result) {
+func printTimDiagnostics(res *repro.Result, spec *repro.QuerySpec) {
 	fmt.Printf("tim: kpt*=%.1f kpt+=%.1f theta=%d spread_est=%.1f rr_mem=%.1fMB\n",
 		res.KptStar, res.KptPlus, res.Theta, res.SpreadEstimate,
 		float64(res.MemoryBytes)/(1<<20))
+	if spec != nil {
+		fmt.Printf("tim: constrained: forced=%d seed_cost=%.2f audience_mass=%.1f max_hops=%d\n",
+			res.ForcedSeeds, res.SeedCost, res.Mass, spec.MaxHops)
+	}
 	fmt.Printf("tim: phase times: param_est=%v refine=%v node_sel=%v total=%v\n",
 		res.Timings.KptEstimation, res.Timings.Refinement,
 		res.Timings.NodeSelection, res.Timings.Total)

@@ -17,12 +17,29 @@ func writeTempEdgeList(t *testing.T) string {
 	return path
 }
 
+// opts returns a baseline cliOptions the way flag defaults would.
+func opts(mutate func(*cliOptions)) cliOptions {
+	o := cliOptions{
+		scale: "tiny", modelName: "ic", edgeScheme: "wc", algo: "tim+",
+		k: 2, shards: 2, eps: 0.3, ell: 1, seed: 1, workers: 1,
+		celfR: 50, costDefault: 1,
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	return o
+}
+
 func TestRunWithFileAllAlgorithms(t *testing.T) {
 	path := writeTempEdgeList(t)
 	algos := []string{"tim+", "tim", "dist", "ris", "celf++", "celf", "greedy", "irie", "degree", "degreediscount", "pagerank", "random"}
 	for _, algo := range algos {
-		err := run(path, false, false, "", "tiny", "ic", "wc", algo,
-			2, 2, 0.3, 1, 1, 1, 100, 50, 100_000, false)
+		err := run(opts(func(o *cliOptions) {
+			o.graphPath = path
+			o.algo = algo
+			o.evalN = 100
+			o.risCap = 100_000
+		}))
 		if err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
@@ -31,16 +48,24 @@ func TestRunWithFileAllAlgorithms(t *testing.T) {
 
 func TestRunSimpathLT(t *testing.T) {
 	path := writeTempEdgeList(t)
-	err := run(path, false, false, "", "tiny", "lt", "lt-random", "simpath",
-		2, 2, 0.3, 1, 1, 1, 100, 50, 0, false)
+	err := run(opts(func(o *cliOptions) {
+		o.graphPath = path
+		o.modelName = "lt"
+		o.edgeScheme = "lt-random"
+		o.algo = "simpath"
+		o.evalN = 100
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithProfile(t *testing.T) {
-	err := run("", false, false, "nethept", "tiny", "ic", "wc", "degree",
-		5, 2, 0.3, 1, 1, 1, 0, 50, 0, false)
+	err := run(opts(func(o *cliOptions) {
+		o.profile = "nethept"
+		o.algo = "degree"
+		o.k = 5
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +77,20 @@ func TestRunErrors(t *testing.T) {
 		name string
 		err  error
 	}{
-		{"both graph and profile", run(path, false, false, "nethept", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"neither graph nor profile", run("", false, false, "", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"unknown model", run(path, false, false, "", "tiny", "sir", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"unknown weights", run(path, false, false, "", "tiny", "ic", "quadratic", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"unknown algorithm", run(path, false, false, "", "tiny", "ic", "wc", "simulated-annealing", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"k too large", run(path, false, false, "", "tiny", "ic", "wc", "tim+", 999, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"missing file", run(filepath.Join(t.TempDir(), "nope.txt"), false, false, "", "tiny", "ic", "wc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
-		{"bad uniform weight", run(path, false, false, "", "tiny", "ic", "uniform:abc", "tim+", 2, 2, 0.3, 1, 1, 1, 0, 50, 0, false)},
+		{"both graph and profile", run(opts(func(o *cliOptions) { o.graphPath = path; o.profile = "nethept" }))},
+		{"neither graph nor profile", run(opts(nil))},
+		{"unknown model", run(opts(func(o *cliOptions) { o.graphPath = path; o.modelName = "sir" }))},
+		{"unknown edge weights", run(opts(func(o *cliOptions) { o.graphPath = path; o.edgeScheme = "quadratic" }))},
+		{"unknown algorithm", run(opts(func(o *cliOptions) { o.graphPath = path; o.algo = "simulated-annealing" }))},
+		{"k too large", run(opts(func(o *cliOptions) { o.graphPath = path; o.k = 999 }))},
+		{"missing file", run(opts(func(o *cliOptions) { o.graphPath = filepath.Join(t.TempDir(), "nope.txt") }))},
+		{"bad uniform weight", run(opts(func(o *cliOptions) { o.graphPath = path; o.edgeScheme = "uniform:abc" }))},
+		{"constraints on non-tim algo", run(opts(func(o *cliOptions) { o.graphPath = path; o.algo = "degree"; o.maxHops = 2 }))},
+		{"bad weights entry", run(opts(func(o *cliOptions) { o.graphPath = path; o.weightsSpec = "1=3" }))},
+		{"weights node out of range", run(opts(func(o *cliOptions) { o.graphPath = path; o.weightsSpec = "99:1" }))},
+		{"bad exclude id", run(opts(func(o *cliOptions) { o.graphPath = path; o.excludeSpec = "1,x" }))},
+		{"costs without budget", run(opts(func(o *cliOptions) { o.graphPath = path; o.costsSpec = "0:2" }))},
+		{"force equals exclude", run(opts(func(o *cliOptions) { o.graphPath = path; o.forceSpec = "1"; o.excludeSpec = "1" }))},
 	}
 	for _, c := range cases {
 		if c.err == nil {
@@ -70,10 +101,53 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunUniformWeightsAndEval(t *testing.T) {
 	path := writeTempEdgeList(t)
-	err := run(path, false, true, "", "tiny", "ic", "uniform:0.2", "tim+",
-		1, 2, 0.3, 1, 1, 1, 500, 50, 0, false)
+	err := run(opts(func(o *cliOptions) {
+		o.graphPath = path
+		o.undirected = true
+		o.edgeScheme = "uniform:0.2"
+		o.k = 1
+		o.evalN = 500
+	}))
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunConstrained(t *testing.T) {
+	path := writeTempEdgeList(t)
+	err := run(opts(func(o *cliOptions) {
+		o.graphPath = path
+		o.weightsSpec = "0:3,2:1"
+		o.weightDefault = 0.5
+		o.costsSpec = "1:2"
+		o.budget = 3
+		o.forceSpec = "3"
+		o.excludeSpec = "1"
+		o.maxHops = 2
+		o.evalN = 200
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNodeValuesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.txt")
+	if err := os.WriteFile(path, []byte("# audience\n0 2.5\n3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dense, err := parseNodeValues("@"+path, 0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 0.25, 0.25, 1}
+	for i := range want {
+		if dense[i] != want[i] {
+			t.Fatalf("dense = %v, want %v", dense, want)
+		}
+	}
+	if _, err := parseNodeValues("@"+filepath.Join(t.TempDir(), "gone"), 0, 4); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 
@@ -95,8 +169,13 @@ func TestRunJSONMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(path, false, false, "", "tiny", "ic", "wc", "tim+",
-		2, 2, 0.3, 1, 1, 1, 200, 50, 0, true)
+	runErr := run(opts(func(o *cliOptions) {
+		o.graphPath = path
+		o.evalN = 200
+		o.jsonOut = true
+		o.weightsSpec = "0:2,1:2"
+		o.weightDefault = 1
+	}))
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -113,5 +192,8 @@ func TestRunJSONMode(t *testing.T) {
 	}
 	if out.Theta == nil || out.KptStar == nil || out.Spread == nil {
 		t.Fatalf("missing diagnostics: %+v", out)
+	}
+	if out.AudienceMass == nil || *out.AudienceMass != 6 {
+		t.Fatalf("audience mass: %+v", out.AudienceMass)
 	}
 }

@@ -11,6 +11,7 @@
 //	    -dataset mygraph=file:network.txt
 //
 //	curl -s localhost:8080/v1/maximize -d '{"dataset":"nethept","k":20,"epsilon":0.1}'
+//	curl -s localhost:8080/v1/maximize -d '{"dataset":"nethept","k":10,"weights":{"17":10},"weight_default":0.1,"max_hops":4}'
 //	curl -s localhost:8080/v1/spread   -d '{"dataset":"nethept","seeds":[1,2,3]}'
 //	curl -s localhost:8080/v1/update   -d '{"dataset":"nethept","insert":[{"from":3,"to":9}],"delete":[{"from":1,"to":2}]}'
 //	curl -s localhost:8080/v1/stats
@@ -18,11 +19,14 @@
 // Datasets are live: /v1/update applies batched edge inserts/deletes and
 // node growth through the evolving-graph layer, warm RR collections are
 // repaired incrementally instead of dropped, and every query reports the
-// graph_version it was answered at.
+// graph_version it was answered at. Queries are constrainable: targeted
+// audience weights, budgets over per-node costs, forced/excluded seeds,
+// and deadline-bounded diffusion (README "Constrained queries");
+// POST /v1/query/batch answers a list of such queries in one round-trip.
 //
-// Endpoints: POST /v1/maximize, POST /v1/spread, POST /v1/update,
-// GET /v1/stats, GET /v1/datasets, GET /healthz. The server drains
-// in-flight requests on SIGINT/SIGTERM before exiting.
+// Endpoints: POST /v1/maximize, POST /v1/query/batch, POST /v1/spread,
+// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /healthz. The
+// server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (

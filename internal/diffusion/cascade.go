@@ -63,18 +63,26 @@ func (s *Simulator) nextEpoch() {
 // activated nodes, I(S). Duplicate seeds are counted once; seeds must be
 // valid node ids.
 func (s *Simulator) Run(r *rng.Rand, seeds []uint32) int {
+	return s.RunHorizon(r, seeds, 0)
+}
+
+// RunHorizon executes one cascade that stops after maxHops propagation
+// rounds: seeds activate at round 0, and a node activates only if it is
+// reached within maxHops rounds (Chen et al.'s time-critical diffusion).
+// maxHops <= 0 means unlimited and is identical to Run, draw for draw.
+func (s *Simulator) RunHorizon(r *rng.Rand, seeds []uint32, maxHops int) int {
 	switch s.model.kind {
 	case IC:
-		return s.runIC(r, seeds)
+		return s.runIC(r, seeds, maxHops)
 	case LT:
-		return s.runLT(r, seeds)
+		return s.runLT(r, seeds, maxHops)
 	default:
-		return s.runTriggering(r, seeds)
+		return s.runTriggering(r, seeds, maxHops)
 	}
 }
 
 // runIC: each newly activated node tries each out-edge once.
-func (s *Simulator) runIC(r *rng.Rand, seeds []uint32) int {
+func (s *Simulator) runIC(r *rng.Rand, seeds []uint32, maxHops int) int {
 	s.nextEpoch()
 	g, mark, epoch := s.g, s.mark, s.epoch
 	q := s.queue[:0]
@@ -85,7 +93,15 @@ func (s *Simulator) runIC(r *rng.Rand, seeds []uint32) int {
 		}
 	}
 	activated := len(q)
+	depth, levelEnd := 0, len(q)
 	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		if maxHops > 0 && depth >= maxHops {
+			break
+		}
 		u := q[head]
 		to, w := g.OutNeighbors(u)
 		for i := range to {
@@ -106,7 +122,7 @@ func (s *Simulator) runIC(r *rng.Rand, seeds []uint32) int {
 
 // runLT: thresholds are sampled lazily the first time a node receives
 // weight; a node activates when its received weight passes its threshold.
-func (s *Simulator) runLT(r *rng.Rand, seeds []uint32) int {
+func (s *Simulator) runLT(r *rng.Rand, seeds []uint32, maxHops int) int {
 	s.nextEpoch()
 	g, mark, mark2, epoch := s.g, s.mark, s.mark2, s.epoch
 	q := s.queue[:0]
@@ -117,7 +133,15 @@ func (s *Simulator) runLT(r *rng.Rand, seeds []uint32) int {
 		}
 	}
 	activated := len(q)
+	depth, levelEnd := 0, len(q)
 	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		if maxHops > 0 && depth >= maxHops {
+			break
+		}
 		u := q[head]
 		to, w := g.OutNeighbors(u)
 		for i := range to {
@@ -147,7 +171,7 @@ func (s *Simulator) runLT(r *rng.Rand, seeds []uint32) int {
 // neighbor (or any earlier-activated one) is in the set. Sampling lazily
 // is equivalent to sampling everything upfront because the set does not
 // depend on cascade history.
-func (s *Simulator) runTriggering(r *rng.Rand, seeds []uint32) int {
+func (s *Simulator) runTriggering(r *rng.Rand, seeds []uint32, maxHops int) int {
 	s.nextEpoch()
 	g, mark, epoch := s.g, s.mark, s.epoch
 	q := s.queue[:0]
@@ -174,7 +198,15 @@ func (s *Simulator) runTriggering(r *rng.Rand, seeds []uint32) int {
 		}
 	}
 	activated := len(q)
+	depth, levelEnd := 0, len(q)
 	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(q)
+		}
+		if maxHops > 0 && depth >= maxHops {
+			break
+		}
 		u := q[head]
 		to, _ := g.OutNeighbors(u)
 		for i := range to {
@@ -197,9 +229,16 @@ func (s *Simulator) runTriggering(r *rng.Rand, seeds []uint32) int {
 // themselves (in activation order) rather than just their count. Slower
 // than Run; used by tests and by consumers that need the activation set.
 func (s *Simulator) RunActivated(r *rng.Rand, seeds []uint32) []uint32 {
-	// Reuse Run's machinery: Run leaves the activation queue in s.queue
-	// with marks set for the current epoch.
-	n := s.Run(r, seeds)
+	return s.RunActivatedHorizon(r, seeds, 0)
+}
+
+// RunActivatedHorizon is RunActivated under a maxHops horizon (see
+// RunHorizon). It backs the weighted-audience Monte-Carlo ground truth in
+// internal/spread, where each activated node contributes its own weight.
+func (s *Simulator) RunActivatedHorizon(r *rng.Rand, seeds []uint32, maxHops int) []uint32 {
+	// Reuse RunHorizon's machinery: it leaves the activation queue in
+	// s.queue with marks set for the current epoch.
+	n := s.RunHorizon(r, seeds, maxHops)
 	out := make([]uint32, n)
 	copy(out, s.queue[:n])
 	return out

@@ -69,6 +69,10 @@ type SampleOptions struct {
 	// hold fewer than count sets. Callers that need to distinguish a
 	// cancelled partial result should check Ctx.Err() afterwards.
 	Ctx context.Context
+	// Config selects the sampling scenario (root distribution, diffusion
+	// horizon). The zero value is the paper's default and is bit-identical
+	// to pre-config sampling.
+	Config SampleConfig
 }
 
 func (o *SampleOptions) normalize(count int64) {
@@ -105,7 +109,7 @@ func SampleCollection(g *graph.Graph, model Model, count int64, opts SampleOptio
 		wg.Add(1)
 		go func(w int, quota int64, r *rng.Rand) {
 			defer wg.Done()
-			sampler := NewRRSampler(g, model)
+			sampler := NewRRSamplerConfig(g, model, opts.Config)
 			col := &RRCollection{Off: make([]int64, 1, quota+1)}
 			var buf []uint32
 			for i := int64(0); i < quota; i++ {

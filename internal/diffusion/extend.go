@@ -26,6 +26,16 @@ import (
 // If ctx is non-nil and is cancelled mid-extension, ExtendCollection
 // stops early and returns ctx's error with the collection unchanged.
 func ExtendCollection(ctx context.Context, g *graph.Graph, model Model, col *RRCollection, total int64, seed uint64, workers int, widths []int64) ([]int64, error) {
+	return ExtendCollectionConfig(ctx, g, model, SampleConfig{}, col, total, seed, workers, widths)
+}
+
+// ExtendCollectionConfig is ExtendCollection under an explicit sampling
+// scenario. Prefix determinism holds per (seed, cfg): set i depends only
+// on (seed, i, g, model, cfg), so constrained collections — weighted
+// roots, bounded horizon — are extendable and repairable exactly like
+// default ones, as long as every call on a collection uses the same cfg.
+// A zero cfg is bit-identical to ExtendCollection.
+func ExtendCollectionConfig(ctx context.Context, g *graph.Graph, model Model, cfg SampleConfig, col *RRCollection, total int64, seed uint64, workers int, widths []int64) ([]int64, error) {
 	if len(col.Off) == 0 {
 		col.Off = append(col.Off, 0)
 	}
@@ -51,7 +61,7 @@ func ExtendCollection(ctx context.Context, g *graph.Graph, model Model, col *RRC
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			sampler := NewRRSampler(g, model)
+			sampler := NewRRSamplerConfig(g, model, cfg)
 			part := &RRCollection{Off: make([]int64, 1, hi-lo+1)}
 			ws := make([]int64, 0, hi-lo)
 			var buf []uint32

@@ -1,0 +1,73 @@
+package diffusion
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// weightedBenchRoots is a minimal alias-free weighted sampler (linear
+// CDF walk) — enough to exercise the weighted-root code path without
+// importing internal/query (which would cycle through maxcover).
+type weightedBenchRoots struct {
+	cum []float64
+}
+
+func newWeightedBenchRoots(n int) *weightedBenchRoots {
+	r := rng.New(7)
+	cum := make([]float64, n)
+	total := 0.0
+	for i := range cum {
+		total += 0.1 + r.Float64()
+		cum[i] = total
+	}
+	return &weightedBenchRoots{cum: cum}
+}
+
+func (w *weightedBenchRoots) SampleRoot(r *rng.Rand) uint32 {
+	x := r.Float64() * w.cum[len(w.cum)-1]
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}
+
+// BenchmarkSampleConstrained covers the constrained sampling hot path:
+// default vs weighted roots vs bounded horizon vs both. The CI bench
+// smoke runs it for one iteration so regressions in the new path fail
+// loudly.
+func BenchmarkSampleConstrained(b *testing.B) {
+	g := gen.ChungLuDirected(20000, 120000, 2.4, 2.1, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	roots := newWeightedBenchRoots(g.N())
+	cases := []struct {
+		name string
+		cfg  SampleConfig
+	}{
+		{"default", SampleConfig{}},
+		{"weighted-roots", SampleConfig{Roots: roots}},
+		{"three-hops", SampleConfig{MaxHops: 3}},
+		{"weighted-three-hops", SampleConfig{Roots: roots, MaxHops: 3}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				col := SampleCollection(g, NewIC(), 5000, SampleOptions{
+					Workers: 4, Seed: uint64(i + 1), Config: tc.cfg,
+				})
+				if col.Count() == 0 {
+					b.Fatal("empty collection")
+				}
+			}
+		})
+	}
+}

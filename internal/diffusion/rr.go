@@ -15,6 +15,7 @@ import (
 type RRSampler struct {
 	g     *graph.Graph
 	model Model
+	cfg   SampleConfig
 
 	mark  []uint32 // mark[v] == epoch ⇔ v visited in the current sample
 	epoch uint32
@@ -22,11 +23,20 @@ type RRSampler struct {
 	trig  []uint32 // scratch for triggering-set samples
 }
 
-// NewRRSampler returns a sampler for the given graph and model.
+// NewRRSampler returns a sampler for the given graph and model under the
+// default scenario (uniform roots, unbounded horizon).
 func NewRRSampler(g *graph.Graph, model Model) *RRSampler {
+	return NewRRSamplerConfig(g, model, SampleConfig{})
+}
+
+// NewRRSamplerConfig returns a sampler whose root distribution and
+// diffusion horizon follow cfg. A zero cfg consumes the random stream
+// exactly as NewRRSampler's sampler does, draw for draw.
+func NewRRSamplerConfig(g *graph.Graph, model Model, cfg SampleConfig) *RRSampler {
 	return &RRSampler{
 		g:     g,
 		model: model,
+		cfg:   cfg,
 		mark:  make([]uint32, g.N()),
 		queue: make([]uint32, 0, 64),
 	}
@@ -43,13 +53,21 @@ func (s *RRSampler) nextEpoch() {
 	}
 }
 
-// Sample generates one RR set rooted at a uniformly random node and
-// appends its members to dst. It returns the extended slice and the width
-// w(R) of the set — the number of edges in G that point to nodes in R
+// Sample generates one RR set rooted at a random node — uniform by
+// default, or drawn from the configured RootSampler — and appends its
+// members to dst. It returns the extended slice and the width w(R) of the
+// set — the number of edges in G that point to *expanded* nodes of R
 // (Equation 1), which is also the number of coin flips a fresh IC
-// generation examines and the quantity κ(R) is computed from.
+// generation examines and the quantity κ(R) is computed from. Under a
+// MaxHops horizon, nodes sitting exactly at the horizon are members but
+// are never expanded, so their in-edges do not count toward the width.
 func (s *RRSampler) Sample(r *rng.Rand, dst []uint32) ([]uint32, int64) {
-	root := uint32(r.Intn(s.g.N()))
+	var root uint32
+	if s.cfg.Roots != nil {
+		root = s.cfg.Roots.SampleRoot(r)
+	} else {
+		root = uint32(r.Intn(s.g.N()))
+	}
 	return s.SampleFrom(r, root, dst)
 }
 
@@ -74,8 +92,18 @@ func (s *RRSampler) sampleIC(r *rng.Rand, root uint32, dst []uint32) ([]uint32, 
 	mark[root] = epoch
 	dst = append(dst, root)
 	var width int64
+	depth, levelEnd := 0, len(dst)
 	// The queue is the tail of dst not yet expanded: BFS order preserved.
 	for head := start; head < len(dst); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(dst)
+		}
+		if s.cfg.MaxHops > 0 && depth >= s.cfg.MaxHops {
+			// BFS visits in hop order, so everything still queued sits at
+			// the horizon: a member of the set, but never expanded.
+			break
+		}
 		v := dst[head]
 		src, w := g.InNeighbors(v)
 		width += int64(len(src))
@@ -105,7 +133,7 @@ func (s *RRSampler) sampleLT(r *rng.Rand, root uint32, dst []uint32) ([]uint32, 
 	dst = append(dst, root)
 	var width int64
 	v := root
-	for {
+	for hops := 0; s.cfg.MaxHops <= 0 || hops < s.cfg.MaxHops; hops++ {
 		src, w := g.InNeighbors(v)
 		width += int64(len(src))
 		if len(src) == 0 {
@@ -133,6 +161,7 @@ func (s *RRSampler) sampleLT(r *rng.Rand, root uint32, dst []uint32) ([]uint32, 
 		dst = append(dst, next)
 		v = next
 	}
+	return dst, width // horizon reached: chain truncated at MaxHops steps
 }
 
 // sampleTriggering is the general §4.2 reverse BFS: for each visited node
@@ -144,7 +173,15 @@ func (s *RRSampler) sampleTriggering(r *rng.Rand, root uint32, dst []uint32) ([]
 	mark[root] = epoch
 	dst = append(dst, root)
 	var width int64
+	depth, levelEnd := 0, len(dst)
 	for head := start; head < len(dst); head++ {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(dst)
+		}
+		if s.cfg.MaxHops > 0 && depth >= s.cfg.MaxHops {
+			break
+		}
 		v := dst[head]
 		width += int64(g.InDegree(v))
 		s.trig = s.model.trigger.AppendTrigger(s.trig[:0], g, v, r)

@@ -12,6 +12,20 @@
 // The trade-off is explicit: selection cost grows from O(Σ|R|) to
 // O(k·Σ|R|) sequential I/O, in exchange for an O(n + θ/8)-byte resident
 // set. BenchmarkAblationOutOfCore quantifies it.
+//
+// Relation to the server's rrstore (internal/server): the two solve
+// opposite problems and do not compose. rrstore keeps one *growing,
+// in-memory* collection per query profile alive across requests, repaired
+// in place as the graph mutates — it optimizes for reuse. diskrr keeps one
+// *single-run* collection out of memory entirely and deletes it with the
+// run — it optimizes for peak residency. A spilled collection is never
+// cached, never repaired, and never shared; correspondingly, constrained
+// queries (internal/query) are served only through the in-memory path.
+//
+// Corrupt or truncated spill data surfaces as typed errors consistent
+// with graph.ReadBinary's: Scan wraps graph.ErrTruncated when the file
+// ends mid-record (the only structural failure a length-prefixed spill
+// file can exhibit).
 package diskrr
 
 import (
@@ -21,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/graph"
 )
 
 // Writer streams RR sets into a temporary file.
@@ -146,7 +162,7 @@ func (c *Collection) Scan(fn func(i int64, set []uint32) error) error {
 	var raw []byte
 	for i := int64(0); i < c.count; i++ {
 		if _, err := io.ReadFull(br, hdr); err != nil {
-			return fmt.Errorf("diskrr: reading set %d header: %w", i, err)
+			return fmt.Errorf("diskrr: reading set %d header: %w", i, truncErr(err))
 		}
 		size := int(binary.LittleEndian.Uint32(hdr))
 		if cap(buf) < size {
@@ -156,7 +172,7 @@ func (c *Collection) Scan(fn func(i int64, set []uint32) error) error {
 		buf = buf[:size]
 		raw = raw[:4*size]
 		if _, err := io.ReadFull(br, raw); err != nil {
-			return fmt.Errorf("diskrr: reading set %d body: %w", i, err)
+			return fmt.Errorf("diskrr: reading set %d body (%d nodes): %w", i, size, truncErr(err))
 		}
 		for j := 0; j < size; j++ {
 			buf[j] = binary.LittleEndian.Uint32(raw[4*j:])
@@ -166,6 +182,17 @@ func (c *Collection) Scan(fn func(i int64, set []uint32) error) error {
 		}
 	}
 	return nil
+}
+
+// truncErr maps a short-read error to the shared graph.ErrTruncated
+// sentinel (callers can errors.Is one sentinel for every binary format in
+// the repo), keeping the underlying detail in the message; other I/O
+// errors pass through unchanged.
+func truncErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", graph.ErrTruncated, err)
+	}
+	return err
 }
 
 // Result mirrors maxcover.Result for the out-of-core selector.

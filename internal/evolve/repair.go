@@ -66,6 +66,19 @@ type RepairStats struct {
 // collection. col and widths are never mutated. The model must be IC or
 // LT; g.N() must equal delta.NAfter.
 func Repair(ctx context.Context, g *graph.Graph, model diffusion.Model, col *diffusion.RRCollection, widths []int64, delta Delta, seed uint64, workers int) (*diffusion.RRCollection, []int64, RepairStats, error) {
+	return RepairConfig(ctx, g, model, diffusion.SampleConfig{}, col, widths, delta, seed, workers)
+}
+
+// RepairConfig is Repair for collections sampled under a constrained
+// scenario (diffusion.ExtendCollectionConfig with the same cfg): weighted
+// roots, bounded horizon, or both. The affected-set argument carries over
+// unchanged — a horizon-capped reverse walk still only examines the
+// in-edge lists of nodes it visits, so a set without a touched head
+// replays identically — with one improvement: the RootSampler contract
+// requires root draws to be graph-independent, so under node growth only
+// uniform-root (cfg.Roots == nil) collections need the root-instability
+// check; weighted collections skip it entirely.
+func RepairConfig(ctx context.Context, g *graph.Graph, model diffusion.Model, cfg diffusion.SampleConfig, col *diffusion.RRCollection, widths []int64, delta Delta, seed uint64, workers int) (*diffusion.RRCollection, []int64, RepairStats, error) {
 	var stats RepairStats
 	switch model.Kind() {
 	case diffusion.IC, diffusion.LT:
@@ -89,7 +102,7 @@ func Repair(ctx context.Context, g *graph.Graph, model diffusion.Model, col *dif
 
 	// Phase 1: identify affected sets.
 	base := rng.New(seed)
-	todo, rootChanged := AffectedSets(col, delta, seed)
+	todo, rootChanged := affectedSets(col, delta, seed, cfg.Roots == nil)
 	stats.RootChanged = rootChanged
 	stats.Repaired = int64(len(todo))
 	stats.Reused = stats.Sets - stats.Repaired
@@ -117,7 +130,7 @@ func Repair(ctx context.Context, g *graph.Graph, model diffusion.Model, col *dif
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				sampler := diffusion.NewRRSampler(g, model)
+				sampler := diffusion.NewRRSamplerConfig(g, model, cfg)
 				var stream rng.Rand
 				for j := lo; j < hi; j++ {
 					if ctx != nil && (j-lo)&63 == 0 && ctx.Err() != nil {
@@ -174,10 +187,22 @@ func Repair(ctx context.Context, g *graph.Graph, model diffusion.Model, col *dif
 // the count of the latter. This is THE affected-set criterion: Repair
 // re-derives exactly these indices, DeltaImpact's exact bound counts
 // them, and tools patching per-set side state (cmd/evolvereplay's trace
-// arena) must use the same list.
+// arena) must use the same list. It assumes uniform root sampling;
+// weighted-root collections (RepairConfig with a RootSampler) have no
+// root instability at all, because the sampler contract pins root draws
+// to the fixed weight profile, never to the node count.
 func AffectedSets(col *diffusion.RRCollection, delta Delta, seed uint64) (indices []int32, rootChanged int64) {
+	return affectedSets(col, delta, seed, true)
+}
+
+// affectedSets implements AffectedSets; uniformRoots selects whether the
+// root-instability scan under node growth applies.
+func affectedSets(col *diffusion.RRCollection, delta Delta, seed uint64, uniformRoots bool) (indices []int32, rootChanged int64) {
 	count := col.Count()
-	affected := rootUnstableSets(count, delta.NBefore, delta.NAfter, seed)
+	var affected []bool
+	if uniformRoots {
+		affected = rootUnstableSets(count, delta.NBefore, delta.NAfter, seed)
+	}
 	for _, a := range affected {
 		if a {
 			rootChanged++

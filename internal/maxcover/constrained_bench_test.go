@@ -1,0 +1,39 @@
+package maxcover
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkGreedyConstrained covers the lazy-greedy selection paths the
+// constrained-query subsystem added: exclusions (cardinality lazy path)
+// and budgeted ratio/uniform double pass.
+func BenchmarkGreedyConstrained(b *testing.B) {
+	const n = 20000
+	col := randomCollection(1, n, 100000, 8)
+	costs := make([]float64, n)
+	r := rng.New(2)
+	for i := range costs {
+		costs[i] = 0.5 + 2*r.Float64()
+	}
+	exclude := make([]uint32, 0, n/10)
+	for v := 0; v < n; v += 10 {
+		exclude = append(exclude, uint32(v))
+	}
+	b.Run("bucket-unconstrained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(n, col, 50)
+		}
+	})
+	b.Run("lazy-exclusions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GreedyConstrained(n, col, Constraints{K: 50, Exclude: exclude})
+		}
+	})
+	b.Run("budgeted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GreedyConstrained(n, col, Constraints{K: 50, Budget: 40, Costs: costs})
+		}
+	})
+}

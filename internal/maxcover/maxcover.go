@@ -19,13 +19,22 @@ import (
 
 // Result reports one greedy selection.
 type Result struct {
-	// Seeds are the selected nodes in pick order.
+	// Seeds are the selected nodes in pick order. For constrained
+	// selection the first Forced entries are the warm-start seeds.
 	Seeds []uint32
 	// Covered is the number of RR sets covered by Seeds.
 	Covered int64
 	// Marginals[i] is the number of newly covered sets when Seeds[i]
-	// was picked; non-increasing by submodularity.
+	// was picked; non-increasing by submodularity within each phase
+	// (forced seeds are covered in caller order, not greedy order, so
+	// their marginals may be arbitrary).
 	Marginals []int64
+	// Forced counts the warm-start seeds at the front of Seeds
+	// (GreedyConstrained only; zero for Greedy).
+	Forced int
+	// Cost is the total cost of the non-forced picks under
+	// Constraints.Costs (budget mode only; zero otherwise).
+	Cost float64
 }
 
 // Greedy selects k nodes from [0, n) maximizing coverage of the sets in

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCompileZeroSpec(t *testing.T) {
+	for _, s := range []*Spec{nil, {}} {
+		c, err := s.Compile(10)
+		if err != nil {
+			t.Fatalf("zero spec: %v", err)
+		}
+		if !c.Sample.Default() || c.Mass != 10 || c.Constrained() || c.Hash != 0 {
+			t.Fatalf("zero spec compiled to %+v", c)
+		}
+	}
+}
+
+func TestCompileUniformWeightsLowerToUniformSampler(t *testing.T) {
+	w := []float64{2, 2, 2, 2}
+	c, err := (&Spec{Weights: w}).Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sample.Roots != nil || c.Weighted {
+		t.Fatalf("uniform profile should lower to the uniform sampler: %+v", c)
+	}
+	if c.Mass != 8 {
+		t.Fatalf("mass = %v, want 8", c.Mass)
+	}
+	if c.Hash != 0 {
+		t.Fatalf("uniform profile must keep the default hash, got %d", c.Hash)
+	}
+}
+
+func TestCompileWeightedRoots(t *testing.T) {
+	// All mass on node 2: every root draw must return 2.
+	c, err := (&Spec{Weights: []float64{0, 0, 5, 0}}).Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Weighted || c.Sample.Roots == nil || c.Mass != 5 {
+		t.Fatalf("compiled: %+v", c)
+	}
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		if got := c.Sample.Roots.SampleRoot(r); got != 2 {
+			t.Fatalf("root %d, want 2", got)
+		}
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		n    int
+	}{
+		{"weights length mismatch", Spec{Weights: []float64{1, 2}}, 3},
+		{"negative weight", Spec{Weights: []float64{1, -1, 1}}, 3},
+		{"all-zero weights", Spec{Weights: []float64{0, 0, 0}}, 3},
+		{"costs without budget", Spec{Costs: []float64{1, 1, 1}}, 3},
+		{"costs length mismatch", Spec{Budget: 1, Costs: []float64{1}}, 3},
+		{"non-positive cost", Spec{Budget: 1, Costs: []float64{1, 0, 1}}, 3},
+		{"negative budget", Spec{Budget: -2}, 3},
+		{"negative max hops", Spec{MaxHops: -1}, 3},
+		{"exclude out of range", Spec{Exclude: []uint32{3}}, 3},
+		{"force out of range", Spec{Force: []uint32{9}}, 3},
+		{"force and exclude overlap", Spec{Force: []uint32{1}, Exclude: []uint32{1}}, 3},
+		{"duplicate force", Spec{Force: []uint32{1, 1}}, 3},
+		{"all nodes excluded", Spec{Exclude: []uint32{0, 1, 2}}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Compile(tc.n); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestProfileHashKeying(t *testing.T) {
+	w1 := []float64{1, 2, 3}
+	w2 := []float64{1, 2, 4}
+	c1, _ := (&Spec{Weights: w1}).Compile(3)
+	c1b, _ := (&Spec{Weights: append([]float64(nil), w1...)}).Compile(3)
+	c2, _ := (&Spec{Weights: w2}).Compile(3)
+	if c1.Hash == 0 || c1.Hash != c1b.Hash {
+		t.Fatalf("same profile must share a hash: %d vs %d", c1.Hash, c1b.Hash)
+	}
+	if c1.Hash == c2.Hash {
+		t.Fatalf("different profiles share hash %d", c1.Hash)
+	}
+	// Selection-only constraints must not re-key the collection.
+	c3, _ := (&Spec{Weights: w1, Exclude: []uint32{0}, Force: []uint32{1}, Budget: 2}).Compile(3)
+	if c3.Hash != c1.Hash {
+		t.Fatalf("selection constraints re-keyed the profile: %d vs %d", c3.Hash, c1.Hash)
+	}
+	// The horizon does re-key.
+	c4, _ := (&Spec{Weights: w1, MaxHops: 2}).Compile(3)
+	if c4.Hash == c1.Hash {
+		t.Fatalf("horizon failed to re-key the profile")
+	}
+	h2, _ := (&Spec{MaxHops: 2}).Compile(3)
+	h3, _ := (&Spec{MaxHops: 3}).Compile(3)
+	if h2.Hash == 0 || h3.Hash == 0 || h2.Hash == h3.Hash {
+		t.Fatalf("horizon-only hashes: %d vs %d", h2.Hash, h3.Hash)
+	}
+}
+
+func TestSpecZero(t *testing.T) {
+	if !(&Spec{}).Zero() || !(*Spec)(nil).Zero() {
+		t.Fatal("zero spec not detected")
+	}
+	if (&Spec{MaxHops: 1}).Zero() || (&Spec{Exclude: []uint32{0}}).Zero() {
+		t.Fatal("non-zero spec detected as zero")
+	}
+}

@@ -262,7 +262,7 @@ func TestStaleSnapshotBypass(t *testing.T) {
 	ctx := context.Background()
 
 	// Warm the entry at v0.
-	src0 := srv.rr.source(key, evg, v0)
+	src0 := srv.rr.source(key, evg, v0, diffusion.SampleConfig{})
 	want0, err := src0.NodeSelectionSets(ctx, g0, diffusion.NewIC(), theta, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +276,7 @@ func TestStaleSnapshotBypass(t *testing.T) {
 		t.Fatal(err)
 	}
 	g1, v1 := evg.Snapshot()
-	src1 := srv.rr.source(key, evg, v1)
+	src1 := srv.rr.source(key, evg, v1, diffusion.SampleConfig{})
 	if _, err := src1.NodeSelectionSets(ctx, g1, diffusion.NewIC(), theta, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestStaleSnapshotBypass(t *testing.T) {
 	// A straggler still holding the v0 snapshot queries now: it must get
 	// exactly the v0 bytes it would have gotten before the update, and
 	// the entry must stay at v1.
-	stale := srv.rr.source(key, evg, v0)
+	stale := srv.rr.source(key, evg, v0, diffusion.SampleConfig{})
 	got, err := stale.NodeSelectionSets(ctx, g0, diffusion.NewIC(), theta, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -305,7 +305,7 @@ func TestStaleSnapshotBypass(t *testing.T) {
 	}
 
 	// And the entry still answers the current version untouched.
-	src1b := srv.rr.source(key, evg, v1)
+	src1b := srv.rr.source(key, evg, v1, diffusion.SampleConfig{})
 	cur, err := src1b.NodeSelectionSets(ctx, g1, diffusion.NewIC(), theta, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/diffusion"
 	"repro/internal/evolve"
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/spread"
 	"repro/internal/tim"
 )
@@ -36,6 +38,126 @@ type MaximizeRequest struct {
 	// NoReuse opts this query out of the RR-collection reuse layer; it
 	// then samples exactly as the one-shot CLI would.
 	NoReuse bool `json:"no_reuse,omitempty"`
+
+	// Constrained-query fields (internal/query). All optional; absent
+	// fields mean the paper's default scenario.
+
+	// Weights is a sparse audience profile: node id (as a decimal string,
+	// JSON object keys being strings) → audience weight. Unlisted nodes
+	// get WeightDefault. RR roots are drawn ∝ weight and SpreadEstimate
+	// becomes the weighted audience mass activated.
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// WeightDefault is the audience weight of nodes absent from Weights
+	// (default 0 — listing an audience excludes everyone else). Only
+	// meaningful alongside Weights.
+	WeightDefault float64 `json:"weight_default,omitempty"`
+	// Costs is a sparse seeding-cost profile: node id → cost. Unlisted
+	// nodes cost CostDefault. Requires Budget.
+	Costs map[string]float64 `json:"costs,omitempty"`
+	// CostDefault is the cost of nodes absent from Costs (default 1).
+	CostDefault *float64 `json:"cost_default,omitempty"`
+	// Budget, when positive, bounds the total cost of the picked seeds;
+	// K stays a cap on their number.
+	Budget float64 `json:"budget,omitempty"`
+	// Force are warm-start seeds: returned first, their coverage
+	// pre-subtracted, consuming neither K nor Budget.
+	Force []uint32 `json:"force,omitempty"`
+	// Exclude are nodes that must not be picked as seeds.
+	Exclude []uint32 `json:"exclude,omitempty"`
+	// MaxHops, when positive, bounds the diffusion horizon (deadline-
+	// bounded influence, time-critical IM).
+	MaxHops int `json:"max_hops,omitempty"`
+}
+
+// spec lowers the request's sparse constraint fields into a dense
+// query.Spec against an n-node snapshot. A request without constraint
+// fields returns nil (the default scenario).
+func (req *MaximizeRequest) spec(n int) (*query.Spec, error) {
+	if req.Weights == nil && req.WeightDefault != 0 {
+		return nil, fmt.Errorf("%w: weight_default without weights", errBadRequest)
+	}
+	if req.Costs == nil && req.CostDefault != nil {
+		return nil, fmt.Errorf("%w: cost_default without costs", errBadRequest)
+	}
+	s := &query.Spec{
+		Budget:  req.Budget,
+		Force:   req.Force,
+		Exclude: req.Exclude,
+		MaxHops: req.MaxHops,
+	}
+	var err error
+	if req.Weights != nil {
+		if s.Weights, err = densify(req.Weights, req.WeightDefault, n); err != nil {
+			return nil, err
+		}
+	}
+	if req.Costs != nil {
+		def := 1.0
+		if req.CostDefault != nil {
+			def = *req.CostDefault
+		}
+		if s.Costs, err = densify(req.Costs, def, n); err != nil {
+			return nil, err
+		}
+	}
+	if s.Zero() {
+		return nil, nil
+	}
+	return s, nil
+}
+
+// densify expands a sparse node→value JSON map into a dense length-n
+// vector with the given default.
+func densify(sparse map[string]float64, def float64, n int) ([]float64, error) {
+	dense := make([]float64, n)
+	for i := range dense {
+		dense[i] = def
+	}
+	for key, v := range sparse {
+		id, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node key %q is not a node id", errBadRequest, key)
+		}
+		if id >= uint64(n) {
+			return nil, fmt.Errorf("%w: node %d outside [0, %d)", errBadRequest, id, n)
+		}
+		dense[id] = v
+	}
+	return dense, nil
+}
+
+// specHash is the result-cache fragment for a constrained query: a
+// canonical FNV-1a digest over every constraint field (the rr-store
+// profile hash deliberately covers only the sampling-relevant subset, so
+// it cannot serve here).
+func specHash(s *query.Spec) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mixFloats := func(xs []float64) {
+		mix(uint64(len(xs)))
+		for _, x := range xs {
+			mix(math.Float64bits(x))
+		}
+	}
+	mixFloats(s.Weights)
+	mixFloats(s.Costs)
+	mix(math.Float64bits(s.Budget))
+	mix(uint64(len(s.Force)))
+	for _, v := range s.Force {
+		mix(uint64(v))
+	}
+	mix(uint64(len(s.Exclude)))
+	for _, v := range s.Exclude {
+		mix(uint64(v))
+	}
+	mix(uint64(s.MaxHops))
+	return h
 }
 
 // MaximizeResponse is the body of a successful /v1/maximize reply.
@@ -61,8 +183,15 @@ type MaximizeResponse struct {
 	RRSetsRepaired int64 `json:"rr_sets_repaired,omitempty"`
 	// GraphVersion is the dataset version (update batches applied) this
 	// answer was computed at.
-	GraphVersion uint64  `json:"graph_version"`
-	ElapsedMs    float64 `json:"elapsed_ms"`
+	GraphVersion uint64 `json:"graph_version"`
+	// AudienceMass is the total audience weight W that SpreadEstimate is
+	// scaled by; present only for weighted (targeted) queries.
+	AudienceMass float64 `json:"audience_mass,omitempty"`
+	// ForcedSeeds counts the warm-start seeds at the front of Seeds.
+	ForcedSeeds int `json:"forced_seeds,omitempty"`
+	// SeedCost is the budget consumed by the non-forced picks.
+	SeedCost  float64 `json:"seed_cost,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // SpreadRequest is the body of POST /v1/spread.
@@ -146,6 +275,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknownDataset):
 		status = http.StatusNotFound
 	case errors.Is(err, tim.ErrBadOptions), errors.Is(err, errBadRequest),
+		errors.Is(err, query.ErrBadSpec),
 		errors.Is(err, evolve.ErrUnknownEdge), errors.Is(err, graph.ErrNodeRange),
 		errors.Is(err, graph.ErrBadWeight):
 		status = http.StatusBadRequest
@@ -193,17 +323,28 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
 		return
 	}
-	model, modelName, err := parseModel(req.Model)
+	resp, cacheHit, err := s.doMaximize(r.Context(), req)
 	if err != nil {
 		s.observe("maximize", start, false, true)
 		writeError(w, err)
 		return
 	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	s.observe("maximize", start, cacheHit, false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// doMaximize answers one maximize query (shared by POST /v1/maximize and
+// each item of POST /v1/query/batch). The caller owns endpoint stats and
+// ElapsedMs; doMaximize owns the per-dataset query-subsystem counters.
+func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (MaximizeResponse, bool, error) {
+	model, modelName, err := parseModel(req.Model)
+	if err != nil {
+		return MaximizeResponse{}, false, err
+	}
 	variant, algoName, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		s.observe("maximize", start, false, true)
-		writeError(w, err)
-		return
+		return MaximizeResponse{}, false, err
 	}
 	if req.Epsilon == 0 {
 		req.Epsilon = 0.1
@@ -218,9 +359,7 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 
 	evg, err := s.registry.get(req.Dataset, model.Kind())
 	if err != nil {
-		s.observe("maximize", start, false, true)
-		writeError(w, err)
-		return
+		return MaximizeResponse{}, false, err
 	}
 	// The snapshot is immutable: concurrent /v1/update calls bump the
 	// dataset version but never touch a materialized snapshot, so the
@@ -229,15 +368,29 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	// invalidates every cached answer derived from the old topology.
 	g, version := evg.Snapshot()
 
+	// Lower the constraint fields. Validation happens here (not only
+	// inside tim) because the rr-store key needs the compiled profile
+	// hash, and because rejections are counted per dataset.
+	spec, err := req.spec(g.N())
+	if err != nil {
+		s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstraintRejections++ })
+		return MaximizeResponse{}, false, err
+	}
+	var compiled *query.Compiled
 	key := fmt.Sprintf("maximize|%s|%s|%s|k=%d|eps=%g|ell=%g|seed=%d|reuse=%t|v=%d",
 		req.Dataset, modelName, algoName, req.K, req.Epsilon, req.Ell, seed, !req.NoReuse, version)
+	if spec != nil {
+		if compiled, err = spec.Compile(g.N()); err != nil {
+			s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstraintRejections++ })
+			return MaximizeResponse{}, false, err
+		}
+		key += fmt.Sprintf("|q=%x", specHash(spec))
+		s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstrainedQueries++ })
+	}
 	if v, ok := s.results.get(key); ok {
 		resp := v.(MaximizeResponse)
 		resp.Cached = true
-		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
-		s.observe("maximize", start, true, false)
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, true, nil
 	}
 
 	opts := tim.Options{
@@ -248,6 +401,9 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		Workers:  s.cfg.Workers,
 		Seed:     seed,
 		ThetaCap: s.cfg.MaxTheta,
+		// The handler already compiled the spec for the cache keys, so
+		// hand tim the compiled form and skip a second O(n) lowering.
+		CompiledQuery: compiled,
 	}
 	var src *rrSource
 	if !req.NoReuse {
@@ -256,17 +412,25 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		// share one growing collection per (dataset, model, ε). It also
 		// excludes the graph version: the whole point of the maintainer
 		// is that one collection follows the dataset across versions,
-		// repaired in place.
-		src = s.rr.source(fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon), evg, version)
+		// repaired in place. Constrained queries append their sampling
+		// profile — audience weights and horizon re-key the collection,
+		// while selection-only constraints share the unconstrained one.
+		rrKey := fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon)
+		var cfg diffusion.SampleConfig
+		if compiled != nil {
+			cfg = compiled.Sample
+			if compiled.Hash != 0 {
+				rrKey += fmt.Sprintf("|profile=%x", compiled.Hash)
+			}
+		}
+		src = s.rr.source(rrKey, evg, version, cfg)
 		opts.Source = src
 	}
-	ctx, cancel := s.queryCtx(r)
+	ctx, cancel := context.WithTimeout(base, s.cfg.RequestTimeout)
 	defer cancel()
 	res, err := tim.MaximizeContext(ctx, g, model, opts)
 	if err != nil {
-		s.observe("maximize", start, false, true)
-		writeError(w, err)
-		return
+		return MaximizeResponse{}, false, err
 	}
 	resp := MaximizeResponse{
 		Seeds:            res.Seeds,
@@ -277,17 +441,85 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		CoverageFraction: res.CoverageFraction,
 		SpreadEstimate:   res.SpreadEstimate,
 		GraphVersion:     version,
+		ForcedSeeds:      res.ForcedSeeds,
+		SeedCost:         res.SeedCost,
+	}
+	if compiled != nil && compiled.Weighted {
+		resp.AudienceMass = res.Mass
 	}
 	if src != nil {
 		resp.RRSetsReused = src.reused
 		resp.RRSetsSampled = src.sampled
 		resp.RRSetsRepaired = src.repaired
+		if src.created && compiled != nil && compiled.Weighted {
+			s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.WeightedCollections++ })
+		}
 	} else {
 		resp.RRSetsSampled = res.Theta
 	}
 	s.results.put(key, resp)
+	return resp, false, nil
+}
+
+// BatchRequest is the body of POST /v1/query/batch: up to MaxBatchQueries
+// maximize queries answered in order. Batches amortize HTTP round-trips
+// for scenario sweeps (one audience against many budgets, one topology
+// against many horizons) and run sequentially, so later queries hit the
+// RR collections earlier ones warmed.
+type BatchRequest struct {
+	Queries []MaximizeRequest `json:"queries"`
+}
+
+// MaxBatchQueries bounds the queries in one batch request.
+const MaxBatchQueries = 64
+
+// BatchItem is one element of a batch response: exactly one of Result or
+// Error is set. A failed item does not abort the batch.
+type BatchItem struct {
+	Result *MaximizeResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful /v1/query/batch reply; Results
+// parallels the request's Queries.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	ElapsedMs float64     `json:"elapsed_ms"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.observe("batch", start, false, true)
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.observe("batch", start, false, true)
+		writeError(w, fmt.Errorf("%w: empty batch", errBadRequest))
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		s.observe("batch", start, false, true)
+		writeError(w, fmt.Errorf("%w: batch of %d exceeds limit %d", errBadRequest, len(req.Queries), MaxBatchQueries))
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	for i := range req.Queries {
+		q := req.Queries[i]
+		s.bumpQuery(q.Dataset, func(st *datasetQueryStats) { st.BatchQueries++ })
+		itemStart := time.Now()
+		item, _, err := s.doMaximize(r.Context(), q)
+		if err != nil {
+			resp.Results[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		item.ElapsedMs = float64(time.Since(itemStart).Microseconds()) / 1000
+		resp.Results[i] = BatchItem{Result: &item}
+	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
-	s.observe("maximize", start, false, false)
+	s.observe("batch", start, false, false)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -470,13 +702,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Datasets reports each dataset's version and size so operators
 		// can confirm an update landed without a maximize round-trip.
 		Datasets []datasetInfo `json:"datasets"`
+		// QuerySubsystem reports, per dataset, the constrained-query
+		// counters (weighted collections, batch traffic, rejections).
+		QuerySubsystem map[string]datasetQueryStats `json:"query_subsystem"`
 	}{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		StartedAt:     s.start.UTC().Format(time.RFC3339),
-		Endpoints:     endpoints,
-		ResultCache:   s.results.stats(),
-		RRCache:       s.rr.stats(),
-		Datasets:      s.registry.list(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		StartedAt:      s.start.UTC().Format(time.RFC3339),
+		Endpoints:      endpoints,
+		ResultCache:    s.results.stats(),
+		RRCache:        s.rr.stats(),
+		Datasets:       s.registry.list(),
+		QuerySubsystem: s.querySubsystemStats(),
 	})
 }
 

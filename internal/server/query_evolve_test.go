@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// edgeOnlyUpdates mutates many heads without growing the node space, so
+// weighted profiles (compiled per node count) stay valid and warm
+// constrained collections must be *repaired*, not re-keyed.
+func edgeOnlyUpdates() []UpdateRequest {
+	u1 := UpdateRequest{Dataset: "known"}
+	for i := 0; i < 8; i++ {
+		u1.Delete = append(u1.Delete, UpdateEdge{From: uint32(i), To: uint32(i+1) % 60})
+		u1.Insert = append(u1.Insert, UpdateEdge{From: uint32(i * 3), To: uint32(i*5 + 2)})
+	}
+	u2 := UpdateRequest{Dataset: "known"}
+	for i := 0; i < 6; i++ {
+		u2.Insert = append(u2.Insert, UpdateEdge{From: uint32(i + 20), To: uint32(i * 7)})
+		u2.Delete = append(u2.Delete, UpdateEdge{From: uint32(i), To: uint32(i+7) % 60})
+	}
+	return []UpdateRequest{u1, u2}
+}
+
+// TestUpdateWarmMatchesColdConstrained is the constrained-query extension
+// of TestUpdateWarmMatchesCold: a server whose weighted and horizon
+// collections were warmed before edge updates (and then repaired in
+// place) must answer constrained /v1/maximize queries bit-identically to
+// a cold server that saw the updates first.
+func TestUpdateWarmMatchesColdConstrained(t *testing.T) {
+	_, warm := newEvolveTestServer(t)
+	_, cold := newEvolveTestServer(t)
+
+	weights := map[string]float64{"0": 8, "7": 4, "13": 2}
+	weighted := MaximizeRequest{
+		Dataset: "known", K: 3, Epsilon: 0.3,
+		Weights: weights, WeightDefault: 0.25,
+	}
+	horizon := MaximizeRequest{
+		Dataset: "known", K: 3, Epsilon: 0.3, MaxHops: 2,
+		Force: []uint32{11}, Exclude: []uint32{4},
+	}
+
+	// Warm both constrained profiles pre-update.
+	for _, req := range []MaximizeRequest{weighted, horizon} {
+		if status, body := postJSON(t, warm.URL+"/v1/maximize", req, nil); status != http.StatusOK {
+			t.Fatalf("warm-up: %d %s", status, body)
+		}
+	}
+
+	updates := edgeOnlyUpdates()
+	applyUpdates(t, warm.URL, updates)
+	applyUpdates(t, cold.URL, updates)
+
+	for name, req := range map[string]MaximizeRequest{"weighted": weighted, "horizon": horizon} {
+		var w, c MaximizeResponse
+		if status, body := postJSON(t, warm.URL+"/v1/maximize", req, &w); status != http.StatusOK {
+			t.Fatalf("%s warm: %d %s", name, status, body)
+		}
+		if status, body := postJSON(t, cold.URL+"/v1/maximize", req, &c); status != http.StatusOK {
+			t.Fatalf("%s cold: %d %s", name, status, body)
+		}
+		if got, want := maximizeEssence(w), maximizeEssence(c); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s warm/cold diverged:\nwarm %+v\ncold %+v", name, got, want)
+		}
+		if w.GraphVersion != 2 || c.GraphVersion != 2 {
+			t.Fatalf("%s versions: warm %d cold %d", name, w.GraphVersion, c.GraphVersion)
+		}
+		if w.RRSetsRepaired == 0 {
+			t.Fatalf("%s warm query repaired nothing: %+v", name, w)
+		}
+		if w.RRSetsReused == 0 {
+			t.Fatalf("%s warm query reused nothing (collection was dropped?): %+v", name, w)
+		}
+	}
+}

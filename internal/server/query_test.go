@@ -1,0 +1,270 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestConstrainedMaximize exercises every constraint field end to end on
+// one server: audiences, budgets, forced/excluded seeds, horizons.
+func TestConstrainedMaximize(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	base := MaximizeRequest{Dataset: "ba", K: 4, Epsilon: 0.3}
+	var plain MaximizeResponse
+	if status, body := postJSON(t, ts.URL+"/v1/maximize", base, &plain); status != http.StatusOK {
+		t.Fatalf("plain: %d %s", status, body)
+	}
+
+	t.Run("weighted audience", func(t *testing.T) {
+		req := base
+		req.Weights = map[string]float64{"0": 10, "1": 10, "2": 10}
+		req.WeightDefault = 0.1
+		var resp MaximizeResponse
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, &resp); status != http.StatusOK {
+			t.Fatalf("weighted: %d %s", status, body)
+		}
+		if resp.AudienceMass == 0 {
+			t.Fatalf("audience_mass missing: %+v", resp)
+		}
+		wantMass := 3*10 + 297*0.1
+		if diff := resp.AudienceMass - wantMass; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("audience_mass %.3f, want %.3f", resp.AudienceMass, wantMass)
+		}
+		if resp.SpreadEstimate > resp.AudienceMass {
+			t.Fatalf("estimate %.2f above total mass %.2f", resp.SpreadEstimate, resp.AudienceMass)
+		}
+	})
+
+	t.Run("force and exclude", func(t *testing.T) {
+		req := base
+		req.Force = []uint32{42}
+		req.Exclude = plain.Seeds
+		var resp MaximizeResponse
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, &resp); status != http.StatusOK {
+			t.Fatalf("constrained: %d %s", status, body)
+		}
+		if resp.ForcedSeeds != 1 || resp.Seeds[0] != 42 {
+			t.Fatalf("forced prefix: %+v", resp)
+		}
+		banned := map[uint32]bool{}
+		for _, v := range plain.Seeds {
+			banned[v] = true
+		}
+		for _, v := range resp.Seeds[1:] {
+			if banned[v] {
+				t.Fatalf("excluded node %d picked: %v", v, resp.Seeds)
+			}
+		}
+		if len(resp.Seeds) != 5 { // 1 forced + k=4 picks
+			t.Fatalf("seed count: %v", resp.Seeds)
+		}
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		req := base
+		req.K = 10
+		req.Budget = 3
+		req.Costs = map[string]float64{strconv.Itoa(int(plain.Seeds[0])): 2.5}
+		var resp MaximizeResponse
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, &resp); status != http.StatusOK {
+			t.Fatalf("budget: %d %s", status, body)
+		}
+		if resp.SeedCost > 3+1e-9 || len(resp.Seeds) > 3 {
+			t.Fatalf("budget violated: cost %.2f seeds %v", resp.SeedCost, resp.Seeds)
+		}
+	})
+
+	t.Run("max hops", func(t *testing.T) {
+		req := base
+		req.MaxHops = 1
+		var resp MaximizeResponse
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, &resp); status != http.StatusOK {
+			t.Fatalf("hops: %d %s", status, body)
+		}
+		if resp.SpreadEstimate >= plain.SpreadEstimate {
+			t.Fatalf("1-hop estimate %.2f not below unbounded %.2f", resp.SpreadEstimate, plain.SpreadEstimate)
+		}
+	})
+
+	t.Run("selection-only constraints share the unconstrained collection", func(t *testing.T) {
+		var st statsSnapshot
+		if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+			t.Fatalf("stats: %d", status)
+		}
+		// Collections: ba unconstrained (shared by plain + force/exclude +
+		// budget), ba weighted, ba 1-hop.
+		if st.RRCache.Collections != 3 {
+			t.Fatalf("collections = %d, want 3: %+v", st.RRCache.Collections, st.RRCache)
+		}
+	})
+}
+
+// TestConstrainedDeterminism: identical constrained queries return
+// identical answers, cached or not, and a warm collection never changes
+// an answer (cold server comparison).
+func TestConstrainedDeterminism(t *testing.T) {
+	_, a := newTestServer(t)
+	_, b := newTestServer(t)
+
+	req := MaximizeRequest{
+		Dataset: "ba", K: 3, Epsilon: 0.3,
+		Weights:       map[string]float64{"5": 4, "9": 2},
+		WeightDefault: 0.5,
+		MaxHops:       2,
+		Exclude:       []uint32{5},
+	}
+	// Server a answers twice (second hit comes from the result cache);
+	// server b is warmed by a *different* ε-profile first, then answers.
+	var a1, a2, b1 MaximizeResponse
+	if status, body := postJSON(t, a.URL+"/v1/maximize", req, &a1); status != http.StatusOK {
+		t.Fatalf("a1: %d %s", status, body)
+	}
+	if status, _ := postJSON(t, a.URL+"/v1/maximize", req, &a2); status != http.StatusOK {
+		t.Fatal("a2")
+	}
+	warmup := MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 0.3,
+		Weights: req.Weights, WeightDefault: req.WeightDefault, MaxHops: 2}
+	if status, _ := postJSON(t, b.URL+"/v1/maximize", warmup, nil); status != http.StatusOK {
+		t.Fatal("warmup")
+	}
+	if status, _ := postJSON(t, b.URL+"/v1/maximize", req, &b1); status != http.StatusOK {
+		t.Fatal("b1")
+	}
+	if !a2.Cached {
+		t.Fatalf("repeat not cached: %+v", a2)
+	}
+	if !reflect.DeepEqual(a1.Seeds, b1.Seeds) || a1.SpreadEstimate != b1.SpreadEstimate || a1.Theta != b1.Theta {
+		t.Fatalf("warm/cold constrained answers diverged:\na %+v\nb %+v", a1, b1)
+	}
+	if !reflect.DeepEqual(maximizeEssence(a1), maximizeEssence(a2)) {
+		t.Fatalf("cache changed the answer:\n%+v\n%+v", a1, a2)
+	}
+	if b1.RRSetsReused == 0 {
+		t.Fatalf("warmed profile collection not reused: %+v", b1)
+	}
+}
+
+// TestConstraintRejections: invalid constraint specs map to 400 with the
+// per-dataset rejection counter advancing; valid constrained queries
+// advance the constrained counter.
+func TestConstraintRejections(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []MaximizeRequest{
+		{Dataset: "ba", K: 2, Weights: map[string]float64{"nope": 1}},
+		{Dataset: "ba", K: 2, Weights: map[string]float64{"999999": 1}},
+		{Dataset: "ba", K: 2, WeightDefault: 2},
+		{Dataset: "ba", K: 2, Weights: map[string]float64{"0": -1}},
+		{Dataset: "ba", K: 2, Costs: map[string]float64{"0": 1}},
+		{Dataset: "ba", K: 2, Budget: 1, Costs: map[string]float64{"0": -2}},
+		{Dataset: "ba", K: 2, Force: []uint32{1}, Exclude: []uint32{1}},
+		{Dataset: "ba", K: 2, MaxHops: -1},
+	}
+	for i, req := range bad {
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, nil); status != http.StatusBadRequest {
+			t.Fatalf("bad[%d]: status %d body %s", i, status, body)
+		}
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/maximize",
+		MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 0.3, Exclude: []uint32{0}}, nil); status != http.StatusOK {
+		t.Fatal("valid constrained query failed")
+	}
+	var st statsSnapshot
+	if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+		t.Fatal("stats")
+	}
+	q := st.QuerySubsystem["ba"]
+	if q.ConstraintRejections != int64(len(bad)) {
+		t.Fatalf("constraint_rejections = %d, want %d (%+v)", q.ConstraintRejections, len(bad), q)
+	}
+	if q.ConstrainedQueries != 1 {
+		t.Fatalf("constrained_queries = %d, want 1 (%+v)", q.ConstrainedQueries, q)
+	}
+}
+
+// TestQueryBatch: the batch endpoint answers in order, isolates per-item
+// failures, shares warm collections across items, and feeds the
+// batch_queries counter.
+func TestQueryBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := BatchRequest{Queries: []MaximizeRequest{
+		{Dataset: "ba", K: 3, Epsilon: 0.3},
+		{Dataset: "ba", K: 3, Epsilon: 0.3, Exclude: []uint32{1}},
+		{Dataset: "missing", K: 3},
+		{Dataset: "ba", K: 5, Epsilon: 0.3},
+	}}
+	var resp BatchResponse
+	if status, body := postJSON(t, ts.URL+"/v1/query/batch", req, &resp); status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, body)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("results: %+v", resp)
+	}
+	if resp.Results[0].Result == nil || resp.Results[1].Result == nil || resp.Results[3].Result == nil {
+		t.Fatalf("batch items failed: %+v", resp.Results)
+	}
+	if resp.Results[2].Error == "" || resp.Results[2].Result != nil {
+		t.Fatalf("missing dataset item should fail alone: %+v", resp.Results[2])
+	}
+	// Item 3 needs a larger θ than item 0 warmed, so it must reuse.
+	if resp.Results[3].Result.RRSetsReused == 0 {
+		t.Fatalf("batch item did not reuse warm sets: %+v", resp.Results[3].Result)
+	}
+	// A standalone maximize must agree exactly with the batch item.
+	var solo MaximizeResponse
+	if status, _ := postJSON(t, ts.URL+"/v1/maximize", req.Queries[0], &solo); status != http.StatusOK {
+		t.Fatal("solo")
+	}
+	if !reflect.DeepEqual(solo.Seeds, resp.Results[0].Result.Seeds) {
+		t.Fatalf("batch vs solo seeds: %v vs %v", resp.Results[0].Result.Seeds, solo.Seeds)
+	}
+
+	var st statsSnapshot
+	if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+		t.Fatal("stats")
+	}
+	if st.QuerySubsystem["ba"].BatchQueries != 3 {
+		t.Fatalf("batch_queries = %d, want 3", st.QuerySubsystem["ba"].BatchQueries)
+	}
+	if st.QuerySubsystem["missing"].BatchQueries != 1 {
+		t.Fatalf("missing-dataset batch_queries = %d, want 1", st.QuerySubsystem["missing"].BatchQueries)
+	}
+	if st.Endpoints["batch"].Requests != 1 {
+		t.Fatalf("batch endpoint stats: %+v", st.Endpoints["batch"])
+	}
+
+	// Oversized and empty batches are rejected whole.
+	big := BatchRequest{Queries: make([]MaximizeRequest, MaxBatchQueries+1)}
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", big, nil); status != http.StatusBadRequest {
+		t.Fatalf("oversized batch accepted: %d", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", BatchRequest{}, nil); status != http.StatusBadRequest {
+		t.Fatalf("empty batch accepted: %d", status)
+	}
+}
+
+// TestWeightedCollectionCounter: creating a weighted profile entry bumps
+// the per-dataset weighted_collections counter exactly once.
+func TestWeightedCollectionCounter(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := MaximizeRequest{
+		Dataset: "ba", K: 2, Epsilon: 0.3,
+		Weights: map[string]float64{"3": 5}, WeightDefault: 1,
+	}
+	for i := 0; i < 3; i++ {
+		r := req
+		r.K = 2 + i // dodge the result cache; same profile collection
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", r, nil); status != http.StatusOK {
+			t.Fatalf("weighted %d: %d %s", i, status, body)
+		}
+	}
+	var st statsSnapshot
+	if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+		t.Fatal("stats")
+	}
+	if got := st.QuerySubsystem["ba"].WeightedCollections; got != 1 {
+		t.Fatalf("weighted_collections = %d, want 1", got)
+	}
+}

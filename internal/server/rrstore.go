@@ -13,8 +13,13 @@ import (
 )
 
 // rrStore is the RR-collection reuse layer. It holds one growing RR
-// collection per (dataset, model, ε) key and hands exact-θ prefix views
-// to queries through the tim.CollectionSource hook. Because extensions
+// collection per (dataset, model, ε, sampling profile) key and hands
+// exact-θ prefix views to queries through the tim.CollectionSource hook.
+// The sampling profile is the compiled constraint hash (query.Compiled
+// .Hash): audience-weight vectors and diffusion horizons key separate
+// collections, while selection-only constraints — budgets, costs, forced
+// or excluded seeds — deliberately share the unconstrained profile, so
+// those queries keep hitting the same warm sketches. Because extensions
 // are prefix-deterministic (diffusion.ExtendCollection keys set i by
 // (entry seed, i)), a query sees bit-identical RR sets whether the store
 // was cold, partially warm from a smaller-k query, or fully warm — reuse
@@ -96,13 +101,13 @@ func newRRStore(seed uint64, capacity int) *rrStore {
 // the least recently used entry when the cap is exceeded. The entry's
 // sampling seed depends only on (store seed, key), so two servers with
 // the same base seed answer identically — as does one server before and
-// after an eviction.
-func (s *rrStore) entry(key string) *rrEntry {
+// after an eviction. created reports whether this call built the entry.
+func (s *rrStore) entry(key string) (_ *rrEntry, created bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[key]; ok {
 		s.order.MoveToFront(e.elem)
-		return e
+		return e, false
 	}
 	for len(s.entries) >= s.capacity {
 		oldest := s.order.Back()
@@ -124,7 +129,7 @@ func (s *rrStore) entry(key string) *rrEntry {
 	}
 	e.elem = s.order.PushFront(key)
 	s.entries[key] = e
-	return e
+	return e, true
 }
 
 // fnv64 is the FNV-1a hash, used to derive per-key sampling seeds.
@@ -147,16 +152,25 @@ type rrSource struct {
 	// snapVersion is the version of the snapshot the handler passes into
 	// tim.MaximizeContext — the graph NodeSelectionSets will receive.
 	snapVersion uint64
+	// cfg is the sampling scenario of the query. The key embeds the
+	// compiled profile hash, so every query landing on this entry samples
+	// (and repairs) under an equivalent config — that is what keeps the
+	// entry's sets interchangeable and the CollectionSource contract met
+	// for constrained queries.
+	cfg diffusion.SampleConfig
 
 	// Filled by NodeSelectionSets for the handler to read back. A source
 	// is used for a single Maximize call, so no locking is needed.
 	reused   int64
 	sampled  int64
 	repaired int64
+	// created reports that this query built the entry (first query on a
+	// fresh profile key); handlers use it to count weighted collections.
+	created bool
 }
 
-func (s *rrStore) source(key string, evg *evolve.Graph, snapVersion uint64) *rrSource {
-	return &rrSource{store: s, key: key, evg: evg, snapVersion: snapVersion}
+func (s *rrStore) source(key string, evg *evolve.Graph, snapVersion uint64, cfg diffusion.SampleConfig) *rrSource {
+	return &rrSource{store: s, key: key, evg: evg, snapVersion: snapVersion, cfg: cfg}
 }
 
 // NodeSelectionSets implements tim.CollectionSource: bring the cached
@@ -164,7 +178,8 @@ func (s *rrStore) source(key string, evg *evolve.Graph, snapVersion uint64) *rrS
 // incrementally when the delta log allows, resetting cold otherwise),
 // extend it to θ sets if needed, and return the θ-prefix view.
 func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
-	e := r.store.entry(r.key)
+	e, created := r.store.entry(r.key)
+	r.created = created
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -191,7 +206,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 			for i := range widths {
 				widths[i] = e.cumWidth[i+1] - e.cumWidth[i]
 			}
-			newCol, newWidths, st, err := evolve.Repair(ctx, g, model, e.col, widths, delta, e.seed, workers)
+			newCol, newWidths, st, err := evolve.RepairConfig(ctx, g, model, r.cfg, e.col, widths, delta, e.seed, workers)
 			switch {
 			case err == nil:
 				e.col = newCol
@@ -222,7 +237,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 
 	have := int64(e.col.Count())
 	if have < theta {
-		tail, err := diffusion.ExtendCollection(ctx, g, model, e.col, theta, e.seed, workers, nil)
+		tail, err := diffusion.ExtendCollectionConfig(ctx, g, model, r.cfg, e.col, theta, e.seed, workers, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +287,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 func (r *rrSource) sampleBypass(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
 	seed := r.store.seed ^ fnv64(r.key)
 	col := &diffusion.RRCollection{Off: []int64{0}}
-	if _, err := diffusion.ExtendCollection(ctx, g, model, col, theta, seed, workers, nil); err != nil {
+	if _, err := diffusion.ExtendCollectionConfig(ctx, g, model, r.cfg, col, theta, seed, workers, nil); err != nil {
 		return nil, err
 	}
 	r.sampled = theta

@@ -27,10 +27,19 @@
 // answering exactly as a cold server on the mutated graph would while
 // resampling a fraction of the sets.
 //
-// Endpoints: POST /v1/maximize, POST /v1/spread, POST /v1/update,
-// GET /v1/stats, GET /v1/datasets, GET /healthz. Every request runs under
-// a configurable timeout whose context threads into the sampling loops
-// via tim.MaximizeContext, so a slow query cannot wedge a worker forever.
+// Maximize-shaped queries also accept constraints (internal/query):
+// targeted audience weights, seeding costs under a budget, forced or
+// excluded seeds, and a max-hops diffusion deadline. Audience and horizon
+// constraints key their own RR collections (by compiled profile hash);
+// selection-only constraints share the unconstrained ones. POST
+// /v1/query/batch answers up to MaxBatchQueries maximize queries in one
+// round-trip, and /v1/stats reports per-dataset query-subsystem counters.
+//
+// Endpoints: POST /v1/maximize, POST /v1/query/batch, POST /v1/spread,
+// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /healthz. Every
+// request runs under a configurable timeout whose context threads into
+// the sampling loops via tim.MaximizeContext, so a slow query cannot
+// wedge a worker forever.
 package server
 
 import (
@@ -108,6 +117,57 @@ type Server struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+
+	// queryMu guards the per-dataset constrained-query counters (kept
+	// separate from mu so stats snapshots never wait on request paths).
+	queryMu    sync.Mutex
+	queryStats map[string]*datasetQueryStats
+}
+
+// datasetQueryStats are the per-dataset query-subsystem counters of
+// /v1/stats, following the repair-counter pattern: cheap monotone
+// counters that let operators see which datasets run constrained
+// workloads without sampling traffic.
+type datasetQueryStats struct {
+	// ConstrainedQueries counts /v1/maximize-style queries that carried
+	// any constraint field (including batch items).
+	ConstrainedQueries int64 `json:"constrained_queries"`
+	// WeightedCollections counts weighted (audience-profile) RR
+	// collections created in the reuse layer for this dataset.
+	WeightedCollections int64 `json:"weighted_collections"`
+	// BatchQueries counts queries that arrived via POST /v1/query/batch.
+	BatchQueries int64 `json:"batch_queries"`
+	// ConstraintRejections counts queries rejected for invalid
+	// constraints (4xx), before any sampling ran.
+	ConstraintRejections int64 `json:"constraint_rejections"`
+}
+
+// bumpQuery applies f to the named dataset's query counters. Unknown
+// dataset names still count: a rejected query may fail before the
+// registry resolves, and operators want to see those too.
+func (s *Server) bumpQuery(dataset string, f func(*datasetQueryStats)) {
+	if dataset == "" {
+		dataset = "(none)"
+	}
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	q := s.queryStats[dataset]
+	if q == nil {
+		q = &datasetQueryStats{}
+		s.queryStats[dataset] = q
+	}
+	f(q)
+}
+
+// querySubsystemStats snapshots the per-dataset counters.
+func (s *Server) querySubsystemStats() map[string]datasetQueryStats {
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	out := make(map[string]datasetQueryStats, len(s.queryStats))
+	for name, q := range s.queryStats {
+		out[name] = *q
+	}
+	return out
 }
 
 // endpointStats are the per-endpoint counters of /v1/stats.
@@ -139,9 +199,12 @@ func New(cfg Config) (*Server, error) {
 			"maximize": {},
 			"spread":   {},
 			"update":   {},
+			"batch":    {},
 		},
+		queryStats: map[string]*datasetQueryStats{},
 	}
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
+	s.mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)

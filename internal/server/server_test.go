@@ -81,12 +81,13 @@ func getJSON(t testing.TB, url string, out any) int {
 
 // statsSnapshot mirrors the /v1/stats body.
 type statsSnapshot struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	StartedAt     string                   `json:"started_at"`
-	Endpoints     map[string]endpointStats `json:"endpoints"`
-	ResultCache   cacheStats               `json:"result_cache"`
-	RRCache       rrStoreStats             `json:"rr_cache"`
-	Datasets      []datasetInfo            `json:"datasets"`
+	UptimeSeconds  float64                      `json:"uptime_seconds"`
+	StartedAt      string                       `json:"started_at"`
+	Endpoints      map[string]endpointStats     `json:"endpoints"`
+	ResultCache    cacheStats                   `json:"result_cache"`
+	RRCache        rrStoreStats                 `json:"rr_cache"`
+	Datasets       []datasetInfo                `json:"datasets"`
+	QuerySubsystem map[string]datasetQueryStats `json:"query_subsystem"`
 }
 
 // TestMaximizeSpreadStatsRoundTrip is the acceptance-criteria test: the

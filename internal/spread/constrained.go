@@ -1,0 +1,80 @@
+package spread
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// EstimateConstrained returns the Monte-Carlo mean and standard error of
+// the constrained spread of a seed set: each cascade runs for at most
+// maxHops propagation rounds (0 = unlimited), and each activated node v
+// contributes weights[v] instead of 1 (nil weights = unit). With nil
+// weights and maxHops 0 it measures exactly what EstimateWithStderr does
+// (through the slower activation-set path). It is the ground truth the
+// constrained-query subsystem (internal/query) is validated against:
+// tim's weighted RR estimator must land inside this estimate's CI.
+//
+// Nodes with ids beyond len(weights) contribute 0 — mirroring the
+// query-layer convention that a weight profile pins the audience even if
+// the graph has since grown.
+func EstimateConstrained(g *graph.Graph, model diffusion.Model, seeds []uint32, weights []float64, maxHops int, opts Options) (mean, stderr float64) {
+	if len(seeds) == 0 || g.N() == 0 {
+		return 0, 0
+	}
+	opts.normalize()
+	mass := func(active []uint32) float64 {
+		if weights == nil {
+			return float64(len(active))
+		}
+		var m float64
+		for _, v := range active {
+			if int(v) < len(weights) {
+				m += weights[v]
+			}
+		}
+		return m
+	}
+	type partial struct {
+		sum   float64
+		sumSq float64
+	}
+	partials := make([]partial, opts.Workers)
+	base := rng.New(opts.Seed)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		count := opts.Samples / opts.Workers
+		if w < opts.Samples%opts.Workers {
+			count++
+		}
+		r := base.Split(uint64(w))
+		wg.Add(1)
+		go func(w, count int, r *rng.Rand) {
+			defer wg.Done()
+			sim := diffusion.NewSimulator(g, model)
+			var sum, sumSq float64
+			for i := 0; i < count; i++ {
+				x := mass(sim.RunActivatedHorizon(r, seeds, maxHops))
+				sum += x
+				sumSq += x * x
+			}
+			partials[w] = partial{sum, sumSq}
+		}(w, count, r)
+	}
+	wg.Wait()
+	var sum, sumSq float64
+	for _, p := range partials {
+		sum += p.sum
+		sumSq += p.sumSq
+	}
+	nf := float64(opts.Samples)
+	mean = sum / nf
+	variance := sumSq/nf - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance / nf)
+}

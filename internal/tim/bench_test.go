@@ -50,7 +50,7 @@ func BenchmarkKptEstimation(b *testing.B) {
 	g := benchGraph(b, diffusion.IC)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = estimateKPT(context.Background(), g, diffusion.NewIC(), 50, 1, 0, newSeedSequence(uint64(i)))
+		_ = estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 50, 1, 0, newSeedSequence(uint64(i)))
 	}
 }
 

@@ -27,7 +27,15 @@ type kptEstimate struct {
 // the average exceeds 2^−i, returning KPT* = n·avg/2. If no iteration
 // triggers, KPT* = 1 — the smallest possible value, since a seed always
 // activates itself (§3.2).
-func estimateKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, k int, ell float64, workers int, seeds *seedSequence) kptEstimate {
+//
+// For constrained scenarios the RR sets are drawn under cfg (weighted
+// roots, bounded horizon) and the n in KPT* = n·avg/2 becomes the
+// audience mass W — the natural generalization: avg estimates the
+// expected κ of a weight-drawn root, so W·avg/2 plays the role n·avg/2
+// does for uniform roots (DESIGN.md §9.2 discusses how exact the bound
+// stays). For the default scenario mass == float64(n) and the arithmetic
+// is bit-identical to the unconstrained estimator.
+func estimateKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, cfg diffusion.SampleConfig, mass float64, k int, ell float64, workers int, seeds *seedSequence) kptEstimate {
 	n := g.N()
 	m := g.M()
 	iterations := stats.KptIterations(n)
@@ -41,21 +49,26 @@ func estimateKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, k i
 			Workers: workers,
 			Seed:    seeds.next(),
 			Ctx:     ctx,
+			Config:  cfg,
 		})
 		last = col
 		sum := KappaSum(g, col, k, m)
 		avg := sum / float64(ci)
 		if avg > math.Pow(2, -float64(i)) {
 			return kptEstimate{
-				kptStar:    float64(n) * sum / (2 * float64(ci)),
+				kptStar:    mass * sum / (2 * float64(ci)),
 				iterations: i,
 				lastBatch:  col,
 				ept:        eptOf(col),
 			}
 		}
 	}
+	// No iteration triggered: fall back to the smallest possible value —
+	// a seed always activates itself (§3.2), worth one node's audience:
+	// exactly 1 for uniform profiles, mass/n (≤ the best single node's
+	// weight, since max ≥ mean) for weighted ones.
 	return kptEstimate{
-		kptStar:    1,
+		kptStar:    mass / float64(n),
 		iterations: iterations,
 		lastBatch:  last,
 		ept:        eptOf(last),

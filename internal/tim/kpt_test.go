@@ -8,6 +8,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/maxcover"
 	"repro/internal/rng"
 	"repro/internal/spread"
 	"repro/internal/stats"
@@ -51,7 +52,7 @@ func TestEstimateKPTIsLowerBoundOfOPT(t *testing.T) {
 	g := gen.ChungLuDirected(1000, 6000, 2.4, 2.1, rng.New(5))
 	graph.AssignWeightedCascade(g)
 	const k = 5
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), k, 1, 1, newSeedSequence(6))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), k, 1, 1, newSeedSequence(6))
 	if est.kptStar < 1 {
 		t.Fatalf("KPT*=%v below the minimum 1", est.kptStar)
 	}
@@ -76,7 +77,7 @@ func TestEstimateKPTIsLowerBoundOfOPT(t *testing.T) {
 func TestEstimateKPTTracksNmEPT(t *testing.T) {
 	g := gen.ChungLuDirected(2000, 12000, 2.4, 2.1, rng.New(9))
 	graph.AssignWeightedCascade(g)
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 10, 1, 1, newSeedSequence(10))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 10, 1, 1, newSeedSequence(10))
 	nmEPT := float64(g.N()) / float64(g.M()) * est.ept
 	// Theorem 2: KPT* >= KPT/4 >= (n/m)EPT/4 with high probability.
 	if est.kptStar < nmEPT/4*0.5 { // extra 2x slack for sampling noise
@@ -89,7 +90,7 @@ func TestEstimateKPTTracksNmEPT(t *testing.T) {
 func TestEstimateKPTLastBatchUsable(t *testing.T) {
 	g := gen.ChungLuDirected(500, 3000, 2.4, 2.1, rng.New(11))
 	graph.AssignWeightedCascade(g)
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 5, 1, 1, newSeedSequence(12))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 5, 1, 1, newSeedSequence(12))
 	if est.lastBatch == nil || est.lastBatch.Count() == 0 {
 		t.Fatal("no last batch returned")
 	}
@@ -104,7 +105,7 @@ func TestEstimateKPTLastBatchUsable(t *testing.T) {
 // iterations and return the floor value 1.
 func TestEstimateKPTEdgeless(t *testing.T) {
 	g := graph.MustFromEdges(64, nil)
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 3, 1, 1, newSeedSequence(13))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 3, 1, 1, newSeedSequence(13))
 	if est.kptStar != 1 {
 		t.Fatalf("KPT*=%v on an edgeless graph, want 1", est.kptStar)
 	}
@@ -119,7 +120,7 @@ func TestEstimateKPTEdgeless(t *testing.T) {
 // least reflects a spread above 1.
 func TestEstimateKPTStarOnStar(t *testing.T) {
 	g := gen.Star(256, 1)
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 1, 1, 1, newSeedSequence(14))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 1, 1, 1, newSeedSequence(14))
 	// Every RR set rooted at a leaf is {leaf, hub} with width 1;
 	// κ(R) = w/m = 1/255 per leaf-rooted set. KPT = n·E[κ] ≈ 256/255 ≈ 1.
 	if est.kptStar < 0.4 || est.kptStar > 4 {
@@ -134,8 +135,8 @@ func TestRefineKPTImproves(t *testing.T) {
 	graph.AssignWeightedCascade(g)
 	model := diffusion.NewIC()
 	seeds := newSeedSequence(16)
-	est := estimateKPT(context.Background(), g, model, 20, 1, 1, seeds)
-	kptPlus := refineKPT(context.Background(), g, model, est.lastBatch, 20, est.kptStar, 0.3, 1, 1, seeds)
+	est := estimateKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), 20, 1, 1, seeds)
+	kptPlus := refineKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), maxcover.Constraints{K: 20}, est.lastBatch, est.kptStar, 0.3, 1, 1, seeds)
 	if kptPlus < est.kptStar {
 		t.Fatalf("KPT+ %v < KPT* %v", kptPlus, est.kptStar)
 	}
@@ -151,8 +152,8 @@ func TestRefineKPTIsLowerBound(t *testing.T) {
 	model := diffusion.NewIC()
 	const k = 10
 	seeds := newSeedSequence(18)
-	est := estimateKPT(context.Background(), g, model, k, 1, 1, seeds)
-	kptPlus := refineKPT(context.Background(), g, model, est.lastBatch, k, est.kptStar, 0.3, 1, 1, seeds)
+	est := estimateKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), k, 1, 1, seeds)
+	kptPlus := refineKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), maxcover.Constraints{K: k}, est.lastBatch, est.kptStar, 0.3, 1, 1, seeds)
 	res, err := Maximize(g, model, Options{K: k, Epsilon: 0.2, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
@@ -169,11 +170,11 @@ func TestRefineKPTIsLowerBound(t *testing.T) {
 func TestRefineKPTDegenerateInputs(t *testing.T) {
 	g := gen.Path(10, 0.5)
 	model := diffusion.NewIC()
-	if got := refineKPT(context.Background(), g, model, nil, 2, 5, 0.3, 1, 1, newSeedSequence(1)); got != 5 {
+	if got := refineKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), maxcover.Constraints{K: 2}, nil, 5, 0.3, 1, 1, newSeedSequence(1)); got != 5 {
 		t.Fatalf("nil batch: got %v, want passthrough 5", got)
 	}
 	col := diffusion.SampleCollection(g, model, 10, diffusion.SampleOptions{Workers: 1, Seed: 2})
-	if got := refineKPT(context.Background(), g, model, col, 2, 0, 0.3, 1, 1, newSeedSequence(3)); got != 0 {
+	if got := refineKPT(context.Background(), g, model, diffusion.SampleConfig{}, float64(g.N()), maxcover.Constraints{K: 2}, col, 0, 0.3, 1, 1, newSeedSequence(3)); got != 0 {
 		t.Fatalf("zero KPT*: got %v, want passthrough 0", got)
 	}
 }
@@ -196,7 +197,7 @@ func TestSeedSequenceDeterministic(t *testing.T) {
 // with edges.
 func TestEptEstimatePositive(t *testing.T) {
 	g := gen.Cycle(50, 0.5)
-	est := estimateKPT(context.Background(), g, diffusion.NewIC(), 2, 1, 1, newSeedSequence(21))
+	est := estimateKPT(context.Background(), g, diffusion.NewIC(), diffusion.SampleConfig{}, float64(g.N()), 2, 1, 1, newSeedSequence(21))
 	if est.ept <= 0 {
 		t.Fatalf("EPT estimate %v", est.ept)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/diffusion"
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/stats"
 )
 
@@ -94,14 +95,42 @@ type Options struct {
 	// always sample fresh: they are cheap, k-dependent, and feed only the
 	// choice of θ.
 	Source CollectionSource
+	// Query, when non-nil, constrains the scenario: targeted audience
+	// weights, per-node seeding costs under a budget, forced or excluded
+	// seeds, and a diffusion deadline (internal/query). A nil or zero
+	// spec is the paper's default query and changes nothing — answers
+	// are bit-identical to a run without it. Constrained runs do not
+	// support SpillDir (the out-of-core path has no constraint hooks).
+	//
+	// With a Query, K counts the *new* seeds beyond Query.Force: the
+	// returned seed set is Force followed by up to K greedy picks, and
+	// Result.SpreadEstimate estimates the weighted, deadline-bounded
+	// audience mass activated by all of them together.
+	Query *query.Spec
+	// CompiledQuery optionally supplies Query already lowered against
+	// this graph's node count (query.Spec.Compile). Services that need
+	// the compiled form anyway — internal/server keys its RR-collection
+	// cache on Compiled.Hash — set it to spare a second O(n)
+	// compilation per request; everyone else leaves it nil and lets
+	// validate compile Query. When set it takes precedence over Query
+	// and must match the graph's node count.
+	CompiledQuery *query.Compiled
+
+	// compiled is the active lowered query; set by validate.
+	compiled *query.Compiled
 }
 
 // CollectionSource supplies node-selection RR collections for Maximize.
 // Implementations must return a collection of at least theta independent
-// uniformly-rooted RR sets for (g, model); returning more than theta is
-// permitted — extra i.i.d. sets only tighten the coverage estimate — and
-// Result.Theta reports the count actually used. The returned collection
-// must not be mutated afterwards while the Result is in use.
+// RR sets for (g, model), drawn under the same sampling scenario as the
+// query — uniform roots and unlimited horizon by default; when the
+// Maximize call carries a Query with audience weights or MaxHops, the
+// source must sample under the equivalent diffusion.SampleConfig (the
+// server arranges this by keying its cached collections on the compiled
+// profile hash). Returning more than theta is permitted — extra i.i.d.
+// sets only tighten the coverage estimate — and Result.Theta reports the
+// count actually used. The returned collection must not be mutated
+// afterwards while the Result is in use.
 //
 // Snapshot contract: the g passed to NodeSelectionSets is the same graph
 // the whole Maximize call runs against — parameter estimation,
@@ -157,7 +186,48 @@ func (o *Options) validate(n int) error {
 	if o.EpsPrime <= 0 {
 		return fmt.Errorf("%w: EpsPrime=%v must be positive", ErrBadOptions, o.EpsPrime)
 	}
+	switch {
+	case o.CompiledQuery != nil:
+		if o.SpillDir != "" {
+			return fmt.Errorf("%w: SpillDir does not support constrained queries", ErrBadOptions)
+		}
+		if o.CompiledQuery.N != n {
+			return fmt.Errorf("%w: CompiledQuery lowered for %d nodes, graph has %d",
+				ErrBadOptions, o.CompiledQuery.N, n)
+		}
+		o.compiled = o.CompiledQuery
+	case o.Query != nil && !o.Query.Zero():
+		if o.SpillDir != "" {
+			return fmt.Errorf("%w: SpillDir does not support constrained queries", ErrBadOptions)
+		}
+		c, err := o.Query.Compile(n)
+		if err != nil {
+			// Keep both sentinels reachable: ErrBadOptions for callers
+			// that map every option failure alike, query.ErrBadSpec for
+			// those that count constraint rejections separately.
+			return fmt.Errorf("%w: %w", ErrBadOptions, err)
+		}
+		o.compiled = c
+	}
 	return nil
+}
+
+// sampleConfig returns the compiled sampling scenario (zero by default).
+func (o *Options) sampleConfig() diffusion.SampleConfig {
+	if o.compiled == nil {
+		return diffusion.SampleConfig{}
+	}
+	return o.compiled.Sample
+}
+
+// mass returns the audience mass W the estimator scales by: Σ audience
+// weights, or exactly float64(n) for uniform audiences — which keeps the
+// unconstrained estimator arithmetic bit-identical.
+func (o *Options) mass(n int) float64 {
+	if o.compiled == nil {
+		return float64(n)
+	}
+	return o.compiled.Mass
 }
 
 // effectiveEll returns ℓ after the §3.3/§4.1 success-probability

@@ -1,0 +1,207 @@
+package tim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+func queryTestGraph(seed uint64) *graph.Graph {
+	g := gen.ChungLuDirected(400, 2400, 2.4, 2.1, rng.New(seed))
+	graph.AssignWeightedCascade(g)
+	return g
+}
+
+// TestQueryUniformBitIdentical is the acceptance criterion that the
+// constrained-query plumbing is invisible when unused: a nil Query, a zero
+// Query, and an explicitly uniform weight profile must reproduce the
+// spec-free answer bit for bit (identical seeds, θ, KPT bounds, and
+// estimates).
+func TestQueryUniformBitIdentical(t *testing.T) {
+	g := queryTestGraph(31)
+	model := diffusion.NewIC()
+	base, err := Maximize(g, model, Options{K: 8, Epsilon: 0.3, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([]float64, g.N())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	for name, spec := range map[string]*query.Spec{
+		"nil spec":        nil,
+		"zero spec":       {},
+		"uniform weights": {Weights: uniform},
+	} {
+		res, err := Maximize(g, model, Options{K: 8, Epsilon: 0.3, Seed: 7, Workers: 2, Query: spec})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(res.Seeds, base.Seeds) {
+			t.Fatalf("%s: seeds %v != base %v", name, res.Seeds, base.Seeds)
+		}
+		if res.Theta != base.Theta || res.KptStar != base.KptStar || res.KptPlus != base.KptPlus {
+			t.Fatalf("%s: θ/KPT diverged: (%d %v %v) vs (%d %v %v)",
+				name, res.Theta, res.KptStar, res.KptPlus, base.Theta, base.KptStar, base.KptPlus)
+		}
+		if res.SpreadEstimate != base.SpreadEstimate || res.CoverageFraction != base.CoverageFraction {
+			t.Fatalf("%s: estimates diverged: %v vs %v", name, res.SpreadEstimate, base.SpreadEstimate)
+		}
+	}
+}
+
+// TestQueryWeightedEstimateMatchesMonteCarlo: the weighted-root estimator
+// W·F_R(S) must land within the Monte-Carlo CI of the true weighted spread
+// Σ_{v} w(v)·Pr[S activates v] — the Borgs-style substitution argument
+// made executable.
+func TestQueryWeightedEstimateMatchesMonteCarlo(t *testing.T) {
+	g := queryTestGraph(32)
+	model := diffusion.NewIC()
+	weights := make([]float64, g.N())
+	r := rng.New(9)
+	for i := range weights {
+		// A lumpy audience: most nodes worth little, a tenth worth a lot.
+		weights[i] = 0.2 + r.Float64()
+		if r.Intn(10) == 0 {
+			weights[i] = 5 + 5*r.Float64()
+		}
+	}
+	res, err := Maximize(g, model, Options{
+		K: 6, Epsilon: 0.15, Seed: 11, Workers: 2,
+		Query: &query.Spec{Weights: weights},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, stderr := spread.EstimateConstrained(g, model, res.Seeds, weights, 0,
+		spread.Options{Samples: 30000, Seed: 13})
+	slack := 4*stderr + 0.05*mc // CI plus the ε-approximation slack of F_R
+	if math.Abs(res.SpreadEstimate-mc) > slack {
+		t.Fatalf("weighted estimate %.2f vs Monte-Carlo %.2f ± %.2f (slack %.2f)",
+			res.SpreadEstimate, mc, stderr, slack)
+	}
+}
+
+// TestQueryMaxHopsEstimateMatchesMonteCarlo: deadline-bounded estimates
+// must match a horizon-capped forward simulation.
+func TestQueryMaxHopsEstimateMatchesMonteCarlo(t *testing.T) {
+	g := queryTestGraph(33)
+	model := diffusion.NewIC()
+	const hops = 2
+	res, err := Maximize(g, model, Options{
+		K: 6, Epsilon: 0.15, Seed: 17, Workers: 2,
+		Query: &query.Spec{MaxHops: hops},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, stderr := spread.EstimateConstrained(g, model, res.Seeds, nil, hops,
+		spread.Options{Samples: 30000, Seed: 19})
+	slack := 4*stderr + 0.05*mc
+	if math.Abs(res.SpreadEstimate-mc) > slack {
+		t.Fatalf("deadline estimate %.2f vs Monte-Carlo %.2f ± %.2f", res.SpreadEstimate, mc, stderr)
+	}
+	// The horizon must bind: unbounded influence of the same seeds is
+	// strictly larger on this graph.
+	full := spread.Estimate(g, model, res.Seeds, spread.Options{Samples: 10000, Seed: 23})
+	if mc >= full {
+		t.Fatalf("horizon did not bind: capped %.2f >= unbounded %.2f", mc, full)
+	}
+}
+
+func TestQueryForceAndExclude(t *testing.T) {
+	g := queryTestGraph(34)
+	model := diffusion.NewIC()
+	base, err := Maximize(g, model, Options{K: 5, Epsilon: 0.3, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the unconstrained picks entirely; force two other nodes.
+	force := []uint32{0, 1}
+	res, err := Maximize(g, model, Options{
+		K: 5, Epsilon: 0.3, Seed: 29,
+		Query: &query.Spec{Force: force, Exclude: base.Seeds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForcedSeeds != 2 || res.Seeds[0] != 0 || res.Seeds[1] != 1 {
+		t.Fatalf("forced prefix wrong: %v (forced=%d)", res.Seeds, res.ForcedSeeds)
+	}
+	if len(res.Seeds) != 7 {
+		t.Fatalf("want 2 forced + 5 picks, got %v", res.Seeds)
+	}
+	banned := map[uint32]bool{}
+	for _, v := range base.Seeds {
+		banned[v] = true
+	}
+	for _, v := range res.Seeds[2:] {
+		if banned[v] {
+			t.Fatalf("excluded node %d picked: %v", v, res.Seeds)
+		}
+	}
+}
+
+func TestQueryBudget(t *testing.T) {
+	g := queryTestGraph(35)
+	model := diffusion.NewIC()
+	costs := make([]float64, g.N())
+	r := rng.New(41)
+	for i := range costs {
+		costs[i] = 1 + 3*r.Float64()
+	}
+	const budget = 6.0
+	res, err := Maximize(g, model, Options{
+		K: 10, Epsilon: 0.3, Seed: 43,
+		Query: &query.Spec{Budget: budget, Costs: costs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spend float64
+	for _, v := range res.Seeds {
+		spend += costs[v]
+	}
+	if spend > budget+1e-9 {
+		t.Fatalf("spend %.3f over budget %v: %v", spend, budget, res.Seeds)
+	}
+	if math.Abs(res.SeedCost-spend) > 1e-9 {
+		t.Fatalf("SeedCost %.3f != spend %.3f", res.SeedCost, spend)
+	}
+	if len(res.Seeds) == 0 {
+		t.Fatal("budget query selected nothing")
+	}
+}
+
+func TestQueryBadSpecs(t *testing.T) {
+	g := gen.Path(10, 0.5)
+	model := diffusion.NewIC()
+	for name, spec := range map[string]*query.Spec{
+		"weights length": {Weights: []float64{1}},
+		"all excluded":   {Exclude: []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		"neg hops":       {MaxHops: -2},
+	} {
+		_, err := Maximize(g, model, Options{K: 2, Query: spec})
+		if err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+	}
+}
+
+// TestQuerySpillDirRejected: the out-of-core path has no constraint hooks.
+func TestQuerySpillDirRejected(t *testing.T) {
+	g := gen.Path(10, 0.5)
+	_, err := Maximize(g, diffusion.NewIC(), Options{
+		K: 2, SpillDir: t.TempDir(), Query: &query.Spec{MaxHops: 1},
+	})
+	if err == nil {
+		t.Fatal("SpillDir + Query accepted")
+	}
+}

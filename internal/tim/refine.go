@@ -16,15 +16,25 @@ import (
 // sets as f·n (Corollary 1), deflates by (1 + ε′) so that
 // KPT′ ≤ E[I(S′_k)] ≤ OPT with probability 1 − n^−ℓ, and returns
 // KPT⁺ = max(KPT′, KPT*).
-func refineKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, lastBatch *diffusion.RRCollection,
-	k int, kptStar, epsPrime, ell float64, workers int, seeds *seedSequence) float64 {
+//
+// Constrained scenarios substitute structurally: the candidate is chosen
+// by the *constrained* greedy (so S′ is feasible and its weighted spread
+// lower-bounds the constrained optimum), fresh sets are drawn under cfg,
+// and f scales by the audience mass instead of n.
+func refineKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, cfg diffusion.SampleConfig,
+	mass float64, cover maxcover.Constraints, lastBatch *diffusion.RRCollection,
+	kptStar, epsPrime, ell float64, workers int, seeds *seedSequence) float64 {
 
 	n := g.N()
 	if lastBatch == nil || kptStar <= 0 || ctx.Err() != nil {
 		return kptStar
 	}
-	cover := maxcover.Greedy(n, lastBatch, k)
-	lambdaPrime := stats.LambdaPrime(n, ell, epsPrime)
+	candidate := maxcover.GreedyConstrained(n, lastBatch, cover)
+	// λ′ scales by mass/n for the same reason λ does (DESIGN.md §9.1):
+	// kptStar is in audience-mass units, so θ′ = λ′/KPT* only keeps its
+	// meaning — enough fresh sets for an (1+ε′)-accurate f — if λ′ moves
+	// to the same scale. Exactly 1.0 for uniform audiences.
+	lambdaPrime := stats.LambdaPrime(n, ell, epsPrime) * (mass / float64(n))
 	thetaPrime := int64(math.Ceil(lambdaPrime / kptStar))
 	if thetaPrime < 1 {
 		thetaPrime = 1
@@ -33,13 +43,14 @@ func refineKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, lastB
 		Workers: workers,
 		Seed:    seeds.next(),
 		Ctx:     ctx,
+		Config:  cfg,
 	})
 	if ctx.Err() != nil {
 		return kptStar
 	}
-	covered := maxcover.CountCovered(n, fresh, cover.Seeds)
+	covered := maxcover.CountCovered(n, fresh, candidate.Seeds)
 	f := float64(covered) / float64(thetaPrime)
-	kptPrime := f * float64(n) / (1 + epsPrime)
+	kptPrime := f * mass / (1 + epsPrime)
 	if kptPrime > kptStar {
 		return kptPrime
 	}

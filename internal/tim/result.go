@@ -21,7 +21,9 @@ type Timings struct {
 // timings (Figure 4), and memory held by the RR-set collection
 // (Figure 12).
 type Result struct {
-	// Seeds is the selected seed set, in greedy pick order (|Seeds| = K).
+	// Seeds is the selected seed set, in greedy pick order (|Seeds| = K
+	// for unconstrained runs; constrained runs prepend Query.Force and
+	// may return fewer picks when a budget or exclusions bind).
 	Seeds []uint32
 
 	// KptStar is Algorithm 2's lower bound KPT* of OPT.
@@ -42,9 +44,19 @@ type Result struct {
 	// CoverageFraction is F_R(Seeds): the fraction of the θ RR sets
 	// covered by the selected seeds.
 	CoverageFraction float64
-	// SpreadEstimate is n·F_R(Seeds), the unbiased estimate of
-	// E[I(Seeds)] (Corollary 1).
+	// SpreadEstimate is Mass·F_R(Seeds), the unbiased estimate of
+	// E[I(Seeds)] (Corollary 1) — for constrained queries, of the
+	// weighted, deadline-bounded audience mass the seeds activate.
 	SpreadEstimate float64
+	// Mass is the audience scale of SpreadEstimate: the total audience
+	// weight W for targeted queries, float64(n) otherwise.
+	Mass float64
+	// ForcedSeeds counts the Query.Force warm-start seeds at the front of
+	// Seeds (zero without a constrained query).
+	ForcedSeeds int
+	// SeedCost is the budget consumed by the non-forced picks under
+	// Query.Costs (budgeted queries only; zero otherwise).
+	SeedCost float64
 
 	// RRTotalNodes and RRTotalWidth are Σ|R| and Σw(R) over the node
 	// selection collection.

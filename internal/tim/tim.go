@@ -55,9 +55,23 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	res := &Result{}
 	start := time.Now()
 
+	// Constrained-query lowering: the sampling scenario (root weights,
+	// horizon), the audience mass the estimator scales by, and the
+	// node-selection constraints. All are no-ops for a nil/zero Query —
+	// mass == float64(n) exactly, so every formula below is bit-identical
+	// to the unconstrained run.
+	cfg := opts.sampleConfig()
+	mass := opts.mass(n)
+	cover := maxcover.Constraints{K: opts.K}
+	if opts.compiled != nil {
+		cover = opts.compiled.Cover
+		cover.K = opts.K
+	}
+	res.Mass = mass
+
 	// Phase 1: parameter estimation (Algorithm 2).
 	t0 := time.Now()
-	est := estimateKPT(ctx, g, model, opts.K, ell, opts.Workers, seeds)
+	est := estimateKPT(ctx, g, model, cfg, mass, opts.K, ell, opts.Workers, seeds)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -70,7 +84,7 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	// Intermediate step: refinement (Algorithm 3, TIM+ only).
 	if opts.Variant == TIMPlus {
 		t1 := time.Now()
-		res.KptPlus = refineKPT(ctx, g, model, est.lastBatch, opts.K,
+		res.KptPlus = refineKPT(ctx, g, model, cfg, mass, cover, est.lastBatch,
 			est.kptStar, opts.EpsPrime, ell, opts.Workers, seeds)
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -78,12 +92,19 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 		res.Timings.Refinement = time.Since(t1)
 	}
 
-	// Phase 2: node selection (Algorithm 1) with θ = λ/KPT.
+	// Phase 2: node selection (Algorithm 1) with θ = λ/KPT. λ scales by
+	// mass/n: Equation 4's leading n is the estimator scale W·F_R(S),
+	// which for a weighted audience is the mass (for uniform audiences
+	// the factor is exactly 1.0 and the product is unchanged).
 	t2 := time.Now()
-	lambda := stats.Lambda(n, opts.K, opts.Epsilon, ell)
+	lambda := stats.Lambda(n, opts.K, opts.Epsilon, ell) * (mass / float64(n))
 	kpt := res.KptPlus
-	if kpt < 1 {
-		kpt = 1
+	// The floor "a seed always activates itself" is one node's worth of
+	// audience: 1 in the uniform case (exactly, preserving bit-identity),
+	// mass/n — a lower bound on the best single node's weight via
+	// max ≥ mean — in the weighted case.
+	if floor := mass / float64(n); kpt < floor {
+		kpt = floor
 	}
 	theta := int64(math.Ceil(lambda / kpt))
 	if theta < 1 {
@@ -127,18 +148,21 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 			Workers: opts.Workers,
 			Seed:    seeds.next(),
 			Ctx:     ctx,
+			Config:  cfg,
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	cover := maxcover.Greedy(n, col, opts.K)
+	sel := maxcover.GreedyConstrained(n, col, cover)
 	res.Timings.NodeSelection = time.Since(t2)
 
-	res.Seeds = cover.Seeds
+	res.Seeds = sel.Seeds
+	res.ForcedSeeds = sel.Forced
+	res.SeedCost = sel.Cost
 	res.Theta = theta
-	res.CoverageFraction = float64(cover.Covered) / float64(theta)
-	res.SpreadEstimate = res.CoverageFraction * float64(n)
+	res.CoverageFraction = float64(sel.Covered) / float64(theta)
+	res.SpreadEstimate = res.CoverageFraction * mass
 	res.RRTotalNodes = col.TotalNodes()
 	res.RRTotalWidth = col.TotalWidth
 	res.MemoryBytes = col.MemoryBytes()

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/diffusion"
+	"repro/internal/query"
 	"repro/internal/rng"
 	"repro/internal/spread"
 	"repro/internal/tim"
@@ -109,4 +110,24 @@ func EstimateSpread(g *Graph, model Model, seeds []uint32, opts SpreadOptions) f
 // estimate.
 func EstimateSpreadStderr(g *Graph, model Model, seeds []uint32, opts SpreadOptions) (mean, stderr float64) {
 	return spread.EstimateWithStderr(g, model, seeds, opts)
+}
+
+// QuerySpec constrains a Maximize run (set it as Options.Query): targeted
+// audience weights, per-node seeding costs under a budget, forced or
+// excluded seeds, and a MaxHops diffusion deadline. The zero spec is the
+// unconstrained query. See internal/query for field semantics and
+// DESIGN.md §9 for the estimator derivations.
+type QuerySpec = query.Spec
+
+// ErrBadQuerySpec is returned (wrapped in ErrBadOptions) for invalid
+// constraint specs.
+var ErrBadQuerySpec = query.ErrBadSpec
+
+// EstimateSpreadConstrained is the Monte-Carlo ground truth for
+// constrained queries: each cascade is cut off after maxHops rounds
+// (0 = unlimited) and each activated node contributes weights[v] (nil =
+// unit). With nil weights and maxHops 0 it measures what EstimateSpread
+// does.
+func EstimateSpreadConstrained(g *Graph, model Model, seeds []uint32, weights []float64, maxHops int, opts SpreadOptions) (mean, stderr float64) {
+	return spread.EstimateConstrained(g, model, seeds, weights, maxHops, opts)
 }
