@@ -1,0 +1,434 @@
+// Command timbench is the reproducible performance baseline for the
+// query pipeline. It times the two halves of a large-θ query — RR-set
+// sampling and node selection (inverted-index build + greedy cover +
+// coverage counting) — at Workers=1 and at full parallelism, tracks peak
+// RR memory during sampling (zero-copy arena vs the pre-PR merge-based
+// layout), verifies that every run is bit-identical, and writes the
+// results as machine-readable BENCH.json so CI can archive a perf
+// trajectory instead of anecdotes.
+//
+// Example:
+//
+//	timbench -n 20000 -m 160000 -theta 500000 -k 50 -out BENCH.json
+//	timbench -validate BENCH.json
+//
+// The -quick mode shrinks the instance for CI smoke runs; the schema is
+// identical, so -validate passes on both.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/maxcover"
+	"repro/internal/rng"
+)
+
+// BenchFile is the BENCH.json schema, version 1. Durations are
+// nanoseconds; memory is bytes.
+type BenchFile struct {
+	Version     int         `json:"version"`
+	GeneratedBy string      `json:"generated_by"`
+	Config      BenchConfig `json:"config"`
+	// Runs holds one entry per measured worker count; Runs[0] is always
+	// Workers=1, the speedup denominator.
+	Runs []BenchRun `json:"runs"`
+	// Speedup is Runs[0] time / best parallel time, per phase.
+	Speedup BenchSpeedup `json:"speedup"`
+	// Memory contrasts peak heap growth during sampling under the
+	// zero-copy layout against the merge-based baseline layout.
+	Memory BenchMemory `json:"memory"`
+	// BitIdentical records that every run produced identical seeds and
+	// identical RR arenas; timbench exits non-zero otherwise, so a false
+	// here never reaches CI artifacts silently.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// BenchConfig echoes the instance parameters for reproducibility.
+type BenchConfig struct {
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Model   string `json:"model"`
+	Theta   int64  `json:"theta"`
+	K       int    `json:"k"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	Quick   bool   `json:"quick"`
+	Cores   int    `json:"cores"`
+}
+
+// BenchRun is one measured configuration.
+type BenchRun struct {
+	Workers        int   `json:"workers"`
+	SampleNs       int64 `json:"sample_ns"`
+	GreedyNs       int64 `json:"greedy_ns"`
+	CountCoveredNs int64 `json:"count_covered_ns"`
+	SelectNs       int64 `json:"select_ns"`
+	TotalNs        int64 `json:"total_ns"`
+	// PeakRRBytes is the peak heap growth observed while sampling.
+	PeakRRBytes int64 `json:"peak_rr_bytes"`
+	// CollectionBytes is the settled arena size (RRCollection.MemoryBytes).
+	CollectionBytes int64 `json:"collection_bytes"`
+}
+
+// BenchSpeedup is parallel speedup (serial time / parallel time).
+type BenchSpeedup struct {
+	Sample float64 `json:"sample"`
+	Select float64 `json:"select"`
+	Total  float64 `json:"total"`
+}
+
+// BenchMemory is the sampling peak-memory comparison.
+type BenchMemory struct {
+	ZeroCopyPeakBytes      int64   `json:"zero_copy_peak_bytes"`
+	MergeBaselinePeakBytes int64   `json:"merge_baseline_peak_bytes"`
+	Reduction              float64 `json:"reduction"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 20_000, "nodes of the synthetic Chung-Lu graph")
+		m        = flag.Int("m", 160_000, "edges of the synthetic Chung-Lu graph")
+		model    = flag.String("model", "ic", "diffusion model: ic or lt")
+		theta    = flag.Int64("theta", 500_000, "RR sets of the node-selection phase (the large-θ query)")
+		k        = flag.Int("k", 50, "seed-set size of the greedy cover")
+		seed     = flag.Uint64("seed", 1, "seed for graph generation and sampling")
+		workers  = flag.Int("workers", 0, "parallel worker count to compare against Workers=1 (0 = all cores)")
+		quick    = flag.Bool("quick", false, "shrink the instance for CI smoke runs (schema unchanged)")
+		out      = flag.String("out", "BENCH.json", "output path")
+		validate = flag.String("validate", "", "validate an existing BENCH.json against the schema and exit")
+	)
+	flag.Parse()
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "timbench: invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timbench: %s is schema-valid\n", *validate)
+		return
+	}
+	if err := run(*n, *m, *model, *theta, *k, *seed, *workers, *quick, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "timbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, modelName string, theta int64, k int, seed uint64, workers int, quick bool, out string) error {
+	if quick {
+		n, m, theta, k = 2_000, 12_000, 20_000, 20
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var model diffusion.Model
+	switch modelName {
+	case "ic":
+		model = diffusion.NewIC()
+	case "lt":
+		model = diffusion.NewLT()
+	default:
+		return fmt.Errorf("unknown model %q (want ic or lt)", modelName)
+	}
+	g := gen.ChungLuDirected(n, m, 2.4, 2.1, rng.New(seed))
+	if model.Kind() == diffusion.LT {
+		graph.AssignRandomNormalizedLTKeyed(g, seed+1)
+	} else {
+		graph.AssignWeightedCascade(g)
+	}
+
+	file := BenchFile{
+		Version:     1,
+		GeneratedBy: "timbench",
+		Config: BenchConfig{
+			N: n, M: m, Model: modelName, Theta: theta, K: k,
+			Seed: seed, Workers: workers, Quick: quick,
+			Cores: runtime.GOMAXPROCS(0),
+		},
+		BitIdentical: true,
+	}
+
+	counts := []int{1, workers}
+	if workers == 1 {
+		counts = []int{1}
+	}
+	var refSeeds []uint32
+	var refArena uint64
+	for _, w := range counts {
+		runRes, seeds, arena := benchOnce(g, model, theta, k, seed, w)
+		file.Runs = append(file.Runs, runRes)
+		if refSeeds == nil {
+			refSeeds, refArena = seeds, arena
+			continue
+		}
+		if arena != refArena || !equalSeeds(seeds, refSeeds) {
+			file.BitIdentical = false
+		}
+	}
+	base := file.Runs[0]
+	best := file.Runs[len(file.Runs)-1]
+	file.Speedup = BenchSpeedup{
+		Sample: ratio(base.SampleNs, best.SampleNs),
+		Select: ratio(base.SelectNs, best.SelectNs),
+		Total:  ratio(base.TotalNs, best.TotalNs),
+	}
+
+	// Peak-memory contrast: sample θ sets through the zero-copy path and
+	// through the pre-PR merge layout (per-worker private parts
+	// concatenated into a fresh arena), both at full parallelism. The
+	// baseline draws the same per-index keyed streams, so both runs hold
+	// identical output bytes — the arena hashes are cross-checked below
+	// and the comparison is workload-for-workload.
+	var zeroHash, mergeHash uint64
+	zero := peakDuring(func() {
+		col := diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{Workers: workers, Seed: seed + 99})
+		zeroHash = arenaHash(col)
+	})
+	merge := peakDuring(func() {
+		col := sampleMergeBaseline(g, model, theta, seed+99, workers)
+		mergeHash = arenaHash(col)
+	})
+	if zeroHash != mergeHash {
+		return fmt.Errorf("merge baseline diverged from the zero-copy sampler: the memory comparison would be comparing different workloads")
+	}
+	file.Memory = BenchMemory{
+		ZeroCopyPeakBytes:      zero,
+		MergeBaselinePeakBytes: merge,
+		Reduction:              1 - float64(zero)/float64(merge),
+	}
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("timbench: θ=%d k=%d n=%d: sample ×%.2f, select ×%.2f, total ×%.2f at %d workers; sampling peak %s vs merge baseline %s (-%.0f%%)\n",
+		theta, k, n, file.Speedup.Sample, file.Speedup.Select, file.Speedup.Total, workers,
+		fmtBytes(zero), fmtBytes(merge), 100*file.Memory.Reduction)
+	if !file.BitIdentical {
+		return fmt.Errorf("parallel runs were not bit-identical to Workers=1 (BENCH.json written with bit_identical=false)")
+	}
+	return nil
+}
+
+// benchOnce measures one worker count end to end and returns the seeds
+// and an FNV digest of the RR arena for the bit-identity cross-check.
+func benchOnce(g *graph.Graph, model diffusion.Model, theta int64, k int, seed uint64, workers int) (BenchRun, []uint32, uint64) {
+	res := BenchRun{Workers: workers}
+
+	var col *diffusion.RRCollection
+	res.PeakRRBytes = peakDuring(func() {
+		t0 := time.Now()
+		col = diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{Workers: workers, Seed: seed})
+		res.SampleNs = time.Since(t0).Nanoseconds()
+	})
+	res.CollectionBytes = col.MemoryBytes()
+
+	t1 := time.Now()
+	cover := maxcover.GreedyWorkers(g.N(), col, k, workers)
+	res.GreedyNs = time.Since(t1).Nanoseconds()
+
+	t2 := time.Now()
+	covered := maxcover.CountCoveredWorkers(g.N(), col, cover.Seeds, workers)
+	res.CountCoveredNs = time.Since(t2).Nanoseconds()
+	if covered != cover.Covered {
+		panic(fmt.Sprintf("coverage disagrees: greedy %d, recount %d", cover.Covered, covered))
+	}
+	res.SelectNs = res.GreedyNs + res.CountCoveredNs
+	res.TotalNs = res.SampleNs + res.SelectNs
+	return res, cover.Seeds, arenaHash(col)
+}
+
+// peakDuring runs fn while a background goroutine polls heap usage, and
+// returns the peak heap growth over the pre-fn baseline. GC noise makes
+// this an approximation, but a faithful one at the multi-hundred-MB
+// scale the comparison cares about.
+func peakDuring(fn func()) int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if grow := int64(m.HeapAlloc) - int64(base); grow > peak.Load() {
+					peak.Store(grow)
+				}
+			}
+		}
+	}()
+	fn()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if grow := int64(end.HeapAlloc) - int64(base); grow > peak.Load() {
+		peak.Store(grow)
+	}
+	close(done)
+	if p := peak.Load(); p > 0 {
+		return p
+	}
+	return 0
+}
+
+// sampleMergeBaseline reproduces the pre-zero-copy memory layout: each
+// worker samples its contiguous index range [lo, hi) of the *same*
+// per-index keyed streams SampleCollection draws (so the merged output
+// is bit-identical to the zero-copy run) into a private collection, and
+// the parts are then concatenated into a freshly allocated arena — the
+// parts and the merged copy are transiently live together, which is
+// exactly the 2× peak the zero-copy path removes.
+func sampleMergeBaseline(g *graph.Graph, model diffusion.Model, count int64, seed uint64, workers int) *diffusion.RRCollection {
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([]*diffusion.RRCollection, workers)
+	done := make(chan int, workers)
+	base := rng.New(seed)
+	lo := int64(0)
+	for w := 0; w < workers; w++ {
+		quota := count / int64(workers)
+		if int64(w) < count%int64(workers) {
+			quota++
+		}
+		hi := lo + quota
+		go func(w int, lo, hi int64) {
+			sampler := diffusion.NewRRSamplerConfig(g, model, diffusion.SampleConfig{})
+			col := &diffusion.RRCollection{Off: make([]int64, 1, hi-lo+1)}
+			var stream rng.Rand
+			var buf []uint32
+			for i := lo; i < hi; i++ {
+				base.SplitInto(uint64(i), &stream)
+				var width int64
+				buf, width = sampler.Sample(&stream, buf[:0])
+				col.Append(buf, width)
+			}
+			parts[w] = col
+			done <- w
+		}(w, lo, hi)
+		lo = hi
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	out := &diffusion.RRCollection{}
+	var flatLen, offLen int64
+	for _, p := range parts {
+		flatLen += int64(len(p.Flat))
+		offLen += int64(len(p.Off)) - 1
+	}
+	out.Flat = make([]uint32, 0, flatLen)
+	out.Off = make([]int64, 1, offLen+1)
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out
+}
+
+// arenaHash is an FNV-1a digest of a collection's flat arena.
+func arenaHash(col *diffusion.RRCollection) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range col.Flat {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalSeeds(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ratio(base, v int64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// validateFile checks a BENCH.json against the schema: required fields
+// present and plausible. CI runs it on the artifact it uploads.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f BenchFile
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("schema mismatch: %w", err)
+	}
+	if f.Version != 1 {
+		return fmt.Errorf("version = %d, want 1", f.Version)
+	}
+	if f.GeneratedBy != "timbench" {
+		return fmt.Errorf("generated_by = %q", f.GeneratedBy)
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	if f.Runs[0].Workers != 1 {
+		return fmt.Errorf("runs[0].workers = %d, want the Workers=1 baseline first", f.Runs[0].Workers)
+	}
+	for i, r := range f.Runs {
+		if r.SampleNs <= 0 || r.SelectNs <= 0 || r.TotalNs <= 0 {
+			return fmt.Errorf("runs[%d]: non-positive timings: %+v", i, r)
+		}
+		if r.TotalNs != r.SampleNs+r.SelectNs || r.SelectNs != r.GreedyNs+r.CountCoveredNs {
+			return fmt.Errorf("runs[%d]: phase sums inconsistent: %+v", i, r)
+		}
+		if r.CollectionBytes <= 0 {
+			return fmt.Errorf("runs[%d]: missing collection bytes", i)
+		}
+	}
+	if len(f.Runs) > 1 && (f.Speedup.Total <= 0 || f.Speedup.Select <= 0 || f.Speedup.Sample <= 0) {
+		return fmt.Errorf("missing speedups: %+v", f.Speedup)
+	}
+	if f.Memory.ZeroCopyPeakBytes <= 0 || f.Memory.MergeBaselinePeakBytes <= 0 {
+		return fmt.Errorf("missing memory comparison: %+v", f.Memory)
+	}
+	if !f.BitIdentical {
+		return fmt.Errorf("bit_identical = false")
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickBenchRoundTrip: a quick run writes a schema-valid BENCH.json
+// whose runs are bit-identical and whose speedup fields are populated.
+func TestQuickBenchRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick bench still samples tens of thousands of RR sets")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(0, 0, "ic", 0, 0, 1, 3, true, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(out); err != nil {
+		t.Fatalf("self-emitted file fails validation: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if !f.BitIdentical {
+		t.Fatal("parallel run diverged from Workers=1")
+	}
+	if len(f.Runs) != 2 || f.Runs[0].Workers != 1 || f.Runs[1].Workers != 3 {
+		t.Fatalf("runs: %+v", f.Runs)
+	}
+	if f.Config.Quick != true || f.Config.Theta != 20_000 {
+		t.Fatalf("quick config not applied: %+v", f.Config)
+	}
+}
+
+// TestValidateRejects: structurally broken files fail with pointed
+// errors.
+func TestValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad version":    `{"version":2,"generated_by":"timbench","config":{},"runs":[],"speedup":{},"memory":{},"bit_identical":true}`,
+		"no runs":        `{"version":1,"generated_by":"timbench","config":{},"runs":[],"speedup":{},"memory":{},"bit_identical":true}`,
+		"not identical":  `{"version":1,"generated_by":"timbench","config":{},"runs":[{"workers":1,"sample_ns":1,"greedy_ns":1,"count_covered_ns":1,"select_ns":2,"total_ns":3,"peak_rr_bytes":1,"collection_bytes":1}],"speedup":{},"memory":{"zero_copy_peak_bytes":1,"merge_baseline_peak_bytes":2,"reduction":0.5},"bit_identical":false}`,
+		"unknown fields": `{"version":1,"generated_by":"timbench","bogus":1}`,
+		"not json":       `hello`,
+	}
+	i := 0
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateFile(path); err == nil {
+			t.Fatalf("%s: validation passed, want failure", name)
+		}
+		i++
+	}
+	if err := validateFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: validation passed")
+	}
+}

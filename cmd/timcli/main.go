@@ -103,7 +103,7 @@ func main() {
 	flag.Float64Var(&o.eps, "eps", 0.1, "approximation slack epsilon")
 	flag.Float64Var(&o.ell, "ell", 1, "failure exponent ell (success prob 1-n^-ell)")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
-	flag.IntVar(&o.workers, "workers", 0, "sampling workers (0 = all cores)")
+	flag.IntVar(&o.workers, "workers", 0, "parallelism for sampling and selection (0 = all cores; results identical for every value)")
 	flag.IntVar(&o.evalN, "eval", 0, "if > 0, Monte-Carlo samples for evaluating the selected seeds")
 	flag.IntVar(&o.celfR, "celf-r", 10000, "Monte-Carlo samples per estimate for greedy variants")
 	flag.Int64Var(&o.risCap, "ris-cap", 0, "optional cost cap for RIS (0 = faithful tau)")

@@ -63,16 +63,17 @@ func main() {
 		rrCap     = flag.Int("rr-collections", 64, "max live RR collections in the reuse layer (LRU-evicted beyond)")
 		maxTheta  = flag.Int64("max-theta", 4_000_000, "cap on RR sets sampled per query (tiny-epsilon OOM guard; responses report theta_capped)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request computation timeout")
-		workers   = flag.Int("workers", 0, "sampling workers per query (0 = all cores)")
+		workers   = flag.Int("workers", 0, "per-query parallelism for sampling and selection (0 = all cores; answers identical for every value)")
 		seed      = flag.Uint64("seed", 1, "base seed for the RR reuse layer and default query seed")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 		deltaLog  = flag.Int("delta-log", 0, "mutations retained per dataset for incremental RR repair (0 = default 1M; older warm collections reset cold)")
+		batchPar  = flag.Int("batch-parallel", 0, "max /v1/query/batch items executed concurrently (0 = all cores, 1 = sequential; answers unchanged)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
 	flag.Parse()
 
-	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog); err != nil {
+	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar); err != nil {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
 		os.Exit(1)
 	}
@@ -80,7 +81,7 @@ func main() {
 
 func run(listen string, datasets []string, cacheSize, rrCollections int,
 	maxTheta int64, timeout time.Duration, workers int, seed uint64,
-	drain time.Duration, deltaLog int) error {
+	drain time.Duration, deltaLog int, batchParallelism int) error {
 
 	if len(datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=source is required")
@@ -94,14 +95,15 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 		specs = append(specs, spec)
 	}
 	srv, err := server.New(server.Config{
-		Datasets:       specs,
-		CacheSize:      cacheSize,
-		RRCollections:  rrCollections,
-		MaxTheta:       maxTheta,
-		RequestTimeout: timeout,
-		Workers:        workers,
-		Seed:           seed,
-		MaxDeltaLog:    deltaLog,
+		Datasets:         specs,
+		CacheSize:        cacheSize,
+		RRCollections:    rrCollections,
+		MaxTheta:         maxTheta,
+		RequestTimeout:   timeout,
+		Workers:          workers,
+		Seed:             seed,
+		MaxDeltaLog:      deltaLog,
+		BatchParallelism: batchParallelism,
 	})
 	if err != nil {
 		return err

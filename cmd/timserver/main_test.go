@@ -30,7 +30,7 @@ func TestRunErrors(t *testing.T) {
 		{"duplicate", []string{"a=ba:10:2", "a=ba:20:2"}, "duplicate"},
 	}
 	for _, c := range cases {
-		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0)
+		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0)
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantSub)
 		}
@@ -38,7 +38,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunBadListenAddress(t *testing.T) {
-	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0)
+	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0)
 	if err == nil {
 		t.Fatal("want listen error")
 	}

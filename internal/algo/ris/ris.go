@@ -128,7 +128,7 @@ func Select(g *graph.Graph, model diffusion.Model, opts Options) (*Result, error
 		cost += batch.TotalWidth + batch.TotalNodes()
 	}
 
-	cover := maxcover.Greedy(n, col, opts.K)
+	cover := maxcover.GreedyWorkers(n, col, opts.K, opts.Workers)
 	res := &Result{
 		Seeds:  cover.Seeds,
 		Tau:    tau,

@@ -3,10 +3,8 @@ package diffusion
 import (
 	"context"
 	"runtime"
-	"sync"
 
 	"repro/internal/graph"
-	"repro/internal/rng"
 )
 
 // RRCollection is a flat arena of RR sets: the members of set i live at
@@ -88,52 +86,26 @@ func (o *SampleOptions) normalize(count int64) {
 }
 
 // SampleCollection generates count random RR sets in parallel and returns
-// them as one collection. The result is deterministic for fixed (count,
-// Seed, Workers): worker w draws its quota from stream Split(w) and
-// partial collections merge in worker order.
+// them as one collection. Set i is drawn from the keyed stream
+// rng.New(Seed).Split(i) — the same per-index scheme ExtendCollection
+// uses — so the result is deterministic for fixed (count, Seed) and
+// byte-identical for every worker count: SampleCollection equals
+// ExtendCollection on an empty collection with the same seed, which also
+// makes freshly sampled collections prefix-extendable and incrementally
+// repairable (internal/evolve) with no translation step.
+//
+// Workers write into the final arena through the zero-copy sharded path
+// (see extendInto): there is no per-worker private collection and no
+// serial merge, so peak memory during sampling is the arena itself plus
+// O(Workers) small chunk buffers.
 func SampleCollection(g *graph.Graph, model Model, count int64, opts SampleOptions) *RRCollection {
 	out := &RRCollection{Off: []int64{0}}
 	if count <= 0 || g.N() == 0 {
 		return out
 	}
 	opts.normalize(count)
-	parts := make([]*RRCollection, opts.Workers)
-	base := rng.New(opts.Seed)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		quota := count / int64(opts.Workers)
-		if int64(w) < count%int64(opts.Workers) {
-			quota++
-		}
-		r := base.Split(uint64(w))
-		wg.Add(1)
-		go func(w int, quota int64, r *rng.Rand) {
-			defer wg.Done()
-			sampler := NewRRSamplerConfig(g, model, opts.Config)
-			col := &RRCollection{Off: make([]int64, 1, quota+1)}
-			var buf []uint32
-			for i := int64(0); i < quota; i++ {
-				if opts.Ctx != nil && i&63 == 0 && opts.Ctx.Err() != nil {
-					break
-				}
-				var width int64
-				buf, width = sampler.Sample(r, buf[:0])
-				col.Append(buf, width)
-			}
-			parts[w] = col
-		}(w, quota, r)
-	}
-	wg.Wait()
-	// Pre-size the merged arena, then merge in worker order.
-	var flatLen, offLen int64
-	for _, p := range parts {
-		flatLen += int64(len(p.Flat))
-		offLen += int64(len(p.Off)) - 1
-	}
-	out.Flat = make([]uint32, 0, flatLen)
-	out.Off = make([]int64, 1, offLen+1)
-	for _, p := range parts {
-		out.Merge(p)
-	}
+	// A cancelled context keeps the contiguous flushed prefix: the caller
+	// asked for a best-effort partial collection, not an error.
+	_, _ = extendInto(opts.Ctx, g, model, opts.Config, out, 0, count, opts.Seed, opts.Workers, nil, true)
 	return out
 }

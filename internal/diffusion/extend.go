@@ -2,6 +2,7 @@ package diffusion
 
 import (
 	"context"
+	"math"
 	"sync"
 
 	"repro/internal/graph"
@@ -20,8 +21,8 @@ import (
 // The per-set widths of the newly sampled tail are appended to widths
 // (which callers maintaining prefix sums can pass as nil to discard), and
 // the extended slice is returned. Sampling parallelizes over opts.Workers
-// with contiguous index ranges merged in order, so the result is
-// independent of the worker count.
+// with zero-copy sharded writes into the collection's own arena (see
+// extendInto), so the result is independent of the worker count.
 //
 // If ctx is non-nil and is cancelled mid-extension, ExtendCollection
 // stops early and returns ctx's error with the collection unchanged.
@@ -43,56 +44,215 @@ func ExtendCollectionConfig(ctx context.Context, g *graph.Graph, model Model, cf
 	if total <= cur || g.N() == 0 {
 		return widths, ctxErr(ctx)
 	}
-	missing := total - cur
 	opts := SampleOptions{Workers: workers}
-	opts.normalize(missing)
+	opts.normalize(total - cur)
+	return extendInto(ctx, g, model, cfg, col, cur, total, seed, opts.Workers, widths, false)
+}
+
+// extendChunkSets is the number of RR sets a worker samples per work
+// chunk before depositing it for the ordered flush. Small enough that
+// in-flight (sampled but not yet flushed) data stays a rounding error
+// next to the arena, large enough that the per-chunk mutex handoff is
+// amortized away.
+const extendChunkSets = 256
+
+// setChunk is one worker's in-flight batch of sampled sets: a private
+// mini-arena (flat + relative end offsets) plus per-set widths. Chunks
+// are recycled through the free list for the lifetime of one extendInto
+// call, so steady-state sampling allocates nothing per chunk.
+type setChunk struct {
+	flat   []uint32
+	ends   []int64
+	widths []int64
+}
+
+func (c *setChunk) reset() {
+	c.flat = c.flat[:0]
+	c.ends = c.ends[:0]
+	c.widths = c.widths[:0]
+}
+
+// extendInto samples sets [lo, total) from their keyed streams
+// (rng.New(seed).Split(i) for set i) directly into col, in index order.
+//
+// This is the zero-copy sharded sampler: instead of per-worker private
+// collections merged serially at the end — which costs a full serial
+// memcpy and transiently doubles peak RR memory — workers claim small
+// contiguous index chunks from a shared cursor, sample each chunk into a
+// recycled buffer, and flush chunks into the final arena strictly in
+// index order. Because every set's bytes depend only on (seed, index, g,
+// model, cfg) and flushes are ordered, the arena is byte-identical for
+// every worker count; because at most maxAhead chunks are ever in flight,
+// peak memory is the arena itself plus O(workers) chunk buffers.
+//
+// The arena is grown once to an estimate of its final size (mean set size
+// observed so far × sets remaining), so flushes are plain appends rather
+// than repeated geometric reallocation.
+//
+// widths receives the per-set widths of the sampled tail, in index order.
+// On a context error, col and widths are rolled back to their input state
+// unless keepPartial is set, in which case the contiguous flushed prefix
+// is kept (SampleCollection's cancellation contract).
+func extendInto(ctx context.Context, g *graph.Graph, model Model, cfg SampleConfig, col *RRCollection, lo, total int64, seed uint64, workers int, widths []int64, keepPartial bool) ([]int64, error) {
+	// Keep the input slice values (not just lengths): the rollback path
+	// restores them wholesale, so a cancelled extension cannot leave the
+	// collection pinning a near-final-capacity arena (or a total+1 offset
+	// array) that the caller's memory accounting never sees. Writes past
+	// the original lengths never touch the restored prefixes.
+	origFlatSlice, origOffSlice, origWidth := col.Flat, col.Off, col.TotalWidth
+	origWidthsSlice := widths
+	origWidths := len(widths)
+
+	missing := total - lo
+	numChunks := (missing + extendChunkSets - 1) / extendChunkSets
+	if int64(workers) > numChunks {
+		workers = int(numChunks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	maxAhead := int64(workers) * 4
+
+	// The set count after this call is known exactly: reserve Off (and the
+	// widths tail) up front so flushing never reallocates them.
+	if int64(cap(col.Off)) < total+1 {
+		off := make([]int64, len(col.Off), total+1)
+		copy(off, col.Off)
+		col.Off = off
+	}
+	if cap(widths)-origWidths < int(missing) {
+		w := make([]int64, origWidths, int64(origWidths)+missing)
+		copy(w, widths)
+		widths = w
+	}
 
 	base := rng.New(seed)
-	parts := make([]*RRCollection, opts.Workers)
-	partWidths := make([][]int64, opts.Workers)
-	var wg sync.WaitGroup
-	lo := cur
-	for w := 0; w < opts.Workers; w++ {
-		quota := missing / int64(opts.Workers)
-		if int64(w) < missing%int64(opts.Workers) {
-			quota++
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		nextClaim int64 // next chunk index to hand to a worker
+		nextFlush int64 // first chunk not yet flushed into col
+		pending   = make(map[int64]*setChunk, maxAhead)
+		free      []*setChunk
+		failed    bool // a worker observed ctx cancellation
+	)
+
+	flushLocked := func(ch *setChunk) {
+		need := len(col.Flat) + len(ch.flat)
+		if need > cap(col.Flat) {
+			// Grow to an estimate of the final arena: mean set size over
+			// everything flushed so far (including any pre-existing sets)
+			// times the sets still to come. The slack decays with the
+			// evidence — RR-set sizes are heavy-tailed, so a mean taken
+			// over the first chunk alone can undershoot badly, and a
+			// re-grow late in the run would transiently hold two
+			// near-final arenas (≈ the merge baseline's peak). ~2 relative
+			// standard errors of padding makes that rare; when it still
+			// happens, the cost is one extra copy-grow, never a wrong
+			// result. Peak RR memory therefore stays ≈ one arena.
+			setsNow := int64(len(col.Off)) + int64(len(ch.ends)) - 1
+			mean := float64(need) / float64(setsNow)
+			slack := 1.05 + 1.0/math.Sqrt(float64(setsNow))
+			est := need + int(mean*float64(total-setsNow)*slack) + 1024
+			if est < need {
+				est = need
+			}
+			grown := make([]uint32, len(col.Flat), est)
+			copy(grown, col.Flat)
+			col.Flat = grown
 		}
-		hi := lo + quota
+		flatBase := int64(len(col.Flat))
+		col.Flat = append(col.Flat, ch.flat...)
+		for _, end := range ch.ends {
+			col.Off = append(col.Off, flatBase+end)
+		}
+		for _, w := range ch.widths {
+			col.TotalWidth += w
+		}
+		widths = append(widths, ch.widths...)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int, lo, hi int64) {
+		go func() {
 			defer wg.Done()
-			sampler := NewRRSamplerConfig(g, model, cfg)
-			part := &RRCollection{Off: make([]int64, 1, hi-lo+1)}
-			ws := make([]int64, 0, hi-lo)
-			var buf []uint32
+			sampler := AcquireSampler(g, model, cfg)
+			defer ReleaseSampler(sampler)
 			var stream rng.Rand
-			for i := lo; i < hi; i++ {
-				if ctx != nil && (i-lo)&63 == 0 && ctx.Err() != nil {
+			for {
+				mu.Lock()
+				for nextClaim-nextFlush >= maxAhead && !failed {
+					cond.Wait()
+				}
+				if failed || nextClaim >= numChunks {
+					mu.Unlock()
 					return
 				}
-				base.SplitInto(uint64(i), &stream)
-				var width int64
-				buf, width = sampler.Sample(&stream, buf[:0])
-				part.Append(buf, width)
-				ws = append(ws, width)
+				c := nextClaim
+				nextClaim++
+				var ch *setChunk
+				if n := len(free); n > 0 {
+					ch = free[n-1]
+					free = free[:n-1]
+				} else {
+					ch = &setChunk{}
+				}
+				mu.Unlock()
+
+				start := lo + c*extendChunkSets
+				end := start + extendChunkSets
+				if end > total {
+					end = total
+				}
+				ch.reset()
+				ok := true
+				for i := start; i < end; i++ {
+					if ctx != nil && (i-start)&63 == 0 && ctx.Err() != nil {
+						ok = false
+						break
+					}
+					base.SplitInto(uint64(i), &stream)
+					var width int64
+					ch.flat, width = sampler.Sample(&stream, ch.flat)
+					ch.ends = append(ch.ends, int64(len(ch.flat)))
+					ch.widths = append(ch.widths, width)
+				}
+
+				mu.Lock()
+				if !ok {
+					failed = true
+					free = append(free, ch)
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				pending[c] = ch
+				for {
+					ready, exists := pending[nextFlush]
+					if !exists {
+						break
+					}
+					delete(pending, nextFlush)
+					flushLocked(ready)
+					nextFlush++
+					free = append(free, ready)
+				}
+				cond.Broadcast()
+				mu.Unlock()
 			}
-			parts[w] = part
-			partWidths[w] = ws
-		}(w, lo, hi)
-		lo = hi
+		}()
 	}
 	wg.Wait()
+
 	if err := ctxErr(ctx); err != nil {
-		return widths, err
-	}
-	for w := range parts {
-		if parts[w] == nil { // a worker bailed on a cancelled ctx
-			return widths, context.Canceled
+		if keepPartial {
+			return widths, err
 		}
-	}
-	for w := range parts {
-		col.Merge(parts[w])
-		widths = append(widths, partWidths[w]...)
+		col.Flat = origFlatSlice
+		col.Off = origOffSlice
+		col.TotalWidth = origWidth
+		return origWidthsSlice, err
 	}
 	return widths, nil
 }

@@ -1,0 +1,65 @@
+package diffusion
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Sampler pooling. A query-serving process builds one RRSampler per
+// worker per sampling call, and each construction allocates an n-entry
+// visited-mark array — for a large graph under heavy traffic that is
+// megabytes of garbage per query. The pool recycles sampler scratch
+// across calls (and across graphs: the epoch scheme below makes reuse
+// safe without clearing), so steady-state sampling allocates nothing.
+//
+// Reuse safety: a sampler's mark entries only ever hold epochs its own
+// counter has issued, and the counter is monotone for the lifetime of the
+// sampler object (nextEpoch hard-resets on wrap). Rebinding a pooled
+// sampler to a different graph therefore needs no O(n) clear — every
+// stale mark is strictly below the next epoch, exactly as within a single
+// graph's run. Only a graph with more nodes than the mark array has
+// capacity for forces a fresh allocation.
+var samplerPool sync.Pool
+
+var samplerPoolHits, samplerPoolMisses atomic.Int64
+
+// AcquireSampler returns a sampler for (g, model, cfg), recycling scratch
+// from the process-wide pool when a pooled sampler's mark array is large
+// enough. Pair with ReleaseSampler; a sampler must not be used after
+// release.
+func AcquireSampler(g *graph.Graph, model Model, cfg SampleConfig) *RRSampler {
+	if v := samplerPool.Get(); v != nil {
+		s := v.(*RRSampler)
+		if cap(s.mark) >= g.N() {
+			s.g, s.model, s.cfg = g, model, cfg
+			s.mark = s.mark[:g.N()]
+			samplerPoolHits.Add(1)
+			return s
+		}
+		// Too small for this graph: drop it for the GC and build fresh.
+	}
+	samplerPoolMisses.Add(1)
+	return NewRRSamplerConfig(g, model, cfg)
+}
+
+// ReleaseSampler returns a sampler to the pool. It clears the graph,
+// model, and config references so the pool never pins a snapshot or an
+// audience profile in memory.
+func ReleaseSampler(s *RRSampler) {
+	if s == nil {
+		return
+	}
+	s.g = nil
+	s.model = Model{}
+	s.cfg = SampleConfig{}
+	samplerPool.Put(s)
+}
+
+// SamplerPoolStats reports the process-wide sampler pool reuse counters:
+// hits (acquisitions served from the pool) and misses (fresh
+// constructions). Exposed for operational visibility (/v1/stats).
+func SamplerPoolStats() (hits, misses int64) {
+	return samplerPoolHits.Load(), samplerPoolMisses.Load()
+}

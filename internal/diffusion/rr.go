@@ -45,9 +45,14 @@ func NewRRSamplerConfig(g *graph.Graph, model Model, cfg SampleConfig) *RRSample
 // nextEpoch advances the visited-mark epoch, clearing marks lazily.
 func (s *RRSampler) nextEpoch() {
 	s.epoch++
-	if s.epoch == 0 { // wrapped: hard reset
-		for i := range s.mark {
-			s.mark[i] = 0
+	if s.epoch == 0 {
+		// Wrapped: hard reset. Clear the full capacity, not just the
+		// current length — a pooled sampler (AcquireSampler) can later be
+		// resliced to a larger graph, exposing entries past len that must
+		// not alias a live epoch.
+		mark := s.mark[:cap(s.mark)]
+		for i := range mark {
+			mark[i] = 0
 		}
 		s.epoch = 1
 	}

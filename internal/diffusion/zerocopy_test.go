@@ -1,0 +1,299 @@
+package diffusion
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// sampleSerialReference is the trivially-correct serial implementation of
+// the per-index keyed-stream contract: set i from rng.New(seed).Split(i),
+// appended in index order. The zero-copy sharded path must match it byte
+// for byte.
+func sampleSerialReference(g *graph.Graph, model Model, cfg SampleConfig, count int64, seed uint64) (*RRCollection, []int64) {
+	col := &RRCollection{Off: []int64{0}}
+	widths := make([]int64, 0, count)
+	sampler := NewRRSamplerConfig(g, model, cfg)
+	base := rng.New(seed)
+	var stream rng.Rand
+	var buf []uint32
+	for i := int64(0); i < count; i++ {
+		base.SplitInto(uint64(i), &stream)
+		var width int64
+		buf, width = sampler.Sample(&stream, buf[:0])
+		col.Append(buf, width)
+		widths = append(widths, width)
+	}
+	return col, widths
+}
+
+func sameCollection(t *testing.T, label string, got, want *RRCollection) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("%s: count %d != %d", label, got.Count(), want.Count())
+	}
+	if got.TotalWidth != want.TotalWidth {
+		t.Fatalf("%s: total width %d != %d", label, got.TotalWidth, want.TotalWidth)
+	}
+	if !reflect.DeepEqual(got.Off, want.Off) {
+		t.Fatalf("%s: offset arrays differ", label)
+	}
+	for i := range got.Flat {
+		if got.Flat[i] != want.Flat[i] {
+			t.Fatalf("%s: flat arena differs at %d", label, i)
+		}
+	}
+}
+
+// halfRoots is a non-uniform RootSampler for the config sweep: roots are
+// drawn uniformly from the first half of the id space, fixed at
+// construction (graph-independent, per the RootSampler contract).
+type halfRoots uint64
+
+func (h halfRoots) SampleRoot(r *rng.Rand) uint32 { return uint32(r.Uint64n(uint64(h))) }
+
+// zeroCopyConfigs are the sampling scenarios the golden tests sweep:
+// default, horizon-capped, weighted-root, and both at once.
+func zeroCopyConfigs(n int) map[string]SampleConfig {
+	return map[string]SampleConfig{
+		"default":          {},
+		"horizon":          {MaxHops: 3},
+		"weighted":         {Roots: halfRoots(n / 2)},
+		"weighted+horizon": {Roots: halfRoots(n / 2), MaxHops: 2},
+	}
+}
+
+// sampleMergeBaseline is the pre-zero-copy sampling layout — per-worker
+// private collections concatenated by copy — over the same per-index
+// keyed streams as SampleCollection, so its output is bit-identical while
+// its memory profile (parts + merged arena, transiently 2×) is the
+// baseline the zero-copy path and cmd/timbench are measured against.
+func sampleMergeBaseline(g *graph.Graph, model Model, count int64, seed uint64, workers int) *RRCollection {
+	opts := SampleOptions{Workers: workers}
+	opts.normalize(count)
+	parts := make([]*RRCollection, opts.Workers)
+	base := rng.New(seed)
+	var wg sync.WaitGroup
+	lo := int64(0)
+	for w := 0; w < opts.Workers; w++ {
+		quota := count / int64(opts.Workers)
+		if int64(w) < count%int64(opts.Workers) {
+			quota++
+		}
+		hi := lo + quota
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			sampler := NewRRSamplerConfig(g, model, SampleConfig{})
+			part := &RRCollection{Off: make([]int64, 1, hi-lo+1)}
+			var stream rng.Rand
+			var buf []uint32
+			for i := lo; i < hi; i++ {
+				base.SplitInto(uint64(i), &stream)
+				var width int64
+				buf, width = sampler.Sample(&stream, buf[:0])
+				part.Append(buf, width)
+			}
+			parts[w] = part
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	out := &RRCollection{}
+	var flatLen, offLen int64
+	for _, p := range parts {
+		flatLen += int64(len(p.Flat))
+		offLen += int64(len(p.Off)) - 1
+	}
+	out.Flat = make([]uint32, 0, flatLen)
+	out.Off = make([]int64, 1, offLen+1)
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out
+}
+
+// TestMergeBaselineBitIdentical pins the baseline to the live path: both
+// draw from the same keyed streams, so timbench's memory comparison is
+// apples to apples.
+func TestMergeBaselineBitIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(250, 3, rng.New(15))
+	graph.AssignWeightedCascade(g)
+	want := SampleCollection(g, NewIC(), 400, SampleOptions{Workers: 3, Seed: 6})
+	got := sampleMergeBaseline(g, NewIC(), 400, 6, 3)
+	sameCollection(t, "merge-baseline", got, want)
+}
+
+// TestSampleCollectionMatchesSerialReference: the parallel zero-copy
+// sampler is byte-identical to the serial per-index reference for every
+// worker count, model, and sampling scenario.
+func TestSampleCollectionMatchesSerialReference(t *testing.T) {
+	g := gen.ChungLuDirected(400, 2400, 2.4, 2.1, rng.New(10))
+	graph.AssignWeightedCascade(g)
+	gLT := gen.ChungLuDirected(400, 2400, 2.4, 2.1, rng.New(10))
+	graph.AssignRandomNormalizedLTKeyed(gLT, 11)
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		model Model
+	}{
+		{"ic", g, NewIC()},
+		{"lt", gLT, NewLT()},
+	} {
+		for cfgName, cfg := range zeroCopyConfigs(tc.g.N()) {
+			want, _ := sampleSerialReference(tc.g, tc.model, cfg, 700, 42)
+			for _, workers := range []int{1, 2, 3, 8} {
+				got := SampleCollection(tc.g, tc.model, 700, SampleOptions{
+					Workers: workers, Seed: 42, Config: cfg,
+				})
+				sameCollection(t, fmt.Sprintf("%s/%s/workers=%d", tc.name, cfgName, workers), got, want)
+			}
+		}
+	}
+}
+
+// TestExtendZeroCopyMatchesSerialReference: stepwise parallel extensions
+// under every scenario reproduce the serial reference bytes and widths.
+func TestExtendZeroCopyMatchesSerialReference(t *testing.T) {
+	g := gen.BarabasiAlbert(350, 3, rng.New(12))
+	graph.AssignWeightedCascade(g)
+	for cfgName, cfg := range zeroCopyConfigs(g.N()) {
+		want, wantWidths := sampleSerialReference(g, NewIC(), cfg, 600, 77)
+		for _, workers := range []int{1, 4, 7} {
+			col := &RRCollection{Off: []int64{0}}
+			widths, err := ExtendCollectionConfig(context.Background(), g, NewIC(), cfg, col, 150, 77, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			widths, err = ExtendCollectionConfig(context.Background(), g, NewIC(), cfg, col, 600, 77, workers, widths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%s/workers=%d", cfgName, workers)
+			sameCollection(t, label, col, want)
+			if !reflect.DeepEqual(widths, wantWidths) {
+				t.Fatalf("%s: widths differ", label)
+			}
+		}
+	}
+}
+
+// TestSampleCollectionEqualsExtend: the two entry points share one
+// keyed-stream scheme, so a fresh sample is the same bytes as a cold
+// extension — which is what makes fresh collections prefix-extendable
+// and repairable with no translation.
+func TestSampleCollectionEqualsExtend(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, rng.New(13))
+	graph.AssignWeightedCascade(g)
+	sampled := SampleCollection(g, NewIC(), 300, SampleOptions{Workers: 4, Seed: 5})
+	extended := &RRCollection{Off: []int64{0}}
+	if _, err := ExtendCollection(context.Background(), g, NewIC(), extended, 300, 5, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	sameCollection(t, "sample-vs-extend", sampled, extended)
+}
+
+// TestExtendCancelMidwayRollsBack: cancellation mid-extension (not just
+// pre-cancelled) leaves the collection exactly as it was, including
+// length, offsets, and total width.
+func TestExtendCancelMidwayRollsBack(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, rng.New(14))
+	graph.AssignWeightedCascade(g)
+	col := &RRCollection{Off: []int64{0}}
+	widths, err := ExtendCollection(context.Background(), g, NewIC(), col, 50, 9, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlat, wantOff, wantWidth := len(col.Flat), len(col.Off), col.TotalWidth
+	wantFlatCap, wantOffCap := cap(col.Flat), cap(col.Off)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { cancel() }() // races the sampling loop: any interleaving must roll back
+	w2, err := ExtendCollection(ctx, g, NewIC(), col, 500_000, 9, 4, widths)
+	if err == nil {
+		// The cancel can lose the race on a fast machine; then the extend
+		// simply completed and the contract is untested but unviolated.
+		t.Skip("cancellation lost the race with the extension")
+	}
+	if len(col.Flat) != wantFlat || len(col.Off) != wantOff || col.TotalWidth != wantWidth {
+		t.Fatalf("cancelled extension mutated the collection: flat %d→%d off %d→%d width %d→%d",
+			wantFlat, len(col.Flat), wantOff, len(col.Off), wantWidth, col.TotalWidth)
+	}
+	// Capacities must roll back too: a cancelled big-θ extension must not
+	// leave the entry pinning a near-final-size arena (or a total+1
+	// offset array) that rr-store memory accounting never observed.
+	if cap(col.Flat) != wantFlatCap || cap(col.Off) != wantOffCap {
+		t.Fatalf("cancelled extension pinned grown capacity: flat cap %d→%d off cap %d→%d",
+			wantFlatCap, cap(col.Flat), wantOffCap, cap(col.Off))
+	}
+	if len(w2) != 50 {
+		t.Fatalf("cancelled extension grew widths: %d", len(w2))
+	}
+}
+
+// TestSamplerPoolReuse: pooled samplers produce the same sets as fresh
+// ones, across rebinds to graphs of different sizes.
+func TestSamplerPoolReuse(t *testing.T) {
+	small := gen.BarabasiAlbert(50, 2, rng.New(20))
+	graph.AssignWeightedCascade(small)
+	big := gen.BarabasiAlbert(500, 3, rng.New(21))
+	graph.AssignWeightedCascade(big)
+	for round := 0; round < 3; round++ {
+		for _, g := range []*graph.Graph{big, small, big} {
+			seed := uint64(round*10 + g.N())
+			pooled := AcquireSampler(g, NewIC(), SampleConfig{})
+			fresh := NewRRSamplerConfig(g, NewIC(), SampleConfig{})
+			for i := 0; i < 40; i++ {
+				r1, r2 := rng.New(seed+uint64(i)), rng.New(seed+uint64(i))
+				a, wa := pooled.Sample(r1, nil)
+				b, wb := fresh.Sample(r2, nil)
+				if wa != wb || !reflect.DeepEqual(a, b) {
+					t.Fatalf("round %d n=%d sample %d: pooled %v (w=%d) != fresh %v (w=%d)",
+						round, g.N(), i, a, wa, b, wb)
+				}
+			}
+			ReleaseSampler(pooled)
+		}
+	}
+	hits, misses := SamplerPoolStats()
+	if hits+misses == 0 {
+		t.Fatal("sampler pool counters never moved")
+	}
+}
+
+// BenchmarkSampleZeroCopy measures the sampling half of the pipeline at
+// one and all cores, plus the pre-PR merge-based layout (private worker
+// parts concatenated by copy) as the peak-memory baseline timbench
+// contrasts against.
+func BenchmarkSampleZeroCopy(b *testing.B) {
+	g := gen.ChungLuDirected(20_000, 160_000, 2.4, 2.1, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	const theta = 50_000
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				col := SampleCollection(g, NewIC(), theta, SampleOptions{Workers: workers, Seed: uint64(i)})
+				if col.Count() != theta {
+					b.Fatalf("count=%d", col.Count())
+				}
+			}
+		})
+	}
+	b.Run("merge-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := sampleMergeBaseline(g, NewIC(), theta, uint64(i), 0)
+			if col.Count() != theta {
+				b.Fatalf("count=%d", col.Count())
+			}
+		}
+	})
+}

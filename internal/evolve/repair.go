@@ -130,7 +130,8 @@ func RepairConfig(ctx context.Context, g *graph.Graph, model diffusion.Model, cf
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				sampler := diffusion.NewRRSamplerConfig(g, model, cfg)
+				sampler := diffusion.AcquireSampler(g, model, cfg)
+				defer diffusion.ReleaseSampler(sampler)
 				var stream rng.Rand
 				for j := lo; j < hi; j++ {
 					if ctx != nil && (j-lo)&63 == 0 && ctx.Err() != nil {

@@ -30,6 +30,10 @@ type Constraints struct {
 	// Exclude are nodes that must never be picked (forced nodes win over
 	// exclusion). Out-of-range ids are ignored.
 	Exclude []uint32
+	// Workers is an execution knob, not a constraint: the parallelism of
+	// the occurrence count and inverted-index build (≤ 0 = all cores,
+	// 1 = serial). Selection results are byte-identical for every value.
+	Workers int
 }
 
 // constrained reports whether selection needs the constrained path at all;
@@ -50,7 +54,7 @@ func (c *Constraints) constrained() bool {
 // deterministic for a fixed collection.
 func GreedyConstrained(n int, col *diffusion.RRCollection, c Constraints) Result {
 	if !c.constrained() {
-		return Greedy(n, col, c.K)
+		return GreedyWorkers(n, col, c.K, c.Workers)
 	}
 	k := c.K
 	if k > n {
@@ -66,10 +70,15 @@ func GreedyConstrained(n int, col *diffusion.RRCollection, c Constraints) Result
 	if n == 0 {
 		return res
 	}
-	count := countOccurrences(n, col)
-	idxOff, idxSets := invertedIndex(n, col)
-	coveredSet := make([]bool, col.Count())
-	selected := make([]bool, n)
+	idx, release := buildCoverIndex(n, col, c.Workers)
+	defer release()
+	count, idxOff, idxSets := idx.count, idx.off, idx.sets
+	coveredSet := boolPool.get(col.Count())
+	selected := boolPool.get(n)
+	defer func() {
+		boolPool.put(coveredSet)
+		boolPool.put(selected)
+	}()
 	excluded := make([]bool, n)
 	for _, v := range c.Exclude {
 		if int(v) < n {
@@ -212,26 +221,6 @@ func greedyLazy(n int, col *diffusion.RRCollection, count []int64, idxOff []int6
 			}
 		}
 	}
-}
-
-// invertedIndex builds setsOf[v] in CSR form: ids of sets containing v.
-func invertedIndex(n int, col *diffusion.RRCollection) (off []int64, sets []uint32) {
-	count := countOccurrences(n, col)
-	off = make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		off[v+1] = off[v] + count[v]
-	}
-	sets = make([]uint32, len(col.Flat))
-	fill := make([]int64, n)
-	copy(fill, off[:n])
-	numSets := col.Count()
-	for s := 0; s < numSets; s++ {
-		for _, v := range col.Set(s) {
-			sets[fill[v]] = uint32(s)
-			fill[v]++
-		}
-	}
-	return off, sets
 }
 
 func cloneI64(xs []int64) []int64 { return append([]int64(nil), xs...) }

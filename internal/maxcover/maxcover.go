@@ -11,6 +11,12 @@
 // maximum is tracked with lazily repositioned count buckets. Total work is
 // O(Σ|R| + n + k), matching the "linear-time implementation" the paper
 // relies on for its complexity claims.
+//
+// The index-construction half of that work — occurrence counting and the
+// CSR inverted-index fill — parallelizes over set shards with
+// order-fixed reductions (parallel.go), as does CountCovered; results
+// are byte-identical for every worker count. The large per-call arrays
+// are recycled through process-wide pools (ScratchPoolStats).
 package maxcover
 
 import (
@@ -41,8 +47,18 @@ type Result struct {
 // col. If k exceeds n it is clamped. When every set is covered before k
 // picks, the remaining picks have zero marginal and are filled with the
 // lowest-id unselected nodes (the paper's algorithms always return exactly
-// k nodes).
+// k nodes). Index construction parallelizes over all cores; use
+// GreedyWorkers to bound it.
 func Greedy(n int, col *diffusion.RRCollection, k int) Result {
+	return GreedyWorkers(n, col, k, 0)
+}
+
+// GreedyWorkers is Greedy with an explicit parallelism knob for the
+// occurrence count and inverted-index build (workers ≤ 0 = all cores;
+// 1 = the serial build). The result is byte-identical for every worker
+// count — workers only changes how fast the index is built, never which
+// nodes win (see parallel.go for the determinism argument).
+func GreedyWorkers(n int, col *diffusion.RRCollection, k, workers int) Result {
 	if k > n {
 		k = n
 	}
@@ -56,23 +72,10 @@ func Greedy(n int, col *diffusion.RRCollection, k int) Result {
 	if n == 0 || k == 0 {
 		return res
 	}
-	count := countOccurrences(n, col)
-
-	// Inverted index: setsOf[v] = ids of sets containing v, in CSR form.
-	idxOff := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		idxOff[v+1] = idxOff[v] + count[v]
-	}
-	idxSets := make([]uint32, len(col.Flat))
-	fill := make([]int64, n)
-	copy(fill, idxOff[:n])
+	idx, release := buildCoverIndex(n, col, workers)
+	defer release()
+	count, idxOff, idxSets := idx.count, idx.off, idx.sets
 	numSets := col.Count()
-	for s := 0; s < numSets; s++ {
-		for _, v := range col.Set(s) {
-			idxSets[fill[v]] = uint32(s)
-			fill[v]++
-		}
-	}
 
 	// Buckets by count with lazy repositioning. counts only decrease, so
 	// a node found in a bucket above its true count is moved down.
@@ -87,8 +90,12 @@ func Greedy(n int, col *diffusion.RRCollection, k int) Result {
 		c := count[v]
 		buckets[c] = append(buckets[c], uint32(v))
 	}
-	coveredSet := make([]bool, numSets)
-	selected := make([]bool, n)
+	coveredSet := boolPool.get(numSets)
+	selected := boolPool.get(n)
+	defer func() {
+		boolPool.put(coveredSet)
+		boolPool.put(selected)
+	}()
 	var covered int64
 
 	cur := maxCount
@@ -148,36 +155,10 @@ func Greedy(n int, col *diffusion.RRCollection, k int) Result {
 	return res
 }
 
-// countOccurrences returns, for each node, the number of sets containing
-// it. A node may appear at most once per set (RR sets are duplicate-free),
-// so this is the initial coverage count.
-func countOccurrences(n int, col *diffusion.RRCollection) []int64 {
-	count := make([]int64, n)
-	for _, v := range col.Flat {
-		count[v]++
-	}
-	return count
-}
-
 // CountCovered returns how many sets in col contain at least one of the
 // given seeds. Used by Algorithm 3 to measure the fraction f of fresh RR
-// sets covered by S'_k.
+// sets covered by S'_k. It is CountCoveredWorkers with the serial scan;
+// both share the pooled, sparsely-reset seed-membership scratch.
 func CountCovered(n int, col *diffusion.RRCollection, seeds []uint32) int64 {
-	inSeeds := make([]bool, n)
-	for _, s := range seeds {
-		if int(s) < n {
-			inSeeds[s] = true
-		}
-	}
-	var covered int64
-	numSets := col.Count()
-	for s := 0; s < numSets; s++ {
-		for _, v := range col.Set(s) {
-			if inSeeds[v] {
-				covered++
-				break
-			}
-		}
-	}
-	return covered
+	return CountCoveredWorkers(n, col, seeds, 1)
 }

@@ -1,0 +1,373 @@
+package maxcover
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/diffusion"
+)
+
+// Parallel selection machinery, shared by Greedy, GreedyConstrained, and
+// the refine pass (tim.refineKPT via CountCoveredWorkers).
+//
+// Everything here is bit-deterministic for every worker count: shards are
+// contiguous set ranges, per-shard partial results reduce in fixed shard
+// order, and the CSR fill writes each element into a slot precomputed
+// from the shard prefix sums — so the arrays (and therefore every greedy
+// pick downstream) are byte-identical to the serial build. Workers is an
+// execution knob, never part of the answer.
+//
+// The large per-call arrays — occurrence counts, CSR offsets and set ids,
+// cover bitmaps, CountCovered seed marks — come from process-wide pools,
+// so a query-serving process stops paying an O(n + Σ|R|) allocation tax
+// per selection. ScratchPoolStats exposes the reuse counters.
+
+// minParallelFlat is the flat-arena size below which the serial paths
+// win: shard bookkeeping and goroutine handoff cost more than the scan.
+const minParallelFlat = 1 << 14
+
+// minShardFlat is the smallest flat span worth a dedicated shard.
+const minShardFlat = 1 << 12
+
+// effectiveWorkers resolves a Workers knob (≤ 0 = all cores) against the
+// work actually available.
+func effectiveWorkers(workers, flatLen int) int {
+	if workers == 1 || flatLen < minParallelFlat {
+		return 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if most := flatLen / minShardFlat; workers > most {
+		workers = most
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// setShardBounds splits [0, Count()) into workers contiguous set ranges
+// of roughly equal flat (member) volume, so shards balance even when set
+// sizes are skewed. bounds has workers+1 entries.
+func setShardBounds(col *diffusion.RRCollection, workers int) []int {
+	numSets := col.Count()
+	bounds := make([]int, workers+1)
+	bounds[workers] = numSets
+	flatLen := col.Off[numSets]
+	for w := 1; w < workers; w++ {
+		target := flatLen * int64(w) / int64(workers)
+		bounds[w] = sort.Search(numSets, func(s int) bool { return col.Off[s] >= target })
+		if bounds[w] < bounds[w-1] {
+			bounds[w] = bounds[w-1]
+		}
+	}
+	return bounds
+}
+
+// parallelRanges runs fn over workers contiguous ranges of [0, n) and
+// waits for all of them.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// coverIndex is the node-selection data structure: per-node occurrence
+// counts (mutated by the pick loops as sets become covered) and the CSR
+// inverted index mapping each node to the ids of the sets containing it,
+// ascending within a node.
+type coverIndex struct {
+	count []int64
+	off   []int64
+	sets  []uint32
+}
+
+// buildCoverIndex computes the coverIndex over col, parallelizing the
+// occurrence count and the CSR fill across set shards. The returned
+// release func recycles the arrays; the caller must not touch the index
+// after calling it.
+func buildCoverIndex(n int, col *diffusion.RRCollection, workers int) (coverIndex, func()) {
+	workers = effectiveWorkers(workers, len(col.Flat))
+	count := i64Pool.get(n, workers == 1) // the serial path counts in place
+	off := i64Pool.get(n+1, false)
+	sets := u32Pool.get(len(col.Flat))
+	release := func() {
+		i64Pool.put(count)
+		i64Pool.put(off)
+		u32Pool.put(sets)
+	}
+
+	if workers == 1 {
+		for _, v := range col.Flat {
+			count[v]++
+		}
+		off[0] = 0
+		for v := 0; v < n; v++ {
+			off[v+1] = off[v] + count[v]
+		}
+		fill := i64Pool.get(n, false)
+		copy(fill, off[:n])
+		numSets := col.Count()
+		for s := 0; s < numSets; s++ {
+			for _, v := range col.Set(s) {
+				sets[fill[v]] = uint32(s)
+				fill[v]++
+			}
+		}
+		i64Pool.put(fill)
+		return coverIndex{count: count, off: off, sets: sets}, release
+	}
+
+	bounds := setShardBounds(col, workers)
+	shard := make([][]int64, workers)
+	for w := range shard {
+		shard[w] = i64Pool.get(n, true)
+	}
+	// Pass 1: each shard counts occurrences over its contiguous flat span
+	// into a private vector.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cnt := shard[w]
+			for _, v := range col.Flat[col.Off[bounds[w]]:col.Off[bounds[w+1]]] {
+				cnt[v]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Pass 2 (the deterministic reduce): over node ranges, total the
+	// shard counts in fixed shard order while converting each shard's
+	// entry into its exclusive prefix — the per-shard fill start relative
+	// to the node's CSR slot.
+	parallelRanges(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var run int64
+			for w := 0; w < workers; w++ {
+				t := shard[w][v]
+				shard[w][v] = run
+				run += t
+			}
+			count[v] = run
+		}
+	})
+	off[0] = 0
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + count[v]
+	}
+	// Pass 3: parallel CSR fill over the precomputed shard offsets. Shard
+	// w's occurrences of node v land at off[v] + prefix_w(v) onward, so
+	// the final array is exactly the serial set-major order.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fill := shard[w]
+			for s := bounds[w]; s < bounds[w+1]; s++ {
+				for _, v := range col.Set(s) {
+					sets[off[v]+fill[v]] = uint32(s)
+					fill[v]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range shard {
+		i64Pool.put(shard[w])
+	}
+	return coverIndex{count: count, off: off, sets: sets}, release
+}
+
+// CountCoveredWorkers is CountCovered parallelized over contiguous set
+// ranges (workers ≤ 0 = all cores). The result is identical for every
+// worker count. The seed-membership scratch comes from a pool and is
+// reset sparsely, so a call costs O(Σ|R| / workers + |seeds|) — not the
+// O(n) allocation the refine inner loop used to pay per call.
+func CountCoveredWorkers(n int, col *diffusion.RRCollection, seeds []uint32, workers int) int64 {
+	numSets := col.Count()
+	if numSets == 0 || len(seeds) == 0 {
+		return 0
+	}
+	inSeeds := seedMarks.get(n)
+	for _, s := range seeds {
+		if int(s) < n {
+			inSeeds[s] = true
+		}
+	}
+	workers = effectiveWorkers(workers, len(col.Flat))
+	var covered int64
+	if workers == 1 {
+		for s := 0; s < numSets; s++ {
+			for _, v := range col.Set(s) {
+				if inSeeds[v] {
+					covered++
+					break
+				}
+			}
+		}
+	} else {
+		bounds := setShardBounds(col, workers)
+		part := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var c int64
+				for s := bounds[w]; s < bounds[w+1]; s++ {
+					for _, v := range col.Set(s) {
+						if inSeeds[v] {
+							c++
+							break
+						}
+					}
+				}
+				part[w] = c
+			}(w)
+		}
+		wg.Wait()
+		for _, c := range part {
+			covered += c
+		}
+	}
+	// Sparse reset restores the pool invariant (all entries false) in
+	// O(|seeds|) instead of a full clear.
+	for _, s := range seeds {
+		if int(s) < n {
+			inSeeds[s] = false
+		}
+	}
+	seedMarks.put(inSeeds)
+	return covered
+}
+
+// Scratch pools. Slices are stored by pointer (SA6002); every get checks
+// capacity and falls back to a fresh allocation, so pools never constrain
+// problem size — they only recycle.
+
+type i64SlicePool struct {
+	p            sync.Pool
+	hits, misses atomic.Int64
+}
+
+func (sp *i64SlicePool) get(n int, zero bool) []int64 {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]int64))
+		if cap(s) >= n {
+			s = s[:n]
+			if zero {
+				for i := range s {
+					s[i] = 0
+				}
+			}
+			sp.hits.Add(1)
+			return s
+		}
+	}
+	sp.misses.Add(1)
+	return make([]int64, n)
+}
+
+func (sp *i64SlicePool) put(s []int64) { sp.p.Put(&s) }
+
+type u32SlicePool struct {
+	p            sync.Pool
+	hits, misses atomic.Int64
+}
+
+func (sp *u32SlicePool) get(n int) []uint32 {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]uint32))
+		if cap(s) >= n {
+			sp.hits.Add(1)
+			return s[:n]
+		}
+	}
+	sp.misses.Add(1)
+	return make([]uint32, n)
+}
+
+func (sp *u32SlicePool) put(s []uint32) { sp.p.Put(&s) }
+
+// boolSlicePool hands out zeroed bool slices (get clears: same cost as a
+// fresh make, without the allocation and GC churn).
+type boolSlicePool struct {
+	p            sync.Pool
+	hits, misses atomic.Int64
+}
+
+func (sp *boolSlicePool) get(n int) []bool {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]bool))
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = false
+			}
+			sp.hits.Add(1)
+			return s
+		}
+	}
+	sp.misses.Add(1)
+	return make([]bool, n)
+}
+
+func (sp *boolSlicePool) put(s []bool) { sp.p.Put(&s) }
+
+// seedMarkPool pools the CountCovered membership scratch under a
+// stronger invariant: every slice in the pool is all-false over its full
+// capacity, maintained by callers resetting exactly the entries they set.
+// That is what lets get skip the O(n) clear entirely.
+type seedMarkPool struct {
+	p            sync.Pool
+	hits, misses atomic.Int64
+}
+
+func (sp *seedMarkPool) get(n int) []bool {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]bool))
+		if cap(s) >= n {
+			sp.hits.Add(1)
+			return s[:n]
+		}
+	}
+	sp.misses.Add(1)
+	return make([]bool, n)
+}
+
+func (sp *seedMarkPool) put(s []bool) { sp.p.Put(&s) }
+
+var (
+	i64Pool   i64SlicePool
+	u32Pool   u32SlicePool
+	boolPool  boolSlicePool
+	seedMarks seedMarkPool
+)
+
+// ScratchPoolStats reports the process-wide selection scratch reuse
+// counters across all pools: hits (gets served from a pool) and misses
+// (fresh allocations). Exposed for operational visibility (/v1/stats).
+func ScratchPoolStats() (hits, misses int64) {
+	hits = i64Pool.hits.Load() + u32Pool.hits.Load() + boolPool.hits.Load() + seedMarks.hits.Load()
+	misses = i64Pool.misses.Load() + u32Pool.misses.Load() + boolPool.misses.Load() + seedMarks.misses.Load()
+	return hits, misses
+}

@@ -1,0 +1,148 @@
+package maxcover
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func sameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+		t.Fatalf("%s: seeds %v != %v", label, got.Seeds, want.Seeds)
+	}
+	if !reflect.DeepEqual(got.Marginals, want.Marginals) {
+		t.Fatalf("%s: marginals differ", label)
+	}
+	if got.Covered != want.Covered || got.Forced != want.Forced || got.Cost != want.Cost {
+		t.Fatalf("%s: covered/forced/cost %d/%d/%g != %d/%d/%g",
+			label, got.Covered, got.Forced, got.Cost, want.Covered, want.Forced, want.Cost)
+	}
+}
+
+// TestGreedyWorkersBitIdentical: the parallel index build changes nothing
+// observable — picks, marginals, and coverage match the serial build on
+// randomized collections large enough to actually take the parallel path.
+func TestGreedyWorkersBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ n, sets, maxSize int }{
+		{500, 6000, 12},  // above minParallelFlat: the sharded path runs
+		{80, 300, 5},     // below: serial fallback, still identical
+		{2000, 9000, 16}, // skewed larger instance
+	} {
+		col := randomCollection(uint64(tc.n), tc.n, tc.sets, tc.maxSize)
+		want := GreedyWorkers(tc.n, col, 25, 1)
+		for _, workers := range []int{2, 3, 8, 0} {
+			got := GreedyWorkers(tc.n, col, 25, workers)
+			sameResult(t, fmt.Sprintf("n=%d/workers=%d", tc.n, workers), got, want)
+		}
+	}
+}
+
+// TestGreedyConstrainedWorkersBitIdentical sweeps the constrained paths —
+// force, exclude, budget — across worker counts.
+func TestGreedyConstrainedWorkersBitIdentical(t *testing.T) {
+	const n = 600
+	col := randomCollection(7, n, 7000, 10)
+	costs := make([]float64, n)
+	r := rng.New(8)
+	for i := range costs {
+		costs[i] = 0.5 + 2*r.Float64()
+	}
+	cases := map[string]Constraints{
+		"force":   {K: 10, Force: []uint32{3, 99, 250}},
+		"exclude": {K: 10, Exclude: []uint32{0, 1, 2, 3, 4, 5, 6, 7}},
+		"budget":  {K: 12, Budget: 9, Costs: costs},
+		"all":     {K: 8, Budget: 14, Costs: costs, Force: []uint32{17}, Exclude: []uint32{40, 41}},
+	}
+	for name, c := range cases {
+		serial := c
+		serial.Workers = 1
+		want := GreedyConstrained(n, col, serial)
+		for _, workers := range []int{2, 5, 0} {
+			par := c
+			par.Workers = workers
+			got := GreedyConstrained(n, col, par)
+			sameResult(t, fmt.Sprintf("%s/workers=%d", name, workers), got, want)
+		}
+	}
+}
+
+// TestCountCoveredWorkers: the range-parallel count matches the serial
+// one, and back-to-back calls stay correct (the pooled seed-mark scratch
+// must reset sparsely without leaking marks between calls).
+func TestCountCoveredWorkers(t *testing.T) {
+	const n = 400
+	col := randomCollection(9, n, 6000, 8)
+	r := rng.New(10)
+	for trial := 0; trial < 20; trial++ {
+		seeds := make([]uint32, 1+r.Intn(30))
+		for i := range seeds {
+			seeds[i] = uint32(r.Intn(n + 5)) // some deliberately out of range
+		}
+		want := CountCovered(n, col, seeds)
+		for _, workers := range []int{2, 4, 0} {
+			if got := CountCoveredWorkers(n, col, seeds, workers); got != want {
+				t.Fatalf("trial %d workers=%d: %d != %d", trial, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestScratchPoolCounters: the pools actually recycle.
+func TestScratchPoolCounters(t *testing.T) {
+	col := randomCollection(11, 300, 4000, 8)
+	h0, m0 := ScratchPoolStats()
+	for i := 0; i < 5; i++ {
+		Greedy(300, col, 10)
+		CountCovered(300, col, []uint32{1, 2, 3})
+	}
+	h1, m1 := ScratchPoolStats()
+	if h1 <= h0 {
+		t.Fatalf("no pool hits recorded: %d → %d (misses %d → %d)", h0, h1, m0, m1)
+	}
+}
+
+// BenchmarkGreedyParallel measures the selection phase (index build +
+// greedy cover) at one and all cores on a large-θ-shaped instance.
+func BenchmarkGreedyParallel(b *testing.B) {
+	const n = 20000
+	col := randomCollection(1, n, 200000, 8)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := GreedyWorkers(n, col, 50, workers)
+				if len(res.Seeds) != 50 {
+					b.Fatalf("picks=%d", len(res.Seeds))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountCoveredParallel measures the refine-pass coverage count
+// at one and all cores.
+func BenchmarkCountCoveredParallel(b *testing.B) {
+	const n = 20000
+	col := randomCollection(2, n, 200000, 8)
+	seeds := make([]uint32, 50)
+	for i := range seeds {
+		seeds[i] = uint32(i * 17)
+	}
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountCoveredWorkers(n, col, seeds, workers)
+			}
+		})
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/diffusion"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/spread"
+	"repro/internal/stats"
 	"repro/internal/tim"
 )
 
@@ -462,10 +465,14 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 }
 
 // BatchRequest is the body of POST /v1/query/batch: up to MaxBatchQueries
-// maximize queries answered in order. Batches amortize HTTP round-trips
-// for scenario sweeps (one audience against many budgets, one topology
-// against many horizons) and run sequentially, so later queries hit the
-// RR collections earlier ones warmed.
+// maximize queries answered in request order. Batches amortize HTTP
+// round-trips for scenario sweeps (one audience against many budgets,
+// one topology against many horizons). Items execute bounded-parallel
+// (Config.BatchParallelism): items that would share a warm RR collection
+// form a group whose predicted-largest-θ member runs first — its
+// extension warms the shared collection once — and the rest of the group
+// then runs selection concurrently. Answers are identical to a
+// sequential batch: reuse can only skip sampling, never change a result.
 type BatchRequest struct {
 	Queries []MaximizeRequest `json:"queries"`
 }
@@ -506,21 +513,143 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	// Group items by the RR collection they would share; order preserves
+	// first appearance so singleton batches behave exactly as before.
+	groups := make(map[string][]int)
+	var order []string
 	for i := range req.Queries {
+		key := batchGroupKey(i, &req.Queries[i])
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	s.batchGroups.Add(int64(len(order)))
+
+	runItem := func(i int) {
 		q := req.Queries[i]
 		s.bumpQuery(q.Dataset, func(st *datasetQueryStats) { st.BatchQueries++ })
 		itemStart := time.Now()
 		item, _, err := s.doMaximize(r.Context(), q)
 		if err != nil {
 			resp.Results[i] = BatchItem{Error: err.Error()}
-			continue
+			return
 		}
 		item.ElapsedMs = float64(time.Since(itemStart).Microseconds()) / 1000
 		resp.Results[i] = BatchItem{Result: &item}
 	}
+	sem := make(chan struct{}, s.cfg.BatchParallelism)
+	var wg sync.WaitGroup
+	for _, key := range order {
+		idxs := groups[key]
+		// The warm-up pick: largest predicted θ goes first so one
+		// extension covers the whole group. θ itself depends on KPT
+		// (unknown until estimation runs), but within a group ε is fixed,
+		// so the λ(k, ℓ) ordering is the right proxy — and a mispick only
+		// costs a second, smaller extension, never a wrong answer.
+		warm := idxs[0]
+		for _, i := range idxs[1:] {
+			if predictedThetaScore(&req.Queries[i]) > predictedThetaScore(&req.Queries[warm]) {
+				warm = i
+			}
+		}
+		rest := make([]int, 0, len(idxs)-1)
+		for _, i := range idxs {
+			if i != warm {
+				rest = append(rest, i)
+			}
+		}
+		if len(rest) > 0 {
+			s.batchWarmupItems.Add(1)
+			s.batchParallelItems.Add(int64(len(rest)))
+		} else {
+			s.batchParallelItems.Add(1)
+		}
+		wg.Add(1)
+		go func(warm int, rest []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			runItem(warm)
+			<-sem
+			var iwg sync.WaitGroup
+			for _, i := range rest {
+				iwg.Add(1)
+				go func(i int) {
+					defer iwg.Done()
+					sem <- struct{}{}
+					runItem(i)
+					<-sem
+				}(i)
+			}
+			iwg.Wait()
+		}(warm, rest)
+	}
+	wg.Wait()
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.observe("batch", start, false, false)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchGroupKey assigns a batch item to its RR-collection sharing group.
+// It mirrors the reuse-layer key — dataset, model, ε, sampling profile —
+// computed from the raw request (no snapshot needed): selection-only
+// constraints share the unconstrained profile exactly as the rr-store
+// does, while audience weights and horizons split off their own groups.
+// Grouping is a scheduling hint only; a too-fine grouping costs an extra
+// concurrent extension serialized on the entry lock, never correctness.
+func batchGroupKey(i int, q *MaximizeRequest) string {
+	if q.NoReuse {
+		// No shared collection to warm: a singleton group, free to run
+		// fully parallel.
+		return fmt.Sprintf("!%d", i)
+	}
+	eps := q.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	model := strings.ToLower(q.Model)
+	if model == "" {
+		model = "ic"
+	}
+	key := fmt.Sprintf("%s|%s|eps=%g", q.Dataset, model, eps)
+	if len(q.Weights) > 0 || q.MaxHops > 0 {
+		ids := make([]string, 0, len(q.Weights))
+		for id := range q.Weights {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		h := fnv64(key)
+		for _, id := range ids {
+			h ^= fnv64(fmt.Sprintf("%s=%g", id, q.Weights[id]))
+			h *= 1099511628211
+		}
+		key += fmt.Sprintf("|w=%x|wd=%g|hops=%d", h, q.WeightDefault, q.MaxHops)
+	}
+	return key
+}
+
+// predictedThetaScore orders items within a sharing group by predicted
+// θ = λ/KPT. KPT is a property of the dataset (identical within a group)
+// and ε is part of the group key, so the λ(k, ℓ) trend is the whole
+// signal; the node count only rescales it, so a fixed proxy n suffices.
+func predictedThetaScore(q *MaximizeRequest) float64 {
+	const nProxy = 1 << 20
+	k := q.K
+	if k < 1 {
+		k = 1
+	}
+	if k > nProxy {
+		k = nProxy
+	}
+	ell := q.Ell
+	if ell == 0 {
+		ell = 1
+	}
+	eps := q.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	return stats.Lambda(nProxy, k, eps, ell)
 }
 
 func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
@@ -705,6 +834,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// QuerySubsystem reports, per dataset, the constrained-query
 		// counters (weighted collections, batch traffic, rejections).
 		QuerySubsystem map[string]datasetQueryStats `json:"query_subsystem"`
+		// Parallel reports scratch-pool reuse (process-wide) and batch
+		// concurrency counters.
+		Parallel parallelStats `json:"parallel"`
 	}{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		StartedAt:      s.start.UTC().Format(time.RFC3339),
@@ -713,6 +845,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RRCache:        s.rr.stats(),
 		Datasets:       s.registry.list(),
 		QuerySubsystem: s.querySubsystemStats(),
+		Parallel:       s.parallelStatsSnapshot(),
 	})
 }
 

@@ -208,9 +208,20 @@ func TestQueryBatch(t *testing.T) {
 	if resp.Results[2].Error == "" || resp.Results[2].Result != nil {
 		t.Fatalf("missing dataset item should fail alone: %+v", resp.Results[2])
 	}
-	// Item 3 needs a larger θ than item 0 warmed, so it must reuse.
-	if resp.Results[3].Result.RRSetsReused == 0 {
-		t.Fatalf("batch item did not reuse warm sets: %+v", resp.Results[3].Result)
+	// Items 0, 1, and 3 share one RR-sharing group; the scheduler runs
+	// the largest-predicted-θ item (item 3, K=5) first as the group's
+	// warm-up, so items 0 and 1 must then serve the bulk of their θ from
+	// the warm collection it extended. (The θ prediction is a heuristic —
+	// KPT shifts with k — so a small top-up extension is legitimate;
+	// starting cold is not.)
+	if resp.Results[3].Result.RRSetsSampled == 0 {
+		t.Fatalf("warm-up item sampled nothing: %+v", resp.Results[3].Result)
+	}
+	for _, i := range []int{0, 1} {
+		r := resp.Results[i].Result
+		if r.RRSetsReused == 0 || r.RRSetsSampled > r.RRSetsReused {
+			t.Fatalf("batch item %d did not serve from the warm-up's sets: %+v", i, r)
+		}
 	}
 	// A standalone maximize must agree exactly with the batch item.
 	var solo MaximizeResponse

@@ -33,7 +33,11 @@
 // constraints key their own RR collections (by compiled profile hash);
 // selection-only constraints share the unconstrained ones. POST
 // /v1/query/batch answers up to MaxBatchQueries maximize queries in one
-// round-trip, and /v1/stats reports per-dataset query-subsystem counters.
+// round-trip, bounded-parallel: items sharing a warm collection warm it
+// once (largest predicted θ first) and then run concurrently, with
+// answers identical to a sequential batch. /v1/stats reports per-dataset
+// query-subsystem counters plus the parallel section (scratch-pool reuse,
+// batch concurrency).
 //
 // Endpoints: POST /v1/maximize, POST /v1/query/batch, POST /v1/spread,
 // POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /healthz. Every
@@ -46,9 +50,12 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/diffusion"
 	"repro/internal/evolve"
+	"repro/internal/maxcover"
 )
 
 // Config configures New. The zero value of every field except Datasets is
@@ -74,8 +81,18 @@ type Config struct {
 	// report theta_capped when the cap bound; the approximation
 	// guarantee is void for such queries.
 	MaxTheta int64
-	// Workers is the sampling parallelism per query (default GOMAXPROCS).
+	// Workers is the per-query parallelism (default GOMAXPROCS): RR
+	// sampling, the max-cover index build, and coverage counting all scale
+	// with it, and answers are byte-identical for every value.
 	Workers int
+	// BatchParallelism bounds how many /v1/query/batch items execute
+	// concurrently (default GOMAXPROCS; 1 restores fully sequential
+	// batches). Items that share a warm RR collection still warm it in
+	// order — the predicted-largest-θ item of each sharing group runs
+	// first — so batch parallelism overlaps per-item selection without
+	// duplicating sampling work, and answers are identical to a
+	// sequential batch (reuse can only skip work, never change a result).
+	BatchParallelism int
 	// Seed is the base seed of the RR reuse layer and the default query
 	// seed. Two servers with equal Config answer identically.
 	Seed uint64
@@ -102,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -122,6 +142,51 @@ type Server struct {
 	// separate from mu so stats snapshots never wait on request paths).
 	queryMu    sync.Mutex
 	queryStats map[string]*datasetQueryStats
+
+	// Batch-concurrency counters (atomic: bumped on the batch hot path).
+	batchGroups        atomic.Int64
+	batchWarmupItems   atomic.Int64
+	batchParallelItems atomic.Int64
+}
+
+// parallelStats is the /v1/stats snapshot of the parallel-execution
+// subsystem: scratch-pool reuse and batch concurrency. The pool counters
+// are process-wide (the sampler and selection pools live in their
+// packages, shared by every server in the process), so they are
+// monotone across the process lifetime, not per-server.
+type parallelStats struct {
+	// SamplerPoolHits/Misses count RR-sampler acquisitions served from
+	// the recycling pool vs fresh constructions (diffusion package).
+	SamplerPoolHits   int64 `json:"sampler_pool_hits"`
+	SamplerPoolMisses int64 `json:"sampler_pool_misses"`
+	// SelectScratchHits/Misses count selection scratch (occurrence
+	// counts, CSR arrays, cover bitmaps, seed marks) pool reuse
+	// (maxcover package).
+	SelectScratchHits   int64 `json:"select_scratch_hits"`
+	SelectScratchMisses int64 `json:"select_scratch_misses"`
+	// BatchParallelism echoes the configured concurrency bound.
+	BatchParallelism int `json:"batch_parallelism"`
+	// BatchGroups counts RR-collection sharing groups across batches;
+	// BatchWarmupItems the items run sequentially to warm a shared
+	// collection; BatchParallelItems the items run concurrently.
+	BatchGroups        int64 `json:"batch_groups"`
+	BatchWarmupItems   int64 `json:"batch_warmup_items"`
+	BatchParallelItems int64 `json:"batch_parallel_items"`
+}
+
+func (s *Server) parallelStatsSnapshot() parallelStats {
+	samplerHits, samplerMisses := diffusion.SamplerPoolStats()
+	scratchHits, scratchMisses := maxcover.ScratchPoolStats()
+	return parallelStats{
+		SamplerPoolHits:     samplerHits,
+		SamplerPoolMisses:   samplerMisses,
+		SelectScratchHits:   scratchHits,
+		SelectScratchMisses: scratchMisses,
+		BatchParallelism:    s.cfg.BatchParallelism,
+		BatchGroups:         s.batchGroups.Load(),
+		BatchWarmupItems:    s.batchWarmupItems.Load(),
+		BatchParallelItems:  s.batchParallelItems.Load(),
+	}
 }
 
 // datasetQueryStats are the per-dataset query-subsystem counters of

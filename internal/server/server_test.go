@@ -88,6 +88,7 @@ type statsSnapshot struct {
 	RRCache        rrStoreStats                 `json:"rr_cache"`
 	Datasets       []datasetInfo                `json:"datasets"`
 	QuerySubsystem map[string]datasetQueryStats `json:"query_subsystem"`
+	Parallel       parallelStats                `json:"parallel"`
 }
 
 // TestMaximizeSpreadStatsRoundTrip is the acceptance-criteria test: the

@@ -70,8 +70,13 @@ type Options struct {
 	// EpsPrime is Algorithm 3's accuracy parameter ε′. Zero selects the
 	// paper's heuristic 5·∛(ℓε²/(k+ℓ)) (§4.1). Ignored by plain TIM.
 	EpsPrime float64
-	// Workers is the sampling parallelism (default GOMAXPROCS). With
-	// Workers=1 and a fixed Seed, runs are fully deterministic.
+	// Workers is the parallelism of the whole query path — RR-set
+	// sampling, the max-cover index build, and coverage counting —
+	// defaulting to GOMAXPROCS. Results are byte-identical for every
+	// value: sampling draws set i from a stream keyed by (Seed, i) and
+	// selection reduces shard results in fixed order, so Workers is a
+	// throughput knob, never part of the answer. A fixed Seed therefore
+	// gives fully deterministic runs at any worker count.
 	Workers int
 	// Seed drives all randomness.
 	Seed uint64

@@ -48,7 +48,7 @@ func refineKPT(ctx context.Context, g *graph.Graph, model diffusion.Model, cfg d
 	if ctx.Err() != nil {
 		return kptStar
 	}
-	covered := maxcover.CountCovered(n, fresh, candidate.Seeds)
+	covered := maxcover.CountCoveredWorkers(n, fresh, candidate.Seeds, workers)
 	f := float64(covered) / float64(thetaPrime)
 	kptPrime := f * mass / (1 + epsPrime)
 	if kptPrime > kptStar {

@@ -67,6 +67,9 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 		cover = opts.compiled.Cover
 		cover.K = opts.K
 	}
+	// Workers drives the selection half too (index build, coverage
+	// counting); results are byte-identical for every value.
+	cover.Workers = opts.Workers
 	res.Mass = mass
 
 	// Phase 1: parameter estimation (Algorithm 2).
@@ -189,7 +192,7 @@ func SelectWithTheta(g *graph.Graph, model diffusion.Model, k int, theta int64, 
 		Workers: workers,
 		Seed:    seed,
 	})
-	cover := maxcover.Greedy(g.N(), col, k)
+	cover := maxcover.GreedyWorkers(g.N(), col, k, workers)
 	res := &Result{
 		Seeds:            cover.Seeds,
 		Theta:            theta,

@@ -1,0 +1,92 @@
+package tim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// TestMaximizeWorkerIndependent is the new whole-pipeline determinism
+// contract: with per-index keyed sampling and order-fixed selection
+// reductions, a full TIM+ run returns byte-identical results at every
+// worker count — Workers is purely a throughput knob. (Before this
+// refactor only Workers=1 runs were reproducible across machines.)
+func TestMaximizeWorkerIndependent(t *testing.T) {
+	g := gen.ChungLuDirected(600, 4000, 2.4, 2.1, rng.New(31))
+	graph.AssignWeightedCascade(g)
+	for _, variant := range []Algorithm{TIM, TIMPlus} {
+		var want *Result
+		for _, workers := range []int{1, 2, 7} {
+			res, err := Maximize(g, diffusion.NewIC(), Options{
+				K: 8, Epsilon: 0.3, Variant: variant, Seed: 12, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%v/workers=%d: %v", variant, workers, err)
+			}
+			if want == nil {
+				want = res
+				continue
+			}
+			label := fmt.Sprintf("%v/workers=%d", variant, workers)
+			if !reflect.DeepEqual(res.Seeds, want.Seeds) {
+				t.Fatalf("%s: seeds %v != %v", label, res.Seeds, want.Seeds)
+			}
+			if res.Theta != want.Theta || res.KptStar != want.KptStar || res.KptPlus != want.KptPlus {
+				t.Fatalf("%s: theta/kpt drifted: %d/%g/%g vs %d/%g/%g",
+					label, res.Theta, res.KptStar, res.KptPlus, want.Theta, want.KptStar, want.KptPlus)
+			}
+			if res.CoverageFraction != want.CoverageFraction || res.SpreadEstimate != want.SpreadEstimate {
+				t.Fatalf("%s: coverage/spread drifted", label)
+			}
+		}
+	}
+}
+
+// TestMaximizeWorkerIndependentConstrained repeats the contract under a
+// constrained query (weighted audience, horizon, forced and excluded
+// seeds, budget) — the paths that route through GreedyConstrained and the
+// config sampler.
+func TestMaximizeWorkerIndependentConstrained(t *testing.T) {
+	g := gen.ChungLuDirected(500, 3500, 2.4, 2.1, rng.New(33))
+	graph.AssignWeightedCascade(g)
+	weights := make([]float64, g.N())
+	costs := make([]float64, g.N())
+	for i := range weights {
+		weights[i] = float64(i%5) + 0.25
+		costs[i] = 1 + float64(i%3)
+	}
+	spec := &query.Spec{
+		Weights: weights,
+		Costs:   costs,
+		Budget:  12,
+		Force:   []uint32{9},
+		Exclude: []uint32{1, 2, 3},
+		MaxHops: 4,
+	}
+	var want *Result
+	for _, workers := range []int{1, 3, 8} {
+		res, err := Maximize(g, diffusion.NewIC(), Options{
+			K: 6, Epsilon: 0.3, Seed: 21, Workers: workers, Query: spec,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Seeds, want.Seeds) {
+			t.Fatalf("workers=%d: seeds %v != %v", workers, res.Seeds, want.Seeds)
+		}
+		if res.Theta != want.Theta || res.SpreadEstimate != want.SpreadEstimate ||
+			res.SeedCost != want.SeedCost || res.ForcedSeeds != want.ForcedSeeds {
+			t.Fatalf("workers=%d: result drifted: %+v vs %+v", workers, res, want)
+		}
+	}
+}
