@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -106,6 +107,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink the instance for CI smoke runs (schema unchanged)")
 		out      = flag.String("out", "BENCH.json", "output path")
 		validate = flag.String("validate", "", "validate an existing BENCH.json against the schema and exit")
+		against  = flag.String("against", "", "committed baseline BENCH.json to compare the fresh run against")
+		tol      = flag.Float64("tolerance", 0.25, "allowed fractional slowdown per phase before -against fails")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -119,6 +122,13 @@ func main() {
 	if err := run(*n, *m, *model, *theta, *k, *seed, *workers, *quick, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "timbench:", err)
 		os.Exit(1)
+	}
+	if *against != "" {
+		if err := compareFiles(*out, *against, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "timbench: regression:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timbench: %s within %.0f%% of baseline %s in every phase\n", *out, 100**tol, *against)
 	}
 }
 
@@ -429,6 +439,65 @@ func validateFile(path string) error {
 	}
 	if !f.BitIdentical {
 		return fmt.Errorf("bit_identical = false")
+	}
+	return nil
+}
+
+// compareFiles fails when the fresh run regressed past tolerance in any
+// phase relative to the committed baseline. Only the Workers=1 runs are
+// compared — parallel timings swing with CI machine load, serial phase
+// times are the stable signal — and only when the instance configs
+// match, so a deliberate -quick baseline is never compared against a
+// full-size run.
+func compareFiles(freshPath, basePath string, tolerance float64) error {
+	load := func(path string) (*BenchFile, error) {
+		if err := validateFile(path); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f BenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, err
+		}
+		return &f, nil
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	fc, bc := fresh.Config, base.Config
+	if fc.N != bc.N || fc.M != bc.M || fc.Theta != bc.Theta || fc.K != bc.K ||
+		fc.Model != bc.Model || fc.Seed != bc.Seed || fc.Quick != bc.Quick {
+		return fmt.Errorf("instance configs differ (fresh %+v vs baseline %+v): not comparable", fc, bc)
+	}
+	fr, br := fresh.Runs[0], base.Runs[0]
+	phases := []struct {
+		name        string
+		fresh, base int64
+	}{
+		{"sample", fr.SampleNs, br.SampleNs},
+		{"greedy", fr.GreedyNs, br.GreedyNs},
+		{"count_covered", fr.CountCoveredNs, br.CountCoveredNs},
+		{"total", fr.TotalNs, br.TotalNs},
+	}
+	var failures []string
+	for _, p := range phases {
+		limit := float64(p.base) * (1 + tolerance)
+		if float64(p.fresh) > limit {
+			failures = append(failures, fmt.Sprintf("%s %.1fms vs baseline %.1fms (+%.0f%% > %.0f%% allowed)",
+				p.name, float64(p.fresh)/1e6, float64(p.base)/1e6,
+				100*(float64(p.fresh)/float64(p.base)-1), 100*tolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}
 	return nil
 }

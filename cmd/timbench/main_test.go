@@ -40,6 +40,52 @@ func TestQuickBenchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCompareFiles: the -against regression check accepts runs within
+// tolerance, rejects slow phases, and refuses mismatched instances.
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, sampleNs, greedyNs, countNs int64, n int) string {
+		f := BenchFile{
+			Version:      1,
+			GeneratedBy:  "timbench",
+			Config:       BenchConfig{N: n, M: 10, Model: "ic", Theta: 100, K: 5, Seed: 1, Workers: 1, Cores: 1},
+			BitIdentical: true,
+			Memory:       BenchMemory{ZeroCopyPeakBytes: 1, MergeBaselinePeakBytes: 2, Reduction: 0.5},
+			Runs: []BenchRun{{
+				Workers: 1, SampleNs: sampleNs, GreedyNs: greedyNs, CountCoveredNs: countNs,
+				SelectNs: greedyNs + countNs, TotalNs: sampleNs + greedyNs + countNs,
+				PeakRRBytes: 1, CollectionBytes: 1,
+			}},
+		}
+		data, err := json.Marshal(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	base := mk("base.json", 1000, 500, 300, 100)
+	if err := compareFiles(mk("same.json", 1100, 550, 330, 100), base, 0.25); err != nil {
+		t.Fatalf("within-tolerance run rejected: %v", err)
+	}
+	err := compareFiles(mk("slow.json", 2000, 500, 300, 100), base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "sample") {
+		t.Fatalf("2x sample regression: %v", err)
+	}
+	// A single slow phase fails even when total stays inside tolerance.
+	err = compareFiles(mk("phase.json", 900, 800, 200, 100), base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "greedy") {
+		t.Fatalf("greedy-only regression: %v", err)
+	}
+	if err := compareFiles(mk("othern.json", 1000, 500, 300, 999), base, 0.25); err == nil {
+		t.Fatal("mismatched instances compared")
+	}
+}
+
 // TestValidateRejects: structurally broken files fail with pointed
 // errors.
 func TestValidateRejects(t *testing.T) {

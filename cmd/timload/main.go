@@ -1,0 +1,498 @@
+// Command timload is an open-loop load generator for the tiered query
+// server: it fires /v1/maximize requests at a fixed arrival rate
+// (arrivals are scheduled by the clock, never gated on responses — a
+// slow server faces a growing backlog exactly as it would in
+// production), mixes tight-budget, loose-budget, and unbudgeted traffic,
+// and writes the observed per-class latency distribution, tier
+// breakdown, and SLO violations as machine-readable LOAD.json.
+//
+// By default it spins up an in-process server over a synthetic dataset,
+// so a single command is a self-contained soak; point -url at a running
+// timserver to load-test over the wire instead.
+//
+// Example:
+//
+//	timload -qps 200 -duration 30s -mix 0.6,0.3,0.1 -out LOAD.json
+//	timload -quick                    # CI smoke: 100 QPS for ~3s
+//	timload -validate LOAD.json
+//
+// Intensity is env-tunable for CI matrices without workflow edits:
+// TIMLOAD_QPS and TIMLOAD_DURATION override the flag defaults.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// LoadFile is the LOAD.json schema, version 1. Latencies are
+// client-observed milliseconds.
+type LoadFile struct {
+	Version     int        `json:"version"`
+	GeneratedBy string     `json:"generated_by"`
+	Config      LoadConfig `json:"config"`
+	// Classes holds one entry per request class in the mix; a class with
+	// a zero share is omitted.
+	Classes []ClassResult `json:"classes"`
+	Totals  LoadTotals    `json:"totals"`
+}
+
+// LoadConfig echoes the run parameters for reproducibility.
+type LoadConfig struct {
+	TargetQPS  float64 `json:"target_qps"`
+	DurationMs float64 `json:"duration_ms"`
+	Mix        string  `json:"mix"`
+	TightMs    float64 `json:"tight_budget_ms"`
+	LooseMs    float64 `json:"loose_budget_ms"`
+	K          int     `json:"k"`
+	Dataset    string  `json:"dataset"`
+	URL        string  `json:"url,omitempty"`
+	Quick      bool    `json:"quick"`
+	Cores      int     `json:"cores"`
+}
+
+// ClassResult is the observed outcome of one request class.
+type ClassResult struct {
+	Name     string  `json:"name"`
+	BudgetMs float64 `json:"budget_ms"` // 0 = unbudgeted
+	Sent     int64   `json:"sent"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`   // 503 responses
+	Errors   int64   `json:"errors"` // transport failures and non-200/503 statuses
+	// Tiers counts OK answers by the tier the server reported.
+	Tiers map[string]int64 `json:"tiers"`
+	// Client-observed latency over OK answers.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// Server-reported elapsed_ms over OK answers — the SLO's own clock,
+	// free of client-side queueing under open-loop overload.
+	ServerP50Ms float64 `json:"server_p50_ms"`
+	ServerP99Ms float64 `json:"server_p99_ms"`
+	// BudgetViolations counts OK answers whose server-side elapsed_ms
+	// exceeded the class budget plus violationGraceMs.
+	BudgetViolations int64 `json:"budget_violations"`
+}
+
+// LoadTotals aggregates across classes.
+type LoadTotals struct {
+	Sent   int64 `json:"sent"`
+	OK     int64 `json:"ok"`
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+	// AchievedQPS is sent / wall time — open-loop dispatch keeps this at
+	// the target unless the generator itself cannot keep up.
+	AchievedQPS float64 `json:"achieved_qps"`
+}
+
+// violationGraceMs absorbs scheduler jitter between the server's
+// deadline check and its response timestamp; a genuine tier
+// misclassification overshoots by far more.
+const violationGraceMs = 25
+
+// classSpec defines one slice of the traffic mix.
+type classSpec struct {
+	name     string
+	budgetMs float64
+	share    float64
+}
+
+// outcome is one completed request, recorded by the per-request
+// goroutine and aggregated after the run.
+type outcome struct {
+	class     int
+	status    int
+	tier      string
+	clientMs  float64
+	elapsedMs float64 // server-reported
+	transport bool    // transport-level failure (status meaningless)
+}
+
+func main() {
+	var (
+		qps      = flag.Float64("qps", envFloat("TIMLOAD_QPS", 100), "target arrival rate, requests/second (env TIMLOAD_QPS)")
+		duration = flag.Duration("duration", envDuration("TIMLOAD_DURATION", 10*time.Second), "load phase length (env TIMLOAD_DURATION)")
+		mix      = flag.String("mix", "0.6,0.3,0.1", "traffic shares tight,loose,unbudgeted (normalized)")
+		tightMs  = flag.Float64("tight-ms", 5, "budget_ms of the tight class")
+		looseMs  = flag.Float64("loose-ms", 250, "budget_ms of the loose class")
+		k        = flag.Int("k", 10, "seed-set size per query")
+		dataset  = flag.String("dataset", "ba:2000:4", "dataset source for the in-process server (ignored with -url)")
+		url      = flag.String("url", "", "load an external server at this base URL instead of an in-process one")
+		quick    = flag.Bool("quick", false, "CI smoke: 100 QPS for 3s on a small graph")
+		out      = flag.String("out", "LOAD.json", "output path")
+		validate = flag.String("validate", "", "validate an existing LOAD.json against the schema and exit")
+	)
+	flag.Parse()
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "timload: invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timload: %s is schema-valid\n", *validate)
+		return
+	}
+	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "timload:", err)
+		os.Exit(1)
+	}
+}
+
+func envFloat(key string, def float64) float64 {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func envDuration(key string, def time.Duration) time.Duration {
+	if s := os.Getenv(key); s != "" {
+		if v, err := time.ParseDuration(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs float64,
+	k int, dataset, url string, quick bool, out string) error {
+
+	if quick {
+		qps, duration, dataset = 100, 3*time.Second, "ba:1000:3"
+	}
+	if qps <= 0 || duration <= 0 {
+		return fmt.Errorf("qps and duration must be positive")
+	}
+	shares, err := parseMix(mixStr)
+	if err != nil {
+		return err
+	}
+	classes := []classSpec{
+		{name: "tight", budgetMs: tightMs, share: shares[0]},
+		{name: "loose", budgetMs: looseMs, share: shares[1]},
+		{name: "unbudgeted", budgetMs: 0, share: shares[2]},
+	}
+
+	base := url
+	if base == "" {
+		srv, err := server.New(server.Config{
+			Datasets:       []server.DatasetSpec{{Name: "load", Source: dataset, Seed: 7}},
+			CacheSize:      64,
+			RequestTimeout: 30 * time.Second,
+			Seed:           1,
+		})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+		dataset = "load"
+	} else {
+		// Against an external server the caller names the dataset directly.
+		if flag.Lookup("dataset") != nil && dataset == "ba:2000:4" {
+			return fmt.Errorf("-url requires -dataset to name a dataset served there")
+		}
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Warm-up: one unbudgeted query per model calibrates the planner's
+	// cost model and fills the result cache, and one tight query builds
+	// the fast-tier scorer. Warm-up outcomes are not recorded — the run
+	// measures steady state, which is what the SLO speaks about.
+	for _, warm := range []map[string]any{
+		{"dataset": dataset, "k": k},
+		{"dataset": dataset, "k": k, "budget_ms": tightMs},
+	} {
+		if _, err := fire(client, base, warm); err != nil {
+			return fmt.Errorf("warm-up: %w", err)
+		}
+	}
+
+	// Open-loop dispatch: request i departs at start + i/qps, regardless
+	// of whether earlier requests have returned. Class assignment cycles
+	// a deterministic schedule matching the mix, so every run of the same
+	// config sends the identical sequence.
+	total := int(math.Round(qps * duration.Seconds()))
+	if total < 1 {
+		total = 1
+	}
+	schedule := buildSchedule(classes, total)
+	interval := time.Duration(float64(time.Second) / qps)
+
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if sleepFor := start.Add(time.Duration(i) * interval).Sub(time.Now()); sleepFor > 0 {
+			time.Sleep(sleepFor)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ci := schedule[i]
+			body := map[string]any{"dataset": dataset, "k": k}
+			if b := classes[ci].budgetMs; b > 0 {
+				body["budget_ms"] = b
+			}
+			t0 := time.Now()
+			resp, err := fire(client, base, body)
+			outcomes[i] = outcome{class: ci, clientMs: float64(time.Since(t0).Microseconds()) / 1000}
+			if err != nil {
+				outcomes[i].transport = true
+				return
+			}
+			outcomes[i].status = resp.status
+			outcomes[i].tier = resp.tier
+			outcomes[i].elapsedMs = resp.elapsedMs
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	file := assemble(classes, outcomes, LoadConfig{
+		TargetQPS: qps, DurationMs: float64(duration.Milliseconds()),
+		Mix: mixStr, TightMs: tightMs, LooseMs: looseMs,
+		K: k, Dataset: dataset, URL: url, Quick: quick,
+		Cores: runtime.GOMAXPROCS(0),
+	}, wall)
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	for _, c := range file.Classes {
+		fmt.Printf("timload: %-10s sent=%d ok=%d shed=%d err=%d p50=%.2fms p99=%.2fms srv_p99=%.2fms viol=%d tiers=%v\n",
+			c.Name, c.Sent, c.OK, c.Shed, c.Errors, c.P50Ms, c.P99Ms, c.ServerP99Ms, c.BudgetViolations, c.Tiers)
+	}
+	fmt.Printf("timload: %.0f QPS target, %.0f achieved over %v → %s\n",
+		qps, file.Totals.AchievedQPS, wall.Round(time.Millisecond), out)
+	if file.Totals.Errors > 0 {
+		return fmt.Errorf("%d requests failed (see %s)", file.Totals.Errors, out)
+	}
+	return nil
+}
+
+// fired is the slice of a response the generator cares about.
+type fired struct {
+	status    int
+	tier      string
+	elapsedMs float64
+}
+
+func fire(client *http.Client, base string, body map[string]any) (fired, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fired{}, err
+	}
+	resp, err := client.Post(base+"/v1/maximize", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return fired{}, err
+	}
+	defer resp.Body.Close()
+	var parsed struct {
+		Tier      string  `json:"tier"`
+		ElapsedMs float64 `json:"elapsed_ms"`
+	}
+	// Shed and error bodies simply leave the fields zero.
+	_ = json.NewDecoder(resp.Body).Decode(&parsed)
+	return fired{status: resp.StatusCode, tier: parsed.Tier, elapsedMs: parsed.ElapsedMs}, nil
+}
+
+func parseMix(s string) ([3]float64, error) {
+	var shares [3]float64
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return shares, fmt.Errorf("-mix wants three comma-separated shares (tight,loose,unbudgeted), got %q", s)
+	}
+	var sum float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return shares, fmt.Errorf("bad -mix share %q", p)
+		}
+		shares[i] = v
+		sum += v
+	}
+	if sum == 0 {
+		return shares, fmt.Errorf("-mix shares are all zero")
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares, nil
+}
+
+// buildSchedule spreads the classes over the request sequence in
+// proportion to their shares, deterministically: request i goes to the
+// class whose cumulative quota is furthest behind. This interleaves the
+// classes evenly instead of sending them in blocks.
+func buildSchedule(classes []classSpec, total int) []int {
+	schedule := make([]int, total)
+	sent := make([]float64, len(classes))
+	for i := 0; i < total; i++ {
+		best, bestLag := 0, math.Inf(-1)
+		for c := range classes {
+			if classes[c].share == 0 {
+				continue
+			}
+			lag := classes[c].share*float64(i+1) - sent[c]
+			if lag > bestLag {
+				best, bestLag = c, lag
+			}
+		}
+		schedule[i] = best
+		sent[best]++
+	}
+	return schedule
+}
+
+func assemble(classes []classSpec, outcomes []outcome, cfg LoadConfig, wall time.Duration) LoadFile {
+	file := LoadFile{Version: 1, GeneratedBy: "timload", Config: cfg}
+	for ci, spec := range classes {
+		if spec.share == 0 {
+			continue
+		}
+		cr := ClassResult{Name: spec.name, BudgetMs: spec.budgetMs, Tiers: map[string]int64{}}
+		var lat, srvLat []float64
+		for _, o := range outcomes {
+			if o.class != ci {
+				continue
+			}
+			cr.Sent++
+			switch {
+			case o.transport:
+				cr.Errors++
+			case o.status == http.StatusOK:
+				cr.OK++
+				cr.Tiers[o.tier]++
+				lat = append(lat, o.clientMs)
+				srvLat = append(srvLat, o.elapsedMs)
+				if spec.budgetMs > 0 && o.elapsedMs > spec.budgetMs+violationGraceMs {
+					cr.BudgetViolations++
+				}
+			case o.status == http.StatusServiceUnavailable:
+				cr.Shed++
+			default:
+				cr.Errors++
+			}
+		}
+		cr.P50Ms, cr.P99Ms, cr.MaxMs = percentiles(lat)
+		cr.ServerP50Ms, cr.ServerP99Ms, _ = percentiles(srvLat)
+		file.Classes = append(file.Classes, cr)
+		file.Totals.Sent += cr.Sent
+		file.Totals.OK += cr.OK
+		file.Totals.Shed += cr.Shed
+		file.Totals.Errors += cr.Errors
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		file.Totals.AchievedQPS = float64(file.Totals.Sent) / secs
+	}
+	return file
+}
+
+// percentiles returns nearest-rank p50/p99 and the max of ms samples.
+func percentiles(ms []float64) (p50, p99, max float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.99), sorted[len(sorted)-1]
+}
+
+// validateFile checks a LOAD.json for schema version 1: required fields
+// present, counts consistent, percentiles ordered.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f LoadFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return err
+	}
+	return validate(&f)
+}
+
+func validate(f *LoadFile) error {
+	if f.Version != 1 {
+		return fmt.Errorf("schema version %d, want 1", f.Version)
+	}
+	if f.GeneratedBy != "timload" {
+		return fmt.Errorf("generated_by %q", f.GeneratedBy)
+	}
+	if f.Config.TargetQPS <= 0 || f.Config.DurationMs <= 0 {
+		return fmt.Errorf("non-positive config qps/duration")
+	}
+	if len(f.Classes) == 0 {
+		return fmt.Errorf("no classes")
+	}
+	var sent, ok, shed, errs int64
+	for _, c := range f.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("class with empty name")
+		}
+		if c.Sent != c.OK+c.Shed+c.Errors {
+			return fmt.Errorf("class %s: sent %d != ok %d + shed %d + errors %d", c.Name, c.Sent, c.OK, c.Shed, c.Errors)
+		}
+		if c.P50Ms > c.P99Ms || c.P99Ms > c.MaxMs {
+			return fmt.Errorf("class %s: percentiles out of order (%g, %g, %g)", c.Name, c.P50Ms, c.P99Ms, c.MaxMs)
+		}
+		if c.ServerP50Ms > c.ServerP99Ms {
+			return fmt.Errorf("class %s: server percentiles out of order (%g, %g)", c.Name, c.ServerP50Ms, c.ServerP99Ms)
+		}
+		var tiered int64
+		for tier, n := range c.Tiers {
+			if tier != "ris" && tier != "fast" {
+				return fmt.Errorf("class %s: unknown tier %q", c.Name, tier)
+			}
+			tiered += n
+		}
+		if tiered != c.OK {
+			return fmt.Errorf("class %s: tier counts %d != ok %d", c.Name, tiered, c.OK)
+		}
+		sent += c.Sent
+		ok += c.OK
+		shed += c.Shed
+		errs += c.Errors
+	}
+	t := f.Totals
+	if t.Sent != sent || t.OK != ok || t.Shed != shed || t.Errors != errs {
+		return fmt.Errorf("totals %+v disagree with class sums (%d/%d/%d/%d)", t, sent, ok, shed, errs)
+	}
+	if t.Sent > 0 && t.AchievedQPS <= 0 {
+		return fmt.Errorf("achieved_qps missing")
+	}
+	return nil
+}

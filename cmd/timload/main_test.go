@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadRoundTrip: a small in-process run writes a schema-valid
+// LOAD.json whose counts reconcile. Structural assertions only — CI
+// machines are too noisy for latency thresholds; the committed SLO
+// numbers come from dedicated timload runs, not this test.
+func TestLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a ~1s load phase against an in-process server")
+	}
+	out := filepath.Join(t.TempDir(), "LOAD.json")
+	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(out); err != nil {
+		t.Fatalf("self-emitted file fails validation: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f LoadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 3 {
+		t.Fatalf("classes: %+v", f.Classes)
+	}
+	if f.Totals.Sent != 40 {
+		t.Fatalf("sent %d, want the 40 scheduled arrivals", f.Totals.Sent)
+	}
+	// The deterministic schedule honors the mix to within rounding.
+	for i, want := range []int64{20, 12, 8} {
+		if got := f.Classes[i].Sent; got < want-1 || got > want+1 {
+			t.Fatalf("class %s sent %d, want ~%d", f.Classes[i].Name, got, want)
+		}
+	}
+	// Unbudgeted traffic must carry a guarantee: every OK answer is RIS.
+	un := f.Classes[2]
+	if un.Tiers["fast"] != 0 {
+		t.Fatalf("unbudgeted class answered by the fast tier: %+v", un.Tiers)
+	}
+}
+
+// TestBuildSchedule: the class interleave is deterministic, covers every
+// request, and tracks the shares.
+func TestBuildSchedule(t *testing.T) {
+	classes := []classSpec{{share: 0.5}, {share: 0.25}, {share: 0.25}}
+	s := buildSchedule(classes, 100)
+	counts := map[int]int{}
+	for _, c := range s {
+		counts[c]++
+	}
+	if counts[0] != 50 || counts[1] != 25 || counts[2] != 25 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Even interleave: no class goes dark for long stretches.
+	for i := 4; i < len(s); i++ {
+		window := map[int]bool{}
+		for _, c := range s[i-4 : i+1] {
+			window[c] = true
+		}
+		if !window[0] {
+			t.Fatalf("majority class absent from window ending at %d: %v", i, s[i-4:i+1])
+		}
+	}
+	// A zero-share class never appears.
+	s = buildSchedule([]classSpec{{share: 1}, {share: 0}}, 10)
+	for _, c := range s {
+		if c != 0 {
+			t.Fatalf("zero-share class scheduled: %v", s)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	shares, err := parseMix("2,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares != [3]float64{0.5, 0.25, 0.25} {
+		t.Fatalf("shares = %v", shares)
+	}
+	for _, bad := range []string{"1,1", "a,b,c", "-1,1,1", "0,0,0", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestValidateRejects: structurally broken files fail with pointed
+// errors.
+func TestValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad version":   `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
+		"no classes":    `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
+		"counts broken": `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":3,"ok":1,"shed":1,"errors":0,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":3,"ok":1,"shed":1,"errors":0,"achieved_qps":1}}`,
+		"unknown tier":  `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"tiers":{"psychic":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"achieved_qps":1}}`,
+		"unknown field": `{"version":1,"generated_by":"timload","bogus":1}`,
+		"not json":      `hello`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateFile(path); err == nil {
+			t.Fatalf("%s: validation passed, want failure", name)
+		}
+	}
+	if err := validateFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: validation passed")
+	}
+}

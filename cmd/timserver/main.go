@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,20 +69,46 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 		deltaLog  = flag.Int("delta-log", 0, "mutations retained per dataset for incremental RR repair (0 = default 1M; older warm collections reset cold)")
 		batchPar  = flag.Int("batch-parallel", 0, "max /v1/query/batch items executed concurrently (0 = all cores, 1 = sequential; answers unchanged)")
+		inFlight  = flag.Int("max-inflight", 0, "admission bound on concurrent queries; budgeted requests beyond it are shed with 503+Retry-After (0 = 2×cores)")
+		ladderStr = flag.String("eps-ladder", "", "comma-separated ε rungs for budgeted escalation, e.g. 0.1,0.2,0.5 (empty = built-in ladder)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
 	flag.Parse()
 
-	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar); err != nil {
+	ladder, err := parseLadder(*ladderStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timserver:", err)
+		os.Exit(2)
+	}
+	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar, *inFlight, ladder); err != nil {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
 		os.Exit(1)
 	}
 }
 
+// parseLadder turns a comma-separated flag value into ε rungs; the
+// server normalizes (sorts, dedups, range-checks) the result.
+func parseLadder(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ladder := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -eps-ladder entry %q: %w", p, err)
+		}
+		ladder = append(ladder, v)
+	}
+	return ladder, nil
+}
+
 func run(listen string, datasets []string, cacheSize, rrCollections int,
 	maxTheta int64, timeout time.Duration, workers int, seed uint64,
-	drain time.Duration, deltaLog int, batchParallelism int) error {
+	drain time.Duration, deltaLog int, batchParallelism int,
+	maxInFlight int, epsLadder []float64) error {
 
 	if len(datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=source is required")
@@ -104,6 +131,8 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 		Seed:             seed,
 		MaxDeltaLog:      deltaLog,
 		BatchParallelism: batchParallelism,
+		MaxInFlight:      maxInFlight,
+		EpsLadder:        epsLadder,
 	})
 	if err != nil {
 		return err

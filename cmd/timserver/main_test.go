@@ -19,6 +19,22 @@ func TestDatasetFlags(t *testing.T) {
 	}
 }
 
+func TestParseLadder(t *testing.T) {
+	got, err := parseLadder(" 0.5, 0.1,0.3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.5 || got[1] != 0.1 || got[2] != 0.3 {
+		t.Fatalf("ladder = %v", got)
+	}
+	if got, err := parseLadder(""); err != nil || got != nil {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	if _, err := parseLadder("0.1,zero.2"); err == nil {
+		t.Fatal("bad entry accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
 		name     string
@@ -30,7 +46,7 @@ func TestRunErrors(t *testing.T) {
 		{"duplicate", []string{"a=ba:10:2", "a=ba:20:2"}, "duplicate"},
 	}
 	for _, c := range cases {
-		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0)
+		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil)
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantSub)
 		}
@@ -38,7 +54,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunBadListenAddress(t *testing.T) {
-	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0)
+	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil)
 	if err == nil {
 		t.Fatal("want listen error")
 	}

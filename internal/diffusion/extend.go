@@ -49,6 +49,30 @@ func ExtendCollectionConfig(ctx context.Context, g *graph.Graph, model Model, cf
 	return extendInto(ctx, g, model, cfg, col, cur, total, seed, opts.Workers, widths, false)
 }
 
+// ExtendCollectionConfigPartial is ExtendCollectionConfig except for its
+// cancellation contract: when ctx is cancelled mid-extension, the
+// contiguous flushed prefix of the tail is KEPT (its widths are appended
+// to widths as usual) and ctx's error is returned. Because set i depends
+// only on (seed, i, g, model, cfg), the kept prefix is exactly what a
+// later extension would re-derive — so deadline-bounded callers (the
+// tiered server's budgeted escalations) ratchet a shared collection
+// toward θ across deadline misses instead of rolling their sampling work
+// back. Callers must treat a non-nil error as "col may hold fewer than
+// total sets" and reconcile their own width accounting from the returned
+// slice.
+func ExtendCollectionConfigPartial(ctx context.Context, g *graph.Graph, model Model, cfg SampleConfig, col *RRCollection, total int64, seed uint64, workers int, widths []int64) ([]int64, error) {
+	if len(col.Off) == 0 {
+		col.Off = append(col.Off, 0)
+	}
+	cur := int64(col.Count())
+	if total <= cur || g.N() == 0 {
+		return widths, ctxErr(ctx)
+	}
+	opts := SampleOptions{Workers: workers}
+	opts.normalize(total - cur)
+	return extendInto(ctx, g, model, cfg, col, cur, total, seed, opts.Workers, widths, true)
+}
+
 // extendChunkSets is the number of RR sets a worker samples per work
 // chunk before depositing it for the ordered flush. Small enough that
 // in-flight (sampled but not yet flushed) data stays a rounding error
@@ -245,7 +269,11 @@ func extendInto(ctx context.Context, g *graph.Graph, model Model, cfg SampleConf
 	}
 	wg.Wait()
 
-	if err := ctxErr(ctx); err != nil {
+	// A context that expired only after the last chunk flushed did not
+	// cost any sets: the extension is complete, and reporting the late
+	// cancellation would make callers discard (or re-account) a full
+	// collection.
+	if err := ctxErr(ctx); err != nil && nextFlush < numChunks {
 		if keepPartial {
 			return widths, err
 		}

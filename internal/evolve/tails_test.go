@@ -1,0 +1,67 @@
+package evolve
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTouchedTails(t *testing.T) {
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{From: 0, To: 2, Weight: 0.5},
+		{From: 1, To: 2, Weight: 0.5},
+		{From: 3, To: 4, Weight: 0.5},
+	})
+	eg := New(g, nil, Options{})
+	oldG, v0 := eg.Snapshot()
+
+	// Delete 1→2 and insert 4→2: head 2 changes. Old in-neighbors of 2
+	// are {0, 1}; new in-neighbors are {0, 4}. Node 3's edge is untouched.
+	if _, err := eg.Apply(Batch{
+		Deletes: []EdgeKey{{From: 1, To: 2}},
+		Inserts: []graph.Edge{{From: 4, To: 2, Weight: 0.5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	newG, v1 := eg.Snapshot()
+	delta, ok := eg.DeltaBetween(v0, v1)
+	if !ok {
+		t.Fatal("delta log lost the batch")
+	}
+
+	got := TouchedTails(oldG, newG, delta)
+	want := []uint32{0, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("tails = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tails = %v, want %v", got, want)
+		}
+	}
+
+	// A reweigh-only delta (no topology change) still reports the tails
+	// of the reweighted head — forward scores read the new weights.
+	oldG2, v1b := eg.Snapshot()
+	if _, err := eg.Apply(Batch{Reweights: []graph.Edge{{From: 0, To: 2, Weight: 0.9}}}); err != nil {
+		t.Fatal(err)
+	}
+	newG2, v2 := eg.Snapshot()
+	delta2, ok := eg.DeltaBetween(v1b, v2)
+	if !ok {
+		t.Fatal("delta log lost the reweigh")
+	}
+	got = TouchedTails(oldG2, newG2, delta2)
+	want = []uint32{0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("reweigh tails = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reweigh tails = %v, want %v", got, want)
+		}
+	}
+
+	// Heads past either snapshot's node range are ignored, not a panic.
+	_ = TouchedTails(oldG, newG, Delta{Heads: []uint32{99}})
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzServer is shared across fuzz iterations: building a server (graph
+// generation, registry setup) per input would drown the fuzzer in setup
+// cost. The tiny graph and capped θ keep even well-formed requests cheap.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *Server
+)
+
+func fuzzServerInstance(t testing.TB) *Server {
+	fuzzSrvOnce.Do(func() {
+		srv, err := New(Config{
+			Datasets:       []DatasetSpec{{Name: "tiny", Source: "ba:60:2", Seed: 3}},
+			CacheSize:      8,
+			RequestTimeout: 2 * time.Second,
+			Workers:        1,
+			MaxTheta:       2000,
+			Seed:           1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv = srv
+	})
+	return fuzzSrv
+}
+
+// FuzzMaximizeDecoder drives the /v1/maximize decoder and validator with
+// arbitrary bodies. The contract: never panic, malformed or invalid
+// input is a 400 with a typed error body, and every response is one of
+// the statuses the API documents. ServeHTTP is called directly on a
+// Recorder so a handler panic fails the fuzz run instead of being
+// swallowed by net/http's connection-level recovery.
+func FuzzMaximizeDecoder(f *testing.F) {
+	// Seed corpus: every MaximizeRequest field, the tiered additions, and
+	// assorted malformations.
+	seeds := []string{
+		`{"dataset":"tiny","k":3}`,
+		`{"dataset":"tiny","k":3,"model":"lt","epsilon":0.2,"ell":1.5}`,
+		`{"dataset":"tiny","k":3,"budget_ms":5}`,
+		`{"dataset":"tiny","k":3,"budget_ms":0.001,"min_confidence":0.1}`,
+		`{"dataset":"tiny","k":3,"min_confidence":0.99}`,
+		`{"dataset":"tiny","k":3,"budget_ms":-7}`,
+		`{"dataset":"tiny","k":3,"budget_ms":1e308}`,
+		`{"dataset":"tiny","k":3,"min_confidence":"nan"}`,
+		`{"dataset":"nope","k":3}`,
+		`{"dataset":"tiny","k":0}`,
+		`{"dataset":"tiny","k":-5}`,
+		`{"dataset":"tiny","k":1000000}`,
+		`{"dataset":"tiny","k":3,"epsilon":-1}`,
+		`{"dataset":"tiny","k":3,"epsilon":2}`,
+		`{"dataset":"tiny","k":3,"ell":-2}`,
+		`{"dataset":"tiny","k":3,"seeds":[1,2,3]}`,
+		`{"dataset":"tiny","k":3,"exclude":[0,59,60,4294967295]}`,
+		`{"dataset":"tiny","k":2,"weights":{"0":2.5,"7":0.5}}`,
+		`{"dataset":"tiny","k":2,"costs":{"1":3},"budget":4.5}`,
+		`{"dataset":"tiny","k":2,"max_hops":2}`,
+		`{"dataset":"tiny","k":2,"targets":[1,2,3]}`,
+		`{"dataset":"tiny"`,
+		`{"dataset":"tiny","k":"three"}`,
+		`{"k":3}`,
+		`[]`,
+		`null`,
+		``,
+		`{"dataset":"tiny","k":3,"unknown_field":true}`,
+		`{"dataset":"tiny","k":3,"budget_ms":{"nested":1}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		srv := fuzzServerInstance(t)
+		req := httptest.NewRequest(http.MethodPost, "/v1/maximize", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("status %d for body %q: %s", rec.Code, body, rec.Body.String())
+		}
+		if rec.Code == http.StatusBadRequest {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("400 body is not the typed error envelope: %q", rec.Body.String())
+			}
+			if e.Error == "" {
+				t.Fatalf("400 with empty error for body %q", body)
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/spread"
 	"repro/internal/stats"
+	"repro/internal/tiered"
 	"repro/internal/tim"
 )
 
@@ -41,6 +42,18 @@ type MaximizeRequest struct {
 	// NoReuse opts this query out of the RR-collection reuse layer; it
 	// then samples exactly as the one-shot CLI would.
 	NoReuse bool `json:"no_reuse,omitempty"`
+
+	// BudgetMs is the per-request latency budget in milliseconds (0 = no
+	// budget). A budgeted query is served by the cheapest tier predicted
+	// to fit: the RIS pipeline at the finest affordable ε ladder rung,
+	// else the heuristic fast tier, else a 503 shed with Retry-After. The
+	// response's tier/epsilon/confidence fields report what was achieved.
+	BudgetMs float64 `json:"budget_ms,omitempty"`
+	// MinConfidence is the minimum acceptable approximation factor
+	// (1 − 1/e − ε); it must be below 1 − 1/e ≈ 0.632. It caps the ε any
+	// tier may answer with and, when positive, forbids the guarantee-free
+	// fast tier — a budgeted query that can afford neither is shed.
+	MinConfidence float64 `json:"min_confidence,omitempty"`
 
 	// Constrained-query fields (internal/query). All optional; absent
 	// fields mean the paper's default scenario.
@@ -193,8 +206,19 @@ type MaximizeResponse struct {
 	// ForcedSeeds counts the warm-start seeds at the front of Seeds.
 	ForcedSeeds int `json:"forced_seeds,omitempty"`
 	// SeedCost is the budget consumed by the non-forced picks.
-	SeedCost  float64 `json:"seed_cost,omitempty"`
-	ElapsedMs float64 `json:"elapsed_ms"`
+	SeedCost float64 `json:"seed_cost,omitempty"`
+	// Tier reports which tier answered: "ris" (the full pipeline, with
+	// its approximation guarantee) or "fast" (the heuristic scorer).
+	Tier string `json:"tier,omitempty"`
+	// Epsilon is the achieved ε — the requested ε for unbudgeted queries,
+	// possibly a coarser ladder rung for budgeted ones. Zero for fast-tier
+	// answers, which carry no guarantee.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Confidence is the guaranteed approximation factor 1 − 1/e − ε of
+	// this answer (holding w.p. 1 − n^−ℓ); zero for fast-tier and
+	// θ-capped answers.
+	Confidence float64 `json:"confidence,omitempty"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
 }
 
 // SpreadRequest is the body of POST /v1/spread.
@@ -250,13 +274,16 @@ type UpdateResponse struct {
 	Dataset string `json:"dataset"`
 	// Version is the dataset's new version; queries answered at this
 	// version report it as graph_version.
-	Version    uint64  `json:"version"`
-	Nodes      int     `json:"nodes"`
-	Edges      int     `json:"edges"`
-	Inserted   int     `json:"inserted"`
-	Deleted    int     `json:"deleted"`
-	AddedNodes int     `json:"added_nodes"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	Version    uint64 `json:"version"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Inserted   int    `json:"inserted"`
+	Deleted    int    `json:"deleted"`
+	AddedNodes int    `json:"added_nodes"`
+	// ScorerNodesRescored counts fast-tier scorer entries rescored by the
+	// eager post-update refresh (0 when no warm scorer exists).
+	ScorerNodesRescored int     `json:"scorer_nodes_rescored,omitempty"`
+	ElapsedMs           float64 `json:"elapsed_ms"`
 }
 
 // errorResponse is every non-2xx body.
@@ -286,6 +313,15 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = 499 // client closed request (nginx convention)
+	}
+	var shed *shedError
+	if errors.As(err, &shed) {
+		status = http.StatusServiceUnavailable
+		secs := int(math.Ceil(shed.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -326,7 +362,7 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
 		return
 	}
-	resp, cacheHit, err := s.doMaximize(r.Context(), req)
+	resp, cacheHit, err := s.answer(r.Context(), req)
 	if err != nil {
 		s.observe("maximize", start, false, true)
 		writeError(w, err)
@@ -431,10 +467,15 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 	}
 	ctx, cancel := context.WithTimeout(base, s.cfg.RequestTimeout)
 	defer cancel()
+	timStart := time.Now()
 	res, err := tim.MaximizeContext(ctx, g, model, opts)
 	if err != nil {
 		return MaximizeResponse{}, false, err
 	}
+	// Every completed run — budgeted or not — calibrates the tier
+	// planner's cost model for this (dataset, model). Cache hits returned
+	// above must not: they would drive the prediction toward zero.
+	s.tiered.planner.ObserveRIS(req.Dataset+"|"+modelName, g.N(), req.K, req.Epsilon, req.Ell, msSince(timStart))
 	resp := MaximizeResponse{
 		Seeds:            res.Seeds,
 		Theta:            res.Theta,
@@ -446,6 +487,9 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 		GraphVersion:     version,
 		ForcedSeeds:      res.ForcedSeeds,
 		SeedCost:         res.SeedCost,
+		Tier:             tiered.TierRIS.String(),
+		Epsilon:          res.Epsilon,
+		Confidence:       res.Confidence,
 	}
 	if compiled != nil && compiled.Weighted {
 		resp.AudienceMass = res.Mass
@@ -530,7 +574,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		q := req.Queries[i]
 		s.bumpQuery(q.Dataset, func(st *datasetQueryStats) { st.BatchQueries++ })
 		itemStart := time.Now()
-		item, _, err := s.doMaximize(r.Context(), q)
+		item, _, err := s.answer(r.Context(), q)
 		if err != nil {
 			resp.Results[i] = BatchItem{Error: err.Error()}
 			return
@@ -802,16 +846,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Warm fast-tier scorers refresh eagerly (unlike RR collections, which
+	// repair lazily): the fast tier exists to answer in microseconds, so
+	// the first post-update fast query must not pay a rebuild.
+	rescored := s.tiered.refreshAfterUpdate(s.registry, req.Dataset)
 	s.observe("update", start, false, false)
 	writeJSON(w, http.StatusOK, UpdateResponse{
-		Dataset:    req.Dataset,
-		Version:    info.Version,
-		Nodes:      info.Nodes,
-		Edges:      info.Edges,
-		Inserted:   len(req.Insert),
-		Deleted:    len(req.Delete),
-		AddedNodes: req.AddNodes,
-		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+		Dataset:             req.Dataset,
+		Version:             info.Version,
+		Nodes:               info.Nodes,
+		Edges:               info.Edges,
+		Inserted:            len(req.Insert),
+		Deleted:             len(req.Delete),
+		AddedNodes:          req.AddNodes,
+		ScorerNodesRescored: rescored,
+		ElapsedMs:           float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 
@@ -837,6 +886,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Parallel reports scratch-pool reuse (process-wide) and batch
 		// concurrency counters.
 		Parallel parallelStats `json:"parallel"`
+		// Tiered reports the latency-tiered subsystem: admission gate,
+		// per-tier latency (p50/p99 over a sliding window), escalation
+		// and shed counters, and fast-scorer maintenance.
+		Tiered tieredStats `json:"tiered"`
 	}{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		StartedAt:      s.start.UTC().Format(time.RFC3339),
@@ -846,6 +899,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Datasets:       s.registry.list(),
 		QuerySubsystem: s.querySubsystemStats(),
 		Parallel:       s.parallelStatsSnapshot(),
+		Tiered:         s.tiered.stats(),
 	})
 }
 

@@ -50,18 +50,19 @@ type rrStore struct {
 
 	// Counters for /v1/stats (guarded by mu, never by entry mutexes, so
 	// reading stats cannot block behind an in-flight extension).
-	setsSampled      int64
-	setsReused       int64
-	extensions       int64
-	evictions        int64
-	memoryBytes      int64
-	repairs          int64
-	setsRepaired     int64
-	setsRepairReused int64
-	repairColdResets int64
-	repairTotalMs    float64
-	repairMaxMs      float64
-	staleBypasses    int64
+	setsSampled       int64
+	setsReused        int64
+	extensions        int64
+	partialExtensions int64
+	evictions         int64
+	memoryBytes       int64
+	repairs           int64
+	setsRepaired      int64
+	setsRepairReused  int64
+	repairColdResets  int64
+	repairTotalMs     float64
+	repairMaxMs       float64
+	staleBypasses     int64
 }
 
 // rrEntry is one cached collection. cumWidth[i] is Σ widths of the first
@@ -236,16 +237,20 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	}
 
 	have := int64(e.col.Count())
+	var extErr error
 	if have < theta {
-		tail, err := diffusion.ExtendCollectionConfig(ctx, g, model, r.cfg, e.col, theta, e.seed, workers, nil)
-		if err != nil {
-			return nil, err
-		}
+		// Partial-keep extension: if the query's deadline fires
+		// mid-extension, the flushed prefix stays in the shared entry
+		// (prefix determinism makes it exactly what the next query would
+		// re-derive), so deadline-bounded budgeted traffic ratchets the
+		// collection toward θ instead of sampling in vain.
+		var tail []int64
+		tail, extErr = diffusion.ExtendCollectionConfigPartial(ctx, g, model, r.cfg, e.col, theta, e.seed, workers, nil)
 		for _, w := range tail {
 			e.cumWidth = append(e.cumWidth, e.cumWidth[len(e.cumWidth)-1]+w)
 		}
 		r.reused = have
-		r.sampled = theta - have
+		r.sampled = int64(len(tail))
 	} else {
 		r.reused = theta
 	}
@@ -256,6 +261,9 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	r.store.setsSampled += r.sampled
 	if r.sampled > 0 {
 		r.store.extensions++
+	}
+	if extErr != nil && r.sampled > 0 {
+		r.store.partialExtensions++
 	}
 	if didRepair {
 		r.store.repairs++
@@ -275,6 +283,9 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	e.memory = memory // under store.mu: eviction reads it there
 	r.store.mu.Unlock()
 
+	if extErr != nil {
+		return nil, extErr
+	}
 	return e.col.Prefix(int(theta), e.cumWidth[theta]), nil
 }
 
@@ -305,8 +316,12 @@ type rrStoreStats struct {
 	SetsSampled int64 `json:"sets_sampled"`
 	SetsReused  int64 `json:"sets_reused"`
 	Extensions  int64 `json:"extensions"`
-	Evictions   int64 `json:"evictions"`
-	MemoryBytes int64 `json:"memory_bytes"`
+	// PartialExtensions counts extensions cut short by a deadline that
+	// still flushed a kept prefix into the shared collection (the budget
+	// ratchet: the next query on the key resumes from that prefix).
+	PartialExtensions int64 `json:"partial_extensions"`
+	Evictions         int64 `json:"evictions"`
+	MemoryBytes       int64 `json:"memory_bytes"`
 	// Repairs counts update-triggered incremental repairs of warm
 	// collections; SetsRepaired / SetsRepairReused split their sets into
 	// re-derived and kept. RepairColdResets counts collections that had
@@ -326,19 +341,20 @@ func (s *rrStore) stats() rrStoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return rrStoreStats{
-		Collections:      int64(len(s.entries)),
-		Capacity:         s.capacity,
-		SetsSampled:      s.setsSampled,
-		SetsReused:       s.setsReused,
-		Extensions:       s.extensions,
-		Evictions:        s.evictions,
-		MemoryBytes:      s.memoryBytes,
-		Repairs:          s.repairs,
-		SetsRepaired:     s.setsRepaired,
-		SetsRepairReused: s.setsRepairReused,
-		RepairColdResets: s.repairColdResets,
-		RepairTotalMs:    s.repairTotalMs,
-		RepairMaxMs:      s.repairMaxMs,
-		StaleBypasses:    s.staleBypasses,
+		Collections:       int64(len(s.entries)),
+		Capacity:          s.capacity,
+		SetsSampled:       s.setsSampled,
+		SetsReused:        s.setsReused,
+		Extensions:        s.extensions,
+		PartialExtensions: s.partialExtensions,
+		Evictions:         s.evictions,
+		MemoryBytes:       s.memoryBytes,
+		Repairs:           s.repairs,
+		SetsRepaired:      s.setsRepaired,
+		SetsRepairReused:  s.setsRepairReused,
+		RepairColdResets:  s.repairColdResets,
+		RepairTotalMs:     s.repairTotalMs,
+		RepairMaxMs:       s.repairMaxMs,
+		StaleBypasses:     s.staleBypasses,
 	}
 }

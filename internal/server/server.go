@@ -93,6 +93,17 @@ type Config struct {
 	// duplicating sampling work, and answers are identical to a
 	// sequential batch (reuse can only skip work, never change a result).
 	BatchParallelism int
+	// MaxInFlight bounds concurrently executing maximize-shaped queries
+	// (default 2×GOMAXPROCS). Budgeted queries finding the gate full are
+	// rejected immediately with 503 + Retry-After (their budget would
+	// expire in the queue); unbudgeted queries wait their turn.
+	MaxInFlight int
+	// EpsLadder is the ε escalation ladder for budgeted queries (default
+	// tiered.DefaultLadder): under latency pressure a query coarsens along
+	// these rungs, each of which maps to its own shared RR collection, so
+	// a budgeted answer at rung ε is bit-identical to an unbudgeted query
+	// at that ε.
+	EpsLadder []float64
 	// Seed is the base seed of the RR reuse layer and the default query
 	// seed. Two servers with equal Config answer identically.
 	Seed uint64
@@ -122,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchParallelism <= 0 {
 		c.BatchParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -133,6 +147,7 @@ type Server struct {
 	registry *registry
 	results  *lruCache
 	rr       *rrStore
+	tiered   *tieredRuntime
 	start    time.Time
 
 	mu        sync.Mutex
@@ -259,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 		registry: reg,
 		results:  newLRUCache(cfg.CacheSize),
 		rr:       newRRStore(cfg.Seed, cfg.RRCollections),
+		tiered:   newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder),
 		start:    time.Now(),
 		endpoints: map[string]*endpointStats{
 			"maximize": {},

@@ -1,0 +1,79 @@
+package tiered
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate is the admission layer: a bound on in-flight query work. Budgeted
+// queries use TryAcquire — when the server is full their budget would
+// expire waiting, so they are rejected immediately (the server answers
+// 503 with Retry-After) and the rejection is counted exactly once.
+// Unbudgeted queries use Acquire and wait their turn.
+//
+// The counters are exact: every TryAcquire returns either an admission
+// (paired with exactly one Release) or a rejection, never both — the
+// property the race-mode admission tests pin down.
+type Gate struct {
+	capacity int
+	sem      chan struct{}
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewGate builds a gate admitting at most capacity concurrent holders
+// (minimum 1).
+func NewGate(capacity int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Gate{capacity: capacity, sem: make(chan struct{}, capacity)}
+}
+
+// TryAcquire admits the caller if a slot is free, without waiting.
+// It returns false — and counts one shed — when the gate is full.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		g.shed.Add(1)
+		return false
+	}
+}
+
+// Acquire blocks until a slot is free or ctx is done. A ctx error is
+// returned as-is and does not count as a shed (the client gave up; the
+// gate did not refuse).
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired by TryAcquire or Acquire.
+func (g *Gate) Release() { <-g.sem }
+
+// GateStats is the /v1/stats snapshot of the admission layer.
+type GateStats struct {
+	Capacity int   `json:"capacity"`
+	InFlight int   `json:"in_flight"`
+	Admitted int64 `json:"admitted"`
+	// Shed counts TryAcquire rejections (full server, budgeted query).
+	Shed int64 `json:"shed"`
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Capacity: g.capacity,
+		InFlight: len(g.sem),
+		Admitted: g.admitted.Load(),
+		Shed:     g.shed.Load(),
+	}
+}

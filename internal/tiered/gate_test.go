@@ -1,0 +1,95 @@
+package tiered
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateExactCounters pins the admission invariant under contention: N
+// goroutines hammer a 1-slot gate; every TryAcquire is either an
+// admission (paired with one Release) or a shed, never both, and the
+// counters account for every attempt exactly. Run with -race.
+func TestGateExactCounters(t *testing.T) {
+	g := NewGate(1)
+	const goroutines = 16
+	const attemptsPer = 200
+
+	var wg sync.WaitGroup
+	var served, rejected sync.Map // per-goroutine tallies, merged below
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, r := 0, 0
+			for i := 0; i < attemptsPer; i++ {
+				if g.TryAcquire() {
+					s++
+					g.Release()
+				} else {
+					r++
+				}
+			}
+			served.Store(w, s)
+			rejected.Store(w, r)
+		}(w)
+	}
+	wg.Wait()
+
+	var totalServed, totalRejected int64
+	served.Range(func(_, v any) bool { totalServed += int64(v.(int)); return true })
+	rejected.Range(func(_, v any) bool { totalRejected += int64(v.(int)); return true })
+
+	st := g.Stats()
+	if totalServed+totalRejected != goroutines*attemptsPer {
+		t.Fatalf("attempts lost: served=%d rejected=%d", totalServed, totalRejected)
+	}
+	if st.Admitted != totalServed {
+		t.Fatalf("gate admitted=%d, callers served %d", st.Admitted, totalServed)
+	}
+	if st.Shed != totalRejected {
+		t.Fatalf("gate shed=%d, callers rejected %d", st.Shed, totalRejected)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in_flight=%d after all released", st.InFlight)
+	}
+}
+
+func TestGateAcquireBlocksAndHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if !g.TryAcquire() {
+		t.Fatal("empty gate refused")
+	}
+	// A second TryAcquire sheds immediately.
+	if g.TryAcquire() {
+		t.Fatal("full gate admitted")
+	}
+	// Acquire with an expiring context returns the ctx error and does not
+	// count as a shed.
+	shedBefore := g.Stats().Shed
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full gate = %v", err)
+	}
+	if got := g.Stats().Shed; got != shedBefore {
+		t.Fatalf("ctx-aborted Acquire counted as shed (%d -> %d)", shedBefore, got)
+	}
+
+	// Releasing frees the slot for a waiting Acquire.
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background()) }()
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("Acquire after release = %v", err)
+	}
+	g.Release()
+}
+
+func TestGateMinimumCapacity(t *testing.T) {
+	g := NewGate(0)
+	if g.Stats().Capacity != 1 {
+		t.Fatalf("capacity = %d, want clamped to 1", g.Stats().Capacity)
+	}
+}

@@ -1,0 +1,72 @@
+package tiered
+
+import (
+	"sort"
+	"sync"
+)
+
+// ringSize bounds the latency window a quantile snapshot covers. 1024
+// observations is enough for a stable p99 while keeping the snapshot
+// sort trivial next to any query.
+const ringSize = 1024
+
+// LatencyRing tracks per-tier latency observations over a sliding window
+// and reports p50/p99 for /v1/stats and the load harness. Observations
+// and snapshots are safe for concurrent use.
+type LatencyRing struct {
+	mu    sync.Mutex
+	buf   [ringSize]float64
+	idx   int
+	count int64
+	maxMs float64
+}
+
+// Observe records one latency in milliseconds.
+func (r *LatencyRing) Observe(ms float64) {
+	r.mu.Lock()
+	r.buf[r.idx] = ms
+	r.idx = (r.idx + 1) % ringSize
+	r.count++
+	if ms > r.maxMs {
+		r.maxMs = ms
+	}
+	r.mu.Unlock()
+}
+
+// LatencySnapshot is one tier's latency summary. Quantiles cover the
+// sliding window; Count and MaxMs cover the whole lifetime.
+type LatencySnapshot struct {
+	Count int64   `json:"served"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Snapshot computes the current summary.
+func (r *LatencyRing) Snapshot() LatencySnapshot {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > ringSize {
+		n = ringSize
+	}
+	window := make([]float64, n)
+	copy(window, r.buf[:n])
+	snap := LatencySnapshot{Count: r.count, MaxMs: r.maxMs}
+	r.mu.Unlock()
+	if n == 0 {
+		return snap
+	}
+	sort.Float64s(window)
+	snap.P50Ms = quantile(window, 0.50)
+	snap.P99Ms = quantile(window, 0.99)
+	return snap
+}
+
+// quantile reads the q-quantile of a sorted window by nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

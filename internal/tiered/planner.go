@@ -1,0 +1,254 @@
+package tiered
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/tim"
+)
+
+// Tier names which tier answered (or refused) a query.
+type Tier int
+
+const (
+	// TierRIS is the full RIS pipeline (TIM+/TIM) at some ladder ε —
+	// the only tier with an approximation guarantee.
+	TierRIS Tier = iota
+	// TierFast is the heuristic hop/degree scorer.
+	TierFast
+	// TierShed refuses the query: no tier satisfies its budget and
+	// confidence floor right now.
+	TierShed
+)
+
+// String implements fmt.Stringer with the wire names used in responses.
+func (t Tier) String() string {
+	switch t {
+	case TierRIS:
+		return "ris"
+	case TierFast:
+		return "fast"
+	case TierShed:
+		return "shed"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// DefaultLadder is the ε ladder budgeted queries escalate along. A fixed
+// ladder (rather than a continuous ε) is deliberate: the server's RR
+// collections are keyed per ε, so rungs shared across requests keep
+// hitting the same warm prefix-deterministic collections — and a
+// budgeted answer at rung ε is bit-identical to an unbudgeted query at
+// that ε.
+var DefaultLadder = []float64{0.1, 0.15, 0.2, 0.3, 0.5}
+
+// Decision is the planner's verdict for one query.
+type Decision struct {
+	Tier Tier
+	// Epsilon is the RIS rung chosen (TierRIS only).
+	Epsilon float64
+	// Confidence is the guaranteed approximation factor of the chosen
+	// tier: 1 − 1/e − ε for RIS, 0 for the heuristic fast tier.
+	Confidence float64
+	// PredictedMs is the latency estimate the decision was based on
+	// (0 when no model informed it).
+	PredictedMs float64
+}
+
+// costModel is the per-(dataset, model) latency model. RIS cost is
+// tracked as an EWMA of observed-ms / λ(n, k, ε, ℓ): λ is proportional
+// to the sampling effort θ·EPT up to dataset constants, so one
+// observation at any (k, ε) predicts every other rung by re-scaling λ.
+// Fast cost is a plain EWMA.
+type costModel struct {
+	risPerLambda float64
+	risObs       int64
+	fastMs       float64
+	fastObs      int64
+}
+
+// ewmaAlpha weights new observations; high enough to follow load shifts,
+// low enough that one outlier does not flip tier decisions.
+const ewmaAlpha = 0.3
+
+// Planner owns the tier-selection rule: pick the finest RIS ε on the
+// ladder whose predicted latency fits the remaining budget; fall back to
+// the fast tier when no rung fits and the query accepts heuristic
+// answers; shed otherwise. All methods are safe for concurrent use.
+type Planner struct {
+	ladder []float64 // ascending ε (finest first)
+
+	mu     sync.Mutex
+	models map[string]*costModel
+}
+
+// NewPlanner builds a planner over the given ε ladder (nil selects
+// DefaultLadder). The ladder is sorted ascending, deduplicated, and
+// stripped of rungs outside (0, 1) — an out-of-range ε would make every
+// escalated query fail option validation downstream. An all-invalid
+// ladder falls back to DefaultLadder.
+func NewPlanner(ladder []float64) *Planner {
+	valid := make([]float64, 0, len(ladder))
+	for _, v := range ladder {
+		if v > 0 && v < 1 {
+			valid = append(valid, v)
+		}
+	}
+	ladder = valid
+	if len(ladder) == 0 {
+		ladder = DefaultLadder
+	}
+	sorted := append([]float64(nil), ladder...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	dedup := sorted[:0]
+	for _, v := range sorted {
+		if len(dedup) == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return &Planner{ladder: dedup, models: make(map[string]*costModel)}
+}
+
+// Ladder returns the planner's ε ladder (ascending; do not mutate).
+func (p *Planner) Ladder() []float64 { return p.ladder }
+
+// ObserveRIS feeds one completed (non-cached) RIS query into the cost
+// model for key — every RIS completion, budgeted or not, calibrates
+// escalation. Result-cache hits must not be fed: they would drive the
+// prediction toward zero and blow every budget.
+func (p *Planner) ObserveRIS(key string, n, k int, eps, ell, ms float64) {
+	if n < 1 || k < 1 || eps <= 0 || ms < 0 {
+		return
+	}
+	perLambda := ms / stats.Lambda(n, k, eps, ell)
+	p.mu.Lock()
+	m := p.model(key)
+	if m.risObs == 0 {
+		m.risPerLambda = perLambda
+	} else {
+		m.risPerLambda += ewmaAlpha * (perLambda - m.risPerLambda)
+	}
+	m.risObs++
+	p.mu.Unlock()
+}
+
+// ObserveFast feeds one completed fast-tier query into the cost model.
+func (p *Planner) ObserveFast(key string, ms float64) {
+	if ms < 0 {
+		return
+	}
+	p.mu.Lock()
+	m := p.model(key)
+	if m.fastObs == 0 {
+		m.fastMs = ms
+	} else {
+		m.fastMs += ewmaAlpha * (ms - m.fastMs)
+	}
+	m.fastObs++
+	p.mu.Unlock()
+}
+
+// model returns (creating if needed) the cost model for key. Caller
+// holds p.mu.
+func (p *Planner) model(key string) *costModel {
+	m := p.models[key]
+	if m == nil {
+		m = &costModel{}
+		p.models[key] = m
+	}
+	return m
+}
+
+// PredictRIS estimates the latency of a RIS query at (n, k, eps, ell)
+// for key. +Inf when no observation has calibrated the model yet — a
+// cold planner never escalates blind; unbudgeted traffic (or the load
+// harness's warm-up) calibrates it.
+func (p *Planner) PredictRIS(key string, n, k int, eps, ell float64) float64 {
+	p.mu.Lock()
+	m := p.models[key]
+	var perLambda float64
+	known := m != nil && m.risObs > 0
+	if known {
+		perLambda = m.risPerLambda
+	}
+	p.mu.Unlock()
+	if !known {
+		return math.Inf(1)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return perLambda * stats.Lambda(n, k, eps, ell)
+}
+
+// predictFast estimates fast-tier latency for key; 0 when uncalibrated
+// (the fast tier is optimistically assumed affordable — it is the tier
+// of last resort before shedding).
+func (p *Planner) predictFast(key string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.models[key]; m != nil && m.fastObs > 0 {
+		return m.fastMs
+	}
+	return 0
+}
+
+// safetyFactor discounts the budget a prediction must fit into, so EWMA
+// noise lands inside the deadline rather than past it.
+const safetyFactor = 0.9
+
+// Plan picks the tier for one query.
+//
+//   - reqEps is the requested ε: escalation never refines past it (no
+//     wasted work) and coarsens along the ladder under budget pressure.
+//   - budgetMs ≤ 0 means no latency budget: serve RIS at the finest
+//     admissible ε (normally reqEps).
+//   - minConf is the required approximation factor; it caps admissible ε
+//     at tim.EpsilonForConfidence(minConf) and, when positive, makes the
+//     guarantee-free fast tier inadmissible. Callers validate
+//     minConf < 1 − 1/e before planning.
+//   - fastOK reports whether the query's constraints allow the fast tier
+//     (only force/exclude do; audiences, budgets, and horizons need RIS).
+func (p *Planner) Plan(key string, n, k int, reqEps, ell, budgetMs, minConf float64, fastOK bool) Decision {
+	maxEps := 1.0
+	if minConf > 0 {
+		maxEps = tim.EpsilonForConfidence(minConf)
+	}
+	// Admissible rungs: within the confidence cap, no finer than
+	// requested. The requested ε itself is always a rung; when the
+	// confidence cap is tighter than every rung, the cap is the rung.
+	var rungs []float64
+	if reqEps <= maxEps {
+		rungs = append(rungs, reqEps)
+	}
+	for _, v := range p.ladder {
+		if v > reqEps && v <= maxEps {
+			rungs = append(rungs, v)
+		}
+	}
+	if len(rungs) == 0 {
+		rungs = []float64{maxEps}
+	}
+
+	if budgetMs <= 0 {
+		eps := rungs[0]
+		return Decision{Tier: TierRIS, Epsilon: eps, Confidence: tim.ApproxFactor(eps)}
+	}
+	for _, eps := range rungs {
+		if pred := p.PredictRIS(key, n, k, eps, ell); pred <= budgetMs*safetyFactor {
+			return Decision{Tier: TierRIS, Epsilon: eps, Confidence: tim.ApproxFactor(eps), PredictedMs: pred}
+		}
+	}
+	if fastOK && minConf <= 0 {
+		if pred := p.predictFast(key); pred <= budgetMs*safetyFactor {
+			return Decision{Tier: TierFast, PredictedMs: pred}
+		}
+	}
+	return Decision{Tier: TierShed}
+}

@@ -1,0 +1,251 @@
+// Package tiered is the latency-tiered answering subsystem: it gives
+// every query a latency budget and serves it from the cheapest tier that
+// fits.
+//
+// Three pieces cooperate (DESIGN.md §11):
+//
+//   - Scorer is the millisecond fast tier: a QuickIM-style two-hop
+//     expected-influence score per node, precomputed per dataset snapshot
+//     and maintained incrementally through the evolving-graph layer, with
+//     a discounted top-k selection that answers in microseconds once warm.
+//     Fast-tier answers are heuristic — no approximation guarantee.
+//   - Planner decides, per request, which tier serves it: the finest
+//     RIS ε on a fixed ladder whose predicted latency fits the remaining
+//     budget, the fast tier when no RIS rung fits, or a shed when neither
+//     satisfies the request's confidence floor. RIS latency is predicted
+//     from per-(dataset, model) observations normalized by the sampling
+//     effort λ(n, k, ε, ℓ), so one warm observation calibrates every
+//     rung of the ladder.
+//   - Gate bounds in-flight query work: budgeted queries are rejected
+//     immediately when the server is full (their budget would expire in
+//     the queue), unbudgeted queries wait.
+//
+// The ε ladder is what keeps escalation sound rather than heuristic: the
+// server's RR-collection store is prefix-deterministic per (dataset,
+// model, ε), so a budgeted query escalated to ladder rung ε returns
+// bit-identical seeds to an unbudgeted query at that same ε — the budget
+// moves a query along the ladder, never onto different answers.
+package tiered
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+// Scorer is the fast tier: per-node two-hop expected-influence scores
+// over one immutable graph snapshot. Build cost is O(n + m·d̄) once per
+// dataset; Select cost is O((k + touched) log n) thanks to the
+// pre-sorted score index, independent of how many nodes the graph has.
+//
+// A Scorer is immutable after Build/Refresh; concurrent Selects are safe.
+// Refresh mutates and must be externally serialized against Select (the
+// server guards each scorer with an RWMutex).
+type Scorer struct {
+	g     *graph.Graph // the snapshot the scores reflect
+	score []float64    // score[u] = 1 + Σ_v p(uv)·(1 + Σ_w p(vw))
+	// sorted holds all node ids ordered by (score desc, id asc); Select
+	// walks it lazily so a query touches only the top of the order.
+	sorted []uint32
+}
+
+// scoreNode computes the two-hop score of u on g: the expected number of
+// nodes activated counting u itself, its direct activations, and their
+// direct activations, treating edge weights as independent probabilities
+// (QuickIM's hop-count argument truncated at two hops). The computation
+// is per-node and order-deterministic, which is what lets an incremental
+// Refresh reproduce a full rebuild bit for bit.
+func scoreNode(g *graph.Graph, u uint32) float64 {
+	s := 1.0
+	nbrs, w := g.OutNeighbors(u)
+	for i, v := range nbrs {
+		one := 1.0
+		vn, vw := g.OutNeighbors(v)
+		for j := range vn {
+			one += float64(vw[j])
+		}
+		s += float64(w[i]) * one
+	}
+	return s
+}
+
+// NewScorer builds the fast-tier scores for one graph snapshot.
+func NewScorer(g *graph.Graph) *Scorer {
+	n := g.N()
+	s := &Scorer{g: g, score: make([]float64, n)}
+	for u := 0; u < n; u++ {
+		s.score[u] = scoreNode(g, uint32(u))
+	}
+	s.resort()
+	return s
+}
+
+// resort rebuilds the score-descending node order.
+func (s *Scorer) resort() {
+	n := len(s.score)
+	if cap(s.sorted) < n {
+		s.sorted = make([]uint32, n)
+	}
+	s.sorted = s.sorted[:n]
+	for i := range s.sorted {
+		s.sorted[i] = uint32(i)
+	}
+	sort.Slice(s.sorted, func(i, j int) bool {
+		a, b := s.sorted[i], s.sorted[j]
+		if s.score[a] != s.score[b] {
+			return s.score[a] > s.score[b]
+		}
+		return a < b
+	})
+}
+
+// N returns the node count the scores cover.
+func (s *Scorer) N() int { return len(s.score) }
+
+// Refresh advances the scores from the snapshot they were built on to
+// newG, rescoring only the nodes delta could have affected, and returns
+// how many nodes were rescored. Score(u) reads u's out-edges and the
+// out-edges of u's out-neighbors, so an edge change at head h (whose
+// in-edge list — including policy-driven reweighs — is what delta.Heads
+// records) affects exactly the changed edges' tails T plus the new
+// snapshot's in-neighbors of T. Rescoring runs the same per-node
+// computation as a full build, so a refreshed Scorer is bit-identical to
+// NewScorer(newG).
+func (s *Scorer) Refresh(newG *graph.Graph, delta evolve.Delta) int {
+	tails := evolve.TouchedTails(s.g, newG, delta)
+	affected := make(map[uint32]struct{}, len(tails)*2)
+	for _, t := range tails {
+		affected[t] = struct{}{}
+		in, _ := newG.InNeighbors(t)
+		for _, x := range in {
+			affected[x] = struct{}{}
+		}
+	}
+	n := newG.N()
+	for u := delta.NBefore; u < n; u++ {
+		affected[uint32(u)] = struct{}{}
+	}
+	if len(s.score) < n {
+		grown := make([]float64, n)
+		copy(grown, s.score)
+		s.score = grown
+	}
+	for u := range affected {
+		s.score[u] = scoreNode(newG, u)
+	}
+	s.g = newG
+	s.resort()
+	return len(affected)
+}
+
+// scoreHeap is a max-heap of (value, node) with deterministic tie-break
+// on the node id, used by Select's lazy frontier.
+type scoreHeap struct {
+	val  []float64
+	node []uint32
+}
+
+func (h *scoreHeap) Len() int { return len(h.node) }
+func (h *scoreHeap) Less(i, j int) bool {
+	if h.val[i] != h.val[j] {
+		return h.val[i] > h.val[j]
+	}
+	return h.node[i] < h.node[j]
+}
+func (h *scoreHeap) Swap(i, j int) {
+	h.val[i], h.val[j] = h.val[j], h.val[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+}
+func (h *scoreHeap) Push(x any) {
+	p := x.([2]float64)
+	h.val = append(h.val, p[0])
+	h.node = append(h.node, uint32(p[1]))
+}
+func (h *scoreHeap) Pop() any {
+	n := len(h.node) - 1
+	v, u := h.val[n], h.node[n]
+	h.val, h.node = h.val[:n], h.node[:n]
+	return [2]float64{v, float64(u)}
+}
+
+// Select picks k seeds greedily by discounted score: each pick
+// multiplies every out-neighbor's remaining score by (1 − p(pick, v)),
+// the probability the pick does not already activate v — the
+// degree-discount idea applied to the two-hop scores. force seeds are
+// returned first (consuming none of k) with their discounts applied;
+// exclude nodes are never picked. The second return is the heuristic
+// spread estimate: the sum of the discounted scores at pick time,
+// clamped to the node count.
+//
+// Selection is deterministic (score-descending, id-ascending
+// tie-break) and read-only on the Scorer: per-query discounts live in a
+// private overlay, so concurrent Selects do not interfere.
+func (s *Scorer) Select(k int, force, exclude []uint32) ([]uint32, float64) {
+	n := len(s.score)
+	overlay := make(map[uint32]float64, 8*(k+len(force))+len(exclude))
+	cur := func(u uint32) float64 {
+		if v, ok := overlay[u]; ok {
+			return v
+		}
+		return s.score[u]
+	}
+	discount := func(u uint32) {
+		nbrs, w := s.g.OutNeighbors(u)
+		for i, v := range nbrs {
+			overlay[v] = cur(v) * (1 - float64(w[i]))
+		}
+	}
+	seeds := make([]uint32, 0, k+len(force))
+	picked := make(map[uint32]struct{}, k+len(force)+len(exclude))
+	est := 0.0
+	for _, u := range exclude {
+		picked[u] = struct{}{}
+	}
+	for _, u := range force {
+		if _, dup := picked[u]; dup || int(u) >= n {
+			continue
+		}
+		picked[u] = struct{}{}
+		seeds = append(seeds, u)
+		est += cur(u)
+		discount(u)
+	}
+
+	h := &scoreHeap{}
+	cursor := 0
+	for taken := 0; taken < k && len(seeds) < n; {
+		// Keep the frontier invariant: the heap top dominates every node
+		// not yet pushed, because un-pushed nodes sit at their base score
+		// and discounts only lower scores. Only then is popping the top
+		// the true greedy pick over all n nodes.
+		for cursor < n && (h.Len() == 0 || h.val[0] < s.score[s.sorted[cursor]]) {
+			u := s.sorted[cursor]
+			cursor++
+			heap.Push(h, [2]float64{cur(u), float64(u)})
+		}
+		if h.Len() == 0 {
+			break
+		}
+		top := heap.Pop(h).([2]float64)
+		u := uint32(top[1])
+		if top[0] != cur(u) {
+			// Stale entry: the node was discounted after being pushed.
+			heap.Push(h, [2]float64{cur(u), float64(u)})
+			continue
+		}
+		if _, skip := picked[u]; skip {
+			continue
+		}
+		picked[u] = struct{}{}
+		seeds = append(seeds, u)
+		est += top[0]
+		taken++
+		discount(u)
+	}
+	if est > float64(n) {
+		est = float64(n)
+	}
+	return seeds, est
+}

@@ -1,0 +1,152 @@
+package tiered
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/evolve"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestRefreshMatchesRebuild is the golden property of the incremental
+// scorer: after any mutation sequence, a Refresh-maintained scorer is
+// bitwise identical (scores and selection order) to a scorer built cold
+// on the final snapshot.
+func TestRefreshMatchesRebuild(t *testing.T) {
+	g := gen.ErdosRenyiGnm(200, 900, rng.New(7))
+	graph.AssignWeightedCascade(g)
+	eg := evolve.New(g, evolve.WeightedCascade{}, evolve.Options{})
+
+	snap, v0 := eg.Snapshot()
+	sc := NewScorer(snap)
+
+	batches := []evolve.Batch{
+		{Inserts: []graph.Edge{{From: 3, To: 77}, {From: 77, To: 3}, {From: 0, To: 199}}},
+		{Deletes: []evolve.EdgeKey{{From: 3, To: 77}}},
+		{AddNodes: 5, Inserts: []graph.Edge{{From: 201, To: 5}, {From: 5, To: 204}}},
+		{Inserts: []graph.Edge{{From: 204, To: 201}}, Deletes: []evolve.EdgeKey{{From: 0, To: 199}}},
+	}
+	prev := v0
+	for i, b := range batches {
+		v, err := eg.Apply(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		newSnap, sv := eg.Snapshot()
+		if sv != v {
+			t.Fatalf("batch %d: snapshot version %d, applied %d", i, sv, v)
+		}
+		delta, ok := eg.DeltaBetween(prev, v)
+		if !ok {
+			t.Fatalf("batch %d: delta log lost [%d,%d]", i, prev, v)
+		}
+		rescored := sc.Refresh(newSnap, delta)
+		if rescored == 0 {
+			t.Fatalf("batch %d: refresh rescored nothing", i)
+		}
+
+		cold := NewScorer(newSnap)
+		if len(sc.score) != len(cold.score) {
+			t.Fatalf("batch %d: %d scores vs cold %d", i, len(sc.score), len(cold.score))
+		}
+		for u := range cold.score {
+			if sc.score[u] != cold.score[u] {
+				t.Fatalf("batch %d: score[%d] = %v, cold rebuild %v", i, u, sc.score[u], cold.score[u])
+			}
+		}
+		for j := range cold.sorted {
+			if sc.sorted[j] != cold.sorted[j] {
+				t.Fatalf("batch %d: sorted[%d] = %d, cold rebuild %d", i, j, sc.sorted[j], cold.sorted[j])
+			}
+		}
+		prev = v
+	}
+}
+
+func TestSelectBasics(t *testing.T) {
+	// A star: node 0 points at everyone with high probability, so it must
+	// be the first pick; after its discount, leaf scores collapse.
+	edges := []graph.Edge{}
+	for v := uint32(1); v < 10; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: v, Weight: 0.9})
+	}
+	g := graph.MustFromEdges(10, edges)
+	sc := NewScorer(g)
+
+	seeds, est := sc.Select(3, nil, nil)
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(seeds))
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first pick = %d, want the hub 0", seeds[0])
+	}
+	if est <= 0 || est > 10 {
+		t.Fatalf("estimate %v outside (0, n]", est)
+	}
+
+	// Exclude the hub: it must not appear.
+	seeds, _ = sc.Select(3, nil, []uint32{0})
+	for _, s := range seeds {
+		if s == 0 {
+			t.Fatal("excluded node picked")
+		}
+	}
+
+	// Force leaves: they come first, the hub still follows.
+	seeds, _ = sc.Select(2, []uint32{4, 7}, nil)
+	if len(seeds) != 4 || seeds[0] != 4 || seeds[1] != 7 {
+		t.Fatalf("forced selection = %v", seeds)
+	}
+	// Out-of-range and duplicate force entries are skipped, not picked.
+	seeds, _ = sc.Select(1, []uint32{4, 4, 99}, nil)
+	if len(seeds) != 2 || seeds[0] != 4 {
+		t.Fatalf("forced selection with junk = %v", seeds)
+	}
+
+	// Determinism: identical calls, identical answers.
+	a, _ := sc.Select(5, nil, nil)
+	b, _ := sc.Select(5, nil, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSelectConcurrent exercises the read-only overlay contract: many
+// concurrent Selects on one scorer must not interfere (run with -race).
+func TestSelectConcurrent(t *testing.T) {
+	g := gen.ErdosRenyiGnm(300, 1500, rng.New(11))
+	graph.AssignWeightedCascade(g)
+	sc := NewScorer(g)
+	want, _ := sc.Select(10, nil, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, _ := sc.Select(10, nil, nil)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("concurrent select diverged: %v vs %v", got, want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSelectKLargerThanN(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{From: 0, To: 1, Weight: 0.5}})
+	sc := NewScorer(g)
+	seeds, _ := sc.Select(10, nil, nil)
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds from a 3-node graph, want 3", len(seeds))
+	}
+}

@@ -244,6 +244,27 @@ func (o *Options) effectiveEll(n int) float64 {
 	return EffectiveEll(o.Ell, o.Variant, n)
 }
 
+// ApproxFactor is the guaranteed approximation factor of a RIS run at
+// slack ε: the returned seed set is (1 − 1/e − ε)-approximate with
+// probability at least 1 − n^−ℓ. It is the "confidence" dial of the
+// latency-tiered server (internal/tiered): clients ask for a floor on
+// it, and the planner converts the floor back to an ε cap via
+// EpsilonForConfidence. Clamped at 0 for ε ≥ 1 − 1/e.
+func ApproxFactor(eps float64) float64 {
+	f := 1 - 1/math.E - eps
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// EpsilonForConfidence inverts ApproxFactor: the largest ε whose
+// guarantee still meets the required approximation factor. Callers must
+// check conf < 1 − 1/e first (no ε satisfies more).
+func EpsilonForConfidence(conf float64) float64 {
+	return 1 - 1/math.E - conf
+}
+
 // EffectiveEll applies the §3.3/§4.1 success-probability inflation to ℓ:
 // TIM unions over 2 sub-procedures (1 − 2n^−ℓ → scale by 1 + ln2/ln n),
 // TIM+ over 3. Exported because the distributed runner (internal/dist)

@@ -35,6 +35,15 @@ type Result struct {
 	// estimation — an estimate of EPT (§3.2).
 	EptEstimate float64
 
+	// Epsilon is the approximation slack ε the run used (after option
+	// defaulting) — the "achieved ε" a latency-tiered server reports
+	// when a budget coarsened the request along its ε ladder.
+	Epsilon float64
+	// Confidence is ApproxFactor(Epsilon): the guaranteed approximation
+	// factor, holding with probability 1 − n^−ℓ. Zero when ThetaCapped
+	// voided the guarantee.
+	Confidence float64
+
 	// Theta is the number of RR sets sampled by node selection.
 	Theta int64
 	// ThetaCapped reports whether Options.ThetaCap truncated Theta

@@ -52,7 +52,7 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	}
 	ell := opts.effectiveEll(n)
 	seeds := newSeedSequence(opts.Seed)
-	res := &Result{}
+	res := &Result{Epsilon: opts.Epsilon}
 	start := time.Now()
 
 	// Constrained-query lowering: the sampling scenario (root weights,
@@ -116,6 +116,9 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	if opts.ThetaCap > 0 && theta > opts.ThetaCap {
 		theta = opts.ThetaCap
 		res.ThetaCapped = true
+	}
+	if !res.ThetaCapped {
+		res.Confidence = ApproxFactor(opts.Epsilon)
 	}
 	if opts.SpillDir != "" {
 		cover, stats, err := selectOutOfCore(ctx, g, model, opts.K, theta, opts.Workers, opts.SpillDir, seeds)
