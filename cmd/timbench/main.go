@@ -18,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/maxcover"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -65,6 +67,10 @@ type BenchConfig struct {
 	Workers int    `json:"workers"`
 	Quick   bool   `json:"quick"`
 	Cores   int    `json:"cores"`
+	// Trace records that the timed runs carried a live per-request trace
+	// (the -trace flag), so baselines with and without span overhead are
+	// never compared unknowingly.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BenchRun is one measured configuration.
@@ -107,6 +113,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink the instance for CI smoke runs (schema unchanged)")
 		out      = flag.String("out", "BENCH.json", "output path")
 		validate = flag.String("validate", "", "validate an existing BENCH.json against the schema and exit")
+		trace    = flag.Bool("trace", false, "attach a live trace to each timed run, measuring span-recording overhead")
 		against  = flag.String("against", "", "committed baseline BENCH.json to compare the fresh run against")
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional slowdown per phase before -against fails")
 	)
@@ -119,7 +126,7 @@ func main() {
 		fmt.Printf("timbench: %s is schema-valid\n", *validate)
 		return
 	}
-	if err := run(*n, *m, *model, *theta, *k, *seed, *workers, *quick, *out); err != nil {
+	if err := run(*n, *m, *model, *theta, *k, *seed, *workers, *quick, *trace, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "timbench:", err)
 		os.Exit(1)
 	}
@@ -132,7 +139,7 @@ func main() {
 	}
 }
 
-func run(n, m int, modelName string, theta int64, k int, seed uint64, workers int, quick bool, out string) error {
+func run(n, m int, modelName string, theta int64, k int, seed uint64, workers int, quick, trace bool, out string) error {
 	if quick {
 		n, m, theta, k = 2_000, 12_000, 20_000, 20
 	}
@@ -161,7 +168,7 @@ func run(n, m int, modelName string, theta int64, k int, seed uint64, workers in
 		Config: BenchConfig{
 			N: n, M: m, Model: modelName, Theta: theta, K: k,
 			Seed: seed, Workers: workers, Quick: quick,
-			Cores: runtime.GOMAXPROCS(0),
+			Cores: runtime.GOMAXPROCS(0), Trace: trace,
 		},
 		BitIdentical: true,
 	}
@@ -173,7 +180,7 @@ func run(n, m int, modelName string, theta int64, k int, seed uint64, workers in
 	var refSeeds []uint32
 	var refArena uint64
 	for _, w := range counts {
-		runRes, seeds, arena := benchOnce(g, model, theta, k, seed, w)
+		runRes, seeds, arena := benchOnce(g, model, theta, k, seed, w, trace)
 		file.Runs = append(file.Runs, runRes)
 		if refSeeds == nil {
 			refSeeds, refArena = seeds, arena
@@ -234,13 +241,21 @@ func run(n, m int, modelName string, theta int64, k int, seed uint64, workers in
 
 // benchOnce measures one worker count end to end and returns the seeds
 // and an FNV digest of the RR arena for the bit-identity cross-check.
-func benchOnce(g *graph.Graph, model diffusion.Model, theta int64, k int, seed uint64, workers int) (BenchRun, []uint32, uint64) {
+func benchOnce(g *graph.Graph, model diffusion.Model, theta int64, k int, seed uint64, workers int, trace bool) (BenchRun, []uint32, uint64) {
 	res := BenchRun{Workers: workers}
+
+	// With -trace the sampling runs under a live Trace, paying exactly the
+	// span-recording cost a traced server request pays; without it the ctx
+	// carries no trace and every span call is the nil-receiver no-op.
+	ctx := context.Background()
+	if trace {
+		ctx = obs.WithTrace(ctx, obs.NewTrace(fmt.Sprintf("bench-w%d", workers)))
+	}
 
 	var col *diffusion.RRCollection
 	res.PeakRRBytes = peakDuring(func() {
 		t0 := time.Now()
-		col = diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{Workers: workers, Seed: seed})
+		col = diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{Workers: workers, Seed: seed, Ctx: ctx})
 		res.SampleNs = time.Since(t0).Nanoseconds()
 	})
 	res.CollectionBytes = col.MemoryBytes()

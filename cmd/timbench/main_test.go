@@ -15,7 +15,7 @@ func TestQuickBenchRoundTrip(t *testing.T) {
 		t.Skip("quick bench still samples tens of thousands of RR sets")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run(0, 0, "ic", 0, 0, 1, 3, true, out); err != nil {
+	if err := run(0, 0, "ic", 0, 0, 1, 3, true, false, out); err != nil {
 		t.Fatal(err)
 	}
 	if err := validateFile(out); err != nil {

@@ -16,6 +16,11 @@
 //	timload -quick                    # CI smoke: 100 QPS for ~3s
 //	timload -validate LOAD.json
 //
+// Besides LOAD.json, a run scrapes /metrics mid-flight (failing if the
+// exposition is unparseable or its histograms carry no samples), samples
+// trace ids and server-side latencies into the samples section, and dumps
+// the server's slowest retained traces to TRACE.json (-trace-out).
+//
 // Intensity is env-tunable for CI matrices without workflow edits:
 // TIMLOAD_QPS and TIMLOAD_DURATION override the flag defaults.
 package main
@@ -25,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -36,11 +42,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
-// LoadFile is the LOAD.json schema, version 1. Latencies are
-// client-observed milliseconds.
+// LoadFile is the LOAD.json schema, version 2. Latencies are
+// client-observed milliseconds. Version 2 adds the per-request samples
+// section (trace ids + server-side latencies) and the mid-run /metrics
+// scrape summary.
 type LoadFile struct {
 	Version     int        `json:"version"`
 	GeneratedBy string     `json:"generated_by"`
@@ -49,6 +58,34 @@ type LoadFile struct {
 	// a zero share is omitted.
 	Classes []ClassResult `json:"classes"`
 	Totals  LoadTotals    `json:"totals"`
+	// Samples holds every sampleEvery-th request's trace id and latencies,
+	// so a LOAD.json can be joined against the server's trace ring.
+	Samples []RequestSample `json:"samples,omitempty"`
+	// Metrics summarizes the mid-run /metrics scrape.
+	Metrics MetricsCheck `json:"metrics"`
+}
+
+// RequestSample is one sampled request: enough to look its trace up via
+// GET /v1/trace/{id} while the ring still holds it.
+type RequestSample struct {
+	Class    string  `json:"class"`
+	TraceID  string  `json:"trace_id"`
+	Status   int     `json:"status"`
+	ClientMs float64 `json:"client_ms"`
+	ServerMs float64 `json:"server_ms"`
+}
+
+// MetricsCheck is the outcome of the mid-run /metrics scrape: the run
+// fails outright on an unparseable exposition, lint violations, or
+// histograms with no samples, so these numbers in a written LOAD.json
+// always describe a healthy scrape.
+type MetricsCheck struct {
+	ScrapedMidRun bool `json:"scraped_mid_run"`
+	Families      int  `json:"families"`
+	Samples       int  `json:"samples"`
+	// HistogramSeries counts histogram series with a positive _count.
+	HistogramSeries int      `json:"histogram_series"`
+	LintErrors      []string `json:"lint_errors,omitempty"`
 }
 
 // LoadConfig echoes the run parameters for reproducibility.
@@ -117,10 +154,15 @@ type outcome struct {
 	class     int
 	status    int
 	tier      string
+	traceID   string
 	clientMs  float64
 	elapsedMs float64 // server-reported
 	transport bool    // transport-level failure (status meaningless)
 }
+
+// sampleEvery is the request-sampling stride of the samples section: one
+// request in sampleEvery lands in LOAD.json with its trace id.
+const sampleEvery = 25
 
 func main() {
 	var (
@@ -134,6 +176,7 @@ func main() {
 		url      = flag.String("url", "", "load an external server at this base URL instead of an in-process one")
 		quick    = flag.Bool("quick", false, "CI smoke: 100 QPS for 3s on a small graph")
 		out      = flag.String("out", "LOAD.json", "output path")
+		traceOut = flag.String("trace-out", "TRACE.json", "path for the server's slowest retained traces (empty = skip)")
 		validate = flag.String("validate", "", "validate an existing LOAD.json against the schema and exit")
 	)
 	flag.Parse()
@@ -145,7 +188,7 @@ func main() {
 		fmt.Printf("timload: %s is schema-valid\n", *validate)
 		return
 	}
-	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out); err != nil {
+	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "timload:", err)
 		os.Exit(1)
 	}
@@ -170,7 +213,7 @@ func envDuration(key string, def time.Duration) time.Duration {
 }
 
 func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs float64,
-	k int, dataset, url string, quick bool, out string) error {
+	k int, dataset, url string, quick bool, out, traceOut string) error {
 
 	if quick {
 		qps, duration, dataset = 100, 3*time.Second, "ba:1000:3"
@@ -236,6 +279,22 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 	schedule := buildSchedule(classes, total)
 	interval := time.Duration(float64(time.Second) / qps)
 
+	// Mid-run /metrics scrape: half-way through the load phase the
+	// exposition must parse strictly, lint clean, and show live histogram
+	// samples — scraping under load is the point, an idle scrape would
+	// pass vacuously.
+	var (
+		metrics    MetricsCheck
+		metricsErr error
+		metricsWg  sync.WaitGroup
+	)
+	metricsWg.Add(1)
+	go func() {
+		defer metricsWg.Done()
+		time.Sleep(duration / 2)
+		metrics, metricsErr = scrapeMetrics(client, base)
+	}()
+
 	outcomes := make([]outcome, total)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -260,11 +319,16 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 			}
 			outcomes[i].status = resp.status
 			outcomes[i].tier = resp.tier
+			outcomes[i].traceID = resp.traceID
 			outcomes[i].elapsedMs = resp.elapsedMs
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	metricsWg.Wait()
+	if metricsErr != nil {
+		return fmt.Errorf("mid-run metrics scrape: %w", metricsErr)
+	}
 
 	file := assemble(classes, outcomes, LoadConfig{
 		TargetQPS: qps, DurationMs: float64(duration.Milliseconds()),
@@ -272,6 +336,15 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 		K: k, Dataset: dataset, URL: url, Quick: quick,
 		Cores: runtime.GOMAXPROCS(0),
 	}, wall)
+	file.Metrics = metrics
+
+	if traceOut != "" {
+		if err := dumpTraces(client, base, traceOut); err != nil {
+			// Traces are best-effort: an external server may run with
+			// tracing disabled, and that should not fail the load run.
+			fmt.Fprintf(os.Stderr, "timload: trace dump skipped: %v\n", err)
+		}
+	}
 
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
@@ -298,6 +371,7 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 type fired struct {
 	status    int
 	tier      string
+	traceID   string
 	elapsedMs float64
 }
 
@@ -313,11 +387,82 @@ func fire(client *http.Client, base string, body map[string]any) (fired, error) 
 	defer resp.Body.Close()
 	var parsed struct {
 		Tier      string  `json:"tier"`
+		TraceID   string  `json:"trace_id"`
 		ElapsedMs float64 `json:"elapsed_ms"`
 	}
 	// Shed and error bodies simply leave the fields zero.
 	_ = json.NewDecoder(resp.Body).Decode(&parsed)
-	return fired{status: resp.StatusCode, tier: parsed.Tier, elapsedMs: parsed.ElapsedMs}, nil
+	id := parsed.TraceID
+	if id == "" {
+		// Shed/error bodies carry no trace_id, but the middleware still
+		// echoes the request id on the response header.
+		id = resp.Header.Get("X-Request-ID")
+	}
+	return fired{status: resp.StatusCode, tier: parsed.Tier, traceID: id, elapsedMs: parsed.ElapsedMs}, nil
+}
+
+// scrapeMetrics pulls /metrics and checks it the way CI does: strict
+// parse, lint, and at least one histogram series with samples.
+func scrapeMetrics(client *http.Client, base string) (MetricsCheck, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return MetricsCheck{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return MetricsCheck{}, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return MetricsCheck{}, err
+	}
+	fams, err := obs.ParseExposition(string(data))
+	if err != nil {
+		return MetricsCheck{}, fmt.Errorf("/metrics unparseable: %w", err)
+	}
+	mc := MetricsCheck{ScrapedMidRun: true, Families: len(fams)}
+	for _, f := range fams {
+		mc.Samples += len(f.Samples)
+		if f.Type == "histogram" {
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_count") && s.Value > 0 {
+					mc.HistogramSeries++
+				}
+			}
+		}
+	}
+	for _, e := range obs.Lint(fams) {
+		mc.LintErrors = append(mc.LintErrors, e.Error())
+	}
+	if len(mc.LintErrors) > 0 {
+		return mc, fmt.Errorf("/metrics lint: %s (and %d more)", mc.LintErrors[0], len(mc.LintErrors)-1)
+	}
+	if mc.HistogramSeries == 0 {
+		return mc, fmt.Errorf("/metrics: no histogram series carries samples mid-run")
+	}
+	return mc, nil
+}
+
+// dumpTraces writes the server's slowest retained traces verbatim to
+// path, so a load run leaves an inspectable span-chain artifact next to
+// LOAD.json.
+func dumpTraces(client *http.Client, base, path string) error {
+	resp, err := client.Get(base + "/v1/trace/slow?n=10")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/trace/slow: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		data = append(data, '\n')
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func parseMix(s string) ([3]float64, error) {
@@ -369,7 +514,19 @@ func buildSchedule(classes []classSpec, total int) []int {
 }
 
 func assemble(classes []classSpec, outcomes []outcome, cfg LoadConfig, wall time.Duration) LoadFile {
-	file := LoadFile{Version: 1, GeneratedBy: "timload", Config: cfg}
+	file := LoadFile{Version: 2, GeneratedBy: "timload", Config: cfg}
+	for i, o := range outcomes {
+		if i%sampleEvery != 0 || o.transport {
+			continue
+		}
+		file.Samples = append(file.Samples, RequestSample{
+			Class:    classes[o.class].name,
+			TraceID:  o.traceID,
+			Status:   o.status,
+			ClientMs: o.clientMs,
+			ServerMs: o.elapsedMs,
+		})
+	}
 	for ci, spec := range classes {
 		if spec.share == 0 {
 			continue
@@ -429,8 +586,9 @@ func percentiles(ms []float64) (p50, p99, max float64) {
 	return rank(0.50), rank(0.99), sorted[len(sorted)-1]
 }
 
-// validateFile checks a LOAD.json for schema version 1: required fields
-// present, counts consistent, percentiles ordered.
+// validateFile checks a LOAD.json for schema version 2: required fields
+// present, counts consistent, percentiles ordered, samples joinable, and
+// the mid-run metrics scrape healthy.
 func validateFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -446,8 +604,8 @@ func validateFile(path string) error {
 }
 
 func validate(f *LoadFile) error {
-	if f.Version != 1 {
-		return fmt.Errorf("schema version %d, want 1", f.Version)
+	if f.Version != 2 {
+		return fmt.Errorf("schema version %d, want 2", f.Version)
 	}
 	if f.GeneratedBy != "timload" {
 		return fmt.Errorf("generated_by %q", f.GeneratedBy)
@@ -493,6 +651,29 @@ func validate(f *LoadFile) error {
 	}
 	if t.Sent > 0 && t.AchievedQPS <= 0 {
 		return fmt.Errorf("achieved_qps missing")
+	}
+	classNames := make(map[string]bool, len(f.Classes))
+	for _, c := range f.Classes {
+		classNames[c.Name] = true
+	}
+	for i, s := range f.Samples {
+		if !classNames[s.Class] {
+			return fmt.Errorf("sample %d names unknown class %q", i, s.Class)
+		}
+		if s.Status == http.StatusOK && s.TraceID == "" {
+			return fmt.Errorf("sample %d: OK answer without a trace_id", i)
+		}
+	}
+	if m := f.Metrics; m.ScrapedMidRun {
+		if m.Families <= 0 || m.Samples <= 0 {
+			return fmt.Errorf("metrics scrape empty: %+v", m)
+		}
+		if m.HistogramSeries <= 0 {
+			return fmt.Errorf("metrics scrape saw no histogram samples")
+		}
+		if len(m.LintErrors) > 0 {
+			return fmt.Errorf("metrics scrape recorded lint errors: %v", m.LintErrors)
+		}
 	}
 	return nil
 }

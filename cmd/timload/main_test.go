@@ -18,7 +18,8 @@ func TestLoadRoundTrip(t *testing.T) {
 		t.Skip("runs a ~1s load phase against an in-process server")
 	}
 	out := filepath.Join(t.TempDir(), "LOAD.json")
-	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out); err != nil {
+	traceOut := filepath.Join(t.TempDir(), "TRACE.json")
+	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out, traceOut); err != nil {
 		t.Fatal(err)
 	}
 	if err := validateFile(out); err != nil {
@@ -48,6 +49,32 @@ func TestLoadRoundTrip(t *testing.T) {
 	un := f.Classes[2]
 	if un.Tiers["fast"] != 0 {
 		t.Fatalf("unbudgeted class answered by the fast tier: %+v", un.Tiers)
+	}
+	// Version 2: the run sampled requests with trace ids, scraped a
+	// healthy /metrics mid-flight, and dumped the slow traces.
+	if len(f.Samples) == 0 {
+		t.Fatal("no request samples recorded")
+	}
+	if !f.Metrics.ScrapedMidRun || f.Metrics.HistogramSeries == 0 {
+		t.Fatalf("mid-run metrics scrape missing or empty: %+v", f.Metrics)
+	}
+	traces, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("TRACE.json not written: %v", err)
+	}
+	var dump struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(traces, &dump); err != nil {
+		t.Fatalf("TRACE.json not parseable: %v", err)
+	}
+	if len(dump.Traces) == 0 || len(dump.Traces[0].Spans) == 0 {
+		t.Fatalf("TRACE.json carries no span chains: %s", traces)
 	}
 }
 
@@ -102,11 +129,11 @@ func TestParseMix(t *testing.T) {
 func TestValidateRejects(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
-		"bad version":   `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
-		"no classes":    `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
-		"counts broken": `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":3,"ok":1,"shed":1,"errors":0,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":3,"ok":1,"shed":1,"errors":0,"achieved_qps":1}}`,
-		"unknown tier":  `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"tiers":{"psychic":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"achieved_qps":1}}`,
-		"unknown field": `{"version":1,"generated_by":"timload","bogus":1}`,
+		"bad version":   `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
+		"no classes":    `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
+		"counts broken": `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":3,"ok":1,"shed":1,"errors":0,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":3,"ok":1,"shed":1,"errors":0,"achieved_qps":1}}`,
+		"unknown tier":  `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"tiers":{"psychic":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"achieved_qps":1}}`,
+		"unknown field": `{"version":2,"generated_by":"timload","bogus":1}`,
 		"not json":      `hello`,
 	}
 	for name, content := range cases {

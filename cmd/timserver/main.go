@@ -34,10 +34,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -71,6 +73,9 @@ func main() {
 		batchPar  = flag.Int("batch-parallel", 0, "max /v1/query/batch items executed concurrently (0 = all cores, 1 = sequential; answers unchanged)")
 		inFlight  = flag.Int("max-inflight", 0, "admission bound on concurrent queries; budgeted requests beyond it are shed with 503+Retry-After (0 = 2×cores)")
 		ladderStr = flag.String("eps-ladder", "", "comma-separated ε rungs for budgeted escalation, e.g. 0.1,0.2,0.5 (empty = built-in ladder)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (info logs one line per compute request; debug adds introspection scrapes)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
+		traceRing = flag.Int("trace-ring", 0, "completed request traces kept for GET /v1/trace/{id} and /v1/trace/slow (0 = default 256, negative = tracing off)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
@@ -81,10 +86,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar, *inFlight, ladder); err != nil {
+	logger, err := newLogger(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
+		os.Exit(2)
+	}
+	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar, *inFlight, ladder, logger, *debugAddr, *traceRing); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger: structured key=value lines on
+// stderr, filtered at the requested level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // parseLadder turns a comma-separated flag value into ε rungs; the
@@ -108,7 +137,8 @@ func parseLadder(s string) ([]float64, error) {
 func run(listen string, datasets []string, cacheSize, rrCollections int,
 	maxTheta int64, timeout time.Duration, workers int, seed uint64,
 	drain time.Duration, deltaLog int, batchParallelism int,
-	maxInFlight int, epsLadder []float64) error {
+	maxInFlight int, epsLadder []float64, logger *slog.Logger,
+	debugAddr string, traceRing int) error {
 
 	if len(datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=source is required")
@@ -133,9 +163,25 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 		BatchParallelism: batchParallelism,
 		MaxInFlight:      maxInFlight,
 		EpsLadder:        epsLadder,
+		TraceRing:        traceRing,
+		AccessLog:        logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Eagerly build every dataset so startup fails fast and the log
+	// reports sizes; this is exactly the work the first queries would pay.
+	summaries, err := srv.WarmDatasets()
+	if err != nil {
+		return err
+	}
+	for _, d := range summaries {
+		logger.Info("dataset loaded", "name", d.Name, "nodes", d.Nodes, "edges", d.Edges)
+	}
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	httpSrv := &http.Server{
@@ -147,9 +193,26 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if debugAddr != "" {
+		// net/http/pprof registers on the default mux; serving it on its
+		// own listener keeps profiling endpoints off the query port.
+		go func() {
+			logger.Info("pprof listening", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("timserver: listening on %s with %d dataset(s)", listen, len(specs))
+		logger.Info("listening",
+			"addr", listen,
+			"datasets", len(specs),
+			"workers", effWorkers,
+			"eps_ladder", srv.EpsLadder(),
+			"trace_ring", srv.TraceRing(),
+		)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -159,7 +222,7 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 	case <-ctx.Done():
 	}
 
-	log.Printf("timserver: shutting down (draining up to %v)", drain)
+	logger.Info("shutting down", "drain", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
@@ -168,6 +231,6 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("timserver: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"strings"
 	"testing"
 	"time"
@@ -46,7 +48,7 @@ func TestRunErrors(t *testing.T) {
 		{"duplicate", []string{"a=ba:10:2", "a=ba:20:2"}, "duplicate"},
 	}
 	for _, c := range cases {
-		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil)
+		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil, discardLogger(), "", 0)
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantSub)
 		}
@@ -54,8 +56,23 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunBadListenAddress(t *testing.T) {
-	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil)
+	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil, discardLogger(), "", 0)
 	if err == nil {
 		t.Fatal("want listen error")
+	}
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestNewLogger(t *testing.T) {
+	for _, lvl := range []string{"debug", "info", "warn", "error", "WARN"} {
+		if _, err := newLogger(lvl); err != nil {
+			t.Errorf("newLogger(%q): %v", lvl, err)
+		}
+	}
+	if _, err := newLogger("loud"); err == nil {
+		t.Fatal("bad level accepted")
 	}
 }

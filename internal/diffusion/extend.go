@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -135,6 +136,8 @@ func extendInto(ctx context.Context, g *graph.Graph, model Model, cfg SampleConf
 	if workers < 1 {
 		workers = 1
 	}
+	span := obs.StartSpan(ctx, "rr.extend").
+		Attr("from", lo).Attr("to", total).Attr("workers", int64(workers))
 	maxAhead := int64(workers) * 4
 
 	// The set count after this call is known exactly: reserve Off (and the
@@ -275,13 +278,16 @@ func extendInto(ctx context.Context, g *graph.Graph, model Model, cfg SampleConf
 	// collection.
 	if err := ctxErr(ctx); err != nil && nextFlush < numChunks {
 		if keepPartial {
+			span.Attr("sampled", int64(col.Count())-lo).Attr("partial", true).End()
 			return widths, err
 		}
 		col.Flat = origFlatSlice
 		col.Off = origOffSlice
 		col.TotalWidth = origWidth
+		span.Attr("sampled", int64(0)).Attr("rolled_back", true).End()
 		return origWidthsSlice, err
 	}
+	span.Attr("sampled", total-lo).End()
 	return widths, nil
 }
 

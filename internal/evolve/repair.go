@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/diffusion"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -93,6 +94,11 @@ func RepairConfig(ctx context.Context, g *graph.Graph, model diffusion.Model, cf
 		return nil, nil, stats, fmt.Errorf("evolve: snapshot has %d nodes, delta says %d", g.N(), delta.NAfter)
 	}
 	stats.Sets = int64(count)
+	span := obs.StartSpan(ctx, "rr.repair")
+	defer func() {
+		span.Attr("sets", stats.Sets).Attr("repaired", stats.Repaired).
+			Attr("reused", stats.Reused).Attr("root_changed", stats.RootChanged).End()
+	}()
 	if count == 0 {
 		return &diffusion.RRCollection{Off: []int64{0}}, nil, stats, nil
 	}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE lines, series sorted by label values, histograms
+// expanded into cumulative _bucket samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		all := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			all = append(all, s)
+		}
+		f.mu.Unlock()
+		if len(all) == 0 {
+			continue
+		}
+		sort.Slice(all, func(i, j int) bool {
+			return labelKeyLess(all[i].labelValues, all[j].labelValues)
+		})
+
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range all {
+			switch {
+			case s.h != nil:
+				writeHistogram(&b, f, s)
+			case s.c != nil:
+				writeSample(&b, f.name, f.labelNames, s.labelValues, "", "", s.c.Value())
+			case s.g != nil:
+				writeSample(&b, f.name, f.labelNames, s.labelValues, "", "", s.g.Value())
+			case s.fn != nil:
+				writeSample(&b, f.name, f.labelNames, s.labelValues, "", "", s.fn())
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func labelKeyLess(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	snap := s.h.Snapshot()
+	for i, bound := range snap.Bounds {
+		writeSample(b, f.name+"_bucket", f.labelNames, s.labelValues, "le", formatBound(bound), float64(snap.Cumulative[i]))
+	}
+	writeSample(b, f.name+"_bucket", f.labelNames, s.labelValues, "le", "+Inf", float64(snap.Count))
+	writeSample(b, f.name+"_sum", f.labelNames, s.labelValues, "", "", snap.Sum)
+	writeSample(b, f.name+"_count", f.labelNames, s.labelValues, "", "", float64(snap.Count))
+}
+
+// writeSample renders one sample line. extraKey/extraVal append a
+// trailing label (the histogram "le" bound) after the family's own
+// labels.
+func writeSample(b *strings.Builder, name string, labelNames, labelValues []string, extraKey, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelValues[i]))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(labelNames) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value: %g covers integers and floats, and
+// the special IEEE values use Prometheus's spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format (backslash
+// and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

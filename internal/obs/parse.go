@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line: the full sample name (including any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: metadata plus all its samples in
+// exposition order. Histogram families collect their _bucket, _sum, and
+// _count samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseExposition parses Prometheus text exposition format strictly:
+// every sample must belong to a family whose # HELP and # TYPE lines
+// appeared first, values must parse, label syntax must be exact. It
+// exists so tests and timload can fail loudly on malformed /metrics
+// output instead of shrugging past it.
+func ParseExposition(text string) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+			if fams[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE for %s not preceded by its HELP", lineNo, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			switch typ {
+			case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				cur.Type = typ
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // plain comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil || !sampleBelongsTo(s.Name, cur) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block (missing or out-of-order HELP/TYPE)", lineNo, s.Name)
+		}
+		if cur.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before its TYPE line", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	for name, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s has no samples", name)
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongsTo reports whether a sample name belongs to family f —
+// exact match, or for histograms the _bucket/_sum/_count expansions.
+func sampleBelongsTo(name string, f *Family) bool {
+	if name == f.Name {
+		return true
+	}
+	if f.Type == typeHistogram {
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return false
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return s, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, remain, err := readQuoted(rest)
+			if err != nil {
+				return s, fmt.Errorf("%v in %q", err, line)
+			}
+			if _, dup := s.Labels[key]; dup {
+				return s, fmt.Errorf("duplicate label %s in %q", key, line)
+			}
+			s.Labels[key] = val
+			rest = remain
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return s, fmt.Errorf("malformed label separator in %q", line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// A trailing timestamp (second field) is legal in the format; we never
+	// emit one, and strict parsing rejects it to catch accidental output.
+	if strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("unexpected trailing field in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	return s, nil
+}
+
+// readQuoted consumes a quoted label value (opening quote included in
+// in), handling \\, \", and \n escapes; returns the unescaped value and
+// the remainder after the closing quote.
+func readQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Lint checks semantic invariants on parsed families — the shared
+// checker behind the /metrics test and timload's mid-run scrape:
+//   - counter samples are finite and non-negative
+//   - histogram buckets are cumulative (non-decreasing in le order per
+//     series), include le="+Inf", and agree with _count
+//   - every histogram series has matching _sum and _count samples
+//
+// It returns all violations, not just the first.
+func Lint(fams map[string]*Family) []error {
+	var errs []error
+	for _, f := range fams {
+		switch f.Type {
+		case typeCounter:
+			for _, s := range f.Samples {
+				if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0 {
+					errs = append(errs, fmt.Errorf("counter %s%v has non-monotone-capable value %v", s.Name, s.Labels, s.Value))
+				}
+			}
+		case typeHistogram:
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// histSeries groups one histogram series' expanded samples by its
+// non-le label set.
+type histSeries struct {
+	buckets []Sample // le-labeled, exposition order
+	sum     *Sample
+	count   *Sample
+}
+
+func lintHistogram(f *Family) []error {
+	series := make(map[string]*histSeries)
+	get := func(labels map[string]string) *histSeries {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+		}
+		hs := series[b.String()]
+		if hs == nil {
+			hs = &histSeries{}
+			series[b.String()] = hs
+		}
+		return hs
+	}
+	var errs []error
+	for i, s := range f.Samples {
+		hs := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				errs = append(errs, fmt.Errorf("histogram %s bucket without le label", f.Name))
+				continue
+			}
+			hs.buckets = append(hs.buckets, s)
+		case f.Name + "_sum":
+			hs.sum = &f.Samples[i]
+		case f.Name + "_count":
+			hs.count = &f.Samples[i]
+		default:
+			errs = append(errs, fmt.Errorf("histogram %s has stray sample %s", f.Name, s.Name))
+		}
+	}
+	for key, hs := range series {
+		label := f.Name
+		if key != "" {
+			label += "{" + key + "}"
+		}
+		if hs.sum == nil || hs.count == nil {
+			errs = append(errs, fmt.Errorf("histogram %s missing _sum or _count", label))
+			continue
+		}
+		prev := math.Inf(-1)
+		prevBound := math.Inf(-1)
+		sawInf := false
+		for _, b := range hs.buckets {
+			bound, err := parseValue(b.Labels["le"])
+			if err != nil {
+				errs = append(errs, fmt.Errorf("histogram %s has unparseable le=%q", label, b.Labels["le"]))
+				continue
+			}
+			if bound <= prevBound {
+				errs = append(errs, fmt.Errorf("histogram %s buckets not in ascending le order", label))
+			}
+			prevBound = bound
+			if b.Value < prev {
+				errs = append(errs, fmt.Errorf("histogram %s buckets not cumulative: le=%q count %v < previous %v", label, b.Labels["le"], b.Value, prev))
+			}
+			prev = b.Value
+			if math.IsInf(bound, 1) {
+				sawInf = true
+				if b.Value != hs.count.Value {
+					errs = append(errs, fmt.Errorf("histogram %s le=\"+Inf\" bucket %v != _count %v", label, b.Value, hs.count.Value))
+				}
+			}
+		}
+		if !sawInf {
+			errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", label))
+		}
+		if hs.count.Value > 0 && hs.sum.Value < 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has negative _sum %v with positive _count", label, hs.sum.Value))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceRing is a bounded ring of completed traces: the last capacity
+// traces are retained, older ones are dropped. It backs GET /v1/trace/{id}
+// (lookup by request id) and GET /v1/trace/slow (top-N by elapsed time).
+// A nil *TraceRing is inert — Add no-ops and lookups miss — which is how
+// the server represents "tracing disabled".
+type TraceRing struct {
+	mu     sync.Mutex
+	cap    int
+	traces []*Trace // oldest first
+	byID   map[string]*Trace
+}
+
+// NewTraceRing builds a ring retaining up to capacity traces; a
+// non-positive capacity returns nil (tracing disabled).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TraceRing{cap: capacity, byID: make(map[string]*Trace, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest beyond capacity.
+// Client-supplied request ids may repeat; the newest trace wins the id
+// lookup, and evicting an old trace never unmaps a newer one that reused
+// its id.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.traces) >= r.cap {
+		old := r.traces[0]
+		copy(r.traces, r.traces[1:])
+		r.traces = r.traces[:len(r.traces)-1]
+		if r.byID[old.ID()] == old {
+			delete(r.byID, old.ID())
+		}
+	}
+	r.traces = append(r.traces, t)
+	r.byID[t.ID()] = t
+}
+
+// Get returns the snapshot of the retained trace with the given id.
+func (r *TraceRing) Get(id string) (TraceSnapshot, bool) {
+	if r == nil {
+		return TraceSnapshot{}, false
+	}
+	r.mu.Lock()
+	t := r.byID[id]
+	r.mu.Unlock()
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	return t.Snapshot(), true
+}
+
+// Slowest returns snapshots of the n retained traces with the largest
+// elapsed time, slowest first.
+func (r *TraceRing) Slowest(n int) []TraceSnapshot {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	type timed struct {
+		t  *Trace
+		ms float64
+	}
+	r.mu.Lock()
+	all := make([]timed, len(r.traces))
+	for i, t := range r.traces {
+		all[i] = timed{t: t, ms: t.ElapsedMs()}
+	}
+	r.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ms > all[j].ms })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]TraceSnapshot, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t.Snapshot()
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}

@@ -1,0 +1,281 @@
+// Package obs is the observability substrate of the query server:
+// per-request phase traces, a metrics registry with Prometheus text
+// exposition, and a bounded ring of completed traces. It depends only on
+// the standard library, so every layer of the pipeline — diffusion
+// sampling, evolve repair, tim's phases, the tiered answer path — can
+// emit spans without import cycles or new dependencies.
+//
+// The design is allocation-conscious and nil-safe end to end: a request
+// that carries no *Trace pays one context lookup per phase and nothing
+// else. FromContext returns a nil *Trace for untraced contexts, StartSpan
+// on a nil *Trace returns an inert Span, and every Span method no-ops on
+// the inert value — so instrumented code never branches on "is tracing
+// on", and the untraced hot path stays free of locks, clocks, and
+// allocations (see DESIGN.md §12 for the overhead argument).
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or trace. Values should be
+// JSON-encodable scalars (string, bool, int64, float64): they are
+// rendered verbatim into /v1/trace responses.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// spanRecord is the stored form of one span.
+type spanRecord struct {
+	name  string
+	start time.Duration // offset from trace start
+	dur   time.Duration
+	done  bool
+	attrs []Attr
+}
+
+// Trace records the typed spans of one request. All methods are safe for
+// concurrent use (batch items and parallel phases may emit spans
+// concurrently) and safe on a nil receiver, which is the untraced fast
+// path.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	start   time.Time
+	spans   []spanRecord
+	attrs   []Attr
+	done    bool
+	elapsed time.Duration
+}
+
+// NewTrace starts a trace identified by id (the request id).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now(), spans: make([]spanRecord, 0, 8)}
+}
+
+// ID returns the trace id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetAttr annotates the trace itself (endpoint, dataset, tier, status —
+// the labels /v1/trace renders at the top level). A repeated key
+// overwrites the earlier value.
+func (t *Trace) SetAttr(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.attrs {
+		if t.attrs[i].Key == key {
+			t.attrs[i].Value = value
+			return
+		}
+	}
+	t.attrs = append(t.attrs, Attr{Key: key, Value: value})
+}
+
+// StartSpan opens a span. The returned handle is a small value (no
+// allocation); call End to close it and Attr to annotate it. On a nil
+// trace the handle is inert and every method no-ops.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, spanRecord{name: name, start: time.Since(t.start)})
+	t.mu.Unlock()
+	return Span{t: t, idx: idx}
+}
+
+// Finish freezes the trace: records total elapsed time and closes any
+// span an error path left open (its duration runs to the trace end, which
+// is the truthful reading — the phase did not complete on its own).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	t.elapsed = time.Since(t.start)
+	for i := range t.spans {
+		if !t.spans[i].done {
+			t.spans[i].dur = t.elapsed - t.spans[i].start
+			t.spans[i].done = true
+		}
+	}
+}
+
+// ElapsedMs is the total traced duration in milliseconds; before Finish
+// it reports the live elapsed time.
+func (t *Trace) ElapsedMs() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return durMs(t.elapsed)
+	}
+	return durMs(time.Since(t.start))
+}
+
+// Span is a by-value handle on one open span of a trace. The zero value
+// is inert: all methods no-op, which is what keeps instrumented code
+// branch-free on the untraced path.
+type Span struct {
+	t   *Trace
+	idx int
+}
+
+// Attr annotates the span. It returns the handle so annotations chain.
+func (s Span) Attr(key string, value any) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.idx].attrs = append(s.t.spans[s.idx].attrs, Attr{Key: key, Value: value})
+	s.t.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording its duration. Ending twice keeps the
+// first duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if r := &s.t.spans[s.idx]; !r.done {
+		r.dur = time.Since(s.t.start) - r.start
+		r.done = true
+	}
+	s.t.mu.Unlock()
+}
+
+// ctxKey carries the *Trace through a context.
+type ctxKey struct{}
+
+// WithTrace attaches t to ctx; a nil t returns ctx unchanged, so callers
+// can thread "maybe a trace" without branching.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — the untraced fast
+// path. A nil ctx is tolerated (deep library code sometimes holds one).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace (inert when untraced).
+// This is the one-liner instrumented code uses:
+//
+//	defer obs.StartSpan(ctx, "select").End()
+func StartSpan(ctx context.Context, name string) Span {
+	return FromContext(ctx).StartSpan(name)
+}
+
+// TraceSnapshot is the JSON rendering of a completed trace, served by
+// GET /v1/trace/{id} and /v1/trace/slow.
+type TraceSnapshot struct {
+	ID        string         `json:"id"`
+	StartedAt time.Time      `json:"started_at"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+	Spans     []SpanSnapshot `json:"spans"`
+}
+
+// SpanSnapshot is one span of a TraceSnapshot. StartMs is the offset from
+// the trace start.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartMs    float64        `json:"start_ms"`
+	DurationMs float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Snapshot renders the trace. It is valid on live traces (spans still
+// open render with their running duration) but is normally called on
+// finished ones from the ring.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := t.elapsed
+	if !t.done {
+		elapsed = time.Since(t.start)
+	}
+	snap := TraceSnapshot{
+		ID:        t.id,
+		StartedAt: t.start,
+		ElapsedMs: durMs(elapsed),
+		Spans:     make([]SpanSnapshot, len(t.spans)),
+	}
+	if len(t.attrs) > 0 {
+		snap.Attrs = attrMap(t.attrs)
+	}
+	for i, r := range t.spans {
+		dur := r.dur
+		if !r.done {
+			dur = elapsed - r.start
+		}
+		snap.Spans[i] = SpanSnapshot{
+			Name:       r.name,
+			StartMs:    durMs(r.start),
+			DurationMs: durMs(dur),
+		}
+		if len(r.attrs) > 0 {
+			snap.Spans[i].Attrs = attrMap(r.attrs)
+		}
+	}
+	return snap
+}
+
+// SpanDurations reports (name, milliseconds) for every span, via f — the
+// hook the server uses to feed phase histograms from finished traces.
+func (t *Trace) SpanDurations(f func(name string, ms float64)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.spans {
+		if r.done {
+			f(r.name, durMs(r.dur))
+		}
+	}
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func durMs(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -86,6 +86,7 @@ func maximizeEssence(m MaximizeResponse) MaximizeResponse {
 	m.RRSetsReused = 0
 	m.RRSetsSampled = 0
 	m.RRSetsRepaired = 0
+	m.TraceID = ""
 	return m
 }
 

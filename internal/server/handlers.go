@@ -16,6 +16,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/evolve"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/spread"
 	"repro/internal/stats"
@@ -218,7 +219,11 @@ type MaximizeResponse struct {
 	// this answer (holding w.p. 1 − n^−ℓ); zero for fast-tier and
 	// θ-capped answers.
 	Confidence float64 `json:"confidence,omitempty"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	// TraceID is the request id (X-Request-ID, generated when absent);
+	// while the trace ring retains it, GET /v1/trace/{id} shows this
+	// answer's span chain. Batch items report their batch's id.
+	TraceID   string  `json:"trace_id,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // SpreadRequest is the body of POST /v1/spread.
@@ -240,6 +245,7 @@ type SpreadResponse struct {
 	Samples      int     `json:"samples"`
 	Cached       bool    `json:"cached"`
 	GraphVersion uint64  `json:"graph_version"`
+	TraceID      string  `json:"trace_id,omitempty"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
 }
 
@@ -283,6 +289,7 @@ type UpdateResponse struct {
 	// ScorerNodesRescored counts fast-tier scorer entries rescored by the
 	// eager post-update refresh (0 when no warm scorer exists).
 	ScorerNodesRescored int     `json:"scorer_nodes_rescored,omitempty"`
+	TraceID             string  `json:"trace_id,omitempty"`
 	ElapsedMs           float64 `json:"elapsed_ms"`
 }
 
@@ -368,6 +375,10 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if m := requestMeta(r.Context()); m != nil {
+		resp.TraceID = m.id
+		m.dataset, m.tier, m.epsilon, m.cacheHit = req.Dataset, resp.Tier, resp.Epsilon, cacheHit
+	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.observe("maximize", start, cacheHit, false)
 	writeJSON(w, http.StatusOK, resp)
@@ -412,7 +423,7 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 	// hash, and because rejections are counted per dataset.
 	spec, err := req.spec(g.N())
 	if err != nil {
-		s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstraintRejections++ })
+		s.bumpQuery(req.Dataset, func(q *datasetQueryInstruments) { q.rejections.Inc() })
 		return MaximizeResponse{}, false, err
 	}
 	var compiled *query.Compiled
@@ -420,11 +431,11 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 		req.Dataset, modelName, algoName, req.K, req.Epsilon, req.Ell, seed, !req.NoReuse, version)
 	if spec != nil {
 		if compiled, err = spec.Compile(g.N()); err != nil {
-			s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstraintRejections++ })
+			s.bumpQuery(req.Dataset, func(q *datasetQueryInstruments) { q.rejections.Inc() })
 			return MaximizeResponse{}, false, err
 		}
 		key += fmt.Sprintf("|q=%x", specHash(spec))
-		s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.ConstrainedQueries++ })
+		s.bumpQuery(req.Dataset, func(q *datasetQueryInstruments) { q.constrained.Inc() })
 	}
 	if v, ok := s.results.get(key); ok {
 		resp := v.(MaximizeResponse)
@@ -499,12 +510,14 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 		resp.RRSetsSampled = src.sampled
 		resp.RRSetsRepaired = src.repaired
 		if src.created && compiled != nil && compiled.Weighted {
-			s.bumpQuery(req.Dataset, func(q *datasetQueryStats) { q.WeightedCollections++ })
+			s.bumpQuery(req.Dataset, func(q *datasetQueryInstruments) { q.weighted.Inc() })
 		}
 	} else {
 		resp.RRSetsSampled = res.Theta
 	}
+	cacheSpan := obs.StartSpan(base, "cache.write")
 	s.results.put(key, resp)
+	cacheSpan.End()
 	return resp, false, nil
 }
 
@@ -535,6 +548,7 @@ type BatchItem struct {
 // parallels the request's Queries.
 type BatchResponse struct {
 	Results   []BatchItem `json:"results"`
+	TraceID   string      `json:"trace_id,omitempty"`
 	ElapsedMs float64     `json:"elapsed_ms"`
 }
 
@@ -568,16 +582,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		groups[key] = append(groups[key], i)
 	}
-	s.batchGroups.Add(int64(len(order)))
+	s.obs.batchGroups.Add(float64(len(order)))
 
+	meta := requestMeta(r.Context())
 	runItem := func(i int) {
 		q := req.Queries[i]
-		s.bumpQuery(q.Dataset, func(st *datasetQueryStats) { st.BatchQueries++ })
+		s.bumpQuery(q.Dataset, func(st *datasetQueryInstruments) { st.batch.Inc() })
 		itemStart := time.Now()
 		item, _, err := s.answer(r.Context(), q)
 		if err != nil {
 			resp.Results[i] = BatchItem{Error: err.Error()}
 			return
+		}
+		if meta != nil {
+			// Items share the batch's trace: one span chain for the whole
+			// request, one id to look it up by.
+			item.TraceID = meta.id
 		}
 		item.ElapsedMs = float64(time.Since(itemStart).Microseconds()) / 1000
 		resp.Results[i] = BatchItem{Result: &item}
@@ -604,10 +624,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if len(rest) > 0 {
-			s.batchWarmupItems.Add(1)
-			s.batchParallelItems.Add(int64(len(rest)))
+			s.obs.batchWarmupItems.Inc()
+			s.obs.batchParallelItems.Add(float64(len(rest)))
 		} else {
-			s.batchParallelItems.Add(1)
+			s.obs.batchParallelItems.Inc()
 		}
 		wg.Add(1)
 		go func(warm int, rest []int) {
@@ -629,6 +649,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(warm, rest)
 	}
 	wg.Wait()
+	if meta != nil {
+		resp.TraceID = meta.id
+	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.observe("batch", start, false, false)
 	writeJSON(w, http.StatusOK, resp)
@@ -736,11 +759,21 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 	}
 	g, version := evg.Snapshot()
 
+	meta := requestMeta(r.Context())
+	traceID := ""
+	if meta != nil {
+		meta.dataset = req.Dataset
+		traceID = meta.id
+	}
 	key := fmt.Sprintf("spread|%s|%s|seeds=%v|samples=%d|seed=%d|v=%d",
 		req.Dataset, modelName, req.Seeds, req.Samples, seed, version)
 	if v, ok := s.results.get(key); ok {
 		resp := v.(SpreadResponse)
 		resp.Cached = true
+		resp.TraceID = traceID
+		if meta != nil {
+			meta.cacheHit = true
+		}
 		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 		s.observe("spread", start, true, false)
 		writeJSON(w, http.StatusOK, resp)
@@ -759,7 +792,9 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 	// slices.
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	span := obs.StartSpan(ctx, "spread.estimate").Attr("samples", int64(req.Samples)).Attr("seeds", int64(len(req.Seeds)))
 	mean, stderr, err := estimateSpreadCtx(ctx, g, model, req.Seeds, req.Samples, s.cfg.Workers, seed)
+	span.End()
 	if err != nil {
 		s.observe("spread", start, false, true)
 		writeError(w, err)
@@ -767,6 +802,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := SpreadResponse{Spread: mean, Stderr: stderr, Samples: req.Samples, GraphVersion: version}
 	s.results.put(key, resp)
+	resp.TraceID = traceID
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.observe("spread", start, false, false)
 	writeJSON(w, http.StatusOK, resp)
@@ -840,7 +876,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: empty update batch", errBadRequest))
 		return
 	}
+	span := obs.StartSpan(r.Context(), "update.apply").
+		Attr("inserts", int64(len(req.Insert))).Attr("deletes", int64(len(req.Delete)))
 	info, err := s.registry.update(req.Dataset, b)
+	span.End()
 	if err != nil {
 		s.observe("update", start, false, true)
 		writeError(w, err)
@@ -849,7 +888,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// Warm fast-tier scorers refresh eagerly (unlike RR collections, which
 	// repair lazily): the fast tier exists to answer in microseconds, so
 	// the first post-update fast query must not pay a rebuild.
+	refreshSpan := obs.StartSpan(r.Context(), "scorer.refresh")
 	rescored := s.tiered.refreshAfterUpdate(s.registry, req.Dataset)
+	refreshSpan.Attr("nodes_rescored", int64(rescored)).End()
+	traceID := ""
+	if m := requestMeta(r.Context()); m != nil {
+		m.dataset = req.Dataset
+		traceID = m.id
+	}
 	s.observe("update", start, false, false)
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Dataset:             req.Dataset,
@@ -860,17 +906,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Deleted:             len(req.Delete),
 		AddedNodes:          req.AddNodes,
 		ScorerNodesRescored: rescored,
+		TraceID:             traceID,
 		ElapsedMs:           float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	endpoints := make(map[string]endpointStats, len(s.endpoints))
-	for name, e := range s.endpoints {
-		endpoints[name] = *e
-	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
 		UptimeSeconds float64                  `json:"uptime_seconds"`
 		StartedAt     string                   `json:"started_at"`
@@ -893,11 +934,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		StartedAt:      s.start.UTC().Format(time.RFC3339),
-		Endpoints:      endpoints,
+		Endpoints:      s.obs.endpointSnapshot(),
 		ResultCache:    s.results.stats(),
 		RRCache:        s.rr.stats(),
 		Datasets:       s.registry.list(),
-		QuerySubsystem: s.querySubsystemStats(),
+		QuerySubsystem: s.obs.querySnapshot(),
 		Parallel:       s.parallelStatsSnapshot(),
 		Tiered:         s.tiered.stats(),
 	})

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// doRequest sends one request with optional X-Request-ID and returns the
+// response verbatim.
+func doRequest(t testing.TB, method, url, requestID string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestMetricsExposition: after real traffic, GET /metrics serves strictly
+// parseable Prometheus text whose counters agree exactly with /v1/stats —
+// the two endpoints are views of one registry, not parallel bookkeeping.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Traffic covering the main shapes: cold maximize, cached repeat,
+	// spread, and a budgeted (fast-tier) query.
+	for _, req := range []MaximizeRequest{
+		{Dataset: "ba", K: 5, Epsilon: 0.3},
+		{Dataset: "ba", K: 5, Epsilon: 0.3},
+		{Dataset: "ba", K: 3, BudgetMs: 5},
+	} {
+		if status, body := postJSON(t, ts.URL+"/v1/maximize", req, nil); status != http.StatusOK {
+			t.Fatalf("maximize: %d %s", status, body)
+		}
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/spread", SpreadRequest{Dataset: "ba", Seeds: []uint32{1, 2}}, nil); status != http.StatusOK {
+		t.Fatalf("spread: %d %s", status, body)
+	}
+
+	resp, raw := doRequest(t, http.MethodGet, ts.URL+"/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	fams, err := obs.ParseExposition(string(raw))
+	if err != nil {
+		t.Fatalf("exposition does not parse strictly: %v", err)
+	}
+	if errs := obs.Lint(fams); len(errs) != 0 {
+		t.Fatalf("exposition lint errors: %v", errs)
+	}
+
+	sample := func(family, label, value string) float64 {
+		t.Helper()
+		f := fams[family]
+		if f == nil {
+			t.Fatalf("family %q missing from /metrics", family)
+		}
+		for _, s := range f.Samples {
+			if label == "" || s.Labels[label] == value {
+				if strings.HasSuffix(s.Name, "_bucket") || strings.HasSuffix(s.Name, "_sum") {
+					continue
+				}
+				return s.Value
+			}
+		}
+		t.Fatalf("family %q has no sample with %s=%q", family, label, value)
+		return 0
+	}
+
+	// The same numbers /v1/stats reports, read off the scrape.
+	var st statsSnapshot
+	if status := getJSON(t, ts.URL+"/v1/stats", &st); status != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", status)
+	}
+	if got, want := sample("timserver_requests_total", "endpoint", "maximize"), float64(st.Endpoints["maximize"].Requests); got != want {
+		t.Fatalf("requests_total{maximize} = %v, /v1/stats says %v", got, want)
+	}
+	if got, want := sample("timserver_result_cache_hits_total", "", ""), float64(st.ResultCache.Hits); got != want {
+		t.Fatalf("result_cache_hits_total = %v, /v1/stats says %v", got, want)
+	}
+	if got, want := sample("timserver_rr_sets_sampled_total", "", ""), float64(st.RRCache.SetsSampled); got != want {
+		t.Fatalf("rr_sets_sampled_total = %v, /v1/stats says %v", got, want)
+	}
+	if sample("timserver_gate_admitted_total", "", "") < 1 {
+		t.Fatal("gate admitted no queries despite served traffic")
+	}
+
+	// Phase histograms were fed by the traced requests: the tier histogram
+	// and per-span phase histogram both carry live counts.
+	for _, h := range []string{"timserver_tier_latency_ms", "timserver_phase_duration_ms", "timserver_request_duration_ms"} {
+		f := fams[h]
+		if f == nil || f.Type != "histogram" {
+			t.Fatalf("histogram family %q missing or mistyped: %+v", h, f)
+		}
+		count := 0.0
+		for _, s := range f.Samples {
+			if strings.HasSuffix(s.Name, "_count") {
+				count += s.Value
+			}
+		}
+		if count == 0 {
+			t.Fatalf("histogram %q observed nothing", h)
+		}
+	}
+}
+
+// TestTracedAnswerByteIdentity: tracing must be observationally free —
+// the same query on an identically configured server with tracing
+// disabled returns a byte-identical answer (modulo the wall clock).
+func TestTracedAnswerByteIdentity(t *testing.T) {
+	answer := func(traceRing int) []byte {
+		srv, err := New(Config{
+			Datasets:       []DatasetSpec{{Name: "ba", Source: "ba:300:3", Seed: 7}},
+			CacheSize:      8,
+			RequestTimeout: time.Minute,
+			Workers:        2,
+			Seed:           1,
+			TraceRing:      traceRing,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		resp, raw := doRequest(t, http.MethodPost, ts.URL+"/v1/maximize", "pinned-id-42",
+			MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		// The wall clock is the one legitimate difference; zero it and
+		// compare the rest byte for byte.
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		m["elapsed_ms"] = 0.0
+		norm, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return norm
+	}
+
+	traced := answer(0)    // default ring: tracing on
+	untraced := answer(-1) // negative: tracing off
+	if !bytes.Equal(traced, untraced) {
+		t.Fatalf("traced and untraced answers diverge:\n  traced:   %s\n  untraced: %s", traced, untraced)
+	}
+}
+
+// TestEscalatedTraceChain: a budgeted query escalated to a coarser ladder
+// rung leaves a retained trace whose span chain shows the full path —
+// gate wait, plan (with the rung ε as an attribute), sampling, selection.
+func TestEscalatedTraceChain(t *testing.T) {
+	srv, ts := newTieredTestServer(t, 0)
+
+	// Same cost-pinning as TestSLOEscalationBitIdentity: price ε=0.1 out
+	// of any budget so the planner must escalate to rung 0.5.
+	if status, body := postJSON(t, ts.URL+"/v1/maximize", MaximizeRequest{Dataset: "ba", K: 5}, nil); status != http.StatusOK {
+		t.Fatalf("warm-up: %d %s", status, body)
+	}
+	n := 300
+	const fakeEps01Ms = 100_000
+	for i := 0; i < 20; i++ {
+		srv.tiered.planner.ObserveRIS("ba|ic", n, 5, 0.1, 1, fakeEps01Ms)
+	}
+	cost := func(eps float64) float64 {
+		return fakeEps01Ms * stats.Lambda(n, 5, eps, 1) / stats.Lambda(n, 5, 0.1, 1)
+	}
+	budget := (cost(0.5)/0.9 + cost(0.3)*0.9) / 2
+
+	const reqID = "escalated-chain-1"
+	resp, raw := doRequest(t, http.MethodPost, ts.URL+"/v1/maximize", reqID,
+		MaximizeRequest{Dataset: "ba", K: 5, Epsilon: 0.1, BudgetMs: budget})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted: %d %s", resp.StatusCode, raw)
+	}
+	var ans MaximizeResponse
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Tier != "ris" || ans.Epsilon != 0.5 {
+		t.Fatalf("expected escalation to rung 0.5, got tier=%q eps=%g", ans.Tier, ans.Epsilon)
+	}
+	if ans.TraceID != reqID {
+		t.Fatalf("trace_id = %q, want the supplied request id %q", ans.TraceID, reqID)
+	}
+
+	tresp, traw := doRequest(t, http.MethodGet, ts.URL+"/v1/trace/"+reqID, "", nil)
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/trace/%s: %d %s", reqID, tresp.StatusCode, traw)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(traw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != reqID {
+		t.Fatalf("snapshot id %q", snap.ID)
+	}
+
+	index := map[string]int{}
+	var planAttrs map[string]any
+	for i, sp := range snap.Spans {
+		if _, seen := index[sp.Name]; !seen {
+			index[sp.Name] = i
+		}
+		if sp.Name == "plan" {
+			planAttrs = sp.Attrs
+		}
+	}
+	for _, want := range []string{"gate.wait", "plan", "rr.store", "rr.extend", "select"} {
+		if _, ok := index[want]; !ok {
+			t.Fatalf("span %q missing from chain %v", want, spanNames(snap))
+		}
+	}
+	// Spans land in completion order: the gate releases before planning,
+	// the plan completes before any sampling, and selection finishes after
+	// sampling started. (rr.store closes via defer, after its inner spans.)
+	if !(index["gate.wait"] < index["plan"] && index["plan"] < index["rr.extend"] && index["rr.extend"] < index["select"]) {
+		t.Fatalf("span chain out of order: %v", spanNames(snap))
+	}
+	if eps, _ := planAttrs["epsilon"].(float64); eps != 0.5 {
+		t.Fatalf("plan span epsilon attr = %v, want the escalated rung 0.5 (attrs %v)", planAttrs["epsilon"], planAttrs)
+	}
+	if tier, _ := planAttrs["tier"].(string); tier != "ris" {
+		t.Fatalf("plan span tier attr = %v", planAttrs["tier"])
+	}
+
+	// The slow-trace listing surfaces the same trace.
+	sresp, sraw := doRequest(t, http.MethodGet, ts.URL+"/v1/trace/slow?n=5", "", nil)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/trace/slow: %d %s", sresp.StatusCode, sraw)
+	}
+	var slow struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(sraw, &slow); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range slow.Traces {
+		if tr.ID == reqID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escalated trace absent from /v1/trace/slow (%d traces)", len(slow.Traces))
+	}
+}
+
+func spanNames(snap obs.TraceSnapshot) []string {
+	names := make([]string, len(snap.Spans))
+	for i, sp := range snap.Spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// TestRequestIDEcho: every /v1/* endpoint echoes a supplied X-Request-ID
+// and generates one when absent — including non-compute introspection
+// endpoints and error responses.
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, _ := doRequest(t, http.MethodGet, ts.URL+"/v1/stats", "client-id-7", nil)
+	if got := resp.Header.Get("X-Request-ID"); got != "client-id-7" {
+		t.Fatalf("stats echoed %q", got)
+	}
+
+	resp, raw := doRequest(t, http.MethodPost, ts.URL+"/v1/maximize", "",
+		MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 0.5})
+	gen := resp.Header.Get("X-Request-ID")
+	if len(gen) != 16 {
+		t.Fatalf("generated id %q, want 16 hex chars", gen)
+	}
+	var ans MaximizeResponse
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.TraceID != gen {
+		t.Fatalf("trace_id %q != X-Request-ID %q", ans.TraceID, gen)
+	}
+
+	// Error responses still identify themselves.
+	resp, _ = doRequest(t, http.MethodPost, ts.URL+"/v1/maximize", "bad-req-1",
+		MaximizeRequest{Dataset: "nope", K: 2})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("unknown dataset answered OK")
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "bad-req-1" {
+		t.Fatalf("error response echoed %q", got)
+	}
+
+	// A second generated id differs from the first (keyed stream, not a
+	// constant), and two servers salt differently.
+	resp2, _ := doRequest(t, http.MethodPost, ts.URL+"/v1/maximize", "",
+		MaximizeRequest{Dataset: "ba", K: 2, Epsilon: 0.5})
+	if gen2 := resp2.Header.Get("X-Request-ID"); gen2 == gen || len(gen2) != 16 {
+		t.Fatalf("generated ids %q then %q", gen, gen2)
+	}
+}

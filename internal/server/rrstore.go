@@ -10,6 +10,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/evolve"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // rrStore is the RR-collection reuse layer. It holds one growing RR
@@ -48,21 +49,23 @@ type rrStore struct {
 	capacity int
 	seed     uint64
 
-	// Counters for /v1/stats (guarded by mu, never by entry mutexes, so
-	// reading stats cannot block behind an in-flight extension).
-	setsSampled       int64
-	setsReused        int64
-	extensions        int64
-	partialExtensions int64
-	evictions         int64
-	memoryBytes       int64
-	repairs           int64
-	setsRepaired      int64
-	setsRepairReused  int64
-	repairColdResets  int64
-	repairTotalMs     float64
-	repairMaxMs       float64
-	staleBypasses     int64
+	// Registry instruments: /v1/stats and /metrics read the same cells.
+	// The instruments are atomic, so updating them never blocks behind an
+	// entry mutex; only memoryBytes deltas (and e.memory) stay under mu,
+	// because eviction reads them there.
+	setsSampled       *obs.Counter
+	setsReused        *obs.Counter
+	extensions        *obs.Counter
+	partialExtensions *obs.Counter
+	evictions         *obs.Counter
+	memoryBytes       *obs.Gauge
+	repairs           *obs.Counter
+	setsRepaired      *obs.Counter
+	setsRepairReused  *obs.Counter
+	repairColdResets  *obs.Counter
+	repairTotalMs     *obs.Counter
+	repairMaxMs       *obs.Gauge
+	staleBypasses     *obs.Counter
 }
 
 // rrEntry is one cached collection. cumWidth[i] is Σ widths of the first
@@ -86,7 +89,7 @@ type rrEntry struct {
 	evicted bool
 }
 
-func newRRStore(seed uint64, capacity int) *rrStore {
+func newRRStore(seed uint64, capacity int, reg *obs.Registry) *rrStore {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -95,6 +98,20 @@ func newRRStore(seed uint64, capacity int) *rrStore {
 		order:    list.New(),
 		capacity: capacity,
 		seed:     seed,
+
+		setsSampled:       reg.Counter("timserver_rr_sets_sampled_total", "RR sets sampled fresh (cache misses and extensions)."),
+		setsReused:        reg.Counter("timserver_rr_sets_reused_total", "RR sets served from warm collections without resampling."),
+		extensions:        reg.Counter("timserver_rr_extensions_total", "Collection extensions (queries that sampled past the warm prefix)."),
+		partialExtensions: reg.Counter("timserver_rr_partial_extensions_total", "Extensions cut short by a deadline that still kept their prefix."),
+		evictions:         reg.Counter("timserver_rr_evictions_total", "RR collections evicted by the LRU cap."),
+		memoryBytes:       reg.Gauge("timserver_rr_memory_bytes", "Resident bytes across live RR collections."),
+		repairs:           reg.Counter("timserver_rr_repairs_total", "Update-triggered incremental repairs of warm collections."),
+		setsRepaired:      reg.Counter("timserver_rr_sets_repaired_total", "RR sets re-derived by incremental repairs."),
+		setsRepairReused:  reg.Counter("timserver_rr_sets_repair_reused_total", "RR sets kept as-is by incremental repairs."),
+		repairColdResets:  reg.Counter("timserver_rr_repair_cold_resets_total", "Collections restarted cold (delta log exhausted or unsupported model)."),
+		repairTotalMs:     reg.Counter("timserver_rr_repair_ms_total", "Total milliseconds spent in incremental repairs."),
+		repairMaxMs:       reg.Gauge("timserver_rr_repair_max_ms", "Slowest single incremental repair in milliseconds."),
+		staleBypasses:     reg.Counter("timserver_rr_stale_bypasses_total", "Queries served from a private cold sample after racing behind the shared collection."),
 	}
 }
 
@@ -120,8 +137,8 @@ func (s *rrStore) entry(key string) (_ *rrEntry, created bool) {
 		s.order.Remove(oldest)
 		delete(s.entries, victimKey)
 		victim.evicted = true
-		s.memoryBytes -= victim.memory
-		s.evictions++
+		s.memoryBytes.Add(-float64(victim.memory))
+		s.evictions.Inc()
 	}
 	e := &rrEntry{
 		col:      &diffusion.RRCollection{Off: []int64{0}},
@@ -179,6 +196,10 @@ func (s *rrStore) source(key string, evg *evolve.Graph, snapVersion uint64, cfg 
 // incrementally when the delta log allows, resetting cold otherwise),
 // extend it to θ sets if needed, and return the θ-prefix view.
 func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model diffusion.Model, theta int64, workers int) (*diffusion.RRCollection, error) {
+	span := obs.StartSpan(ctx, "rr.store").Attr("theta", theta).Attr("workers", int64(workers))
+	defer func() {
+		span.Attr("reused", r.reused).Attr("sampled", r.sampled).Attr("repaired", r.repaired).End()
+	}()
 	e, created := r.store.entry(r.key)
 	r.created = created
 	e.mu.Lock()
@@ -190,6 +211,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 		// past it. Serve the stale snapshot from a private cold sample
 		// — the same bytes a cold server at that version would draw —
 		// and leave the newer entry alone.
+		span.Attr("stale_bypass", true)
 		return r.sampleBypass(ctx, g, model, theta, workers)
 	}
 
@@ -256,29 +278,28 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	}
 	memory := e.col.MemoryBytes() + int64(cap(e.cumWidth))*8
 
-	r.store.mu.Lock()
-	r.store.setsReused += r.reused
-	r.store.setsSampled += r.sampled
+	r.store.setsReused.Add(float64(r.reused))
+	r.store.setsSampled.Add(float64(r.sampled))
 	if r.sampled > 0 {
-		r.store.extensions++
+		r.store.extensions.Inc()
 	}
 	if extErr != nil && r.sampled > 0 {
-		r.store.partialExtensions++
+		r.store.partialExtensions.Inc()
 	}
 	if didRepair {
-		r.store.repairs++
-		r.store.setsRepaired += repairStats.Repaired
-		r.store.setsRepairReused += repairStats.Reused
-		r.store.repairTotalMs += repairMs
-		if repairMs > r.store.repairMaxMs {
-			r.store.repairMaxMs = repairMs
-		}
+		r.store.repairs.Inc()
+		r.store.setsRepaired.Add(float64(repairStats.Repaired))
+		r.store.setsRepairReused.Add(float64(repairStats.Reused))
+		r.store.repairTotalMs.Add(repairMs)
+		r.store.repairMaxMs.SetMax(repairMs)
 	}
 	if coldReset {
-		r.store.repairColdResets++
+		span.Attr("cold_reset", true)
+		r.store.repairColdResets.Inc()
 	}
+	r.store.mu.Lock()
 	if !e.evicted {
-		r.store.memoryBytes += memory - e.memory
+		r.store.memoryBytes.Add(float64(memory - e.memory))
 	}
 	e.memory = memory // under store.mu: eviction reads it there
 	r.store.mu.Unlock()
@@ -302,10 +323,8 @@ func (r *rrSource) sampleBypass(ctx context.Context, g *graph.Graph, model diffu
 		return nil, err
 	}
 	r.sampled = theta
-	r.store.mu.Lock()
-	r.store.setsSampled += theta
-	r.store.staleBypasses++
-	r.store.mu.Unlock()
+	r.store.setsSampled.Add(float64(theta))
+	r.store.staleBypasses.Inc()
 	return col, nil
 }
 
@@ -339,22 +358,23 @@ type rrStoreStats struct {
 
 func (s *rrStore) stats() rrStoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	collections := int64(len(s.entries))
+	s.mu.Unlock()
 	return rrStoreStats{
-		Collections:       int64(len(s.entries)),
+		Collections:       collections,
 		Capacity:          s.capacity,
-		SetsSampled:       s.setsSampled,
-		SetsReused:        s.setsReused,
-		Extensions:        s.extensions,
-		PartialExtensions: s.partialExtensions,
-		Evictions:         s.evictions,
-		MemoryBytes:       s.memoryBytes,
-		Repairs:           s.repairs,
-		SetsRepaired:      s.setsRepaired,
-		SetsRepairReused:  s.setsRepairReused,
-		RepairColdResets:  s.repairColdResets,
-		RepairTotalMs:     s.repairTotalMs,
-		RepairMaxMs:       s.repairMaxMs,
-		StaleBypasses:     s.staleBypasses,
+		SetsSampled:       s.setsSampled.Int(),
+		SetsReused:        s.setsReused.Int(),
+		Extensions:        s.extensions.Int(),
+		PartialExtensions: s.partialExtensions.Int(),
+		Evictions:         s.evictions.Int(),
+		MemoryBytes:       s.memoryBytes.Int(),
+		Repairs:           s.repairs.Int(),
+		SetsRepaired:      s.setsRepaired.Int(),
+		SetsRepairReused:  s.setsRepairReused.Int(),
+		RepairColdResets:  s.repairColdResets.Int(),
+		RepairTotalMs:     s.repairTotalMs.Value(),
+		RepairMaxMs:       s.repairMaxMs.Value(),
+		StaleBypasses:     s.staleBypasses.Int(),
 	}
 }

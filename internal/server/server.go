@@ -47,15 +47,17 @@
 package server
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"time"
 
 	"repro/internal/diffusion"
 	"repro/internal/evolve"
 	"repro/internal/maxcover"
+	"repro/internal/obs"
 )
 
 // Config configures New. The zero value of every field except Datasets is
@@ -112,6 +114,15 @@ type Config struct {
 	// older than the retained window resets cold on its next use instead
 	// of repairing.
 	MaxDeltaLog int
+	// TraceRing bounds the in-memory ring of completed request traces
+	// behind GET /v1/trace/{id} and /v1/trace/slow (default 256; negative
+	// disables tracing entirely — requests then skip trace allocation and
+	// every span call is a no-op, the nil-trace fast path).
+	TraceRing int
+	// AccessLog, when non-nil, receives one structured line per /v1/*
+	// request (trace id, endpoint, dataset, tier, ε, status, elapsed,
+	// shed/escalated flags). nil keeps the server silent.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -150,18 +164,11 @@ type Server struct {
 	tiered   *tieredRuntime
 	start    time.Time
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
-
-	// queryMu guards the per-dataset constrained-query counters (kept
-	// separate from mu so stats snapshots never wait on request paths).
-	queryMu    sync.Mutex
-	queryStats map[string]*datasetQueryStats
-
-	// Batch-concurrency counters (atomic: bumped on the batch hot path).
-	batchGroups        atomic.Int64
-	batchWarmupItems   atomic.Int64
-	batchParallelItems atomic.Int64
+	// obs is the observability substrate: the metrics registry (every
+	// /v1/stats counter below is a registry instrument — /metrics and the
+	// JSON snapshot are two views of one source of truth), the trace
+	// ring, the request-id generator, and the access log.
+	obs *obsState
 }
 
 // parallelStats is the /v1/stats snapshot of the parallel-execution
@@ -198,9 +205,9 @@ func (s *Server) parallelStatsSnapshot() parallelStats {
 		SelectScratchHits:   scratchHits,
 		SelectScratchMisses: scratchMisses,
 		BatchParallelism:    s.cfg.BatchParallelism,
-		BatchGroups:         s.batchGroups.Load(),
-		BatchWarmupItems:    s.batchWarmupItems.Load(),
-		BatchParallelItems:  s.batchParallelItems.Load(),
+		BatchGroups:         s.obs.batchGroups.Int(),
+		BatchWarmupItems:    s.obs.batchWarmupItems.Int(),
+		BatchParallelItems:  s.obs.batchParallelItems.Int(),
 	}
 }
 
@@ -222,32 +229,11 @@ type datasetQueryStats struct {
 	ConstraintRejections int64 `json:"constraint_rejections"`
 }
 
-// bumpQuery applies f to the named dataset's query counters. Unknown
+// bumpQuery applies f to the named dataset's query instruments. Unknown
 // dataset names still count: a rejected query may fail before the
 // registry resolves, and operators want to see those too.
-func (s *Server) bumpQuery(dataset string, f func(*datasetQueryStats)) {
-	if dataset == "" {
-		dataset = "(none)"
-	}
-	s.queryMu.Lock()
-	defer s.queryMu.Unlock()
-	q := s.queryStats[dataset]
-	if q == nil {
-		q = &datasetQueryStats{}
-		s.queryStats[dataset] = q
-	}
-	f(q)
-}
-
-// querySubsystemStats snapshots the per-dataset counters.
-func (s *Server) querySubsystemStats() map[string]datasetQueryStats {
-	s.queryMu.Lock()
-	defer s.queryMu.Unlock()
-	out := make(map[string]datasetQueryStats, len(s.queryStats))
-	for name, q := range s.queryStats {
-		out[name] = *q
-	}
-	return out
+func (s *Server) bumpQuery(dataset string, f func(*datasetQueryInstruments)) {
+	f(s.obs.queryInstr(dataset))
 }
 
 // endpointStats are the per-endpoint counters of /v1/stats.
@@ -268,57 +254,127 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The request-id stream is keyed off the config seed but salted with
+	// wall-clock time: ids must differ across server restarts (operators
+	// grep logs by them), while answers stay seed-deterministic.
+	o := newObsState(cfg.TraceRing, cfg.AccessLog, cfg.Seed^uint64(time.Now().UnixNano()))
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		registry: reg,
 		results:  newLRUCache(cfg.CacheSize),
-		rr:       newRRStore(cfg.Seed, cfg.RRCollections),
-		tiered:   newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder),
+		rr:       newRRStore(cfg.Seed, cfg.RRCollections, o.reg),
+		tiered:   newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder, o.reg),
 		start:    time.Now(),
-		endpoints: map[string]*endpointStats{
-			"maximize": {},
-			"spread":   {},
-			"update":   {},
-			"batch":    {},
-		},
-		queryStats: map[string]*datasetQueryStats{},
+		obs:      o,
 	}
+	o.registerMirrors(s)
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/trace/slow", s.handleTraceSlow)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. /v1/* requests pass through the
+// observability middleware: the request id is read from X-Request-ID (or
+// generated), echoed on the response, and carried in the context for
+// handlers to report as trace_id; compute endpoints additionally get a
+// per-request Trace whose finished span chain lands in the trace ring,
+// feeds the phase histograms, and is summarized on the access log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	meta := &reqMeta{id: r.Header.Get("X-Request-ID"), endpoint: endpointOf(r.URL.Path)}
+	if meta.id == "" {
+		meta.id = s.obs.newRequestID()
+	}
+	w.Header().Set("X-Request-ID", meta.id)
+	ctx := context.WithValue(r.Context(), reqMetaKey{}, meta)
+
+	var tr *obs.Trace
+	if s.obs.ring != nil && tracedPath(r.Method, r.URL.Path) {
+		tr = obs.NewTrace(meta.id)
+		tr.SetAttr("endpoint", meta.endpoint)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	elapsed := msSince(start)
+
+	if tr != nil {
+		tr.SetAttr("status", int64(sw.status))
+		tr.SetAttr("dataset", meta.dataset)
+		tr.Finish()
+		s.obs.ring.Add(tr)
+		tr.SpanDurations(func(name string, ms float64) {
+			s.obs.phaseHist.With(name).Observe(ms)
+		})
+	}
+	s.obs.logRequest(meta, sw.status, elapsed)
 }
 
-// observe records one request's outcome on the named endpoint.
+// DatasetSummary describes one configured dataset for startup logging.
+type DatasetSummary struct {
+	Name  string
+	Nodes int
+	Edges int
+}
+
+// WarmDatasets eagerly builds the IC variant of every configured dataset
+// and returns their sizes. cmd/timserver calls it before listening, so a
+// bad dataset fails startup instead of the first query, and the startup
+// log can report sizes; the build is exactly the one that first query
+// would have paid.
+func (s *Server) WarmDatasets() ([]DatasetSummary, error) {
+	infos := s.registry.list()
+	out := make([]DatasetSummary, 0, len(infos))
+	for _, di := range infos {
+		evg, err := s.registry.get(di.Name, diffusion.IC)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DatasetSummary{Name: di.Name, Nodes: evg.N(), Edges: evg.M()})
+	}
+	return out, nil
+}
+
+// EpsLadder reports the normalized ε escalation ladder in use.
+func (s *Server) EpsLadder() []float64 { return s.tiered.planner.Ladder() }
+
+// TraceRing reports the effective retained-trace capacity (0 when
+// tracing is disabled) — the normalized value, not the raw config.
+func (s *Server) TraceRing() int {
+	if s.obs.ring == nil {
+		return 0
+	}
+	return s.cfg.TraceRing
+}
+
+// observe records one request's outcome on the named endpoint. The
+// instruments are the registry series behind /metrics; /v1/stats builds
+// its endpoints section from the same series.
 func (s *Server) observe(endpoint string, start time.Time, cacheHit bool, failed bool) {
 	ms := float64(time.Since(start).Microseconds()) / 1000
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.endpoints[endpoint]
-	if e == nil {
-		e = &endpointStats{}
-		s.endpoints[endpoint] = e
-	}
-	e.Requests++
+	e := s.obs.endpoints[endpoint]
+	e.requests.Inc()
 	if failed {
-		e.Errors++
+		e.errors.Inc()
 	} else if cacheHit {
-		e.CacheHits++
+		e.cacheHits.Inc()
 	} else {
-		e.CacheMisses++
+		e.cacheMisses.Inc()
 	}
-	e.TotalLatencyMs += ms
-	if ms > e.MaxLatencyMs {
-		e.MaxLatencyMs = ms
-	}
+	e.latencySum.Add(ms)
+	e.latencyMax.SetMax(ms)
+	e.latency.Observe(ms)
 }

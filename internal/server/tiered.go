@@ -7,11 +7,11 @@ import (
 	"math"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/evolve"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tiered"
 	"repro/internal/tim"
 )
@@ -36,14 +36,15 @@ type tieredRuntime struct {
 	// confidence floor — a different refusal than the gate's at-capacity
 	// shed. deadlineFallbacks counts RIS attempts whose budget expired
 	// mid-run and were answered by the fast tier instead (their sampled
-	// prefix stays in the rr-store — the budget ratchet).
-	escalations       atomic.Int64
-	shedInfeasible    atomic.Int64
-	deadlineFallbacks atomic.Int64
+	// prefix stays in the rr-store — the budget ratchet). All are registry
+	// instruments: /metrics and /v1/stats read the same cells.
+	escalations       *obs.Counter
+	shedInfeasible    *obs.Counter
+	deadlineFallbacks *obs.Counter
 
-	scorerBuilds    atomic.Int64
-	scorerRefreshes atomic.Int64
-	scorerRescored  atomic.Int64
+	scorerBuilds    *obs.Counter
+	scorerRefreshes *obs.Counter
+	scorerRescored  *obs.Counter
 }
 
 // scorerEntry is one cached fast-tier scorer, versioned like the rr-store
@@ -54,11 +55,18 @@ type scorerEntry struct {
 	version uint64
 }
 
-func newTieredRuntime(maxInFlight int, ladder []float64) *tieredRuntime {
+func newTieredRuntime(maxInFlight int, ladder []float64, reg *obs.Registry) *tieredRuntime {
 	return &tieredRuntime{
 		gate:    tiered.NewGate(maxInFlight),
 		planner: tiered.NewPlanner(ladder),
 		scorers: make(map[string]*scorerEntry),
+
+		escalations:       reg.Counter("timserver_escalated_total", "Budgeted queries the planner routed to the RIS tier."),
+		shedInfeasible:    reg.Counter("timserver_shed_infeasible_total", "Admitted queries shed because no tier fit their budget and confidence floor."),
+		deadlineFallbacks: reg.Counter("timserver_deadline_fallbacks_total", "RIS attempts whose budget expired mid-run, answered by the fast tier."),
+		scorerBuilds:      reg.Counter("timserver_scorer_builds_total", "Fast-tier scorer full builds."),
+		scorerRefreshes:   reg.Counter("timserver_scorer_refreshes_total", "Fast-tier scorer incremental refreshes."),
+		scorerRescored:    reg.Counter("timserver_scorer_nodes_rescored_total", "Nodes rescored by fast-tier scorer refreshes."),
 	}
 }
 
@@ -93,21 +101,21 @@ func (t *tieredRuntime) scorerFor(e *scorerEntry, evg *evolve.Graph, g *graph.Gr
 	case e.scorer == nil:
 		e.scorer = tiered.NewScorer(g)
 		e.version = version
-		t.scorerBuilds.Add(1)
+		t.scorerBuilds.Inc()
 	case e.version == version:
 		// Warm and current: the common case, nothing to do.
 	case e.version < version:
 		if delta, ok := evg.DeltaBetween(e.version, version); ok {
 			n := e.scorer.Refresh(g, delta)
 			e.version = version
-			t.scorerRefreshes.Add(1)
-			t.scorerRescored.Add(int64(n))
+			t.scorerRefreshes.Inc()
+			t.scorerRescored.Add(float64(n))
 			return e.scorer, n
 		}
 		// Delta log exhausted: rebuild cold, like an rr-store cold reset.
 		e.scorer = tiered.NewScorer(g)
 		e.version = version
-		t.scorerBuilds.Add(1)
+		t.scorerBuilds.Inc()
 	default:
 		return tiered.NewScorer(g), 0
 	}
@@ -218,21 +226,29 @@ func (s *Server) answer(base context.Context, req MaximizeRequest) (MaximizeResp
 	if req.BudgetMs == 0 {
 		// Unbudgeted: wait for a slot (a client hang-up or the request
 		// timeout aborts the wait), then serve RIS at the requested ε.
+		gateSpan := obs.StartSpan(ctx, "gate.wait").Attr("budgeted", false)
 		if err := s.tiered.gate.Acquire(ctx); err != nil {
+			gateSpan.Attr("aborted", true).End()
 			return MaximizeResponse{}, false, err
 		}
+		gateSpan.End()
 		defer s.tiered.gate.Release()
 		start := time.Now()
 		resp, hit, err := s.doMaximize(ctx, req)
 		if err == nil {
-			s.tiered.risRing.Observe(msSince(start))
+			ms := msSince(start)
+			s.tiered.risRing.Observe(ms)
+			s.obs.tierHist.With("ris").Observe(ms)
 		}
 		return resp, hit, err
 	}
 
+	gateSpan := obs.StartSpan(ctx, "gate.wait").Attr("budgeted", true)
 	if !s.tiered.gate.TryAcquire() {
+		gateSpan.Attr("shed", true).End()
 		return MaximizeResponse{}, false, &shedError{reason: "at capacity", retryAfter: defaultRetryAfter}
 	}
+	gateSpan.End()
 	defer s.tiered.gate.Release()
 
 	// Resolve what the planner needs; doMaximize re-resolves the same
@@ -253,21 +269,29 @@ func (s *Server) answer(base context.Context, req MaximizeRequest) (MaximizeResp
 	// horizon bounds need the RIS pipeline's constrained sampling.
 	fastOK := req.Weights == nil && req.Costs == nil && req.Budget == 0 && req.MaxHops == 0
 	costKey := req.Dataset + "|" + modelName
+	planSpan := obs.StartSpan(ctx, "plan").Attr("budget_ms", req.BudgetMs)
 	d := s.tiered.planner.Plan(costKey, g.N(), req.K, req.Epsilon, req.Ell, req.BudgetMs, req.MinConfidence, fastOK)
+	planSpan.Attr("tier", d.Tier.String()).
+		Attr("epsilon", d.Epsilon).
+		Attr("predicted_ms", d.PredictedMs).
+		End()
 
 	switch d.Tier {
 	case tiered.TierShed:
-		s.tiered.shedInfeasible.Add(1)
+		s.tiered.shedInfeasible.Inc()
 		return MaximizeResponse{}, false, &shedError{
 			reason:     fmt.Sprintf("no tier fits budget_ms=%g with min_confidence=%g", req.BudgetMs, req.MinConfidence),
 			retryAfter: defaultRetryAfter,
 		}
 	case tiered.TierFast:
-		return s.serveFast(req, costKey, evg)
+		return s.serveFast(ctx, req, costKey, evg)
 	}
 
 	// TierRIS at the planned rung, under the budget's own deadline.
-	s.tiered.escalations.Add(1)
+	s.tiered.escalations.Inc()
+	if m := requestMeta(ctx); m != nil {
+		m.escalated.Store(true)
+	}
 	risReq := req
 	risReq.Epsilon = d.Epsilon
 	// Guard the float→Duration conversion: a budget past the request
@@ -282,26 +306,34 @@ func (s *Server) answer(base context.Context, req MaximizeRequest) (MaximizeResp
 	start := time.Now()
 	resp, hit, err := s.doMaximize(budgetCtx, risReq)
 	if err == nil {
-		s.tiered.risRing.Observe(msSince(start))
+		ms := msSince(start)
+		s.tiered.risRing.Observe(ms)
+		s.obs.tierHist.With("ris").Observe(ms)
 		return resp, hit, nil
 	}
 	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil && fastOK && req.MinConfidence <= 0 {
 		// The prediction was optimistic and the budget fired mid-run. The
 		// flushed RR prefix stays in the store (partial-keep extension), so
 		// the miss still ratchets the collection; answer heuristically.
-		s.tiered.deadlineFallbacks.Add(1)
-		return s.serveFast(req, costKey, evg)
+		s.tiered.deadlineFallbacks.Inc()
+		if m := requestMeta(ctx); m != nil {
+			m.fellBack.Store(true)
+		}
+		return s.serveFast(ctx, req, costKey, evg)
 	}
 	return MaximizeResponse{}, false, err
 }
 
 // serveFast answers req from the fast tier and feeds the latency
 // observations (ring + planner cost model).
-func (s *Server) serveFast(req MaximizeRequest, costKey string, evg *evolve.Graph) (MaximizeResponse, bool, error) {
+func (s *Server) serveFast(ctx context.Context, req MaximizeRequest, costKey string, evg *evolve.Graph) (MaximizeResponse, bool, error) {
+	span := obs.StartSpan(ctx, "fast.select").Attr("k", int64(req.K))
 	start := time.Now()
 	seeds, est, version := s.tiered.fastSelect(costKey, evg, req.K, req.Force, req.Exclude)
 	ms := msSince(start)
+	span.End()
 	s.tiered.fastRing.Observe(ms)
+	s.obs.tierHist.With("fast").Observe(ms)
 	s.tiered.planner.ObserveFast(costKey, ms)
 	return MaximizeResponse{
 		Seeds:          seeds,
@@ -341,11 +373,11 @@ func (t *tieredRuntime) stats() tieredStats {
 		EpsLadder:           t.planner.Ladder(),
 		RIS:                 t.risRing.Snapshot(),
 		Fast:                t.fastRing.Snapshot(),
-		Escalated:           t.escalations.Load(),
-		ShedInfeasible:      t.shedInfeasible.Load(),
-		DeadlineFallbacks:   t.deadlineFallbacks.Load(),
-		ScorerBuilds:        t.scorerBuilds.Load(),
-		ScorerRefreshes:     t.scorerRefreshes.Load(),
-		ScorerNodesRescored: t.scorerRescored.Load(),
+		Escalated:           t.escalations.Int(),
+		ShedInfeasible:      t.shedInfeasible.Int(),
+		DeadlineFallbacks:   t.deadlineFallbacks.Int(),
+		ScorerBuilds:        t.scorerBuilds.Int(),
+		ScorerRefreshes:     t.scorerRefreshes.Int(),
+		ScorerNodesRescored: t.scorerRescored.Int(),
 	}
 }

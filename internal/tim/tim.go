@@ -10,6 +10,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/graph"
 	"repro/internal/maxcover"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -74,7 +75,9 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 
 	// Phase 1: parameter estimation (Algorithm 2).
 	t0 := time.Now()
+	kptSpan := obs.StartSpan(ctx, "kpt.estimate")
 	est := estimateKPT(ctx, g, model, cfg, mass, opts.K, ell, opts.Workers, seeds)
+	kptSpan.Attr("kpt_star", est.kptStar).Attr("iterations", int64(est.iterations)).End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -87,8 +90,10 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	// Intermediate step: refinement (Algorithm 3, TIM+ only).
 	if opts.Variant == TIMPlus {
 		t1 := time.Now()
+		refineSpan := obs.StartSpan(ctx, "kpt.refine")
 		res.KptPlus = refineKPT(ctx, g, model, cfg, mass, cover, est.lastBatch,
 			est.kptStar, opts.EpsPrime, ell, opts.Workers, seeds)
+		refineSpan.Attr("kpt_plus", res.KptPlus).End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -120,11 +125,14 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	if !res.ThetaCapped {
 		res.Confidence = ApproxFactor(opts.Epsilon)
 	}
+	selSpan := obs.StartSpan(ctx, "select").Attr("theta", theta).Attr("k", int64(opts.K))
 	if opts.SpillDir != "" {
 		cover, stats, err := selectOutOfCore(ctx, g, model, opts.K, theta, opts.Workers, opts.SpillDir, seeds)
 		if err != nil {
+			selSpan.End()
 			return nil, err
 		}
+		selSpan.Attr("covered", cover.Covered).Attr("spilled", true).End()
 		res.Timings.NodeSelection = time.Since(t2)
 		res.Seeds = cover.Seeds
 		res.Theta = theta
@@ -142,9 +150,11 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 		var err error
 		col, err = opts.Source.NodeSelectionSets(ctx, g, model, theta, opts.Workers)
 		if err != nil {
+			selSpan.End()
 			return nil, err
 		}
 		if int64(col.Count()) < theta {
+			selSpan.End()
 			return nil, fmt.Errorf("%w: returned %d RR sets, need θ=%d",
 				ErrBadSource, col.Count(), theta)
 		}
@@ -157,10 +167,12 @@ func MaximizeContext(ctx context.Context, g *graph.Graph, model diffusion.Model,
 			Config:  cfg,
 		})
 		if err := ctx.Err(); err != nil {
+			selSpan.End()
 			return nil, err
 		}
 	}
 	sel := maxcover.GreedyConstrained(n, col, cover)
+	selSpan.Attr("covered", sel.Covered).End()
 	res.Timings.NodeSelection = time.Since(t2)
 
 	res.Seeds = sel.Seeds
