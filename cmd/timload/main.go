@@ -14,7 +14,15 @@
 //
 //	timload -qps 200 -duration 30s -mix 0.6,0.3,0.1 -out LOAD.json
 //	timload -quick                    # CI smoke: 100 QPS for ~3s
+//	timload -quick -qlog QLOG.jsonl   # also record the query flight log
+//	timload -replay QLOG.jsonl -replay-strict
 //	timload -validate LOAD.json
+//
+// With -qlog the in-process server records every answered query shape
+// to a JSONL flight log (see DESIGN.md §13); -replay rebuilds an
+// identically-seeded server from a log's header, re-fires the recorded
+// workload open-loop, and compares the per-class tier breakdown
+// against the recorded outcomes, writing REPLAY.json (-replay-out).
 //
 // Besides LOAD.json, a run scrapes /metrics mid-flight (failing if the
 // exposition is unparseable or its histograms carry no samples), samples
@@ -178,6 +186,10 @@ func main() {
 		out      = flag.String("out", "LOAD.json", "output path")
 		traceOut = flag.String("trace-out", "TRACE.json", "path for the server's slowest retained traces (empty = skip)")
 		validate = flag.String("validate", "", "validate an existing LOAD.json against the schema and exit")
+		qlogOut  = flag.String("qlog", "", "record the in-process server's query flight log to this JSONL path (incompatible with -url; pass -qlog to timserver instead)")
+		replayIn = flag.String("replay", "", "replay a recorded QLOG.jsonl against an identically-seeded in-process server and exit")
+		replayOt = flag.String("replay-out", "REPLAY.json", "replay summary output path")
+		replaySt = flag.Bool("replay-strict", false, "exit nonzero when the replayed per-class tier breakdown drifts from the recording")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -188,7 +200,14 @@ func main() {
 		fmt.Printf("timload: %s is schema-valid\n", *validate)
 		return
 	}
-	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out, *traceOut); err != nil {
+	if *replayIn != "" {
+		if err := replayRun(*replayIn, *replayOt, *replaySt); err != nil {
+			fmt.Fprintln(os.Stderr, "timload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out, *traceOut, *qlogOut); err != nil {
 		fmt.Fprintln(os.Stderr, "timload:", err)
 		os.Exit(1)
 	}
@@ -213,7 +232,7 @@ func envDuration(key string, def time.Duration) time.Duration {
 }
 
 func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs float64,
-	k int, dataset, url string, quick bool, out, traceOut string) error {
+	k int, dataset, url string, quick bool, out, traceOut, qlog string) error {
 
 	if quick {
 		qps, duration, dataset = 100, 3*time.Second, "ba:1000:3"
@@ -232,12 +251,14 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 	}
 
 	base := url
+	var srv *server.Server
 	if base == "" {
-		srv, err := server.New(server.Config{
+		srv, err = server.New(server.Config{
 			Datasets:       []server.DatasetSpec{{Name: "load", Source: dataset, Seed: 7}},
 			CacheSize:      64,
 			RequestTimeout: 30 * time.Second,
 			Seed:           1,
+			QLogPath:       qlog,
 		})
 		if err != nil {
 			return err
@@ -247,6 +268,9 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 		base = ts.URL
 		dataset = "load"
 	} else {
+		if qlog != "" {
+			return fmt.Errorf("-qlog records the in-process server; pass -qlog to the timserver behind -url instead")
+		}
 		// Against an external server the caller names the dataset directly.
 		if flag.Lookup("dataset") != nil && dataset == "ba:2000:4" {
 			return fmt.Errorf("-url requires -dataset to name a dataset served there")
@@ -343,6 +367,16 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 			// Traces are best-effort: an external server may run with
 			// tracing disabled, and that should not fail the load run.
 			fmt.Fprintf(os.Stderr, "timload: trace dump skipped: %v\n", err)
+		}
+	}
+	if srv != nil {
+		// Flush the flight recorder after the last response, so the file
+		// holds every recorded request before anyone replays it.
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("qlog close: %w", err)
+		}
+		if qlog != "" {
+			fmt.Printf("timload: query flight log → %s\n", qlog)
 		}
 	}
 

@@ -19,7 +19,8 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "LOAD.json")
 	traceOut := filepath.Join(t.TempDir(), "TRACE.json")
-	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out, traceOut); err != nil {
+	qlogOut := filepath.Join(t.TempDir(), "QLOG.jsonl")
+	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out, traceOut, qlogOut); err != nil {
 		t.Fatal(err)
 	}
 	if err := validateFile(out); err != nil {
@@ -75,6 +76,38 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 	if len(dump.Traces) == 0 || len(dump.Traces[0].Spans) == 0 {
 		t.Fatalf("TRACE.json carries no span chains: %s", traces)
+	}
+
+	// The run also recorded a query flight log; a strict replay against
+	// an identically-seeded server must reproduce the per-class tier
+	// breakdown (distribution-level) and write a REPLAY.json. Under the
+	// race detector the ~10× slowdown changes which budgeted queries
+	// shed, so tier shares don't reproduce — replay non-strict there
+	// and check structure only.
+	replayOut := filepath.Join(t.TempDir(), "REPLAY.json")
+	if err := replayRun(qlogOut, replayOut, !raceEnabled); err != nil {
+		t.Fatalf("strict replay of self-recorded qlog: %v", err)
+	}
+	rdata, err := os.ReadFile(replayOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf ReplayFile
+	if err := json.Unmarshal(rdata, &rf); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Version != 1 || rf.GeneratedBy != "timload-replay" {
+		t.Fatalf("replay summary: %+v", rf)
+	}
+	if !raceEnabled && !rf.Match {
+		t.Fatalf("replay drifted: %+v", rf)
+	}
+	if rf.Records < 40 {
+		t.Fatalf("replay saw %d records, want the full recording", rf.Records)
+	}
+	// REPLAY.json must never pass as a LOAD.json.
+	if err := validateFile(replayOut); err == nil {
+		t.Fatal("REPLAY.json validated as a LOAD.json")
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in. The
+// strict replay comparison is distribution-level over server timing;
+// the detector's ~10× slowdown changes which budgeted queries shed,
+// so tier shares only reproduce on comparably-timed binaries.
+const raceEnabled = true

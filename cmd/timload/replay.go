@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// ReplayFile is the REPLAY.json schema, version 1 — deliberately a
+// different shape from LOAD.json so the two artifacts can never be
+// confused (timload -validate rejects a REPLAY.json).
+type ReplayFile struct {
+	Version      int    `json:"version"`
+	GeneratedBy  string `json:"generated_by"`
+	Source       string `json:"source"`
+	RecordedSeed uint64 `json:"recorded_seed"`
+	Records      int    `json:"records"`
+	// SkippedConstrained counts recorded shapes that carry only a spec
+	// profile hash; the concrete constraints are not in the log, so
+	// those requests cannot be re-fired.
+	SkippedConstrained int           `json:"skipped_constrained"`
+	Classes            []ReplayClass `json:"classes"`
+	Match              bool          `json:"match"`
+	Mismatches         []string      `json:"mismatches,omitempty"`
+}
+
+// ReplayClass compares one tier class (budgeted / unbudgeted) between
+// the recording and the replay.
+type ReplayClass struct {
+	Name          string           `json:"name"`
+	Sent          int64            `json:"sent"`
+	OK            int64            `json:"ok"`
+	Shed          int64            `json:"shed"`
+	Errors        int64            `json:"errors"`
+	RecordedOK    int64            `json:"recorded_ok"`
+	RecordedTiers map[string]int64 `json:"recorded_tiers"`
+	ReplayedTiers map[string]int64 `json:"replayed_tiers"`
+}
+
+// replayShareTolerance bounds how far a class's per-tier share may
+// drift between recording and replay before it counts as a mismatch.
+// Tier choice is latency-EWMA driven, so the comparison is
+// distribution-level: the θ/seed pipeline is deterministic given the
+// header's seeds, but which rung a budgeted query settles on depends
+// on observed wall-clock, which only reproduces approximately.
+const replayShareTolerance = 0.25
+
+// replayRun rebuilds the recorded serving environment from a qlog
+// header (same dataset specs, build seeds, base seed, and ε ladder),
+// re-fires the recorded workload open-loop on its original arrival
+// offsets, and writes a per-class comparison to out. With strict set,
+// a tier-breakdown drift beyond tolerance is an error.
+func replayRun(path, out string, strict bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	header, records, err := obs.ReadQLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s holds no query records", path)
+	}
+	if len(header.Datasets) == 0 {
+		return fmt.Errorf("%s header names no datasets", path)
+	}
+
+	specs := make([]server.DatasetSpec, 0, len(header.Datasets))
+	for _, d := range header.Datasets {
+		specs = append(specs, server.DatasetSpec{Name: d.Name, Source: d.Source, Seed: d.Seed})
+	}
+	srv, err := server.New(server.Config{
+		Datasets:       specs,
+		CacheSize:      64,
+		RequestTimeout: 30 * time.Second,
+		Seed:           header.Seed,
+		EpsLadder:      header.EpsLadder,
+	})
+	if err != nil {
+		return fmt.Errorf("rebuild recorded server: %w", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Re-fire open-loop: record i departs at its recorded offset
+	// (rebased to the first record), regardless of earlier responses —
+	// the same arrival process the recording server faced.
+	type rres struct {
+		status    int
+		tier      string
+		transport bool
+		skipped   bool
+	}
+	results := make([]rres, len(records))
+	skipped := 0
+	var wg sync.WaitGroup
+	off0 := records[0].OffsetMs
+	start := time.Now()
+	for i, rec := range records {
+		if rec.Profile != "" {
+			results[i].skipped = true
+			skipped++
+			continue
+		}
+		if sleepFor := start.Add(time.Duration((rec.OffsetMs - off0) * float64(time.Millisecond))).Sub(time.Now()); sleepFor > 0 {
+			time.Sleep(sleepFor)
+		}
+		wg.Add(1)
+		go func(i int, rec obs.QLogRecord) {
+			defer wg.Done()
+			body := map[string]any{"dataset": rec.Dataset, "k": rec.K}
+			if rec.Model != "" {
+				body["model"] = rec.Model
+			}
+			if rec.Epsilon > 0 {
+				body["epsilon"] = rec.Epsilon
+			}
+			if rec.Ell > 0 {
+				body["ell"] = rec.Ell
+			}
+			if rec.BudgetMs > 0 {
+				body["budget_ms"] = rec.BudgetMs
+			}
+			if rec.MinConfidence > 0 {
+				body["min_confidence"] = rec.MinConfidence
+			}
+			resp, err := fire(client, ts.URL, body)
+			if err != nil {
+				results[i] = rres{transport: true}
+				return
+			}
+			results[i] = rres{status: resp.status, tier: resp.tier}
+		}(i, rec)
+	}
+	wg.Wait()
+
+	// Aggregate recording and replay per tier class.
+	order := []string{"budgeted", "unbudgeted"}
+	byName := map[string]*ReplayClass{}
+	cls := func(name string) *ReplayClass {
+		c := byName[name]
+		if c == nil {
+			c = &ReplayClass{Name: name, RecordedTiers: map[string]int64{}, ReplayedTiers: map[string]int64{}}
+			byName[name] = c
+		}
+		return c
+	}
+	for i, rec := range records {
+		name := "unbudgeted"
+		if rec.BudgetMs > 0 {
+			name = "budgeted"
+		}
+		c := cls(name)
+		if rec.Status == http.StatusOK {
+			c.RecordedOK++
+			c.RecordedTiers[rec.Tier]++
+		}
+		r := results[i]
+		if r.skipped {
+			continue
+		}
+		c.Sent++
+		switch {
+		case r.transport:
+			c.Errors++
+		case r.status == http.StatusOK:
+			c.OK++
+			c.ReplayedTiers[r.tier]++
+		case r.status == http.StatusServiceUnavailable:
+			c.Shed++
+		default:
+			c.Errors++
+		}
+	}
+
+	file := ReplayFile{
+		Version:            1,
+		GeneratedBy:        "timload-replay",
+		Source:             path,
+		RecordedSeed:       header.Seed,
+		Records:            len(records),
+		SkippedConstrained: skipped,
+	}
+	for _, name := range order {
+		c := byName[name]
+		if c == nil {
+			continue
+		}
+		file.Classes = append(file.Classes, *c)
+		file.Mismatches = append(file.Mismatches, classMismatches(c)...)
+	}
+	file.Match = len(file.Mismatches) == 0
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	for _, c := range file.Classes {
+		fmt.Printf("timload: replay %-10s sent=%d ok=%d shed=%d err=%d recorded=%v replayed=%v\n",
+			c.Name, c.Sent, c.OK, c.Shed, c.Errors, c.RecordedTiers, c.ReplayedTiers)
+	}
+	fmt.Printf("timload: replayed %d records (%d constrained skipped) from %s → %s; match=%v\n",
+		len(records), skipped, path, out, file.Match)
+	if strict && !file.Match {
+		return fmt.Errorf("replay drifted from recording: %s", strings.Join(file.Mismatches, "; "))
+	}
+	return nil
+}
+
+// classMismatches compares one class's replayed tier breakdown against
+// the recording, distribution-level: per-tier OK shares must agree
+// within replayShareTolerance.
+func classMismatches(c *ReplayClass) []string {
+	var out []string
+	if c.RecordedOK > 0 && c.OK == 0 {
+		return []string{fmt.Sprintf("class %s: recorded %d OK answers, replay produced none", c.Name, c.RecordedOK)}
+	}
+	tiers := map[string]bool{}
+	for t := range c.RecordedTiers {
+		tiers[t] = true
+	}
+	for t := range c.ReplayedTiers {
+		tiers[t] = true
+	}
+	names := make([]string, 0, len(tiers))
+	for t := range tiers {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		var rs, ps float64
+		if c.RecordedOK > 0 {
+			rs = float64(c.RecordedTiers[t]) / float64(c.RecordedOK)
+		}
+		if c.OK > 0 {
+			ps = float64(c.ReplayedTiers[t]) / float64(c.OK)
+		}
+		if math.Abs(rs-ps) > replayShareTolerance {
+			out = append(out, fmt.Sprintf("class %s tier %q: recorded share %.2f, replayed %.2f (tolerance %.2f)",
+				c.Name, t, rs, ps, replayShareTolerance))
+		}
+	}
+	return out
+}

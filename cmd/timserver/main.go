@@ -25,8 +25,10 @@
 // POST /v1/query/batch answers a list of such queries in one round-trip.
 //
 // Endpoints: POST /v1/maximize, POST /v1/query/batch, POST /v1/spread,
-// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /healthz. The
-// server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /v1/capacity,
+// GET /v1/health/slo, GET /healthz. The server drains in-flight
+// requests on SIGINT/SIGTERM before exiting, then flushes the -qlog
+// flight recorder.
 package main
 
 import (
@@ -76,6 +78,11 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (info logs one line per compute request; debug adds introspection scrapes)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
 		traceRing = flag.Int("trace-ring", 0, "completed request traces kept for GET /v1/trace/{id} and /v1/trace/slow (0 = default 256, negative = tracing off)")
+		qlogPath  = flag.String("qlog", "", "query flight-recorder output path (JSONL; empty = recording off); replay with timload -replay")
+		qlogSamp  = flag.Int("qlog-sample", 1, "record every Nth query in the flight recorder")
+		qlogMax   = flag.Int("qlog-max", 0, "max records the flight recorder writes (0 = default 100000, negative = unbounded)")
+		memBudget = flag.Int64("mem-budget", 0, "memory budget in bytes for ledger-accounted state; /v1/capacity reports headroom against it (0 = unbudgeted)")
+		sloObj    = flag.Float64("slo-objective", 0, "tolerated bad fraction per tier class for /v1/health/slo error budgets (0 = default 0.01)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
@@ -91,7 +98,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, datasets, *cacheSize, *rrCap, *maxTheta, *timeout, *workers, *seed, *drain, *deltaLog, *batchPar, *inFlight, ladder, logger, *debugAddr, *traceRing); err != nil {
+	cfg := server.Config{
+		CacheSize:         *cacheSize,
+		RRCollections:     *rrCap,
+		MaxTheta:          *maxTheta,
+		RequestTimeout:    *timeout,
+		Workers:           *workers,
+		Seed:              *seed,
+		MaxDeltaLog:       *deltaLog,
+		BatchParallelism:  *batchPar,
+		MaxInFlight:       *inFlight,
+		EpsLadder:         ladder,
+		TraceRing:         *traceRing,
+		AccessLog:         logger,
+		MemoryBudgetBytes: *memBudget,
+		QLogPath:          *qlogPath,
+		QLogSample:        *qlogSamp,
+		QLogMaxRecords:    *qlogMax,
+		SLOObjective:      *sloObj,
+	}
+	if err := run(*listen, datasets, cfg, *drain, logger, *debugAddr); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
@@ -134,38 +160,22 @@ func parseLadder(s string) ([]float64, error) {
 	return ladder, nil
 }
 
-func run(listen string, datasets []string, cacheSize, rrCollections int,
-	maxTheta int64, timeout time.Duration, workers int, seed uint64,
-	drain time.Duration, deltaLog int, batchParallelism int,
-	maxInFlight int, epsLadder []float64, logger *slog.Logger,
-	debugAddr string, traceRing int) error {
+func run(listen string, datasets []string, cfg server.Config,
+	drain time.Duration, logger *slog.Logger, debugAddr string) error {
 
 	if len(datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=source is required")
 	}
 	specs := make([]server.DatasetSpec, 0, len(datasets))
 	for _, d := range datasets {
-		spec, err := server.ParseDatasetSpec(d, seed)
+		spec, err := server.ParseDatasetSpec(d, cfg.Seed)
 		if err != nil {
 			return err
 		}
 		specs = append(specs, spec)
 	}
-	srv, err := server.New(server.Config{
-		Datasets:         specs,
-		CacheSize:        cacheSize,
-		RRCollections:    rrCollections,
-		MaxTheta:         maxTheta,
-		RequestTimeout:   timeout,
-		Workers:          workers,
-		Seed:             seed,
-		MaxDeltaLog:      deltaLog,
-		BatchParallelism: batchParallelism,
-		MaxInFlight:      maxInFlight,
-		EpsLadder:        epsLadder,
-		TraceRing:        traceRing,
-		AccessLog:        logger,
-	})
+	cfg.Datasets = specs
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -179,9 +189,12 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 	for _, d := range summaries {
 		logger.Info("dataset loaded", "name", d.Name, "nodes", d.Nodes, "edges", d.Edges)
 	}
-	effWorkers := workers
+	effWorkers := cfg.Workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QLogPath != "" {
+		logger.Info("query flight recorder on", "path", cfg.QLogPath, "sample", cfg.QLogSample)
 	}
 
 	httpSrv := &http.Server{
@@ -230,6 +243,11 @@ func run(listen string, datasets []string, cacheSize, rrCollections int,
 	}
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Flush the flight recorder only after the listener has drained, so
+	// the file holds every in-flight request's record.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("qlog close: %w", err)
 	}
 	logger.Info("drained cleanly")
 	return nil

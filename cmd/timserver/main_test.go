@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/server"
 )
 
 func TestDatasetFlags(t *testing.T) {
@@ -47,8 +49,9 @@ func TestRunErrors(t *testing.T) {
 		{"bad spec", []string{"noequals"}, "name=source"},
 		{"duplicate", []string{"a=ba:10:2", "a=ba:20:2"}, "duplicate"},
 	}
+	cfg := server.Config{CacheSize: 8, RRCollections: 8, MaxTheta: 1000, RequestTimeout: time.Second, Workers: 1, Seed: 1}
 	for _, c := range cases {
-		err := run(":0", c.datasets, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil, discardLogger(), "", 0)
+		err := run(":0", c.datasets, cfg, time.Second, discardLogger(), "")
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantSub)
 		}
@@ -56,7 +59,8 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunBadListenAddress(t *testing.T) {
-	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, 8, 8, 1000, time.Second, 1, 1, time.Second, 0, 0, 0, nil, discardLogger(), "", 0)
+	cfg := server.Config{CacheSize: 8, RRCollections: 8, MaxTheta: 1000, RequestTimeout: time.Second, Workers: 1, Seed: 1}
+	err := run("999.999.999.999:bad", []string{"a=ba:10:2"}, cfg, time.Second, discardLogger(), "")
 	if err == nil {
 		t.Fatal("want listen error")
 	}

@@ -25,6 +25,20 @@ var samplerPool sync.Pool
 
 var samplerPoolHits, samplerPoolMisses atomic.Int64
 
+// samplerPoolBytes approximates bytes currently parked in the pool:
+// footprints are added on Put and subtracted on every Get (whether the
+// sampler is reused or dropped as too small). sync.Pool may free
+// entries under GC pressure without notice, so this is an upper bound
+// on retention, clamped at zero on read — documented as best-effort in
+// the capacity ledger.
+var samplerPoolBytes atomic.Int64
+
+// footprint is the sampler's recycled scratch: the visited-mark array
+// plus the BFS queue and LT trigger buffer.
+func (s *RRSampler) footprint() int64 {
+	return int64(cap(s.mark))*4 + int64(cap(s.queue))*4 + int64(cap(s.trig))*4
+}
+
 // AcquireSampler returns a sampler for (g, model, cfg), recycling scratch
 // from the process-wide pool when a pooled sampler's mark array is large
 // enough. Pair with ReleaseSampler; a sampler must not be used after
@@ -32,6 +46,7 @@ var samplerPoolHits, samplerPoolMisses atomic.Int64
 func AcquireSampler(g *graph.Graph, model Model, cfg SampleConfig) *RRSampler {
 	if v := samplerPool.Get(); v != nil {
 		s := v.(*RRSampler)
+		samplerPoolBytes.Add(-s.footprint())
 		if cap(s.mark) >= g.N() {
 			s.g, s.model, s.cfg = g, model, cfg
 			s.mark = s.mark[:g.N()]
@@ -54,6 +69,7 @@ func ReleaseSampler(s *RRSampler) {
 	s.g = nil
 	s.model = Model{}
 	s.cfg = SampleConfig{}
+	samplerPoolBytes.Add(s.footprint())
 	samplerPool.Put(s)
 }
 
@@ -62,4 +78,14 @@ func ReleaseSampler(s *RRSampler) {
 // constructions). Exposed for operational visibility (/v1/stats).
 func SamplerPoolStats() (hits, misses int64) {
 	return samplerPoolHits.Load(), samplerPoolMisses.Load()
+}
+
+// SamplerPoolBytes reports the approximate bytes of sampler scratch
+// currently parked in the pool (best effort: the GC may free pooled
+// entries without notice, so this upper-bounds actual retention).
+func SamplerPoolBytes() int64 {
+	if b := samplerPoolBytes.Load(); b > 0 {
+		return b
+	}
+	return 0
 }

@@ -223,6 +223,17 @@ func (e *Graph) Snapshot() (*graph.Graph, uint64) {
 	return e.snap, e.version
 }
 
+// SnapshotMemoryBytes reports the CSR footprint of the currently cached
+// snapshot — 0 when no snapshot is materialized (none built yet, or
+// invalidated by a mutation). It feeds the server's capacity ledger:
+// snapshot bytes appear exactly while a servable CSR exists, so ledger
+// totals track real retention rather than a high-water mark.
+func (e *Graph) SnapshotMemoryBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snap.MemoryBytes()
+}
+
 // Apply validates and applies one batch atomically, returning the new
 // version. On error the graph is unchanged.
 func (e *Graph) Apply(b Batch) (uint64, error) {

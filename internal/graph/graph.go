@@ -112,6 +112,25 @@ func (g *Graph) MaxOutDegree() int {
 	return best
 }
 
+// MemoryBytes returns the heap footprint of the CSR arrays (both
+// adjacency copies plus the in→out edge map), by slice capacity. It
+// feeds the server's capacity ledger: per-dataset snapshot bytes are
+// computed here, at the owner, so the ledger never guesses.
+func (g *Graph) MemoryBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	var b int64
+	b += int64(cap(g.outOff)) * 8
+	b += int64(cap(g.outTo)) * 4
+	b += int64(cap(g.outW)) * 4
+	b += int64(cap(g.inOff)) * 8
+	b += int64(cap(g.inSrc)) * 4
+	b += int64(cap(g.inW)) * 4
+	b += int64(cap(g.inToOut)) * 8
+	return b
+}
+
 // AverageDegree returns m/n, the paper's "average degree" column in
 // Table 2 (0 for an empty graph).
 func (g *Graph) AverageDegree() float64 {

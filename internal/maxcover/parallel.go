@@ -272,6 +272,7 @@ type i64SlicePool struct {
 func (sp *i64SlicePool) get(n int, zero bool) []int64 {
 	if v := sp.p.Get(); v != nil {
 		s := *(v.(*[]int64))
+		scratchPoolBytes.Add(-int64(cap(s)) * 8)
 		if cap(s) >= n {
 			s = s[:n]
 			if zero {
@@ -287,7 +288,10 @@ func (sp *i64SlicePool) get(n int, zero bool) []int64 {
 	return make([]int64, n)
 }
 
-func (sp *i64SlicePool) put(s []int64) { sp.p.Put(&s) }
+func (sp *i64SlicePool) put(s []int64) {
+	scratchPoolBytes.Add(int64(cap(s)) * 8)
+	sp.p.Put(&s)
+}
 
 type u32SlicePool struct {
 	p            sync.Pool
@@ -297,6 +301,7 @@ type u32SlicePool struct {
 func (sp *u32SlicePool) get(n int) []uint32 {
 	if v := sp.p.Get(); v != nil {
 		s := *(v.(*[]uint32))
+		scratchPoolBytes.Add(-int64(cap(s)) * 4)
 		if cap(s) >= n {
 			sp.hits.Add(1)
 			return s[:n]
@@ -306,7 +311,10 @@ func (sp *u32SlicePool) get(n int) []uint32 {
 	return make([]uint32, n)
 }
 
-func (sp *u32SlicePool) put(s []uint32) { sp.p.Put(&s) }
+func (sp *u32SlicePool) put(s []uint32) {
+	scratchPoolBytes.Add(int64(cap(s)) * 4)
+	sp.p.Put(&s)
+}
 
 // boolSlicePool hands out zeroed bool slices (get clears: same cost as a
 // fresh make, without the allocation and GC churn).
@@ -318,6 +326,7 @@ type boolSlicePool struct {
 func (sp *boolSlicePool) get(n int) []bool {
 	if v := sp.p.Get(); v != nil {
 		s := *(v.(*[]bool))
+		scratchPoolBytes.Add(-int64(cap(s)))
 		if cap(s) >= n {
 			s = s[:n]
 			for i := range s {
@@ -331,7 +340,10 @@ func (sp *boolSlicePool) get(n int) []bool {
 	return make([]bool, n)
 }
 
-func (sp *boolSlicePool) put(s []bool) { sp.p.Put(&s) }
+func (sp *boolSlicePool) put(s []bool) {
+	scratchPoolBytes.Add(int64(cap(s)))
+	sp.p.Put(&s)
+}
 
 // seedMarkPool pools the CountCovered membership scratch under a
 // stronger invariant: every slice in the pool is all-false over its full
@@ -345,6 +357,7 @@ type seedMarkPool struct {
 func (sp *seedMarkPool) get(n int) []bool {
 	if v := sp.p.Get(); v != nil {
 		s := *(v.(*[]bool))
+		scratchPoolBytes.Add(-int64(cap(s)))
 		if cap(s) >= n {
 			sp.hits.Add(1)
 			return s[:n]
@@ -354,13 +367,22 @@ func (sp *seedMarkPool) get(n int) []bool {
 	return make([]bool, n)
 }
 
-func (sp *seedMarkPool) put(s []bool) { sp.p.Put(&s) }
+func (sp *seedMarkPool) put(s []bool) {
+	scratchPoolBytes.Add(int64(cap(s)))
+	sp.p.Put(&s)
+}
 
 var (
 	i64Pool   i64SlicePool
 	u32Pool   u32SlicePool
 	boolPool  boolSlicePool
 	seedMarks seedMarkPool
+
+	// scratchPoolBytes approximates bytes parked across all four pools:
+	// added on put, subtracted on every pool get (reused or dropped as
+	// too small). sync.Pool may free entries under GC pressure without
+	// notice, so this upper-bounds retention; clamped at zero on read.
+	scratchPoolBytes atomic.Int64
 )
 
 // ScratchPoolStats reports the process-wide selection scratch reuse
@@ -370,4 +392,14 @@ func ScratchPoolStats() (hits, misses int64) {
 	hits = i64Pool.hits.Load() + u32Pool.hits.Load() + boolPool.hits.Load() + seedMarks.hits.Load()
 	misses = i64Pool.misses.Load() + u32Pool.misses.Load() + boolPool.misses.Load() + seedMarks.misses.Load()
 	return hits, misses
+}
+
+// ScratchPoolBytes reports the approximate bytes of selection scratch
+// currently parked across the pools (best effort: the GC may free
+// pooled entries without notice, so this upper-bounds retention).
+func ScratchPoolBytes() int64 {
+	if b := scratchPoolBytes.Load(); b > 0 {
+		return b
+	}
+	return 0
 }

@@ -14,11 +14,15 @@ import (
 // expanded into cumulative _bucket samples plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
 	r.mu.Unlock()
+	for _, hook := range hooks {
+		hook()
+	}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Ledger is a hierarchical resource-accounting tree: the single source
+// of truth for "who holds how many bytes". Paths are slash-free name
+// segments, conventionally (dataset, component) — e.g.
+// ("nethept", "rr_collections") — but the tree supports any depth.
+//
+// Leaves come in two flavors:
+//
+//   - Account leaves hold an atomic byte count mutated by the owning
+//     subsystem (Add/Set). Owners must mirror every allocation and
+//     release exactly; the ledger never observes memory on its own.
+//   - Func leaves are computed on read (AccountFunc), for state whose
+//     authoritative size already lives elsewhere (CSR snapshots,
+//     tiered scorers) and would otherwise need duplicated bookkeeping.
+//
+// Interior nodes have no bytes of their own: a subtree's total is
+// always the sum of its leaves, so "ledger total = Σ leaves" holds by
+// construction and tests can assert it against independently-tracked
+// gauges bit-for-bit.
+//
+// A nil *Ledger is inert: Account returns a nil *Account (whose
+// methods are no-ops), sums are 0, Snapshot is empty.
+type Ledger struct {
+	mu   sync.Mutex
+	root ledgerNode
+}
+
+type ledgerNode struct {
+	children map[string]*ledgerNode
+	acct     *Account // non-nil only on Account leaves
+	fn       func() int64
+}
+
+// Account is one mutable leaf of a Ledger. The zero value is usable;
+// a nil *Account is inert so callers can hold one unconditionally.
+type Account struct {
+	v atomic.Int64
+}
+
+// Add adjusts the account by delta bytes (negative to release).
+func (a *Account) Add(delta int64) {
+	if a == nil {
+		return
+	}
+	a.v.Add(delta)
+}
+
+// Set overwrites the account's byte count.
+func (a *Account) Set(v int64) {
+	if a == nil {
+		return
+	}
+	a.v.Store(v)
+}
+
+// Value returns the current byte count (0 for a nil account).
+func (a *Account) Value() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.v.Load()
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+func (n *ledgerNode) child(name string) *ledgerNode {
+	if n.children == nil {
+		n.children = make(map[string]*ledgerNode)
+	}
+	c := n.children[name]
+	if c == nil {
+		c = &ledgerNode{}
+		n.children[name] = c
+	}
+	return c
+}
+
+func (l *Ledger) walk(path []string) *ledgerNode {
+	n := &l.root
+	for _, p := range path {
+		n = n.child(p)
+	}
+	return n
+}
+
+// Account returns the mutable leaf at path, creating it on first use.
+// Calling it again with the same path returns the same *Account, so
+// subsystems may resolve their leaf eagerly at construction or lazily
+// per key. Registering an Account where a Func leaf or interior node
+// already exists panics: leaf ownership is exclusive by design.
+func (l *Ledger) Account(path ...string) *Account {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.walk(path)
+	if n.fn != nil || len(n.children) != 0 {
+		panic("obs: ledger path " + joinPath(path) + " is not an account leaf")
+	}
+	if n.acct == nil {
+		n.acct = &Account{}
+	}
+	return n.acct
+}
+
+// AccountFunc installs a computed leaf at path: its byte count is
+// fn() at read time. Re-installing over any existing node panics.
+func (l *Ledger) AccountFunc(fn func() int64, path ...string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.walk(path)
+	if n.fn != nil || n.acct != nil || len(n.children) != 0 {
+		panic("obs: ledger path " + joinPath(path) + " already registered")
+	}
+	n.fn = fn
+}
+
+func joinPath(path []string) string {
+	s := ""
+	for i, p := range path {
+		if i > 0 {
+			s += "/"
+		}
+		s += p
+	}
+	return s
+}
+
+func (n *ledgerNode) sum() int64 {
+	var total int64
+	if n.acct != nil {
+		total += n.acct.Value()
+	}
+	if n.fn != nil {
+		total += n.fn()
+	}
+	for _, c := range n.children {
+		total += c.sum()
+	}
+	return total
+}
+
+// Total returns the byte sum over every leaf in the ledger.
+func (l *Ledger) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.root.sum()
+}
+
+// Sum returns the byte sum of the subtree rooted at path (0 if the
+// path was never registered).
+func (l *Ledger) Sum(path ...string) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := &l.root
+	for _, p := range path {
+		n = n.children[p]
+		if n == nil {
+			return 0
+		}
+	}
+	return n.sum()
+}
+
+// SumComponent returns the byte sum over every leaf whose final path
+// segment equals name, across all parents — e.g.
+// SumComponent("rr_collections") totals rr bytes over every dataset.
+func (l *Ledger) SumComponent(name string) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return sumComponent(&l.root, name)
+}
+
+func sumComponent(n *ledgerNode, name string) int64 {
+	var total int64
+	for childName, c := range n.children {
+		if childName == name && (c.acct != nil || c.fn != nil) {
+			total += c.sum()
+		} else {
+			total += sumComponent(c, name)
+		}
+	}
+	return total
+}
+
+// Each visits every leaf as (path, bytes), in sorted path order.
+// Computed leaves are evaluated at visit time.
+func (l *Ledger) Each(fn func(path []string, bytes int64)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	eachLeaf(&l.root, nil, fn)
+}
+
+func eachLeaf(n *ledgerNode, path []string, fn func([]string, int64)) {
+	if n.acct != nil || n.fn != nil {
+		var v int64
+		if n.acct != nil {
+			v += n.acct.Value()
+		}
+		if n.fn != nil {
+			v += n.fn()
+		}
+		fn(append([]string(nil), path...), v)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		eachLeaf(n.children[name], append(path, name), fn)
+	}
+}
+
+// LedgerEntry is one node of a ledger snapshot. Interior entries
+// report the sum of their children, so every level is self-consistent.
+type LedgerEntry struct {
+	Name     string        `json:"name"`
+	Bytes    int64         `json:"bytes"`
+	Children []LedgerEntry `json:"children,omitempty"`
+}
+
+// Snapshot returns the ledger as a sorted tree of entries. The root
+// entry's Bytes equals Total() evaluated at the same instant.
+func (l *Ledger) Snapshot() LedgerEntry {
+	if l == nil {
+		return LedgerEntry{Name: "total"}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return snapshotNode("total", &l.root)
+}
+
+func snapshotNode(name string, n *ledgerNode) LedgerEntry {
+	e := LedgerEntry{Name: name}
+	if n.acct != nil {
+		e.Bytes += n.acct.Value()
+	}
+	if n.fn != nil {
+		e.Bytes += n.fn()
+	}
+	names := make([]string, 0, len(n.children))
+	for childName := range n.children {
+		names = append(names, childName)
+	}
+	sort.Strings(names)
+	for _, childName := range names {
+		c := snapshotNode(childName, n.children[childName])
+		e.Bytes += c.Bytes
+		e.Children = append(e.Children, c)
+	}
+	return e
+}

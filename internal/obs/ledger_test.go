@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLedgerNilIsInert(t *testing.T) {
+	var l *Ledger
+	a := l.Account("ds", "rr")
+	if a != nil {
+		t.Fatal("nil ledger should hand out nil accounts")
+	}
+	a.Add(5) // nil account must not panic
+	a.Set(9)
+	if a.Value() != 0 {
+		t.Fatal("nil account value")
+	}
+	l.AccountFunc(func() int64 { return 7 }, "ds", "fn")
+	if l.Total() != 0 || l.Sum("ds") != 0 || l.SumComponent("rr") != 0 {
+		t.Fatal("nil ledger sums should be 0")
+	}
+	if snap := l.Snapshot(); snap.Bytes != 0 || len(snap.Children) != 0 {
+		t.Fatalf("nil ledger snapshot = %+v", snap)
+	}
+	l.Each(func([]string, int64) { t.Fatal("Each visited on nil ledger") })
+}
+
+func TestLedgerSumsEqualLeaves(t *testing.T) {
+	l := NewLedger()
+	rrA := l.Account("dsA", "rr_collections")
+	cacheA := l.Account("dsA", "result_cache")
+	rrB := l.Account("dsB", "rr_collections")
+	l.AccountFunc(func() int64 { return 1000 }, "dsB", "csr_snapshots")
+	pool := l.Account("(process)", "sampler_pool")
+
+	rrA.Add(100)
+	rrA.Add(50)
+	rrA.Add(-20) // release
+	cacheA.Set(7)
+	rrB.Add(300)
+	pool.Add(11)
+
+	if got := l.Sum("dsA"); got != 137 {
+		t.Fatalf("Sum(dsA) = %d", got)
+	}
+	if got := l.Sum("dsA", "rr_collections"); got != 130 {
+		t.Fatalf("Sum(dsA, rr) = %d", got)
+	}
+	if got := l.Sum("dsB"); got != 1300 {
+		t.Fatalf("Sum(dsB) = %d", got)
+	}
+	if got := l.Sum("nope"); got != 0 {
+		t.Fatalf("Sum(unregistered) = %d", got)
+	}
+	if got := l.SumComponent("rr_collections"); got != 430 {
+		t.Fatalf("SumComponent(rr) = %d", got)
+	}
+	wantTotal := int64(137 + 1300 + 11)
+	if got := l.Total(); got != wantTotal {
+		t.Fatalf("Total = %d, want %d", got, wantTotal)
+	}
+
+	// Same path returns the same account.
+	if l.Account("dsA", "rr_collections") != rrA {
+		t.Fatal("Account should be idempotent per path")
+	}
+
+	// Snapshot: root bytes equal Total, every interior node equals the
+	// sum of its children, children sorted by name.
+	snap := l.Snapshot()
+	if snap.Bytes != wantTotal {
+		t.Fatalf("snapshot root = %d, want %d", snap.Bytes, wantTotal)
+	}
+	var checkSums func(e LedgerEntry)
+	checkSums = func(e LedgerEntry) {
+		if len(e.Children) == 0 {
+			return
+		}
+		var sum int64
+		for i, c := range e.Children {
+			if i > 0 && e.Children[i-1].Name >= c.Name {
+				t.Fatalf("children of %s not sorted: %s >= %s", e.Name, e.Children[i-1].Name, c.Name)
+			}
+			sum += c.Bytes
+			checkSums(c)
+		}
+		if sum != e.Bytes {
+			t.Fatalf("interior %s = %d, children sum to %d", e.Name, e.Bytes, sum)
+		}
+	}
+	checkSums(snap)
+
+	// Each visits every leaf exactly once, sorted.
+	var paths []string
+	var eachTotal int64
+	l.Each(func(path []string, bytes int64) {
+		paths = append(paths, strings.Join(path, "/"))
+		eachTotal += bytes
+	})
+	want := []string{
+		"(process)/sampler_pool",
+		"dsA/result_cache", "dsA/rr_collections",
+		"dsB/csr_snapshots", "dsB/rr_collections",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("Each visited %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", paths, want)
+		}
+	}
+	if eachTotal != wantTotal {
+		t.Fatalf("Each total = %d, want %d", eachTotal, wantTotal)
+	}
+}
+
+func TestLedgerConflictsPanic(t *testing.T) {
+	l := NewLedger()
+	l.Account("ds", "rr")
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("func over account", func() { l.AccountFunc(func() int64 { return 0 }, "ds", "rr") })
+	mustPanic("account over interior", func() { l.Account("ds") })
+	l.AccountFunc(func() int64 { return 1 }, "ds", "fn")
+	mustPanic("account over func", func() { l.Account("ds", "fn") })
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := l.Account("ds", "rr") // all goroutines share one leaf
+			for j := 0; j < 1000; j++ {
+				a.Add(1)
+				_ = l.Total()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := l.Total(); got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+}

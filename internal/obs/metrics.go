@@ -243,6 +243,18 @@ func (f *family) get(values []string, build func() *series) *series {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	onScrape []func()
+}
+
+// OnScrape registers a hook invoked at the start of every
+// WritePrometheus call, before any family is rendered. Hooks refresh
+// state that is expensive to keep current continuously (e.g. one
+// runtime.ReadMemStats feeding several instruments). They run outside
+// the registry lock and must be safe for concurrent use.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
 }
 
 // NewRegistry builds an empty registry.
@@ -325,6 +337,16 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.get(values, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Func installs a gauge series for the given label values whose value
+// is read from fn at scrape time — the labeled mirror pattern (e.g.
+// one ledger-backed capacity gauge per dataset/component pair). The
+// first registration for a label-value tuple wins; installing Func
+// over an existing mutable series (or vice versa) is a no-op on the
+// existing series.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	v.f.get(values, func() *series { return &series{fn: fn} })
 }
 
 // Histogram registers (or fetches) an unlabeled histogram over bounds

@@ -214,12 +214,23 @@ func parseValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
+// MaxSeriesPerFamily caps the distinct label combinations Lint
+// tolerates within one family. Every label on this server draws from a
+// small closed vocabulary (endpoint, tier, dataset, component, phase);
+// a family exceeding the cap almost certainly interpolated an
+// unbounded value (request id, raw key, user input) into a label,
+// which would grow /metrics without bound. CI fails on violation via
+// timload's mid-run scrape.
+const MaxSeriesPerFamily = 64
+
 // Lint checks semantic invariants on parsed families — the shared
 // checker behind the /metrics test and timload's mid-run scrape:
 //   - counter samples are finite and non-negative
 //   - histogram buckets are cumulative (non-decreasing in le order per
 //     series), include le="+Inf", and agree with _count
 //   - every histogram series has matching _sum and _count samples
+//   - no family exposes more than MaxSeriesPerFamily distinct series
+//     (unbounded label cardinality)
 //
 // It returns all violations, not just the first.
 func Lint(fams map[string]*Family) []error {
@@ -235,8 +246,32 @@ func Lint(fams map[string]*Family) []error {
 		case typeHistogram:
 			errs = append(errs, lintHistogram(f)...)
 		}
+		sigs := make(map[string]struct{})
+		for _, s := range f.Samples {
+			sigs[nonLeSignature(s.Labels)] = struct{}{}
+		}
+		if len(sigs) > MaxSeriesPerFamily {
+			errs = append(errs, fmt.Errorf("family %s has %d series, over the %d cardinality cap (unbounded label value?)", f.Name, len(sigs), MaxSeriesPerFamily))
+		}
 	}
 	return errs
+}
+
+// nonLeSignature canonicalizes a sample's labels minus the histogram
+// "le" bound, identifying which logical series it belongs to.
+func nonLeSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+	}
+	return b.String()
 }
 
 // histSeries groups one histogram series' expanded samples by its
@@ -250,21 +285,11 @@ type histSeries struct {
 func lintHistogram(f *Family) []error {
 	series := make(map[string]*histSeries)
 	get := func(labels map[string]string) *histSeries {
-		keys := make([]string, 0, len(labels))
-		for k := range labels {
-			if k != "le" {
-				keys = append(keys, k)
-			}
-		}
-		sort.Strings(keys)
-		var b strings.Builder
-		for _, k := range keys {
-			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
-		}
-		hs := series[b.String()]
+		key := nonLeSignature(labels)
+		hs := series[key]
 		if hs == nil {
 			hs = &histSeries{}
-			series[b.String()] = hs
+			series[key] = hs
 		}
 		return hs
 	}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// QLogVersion is the schema version stamped into every qlog header.
+// Readers must reject files whose header declares a different version
+// rather than guess at field semantics.
+const QLogVersion = 1
+
+// QLogDataset pins one dataset of the recording server so a replay
+// can rebuild an identically-seeded instance.
+type QLogDataset struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Seed   uint64 `json:"seed"`
+}
+
+// QLogHeader is the first line of a qlog file. It carries everything
+// a replayer needs to reconstruct the serving environment: dataset
+// specs (with their build seeds), the server's base seed, and the ε
+// escalation ladder in force during recording.
+type QLogHeader struct {
+	Type      string        `json:"type"` // always "header"
+	Version   int           `json:"version"`
+	StartedAt string        `json:"started_at,omitempty"` // RFC3339, informational only
+	Seed      uint64        `json:"seed"`
+	EpsLadder []float64     `json:"eps_ladder,omitempty"`
+	Datasets  []QLogDataset `json:"datasets"`
+}
+
+// QLogRecord is one sampled request shape: enough to re-fire the
+// query (dataset, model, k, ε, ℓ, budget, profile hash) plus the
+// observed outcome (status, achieved tier/ε, θ, rr reuse counters,
+// server-side latency, trace id) for replay comparison.
+type QLogRecord struct {
+	Type     string  `json:"type"` // always "query"
+	OffsetMs float64 `json:"offset_ms"`
+	Endpoint string  `json:"endpoint"`
+	Dataset  string  `json:"dataset"`
+	Model    string  `json:"model,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Ell      float64 `json:"ell,omitempty"`
+	// Profile is the hex spec profile-hash for constrained queries
+	// (empty for plain top-k influence queries).
+	Profile       string  `json:"profile,omitempty"`
+	BudgetMs      float64 `json:"budget_ms,omitempty"`
+	MinConfidence float64 `json:"min_confidence,omitempty"`
+
+	Status      int     `json:"status"`
+	Tier        string  `json:"tier,omitempty"`
+	AchievedEps float64 `json:"achieved_eps,omitempty"`
+	Theta       int64   `json:"theta,omitempty"`
+	RRReused    int64   `json:"rr_reused,omitempty"`
+	RRSampled   int64   `json:"rr_sampled,omitempty"`
+	RRRepaired  int64   `json:"rr_repaired,omitempty"`
+	ServerMs    float64 `json:"server_ms"`
+	TraceID     string  `json:"trace_id,omitempty"`
+}
+
+// QLogStats summarizes a recorder's lifetime admission decisions.
+type QLogStats struct {
+	Seen    int64 `json:"seen"`
+	Written int64 `json:"written"`
+	Dropped int64 `json:"dropped"` // sampled out or over the record cap
+}
+
+// QLog is a bounded, sampled query flight recorder. Every request
+// shape the server answers is offered via Record; the recorder keeps
+// every N-th (sample) up to a record cap (max), then drops, so the
+// file size and per-request overhead stay bounded no matter the
+// traffic. Offsets are stamped relative to recorder creation so a
+// replay can reproduce the arrival process open-loop.
+//
+// A nil *QLog is inert, so call sites need no enablement checks.
+type QLog struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	closer  io.Closer
+	start   time.Time
+	sample  int64
+	max     int64
+	seen    int64
+	written int64
+	dropped int64
+	err     error
+}
+
+// NewQLog writes the header to w and returns a recorder. sample <= 1
+// keeps every record; max <= 0 means unbounded. The header's Type,
+// Version, and StartedAt fields are stamped by the recorder.
+func NewQLog(w io.Writer, header QLogHeader, sample, max int) (*QLog, error) {
+	now := time.Now()
+	header.Type = "header"
+	header.Version = QLogVersion
+	header.StartedAt = now.UTC().Format(time.RFC3339)
+	bw := bufio.NewWriter(w)
+	enc, err := json.Marshal(header)
+	if err != nil {
+		return nil, fmt.Errorf("qlog header: %w", err)
+	}
+	if _, err := bw.Write(append(enc, '\n')); err != nil {
+		return nil, fmt.Errorf("qlog header: %w", err)
+	}
+	q := &QLog{w: bw, start: now, sample: int64(sample), max: int64(max)}
+	if c, ok := w.(io.Closer); ok {
+		q.closer = c
+	}
+	if q.sample < 1 {
+		q.sample = 1
+	}
+	return q, nil
+}
+
+// OpenQLog creates (truncating) path and returns a recorder over it.
+func OpenQLog(path string, header QLogHeader, sample, max int) (*QLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("qlog: %w", err)
+	}
+	q, err := NewQLog(f, header, sample, max)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return q, nil
+}
+
+// Record offers one request shape to the recorder. The record's Type
+// and OffsetMs are stamped here; sampling and the record cap decide
+// whether it is written. Write errors are sticky and surfaced by
+// Close rather than per call.
+func (q *QLog) Record(rec QLogRecord) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seen++
+	if (q.seen-1)%q.sample != 0 || (q.max > 0 && q.written >= q.max) || q.err != nil {
+		q.dropped++
+		return
+	}
+	rec.Type = "query"
+	rec.OffsetMs = float64(time.Since(q.start)) / float64(time.Millisecond)
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		q.err = err
+		q.dropped++
+		return
+	}
+	if _, err := q.w.Write(append(enc, '\n')); err != nil {
+		q.err = err
+		q.dropped++
+		return
+	}
+	q.written++
+}
+
+// Stats reports lifetime admission counts.
+func (q *QLog) Stats() QLogStats {
+	if q == nil {
+		return QLogStats{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QLogStats{Seen: q.seen, Written: q.written, Dropped: q.dropped}
+}
+
+// Close flushes buffered records and closes the underlying file (when
+// the recorder owns one), returning the first sticky write error.
+func (q *QLog) Close() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.w.Flush(); err != nil && q.err == nil {
+		q.err = err
+	}
+	if q.closer != nil {
+		if err := q.closer.Close(); err != nil && q.err == nil {
+			q.err = err
+		}
+		q.closer = nil
+	}
+	return q.err
+}
+
+// ReadQLog parses a qlog stream: one header line followed by query
+// records. Lines of unknown type are skipped (forward compatibility);
+// a missing or version-mismatched header is an error.
+func ReadQLog(r io.Reader) (QLogHeader, []QLogRecord, error) {
+	var header QLogHeader
+	var records []QLogRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return header, nil, fmt.Errorf("qlog line %d: %w", line, err)
+		}
+		if !sawHeader {
+			if probe.Type != "header" {
+				return header, nil, fmt.Errorf("qlog line %d: want header, got %q", line, probe.Type)
+			}
+			if err := json.Unmarshal(raw, &header); err != nil {
+				return header, nil, fmt.Errorf("qlog header: %w", err)
+			}
+			if header.Version != QLogVersion {
+				return header, nil, fmt.Errorf("qlog version %d, want %d", header.Version, QLogVersion)
+			}
+			sawHeader = true
+			continue
+		}
+		if probe.Type != "query" {
+			continue
+		}
+		var rec QLogRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return header, nil, fmt.Errorf("qlog line %d: %w", line, err)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return header, nil, fmt.Errorf("qlog: %w", err)
+	}
+	if !sawHeader {
+		return header, nil, fmt.Errorf("qlog: empty file (no header)")
+	}
+	return header, records, nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQLogRoundTrip(t *testing.T) {
+	var nilQ *QLog
+	nilQ.Record(QLogRecord{}) // inert
+	if nilQ.Stats() != (QLogStats{}) || nilQ.Close() != nil {
+		t.Fatal("nil qlog should be inert")
+	}
+
+	var buf strings.Builder
+	header := QLogHeader{
+		Seed:      42,
+		EpsLadder: []float64{0.1, 0.2, 0.5},
+		Datasets: []QLogDataset{
+			{Name: "ba", Source: "ba:300:3", Seed: 7},
+			{Name: "ring", Source: "file:ring.txt", Seed: 7},
+		},
+	}
+	q, err := NewQLog(&buf, header, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []QLogRecord{
+		{Endpoint: "maximize", Dataset: "ba", Model: "ic", K: 5, Epsilon: 0.2, Ell: 1,
+			BudgetMs: 25, Status: 200, Tier: "ris", AchievedEps: 0.2, Theta: 12345,
+			RRReused: 100, RRSampled: 45, ServerMs: 3.5, TraceID: "req-1"},
+		{Endpoint: "maximize", Dataset: "ring", Model: "lt", K: 3, Epsilon: 0.3,
+			Status: 200, Tier: "fast", Profile: "deadbeef", ServerMs: 0.1},
+		{Endpoint: "batch", Dataset: "ba", Model: "ic", K: 2, Status: 503, Tier: "shed"},
+	}
+	for _, r := range recs {
+		q.Record(r)
+	}
+	if st := q.Stats(); st.Seen != 3 || st.Written != 3 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotHeader, gotRecs, err := ReadQLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHeader.Version != QLogVersion || gotHeader.Seed != 42 {
+		t.Fatalf("header = %+v", gotHeader)
+	}
+	if len(gotHeader.Datasets) != 2 || gotHeader.Datasets[0].Source != "ba:300:3" {
+		t.Fatalf("datasets = %+v", gotHeader.Datasets)
+	}
+	if len(gotHeader.EpsLadder) != 3 || gotHeader.EpsLadder[2] != 0.5 {
+		t.Fatalf("ladder = %v", gotHeader.EpsLadder)
+	}
+	if len(gotRecs) != 3 {
+		t.Fatalf("records = %d", len(gotRecs))
+	}
+	for i, got := range gotRecs {
+		want := recs[i]
+		if got.Type != "query" || got.OffsetMs < 0 {
+			t.Fatalf("record %d stamping = %+v", i, got)
+		}
+		// Normalize recorder-stamped fields, then the rest must round-trip.
+		got.Type, got.OffsetMs = "", 0
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestQLogSamplingAndCap(t *testing.T) {
+	var buf strings.Builder
+	q, err := NewQLog(&buf, QLogHeader{}, 3, 2) // every 3rd, max 2 records
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q.Record(QLogRecord{Endpoint: "maximize", K: i})
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.Seen != 10 || st.Written != 2 || st.Dropped != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	_, recs, err := ReadQLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3rd starting at the first: K=0, K=3 (then the cap bites).
+	if len(recs) != 2 || recs[0].K != 0 || recs[1].K != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestReadQLogRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no header":    `{"type":"query","endpoint":"maximize"}` + "\n",
+		"bad version":  `{"type":"header","version":999}` + "\n",
+		"garbage line": `{"type":"header","version":1}` + "\nnot json\n",
+	}
+	for name, text := range cases {
+		if _, _, err := ReadQLog(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadQLogSkipsUnknownTypes(t *testing.T) {
+	text := `{"type":"header","version":1}
+{"type":"annotation","note":"future extension"}
+{"type":"query","endpoint":"maximize","dataset":"ba","status":200}
+`
+	_, recs, err := ReadQLog(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Dataset != "ba" {
+		t.Fatalf("records = %+v", recs)
+	}
+}

@@ -6,8 +6,11 @@ import (
 )
 
 // TraceRing is a bounded ring of completed traces: the last capacity
-// traces are retained, older ones are dropped. It backs GET /v1/trace/{id}
-// (lookup by request id) and GET /v1/trace/slow (top-N by elapsed time).
+// traces are retained for id lookup, older ones are dropped. Alongside
+// the recency ring it keeps a separate top-capacity-by-duration set of
+// trace snapshots, so the slowest requests survive ring wrap under
+// load. It backs GET /v1/trace/{id} (lookup by request id, recency-
+// bounded) and GET /v1/trace/slow (slowest seen, wrap-proof).
 // A nil *TraceRing is inert — Add no-ops and lookups miss — which is how
 // the server represents "tracing disabled".
 type TraceRing struct {
@@ -15,6 +18,11 @@ type TraceRing struct {
 	cap    int
 	traces []*Trace // oldest first
 	byID   map[string]*Trace
+	// slow is a min-heap on ElapsedMs holding the top-cap slowest
+	// traces ever added, as snapshots: retaining snapshots rather than
+	// live traces keeps Get's "recent only" contract while letting
+	// Slowest outlive ring eviction.
+	slow []TraceSnapshot
 }
 
 // NewTraceRing builds a ring retaining up to capacity traces; a
@@ -46,6 +54,44 @@ func (r *TraceRing) Add(t *Trace) {
 	}
 	r.traces = append(r.traces, t)
 	r.byID[t.ID()] = t
+
+	snap := t.Snapshot()
+	if len(r.slow) < r.cap {
+		r.slow = append(r.slow, snap)
+		r.slowUp(len(r.slow) - 1)
+	} else if snap.ElapsedMs > r.slow[0].ElapsedMs {
+		r.slow[0] = snap
+		r.slowDown(0)
+	}
+}
+
+func (r *TraceRing) slowUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.slow[p].ElapsedMs <= r.slow[i].ElapsedMs {
+			return
+		}
+		r.slow[p], r.slow[i] = r.slow[i], r.slow[p]
+		i = p
+	}
+}
+
+func (r *TraceRing) slowDown(i int) {
+	n := len(r.slow)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && r.slow[l].ElapsedMs < r.slow[least].ElapsedMs {
+			least = l
+		}
+		if right := 2*i + 2; right < n && r.slow[right].ElapsedMs < r.slow[least].ElapsedMs {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		r.slow[i], r.slow[least] = r.slow[least], r.slow[i]
+		i = least
+	}
 }
 
 // Get returns the snapshot of the retained trace with the given id.
@@ -62,34 +108,23 @@ func (r *TraceRing) Get(id string) (TraceSnapshot, bool) {
 	return t.Snapshot(), true
 }
 
-// Slowest returns snapshots of the n retained traces with the largest
-// elapsed time, slowest first.
+// Slowest returns snapshots of the n slowest traces ever added (not
+// just those still in the recency ring), slowest first.
 func (r *TraceRing) Slowest(n int) []TraceSnapshot {
 	if r == nil || n <= 0 {
 		return nil
 	}
-	type timed struct {
-		t  *Trace
-		ms float64
-	}
 	r.mu.Lock()
-	all := make([]timed, len(r.traces))
-	for i, t := range r.traces {
-		all[i] = timed{t: t, ms: t.ElapsedMs()}
-	}
+	all := append([]TraceSnapshot(nil), r.slow...)
 	r.mu.Unlock()
-	sort.SliceStable(all, func(i, j int) bool { return all[i].ms > all[j].ms })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ElapsedMs > all[j].ElapsedMs })
 	if n > len(all) {
 		n = len(all)
 	}
-	out := make([]TraceSnapshot, n)
-	for i := 0; i < n; i++ {
-		out[i] = all[i].t.Snapshot()
-	}
-	return out
+	return all[:n]
 }
 
-// Len reports how many traces are retained.
+// Len reports how many traces are retained in the recency ring.
 func (r *TraceRing) Len() int {
 	if r == nil {
 		return 0

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GCPauseBuckets spans sub-10µs young-gen pauses through pathological
+// 100ms+ stop-the-world events, in milliseconds.
+var GCPauseBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// RegisterRuntimeMetrics adds process self-metrics to reg:
+//
+//	go_goroutines                    current goroutine count
+//	go_memstats_heap_inuse_bytes     bytes in in-use heap spans
+//	go_gc_pause_ms                   histogram of GC stop-the-world pauses
+//	process_uptime_seconds           seconds since registration
+//
+// All instruments are func-backed or fed by a single OnScrape hook
+// (one ReadMemStats per exposition), so the instrumented process pays
+// nothing between scrapes.
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since runtime metrics were registered.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	var heapInuse atomic.Uint64
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans, from runtime.MemStats.",
+		func() float64 { return float64(heapInuse.Load()) })
+	pause := reg.Histogram("go_gc_pause_ms",
+		"Garbage-collection stop-the-world pause durations in milliseconds.",
+		GCPauseBuckets)
+
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var lastNumGC uint32
+	reg.OnScrape(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+		heapInuse.Store(ms.HeapInuse)
+		// PauseNs is a 256-entry circular buffer; replay only the
+		// pauses since the previous scrape, skipping any overwritten
+		// under extreme GC churn.
+		first := lastNumGC
+		if ms.NumGC > first+uint32(len(ms.PauseNs)) {
+			first = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for i := first; i < ms.NumGC; i++ {
+			pause.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e6)
+		}
+		lastNumGC = ms.NumGC
+	})
+}

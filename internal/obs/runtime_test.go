@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeMetricsScrapeClean(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // ensure at least one pause is observable
+
+	for pass := 0; pass < 2; pass++ { // second scrape must not double-count pauses
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseExposition(b.String())
+		if err != nil {
+			t.Fatalf("pass %d: %v\n%s", pass, err, b.String())
+		}
+		if errs := Lint(fams); len(errs) != 0 {
+			t.Fatalf("pass %d lint: %v", pass, errs)
+		}
+		for _, name := range []string{"go_goroutines", "go_memstats_heap_inuse_bytes", "go_gc_pause_ms", "process_uptime_seconds"} {
+			if fams[name] == nil {
+				t.Fatalf("pass %d: missing %s\n%s", pass, name, b.String())
+			}
+		}
+		if v := fams["go_goroutines"].Samples[0].Value; v < 1 {
+			t.Fatalf("goroutines = %v", v)
+		}
+		if v := fams["go_memstats_heap_inuse_bytes"].Samples[0].Value; v <= 0 {
+			t.Fatalf("heap inuse = %v", v)
+		}
+	}
+
+	// GC pause counts are monotone, not re-replayed per scrape: the
+	// histogram count after two scrapes must equal NumGC (every pause
+	// observed exactly once), which Lint already bounds via cumulative
+	// checks; assert non-zero to prove the hook fed it.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count float64
+	for _, s := range fams["go_gc_pause_ms"].Samples {
+		if s.Name == "go_gc_pause_ms_count" {
+			count = s.Value
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if count <= 0 || count > float64(ms.NumGC) {
+		t.Fatalf("gc pause count = %v, NumGC = %d", count, ms.NumGC)
+	}
+}
+
+func TestLintFlagsCardinalityExplosion(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("exploded_total", "Per-request-id counter (a bug).", "request_id")
+	for i := 0; i < MaxSeriesPerFamily+1; i++ {
+		v.With(string(rune('a'+i%26)) + string(rune('0'+i/26))).Inc()
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Lint(fams)
+	if len(errs) == 0 {
+		t.Fatal("lint should flag series cardinality over the cap")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "cardinality") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lint errors lack a cardinality message: %v", errs)
+	}
+
+	// Exactly at the cap is fine.
+	reg2 := NewRegistry()
+	v2 := reg2.CounterVec("bounded_total", "Bounded labels.", "k")
+	for i := 0; i < MaxSeriesPerFamily; i++ {
+		v2.With(string(rune('a'+i%26)) + string(rune('0'+i/26))).Inc()
+	}
+	var b2 strings.Builder
+	if err := reg2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	fams2, err := ParseExposition(b2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Lint(fams2); len(errs) != 0 {
+		t.Fatalf("at-cap family should lint clean: %v", errs)
+	}
+}
+
+func TestGaugeVecFunc(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.GaugeVec("capacity_bytes", "Bytes by dataset and component.", "dataset", "component")
+	val := 100.0
+	gv.Func(func() float64 { return val }, "ba", "rr_collections")
+	gv.With("ba", "result_cache").Set(7)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if errs := Lint(fams); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+	byComp := map[string]float64{}
+	for _, s := range fams["capacity_bytes"].Samples {
+		if s.Labels["dataset"] != "ba" {
+			t.Fatalf("labels = %v", s.Labels)
+		}
+		byComp[s.Labels["component"]] = s.Value
+	}
+	if byComp["rr_collections"] != 100 || byComp["result_cache"] != 7 {
+		t.Fatalf("samples = %v", byComp)
+	}
+
+	// The func series tracks its source on the next scrape.
+	val = 250
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), `capacity_bytes{dataset="ba",component="rr_collections"} 250`) {
+		t.Fatalf("func gauge did not track source:\n%s", b2.String())
+	}
+}
+
+func TestOnScrapeHookRuns(t *testing.T) {
+	reg := NewRegistry()
+	n := 0
+	g := reg.Gauge("hooked", "Set by an OnScrape hook.")
+	reg.OnScrape(func() { n++; g.Set(float64(n)) })
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("hook ran %d times, want 2", n)
+	}
+	if !strings.Contains(b.String(), "hooked 2") {
+		t.Fatalf("hook value not rendered:\n%s", b.String())
+	}
+}
+
+func TestTraceRingSlowSurvivesWrap(t *testing.T) {
+	// Ring smaller than the request count: the slowest traces must
+	// remain visible to Slowest even after the recency ring wraps past
+	// them (the /v1/trace/slow contract).
+	r := NewTraceRing(2)
+	mk := func(id string, ms int) {
+		tr := NewTrace(id)
+		tr.start = tr.start.Add(-time.Duration(ms) * time.Millisecond)
+		tr.Finish()
+		r.Add(tr)
+	}
+	mk("slow-1", 500)
+	mk("slow-2", 400)
+	for i := 0; i < 10; i++ {
+		mk("fast", 1)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+	if _, ok := r.Get("slow-1"); ok {
+		t.Fatal("slow-1 should have left the recency ring")
+	}
+	top := r.Slowest(2)
+	if len(top) != 2 || top[0].ID != "slow-1" || top[1].ID != "slow-2" {
+		ids := make([]string, len(top))
+		for i, s := range top {
+			ids[i] = s.ID
+		}
+		t.Fatalf("slowest after wrap = %v", ids)
+	}
+	if top[0].ElapsedMs < top[1].ElapsedMs {
+		t.Fatalf("not sorted: %v vs %v", top[0].ElapsedMs, top[1].ElapsedMs)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowCounter counts events into per-second slots over a fixed
+// horizon so callers can ask "how many in the last N seconds" without
+// retaining per-event state. Slots are a ring indexed by unix second
+// mod horizon; a slot stamped with a stale second is reset before
+// reuse, so expiry is lazy and Add/Sum are O(1)/O(horizon).
+//
+// A nil *WindowCounter is inert.
+type WindowCounter struct {
+	mu    sync.Mutex
+	now   func() time.Time // injectable for tests
+	slots []int64
+	times []int64 // unix second each slot was last written
+}
+
+// NewWindowCounter returns a counter able to answer Sum for windows
+// up to horizon (rounded up to a whole second, minimum 1s).
+func NewWindowCounter(horizon time.Duration) *WindowCounter {
+	secs := int((horizon + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &WindowCounter{
+		now:   time.Now,
+		slots: make([]int64, secs),
+		times: make([]int64, secs),
+	}
+}
+
+// Add records n events at the current second.
+func (w *WindowCounter) Add(n int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sec := w.now().Unix()
+	i := int(sec % int64(len(w.slots)))
+	if w.times[i] != sec {
+		w.slots[i] = 0
+		w.times[i] = sec
+	}
+	w.slots[i] += n
+}
+
+// Sum returns the event count over the trailing window (clamped to
+// the counter's horizon). The current, still-open second is included.
+func (w *WindowCounter) Sum(window time.Duration) int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	secs := int64((window + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > int64(len(w.slots)) {
+		secs = int64(len(w.slots))
+	}
+	now := w.now().Unix()
+	cutoff := now - secs + 1
+	var total int64
+	for i, t := range w.times {
+		if t >= cutoff && t <= now {
+			total += w.slots[i]
+		}
+	}
+	return total
+}
+
+// Burn-rate windows and thresholds, following the multi-window
+// burn-rate alerting pattern: a fast window catches sharp burns, a
+// slow window stops flapping once the incident ends.
+const (
+	BurnFastWindow = 5 * time.Minute
+	BurnSlowWindow = time.Hour
+
+	// burnWarn is a burn rate of exactly 1.0 — consuming budget at the
+	// rate that exhausts it precisely at the end of the SLO period.
+	burnWarn = 1.0
+	// burnCriticalFast on the 5m window means the whole monthly-style
+	// budget would be gone in ~1/10 of the period; paired with slow
+	// confirmation it is the page-now threshold.
+	burnCriticalFast = 10.0
+)
+
+// BudgetState is the coarse health of an error budget.
+type BudgetState string
+
+const (
+	BudgetOK       BudgetState = "ok"
+	BudgetWarn     BudgetState = "warn"
+	BudgetCritical BudgetState = "critical"
+)
+
+// ErrorBudget tracks an SLO error budget with rolling multi-window
+// burn rates. objective is the tolerated bad fraction (e.g. 0.01 for
+// a 99% SLO); burn rate over a window is
+// (bad/total)/objective — 1.0 means burning exactly on budget.
+//
+// A nil *ErrorBudget is inert.
+type ErrorBudget struct {
+	objective float64
+	total     *WindowCounter
+	bad       *WindowCounter
+}
+
+// NewErrorBudget returns a budget for the given objective (bad
+// fraction tolerated; out-of-range values fall back to 0.01).
+func NewErrorBudget(objective float64) *ErrorBudget {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.01
+	}
+	return &ErrorBudget{
+		objective: objective,
+		total:     NewWindowCounter(BurnSlowWindow),
+		bad:       NewWindowCounter(BurnSlowWindow),
+	}
+}
+
+// Objective returns the tolerated bad fraction.
+func (b *ErrorBudget) Objective() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.objective
+}
+
+// Observe records one request outcome.
+func (b *ErrorBudget) Observe(bad bool) {
+	if b == nil {
+		return
+	}
+	b.total.Add(1)
+	if bad {
+		b.bad.Add(1)
+	}
+}
+
+// Burn returns the burn rate over the trailing window; 0 when the
+// window saw no traffic (no evidence of burning).
+func (b *ErrorBudget) Burn(window time.Duration) float64 {
+	if b == nil {
+		return 0
+	}
+	total := b.total.Sum(window)
+	if total == 0 {
+		return 0
+	}
+	badFrac := float64(b.bad.Sum(window)) / float64(total)
+	return badFrac / b.objective
+}
+
+// State classifies the budget:
+//
+//   - critical: the fast window burns ≥10× budget AND the slow window
+//     confirms (>1×) — degrade now, before the budget is gone;
+//   - warn: either window burns faster than budget;
+//   - ok: otherwise.
+func (b *ErrorBudget) State() BudgetState {
+	if b == nil {
+		return BudgetOK
+	}
+	fast := b.Burn(BurnFastWindow)
+	slow := b.Burn(BurnSlowWindow)
+	switch {
+	case fast >= burnCriticalFast && slow > burnWarn:
+		return BudgetCritical
+	case fast > burnWarn || slow > burnWarn:
+		return BudgetWarn
+	default:
+		return BudgetOK
+	}
+}
+
+// BudgetWindowSnapshot is one window's view of an error budget.
+type BudgetWindowSnapshot struct {
+	Window      string  `json:"window"`
+	Total       int64   `json:"total"`
+	Bad         int64   `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// BudgetSnapshot is a point-in-time view of an error budget across
+// its standard windows, JSON-ready for /v1/stats and /v1/health/slo.
+type BudgetSnapshot struct {
+	Objective float64                `json:"objective"`
+	State     BudgetState            `json:"state"`
+	Windows   []BudgetWindowSnapshot `json:"windows"`
+}
+
+// Snapshot reports both standard windows plus the derived state.
+func (b *ErrorBudget) Snapshot() BudgetSnapshot {
+	if b == nil {
+		return BudgetSnapshot{State: BudgetOK}
+	}
+	snap := BudgetSnapshot{Objective: b.objective, State: b.State()}
+	for _, w := range []struct {
+		name string
+		d    time.Duration
+	}{{"5m", BurnFastWindow}, {"1h", BurnSlowWindow}} {
+		total := b.total.Sum(w.d)
+		bad := b.bad.Sum(w.d)
+		ws := BudgetWindowSnapshot{Window: w.name, Total: total, Bad: bad}
+		if total > 0 {
+			ws.BadFraction = float64(bad) / float64(total)
+			ws.BurnRate = ws.BadFraction / b.objective
+		}
+		snap.Windows = append(snap.Windows, ws)
+	}
+	return snap
+}

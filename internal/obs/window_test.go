@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives WindowCounter time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func withClock(w *WindowCounter, c *fakeClock) { w.now = c.now }
+func budgetClock(b *ErrorBudget, c *fakeClock) { withClock(b.total, c); withClock(b.bad, c) }
+
+func TestWindowCounter(t *testing.T) {
+	var nilW *WindowCounter
+	nilW.Add(3)
+	if nilW.Sum(time.Minute) != 0 {
+		t.Fatal("nil window counter")
+	}
+
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w := NewWindowCounter(10 * time.Second)
+	withClock(w, clk)
+
+	w.Add(2)
+	clk.advance(1 * time.Second)
+	w.Add(3)
+	if got := w.Sum(1 * time.Second); got != 3 {
+		t.Fatalf("1s sum = %d", got)
+	}
+	if got := w.Sum(2 * time.Second); got != 5 {
+		t.Fatalf("2s sum = %d", got)
+	}
+	// A window longer than the horizon clamps.
+	if got := w.Sum(time.Hour); got != 5 {
+		t.Fatalf("clamped sum = %d", got)
+	}
+
+	// Advance past the horizon: old slots expire lazily.
+	clk.advance(10 * time.Second)
+	if got := w.Sum(10 * time.Second); got != 0 {
+		t.Fatalf("after expiry sum = %d", got)
+	}
+	w.Add(7)
+	if got := w.Sum(10 * time.Second); got != 7 {
+		t.Fatalf("fresh sum = %d", got)
+	}
+
+	// Slot reuse: landing on the same ring index as a stale second must
+	// reset the slot, not accumulate into it.
+	clk.advance(10 * time.Second) // same index as the Add(7) second
+	w.Add(1)
+	if got := w.Sum(time.Second); got != 1 {
+		t.Fatalf("reused slot sum = %d", got)
+	}
+}
+
+func TestErrorBudgetBurn(t *testing.T) {
+	var nilB *ErrorBudget
+	nilB.Observe(true)
+	if nilB.Burn(time.Minute) != 0 || nilB.State() != BudgetOK {
+		t.Fatal("nil budget should be inert and ok")
+	}
+
+	clk := &fakeClock{t: time.Unix(2_000_000, 0)}
+	b := NewErrorBudget(0.01) // 99% SLO
+	budgetClock(b, clk)
+
+	if b.Objective() != 0.01 {
+		t.Fatalf("objective = %v", b.Objective())
+	}
+	// No traffic: no evidence of burning.
+	if b.Burn(BurnFastWindow) != 0 || b.State() != BudgetOK {
+		t.Fatal("idle budget should be ok")
+	}
+
+	// 1000 requests, 5 bad: bad fraction 0.5% = half the budget.
+	for i := 0; i < 1000; i++ {
+		b.Observe(i < 5)
+		clk.advance(100 * time.Millisecond)
+	}
+	if burn := b.Burn(BurnSlowWindow); burn != 0.5 {
+		t.Fatalf("burn = %v, want 0.5", burn)
+	}
+	if b.State() != BudgetOK {
+		t.Fatalf("state = %s, want ok", b.State())
+	}
+
+	// Age the good traffic out of the fast window (it stays in the 1h
+	// window), then burst failures: 100 requests, 20 bad → fast-window
+	// burn 20× objective, slow window confirms (>1×) → critical.
+	clk.advance(10 * time.Minute)
+	for i := 0; i < 100; i++ {
+		b.Observe(i%5 == 0)
+		clk.advance(10 * time.Millisecond)
+	}
+	if fast := b.Burn(BurnFastWindow); fast < burnCriticalFast {
+		t.Fatalf("fast burn = %v, want >= %v", fast, burnCriticalFast)
+	}
+	if b.State() != BudgetCritical {
+		t.Fatalf("state = %s, want critical", b.State())
+	}
+
+	snap := b.Snapshot()
+	if snap.Objective != 0.01 || snap.State != BudgetCritical || len(snap.Windows) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Windows[0].Window != "5m" || snap.Windows[1].Window != "1h" {
+		t.Fatalf("windows = %+v", snap.Windows)
+	}
+	for _, w := range snap.Windows {
+		if w.Total == 0 || w.Bad == 0 || w.BurnRate <= 0 {
+			t.Fatalf("window %s = %+v", w.Window, w)
+		}
+	}
+
+	// The burst ages out of the 5m window → back below critical.
+	clk.advance(6 * time.Minute)
+	if b.Burn(BurnFastWindow) != 0 {
+		t.Fatal("fast window should have drained")
+	}
+	if b.State() == BudgetCritical {
+		t.Fatal("state should de-escalate once the fast window drains")
+	}
+}
+
+func TestErrorBudgetWarn(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3_000_000, 0)}
+	b := NewErrorBudget(0.01)
+	budgetClock(b, clk)
+	// 100 requests, 2 bad: 2% bad = 2× burn on both windows → warn,
+	// but nowhere near the 10× fast threshold → not critical.
+	for i := 0; i < 100; i++ {
+		b.Observe(i%50 == 0)
+		clk.advance(time.Second)
+	}
+	if st := b.State(); st != BudgetWarn {
+		t.Fatalf("state = %s, want warn", st)
+	}
+}
+
+func TestErrorBudgetBadObjectiveFallsBack(t *testing.T) {
+	for _, v := range []float64{0, -1, 1, 2} {
+		if b := NewErrorBudget(v); b.Objective() != 0.01 {
+			t.Fatalf("objective(%v) = %v, want 0.01 fallback", v, b.Objective())
+		}
+	}
+}

@@ -2,17 +2,23 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // lruCache is a fixed-capacity least-recently-used result cache keyed by
 // the full query tuple. It is safe for concurrent use; hit/miss/eviction
-// counts feed /v1/stats.
+// counts feed /v1/stats, and every entry's byte estimate is mirrored
+// into the capacity ledger under (dataset, "result_cache") so the cache
+// shows up in /v1/capacity next to the rr-store.
 type lruCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	ledger   *obs.Ledger
 
 	hits      int64
 	misses    int64
@@ -22,9 +28,14 @@ type lruCache struct {
 type lruEntry struct {
 	key   string
 	value any
+	// bytes is the entry's ledger-accounted footprint; mem the
+	// (dataset, "result_cache") account it was added to. Kept on the
+	// entry so refresh and eviction release exactly what was charged.
+	bytes int64
+	mem   *obs.Account
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, ledger *obs.Ledger) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -32,7 +43,38 @@ func newLRUCache(capacity int) *lruCache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		ledger:   ledger,
 	}
+}
+
+// cacheEntryOverhead approximates the fixed cost of one cached answer:
+// the response struct, the map slot, and the list element. The ledger
+// wants a stable, deterministic estimate — the same answer always
+// charges the same bytes — not malloc-exact truth.
+const cacheEntryOverhead = 256
+
+// cachedBytes estimates one entry's footprint: fixed overhead plus the
+// key string and the value's variable-size payload.
+func cachedBytes(key string, value any) int64 {
+	b := int64(cacheEntryOverhead + len(key))
+	switch r := value.(type) {
+	case MaximizeResponse:
+		b += int64(cap(r.Seeds))*4 + int64(len(r.Tier)+len(r.TraceID))
+	case SpreadResponse:
+		b += int64(len(r.TraceID))
+	}
+	return b
+}
+
+// cacheKeyDataset extracts the dataset from a result-cache key
+// ("maximize|<dataset>|..." / "spread|<dataset>|..." — see the
+// handlers), the ledger dimension cached answers are attributed along.
+func cacheKeyDataset(key string) string {
+	parts := strings.SplitN(key, "|", 3)
+	if len(parts) >= 2 {
+		return parts[1]
+	}
+	return key
 }
 
 // get returns the cached value and promotes the key to most recent.
@@ -55,19 +97,37 @@ func (c *lruCache) put(key string, value any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).value = value
+		e := el.Value.(*lruEntry)
+		bytes := cachedBytes(key, value)
+		e.mem.Add(bytes - e.bytes)
+		e.value, e.bytes = value, bytes
 		c.ll.MoveToFront(el)
 		return
 	}
 	if c.ll.Len() >= c.capacity {
 		oldest := c.ll.Back()
 		if oldest != nil {
+			victim := oldest.Value.(*lruEntry)
+			victim.mem.Add(-victim.bytes)
 			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*lruEntry).key)
+			delete(c.items, victim.key)
 			c.evictions++
 		}
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, value: value})
+	e := &lruEntry{
+		key:   key,
+		value: value,
+		bytes: cachedBytes(key, value),
+		mem:   c.ledger.Account(cacheKeyDataset(key), "result_cache"),
+	}
+	e.mem.Add(e.bytes)
+	c.items[key] = c.ll.PushFront(e)
+}
+
+// memoryTotal reports the cache's ledger-accounted bytes (the sum of
+// every dataset's result_cache account).
+func (c *lruCache) memoryTotal() int64 {
+	return c.ledger.SumComponent("result_cache")
 }
 
 // cacheStats is the /v1/stats snapshot of the result cache.
@@ -77,16 +137,21 @@ type cacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// MemoryBytes is the ledger-accounted footprint of the live entries
+	// (estimated, deterministic — see cachedBytes).
+	MemoryBytes int64 `json:"memory_bytes"`
 }
 
 func (c *lruCache) stats() cacheStats {
+	mem := c.memoryTotal()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return cacheStats{
-		Size:      c.ll.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Size:        c.ll.Len(),
+		Capacity:    c.capacity,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		MemoryBytes: mem,
 	}
 }

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sloLatencyGraceMs is the slack added to a request's own budget before
+// a completed answer counts against the budgeted error budget: EWMA
+// planning noise a few milliseconds past the deadline is not an SLO
+// breach worth burning budget on, sustained overshoot is.
+const sloLatencyGraceMs = 25
+
+// answerObserved wraps answer with the outcome recorders: the SLO error
+// budget of the request's tier class and the query flight recorder.
+// Both call sites of answer — POST /v1/maximize and each batch item —
+// route through here, so the budgets and the qlog see every
+// maximize-shaped query exactly once.
+func (s *Server) answerObserved(ctx context.Context, endpoint string, req MaximizeRequest) (MaximizeResponse, bool, error) {
+	start := time.Now()
+	resp, hit, err := s.answer(ctx, req)
+	s.recordOutcome(ctx, endpoint, req, resp, err, msSince(start))
+	return resp, hit, err
+}
+
+// recordOutcome classifies one answer for the SLO budgets and offers
+// its shape to the flight recorder.
+//
+// Bad, per class: a budgeted query burns budget on sheds and server
+// errors (5xx) and on completing past its own budget (plus grace); an
+// unbudgeted query burns only on 5xx. Client errors (4xx) and client
+// hang-ups (499) never burn server budget.
+func (s *Server) recordOutcome(ctx context.Context, endpoint string, req MaximizeRequest, resp MaximizeResponse, err error, ms float64) {
+	status := statusOf(err)
+	budgeted := req.BudgetMs > 0
+	bad := status >= 500
+	if budgeted && err == nil && ms > req.BudgetMs+sloLatencyGraceMs {
+		bad = true
+	}
+	s.obs.sloObserve(budgeted, bad)
+
+	if s.qlog == nil {
+		return
+	}
+	rec := obs.QLogRecord{
+		Endpoint:      endpoint,
+		Dataset:       req.Dataset,
+		Model:         strings.ToLower(req.Model),
+		K:             req.K,
+		Epsilon:       req.Epsilon,
+		Ell:           req.Ell,
+		BudgetMs:      req.BudgetMs,
+		MinConfidence: req.MinConfidence,
+		Status:        status,
+		Tier:          resp.Tier,
+		AchievedEps:   resp.Epsilon,
+		Theta:         resp.Theta,
+		RRReused:      resp.RRSetsReused,
+		RRSampled:     resp.RRSetsSampled,
+		RRRepaired:    resp.RRSetsRepaired,
+		ServerMs:      ms,
+	}
+	if h := reqProfileHash(&req); h != 0 {
+		rec.Profile = fmt.Sprintf("%x", h)
+	}
+	if m := requestMeta(ctx); m != nil {
+		rec.TraceID = m.id
+	}
+	s.qlog.Record(rec)
+}
+
+// reqProfileHash digests the constraint fields of a request into the
+// qlog profile hash (0 for unconstrained queries). It hashes the raw
+// request rather than the compiled spec so recording works on rejected
+// requests too; fmt renders maps key-sorted, so the digest is stable.
+func reqProfileHash(req *MaximizeRequest) uint64 {
+	if req.Weights == nil && req.Costs == nil && req.Budget == 0 &&
+		len(req.Force) == 0 && len(req.Exclude) == 0 && req.MaxHops == 0 {
+		return 0
+	}
+	costDefault := ""
+	if req.CostDefault != nil {
+		costDefault = fmt.Sprintf("%g", *req.CostDefault)
+	}
+	return fnv64(fmt.Sprintf("%v|%g|%v|%s|%g|%v|%v|%d",
+		req.Weights, req.WeightDefault, req.Costs, costDefault,
+		req.Budget, req.Force, req.Exclude, req.MaxHops))
+}
+
+// capacityRung is one ε-ladder rung's predicted RR-collection bytes.
+type capacityRung struct {
+	Epsilon        float64 `json:"epsilon"`
+	PredictedBytes int64   `json:"predicted_bytes"`
+}
+
+// capacityPrediction is the byte forecast for one (dataset, model):
+// what a warm RR collection at each ladder rung would retain, scaled
+// from observed bytes/λ (planner byte model). Uncalibrated models are
+// omitted rather than reported as zero.
+type capacityPrediction struct {
+	Dataset string         `json:"dataset"`
+	Model   string         `json:"model"`
+	K       int            `json:"k"`
+	Rungs   []capacityRung `json:"rungs"`
+}
+
+// handleCapacity serves GET /v1/capacity: the ledger tree, the
+// configured budget and headroom against it, and the per-rung RR byte
+// predictions (?k=N sets the seed-set size the forecast assumes,
+// default 50).
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	k := 50
+	if q := r.URL.Query().Get("k"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &k); err != nil || k < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "server: k must be a positive integer"})
+			return
+		}
+	}
+	snap := s.ledger.Snapshot()
+	out := struct {
+		TotalBytes    int64                `json:"total_bytes"`
+		BudgetBytes   int64                `json:"budget_bytes,omitempty"`
+		HeadroomBytes *int64               `json:"headroom_bytes,omitempty"`
+		Ledger        obs.LedgerEntry      `json:"ledger"`
+		Predictions   []capacityPrediction `json:"predicted_rr_bytes,omitempty"`
+	}{
+		TotalBytes:  snap.Bytes,
+		BudgetBytes: s.cfg.MemoryBudgetBytes,
+		Ledger:      snap,
+	}
+	if s.cfg.MemoryBudgetBytes > 0 {
+		headroom := s.cfg.MemoryBudgetBytes - snap.Bytes
+		out.HeadroomBytes = &headroom
+	}
+	for _, info := range s.registry.list() {
+		for _, model := range info.LoadedModels {
+			key := info.Name + "|" + model
+			pred := capacityPrediction{Dataset: info.Name, Model: model, K: k}
+			for _, eps := range s.tiered.planner.Ladder() {
+				if b, ok := s.tiered.planner.PredictRISBytes(key, info.Nodes, k, eps, 1); ok {
+					pred.Rungs = append(pred.Rungs, capacityRung{Epsilon: eps, PredictedBytes: b})
+				}
+			}
+			if len(pred.Rungs) > 0 {
+				out.Predictions = append(out.Predictions, pred)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthSLO serves GET /v1/health/slo: every tier class's error
+// budget across both burn windows. The response status degrades before
+// the budget is exhausted — 503 as soon as any class goes critical
+// (fast window ≥10× AND slow window >1×), so upstream load balancers
+// back off while there is still budget left to protect.
+func (s *Server) handleHealthSLO(w http.ResponseWriter, r *http.Request) {
+	classes := s.obs.sloSnapshot()
+	worst := obs.BudgetOK
+	for _, snap := range classes {
+		if sloStateValue(snap.State) > sloStateValue(worst) {
+			worst = snap.State
+		}
+	}
+	status := http.StatusOK
+	if worst == obs.BudgetCritical {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Status  obs.BudgetState               `json:"status"`
+		Classes map[string]obs.BudgetSnapshot `json:"classes"`
+	}{Status: worst, Classes: classes})
+}
+
+// sloSnapshot renders every class's budget for /v1/stats and
+// /v1/health/slo.
+func (o *obsState) sloSnapshot() map[string]obs.BudgetSnapshot {
+	out := make(map[string]obs.BudgetSnapshot, len(o.slo))
+	for class, b := range o.slo {
+		out[class] = b.Snapshot()
+	}
+	return out
+}
+
+// capacityStats is the /v1/stats capacity section: the ledger total
+// plus per-component roll-ups (summed across datasets), bit-identical
+// to the subsystem's own counters by construction.
+type capacityStats struct {
+	TotalBytes  int64            `json:"total_bytes"`
+	BudgetBytes int64            `json:"budget_bytes,omitempty"`
+	Components  map[string]int64 `json:"components"`
+}
+
+// ledgerComponents is the fixed component vocabulary of the server's
+// ledger (see registerLedger).
+var ledgerComponents = []string{
+	"rr_collections", "result_cache", "csr_snapshots",
+	"tiered_scorers", "sampler_pool", "select_scratch",
+}
+
+func (s *Server) capacityStatsSnapshot() capacityStats {
+	c := capacityStats{
+		TotalBytes:  s.ledger.Total(),
+		BudgetBytes: s.cfg.MemoryBudgetBytes,
+		Components:  make(map[string]int64, len(ledgerComponents)),
+	}
+	for _, name := range ledgerComponents {
+		c.Components[name] = s.ledger.SumComponent(name)
+	}
+	return c
+}
+
+// qlogStats is the /v1/stats flight-recorder section.
+type qlogStats struct {
+	Enabled bool  `json:"enabled"`
+	Seen    int64 `json:"seen"`
+	Written int64 `json:"written"`
+	Dropped int64 `json:"dropped"`
+}
+
+func (s *Server) qlogStatsSnapshot() qlogStats {
+	st := s.qlog.Stats()
+	return qlogStats{Enabled: s.qlog != nil, Seen: st.Seen, Written: st.Written, Dropped: st.Dropped}
+}

@@ -304,9 +304,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps the error to an HTTP status: unknown datasets are 404,
-// invalid options and mutations 400, timeouts 504, everything else 500.
-func writeError(w http.ResponseWriter, err error) {
+// statusOf maps an error to its HTTP status: unknown datasets are 404,
+// invalid options and mutations 400, timeouts 504, sheds 503,
+// everything else 500 (nil is 200). The SLO recorder classifies
+// outcomes with the same mapping writeError responds with.
+func statusOf(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrUnknownDataset):
@@ -324,13 +329,22 @@ func writeError(w http.ResponseWriter, err error) {
 	var shed *shedError
 	if errors.As(err, &shed) {
 		status = http.StatusServiceUnavailable
+	}
+	return status
+}
+
+// writeError writes the error with the statusOf mapping (plus the
+// Retry-After hint on sheds).
+func writeError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
 		secs := int(math.Ceil(shed.retryAfter.Seconds()))
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 
 var errBadRequest = errors.New("server: bad request")
@@ -369,7 +383,7 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
 		return
 	}
-	resp, cacheHit, err := s.answer(r.Context(), req)
+	resp, cacheHit, err := s.answerObserved(r.Context(), "maximize", req)
 	if err != nil {
 		s.observe("maximize", start, false, true)
 		writeError(w, err)
@@ -487,6 +501,12 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 	// planner's cost model for this (dataset, model). Cache hits returned
 	// above must not: they would drive the prediction toward zero.
 	s.tiered.planner.ObserveRIS(req.Dataset+"|"+modelName, g.N(), req.K, req.Epsilon, req.Ell, msSince(timStart))
+	if src != nil && src.memory > 0 {
+		// The measured collection footprint calibrates the byte model the
+		// same way latency does: bytes/λ predicts every ladder rung
+		// (/v1/capacity's predicted_rr_bytes).
+		s.tiered.planner.ObserveRISBytes(req.Dataset+"|"+modelName, g.N(), req.K, req.Epsilon, req.Ell, src.memory)
+	}
 	resp := MaximizeResponse{
 		Seeds:            res.Seeds,
 		Theta:            res.Theta,
@@ -589,7 +609,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		q := req.Queries[i]
 		s.bumpQuery(q.Dataset, func(st *datasetQueryInstruments) { st.batch.Inc() })
 		itemStart := time.Now()
-		item, _, err := s.answer(r.Context(), q)
+		item, _, err := s.answerObserved(r.Context(), "batch", q)
 		if err != nil {
 			resp.Results[i] = BatchItem{Error: err.Error()}
 			return
@@ -931,6 +951,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// per-tier latency (p50/p99 over a sliding window), escalation
 		// and shed counters, and fast-scorer maintenance.
 		Tiered tieredStats `json:"tiered"`
+		// Capacity reports the ledger roll-up: total accounted bytes and
+		// per-component sums. The rr_collections and result_cache figures
+		// here and the subsystem sections above read the same ledger
+		// accounts, so they agree bit for bit.
+		Capacity capacityStats `json:"capacity"`
+		// SLO reports the rolling error budgets per tier class (the same
+		// budgets behind /v1/health/slo).
+		SLO map[string]obs.BudgetSnapshot `json:"slo"`
+		// QLog reports the flight recorder's admission counters.
+		QLog qlogStats `json:"qlog"`
 	}{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		StartedAt:      s.start.UTC().Format(time.RFC3339),
@@ -941,6 +971,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QuerySubsystem: s.obs.querySnapshot(),
 		Parallel:       s.parallelStatsSnapshot(),
 		Tiered:         s.tiered.stats(),
+		Capacity:       s.capacityStatsSnapshot(),
+		SLO:            s.obs.sloSnapshot(),
+		QLog:           s.qlogStatsSnapshot(),
 	})
 }
 

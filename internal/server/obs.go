@@ -56,7 +56,21 @@ type obsState struct {
 	queryVecs  struct {
 		constrained, weighted, batch, rejections *obs.CounterVec
 	}
+
+	// slo holds the rolling error budgets, one per tier class: budgeted
+	// queries burn on sheds, 5xx, and blown latency budgets; unbudgeted
+	// ones on 5xx only. /metrics, /v1/stats, and /v1/health/slo read the
+	// same budgets.
+	slo map[string]*obs.ErrorBudget
 }
+
+// SLO tier classes: requests that carried a latency budget and those
+// that did not burn separate error budgets — one noisy budgeted tenant
+// must not mask (or be masked by) the unbudgeted baseline.
+const (
+	sloClassBudgeted   = "budgeted"
+	sloClassUnbudgeted = "unbudgeted"
+)
 
 // endpointInstruments are the registry instruments behind one endpoint's
 // /v1/stats section. The counters are the storage — endpointStats is
@@ -88,7 +102,7 @@ var servedEndpoints = []string{"maximize", "spread", "update", "batch"}
 // path touches, and registers the scrape-time mirrors of subsystems that
 // keep their own counters (admission gate, sampler/scratch pools, result
 // cache, rr-store gauges).
-func newObsState(ringCap int, accessLog *slog.Logger, idSeed uint64) *obsState {
+func newObsState(ringCap int, accessLog *slog.Logger, idSeed uint64, sloObjective float64) *obsState {
 	reg := obs.NewRegistry()
 	o := &obsState{
 		reg:        reg,
@@ -97,6 +111,10 @@ func newObsState(ringCap int, accessLog *slog.Logger, idSeed uint64) *obsState {
 		idRng:      rng.New(idSeed),
 		endpoints:  make(map[string]*endpointInstruments, len(servedEndpoints)),
 		queryStats: make(map[string]*datasetQueryInstruments),
+		slo: map[string]*obs.ErrorBudget{
+			sloClassBudgeted:   obs.NewErrorBudget(sloObjective),
+			sloClassUnbudgeted: obs.NewErrorBudget(sloObjective),
+		},
 	}
 
 	requests := reg.CounterVec("timserver_requests_total", "Requests received, by endpoint.", "endpoint")
@@ -170,6 +188,62 @@ func (o *obsState) registerMirrors(s *Server) {
 		func() float64 { h, _ := maxcover.ScratchPoolStats(); return float64(h) })
 	o.reg.CounterFunc("timserver_select_scratch_misses_total", "Selection-scratch pool misses (process-wide).",
 		func() float64 { _, m := maxcover.ScratchPoolStats(); return float64(m) })
+
+	// Capacity: one labeled gauge per ledger leaf, plus the roll-up and
+	// (when configured) the budget and headroom. The leaf set is fixed at
+	// startup (registerLedger), so the label space is bounded.
+	capVec := o.reg.GaugeVec("timserver_capacity_bytes", "Ledger-accounted resident bytes, by dataset and component.", "dataset", "component")
+	s.ledger.Each(func(path []string, _ int64) {
+		if len(path) != 2 {
+			return
+		}
+		dataset, component := path[0], path[1]
+		capVec.Func(func() float64 { return float64(s.ledger.Sum(dataset, component)) }, dataset, component)
+	})
+	o.reg.GaugeFunc("timserver_capacity_total_bytes", "Total ledger-accounted resident bytes.",
+		func() float64 { return float64(s.ledger.Total()) })
+	if s.cfg.MemoryBudgetBytes > 0 {
+		o.reg.GaugeFunc("timserver_capacity_budget_bytes", "Configured memory budget for ledger-accounted state.",
+			func() float64 { return float64(s.cfg.MemoryBudgetBytes) })
+		o.reg.GaugeFunc("timserver_capacity_headroom_bytes", "Budget minus ledger total (negative = over budget).",
+			func() float64 { return float64(s.cfg.MemoryBudgetBytes - s.ledger.Total()) })
+	}
+
+	// SLO error budgets: burn rates per class and window, plus the coarse
+	// state (0 ok, 1 warn, 2 critical) alerting rules can threshold on.
+	burnVec := o.reg.GaugeVec("timserver_slo_burn_rate", "Error-budget burn rate by tier class and window (1.0 = consuming exactly the objective).", "class", "window")
+	stateVec := o.reg.GaugeVec("timserver_slo_state", "Error-budget state by tier class: 0 ok, 1 warn, 2 critical.", "class")
+	for class, b := range o.slo {
+		b := b
+		burnVec.Func(func() float64 { return b.Burn(obs.BurnFastWindow) }, class, "5m")
+		burnVec.Func(func() float64 { return b.Burn(obs.BurnSlowWindow) }, class, "1h")
+		stateVec.Func(func() float64 { return sloStateValue(b.State()) }, class)
+	}
+
+	// Go runtime self-metrics (goroutines, heap in-use, GC pauses,
+	// process uptime) ride the same registry and cardinality lint.
+	obs.RegisterRuntimeMetrics(o.reg)
+}
+
+// sloStateValue maps a budget state onto the metric encoding.
+func sloStateValue(st obs.BudgetState) float64 {
+	switch st {
+	case obs.BudgetWarn:
+		return 1
+	case obs.BudgetCritical:
+		return 2
+	}
+	return 0
+}
+
+// sloObserve records one maximize-shaped outcome against its tier
+// class's error budget.
+func (o *obsState) sloObserve(budgeted, bad bool) {
+	class := sloClassUnbudgeted
+	if budgeted {
+		class = sloClassBudgeted
+	}
+	o.slo[class].Observe(bad)
 }
 
 // newRequestID draws a fresh request id from the keyed generator:

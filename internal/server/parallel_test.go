@@ -162,7 +162,7 @@ func TestRRStoreMemoryAccountingExact(t *testing.T) {
 	for _, e := range srv.rr.entries {
 		recomputed += e.col.MemoryBytes() + int64(cap(e.cumWidth))*8
 	}
-	reported := srv.rr.memoryBytes.Int()
+	reported := srv.rr.memoryTotal()
 	srv.rr.mu.Unlock()
 	if reported != recomputed {
 		t.Fatalf("rr-store memory accounting drifted: reported %d, recomputed %d", reported, recomputed)

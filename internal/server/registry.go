@@ -258,6 +258,39 @@ func (r *registry) update(name string, b evolve.Batch) (updateInfo, error) {
 	return info, nil
 }
 
+// snapshotBytes reports the CSR bytes of every materialized model
+// variant of the named dataset — the capacity ledger's csr_snapshots
+// leaf. Variants not yet built cost nothing.
+func (r *registry) snapshotBytes(name string) int64 {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, eg := range d.byModel {
+		total += eg.SnapshotMemoryBytes()
+	}
+	return total
+}
+
+// specs returns the configured dataset specs sorted by name — the
+// flight recorder's header needs them to rebuild an identically-seeded
+// registry on replay.
+func (r *registry) specs() []DatasetSpec {
+	r.mu.Lock()
+	out := make([]DatasetSpec, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		out = append(out, d.spec)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // datasetInfo describes one registry entry for GET /v1/datasets and the
 // datasets section of /v1/stats.
 type datasetInfo struct {

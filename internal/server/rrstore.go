@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,16 +50,22 @@ type rrStore struct {
 	capacity int
 	seed     uint64
 
+	// ledger is the capacity ledger the store's resident bytes live in:
+	// one account per dataset under the "rr_collections" component. The
+	// old timserver_rr_memory_bytes gauge is now a func-backed view of
+	// the ledger, so /metrics, /v1/stats, and /v1/capacity all read one
+	// source of truth.
+	ledger *obs.Ledger
+
 	// Registry instruments: /v1/stats and /metrics read the same cells.
 	// The instruments are atomic, so updating them never blocks behind an
-	// entry mutex; only memoryBytes deltas (and e.memory) stay under mu,
+	// entry mutex; only ledger deltas (and e.memory) stay under mu,
 	// because eviction reads them there.
 	setsSampled       *obs.Counter
 	setsReused        *obs.Counter
 	extensions        *obs.Counter
 	partialExtensions *obs.Counter
 	evictions         *obs.Counter
-	memoryBytes       *obs.Gauge
 	repairs           *obs.Counter
 	setsRepaired      *obs.Counter
 	setsRepairReused  *obs.Counter
@@ -87,24 +94,29 @@ type rrEntry struct {
 	memory  int64
 	elem    *list.Element
 	evicted bool
+	// mem is the entry's ledger account — the (dataset, "rr_collections")
+	// leaf; entries of one dataset share it, so deltas accumulate.
+	mem *obs.Account
 }
 
-func newRRStore(seed uint64, capacity int, reg *obs.Registry) *rrStore {
+func newRRStore(seed uint64, capacity int, reg *obs.Registry, ledger *obs.Ledger) *rrStore {
 	if capacity < 1 {
 		capacity = 1
 	}
+	reg.GaugeFunc("timserver_rr_memory_bytes", "Resident bytes across live RR collections.",
+		func() float64 { return float64(ledger.SumComponent("rr_collections")) })
 	return &rrStore{
 		entries:  make(map[string]*rrEntry),
 		order:    list.New(),
 		capacity: capacity,
 		seed:     seed,
+		ledger:   ledger,
 
 		setsSampled:       reg.Counter("timserver_rr_sets_sampled_total", "RR sets sampled fresh (cache misses and extensions)."),
 		setsReused:        reg.Counter("timserver_rr_sets_reused_total", "RR sets served from warm collections without resampling."),
 		extensions:        reg.Counter("timserver_rr_extensions_total", "Collection extensions (queries that sampled past the warm prefix)."),
 		partialExtensions: reg.Counter("timserver_rr_partial_extensions_total", "Extensions cut short by a deadline that still kept their prefix."),
 		evictions:         reg.Counter("timserver_rr_evictions_total", "RR collections evicted by the LRU cap."),
-		memoryBytes:       reg.Gauge("timserver_rr_memory_bytes", "Resident bytes across live RR collections."),
 		repairs:           reg.Counter("timserver_rr_repairs_total", "Update-triggered incremental repairs of warm collections."),
 		setsRepaired:      reg.Counter("timserver_rr_sets_repaired_total", "RR sets re-derived by incremental repairs."),
 		setsRepairReused:  reg.Counter("timserver_rr_sets_repair_reused_total", "RR sets kept as-is by incremental repairs."),
@@ -137,17 +149,28 @@ func (s *rrStore) entry(key string) (_ *rrEntry, created bool) {
 		s.order.Remove(oldest)
 		delete(s.entries, victimKey)
 		victim.evicted = true
-		s.memoryBytes.Add(-float64(victim.memory))
+		victim.mem.Add(-victim.memory)
 		s.evictions.Inc()
 	}
 	e := &rrEntry{
 		col:      &diffusion.RRCollection{Off: []int64{0}},
 		cumWidth: []int64{0},
 		seed:     s.seed ^ fnv64(key),
+		mem:      s.ledger.Account(rrKeyDataset(key), "rr_collections"),
 	}
 	e.elem = s.order.PushFront(key)
 	s.entries[key] = e
 	return e, true
+}
+
+// rrKeyDataset extracts the dataset name from a reuse-layer key
+// ("dataset|model|eps=..." — see doMaximize), the ledger dimension rr
+// bytes are attributed along.
+func rrKeyDataset(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // fnv64 is the FNV-1a hash, used to derive per-key sampling seeds.
@@ -182,6 +205,10 @@ type rrSource struct {
 	reused   int64
 	sampled  int64
 	repaired int64
+	// memory is the entry's footprint after this query, for the
+	// planner's byte model (0 on the bypass path, which retains
+	// nothing).
+	memory int64
 	// created reports that this query built the entry (first query on a
 	// fresh profile key); handlers use it to count weighted collections.
 	created bool
@@ -277,6 +304,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 		r.reused = theta
 	}
 	memory := e.col.MemoryBytes() + int64(cap(e.cumWidth))*8
+	r.memory = memory
 
 	r.store.setsReused.Add(float64(r.reused))
 	r.store.setsSampled.Add(float64(r.sampled))
@@ -299,7 +327,7 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	}
 	r.store.mu.Lock()
 	if !e.evicted {
-		r.store.memoryBytes.Add(float64(memory - e.memory))
+		e.mem.Add(memory - e.memory)
 	}
 	e.memory = memory // under store.mu: eviction reads it there
 	r.store.mu.Unlock()
@@ -356,6 +384,12 @@ type rrStoreStats struct {
 	StaleBypasses int64 `json:"stale_bypasses"`
 }
 
+// memoryTotal reports the store's resident bytes from the ledger (the
+// sum of every dataset's rr_collections account).
+func (s *rrStore) memoryTotal() int64 {
+	return s.ledger.SumComponent("rr_collections")
+}
+
 func (s *rrStore) stats() rrStoreStats {
 	s.mu.Lock()
 	collections := int64(len(s.entries))
@@ -368,7 +402,7 @@ func (s *rrStore) stats() rrStoreStats {
 		Extensions:        s.extensions.Int(),
 		PartialExtensions: s.partialExtensions.Int(),
 		Evictions:         s.evictions.Int(),
-		MemoryBytes:       s.memoryBytes.Int(),
+		MemoryBytes:       s.memoryTotal(),
 		Repairs:           s.repairs.Int(),
 		SetsRepaired:      s.setsRepaired.Int(),
 		SetsRepairReused:  s.setsRepairReused.Int(),

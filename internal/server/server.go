@@ -40,10 +40,14 @@
 // batch concurrency).
 //
 // Endpoints: POST /v1/maximize, POST /v1/query/batch, POST /v1/spread,
-// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /healthz. Every
-// request runs under a configurable timeout whose context threads into
-// the sampling loops via tim.MaximizeContext, so a slow query cannot
-// wedge a worker forever.
+// POST /v1/update, GET /v1/stats, GET /v1/datasets, GET /v1/capacity,
+// GET /v1/health/slo, GET /healthz. Every request runs under a
+// configurable timeout whose context threads into the sampling loops
+// via tim.MaximizeContext, so a slow query cannot wedge a worker
+// forever.
+//
+// Observability state (the capacity ledger, SLO error budgets, and the
+// optional query flight recorder) is described in DESIGN.md §13.
 package server
 
 import (
@@ -123,6 +127,23 @@ type Config struct {
 	// request (trace id, endpoint, dataset, tier, ε, status, elapsed,
 	// shed/escalated flags). nil keeps the server silent.
 	AccessLog *slog.Logger
+	// MemoryBudgetBytes is the operator's memory budget for the
+	// ledger-accounted state; GET /v1/capacity reports headroom against
+	// it. 0 means unbudgeted (headroom is then omitted).
+	MemoryBudgetBytes int64
+	// QLogPath, when non-empty, enables the query flight recorder: a
+	// schema-versioned JSONL file (one header line, then one sampled
+	// record per maximize-shaped answer) that cmd/timload can replay.
+	QLogPath string
+	// QLogSample keeps every Nth query record (default 1 = all).
+	QLogSample int
+	// QLogMaxRecords caps the records written over the process lifetime
+	// (default 100000; negative = unbounded).
+	QLogMaxRecords int
+	// SLOObjective is the tolerated bad fraction per tier class for the
+	// rolling error budgets behind /v1/health/slo (default 0.01 — a 99%
+	// objective).
+	SLOObjective float64
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +171,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing == 0 {
 		c.TraceRing = 256
 	}
+	if c.QLogSample < 1 {
+		c.QLogSample = 1
+	}
+	if c.QLogMaxRecords == 0 {
+		c.QLogMaxRecords = 100_000
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.01
+	}
 	return c
 }
 
@@ -163,6 +193,14 @@ type Server struct {
 	rr       *rrStore
 	tiered   *tieredRuntime
 	start    time.Time
+
+	// ledger is the capacity ledger: the hierarchical byte-accounting
+	// tree every memory-holding subsystem (rr-store, result cache, CSR
+	// snapshots, tiered scorers, scratch pools) reports into. /metrics,
+	// /v1/stats, and /v1/capacity are all views of it.
+	ledger *obs.Ledger
+	// qlog is the query flight recorder (nil when disabled).
+	qlog *obs.QLog
 
 	// obs is the observability substrate: the metrics registry (every
 	// /v1/stats counter below is a registry instrument — /metrics and the
@@ -257,29 +295,79 @@ func New(cfg Config) (*Server, error) {
 	// The request-id stream is keyed off the config seed but salted with
 	// wall-clock time: ids must differ across server restarts (operators
 	// grep logs by them), while answers stay seed-deterministic.
-	o := newObsState(cfg.TraceRing, cfg.AccessLog, cfg.Seed^uint64(time.Now().UnixNano()))
+	o := newObsState(cfg.TraceRing, cfg.AccessLog, cfg.Seed^uint64(time.Now().UnixNano()), cfg.SLOObjective)
+	ledger := obs.NewLedger()
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		registry: reg,
-		results:  newLRUCache(cfg.CacheSize),
-		rr:       newRRStore(cfg.Seed, cfg.RRCollections, o.reg),
+		results:  newLRUCache(cfg.CacheSize, ledger),
+		rr:       newRRStore(cfg.Seed, cfg.RRCollections, o.reg, ledger),
 		tiered:   newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder, o.reg),
 		start:    time.Now(),
+		ledger:   ledger,
 		obs:      o,
 	}
+	s.registerLedger()
 	o.registerMirrors(s)
+	if cfg.QLogPath != "" {
+		q, err := obs.OpenQLog(cfg.QLogPath, s.qlogHeader(), cfg.QLogSample, cfg.QLogMaxRecords)
+		if err != nil {
+			return nil, err
+		}
+		s.qlog = q
+	}
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
+	s.mux.HandleFunc("GET /v1/health/slo", s.handleHealthSLO)
 	s.mux.HandleFunc("GET /v1/trace/slow", s.handleTraceSlow)
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
+}
+
+// registerLedger installs every ledger leaf the server owns. Mutable
+// accounts (rr_collections, result_cache) are pre-created per dataset
+// so the leaf set — and the capacity gauge's label space — is fixed at
+// startup; computed leaves read state whose authoritative size lives
+// elsewhere (CSR snapshots, scorers, process-wide pools).
+func (s *Server) registerLedger() {
+	for _, spec := range s.registry.specs() {
+		name := spec.Name
+		s.ledger.Account(name, "rr_collections")
+		s.ledger.Account(name, "result_cache")
+		s.ledger.AccountFunc(func() int64 { return s.registry.snapshotBytes(name) }, name, "csr_snapshots")
+		s.ledger.AccountFunc(func() int64 { return s.tiered.scorerBytes(name) }, name, "tiered_scorers")
+	}
+	// The sampler and selection scratch pools are process-wide (shared by
+	// every server in the process) and sync.Pool-backed, so their leaves
+	// are best-effort retention upper bounds, not exact counts.
+	s.ledger.AccountFunc(diffusion.SamplerPoolBytes, "(process)", "sampler_pool")
+	s.ledger.AccountFunc(maxcover.ScratchPoolBytes, "(process)", "select_scratch")
+}
+
+// qlogHeader pins the recording server's identity — dataset specs with
+// their build seeds, the base seed, the ε ladder — so a replay can
+// rebuild an identically-seeded instance from the file alone.
+func (s *Server) qlogHeader() obs.QLogHeader {
+	h := obs.QLogHeader{Seed: s.cfg.Seed, EpsLadder: s.tiered.planner.Ladder()}
+	for _, spec := range s.registry.specs() {
+		h.Datasets = append(h.Datasets, obs.QLogDataset{Name: spec.Name, Source: spec.Source, Seed: spec.Seed})
+	}
+	return h
+}
+
+// Close flushes and closes the query flight recorder (a no-op when
+// recording is disabled). The server keeps serving; callers close
+// during drain, after the listener stops.
+func (s *Server) Close() error {
+	return s.qlog.Close()
 }
 
 // ServeHTTP implements http.Handler. /v1/* requests pass through the

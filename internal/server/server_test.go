@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // newTestServer builds a Server over one small synthetic dataset plus one
@@ -81,14 +83,17 @@ func getJSON(t testing.TB, url string, out any) int {
 
 // statsSnapshot mirrors the /v1/stats body.
 type statsSnapshot struct {
-	UptimeSeconds  float64                      `json:"uptime_seconds"`
-	StartedAt      string                       `json:"started_at"`
-	Endpoints      map[string]endpointStats     `json:"endpoints"`
-	ResultCache    cacheStats                   `json:"result_cache"`
-	RRCache        rrStoreStats                 `json:"rr_cache"`
-	Datasets       []datasetInfo                `json:"datasets"`
-	QuerySubsystem map[string]datasetQueryStats `json:"query_subsystem"`
-	Parallel       parallelStats                `json:"parallel"`
+	UptimeSeconds  float64                       `json:"uptime_seconds"`
+	StartedAt      string                        `json:"started_at"`
+	Endpoints      map[string]endpointStats      `json:"endpoints"`
+	ResultCache    cacheStats                    `json:"result_cache"`
+	RRCache        rrStoreStats                  `json:"rr_cache"`
+	Datasets       []datasetInfo                 `json:"datasets"`
+	QuerySubsystem map[string]datasetQueryStats  `json:"query_subsystem"`
+	Parallel       parallelStats                 `json:"parallel"`
+	Capacity       capacityStats                 `json:"capacity"`
+	SLO            map[string]obs.BudgetSnapshot `json:"slo"`
+	QLog           qlogStats                     `json:"qlog"`
 }
 
 // TestMaximizeSpreadStatsRoundTrip is the acceptance-criteria test: the
@@ -345,7 +350,7 @@ func TestSpreadCache(t *testing.T) {
 // TestLRUEviction: the cache respects its capacity and evicts the least
 // recently used entry.
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, obs.NewLedger())
 	c.put("a", 1)
 	c.put("b", 2)
 	if _, ok := c.get("a"); !ok { // promote a; b is now LRU

@@ -134,6 +134,29 @@ func (t *tieredRuntime) fastSelect(key string, evg *evolve.Graph, k int, force, 
 	return seeds, est, version
 }
 
+// scorerBytes sums the fast-tier scorers' own footprint for one dataset
+// (scorer keys are "dataset|model") — the capacity ledger's
+// tiered_scorers leaf. The graph snapshots the scorers point at are
+// owned, and accounted, by the evolve layer (csr_snapshots).
+func (t *tieredRuntime) scorerBytes(dataset string) int64 {
+	prefix := dataset + "|"
+	t.mu.Lock()
+	entries := make([]*scorerEntry, 0, len(supportedKinds))
+	for key, e := range t.scorers {
+		if strings.HasPrefix(key, prefix) {
+			entries = append(entries, e)
+		}
+	}
+	t.mu.Unlock()
+	var total int64
+	for _, e := range entries {
+		e.mu.Lock()
+		total += e.scorer.MemoryBytes()
+		e.mu.Unlock()
+	}
+	return total
+}
+
 // refreshAfterUpdate eagerly advances every warm scorer of the dataset to
 // the post-update version, so the first fast-tier query after an update
 // pays nothing. Scorers never built stay unbuilt. Returns the total nodes

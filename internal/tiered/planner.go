@@ -67,6 +67,12 @@ type costModel struct {
 	risObs       int64
 	fastMs       float64
 	fastObs      int64
+	// bytesPerLambda tracks RR-collection bytes per unit λ the same way
+	// risPerLambda tracks milliseconds: collection size is θ·E[RR-set
+	// width], and θ scales with λ, so bytes re-scale across (k, ε)
+	// rungs just like latency does (Borgs et al.'s cost argument).
+	bytesPerLambda float64
+	bytesObs       int64
 }
 
 // ewmaAlpha weights new observations; high enough to follow load shifts,
@@ -136,6 +142,47 @@ func (p *Planner) ObserveRIS(key string, n, k int, eps, ell, ms float64) {
 	}
 	m.risObs++
 	p.mu.Unlock()
+}
+
+// ObserveRISBytes feeds the measured RR-collection footprint of one
+// completed RIS query into the byte model for key, normalized by
+// λ(n, k, ε, ℓ) so one observation predicts every rung.
+func (p *Planner) ObserveRISBytes(key string, n, k int, eps, ell float64, bytes int64) {
+	if n < 1 || k < 1 || eps <= 0 || bytes <= 0 {
+		return
+	}
+	perLambda := float64(bytes) / stats.Lambda(n, k, eps, ell)
+	p.mu.Lock()
+	m := p.model(key)
+	if m.bytesObs == 0 {
+		m.bytesPerLambda = perLambda
+	} else {
+		m.bytesPerLambda += ewmaAlpha * (perLambda - m.bytesPerLambda)
+	}
+	m.bytesObs++
+	p.mu.Unlock()
+}
+
+// PredictRISBytes estimates the RR-collection bytes a RIS query at
+// (n, k, eps, ell) would retain for key. ok is false when no byte
+// observation has calibrated the model — capacity reports show the
+// rung as unknown rather than zero.
+func (p *Planner) PredictRISBytes(key string, n, k int, eps, ell float64) (bytes int64, ok bool) {
+	p.mu.Lock()
+	m := p.models[key]
+	known := m != nil && m.bytesObs > 0
+	var perLambda float64
+	if known {
+		perLambda = m.bytesPerLambda
+	}
+	p.mu.Unlock()
+	if !known {
+		return 0, false
+	}
+	if k < 1 {
+		k = 1
+	}
+	return int64(perLambda * stats.Lambda(n, k, eps, ell)), true
 }
 
 // ObserveFast feeds one completed fast-tier query into the cost model.

@@ -104,6 +104,16 @@ func (s *Scorer) resort() {
 // N returns the node count the scores cover.
 func (s *Scorer) N() int { return len(s.score) }
 
+// MemoryBytes returns the scorer's own heap footprint (score array plus
+// sorted index, by capacity) for the capacity ledger. The underlying
+// graph snapshot is owned — and accounted — by the evolve layer.
+func (s *Scorer) MemoryBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(cap(s.score))*8 + int64(cap(s.sorted))*4
+}
+
 // Refresh advances the scores from the snapshot they were built on to
 // newG, rescoring only the nodes delta could have affected, and returns
 // how many nodes were rescored. Score(u) reads u's out-edges and the
