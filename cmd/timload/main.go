@@ -4,7 +4,10 @@
 // slow server faces a growing backlog exactly as it would in
 // production), mixes tight-budget, loose-budget, and unbudgeted traffic,
 // and writes the observed per-class latency distribution, tier
-// breakdown, and SLO violations as machine-readable LOAD.json.
+// breakdown, and SLO violations as machine-readable LOAD.json. Shed
+// (503) responses are retried up to -shed-retries times, honoring the
+// server's Retry-After hint with jittered backoff; retry counts land in
+// LOAD.json per class.
 //
 // By default it spins up an in-process server over a synthetic dataset,
 // so a single command is a self-contained soak; point -url at a running
@@ -40,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -54,10 +58,11 @@ import (
 	"repro/internal/server"
 )
 
-// LoadFile is the LOAD.json schema, version 2. Latencies are
-// client-observed milliseconds. Version 2 adds the per-request samples
+// LoadFile is the LOAD.json schema, version 3. Latencies are
+// client-observed milliseconds. Version 2 added the per-request samples
 // section (trace ids + server-side latencies) and the mid-run /metrics
-// scrape summary.
+// scrape summary; version 3 adds per-class retry accounting for
+// 503-shed requests (see -shed-retries).
 type LoadFile struct {
 	Version     int        `json:"version"`
 	GeneratedBy string     `json:"generated_by"`
@@ -116,8 +121,13 @@ type ClassResult struct {
 	BudgetMs float64 `json:"budget_ms"` // 0 = unbudgeted
 	Sent     int64   `json:"sent"`
 	OK       int64   `json:"ok"`
-	Shed     int64   `json:"shed"`   // 503 responses
+	Shed     int64   `json:"shed"`   // requests still 503 after retries
 	Errors   int64   `json:"errors"` // transport failures and non-200/503 statuses
+	// Retries counts extra attempts fired after 503 sheds (each request
+	// retries at most -shed-retries times, honoring Retry-After with
+	// jittered backoff). A request that eventually succeeds counts OK;
+	// one that exhausts its attempts counts Shed.
+	Retries int64 `json:"retries"`
 	// Tiers counts OK answers by the tier the server reported.
 	Tiers map[string]int64 `json:"tiers"`
 	// Client-observed latency over OK answers.
@@ -135,10 +145,11 @@ type ClassResult struct {
 
 // LoadTotals aggregates across classes.
 type LoadTotals struct {
-	Sent   int64 `json:"sent"`
-	OK     int64 `json:"ok"`
-	Shed   int64 `json:"shed"`
-	Errors int64 `json:"errors"`
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed"`
+	Errors  int64 `json:"errors"`
+	Retries int64 `json:"retries"`
 	// AchievedQPS is sent / wall time — open-loop dispatch keeps this at
 	// the target unless the generator itself cannot keep up.
 	AchievedQPS float64 `json:"achieved_qps"`
@@ -166,6 +177,7 @@ type outcome struct {
 	clientMs  float64
 	elapsedMs float64 // server-reported
 	transport bool    // transport-level failure (status meaningless)
+	retries   int     // extra attempts after 503 sheds
 }
 
 // sampleEvery is the request-sampling stride of the samples section: one
@@ -190,6 +202,7 @@ func main() {
 		replayIn = flag.String("replay", "", "replay a recorded QLOG.jsonl against an identically-seeded in-process server and exit")
 		replayOt = flag.String("replay-out", "REPLAY.json", "replay summary output path")
 		replaySt = flag.Bool("replay-strict", false, "exit nonzero when the replayed per-class tier breakdown drifts from the recording")
+		retries  = flag.Int("shed-retries", 2, "max retries per 503-shed request, honoring Retry-After with jittered backoff (0 = give up on first shed)")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -207,7 +220,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out, *traceOut, *qlogOut); err != nil {
+	if err := run(*qps, *duration, *mix, *tightMs, *looseMs, *k, *dataset, *url, *quick, *out, *traceOut, *qlogOut, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "timload:", err)
 		os.Exit(1)
 	}
@@ -232,7 +245,7 @@ func envDuration(key string, def time.Duration) time.Duration {
 }
 
 func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs float64,
-	k int, dataset, url string, quick bool, out, traceOut, qlog string) error {
+	k int, dataset, url string, quick bool, out, traceOut, qlog string, shedRetries int) error {
 
 	if quick {
 		qps, duration, dataset = 100, 3*time.Second, "ba:1000:3"
@@ -335,8 +348,8 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 				body["budget_ms"] = b
 			}
 			t0 := time.Now()
-			resp, err := fire(client, base, body)
-			outcomes[i] = outcome{class: ci, clientMs: float64(time.Since(t0).Microseconds()) / 1000}
+			resp, tries, err := fireRetry(client, base, body, shedRetries)
+			outcomes[i] = outcome{class: ci, retries: tries, clientMs: float64(time.Since(t0).Microseconds()) / 1000}
 			if err != nil {
 				outcomes[i].transport = true
 				return
@@ -390,8 +403,8 @@ func run(qps float64, duration time.Duration, mixStr string, tightMs, looseMs fl
 	}
 
 	for _, c := range file.Classes {
-		fmt.Printf("timload: %-10s sent=%d ok=%d shed=%d err=%d p50=%.2fms p99=%.2fms srv_p99=%.2fms viol=%d tiers=%v\n",
-			c.Name, c.Sent, c.OK, c.Shed, c.Errors, c.P50Ms, c.P99Ms, c.ServerP99Ms, c.BudgetViolations, c.Tiers)
+		fmt.Printf("timload: %-10s sent=%d ok=%d shed=%d err=%d retries=%d p50=%.2fms p99=%.2fms srv_p99=%.2fms viol=%d tiers=%v\n",
+			c.Name, c.Sent, c.OK, c.Shed, c.Errors, c.Retries, c.P50Ms, c.P99Ms, c.ServerP99Ms, c.BudgetViolations, c.Tiers)
 	}
 	fmt.Printf("timload: %.0f QPS target, %.0f achieved over %v → %s\n",
 		qps, file.Totals.AchievedQPS, wall.Round(time.Millisecond), out)
@@ -407,6 +420,42 @@ type fired struct {
 	tier      string
 	traceID   string
 	elapsedMs float64
+	// retryAfterSec is the server's Retry-After hint on 503 sheds
+	// (0 when absent or unparseable).
+	retryAfterSec int
+}
+
+// fireRetry fires one request, retrying 503 sheds up to maxRetries
+// times. Each retry waits the server's Retry-After hint (or an
+// exponential fallback) with jitter, so a shedding server sees retries
+// spread out rather than a synchronized second wave. The returned count
+// is the number of extra attempts actually fired; transport errors are
+// not retried — a shed is the server's explicit "come back later",
+// a dead connection is not.
+func fireRetry(client *http.Client, base string, body map[string]any, maxRetries int) (fired, int, error) {
+	tries := 0
+	for {
+		resp, err := fire(client, base, body)
+		if err != nil || resp.status != http.StatusServiceUnavailable || tries >= maxRetries {
+			return resp, tries, err
+		}
+		time.Sleep(retryDelay(resp.retryAfterSec, tries))
+		tries++
+	}
+}
+
+// retryDelay is the wait before retry attempt (0-based): the server's
+// Retry-After when it sent one, else 100ms doubling per attempt, either
+// way jittered uniformly over [0.5, 1.5)× and capped at 3s.
+func retryDelay(retryAfterSec, attempt int) time.Duration {
+	base := time.Duration(retryAfterSec) * time.Second
+	if base <= 0 {
+		base = 100 * time.Millisecond << attempt
+	}
+	if base > 3*time.Second {
+		base = 3 * time.Second
+	}
+	return time.Duration(float64(base) * (0.5 + rand.Float64()))
 }
 
 func fire(client *http.Client, base string, body map[string]any) (fired, error) {
@@ -432,7 +481,11 @@ func fire(client *http.Client, base string, body map[string]any) (fired, error) 
 		// echoes the request id on the response header.
 		id = resp.Header.Get("X-Request-ID")
 	}
-	return fired{status: resp.StatusCode, tier: parsed.Tier, traceID: id, elapsedMs: parsed.ElapsedMs}, nil
+	f := fired{status: resp.StatusCode, tier: parsed.Tier, traceID: id, elapsedMs: parsed.ElapsedMs}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		f.retryAfterSec, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
+	}
+	return f, nil
 }
 
 // scrapeMetrics pulls /metrics and checks it the way CI does: strict
@@ -548,7 +601,7 @@ func buildSchedule(classes []classSpec, total int) []int {
 }
 
 func assemble(classes []classSpec, outcomes []outcome, cfg LoadConfig, wall time.Duration) LoadFile {
-	file := LoadFile{Version: 2, GeneratedBy: "timload", Config: cfg}
+	file := LoadFile{Version: 3, GeneratedBy: "timload", Config: cfg}
 	for i, o := range outcomes {
 		if i%sampleEvery != 0 || o.transport {
 			continue
@@ -572,6 +625,7 @@ func assemble(classes []classSpec, outcomes []outcome, cfg LoadConfig, wall time
 				continue
 			}
 			cr.Sent++
+			cr.Retries += int64(o.retries)
 			switch {
 			case o.transport:
 				cr.Errors++
@@ -596,6 +650,7 @@ func assemble(classes []classSpec, outcomes []outcome, cfg LoadConfig, wall time
 		file.Totals.OK += cr.OK
 		file.Totals.Shed += cr.Shed
 		file.Totals.Errors += cr.Errors
+		file.Totals.Retries += cr.Retries
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		file.Totals.AchievedQPS = float64(file.Totals.Sent) / secs
@@ -620,7 +675,7 @@ func percentiles(ms []float64) (p50, p99, max float64) {
 	return rank(0.50), rank(0.99), sorted[len(sorted)-1]
 }
 
-// validateFile checks a LOAD.json for schema version 2: required fields
+// validateFile checks a LOAD.json for schema version 3: required fields
 // present, counts consistent, percentiles ordered, samples joinable, and
 // the mid-run metrics scrape healthy.
 func validateFile(path string) error {
@@ -638,8 +693,8 @@ func validateFile(path string) error {
 }
 
 func validate(f *LoadFile) error {
-	if f.Version != 2 {
-		return fmt.Errorf("schema version %d, want 2", f.Version)
+	if f.Version != 3 {
+		return fmt.Errorf("schema version %d, want 3", f.Version)
 	}
 	if f.GeneratedBy != "timload" {
 		return fmt.Errorf("generated_by %q", f.GeneratedBy)
@@ -650,10 +705,13 @@ func validate(f *LoadFile) error {
 	if len(f.Classes) == 0 {
 		return fmt.Errorf("no classes")
 	}
-	var sent, ok, shed, errs int64
+	var sent, ok, shed, errs, retries int64
 	for _, c := range f.Classes {
 		if c.Name == "" {
 			return fmt.Errorf("class with empty name")
+		}
+		if c.Retries < 0 {
+			return fmt.Errorf("class %s: negative retries %d", c.Name, c.Retries)
 		}
 		if c.Sent != c.OK+c.Shed+c.Errors {
 			return fmt.Errorf("class %s: sent %d != ok %d + shed %d + errors %d", c.Name, c.Sent, c.OK, c.Shed, c.Errors)
@@ -678,10 +736,11 @@ func validate(f *LoadFile) error {
 		ok += c.OK
 		shed += c.Shed
 		errs += c.Errors
+		retries += c.Retries
 	}
 	t := f.Totals
-	if t.Sent != sent || t.OK != ok || t.Shed != shed || t.Errors != errs {
-		return fmt.Errorf("totals %+v disagree with class sums (%d/%d/%d/%d)", t, sent, ok, shed, errs)
+	if t.Sent != sent || t.OK != ok || t.Shed != shed || t.Errors != errs || t.Retries != retries {
+		return fmt.Errorf("totals %+v disagree with class sums (%d/%d/%d/%d/%d)", t, sent, ok, shed, errs, retries)
 	}
 	if t.Sent > 0 && t.AchievedQPS <= 0 {
 		return fmt.Errorf("achieved_qps missing")

@@ -2,9 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -20,7 +24,7 @@ func TestLoadRoundTrip(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "LOAD.json")
 	traceOut := filepath.Join(t.TempDir(), "TRACE.json")
 	qlogOut := filepath.Join(t.TempDir(), "QLOG.jsonl")
-	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out, traceOut, qlogOut); err != nil {
+	if err := run(40, time.Second, "0.5,0.3,0.2", 5, 250, 5, "ba:500:3", "", false, out, traceOut, qlogOut, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := validateFile(out); err != nil {
@@ -51,8 +55,8 @@ func TestLoadRoundTrip(t *testing.T) {
 	if un.Tiers["fast"] != 0 {
 		t.Fatalf("unbudgeted class answered by the fast tier: %+v", un.Tiers)
 	}
-	// Version 2: the run sampled requests with trace ids, scraped a
-	// healthy /metrics mid-flight, and dumped the slow traces.
+	// The run sampled requests with trace ids, scraped a healthy
+	// /metrics mid-flight, and dumped the slow traces.
 	if len(f.Samples) == 0 {
 		t.Fatal("no request samples recorded")
 	}
@@ -163,10 +167,11 @@ func TestValidateRejects(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
 		"bad version":   `{"version":1,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
-		"no classes":    `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
-		"counts broken": `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":3,"ok":1,"shed":1,"errors":0,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":3,"ok":1,"shed":1,"errors":0,"achieved_qps":1}}`,
-		"unknown tier":  `{"version":2,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"tiers":{"psychic":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"achieved_qps":1}}`,
-		"unknown field": `{"version":2,"generated_by":"timload","bogus":1}`,
+		"no classes":    `{"version":3,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[],"totals":{}}`,
+		"counts broken": `{"version":3,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":3,"ok":1,"shed":1,"errors":0,"retries":0,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":3,"ok":1,"shed":1,"errors":0,"retries":0,"achieved_qps":1}}`,
+		"unknown tier":  `{"version":3,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"retries":0,"tiers":{"psychic":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"retries":0,"achieved_qps":1}}`,
+		"retry totals":  `{"version":3,"generated_by":"timload","config":{"target_qps":1,"duration_ms":1,"mix":"1,0,0","tight_budget_ms":5,"loose_budget_ms":250,"k":1,"dataset":"d","quick":false,"cores":1},"classes":[{"name":"tight","budget_ms":5,"sent":1,"ok":1,"shed":0,"errors":0,"retries":2,"tiers":{"fast":1},"p50_ms":1,"p99_ms":2,"max_ms":3,"server_p50_ms":1,"server_p99_ms":1,"budget_violations":0}],"totals":{"sent":1,"ok":1,"shed":0,"errors":0,"retries":0,"achieved_qps":1}}`,
+		"unknown field": `{"version":3,"generated_by":"timload","bogus":1}`,
 		"not json":      `hello`,
 	}
 	for name, content := range cases {
@@ -180,5 +185,68 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := validateFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file: validation passed")
+	}
+}
+
+// TestRetryDelay: the backoff honors the server's Retry-After when one
+// was sent, falls back to doubling otherwise, jitters within [0.5, 1.5)×,
+// and never exceeds the cap (times 1.5 jitter).
+func TestRetryDelay(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		if d := retryDelay(1, 0); d < 500*time.Millisecond || d >= 1500*time.Millisecond {
+			t.Fatalf("Retry-After=1s delay %v outside [0.5s, 1.5s)", d)
+		}
+		if d := retryDelay(0, 0); d < 50*time.Millisecond || d >= 150*time.Millisecond {
+			t.Fatalf("fallback attempt-0 delay %v outside [50ms, 150ms)", d)
+		}
+		if d := retryDelay(0, 2); d < 200*time.Millisecond || d >= 600*time.Millisecond {
+			t.Fatalf("fallback attempt-2 delay %v outside [200ms, 600ms)", d)
+		}
+		if d := retryDelay(60, 1); d >= 4500*time.Millisecond {
+			t.Fatalf("capped delay %v above 3s×1.5", d)
+		}
+	}
+}
+
+// TestFireRetry: a stub that sheds N times before answering. Bounded
+// attempts, final status wins, and the retry count reports the extra
+// attempts actually fired.
+func TestFireRetry(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			// Retry-After: 0 keeps the test on the fast fallback backoff.
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"tier":"ris","trace_id":"t-1","elapsed_ms":1}`)
+	}))
+	defer stub.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, tries, err := fireRetry(client, stub.URL, map[string]any{"dataset": "d", "k": 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); resp.status != http.StatusOK || tries != 2 || got != 3 {
+		t.Fatalf("status=%d tries=%d calls=%d, want a 200 after 2 retries", resp.status, tries, got)
+	}
+
+	// Exhausted attempts: the shed stands, every retry is counted.
+	calls.Store(-100) // stub sheds for the whole run
+	resp, tries, err = fireRetry(client, stub.URL, map[string]any{"dataset": "d", "k": 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusServiceUnavailable || tries != 2 {
+		t.Fatalf("status=%d tries=%d, want the shed to stand after 2 retries", resp.status, tries)
+	}
+
+	// Zero budget: first shed is final, nothing retried.
+	resp, tries, err = fireRetry(client, stub.URL, map[string]any{"dataset": "d", "k": 1}, 0)
+	if err != nil || resp.status != http.StatusServiceUnavailable || tries != 0 {
+		t.Fatalf("status=%d tries=%d err=%v, want an unretried shed", resp.status, tries, err)
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -67,7 +68,11 @@ func replayRun(path, out string, strict bool) error {
 	}
 	header, records, err := obs.ReadQLog(f)
 	f.Close()
-	if err != nil {
+	if errors.Is(err, obs.ErrTornTail) {
+		// The recorder died mid-line (crash, kill -9). Every complete
+		// record is still replayable — report the damage and carry on.
+		fmt.Printf("timload: %s: %v — replaying the %d complete records\n", path, err, len(records))
+	} else if err != nil {
 		return err
 	}
 	if len(records) == 0 {

@@ -19,7 +19,11 @@
 // Datasets are live: /v1/update applies batched edge inserts/deletes and
 // node growth through the evolving-graph layer, warm RR collections are
 // repaired incrementally instead of dropped, and every query reports the
-// graph_version it was answered at. Queries are constrainable: targeted
+// graph_version it was answered at. With -wal-dir set, every acked batch
+// is also appended to a per-dataset write-ahead log (fsynced per
+// -wal-sync) and checkpointed every -checkpoint-every batches, so a
+// restart — clean or kill -9 — recovers each dataset to its last durable
+// version and answers bit-identically to a server that never crashed. Queries are constrainable: targeted
 // audience weights, budgets over per-node costs, forced/excluded seeds,
 // and deadline-bounded diffusion (README "Constrained queries");
 // POST /v1/query/batch answers a list of such queries in one round-trip.
@@ -83,6 +87,10 @@ func main() {
 		qlogMax   = flag.Int("qlog-max", 0, "max records the flight recorder writes (0 = default 100000, negative = unbounded)")
 		memBudget = flag.Int64("mem-budget", 0, "memory budget in bytes for ledger-accounted state; /v1/capacity reports headroom against it (0 = unbudgeted)")
 		sloObj    = flag.Float64("slo-objective", 0, "tolerated bad fraction per tier class for /v1/health/slo error budgets (0 = default 0.01)")
+		walDir    = flag.String("wal-dir", "", "directory for per-dataset update WALs and checkpoints; updates are replayed from it on restart (empty = durability off)")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per acked batch), interval (background, bounded loss window), or none (OS decides)")
+		walEvery  = flag.Duration("wal-sync-interval", 0, "fsync cadence for -wal-sync=interval (0 = default 200ms)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint and truncate a dataset's WAL every N batches (0 = default 64, negative = never)")
 	)
 	flag.Var(&datasets, "dataset",
 		"named dataset to serve, name=source (repeatable); source is file:PATH, ufile:PATH, profile:NAME:SCALE, ba:N:ATTACH, or er:N:M")
@@ -116,6 +124,10 @@ func main() {
 		QLogSample:        *qlogSamp,
 		QLogMaxRecords:    *qlogMax,
 		SLOObjective:      *sloObj,
+		WALDir:            *walDir,
+		WALSync:           *walSync,
+		WALSyncEvery:      *walEvery,
+		CheckpointEvery:   *ckptEvery,
 	}
 	if err := run(*listen, datasets, cfg, *drain, logger, *debugAddr); err != nil {
 		logger.Error("exiting", "err", err)
@@ -189,6 +201,16 @@ func run(listen string, datasets []string, cfg server.Config,
 	for _, d := range summaries {
 		logger.Info("dataset loaded", "name", d.Name, "nodes", d.Nodes, "edges", d.Edges)
 	}
+	for _, rec := range srv.Recovery() {
+		logger.Info("wal recovered",
+			"dataset", rec.Dataset,
+			"version", rec.Version,
+			"checkpoint_version", rec.CheckpointVersion,
+			"replayed_records", rec.ReplayedRecords,
+			"skipped_records", rec.SkippedRecords,
+			"torn_bytes", rec.TornBytes,
+		)
+	}
 	effWorkers := cfg.Workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -219,12 +241,17 @@ func run(listen string, datasets []string, cfg server.Config,
 
 	errCh := make(chan error, 1)
 	go func() {
+		walMode := "off"
+		if cfg.WALDir != "" {
+			walMode = cfg.WALSync
+		}
 		logger.Info("listening",
 			"addr", listen,
 			"datasets", len(specs),
 			"workers", effWorkers,
 			"eps_ladder", srv.EpsLadder(),
 			"trace_ring", srv.TraceRing(),
+			"wal", walMode,
 		)
 		errCh <- httpSrv.ListenAndServe()
 	}()
@@ -244,10 +271,10 @@ func run(listen string, datasets []string, cfg server.Config,
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	// Flush the flight recorder only after the listener has drained, so
-	// the file holds every in-flight request's record.
+	// Flush the flight recorder and sync the WALs only after the listener
+	// has drained, so the files hold every in-flight request's effect.
 	if err := srv.Close(); err != nil {
-		return fmt.Errorf("qlog close: %w", err)
+		return fmt.Errorf("close: %w", err)
 	}
 	logger.Info("drained cleanly")
 	return nil

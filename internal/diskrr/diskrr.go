@@ -25,7 +25,10 @@
 // Corrupt or truncated spill data surfaces as typed errors consistent
 // with graph.ReadBinary's: Scan wraps graph.ErrTruncated when the file
 // ends mid-record (the only structural failure a length-prefixed spill
-// file can exhibit).
+// file can exhibit). Failures on the write side (a full disk, a dying
+// device) wrap ErrSpill, and the writer removes its partial file before
+// reporting them — a failed spill never leaves debris for the caller to
+// clean up or a later run to trip over.
 package diskrr
 
 import (
@@ -36,7 +39,23 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
+)
+
+// ErrSpill tags every spill-write failure (Append or Finish). By the
+// time a caller sees an error wrapping it, the partial spill file has
+// already been closed and removed.
+var ErrSpill = errors.New("diskrr: spill write failed")
+
+// Fault points (see internal/fault). Unarmed they cost one atomic load;
+// tests arm them to fail spill I/O at chosen operations.
+const (
+	// FaultSpillWrite is consulted before every buffered write in Append
+	// and before the flush in Finish.
+	FaultSpillWrite = "diskrr/spill-write"
+	// FaultSpillSync is consulted before the fsync in Finish.
+	FaultSpillSync = "diskrr/spill-sync"
 )
 
 // Writer streams RR sets into a temporary file.
@@ -49,6 +68,7 @@ type Writer struct {
 	totalNodes int64
 	totalWidth int64
 	closed     bool
+	failErr    error // sticky ErrSpill-wrapped failure; file already removed
 }
 
 // NewWriter creates a spill file in dir (empty dir = the OS temp
@@ -65,19 +85,24 @@ func NewWriter(dir string) (*Writer, error) {
 	}, nil
 }
 
-// Append writes one RR set.
+// Append writes one RR set. On a write failure the spill file is
+// removed and the writer is dead: the error (wrapping ErrSpill) is
+// sticky and every later call returns it.
 func (w *Writer) Append(rr []uint32, width int64) error {
 	if w.closed {
+		if w.failErr != nil {
+			return w.failErr
+		}
 		return errors.New("diskrr: append after Finish")
 	}
 	binary.LittleEndian.PutUint32(w.rec, uint32(len(rr)))
-	if _, err := w.bw.Write(w.rec); err != nil {
-		return err
+	if err := w.write(w.rec); err != nil {
+		return w.fail(err)
 	}
 	for _, v := range rr {
 		binary.LittleEndian.PutUint32(w.rec, v)
-		if _, err := w.bw.Write(w.rec); err != nil {
-			return err
+		if err := w.write(w.rec); err != nil {
+			return w.fail(err)
 		}
 	}
 	w.count++
@@ -86,21 +111,49 @@ func (w *Writer) Append(rr []uint32, width int64) error {
 	return nil
 }
 
+// write pushes one buffered record through the FaultSpillWrite point.
+func (w *Writer) write(p []byte) error {
+	if err := fault.Hit(FaultSpillWrite); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(p)
+	return err
+}
+
+// fail records a write failure: the partial spill file is discarded
+// immediately (callers must never see a half-written rrspill-*.bin on
+// disk) and the typed error is made sticky.
+func (w *Writer) fail(err error) error {
+	w.Abort()
+	w.failErr = fmt.Errorf("%w: %v", ErrSpill, err)
+	return w.failErr
+}
+
 // Count returns the number of sets appended so far.
 func (w *Writer) Count() int64 { return w.count }
 
-// Finish flushes and returns the readable collection. The writer must
-// not be used afterwards.
+// Finish flushes, fsyncs, and returns the readable collection. The
+// writer must not be used afterwards. On failure the spill file is
+// removed and the (ErrSpill-wrapping) error is sticky.
 func (w *Writer) Finish() (*Collection, error) {
 	if w.closed {
+		if w.failErr != nil {
+			return nil, w.failErr
+		}
 		return nil, errors.New("diskrr: Finish twice")
 	}
 	w.closed = true
+	if err := fault.Hit(FaultSpillWrite); err != nil {
+		return nil, w.fail(err)
+	}
 	if err := w.bw.Flush(); err != nil {
-		return nil, err
+		return nil, w.fail(err)
+	}
+	if err := fault.Hit(FaultSpillSync); err != nil {
+		return nil, w.fail(err)
 	}
 	if err := w.f.Sync(); err != nil {
-		return nil, err
+		return nil, w.fail(err)
 	}
 	return &Collection{
 		f:          w.f,
@@ -111,12 +164,17 @@ func (w *Writer) Finish() (*Collection, error) {
 	}, nil
 }
 
-// Abort discards the spill file.
+// Abort discards the spill file. It is idempotent, and calling it
+// after a failed Append/Finish (which already aborted) is a no-op.
 func (w *Writer) Abort() {
 	w.closed = true
+	if w.f == nil {
+		return
+	}
 	name := w.f.Name()
 	w.f.Close()
 	os.Remove(name)
+	w.f = nil
 }
 
 // Collection is a finished on-disk RR collection.

@@ -165,6 +165,56 @@ func New(g *graph.Graph, policy WeightPolicy, opts Options) *Graph {
 	return e
 }
 
+// Restore rebuilds a Graph from a previously captured canonical state:
+// the node count, the live edges in canonical order (exactly as Edges
+// returned them), and the version the state was captured at. It is the
+// recovery half of the WAL/checkpoint protocol (internal/wal): the
+// checkpoint stores topology only, and Restore re-derives every head's
+// in-weights through the policy — policies make weights a pure function
+// of (head, in-edge list), so the restored weights are bit-identical to
+// the ones the pre-crash graph carried (DESIGN.md §8's warm-equals-cold
+// argument). With a nil policy the given edge weights are used as-is
+// and must lie in [0, 1].
+//
+// The delta log starts empty: consumers holding pre-crash derived state
+// see DeltaSince fail and rebuild cold, which is the correct (and only
+// safe) answer after a restart.
+func Restore(n int, edges []graph.Edge, version uint64, policy WeightPolicy, opts Options) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("evolve: restore with negative n %d", n)
+	}
+	for _, ed := range edges {
+		if int(ed.From) >= n || int(ed.To) >= n {
+			return nil, fmt.Errorf("%w: restore edge %d -> %d with n=%d", graph.ErrNodeRange, ed.From, ed.To, n)
+		}
+		if policy == nil && !(ed.Weight >= 0 && ed.Weight <= 1) {
+			return nil, fmt.Errorf("%w: restore edge %d -> %d weight %v", graph.ErrBadWeight, ed.From, ed.To, ed.Weight)
+		}
+	}
+	own := append([]graph.Edge(nil), edges...)
+	e := &Graph{
+		n:       n,
+		edges:   own,
+		dead:    make([]bool, len(own)),
+		inIdx:   make(map[uint32][]int32),
+		live:    len(own),
+		policy:  policy,
+		opts:    opts.withDefaults(),
+		version: version,
+	}
+	for i, ed := range own {
+		e.inIdx[ed.To] = append(e.inIdx[ed.To], int32(i))
+	}
+	if policy != nil {
+		heads := make(map[uint32]struct{}, len(e.inIdx))
+		for h := range e.inIdx {
+			heads[h] = struct{}{}
+		}
+		e.reweighHeads(sortedHeads(heads))
+	}
+	return e, nil
+}
+
 // Version returns the number of batches applied so far.
 func (e *Graph) Version() uint64 {
 	e.mu.Lock()
@@ -234,6 +284,58 @@ func (e *Graph) SnapshotMemoryBytes() int64 {
 	return e.snap.MemoryBytes()
 }
 
+// validateLocked checks a batch against the current state without
+// mutating anything. Caller holds mu.
+func (e *Graph) validateLocked(b Batch) error {
+	if b.AddNodes < 0 {
+		return fmt.Errorf("evolve: negative AddNodes %d", b.AddNodes)
+	}
+	newN := e.n + b.AddNodes
+	pendingDel := make(map[EdgeKey]int)
+	for _, k := range b.Deletes {
+		if int(k.From) >= e.n || int(k.To) >= e.n {
+			return fmt.Errorf("%w: delete %d -> %d with n=%d", graph.ErrNodeRange, k.From, k.To, e.n)
+		}
+		if e.liveCount(k)-pendingDel[k] <= 0 {
+			return fmt.Errorf("%w: delete %d -> %d", ErrUnknownEdge, k.From, k.To)
+		}
+		pendingDel[k]++
+	}
+	for _, ed := range b.Reweights {
+		k := EdgeKey{ed.From, ed.To}
+		if int(ed.From) >= e.n || int(ed.To) >= e.n {
+			return fmt.Errorf("%w: reweight %d -> %d with n=%d", graph.ErrNodeRange, ed.From, ed.To, e.n)
+		}
+		if e.liveCount(k)-pendingDel[k] <= 0 {
+			return fmt.Errorf("%w: reweight %d -> %d", ErrUnknownEdge, ed.From, ed.To)
+		}
+		if !(ed.Weight >= 0 && ed.Weight <= 1) {
+			return fmt.Errorf("%w: reweight %d -> %d weight %v", graph.ErrBadWeight, ed.From, ed.To, ed.Weight)
+		}
+	}
+	for _, ed := range b.Inserts {
+		if int(ed.From) >= newN || int(ed.To) >= newN {
+			return fmt.Errorf("%w: insert %d -> %d with n=%d", graph.ErrNodeRange, ed.From, ed.To, newN)
+		}
+		if !(ed.Weight >= 0 && ed.Weight <= 1) {
+			return fmt.Errorf("%w: insert %d -> %d weight %v", graph.ErrBadWeight, ed.From, ed.To, ed.Weight)
+		}
+	}
+	return nil
+}
+
+// Validate checks whether Apply would accept the batch, without
+// applying it. The write-ahead log uses it to order durability before
+// mutation: a batch is validated, logged, and only then applied, so a
+// logged record always replays cleanly — Apply after a successful
+// Validate cannot fail (the caller must not mutate the graph in
+// between; the server holds its per-dataset lock across both).
+func (e *Graph) Validate(b Batch) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.validateLocked(b)
+}
+
 // Apply validates and applies one batch atomically, returning the new
 // version. On error the graph is unchanged.
 func (e *Graph) Apply(b Batch) (uint64, error) {
@@ -241,40 +343,10 @@ func (e *Graph) Apply(b Batch) (uint64, error) {
 	defer e.mu.Unlock()
 
 	// Validate everything before mutating anything.
-	if b.AddNodes < 0 {
-		return e.version, fmt.Errorf("evolve: negative AddNodes %d", b.AddNodes)
+	if err := e.validateLocked(b); err != nil {
+		return e.version, err
 	}
 	newN := e.n + b.AddNodes
-	pendingDel := make(map[EdgeKey]int)
-	for _, k := range b.Deletes {
-		if int(k.From) >= e.n || int(k.To) >= e.n {
-			return e.version, fmt.Errorf("%w: delete %d -> %d with n=%d", graph.ErrNodeRange, k.From, k.To, e.n)
-		}
-		if e.liveCount(k)-pendingDel[k] <= 0 {
-			return e.version, fmt.Errorf("%w: delete %d -> %d", ErrUnknownEdge, k.From, k.To)
-		}
-		pendingDel[k]++
-	}
-	for _, ed := range b.Reweights {
-		k := EdgeKey{ed.From, ed.To}
-		if int(ed.From) >= e.n || int(ed.To) >= e.n {
-			return e.version, fmt.Errorf("%w: reweight %d -> %d with n=%d", graph.ErrNodeRange, ed.From, ed.To, e.n)
-		}
-		if e.liveCount(k)-pendingDel[k] <= 0 {
-			return e.version, fmt.Errorf("%w: reweight %d -> %d", ErrUnknownEdge, ed.From, ed.To)
-		}
-		if !(ed.Weight >= 0 && ed.Weight <= 1) {
-			return e.version, fmt.Errorf("%w: reweight %d -> %d weight %v", graph.ErrBadWeight, ed.From, ed.To, ed.Weight)
-		}
-	}
-	for _, ed := range b.Inserts {
-		if int(ed.From) >= newN || int(ed.To) >= newN {
-			return e.version, fmt.Errorf("%w: insert %d -> %d with n=%d", graph.ErrNodeRange, ed.From, ed.To, newN)
-		}
-		if !(ed.Weight >= 0 && ed.Weight <= 1) {
-			return e.version, fmt.Errorf("%w: insert %d -> %d weight %v", graph.ErrBadWeight, ed.From, ed.To, ed.Weight)
-		}
-	}
 
 	// Apply. Track touched heads for the delta log and the policy.
 	nBefore := e.n

@@ -1,0 +1,143 @@
+package evolve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// restoreScenario builds a weighted evolving graph, applies a few
+// batches, and returns it with the batches that produced it.
+func restoreScenario(t *testing.T, policy WeightPolicy) (*Graph, []Batch) {
+	t.Helper()
+	g := gen.BarabasiAlbert(80, 3, rng.New(9))
+	switch policy.(type) {
+	case WeightedCascade:
+		graph.AssignWeightedCascade(g)
+	case *KeyedNormalizedLT:
+		graph.AssignRandomNormalizedLTKeyed(g, 21)
+	}
+	eg := New(g, policy, Options{})
+	batches := []Batch{
+		{
+			AddNodes: 2,
+			Inserts:  []graph.Edge{{From: 3, To: 80}, {From: 80, To: 5}, {From: 81, To: 0}},
+			Deletes:  []EdgeKey{{From: g.Edges()[0].From, To: g.Edges()[0].To}},
+		},
+		{
+			Inserts: []graph.Edge{{From: 7, To: 81}, {From: 12, To: 4}},
+		},
+	}
+	for i, b := range batches {
+		if _, err := eg.Apply(b); err != nil {
+			t.Fatalf("apply batch %d: %v", i, err)
+		}
+	}
+	return eg, batches
+}
+
+// TestRestoreMatchesLiveGraph is the recovery determinism argument at
+// the evolve layer: restoring from (n, canonical edges, version) with a
+// topology-only checkpoint (weights zeroed, re-derived by the policy)
+// must reproduce the live graph bit for bit — same canonical order,
+// same weights, same snapshot — and must keep agreeing after further
+// batches are applied to both.
+func TestRestoreMatchesLiveGraph(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy func() WeightPolicy
+	}{
+		{"weighted_cascade", func() WeightPolicy { return WeightedCascade{} }},
+		{"keyed_lt", func() WeightPolicy { return NewKeyedNormalizedLT(21) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			live, _ := restoreScenario(t, tc.policy())
+
+			// The checkpoint captures topology only: weights are zeroed the
+			// way wal.Checkpoint strips them.
+			topo := live.Edges()
+			for i := range topo {
+				topo[i].Weight = 0
+			}
+			restored, err := Restore(live.N(), topo, live.Version(), tc.policy(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Version() != live.Version() || restored.N() != live.N() || restored.M() != live.M() {
+				t.Fatalf("restored v=%d n=%d m=%d, live v=%d n=%d m=%d",
+					restored.Version(), restored.N(), restored.M(), live.Version(), live.N(), live.M())
+			}
+			if !reflect.DeepEqual(restored.Edges(), live.Edges()) {
+				t.Fatal("restored canonical edges (with policy-derived weights) differ from live")
+			}
+			liveSnap, _ := live.Snapshot()
+			restSnap, _ := restored.Snapshot()
+			if !reflect.DeepEqual(restSnap.Edges(), liveSnap.Edges()) {
+				t.Fatal("restored snapshot differs from live snapshot")
+			}
+
+			// Both must evolve identically from here: the WAL tail replays
+			// against a restored graph exactly as it did against the live one.
+			tail := Batch{
+				AddNodes: 1,
+				Inserts:  []graph.Edge{{From: 82, To: 3}, {From: 0, To: 82}},
+				Deletes:  []EdgeKey{{From: 3, To: 80}},
+			}
+			v1, err1 := live.Apply(tail)
+			v2, err2 := restored.Apply(tail)
+			if err1 != nil || err2 != nil || v1 != v2 {
+				t.Fatalf("tail apply diverged: (%d, %v) vs (%d, %v)", v1, err1, v2, err2)
+			}
+			if !reflect.DeepEqual(restored.Edges(), live.Edges()) {
+				t.Fatal("canonical edges diverged after tail batch")
+			}
+		})
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	if _, err := Restore(2, []graph.Edge{{From: 0, To: 5, Weight: 0.5}}, 1, nil, Options{}); !errors.Is(err, graph.ErrNodeRange) {
+		t.Fatalf("out-of-range edge: %v", err)
+	}
+	if _, err := Restore(2, []graph.Edge{{From: 0, To: 1, Weight: 1.5}}, 1, nil, Options{}); !errors.Is(err, graph.ErrBadWeight) {
+		t.Fatalf("bad weight without policy: %v", err)
+	}
+	// With a policy the stored weight is irrelevant (re-derived).
+	if _, err := Restore(2, []graph.Edge{{From: 0, To: 1, Weight: 1.5}}, 1, WeightedCascade{}, Options{}); err != nil {
+		t.Fatalf("policy restore rejected provisional weight: %v", err)
+	}
+}
+
+// TestValidateThenApply pins the WAL ordering contract: a batch that
+// passes Validate is applied by the very next Apply without error, and
+// a batch that fails Validate leaves the graph untouched.
+func TestValidateThenApply(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.5},
+		{From: 1, To: 2, Weight: 0.5},
+	})
+	eg := New(g, nil, Options{})
+
+	good := Batch{Inserts: []graph.Edge{{From: 2, To: 0, Weight: 0.25}}}
+	if err := eg.Validate(good); err != nil {
+		t.Fatalf("validate good batch: %v", err)
+	}
+	if eg.Version() != 0 || eg.M() != 2 {
+		t.Fatal("Validate mutated the graph")
+	}
+	if _, err := eg.Apply(good); err != nil {
+		t.Fatalf("apply after validate: %v", err)
+	}
+
+	bad := Batch{Deletes: []EdgeKey{{From: 0, To: 2}}}
+	if err := eg.Validate(bad); !errors.Is(err, ErrUnknownEdge) {
+		t.Fatalf("validate bad batch: %v", err)
+	}
+	if eg.Version() != 1 {
+		t.Fatal("failed Validate changed the version")
+	}
+}

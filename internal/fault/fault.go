@@ -1,0 +1,124 @@
+// Package fault provides named fault-injection points for crash and
+// I/O-failure testing. Production code calls Hit at the places where a
+// real deployment could fail — a WAL append, a spill write, an fsync —
+// and tests arm those points with handlers that return errors, write
+// short, or panic. With nothing armed (the production state), Hit is a
+// single atomic load and no handler storage is ever touched, so the
+// points cost nothing on hot paths.
+//
+// Point names are owned by the package containing the call site and
+// declared there as constants (e.g. wal.FaultAppendWrite), so the set
+// of injectable failures is discoverable next to the code that can
+// fail. Handlers run synchronously inside Hit; a handler that panics
+// simulates a crash at that point (the process-death tests kill for
+// real, the in-process ones recover).
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler decides one injection. A nil return means "no fault this
+// time" (the point keeps its production behavior for this hit); a
+// non-nil return is handed to the call site as the injected failure.
+// Handlers may panic to simulate a crash at the point.
+type Handler func() error
+
+var (
+	// armed counts the currently armed points. Hit's fast path checks it
+	// before taking the lock, so an unarmed process pays one atomic load
+	// per point regardless of how many points exist.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]Handler
+)
+
+// Set arms a point with a handler, replacing any previous handler.
+func Set(point string, h Handler) {
+	if h == nil {
+		Clear(point)
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]Handler)
+	}
+	if _, ok := points[point]; !ok {
+		armed.Add(1)
+	}
+	points[point] = h
+}
+
+// Clear disarms a point. Clearing an unarmed point is a no-op.
+func Clear(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests call it in cleanup so an armed
+// point can never leak across tests.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = nil
+}
+
+// Hit consults a point. It returns nil instantly when nothing is armed
+// anywhere (the production state), nil when this particular point is
+// unarmed or its handler declines, and the handler's error otherwise.
+func Hit(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	h := points[point]
+	mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}
+
+// FailOn returns a handler that declines n times and then fails every
+// subsequent hit with err — "the (n+1)th write to this file fails".
+// n = 0 fails immediately.
+func FailOn(n int, err error) Handler {
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) > int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// PanicOn returns a handler that declines n times and then panics,
+// simulating a crash at the point.
+func PanicOn(n int, msg string) Handler {
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) > int64(n) {
+			panic(fmt.Sprintf("fault: injected panic: %s", msg))
+		}
+		return nil
+	}
+}
+
+// Counting wraps a handler so tests can assert how many times the
+// point was actually consulted while armed.
+func Counting(h Handler) (Handler, *atomic.Int64) {
+	var hits atomic.Int64
+	return func() error {
+		hits.Add(1)
+		return h()
+	}, &hits
+}

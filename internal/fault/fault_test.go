@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUnarmedIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hit("nothing/armed"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p1", func() error { return boom })
+	if err := Hit("p1"); !errors.Is(err, boom) {
+		t.Fatalf("armed Hit returned %v, want boom", err)
+	}
+	// A different point stays unarmed.
+	if err := Hit("p2"); err != nil {
+		t.Fatalf("other point returned %v", err)
+	}
+	Clear("p1")
+	if err := Hit("p1"); err != nil {
+		t.Fatalf("cleared Hit returned %v", err)
+	}
+	// Clearing twice (and clearing the unarmed) must not corrupt the
+	// armed count: after it, an armed point still fires.
+	Clear("p1")
+	Clear("never-armed")
+	Set("p3", func() error { return boom })
+	if err := Hit("p3"); !errors.Is(err, boom) {
+		t.Fatalf("Hit after redundant clears returned %v, want boom", err)
+	}
+	Reset()
+	if err := Hit("p3"); err != nil {
+		t.Fatalf("Hit after Reset returned %v", err)
+	}
+}
+
+func TestSetNilClears(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func() error { return errors.New("x") })
+	Set("p", nil)
+	if err := Hit("p"); err != nil {
+		t.Fatalf("nil-set point returned %v", err)
+	}
+}
+
+func TestFailOn(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", FailOn(2, boom))
+	for i := 0; i < 2; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("hit %d: %v, want nil", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d after threshold: %v, want boom", i, err)
+		}
+	}
+}
+
+func TestPanicOn(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", PanicOn(1, "crash here"))
+	if err := Hit("p"); err != nil {
+		t.Fatalf("first hit: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second hit did not panic")
+		}
+	}()
+	_ = Hit("p")
+}
+
+func TestCounting(t *testing.T) {
+	t.Cleanup(Reset)
+	h, hits := Counting(func() error { return nil })
+	Set("p", h)
+	for i := 0; i < 3; i++ {
+		_ = Hit("p")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -195,9 +196,20 @@ func (q *QLog) Close() error {
 	return q.err
 }
 
+// ErrTornTail reports that a qlog file ended mid-record — the writer
+// crashed (or was killed) with a partial line buffered. The header and
+// records returned alongside it are complete and usable; only the torn
+// final line was discarded. Callers distinguish it with errors.Is and
+// decide whether a partial read is acceptable.
+var ErrTornTail = errors.New("qlog: file ends mid-record (torn tail)")
+
 // ReadQLog parses a qlog stream: one header line followed by query
 // records. Lines of unknown type are skipped (forward compatibility);
-// a missing or version-mismatched header is an error.
+// a missing or version-mismatched header is an error. A final line that
+// fails to parse is treated as crash truncation: every complete record
+// is returned together with an error wrapping ErrTornTail. The same
+// damage anywhere but the last line is corruption and stays a hard
+// error (with nil records), as does a torn header.
 func ReadQLog(r io.Reader) (QLogHeader, []QLogRecord, error) {
 	var header QLogHeader
 	var records []QLogRecord
@@ -205,17 +217,22 @@ func ReadQLog(r io.Reader) (QLogHeader, []QLogRecord, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	sawHeader := false
 	line := 0
+	var torn error // parse failure pending confirmation that it was the last line
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if torn != nil {
+			return header, nil, torn
+		}
 		var probe struct {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return header, nil, fmt.Errorf("qlog line %d: %w", line, err)
+			torn = fmt.Errorf("qlog line %d: %w", line, err)
+			continue
 		}
 		if !sawHeader {
 			if probe.Type != "header" {
@@ -235,12 +252,19 @@ func ReadQLog(r io.Reader) (QLogHeader, []QLogRecord, error) {
 		}
 		var rec QLogRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return header, nil, fmt.Errorf("qlog line %d: %w", line, err)
+			torn = fmt.Errorf("qlog line %d: %w", line, err)
+			continue
 		}
 		records = append(records, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return header, nil, fmt.Errorf("qlog: %w", err)
+	}
+	if torn != nil {
+		if !sawHeader {
+			return header, nil, torn // a torn header leaves nothing to recover
+		}
+		return header, records, fmt.Errorf("%w: %v", ErrTornTail, torn)
 	}
 	if !sawHeader {
 		return header, nil, fmt.Errorf("qlog: empty file (no header)")

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -123,5 +124,99 @@ func TestReadQLogSkipsUnknownTypes(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Dataset != "ba" {
 		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// TestReadQLogTornTail sweeps every byte-level truncation of a valid
+// qlog — the file a crashed recorder leaves behind — and asserts the
+// reader returns every complete record with ErrTornTail when the final
+// line is cut mid-record, succeeds at clean line boundaries, and treats
+// a torn header as a hard error (nothing is recoverable without it).
+func TestReadQLogTornTail(t *testing.T) {
+	var buf strings.Builder
+	q, err := NewQLog(&buf, QLogHeader{Seed: 1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		q.Record(QLogRecord{Endpoint: "maximize", K: i + 1, Status: 200})
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	var nl []int
+	for i := 0; i < len(data); i++ {
+		if data[i] == '\n' {
+			nl = append(nl, i)
+		}
+	}
+	if len(nl) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(nl))
+	}
+	// Clean cuts: at a line's closing byte (the final line may lack its
+	// newline) or just after its newline. Everything else tears a line.
+	clean := map[int]bool{}
+	for _, p := range nl {
+		clean[p] = true
+		clean[p+1] = true
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		h, recs, err := ReadQLog(strings.NewReader(data[:cut]))
+		switch {
+		case cut == 0:
+			if err == nil || errors.Is(err, ErrTornTail) {
+				t.Fatalf("cut=0: empty file must be a hard error, got %v", err)
+			}
+		case cut < nl[0]:
+			if err == nil || errors.Is(err, ErrTornTail) {
+				t.Fatalf("cut=%d: torn header must be a hard error, got %v", cut, err)
+			}
+		default:
+			want := 0
+			for _, p := range nl[1:] {
+				if p <= cut {
+					want++
+				}
+			}
+			if clean[cut] {
+				if err != nil {
+					t.Fatalf("cut=%d: clean boundary errored: %v", cut, err)
+				}
+			} else if !errors.Is(err, ErrTornTail) {
+				t.Fatalf("cut=%d: want ErrTornTail, got %v", cut, err)
+			}
+			if len(recs) != want {
+				t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(recs), want)
+			}
+			if h.Seed != 1 {
+				t.Fatalf("cut=%d: header %+v", cut, h)
+			}
+			for i, r := range recs {
+				if r.K != i+1 {
+					t.Fatalf("cut=%d: record %d = %+v", cut, i, r)
+				}
+			}
+		}
+	}
+}
+
+// TestReadQLogMidFileCorruptionIsFatal: damage that is NOT at the tail
+// (a mangled line with valid lines after it) is corruption, not crash
+// truncation, and must stay a hard error with no partial result.
+func TestReadQLogMidFileCorruptionIsFatal(t *testing.T) {
+	text := `{"type":"header","version":1}
+{"type":"query","endpoint":"maximize","status":200}
+{"type":"query","endpo
+{"type":"query","endpoint":"maximize","status":200}
+`
+	_, recs, err := ReadQLog(strings.NewReader(text))
+	if err == nil || errors.Is(err, ErrTornTail) {
+		t.Fatalf("want hard error, got %v", err)
+	}
+	if recs != nil {
+		t.Fatalf("hard error must not return partial records, got %+v", recs)
 	}
 }

@@ -200,7 +200,7 @@ type capacityStats struct {
 // ledger (see registerLedger).
 var ledgerComponents = []string{
 	"rr_collections", "result_cache", "csr_snapshots",
-	"tiered_scorers", "sampler_pool", "select_scratch",
+	"tiered_scorers", "sampler_pool", "select_scratch", "wal",
 }
 
 func (s *Server) capacityStatsSnapshot() capacityStats {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/diffusion"
 	"repro/internal/evolve"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -293,9 +294,12 @@ type UpdateResponse struct {
 	ElapsedMs           float64 `json:"elapsed_ms"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. TraceID is set where the error
+// path knows it (panic recovery); most errors leave it to the
+// X-Request-ID response header.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -375,7 +379,14 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
+// faultMaximizePanic lets tests inject a handler panic to exercise the
+// recovery middleware (see internal/fault; unarmed, one atomic load).
+const faultMaximizePanic = "server/maximize-panic"
+
 func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
+	if err := fault.Hit(faultMaximizePanic); err != nil {
+		panic(err)
+	}
 	start := time.Now()
 	var req MaximizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -961,6 +972,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SLO map[string]obs.BudgetSnapshot `json:"slo"`
 		// QLog reports the flight recorder's admission counters.
 		QLog qlogStats `json:"qlog"`
+		// WAL reports the durability subsystem: per-dataset log counters
+		// and what startup recovery restored.
+		WAL walStats `json:"wal"`
 	}{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		StartedAt:      s.start.UTC().Format(time.RFC3339),
@@ -974,6 +988,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Capacity:       s.capacityStatsSnapshot(),
 		SLO:            s.obs.sloSnapshot(),
 		QLog:           s.qlogStatsSnapshot(),
+		WAL:            s.walStatsSnapshot(),
 	})
 }
 

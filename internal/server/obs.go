@@ -49,6 +49,9 @@ type obsState struct {
 	batchWarmupItems   *obs.Counter
 	batchParallelItems *obs.Counter
 
+	// panics counts handler panics contained by the recovery middleware.
+	panics *obs.Counter
+
 	// queryMu guards queryStats: per-dataset constrained-query instrument
 	// bundles, created on first touch of each dataset name.
 	queryMu    sync.Mutex
@@ -138,6 +141,8 @@ func newObsState(ringCap int, accessLog *slog.Logger, idSeed uint64, sloObjectiv
 
 	o.phaseHist = reg.HistogramVec("timserver_phase_duration_ms", "Traced span duration in milliseconds, by phase (span name). Only traced requests feed this.", nil, "phase")
 	o.tierHist = reg.HistogramVec("timserver_tier_latency_ms", "Answer latency in milliseconds, by serving tier.", nil, "tier")
+
+	o.panics = reg.Counter("timserver_panics_total", "Handler panics contained by the recovery middleware (each answered with a 500 instead of killing the process).")
 
 	o.batchGroups = reg.Counter("timserver_batch_groups_total", "RR-collection sharing groups across batch requests.")
 	o.batchWarmupItems = reg.Counter("timserver_batch_warmup_items_total", "Batch items run sequentially to warm a shared collection.")
@@ -340,15 +345,24 @@ func requestMeta(ctx context.Context) *reqMeta {
 	return m
 }
 
-// statusWriter captures the response status for the access log.
+// statusWriter captures the response status for the access log, and
+// whether anything was committed to the wire — the panic middleware can
+// only substitute a 500 body while nothing has been written.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // tracedPaths are the compute endpoints that get a per-request Trace;

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/wal"
 )
 
 // ErrUnknownDataset is returned for queries naming a dataset the registry
@@ -137,6 +138,12 @@ type registry struct {
 	mu       sync.Mutex
 	datasets map[string]*dataset
 	evolve   evolve.Options
+
+	// WAL wiring (zero when durability is disabled). checkpointEvery is
+	// the batch cadence of automatic checkpoints; logf receives WAL
+	// warnings (failed checkpoints are warnings, not update failures).
+	checkpointEvery int
+	logf            func(format string, args ...any)
 }
 
 // supportedKinds are the model variants the registry can build — and
@@ -151,6 +158,15 @@ type dataset struct {
 	// version mirrors the variants' evolve version so /v1/datasets can
 	// report it before any variant is built (0) and without locking them.
 	version uint64
+
+	// WAL state (nil/empty when durability is disabled). ckpt and tail
+	// carry what recovery salvaged until every supported variant has been
+	// built from them — variants are lazy, so the recovered state must
+	// outlive Open — and are dropped once the last variant materializes.
+	log      *wal.Log
+	ckpt     *wal.Checkpoint
+	tail     []wal.Record
+	recovery DatasetRecovery
 }
 
 func newRegistry(specs []DatasetSpec, opts evolve.Options) (*registry, error) {
@@ -184,29 +200,75 @@ func (r *registry) get(name string, kind diffusion.Kind) (*evolve.Graph, error) 
 	return d.variant(kind, r.evolve)
 }
 
-// variant returns (building if needed) the model variant. Caller holds d.mu.
+// variant returns (building if needed) the model variant. Caller holds
+// d.mu. With WAL recovery pending, the build starts from the checkpoint
+// (topology-only; the policy re-derives this model's weights) instead
+// of the spec, and then replays the recovered WAL tail — so a lazily
+// built variant lands at exactly the version its siblings serve.
 func (d *dataset) variant(kind diffusion.Kind, opts evolve.Options) (*evolve.Graph, error) {
 	if eg, ok := d.byModel[kind]; ok {
 		return eg, nil
 	}
-	g, err := d.spec.build()
-	if err != nil {
-		return nil, err
+	var eg *evolve.Graph
+	if d.ckpt != nil {
+		policy, err := d.policyFor(kind)
+		if err != nil {
+			return nil, err
+		}
+		edges, err := d.ckpt.EdgeList()
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.spec.Name, err)
+		}
+		eg, err = evolve.Restore(d.ckpt.Nodes, edges, d.ckpt.Version, policy, opts)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: restore checkpoint v%d: %w", d.spec.Name, d.ckpt.Version, err)
+		}
+	} else {
+		g, err := d.spec.build()
+		if err != nil {
+			return nil, err
+		}
+		var policy evolve.WeightPolicy
+		switch kind {
+		case diffusion.IC:
+			graph.AssignWeightedCascade(g)
+			policy = evolve.WeightedCascade{}
+		case diffusion.LT:
+			graph.AssignRandomNormalizedLTKeyed(g, d.spec.Seed+1)
+			policy = evolve.NewKeyedNormalizedLT(d.spec.Seed + 1)
+		default:
+			return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", d.spec.Name, kind)
+		}
+		eg = evolve.New(g, policy, opts)
 	}
-	var policy evolve.WeightPolicy
+	for _, rec := range d.tail {
+		if rec.Version <= eg.Version() {
+			continue
+		}
+		if _, err := eg.Apply(rec.Batch); err != nil {
+			return nil, fmt.Errorf("server: dataset %q: replay wal record v%d: %w", d.spec.Name, rec.Version, err)
+		}
+	}
+	d.byModel[kind] = eg
+	if len(d.byModel) == len(supportedKinds) {
+		// Every variant that will ever exist has consumed the recovered
+		// state; release the checkpoint topology and tail batches.
+		d.ckpt, d.tail = nil, nil
+	}
+	return eg, nil
+}
+
+// policyFor maps a model kind to the dataset's weight policy — the same
+// assignment variant() uses on the spec-build path, as a pure function
+// the restore path can hand to evolve.Restore.
+func (d *dataset) policyFor(kind diffusion.Kind) (evolve.WeightPolicy, error) {
 	switch kind {
 	case diffusion.IC:
-		graph.AssignWeightedCascade(g)
-		policy = evolve.WeightedCascade{}
+		return evolve.WeightedCascade{}, nil
 	case diffusion.LT:
-		graph.AssignRandomNormalizedLTKeyed(g, d.spec.Seed+1)
-		policy = evolve.NewKeyedNormalizedLT(d.spec.Seed + 1)
-	default:
-		return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", d.spec.Name, kind)
+		return evolve.NewKeyedNormalizedLT(d.spec.Seed + 1), nil
 	}
-	eg := evolve.New(g, policy, opts)
-	d.byModel[kind] = eg
-	return eg, nil
+	return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", d.spec.Name, kind)
 }
 
 // updateInfo reports the post-update state of a dataset.
@@ -221,6 +283,14 @@ type updateInfo struct {
 // there are two), so no mutation history ever needs to be retained for
 // variants built later, and every variant advances in lockstep. The
 // batch is validated atomically: on error nothing is applied.
+//
+// With a WAL attached the ordering is log-before-apply: the batch is
+// validated (Validate, not Apply — nothing mutates), appended to the
+// log, and only then applied. A WAL append failure therefore rejects
+// the update with the graph untouched — the server never acks a batch
+// it could not make durable, and never holds in-memory state the log
+// does not know about. After a successful Validate, Apply cannot fail
+// (the evolve contract), so a logged record always replays.
 func (r *registry) update(name string, b evolve.Batch) (updateInfo, error) {
 	r.mu.Lock()
 	d, ok := r.datasets[name]
@@ -240,6 +310,14 @@ func (r *registry) update(name string, b evolve.Batch) (updateInfo, error) {
 	}
 	// Validate against the first variant; all variants share the same
 	// topology, so acceptance there implies acceptance everywhere.
+	if err := variants[0].Validate(b); err != nil {
+		return updateInfo{}, err
+	}
+	if d.log != nil {
+		if err := d.log.Append(wal.Record{Version: d.version + 1, Batch: b}); err != nil {
+			return updateInfo{}, fmt.Errorf("server: dataset %q: wal append: %w", name, err)
+		}
+	}
 	info := updateInfo{}
 	if v, err := variants[0].Apply(b); err != nil {
 		return updateInfo{}, err
@@ -255,6 +333,16 @@ func (r *registry) update(name string, b evolve.Batch) (updateInfo, error) {
 	}
 	d.version = info.Version
 	info.Nodes, info.Edges = variants[0].N(), variants[0].M()
+	if d.log != nil && r.checkpointEvery > 0 {
+		if st := d.log.Stats(); d.version-st.CheckpointVersion >= uint64(r.checkpointEvery) {
+			cp := wal.CheckpointFrom(name, info.Nodes, variants[0].Edges(), d.version)
+			if err := d.log.WriteCheckpoint(cp); err != nil && r.logf != nil {
+				// The WAL still holds every record, so durability is intact;
+				// a failed checkpoint only defers log truncation.
+				r.logf("server: dataset %q: checkpoint at v%d failed: %v", name, d.version, err)
+			}
+		}
+	}
 	return info, nil
 }
 

@@ -52,9 +52,12 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -62,6 +65,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/maxcover"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Config configures New. The zero value of every field except Datasets is
@@ -144,6 +148,24 @@ type Config struct {
 	// rolling error budgets behind /v1/health/slo (default 0.01 — a 99%
 	// objective).
 	SLOObjective float64
+	// WALDir, when non-empty, enables the durable update WAL: every
+	// committed /v1/update batch is logged (one subdirectory per dataset)
+	// before it is acked, and startup recovers each dataset from its
+	// latest checkpoint plus the log tail. Empty keeps updates
+	// memory-only (the pre-WAL behavior).
+	WALDir string
+	// WALSync is the fsync policy for WAL appends: "always" (default;
+	// an acked update survives any crash), "interval" (fsync at most
+	// once per WALSyncEvery), or "none" (the OS decides; recovery still
+	// works, but recently acked updates may be lost).
+	WALSync string
+	// WALSyncEvery is the cadence of WALSync=interval (default 200ms).
+	WALSyncEvery time.Duration
+	// CheckpointEvery writes a checkpoint (materialized topology
+	// snapshot + WAL truncation) every N update batches per dataset,
+	// bounding recovery replay by N. Default 64; negative disables
+	// automatic checkpoints (the log then grows until restart).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +202,12 @@ func (c Config) withDefaults() Config {
 	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
 		c.SLOObjective = 0.01
 	}
+	if c.WALSync == "" {
+		c.WALSync = "always"
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
 	return c
 }
 
@@ -207,6 +235,12 @@ type Server struct {
 	// JSON snapshot are two views of one source of truth), the trace
 	// ring, the request-id generator, and the access log.
 	obs *obsState
+
+	// WAL state: what startup recovery found (for the startup line and
+	// /v1/stats) and the effective sync policy.
+	walEnabled bool
+	walSync    wal.SyncPolicy
+	recovery   []DatasetRecovery
 }
 
 // parallelStats is the /v1/stats snapshot of the parallel-execution
@@ -292,6 +326,27 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var (
+		recovery []DatasetRecovery
+		walSync  wal.SyncPolicy
+	)
+	if cfg.WALDir != "" {
+		walSync, err = wal.ParseSyncPolicy(cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		logf := log.Printf
+		if cfg.AccessLog != nil {
+			al := cfg.AccessLog
+			logf = func(format string, args ...any) { al.Warn(fmt.Sprintf(format, args...)) }
+		}
+		recovery, err = reg.attachWAL(cfg.WALDir,
+			wal.Options{Sync: walSync, SyncEvery: cfg.WALSyncEvery, Logf: logf},
+			cfg.CheckpointEvery, logf)
+		if err != nil {
+			return nil, err
+		}
+	}
 	// The request-id stream is keyed off the config seed but salted with
 	// wall-clock time: ids must differ across server restarts (operators
 	// grep logs by them), while answers stay seed-deterministic.
@@ -307,6 +362,10 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		ledger:   ledger,
 		obs:      o,
+
+		walEnabled: cfg.WALDir != "",
+		walSync:    walSync,
+		recovery:   recovery,
 	}
 	s.registerLedger()
 	o.registerMirrors(s)
@@ -344,6 +403,11 @@ func (s *Server) registerLedger() {
 		s.ledger.Account(name, "result_cache")
 		s.ledger.AccountFunc(func() int64 { return s.registry.snapshotBytes(name) }, name, "csr_snapshots")
 		s.ledger.AccountFunc(func() int64 { return s.tiered.scorerBytes(name) }, name, "tiered_scorers")
+		if s.walEnabled {
+			// Durable bytes (log + checkpoint file), not resident memory —
+			// accounted so one budget view covers everything state costs.
+			s.ledger.AccountFunc(func() int64 { return s.registry.walBytes(name) }, name, "wal")
+		}
 	}
 	// The sampler and selection scratch pools are process-wide (shared by
 	// every server in the process) and sync.Pool-backed, so their leaves
@@ -364,11 +428,20 @@ func (s *Server) qlogHeader() obs.QLogHeader {
 }
 
 // Close flushes and closes the query flight recorder (a no-op when
-// recording is disabled). The server keeps serving; callers close
-// during drain, after the listener stops.
+// recording is disabled) and syncs and closes every dataset's WAL. The
+// server keeps serving; callers close during drain, after the listener
+// stops.
 func (s *Server) Close() error {
-	return s.qlog.Close()
+	err := s.qlog.Close()
+	if werr := s.registry.closeWAL(); werr != nil && err == nil {
+		err = werr
+	}
+	return err
 }
+
+// Recovery reports what WAL recovery restored at startup, one entry per
+// dataset (nil when the WAL is disabled). cmd/timserver logs these.
+func (s *Server) Recovery() []DatasetRecovery { return s.recovery }
 
 // ServeHTTP implements http.Handler. /v1/* requests pass through the
 // observability middleware: the request id is read from X-Request-ID (or
@@ -378,7 +451,7 @@ func (s *Server) Close() error {
 // feeds the phase histograms, and is summarized on the access log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !strings.HasPrefix(r.URL.Path, "/v1/") {
-		s.mux.ServeHTTP(w, r)
+		s.serveRecovered(&statusWriter{ResponseWriter: w, status: http.StatusOK}, r, "")
 		return
 	}
 	meta := &reqMeta{id: r.Header.Get("X-Request-ID"), endpoint: endpointOf(r.URL.Path)}
@@ -396,7 +469,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	s.serveRecovered(sw, r.WithContext(ctx), meta.id)
 	elapsed := msSince(start)
 
 	if tr != nil {
@@ -409,6 +482,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.obs.logRequest(meta, sw.status, elapsed)
+}
+
+// serveRecovered dispatches to the mux with panic containment: a
+// handler panic becomes a logged 500 carrying the trace id (and bumps
+// timserver_panics_total) instead of killing the process and every
+// other in-flight request's connection with it. The rest of the
+// middleware still runs — the access log and trace record the 500.
+func (s *Server) serveRecovered(w *statusWriter, r *http.Request, traceID string) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		s.obs.panics.Inc()
+		if s.obs.accessLog != nil {
+			s.obs.accessLog.Error("handler panic",
+				slog.String("trace_id", traceID),
+				slog.Any("panic", rec),
+				slog.String("stack", string(debug.Stack())))
+		} else {
+			log.Printf("server: handler panic (trace_id %s): %v\n%s", traceID, rec, debug.Stack())
+		}
+		if w.wrote {
+			// The handler already committed a response; the status cannot
+			// change, but the counter and log above still record the panic.
+			w.status = http.StatusInternalServerError
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error:   "server: internal error (panic recovered)",
+			TraceID: traceID,
+		})
+	}()
+	s.mux.ServeHTTP(w, r)
 }
 
 // DatasetSummary describes one configured dataset for startup logging.

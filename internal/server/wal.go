@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/wal"
+)
+
+// DatasetRecovery summarizes what WAL recovery restored for one dataset
+// at startup: the checkpoint it resumed from, the log tail replayed on
+// top, and any damage that was clipped along the way. cmd/timserver
+// logs one line per dataset from these; /v1/stats keeps them in the wal
+// section for the life of the process.
+type DatasetRecovery struct {
+	Dataset string `json:"dataset"`
+	// Version is the dataset version recovery landed on — the version a
+	// never-crashed server that applied the same acked batches would be
+	// at (modulo the sync policy's durability window).
+	Version           uint64 `json:"version"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	ReplayedRecords   int    `json:"replayed_records"`
+	// SkippedRecords counts log records already covered by the
+	// checkpoint (a crash hit between checkpoint rename and truncation).
+	SkippedRecords int `json:"skipped_records,omitempty"`
+	// TornBytes counts bytes clipped from a torn final frame.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+}
+
+// attachWAL opens (recovering) one WAL per dataset and arms the
+// registry's log-before-apply path. It must run before any variant is
+// built; recovered state is installed for variant() to consume lazily,
+// with d.version advanced immediately so /v1/datasets reports the
+// recovered version even before a query forces a build.
+func (r *registry) attachWAL(dir string, opts wal.Options, checkpointEvery int, logf func(string, ...any)) ([]DatasetRecovery, error) {
+	r.checkpointEvery = checkpointEvery
+	r.logf = logf
+	specs := r.specs()
+	out := make([]DatasetRecovery, 0, len(specs))
+	for _, spec := range specs {
+		r.mu.Lock()
+		d := r.datasets[spec.Name]
+		r.mu.Unlock()
+		dsOpts := opts
+		dsOpts.Dataset = spec.Name
+		l, recovered, err := wal.Open(filepath.Join(dir, spec.Name), dsOpts)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", spec.Name, err)
+		}
+		info := DatasetRecovery{
+			Dataset:         spec.Name,
+			ReplayedRecords: len(recovered.Records),
+			SkippedRecords:  recovered.SkippedRecords,
+			TornBytes:       recovered.TornBytes,
+		}
+		if recovered.Checkpoint != nil {
+			info.CheckpointVersion = recovered.Checkpoint.Version
+			info.Version = recovered.Checkpoint.Version
+		}
+		if n := len(recovered.Records); n > 0 {
+			info.Version = recovered.Records[n-1].Version
+		}
+		d.mu.Lock()
+		d.log = l
+		d.ckpt = recovered.Checkpoint
+		d.tail = recovered.Records
+		d.version = info.Version
+		d.recovery = info
+		d.mu.Unlock()
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// closeWAL syncs and closes every dataset's log.
+func (r *registry) closeWAL() error {
+	r.mu.Lock()
+	datasets := make([]*dataset, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		datasets = append(datasets, d)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, d := range datasets {
+		d.mu.Lock()
+		l := d.log
+		d.mu.Unlock()
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// walBytes reports the named dataset's durable footprint (log +
+// checkpoint file) for the capacity ledger's wal leaf. These are disk
+// bytes, not resident memory — the ledger carries them so the same
+// budget view covers everything the server's state costs.
+func (r *registry) walBytes(name string) int64 {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	d.mu.Lock()
+	l := d.log
+	d.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	st := l.Stats()
+	return st.SizeBytes + st.CheckpointBytes
+}
+
+// walDatasetStats is one dataset's entry in the /v1/stats wal section:
+// the live log counters plus what recovery did at startup.
+type walDatasetStats struct {
+	wal.Stats
+	Recovery DatasetRecovery `json:"recovery"`
+}
+
+// walStats is the /v1/stats wal section.
+type walStats struct {
+	Enabled bool `json:"enabled"`
+	// SyncPolicy is the configured fsync policy (always/interval/none).
+	SyncPolicy string `json:"sync_policy,omitempty"`
+	// CheckpointEvery is the automatic checkpoint cadence in batches
+	// (0 = automatic checkpoints disabled).
+	CheckpointEvery int                        `json:"checkpoint_every,omitempty"`
+	Datasets        map[string]walDatasetStats `json:"datasets,omitempty"`
+}
+
+func (s *Server) walStatsSnapshot() walStats {
+	out := walStats{Enabled: s.walEnabled}
+	if !s.walEnabled {
+		return out
+	}
+	out.SyncPolicy = s.walSync.String()
+	out.CheckpointEvery = s.registry.checkpointEvery
+	out.Datasets = make(map[string]walDatasetStats)
+	s.registry.mu.Lock()
+	datasets := make([]*dataset, 0, len(s.registry.datasets))
+	for _, d := range s.registry.datasets {
+		datasets = append(datasets, d)
+	}
+	s.registry.mu.Unlock()
+	for _, d := range datasets {
+		d.mu.Lock()
+		l, recovery := d.log, d.recovery
+		d.mu.Unlock()
+		if l == nil {
+			continue
+		}
+		out.Datasets[d.spec.Name] = walDatasetStats{Stats: l.Stats(), Recovery: recovery}
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// walTestConfig is evolveTestConfig with durability enabled: WAL at dir,
+// automatic checkpoints at the given cadence (negative disables), and
+// recovery warnings routed to a discarded slog so the crash sweep below
+// does not spam test output with hundreds of expected torn-tail lines.
+func walTestConfig(t testing.TB, dir string, checkpointEvery int) Config {
+	cfg := evolveTestConfig(t)
+	cfg.WALDir = dir
+	cfg.CheckpointEvery = checkpointEvery
+	cfg.AccessLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return cfg
+}
+
+// walTestUpdates is a deliberately small mutation sequence (the
+// crash-at-every-byte sweep recovers a server per WAL byte, so frame size
+// is wall-clock) that still exercises node growth, inserts, and deletes.
+func walTestUpdates() []UpdateRequest {
+	return []UpdateRequest{
+		{Dataset: "known", AddNodes: 1,
+			Insert: []UpdateEdge{{From: 0, To: 60}, {From: 60, To: 5}},
+			Delete: []UpdateEdge{{From: 0, To: 1}}},
+		{Dataset: "known",
+			Insert: []UpdateEdge{{From: 60, To: 9}},
+			Delete: []UpdateEdge{{From: 1, To: 2}, {From: 2, To: 3}}},
+		{Dataset: "known", AddNodes: 1,
+			Insert: []UpdateEdge{{From: 61, To: 60}, {From: 3, To: 61}},
+			Delete: []UpdateEdge{{From: 4, To: 5}}},
+	}
+}
+
+// doJSON drives a request through srv.ServeHTTP without a listener, so
+// the per-cut recovery sweep does not open hundreds of TCP sockets.
+func doJSON(t testing.TB, srv *Server, method, path string, body any, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	raw := rw.Body.String()
+	if out != nil && rw.Code == http.StatusOK {
+		if err := json.Unmarshal([]byte(raw), out); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+	return rw.Code, raw
+}
+
+func mustUpdate(t *testing.T, srv *Server, updates []UpdateRequest) {
+	t.Helper()
+	for i, u := range updates {
+		if status, body := doJSON(t, srv, "POST", "/v1/update", u, nil); status != http.StatusOK {
+			t.Fatalf("update %d: status %d body %s", i, status, body)
+		}
+	}
+}
+
+func mustMaximize(t *testing.T, srv *Server, req MaximizeRequest) MaximizeResponse {
+	t.Helper()
+	var ans MaximizeResponse
+	if status, body := doJSON(t, srv, "POST", "/v1/maximize", req, &ans); status != http.StatusOK {
+		t.Fatalf("maximize: status %d body %s", status, body)
+	}
+	return ans
+}
+
+// TestWALRecoveryCrashAtEveryByte is the subsystem acceptance test: a
+// durable server applies a batch sequence, and for EVERY prefix of the
+// resulting WAL file — simulating a crash after any byte reached disk —
+// a fresh server must recover without error to the longest fully-framed
+// version and answer /v1/maximize bit-identically to a never-crashed
+// server that applied the same prefix of batches.
+func TestWALRecoveryCrashAtEveryByte(t *testing.T) {
+	updates := walTestUpdates()
+	icReq := MaximizeRequest{Dataset: "known", K: 3, Epsilon: 0.4}
+
+	// Reference answers: one no-WAL server per version.
+	refs := make([]MaximizeResponse, len(updates)+1)
+	for v := 0; v <= len(updates); v++ {
+		ref, err := New(evolveTestConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustUpdate(t, ref, updates[:v])
+		ans := mustMaximize(t, ref, icReq)
+		if ans.GraphVersion != uint64(v) {
+			t.Fatalf("reference v%d answered at graph_version %d", v, ans.GraphVersion)
+		}
+		refs[v] = maximizeEssence(ans)
+	}
+
+	// Produce the WAL: a durable server (sync=always, no checkpoints so
+	// every batch stays in the log) acks all batches and shuts down.
+	tmpl := walTestConfig(t, "", -1)
+	srcDir := t.TempDir()
+	src := tmpl
+	src.WALDir = srcDir
+	srv, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, srv, updates)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(srcDir, "known", "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, scanned independently of the wal package: cuts at
+	// a boundary lose nothing; any other cut tears the final frame.
+	boundary := map[int]bool{0: true, 8: true}
+	var ends []int // ends[i] = offset at which i+1 records are complete
+	off := 8
+	for off+8 <= len(data) {
+		off += 8 + int(binary.LittleEndian.Uint32(data[off:]))
+		ends = append(ends, off)
+		boundary[off] = true
+	}
+	if off != len(data) || len(ends) != len(updates) {
+		t.Fatalf("frame scan: %d records ending at %d of %d bytes", len(ends), off, len(data))
+	}
+
+	scratch := t.TempDir()
+	for cut := 0; cut <= len(data); cut++ {
+		dir := filepath.Join(scratch, fmt.Sprintf("cut%04d", cut))
+		if err := os.MkdirAll(filepath.Join(dir, "known"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "known", "wal.log"), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := tmpl
+		cfg.WALDir = dir
+		rsrv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		wantVer := 0
+		for _, e := range ends {
+			if e <= cut {
+				wantVer++
+			}
+		}
+		rec := rsrv.Recovery()
+		if len(rec) != 1 || rec[0].Dataset != "known" {
+			t.Fatalf("cut=%d: recovery report %+v", cut, rec)
+		}
+		if rec[0].Version != uint64(wantVer) {
+			t.Fatalf("cut=%d: recovered v%d, want v%d", cut, rec[0].Version, wantVer)
+		}
+		if torn := rec[0].TornBytes > 0; torn == boundary[cut] {
+			t.Fatalf("cut=%d: torn=%v but boundary=%v", cut, torn, boundary[cut])
+		}
+		ans := mustMaximize(t, rsrv, icReq)
+		if ans.GraphVersion != uint64(wantVer) {
+			t.Fatalf("cut=%d: answered at graph_version %d, want %d", cut, ans.GraphVersion, wantVer)
+		}
+		if !reflect.DeepEqual(maximizeEssence(ans), refs[wantVer]) {
+			t.Fatalf("cut=%d: recovered answer at v%d diverges from reference:\n got %+v\nwant %+v",
+				cut, wantVer, maximizeEssence(ans), refs[wantVer])
+		}
+		if err := rsrv.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestWALCheckpointRestart covers the checkpoint-restore path end to end:
+// with checkpoints every 2 batches, three batches leave a checkpoint at
+// v2 plus one tail record. A restarted server must resume at v3, answer
+// both models (IC and LT re-derive their weights from the topology-only
+// checkpoint) bit-identically to a never-crashed server, report the
+// recovery in /v1/stats, and keep accepting updates.
+func TestWALCheckpointRestart(t *testing.T) {
+	updates := walTestUpdates()
+	icReq := MaximizeRequest{Dataset: "known", K: 3, Epsilon: 0.4}
+	ltReq := MaximizeRequest{Dataset: "known", Model: "lt", K: 3, Epsilon: 0.4}
+	next := UpdateRequest{Dataset: "known",
+		Insert: []UpdateEdge{{From: 5, To: 60}},
+		Delete: []UpdateEdge{{From: 5, To: 6}}}
+
+	ref, err := New(evolveTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, ref, updates)
+
+	dir := t.TempDir()
+	cfg := walTestConfig(t, dir, 2)
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, srv1, updates)
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	rec := srv2.Recovery()
+	if len(rec) != 1 {
+		t.Fatalf("recovery report %+v", rec)
+	}
+	if rec[0].Version != 3 || rec[0].CheckpointVersion != 2 || rec[0].ReplayedRecords != 1 {
+		t.Fatalf("recovery %+v, want v3 from checkpoint v2 + 1 record", rec[0])
+	}
+
+	for _, tc := range []struct {
+		name string
+		req  MaximizeRequest
+	}{{"ic", icReq}, {"lt", ltReq}} {
+		want := mustMaximize(t, ref, tc.req)
+		got := mustMaximize(t, srv2, tc.req)
+		if got.GraphVersion != 3 {
+			t.Fatalf("%s: recovered answer at graph_version %d, want 3", tc.name, got.GraphVersion)
+		}
+		if !reflect.DeepEqual(maximizeEssence(got), maximizeEssence(want)) {
+			t.Fatalf("%s: recovered answer diverges:\n got %+v\nwant %+v",
+				tc.name, maximizeEssence(got), maximizeEssence(want))
+		}
+	}
+
+	var stats struct {
+		WAL walStats `json:"wal"`
+	}
+	if status, body := doJSON(t, srv2, "GET", "/v1/stats", nil, &stats); status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	if !stats.WAL.Enabled || stats.WAL.SyncPolicy != "always" || stats.WAL.CheckpointEvery != 2 {
+		t.Fatalf("wal stats %+v", stats.WAL)
+	}
+	ds, ok := stats.WAL.Datasets["known"]
+	if !ok || ds.Recovery.CheckpointVersion != 2 || ds.Recovery.ReplayedRecords != 1 {
+		t.Fatalf("wal dataset stats %+v", ds)
+	}
+
+	// The recovered server keeps going: one more acked batch, answers
+	// still match a never-crashed server that saw the same history.
+	mustUpdate(t, ref, []UpdateRequest{next})
+	mustUpdate(t, srv2, []UpdateRequest{next})
+	want := mustMaximize(t, ref, icReq)
+	got := mustMaximize(t, srv2, icReq)
+	if got.GraphVersion != 4 || !reflect.DeepEqual(maximizeEssence(got), maximizeEssence(want)) {
+		t.Fatalf("post-recovery update diverges:\n got %+v\nwant %+v",
+			maximizeEssence(got), maximizeEssence(want))
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPanicRecoveryMiddleware arms the maximize fault point so the
+// handler panics mid-request, and asserts the middleware converts it to
+// a 500 carrying the request's trace id, counts it in
+// timserver_panics_total, and leaves the server serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	_, ts := newTestServer(t)
+	t.Cleanup(fault.Reset)
+	fault.Set(faultMaximizePanic, fault.PanicOn(0, "maximize exploded"))
+
+	buf, err := json.Marshal(MaximizeRequest{Dataset: "ring", K: 2, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/maximize", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "panic-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.TraceID != "panic-test-1" {
+		t.Fatalf("500 body trace_id %q, want the request id", er.TraceID)
+	}
+	if !strings.Contains(er.Error, "panic") {
+		t.Fatalf("500 body error %q does not mention the panic", er.Error)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mbody), "timserver_panics_total 1") {
+		t.Fatalf("metrics missing timserver_panics_total 1:\n%s", mbody)
+	}
+
+	fault.Clear(faultMaximizePanic)
+	var ans MaximizeResponse
+	if status, body := postJSON(t, ts.URL+"/v1/maximize", MaximizeRequest{Dataset: "ring", K: 2, Epsilon: 0.5}, &ans); status != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d %s", status, body)
+	}
+	if len(ans.Seeds) != 2 {
+		t.Fatalf("post-panic answer %+v", ans)
+	}
+}

@@ -56,7 +56,8 @@ func selectOutOfCore(ctx context.Context, g *graph.Graph, model diffusion.Model,
 	}
 	disk, err := w.Finish()
 	if err != nil {
-		return nil, nil, err
+		// The writer has already removed the partial spill file.
+		return nil, nil, fmt.Errorf("tim: finishing spill: %w", err)
 	}
 	defer disk.Close()
 	if err := ctx.Err(); err != nil {

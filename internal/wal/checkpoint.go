@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// Checkpoint is a materialized snapshot of a dataset's canonical edge
+// list at a version. It stores topology only — parallel From/To arrays
+// in canonical (mutation-order-preserving) order, which is the order
+// RR-set determinism depends on. Weights are re-derived at restore time
+// by each model's WeightPolicy, which is why one checkpoint serves
+// every model variant of the dataset.
+type Checkpoint struct {
+	Schema  int      `json:"schema"`
+	Dataset string   `json:"dataset"`
+	Version uint64   `json:"version"`
+	Nodes   int      `json:"nodes"`
+	From    []uint32 `json:"from"`
+	To      []uint32 `json:"to"`
+}
+
+// CheckpointFrom builds a checkpoint from a dataset's canonical edge
+// list (evolve.Graph.Edges()), discarding weights.
+func CheckpointFrom(dataset string, n int, edges []graph.Edge, version uint64) Checkpoint {
+	cp := Checkpoint{
+		Schema:  SchemaVersion,
+		Dataset: dataset,
+		Version: version,
+		Nodes:   n,
+		From:    make([]uint32, len(edges)),
+		To:      make([]uint32, len(edges)),
+	}
+	for i, e := range edges {
+		cp.From[i] = e.From
+		cp.To[i] = e.To
+	}
+	return cp
+}
+
+// EdgeList reconstructs the canonical edge list with zero weights, the
+// shape evolve.Restore expects for a policy-weighted graph.
+func (cp *Checkpoint) EdgeList() ([]graph.Edge, error) {
+	if len(cp.From) != len(cp.To) {
+		return nil, fmt.Errorf("wal: checkpoint from/to length mismatch (%d vs %d)", len(cp.From), len(cp.To))
+	}
+	edges := make([]graph.Edge, len(cp.From))
+	for i := range edges {
+		edges[i] = graph.Edge{From: cp.From[i], To: cp.To[i]}
+	}
+	return edges, nil
+}
+
+// WriteCheckpoint atomically installs cp and truncates the log. The
+// checkpoint must cover everything logged so far (cp.Version equal to
+// the last appended version); otherwise truncation would drop records
+// the checkpoint does not contain. The sequence is: write .tmp, fsync,
+// rename over checkpoint.bin, fsync the directory, truncate the log. A
+// crash anywhere in that sequence recovers cleanly — before the rename
+// the old checkpoint still rules, after it the extra log records are
+// skipped by Open.
+func (l *Log) WriteCheckpoint(cp Checkpoint) error {
+	cp.Schema = SchemaVersion
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	frame := make([]byte, len(ckptMagic)+frameHeader+len(payload))
+	copy(frame, ckptMagic)
+	binary.LittleEndian.PutUint32(frame[len(ckptMagic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[len(ckptMagic)+4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[len(ckptMagic)+frameHeader:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	if cp.Version != l.lastVer {
+		return fmt.Errorf("wal: checkpoint v%d would orphan records (last logged v%d)", cp.Version, l.lastVer)
+	}
+	if err := fault.Hit(FaultCheckpointWrite); err != nil {
+		return fmt.Errorf("wal: checkpoint %s: %w", l.ckptPath, err)
+	}
+
+	tmp := l.ckptPath + ".tmp"
+	if err := writeFileSync(tmp, frame); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, l.ckptPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	// The checkpoint now rules; everything below only reclaims log space.
+	l.ckptVersion = cp.Version
+	l.ckptBytes = int64(len(frame))
+	l.checkpoints++
+	if err := fault.Hit(FaultCheckpointTruncate); err != nil {
+		return fmt.Errorf("wal: checkpoint truncate %s: %w", l.path, err)
+	}
+	if err := l.resetTo(int64(len(logMagic))); err != nil {
+		l.broken = err
+		return err
+	}
+	l.dirty = true
+	return l.syncFileLocked()
+}
+
+// readCheckpoint loads and verifies a checkpoint file. A missing file
+// is (nil, 0, nil). Because checkpoints are installed by atomic rename,
+// a corrupt one is a hard error, not tolerable damage.
+func readCheckpoint(path string) (*Checkpoint, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(ckptMagic)+frameHeader || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, fmt.Errorf("wal: %s is not a checkpoint (bad magic)", path)
+	}
+	body := data[len(ckptMagic):]
+	ln := binary.LittleEndian.Uint32(body[0:4])
+	sum := binary.LittleEndian.Uint32(body[4:8])
+	if ln > maxPayload || int64(ln) != int64(len(body)-frameHeader) {
+		return nil, 0, fmt.Errorf("wal: %s: checkpoint length %d does not match file", path, ln)
+	}
+	payload := body[frameHeader:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("wal: %s: checkpoint CRC mismatch", path)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, 0, fmt.Errorf("wal: %s: decode checkpoint: %w", path, err)
+	}
+	if cp.Schema > SchemaVersion {
+		return nil, 0, fmt.Errorf("wal: %s: checkpoint schema %d is newer than supported %d", path, cp.Schema, SchemaVersion)
+	}
+	if len(cp.From) != len(cp.To) {
+		return nil, 0, fmt.Errorf("wal: %s: checkpoint from/to length mismatch", path)
+	}
+	return &cp, int64(len(data)), nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

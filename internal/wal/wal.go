@@ -1,0 +1,522 @@
+// Package wal is the durability layer for evolving graphs: a
+// write-ahead log of update batches plus periodic checkpoints, one
+// directory per dataset.
+//
+// The log file starts with an 8-byte magic ("TIMWAL01") followed by
+// frames. Each frame is a 4-byte little-endian payload length, a 4-byte
+// little-endian CRC32-C (Castagnoli) of the payload, and the payload
+// itself: a schema-versioned JSON Record carrying the batch and the
+// graph version it produced. Length-prefix + CRC framing means a torn
+// final frame — a crash mid-write — is detected on recovery and clipped
+// at the last valid frame boundary, never mistaken for data.
+//
+// Ordering is log-before-apply: the server validates a batch
+// (evolve.Validate), appends it here, and only then mutates the graph,
+// so every logged record replays cleanly and every acked update is at
+// least as durable as the configured sync policy promises.
+//
+// Checkpoints bound recovery cost. WriteCheckpoint atomically replaces
+// checkpoint.bin (write to .tmp, fsync, rename, fsync dir) with a
+// topology-only snapshot of the canonical edge list at a version, then
+// truncates the log. Weights are deliberately absent: every served
+// weight model derives its weights as a pure function of topology and
+// seed (see internal/evolve's WeightPolicy), so one checkpoint restores
+// all model variants. A crash between the rename and the truncation
+// leaves records at or below the checkpoint version in the log; Open
+// skips them.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/evolve"
+	"repro/internal/fault"
+)
+
+const (
+	logMagic  = "TIMWAL01"
+	ckptMagic = "TIMCKPT1"
+
+	// SchemaVersion is stamped into every record and checkpoint. Readers
+	// refuse payloads from a newer schema rather than misparse them.
+	SchemaVersion = 1
+
+	logName  = "wal.log"
+	ckptName = "checkpoint.bin"
+
+	frameHeader = 8       // u32 length + u32 CRC32C
+	maxPayload  = 1 << 30 // sanity bound on a frame's declared length
+)
+
+// Fault-injection points (see internal/fault). Production builds never
+// arm them; tests use them to simulate the failures recovery must
+// survive.
+const (
+	// FaultAppendWrite fails an append before any byte reaches the file.
+	FaultAppendWrite = "wal/append-write"
+	// FaultAppendShortWrite writes half a frame and then fails,
+	// simulating a torn write (power loss mid-append).
+	FaultAppendShortWrite = "wal/append-short-write"
+	// FaultCrashBeforeSync fires after the frame is written but before
+	// the policy sync. Panic handlers simulate process death in the
+	// unsynced window; error handlers simulate a failed fsync.
+	FaultCrashBeforeSync = "wal/crash-before-sync"
+	// FaultReplayAbort fails the recovery scan, simulating an unreadable
+	// log during startup.
+	FaultReplayAbort = "wal/replay-abort"
+	// FaultCheckpointWrite fails a checkpoint before the atomic rename.
+	FaultCheckpointWrite = "wal/checkpoint-write"
+	// FaultCheckpointTruncate fires after the checkpoint rename but
+	// before the log truncation — the crash window that leaves
+	// already-checkpointed records in the log for Open to skip.
+	FaultCheckpointTruncate = "wal/checkpoint-truncate"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrVersionGap reports a log whose surviving records are not
+// contiguous with the checkpoint (or with version 1 when there is no
+// checkpoint). Truncation-style damage is clipped silently; a gap in
+// the middle of the version sequence means the directory was tampered
+// with or mixed between datasets, and replaying across it would yield a
+// graph that never existed.
+var ErrVersionGap = errors.New("wal: version gap in log")
+
+// Record is one logged update batch and the graph version applying it
+// produced. Version v is the batch that took the dataset from v-1 to v.
+type Record struct {
+	Schema  int          `json:"schema"`
+	Version uint64       `json:"version"`
+	Batch   evolve.Batch `json:"batch"`
+}
+
+// SyncPolicy says when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acked update survives any
+	// crash. The safest and slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery, piggybacked
+	// on appends. Bounds the window of acked-but-lost updates by the
+	// interval while keeping appends cheap.
+	SyncInterval
+	// SyncNone never fsyncs explicitly (the OS flushes on its own
+	// schedule). Crash-consistent — recovery still works, the framing is
+	// still torn-tail safe — but acked updates may be lost.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the append durability policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval cadence. Default 200ms.
+	SyncEvery time.Duration
+	// Dataset, when non-empty, is checked against the checkpoint's
+	// dataset name so a directory can't silently serve the wrong graph.
+	Dataset string
+	// Logf receives recovery warnings (torn tail, skipped records).
+	// Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 200 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Recovered is what Open salvaged from the directory: the latest
+// checkpoint (nil if none), the log records newer than it, and how much
+// damage was clipped along the way.
+type Recovered struct {
+	Checkpoint *Checkpoint
+	Records    []Record
+	// TornBytes counts bytes clipped from the end of the log because the
+	// final frame was incomplete or failed its CRC. Zero means the log
+	// ended exactly at a frame boundary.
+	TornBytes int64
+	// SkippedRecords counts valid records at or below the checkpoint
+	// version — the residue of a crash between checkpoint rename and log
+	// truncation.
+	SkippedRecords int
+}
+
+// Stats is a point-in-time snapshot for /v1/stats and the ledger.
+type Stats struct {
+	SizeBytes         int64  `json:"size_bytes"`
+	AppendedRecords   int64  `json:"appended_records"`
+	AppendedBytes     int64  `json:"appended_bytes"`
+	Syncs             int64  `json:"syncs"`
+	LastVersion       uint64 `json:"last_version"`
+	Checkpoints       int64  `json:"checkpoints"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	CheckpointBytes   int64  `json:"checkpoint_bytes"`
+}
+
+// Log is an open per-dataset write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir      string
+	path     string
+	ckptPath string
+	opts     Options
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	lastVer  uint64 // version of the newest record (or checkpoint)
+	dirty    bool
+	lastSync time.Time
+	broken   error // set when the file can no longer be trusted
+
+	appendedRecords int64
+	appendedBytes   int64
+	syncs           int64
+	checkpoints     int64
+	ckptVersion     uint64
+	ckptBytes       int64
+}
+
+// Open recovers and opens the WAL directory for one dataset, creating
+// it if needed. It reads the checkpoint, scans the log, clips a torn
+// tail (warning via Logf, never an error), skips records the checkpoint
+// already covers, and leaves the log positioned for appends.
+func Open(dir string, opts Options) (*Log, Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovered{}, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:      dir,
+		path:     filepath.Join(dir, logName),
+		ckptPath: filepath.Join(dir, ckptName),
+		opts:     opts,
+		lastSync: time.Now(),
+	}
+
+	var rec Recovered
+	cp, cpBytes, err := readCheckpoint(l.ckptPath)
+	if err != nil {
+		return nil, Recovered{}, err
+	}
+	if cp != nil {
+		if opts.Dataset != "" && cp.Dataset != opts.Dataset {
+			return nil, Recovered{}, fmt.Errorf("wal: checkpoint in %s is for dataset %q, not %q", dir, cp.Dataset, opts.Dataset)
+		}
+		rec.Checkpoint = cp
+		l.ckptVersion = cp.Version
+		l.ckptBytes = cpBytes
+		l.checkpoints = 1
+		l.lastVer = cp.Version
+	}
+
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovered{}, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	if err := l.recoverLog(&rec); err != nil {
+		f.Close()
+		return nil, Recovered{}, err
+	}
+	return l, rec, nil
+}
+
+// recoverLog scans the log file, fills rec, truncates damage, and
+// positions l.f at the end of the valid region.
+func (l *Log) recoverLog(rec *Recovered) error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", l.path, err)
+	}
+	if err := fault.Hit(FaultReplayAbort); err != nil {
+		return fmt.Errorf("wal: replay %s: %w", l.path, err)
+	}
+
+	// A brand-new (or torn-during-creation) file gets a fresh magic.
+	if len(data) < len(logMagic) {
+		if string(data) != logMagic[:len(data)] {
+			return fmt.Errorf("wal: %s is not a WAL (bad magic)", l.path)
+		}
+		if len(data) > 0 {
+			rec.TornBytes += int64(len(data))
+			l.opts.Logf("wal: %s: torn file header (%d bytes), rewriting", l.path, len(data))
+		}
+		if err := l.resetTo(0); err != nil {
+			return err
+		}
+		if _, err := l.f.WriteString(logMagic); err != nil {
+			return fmt.Errorf("wal: init %s: %w", l.path, err)
+		}
+		l.size = int64(len(logMagic))
+		l.dirty = true
+		return l.syncFileLocked()
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return fmt.Errorf("wal: %s is not a WAL (bad magic)", l.path)
+	}
+
+	off := len(logMagic)
+	prevVer := uint64(0)
+	first := true
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			break // torn header
+		}
+		ln := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if ln > maxPayload || int64(ln) > int64(len(rest)-frameHeader) {
+			break // torn or garbage length
+		}
+		payload := rest[frameHeader : frameHeader+int(ln)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // torn payload
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			// A frame that passes its CRC but does not parse was written
+			// corrupt, not torn; still, nothing after it is reachable, so
+			// clipping is the only move that makes progress.
+			l.opts.Logf("wal: %s: unparseable record at offset %d: %v", l.path, off, err)
+			break
+		}
+		if r.Schema > SchemaVersion {
+			return fmt.Errorf("wal: %s: record schema %d is newer than supported %d", l.path, r.Schema, SchemaVersion)
+		}
+		if !first && r.Version != prevVer+1 {
+			return fmt.Errorf("%w: %s: record v%d follows v%d", ErrVersionGap, l.path, r.Version, prevVer)
+		}
+		first = false
+		prevVer = r.Version
+		if rec.Checkpoint != nil && r.Version <= rec.Checkpoint.Version {
+			rec.SkippedRecords++
+		} else {
+			rec.Records = append(rec.Records, r)
+		}
+		off += frameHeader + int(ln)
+	}
+
+	if n := len(rec.Records); n > 0 {
+		base := uint64(1)
+		if rec.Checkpoint != nil {
+			base = rec.Checkpoint.Version + 1
+		}
+		if rec.Records[0].Version != base {
+			return fmt.Errorf("%w: %s: first surviving record is v%d, want v%d", ErrVersionGap, l.path, rec.Records[0].Version, base)
+		}
+		l.lastVer = rec.Records[n-1].Version
+	}
+	if rec.SkippedRecords > 0 {
+		l.opts.Logf("wal: %s: skipped %d records already covered by checkpoint v%d", l.path, rec.SkippedRecords, rec.Checkpoint.Version)
+	}
+	if off < len(data) {
+		rec.TornBytes += int64(len(data) - off)
+		l.opts.Logf("wal: %s: truncating torn tail (%d bytes after last valid frame at offset %d)", l.path, len(data)-off, off)
+		if err := l.resetTo(int64(off)); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = int64(off)
+	return nil
+}
+
+// resetTo truncates the file to n bytes and seeks there.
+func (l *Log) resetTo(n int64) error {
+	if err := l.f.Truncate(n); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(n, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = n
+	return nil
+}
+
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// Append logs one record and applies the sync policy. On any write
+// failure the partial frame is rolled back (the file is truncated to
+// its pre-append length) so the log never carries a frame the caller
+// was told failed; if even the rollback fails the log is marked broken
+// and every later append returns the same error.
+func (l *Log) Append(r Record) error {
+	r.Schema = SchemaVersion
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: record payload %d bytes exceeds limit", len(payload))
+	}
+	frame := encodeFrame(payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	if r.Version != l.lastVer+1 {
+		return fmt.Errorf("wal: append v%d out of order (last logged v%d)", r.Version, l.lastVer)
+	}
+	if err := fault.Hit(FaultAppendWrite); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	start := l.size
+	if err := fault.Hit(FaultAppendShortWrite); err != nil {
+		l.f.Write(frame[:len(frame)/2]) // the torn write the fault simulates
+		return l.rollback(start, fmt.Errorf("wal: append %s: %w", l.path, err))
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return l.rollback(start, fmt.Errorf("wal: append %s: %w", l.path, err))
+	}
+	l.size += int64(len(frame))
+	l.lastVer = r.Version
+	l.appendedRecords++
+	l.appendedBytes += int64(len(frame))
+	l.dirty = true
+
+	if err := fault.Hit(FaultCrashBeforeSync); err != nil {
+		// An error here stands in for a failed fsync: the kernel may have
+		// dropped the dirty pages, so nothing about the file can be
+		// trusted anymore and the log is taken out of service.
+		l.broken = fmt.Errorf("wal: sync %s: %w", l.path, err)
+		return l.broken
+	}
+	return l.policySyncLocked()
+}
+
+func (l *Log) rollback(start int64, err error) error {
+	if terr := l.f.Truncate(start); terr != nil {
+		l.broken = fmt.Errorf("wal: log unusable after failed append (rollback: %v): %w", terr, err)
+		return l.broken
+	}
+	if _, serr := l.f.Seek(start, io.SeekStart); serr != nil {
+		l.broken = fmt.Errorf("wal: log unusable after failed append (seek: %v): %w", serr, err)
+		return l.broken
+	}
+	l.size = start
+	return err
+}
+
+func (l *Log) policySyncLocked() error {
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncFileLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.syncFileLocked()
+		}
+	}
+	return nil
+}
+
+func (l *Log) syncFileLocked() error {
+	if !l.dirty {
+		l.lastSync = time.Now()
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = fmt.Errorf("wal: sync %s: %w", l.path, err)
+		return l.broken
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	l.syncs++
+	return nil
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	return l.syncFileLocked()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var first error
+	if l.broken == nil && l.dirty {
+		if err := l.f.Sync(); err != nil {
+			first = err
+		}
+	}
+	if err := l.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	l.f = nil
+	return first
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		SizeBytes:         l.size,
+		AppendedRecords:   l.appendedRecords,
+		AppendedBytes:     l.appendedBytes,
+		Syncs:             l.syncs,
+		LastVersion:       l.lastVer,
+		Checkpoints:       l.checkpoints,
+		CheckpointVersion: l.ckptVersion,
+		CheckpointBytes:   l.ckptBytes,
+	}
+}
