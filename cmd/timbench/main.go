@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/diffusion"
+	"repro/internal/diskrr"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/maxcover"
@@ -50,10 +51,26 @@ type BenchFile struct {
 	// Memory contrasts peak heap growth during sampling under the
 	// zero-copy layout against the merge-based baseline layout.
 	Memory BenchMemory `json:"memory"`
+	// OutOfCore times the spill tier's demote (WriteSpill) and promote
+	// (ReadSpill) halves over the sampled collection. Optional — older
+	// baselines without it stay schema-valid and are simply not compared
+	// on this phase.
+	OutOfCore *BenchOutOfCore `json:"out_of_core,omitempty"`
 	// BitIdentical records that every run produced identical seeds and
 	// identical RR arenas; timbench exits non-zero otherwise, so a false
 	// here never reaches CI artifacts silently.
 	BitIdentical bool `json:"bit_identical"`
+}
+
+// BenchOutOfCore is one spill-tier round trip: the collection demoted
+// to a spill file and promoted back, with the read-back arena verified
+// bit-identical before any number is reported.
+type BenchOutOfCore struct {
+	Sets        int64 `json:"sets"`
+	SpillBytes  int64 `json:"spill_bytes"`
+	DemoteNs    int64 `json:"demote_ns"`
+	PromoteNs   int64 `json:"promote_ns"`
+	RoundTripNs int64 `json:"round_trip_ns"`
 }
 
 // BenchConfig echoes the instance parameters for reproducibility.
@@ -222,6 +239,12 @@ func run(n, m int, modelName string, theta int64, k int, seed uint64, workers in
 		Reduction:              1 - float64(zero)/float64(merge),
 	}
 
+	ooc, err := benchOutOfCore(g, model, theta, seed, workers)
+	if err != nil {
+		return err
+	}
+	file.OutOfCore = ooc
+
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return err
@@ -233,6 +256,8 @@ func run(n, m int, modelName string, theta int64, k int, seed uint64, workers in
 	fmt.Printf("timbench: θ=%d k=%d n=%d: sample ×%.2f, select ×%.2f, total ×%.2f at %d workers; sampling peak %s vs merge baseline %s (-%.0f%%)\n",
 		theta, k, n, file.Speedup.Sample, file.Speedup.Select, file.Speedup.Total, workers,
 		fmtBytes(zero), fmtBytes(merge), 100*file.Memory.Reduction)
+	fmt.Printf("timbench: out-of-core: %s spilled in %.1fms, promoted in %.1fms (%d sets, bit-identical)\n",
+		fmtBytes(ooc.SpillBytes), float64(ooc.DemoteNs)/1e6, float64(ooc.PromoteNs)/1e6, ooc.Sets)
 	if !file.BitIdentical {
 		return fmt.Errorf("parallel runs were not bit-identical to Workers=1 (BENCH.json written with bit_identical=false)")
 	}
@@ -273,6 +298,59 @@ func benchOnce(g *graph.Graph, model diffusion.Model, theta int64, k int, seed u
 	res.SelectNs = res.GreedyNs + res.CountCoveredNs
 	res.TotalNs = res.SampleNs + res.SelectNs
 	return res, cover.Seeds, arenaHash(col)
+}
+
+// benchOutOfCore times the server's spill tier on this instance's
+// collection: demote (serialize + fsync to a spill file) and promote
+// (sequential read into a fresh arena). The read-back arena must hash
+// identically to the source — a spill format that loses bytes has no
+// business reporting a throughput number.
+func benchOutOfCore(g *graph.Graph, model diffusion.Model, theta int64, seed uint64, workers int) (*BenchOutOfCore, error) {
+	col := diffusion.SampleCollection(g, model, theta, diffusion.SampleOptions{Workers: workers, Seed: seed + 7})
+	// The format cross-checks Σwidths against the header's TotalWidth, so
+	// spread the collection's total evenly — the bench times bytes moved,
+	// the width values themselves don't matter here.
+	widths := make([]int64, col.Count())
+	if n := int64(len(widths)); n > 0 {
+		base, rem := col.TotalWidth/n, col.TotalWidth%n
+		for i := range widths {
+			widths[i] = base
+			if int64(i) < rem {
+				widths[i]++
+			}
+		}
+	}
+	dir, err := os.MkdirTemp("", "timbench-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/rrspill-bench.bin"
+	hdr := diskrr.SpillHeader{Version: 1, Seed: seed + 7}
+
+	t0 := time.Now()
+	bytes, err := diskrr.WriteSpill(path, hdr, col, widths)
+	demoteNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("out-of-core demote: %w", err)
+	}
+	t1 := time.Now()
+	rhdr, back, rwidths, err := diskrr.ReadSpill(path)
+	promoteNs := time.Since(t1).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("out-of-core promote: %w", err)
+	}
+	if rhdr != hdr || back.Count() != col.Count() || len(rwidths) != len(widths) ||
+		arenaHash(back) != arenaHash(col) {
+		return nil, fmt.Errorf("out-of-core round trip not bit-identical")
+	}
+	return &BenchOutOfCore{
+		Sets:        int64(col.Count()),
+		SpillBytes:  bytes,
+		DemoteNs:    demoteNs,
+		PromoteNs:   promoteNs,
+		RoundTripNs: demoteNs + promoteNs,
+	}, nil
 }
 
 // peakDuring runs fn while a background goroutine polls heap usage, and
@@ -452,6 +530,14 @@ func validateFile(path string) error {
 	if f.Memory.ZeroCopyPeakBytes <= 0 || f.Memory.MergeBaselinePeakBytes <= 0 {
 		return fmt.Errorf("missing memory comparison: %+v", f.Memory)
 	}
+	if o := f.OutOfCore; o != nil {
+		if o.Sets <= 0 || o.SpillBytes <= 0 || o.DemoteNs <= 0 || o.PromoteNs <= 0 {
+			return fmt.Errorf("out_of_core has non-positive figures: %+v", *o)
+		}
+		if o.RoundTripNs != o.DemoteNs+o.PromoteNs {
+			return fmt.Errorf("out_of_core round trip %d != demote %d + promote %d", o.RoundTripNs, o.DemoteNs, o.PromoteNs)
+		}
+	}
 	if !f.BitIdentical {
 		return fmt.Errorf("bit_identical = false")
 	}
@@ -503,13 +589,23 @@ func compareFiles(freshPath, basePath string, tolerance float64) error {
 		{"total", fr.TotalNs, br.TotalNs},
 	}
 	var failures []string
-	for _, p := range phases {
-		limit := float64(p.base) * (1 + tolerance)
-		if float64(p.fresh) > limit {
+	check := func(name string, freshNs, baseNs int64, tol float64) {
+		limit := float64(baseNs) * (1 + tol)
+		if float64(freshNs) > limit {
 			failures = append(failures, fmt.Sprintf("%s %.1fms vs baseline %.1fms (+%.0f%% > %.0f%% allowed)",
-				p.name, float64(p.fresh)/1e6, float64(p.base)/1e6,
-				100*(float64(p.fresh)/float64(p.base)-1), 100*tolerance))
+				name, float64(freshNs)/1e6, float64(baseNs)/1e6,
+				100*(float64(freshNs)/float64(baseNs)-1), 100*tol))
 		}
+	}
+	for _, p := range phases {
+		check(p.name, p.fresh, p.base, tolerance)
+	}
+	// The out-of-core phase is compared only when both files carry it
+	// (pre-spill baselines don't), at double tolerance: disk latency on
+	// shared CI runners swings far more than CPU-bound phase times.
+	if fo, bo := fresh.OutOfCore, base.OutOfCore; fo != nil && bo != nil {
+		check("out_of_core.demote", fo.DemoteNs, bo.DemoteNs, 2*tolerance)
+		check("out_of_core.promote", fo.PromoteNs, bo.PromoteNs, 2*tolerance)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%s", strings.Join(failures, "; "))

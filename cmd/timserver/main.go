@@ -85,7 +85,10 @@ func main() {
 		qlogPath  = flag.String("qlog", "", "query flight-recorder output path (JSONL; empty = recording off); replay with timload -replay")
 		qlogSamp  = flag.Int("qlog-sample", 1, "record every Nth query in the flight recorder")
 		qlogMax   = flag.Int("qlog-max", 0, "max records the flight recorder writes (0 = default 100000, negative = unbounded)")
-		memBudget = flag.Int64("mem-budget", 0, "memory budget in bytes for ledger-accounted state; /v1/capacity reports headroom against it (0 = unbudgeted)")
+		memBudget = flag.Int64("mem-budget", 0, "memory budget in bytes for ledger-accounted state; /v1/capacity reports headroom against it, and with -spill-dir it also demotes LRU RR collections to disk past the budget (0 = unbudgeted)")
+		spillDir  = flag.String("spill-dir", "", "directory for the out-of-core spill tier: evicted RR collections demote to files here and promote back on their next query; also backs -mmap-datasets (empty = tier off)")
+		diskBudg  = flag.Int64("disk-budget", 0, "disk budget in bytes for the spill tier; the oldest spilled collection is dropped beyond it (0 = unbudgeted)")
+		mmapData  = flag.Bool("mmap-datasets", false, "serve synthetic datasets' CSR snapshots from memory-mapped files under -spill-dir instead of the heap (requires -spill-dir; ignored on platforms without mmap)")
 		sloObj    = flag.Float64("slo-objective", 0, "tolerated bad fraction per tier class for /v1/health/slo error budgets (0 = default 0.01)")
 		walDir    = flag.String("wal-dir", "", "directory for per-dataset update WALs and checkpoints; updates are replayed from it on restart (empty = durability off)")
 		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per acked batch), interval (background, bounded loss window), or none (OS decides)")
@@ -99,6 +102,10 @@ func main() {
 	ladder, err := parseLadder(*ladderStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timserver:", err)
+		os.Exit(2)
+	}
+	if *mmapData && *spillDir == "" {
+		fmt.Fprintln(os.Stderr, "timserver: -mmap-datasets requires -spill-dir")
 		os.Exit(2)
 	}
 	logger, err := newLogger(*logLevel)
@@ -120,6 +127,9 @@ func main() {
 		TraceRing:         *traceRing,
 		AccessLog:         logger,
 		MemoryBudgetBytes: *memBudget,
+		SpillDir:          *spillDir,
+		DiskBudgetBytes:   *diskBudg,
+		MmapDatasets:      *mmapData,
 		QLogPath:          *qlogPath,
 		QLogSample:        *qlogSamp,
 		QLogMaxRecords:    *qlogMax,

@@ -13,14 +13,17 @@
 // O(k·Σ|R|) sequential I/O, in exchange for an O(n + θ/8)-byte resident
 // set. BenchmarkAblationOutOfCore quantifies it.
 //
-// Relation to the server's rrstore (internal/server): the two solve
-// opposite problems and do not compose. rrstore keeps one *growing,
-// in-memory* collection per query profile alive across requests, repaired
-// in place as the graph mutates — it optimizes for reuse. diskrr keeps one
-// *single-run* collection out of memory entirely and deletes it with the
-// run — it optimizes for peak residency. A spilled collection is never
-// cached, never repaired, and never shared; correspondingly, constrained
-// queries (internal/query) are served only through the in-memory path.
+// The package serves two callers. The Writer/Collection/GreedyOutOfCore
+// half below is the original offline path: one *single-run* collection
+// streamed out of memory and deleted with the run, never repaired or
+// shared. The spill-tier half (spill.go) is the server's second storage
+// tier: when the rr-store (internal/server) evicts a warm collection, it
+// demotes the arena to a self-describing spill file — header-pinned to
+// the graph version, sampling profile, and entry seed it was derived
+// under — and the next query on that key promotes it back into a fresh
+// arena and prefix-extends it, bit-identical to never having been
+// evicted. Spill-tier files are cached, repaired after promotion like
+// any warm collection, and shared by every query on their key.
 //
 // Corrupt or truncated spill data surfaces as typed errors consistent
 // with graph.ReadBinary's: Scan wraps graph.ErrTruncated when the file

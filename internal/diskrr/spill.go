@@ -1,0 +1,268 @@
+package diskrr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/diffusion"
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// This file is the server-facing half of the package: the spill-tier
+// file format the rr-store (internal/server) demotes evicted
+// collections into and promotes them back from. Unlike the Writer/
+// Collection pair above — which streams a single-run collection that
+// dies with the run — a spill-tier file is a complete, self-describing
+// snapshot of an in-memory diffusion.RRCollection plus its per-set
+// widths, pinned to the (graph version, sampling profile, entry seed)
+// it was derived under so a reader can tell exactly what it is holding.
+//
+// Format (all integers little-endian):
+//
+//	magic   8 bytes  "RRSPILL1"
+//	header  6 × u64  version, profile hash, entry seed,
+//	                 set count, total nodes, total width
+//	records count ×  u32 set length | u64 width | length × u32 node ids
+//
+// The totals in the header are redundant with the records on purpose:
+// WriteSpill sizes the file exactly, so ReadSpill can verify
+// size(file) == size(header) before allocating anything — a truncated
+// or padded file fails typed (graph.ErrTruncated / ErrSpillFormat)
+// without a single record being parsed.
+//
+// Crash safety follows the package's no-debris contract: WriteSpill
+// streams into an rrspill-*.tmp sibling and renames it over the final
+// path only after a successful flush+fsync, so a crash mid-demotion
+// leaves at worst a .tmp file that PurgeSpillDir removes at the next
+// startup. A write failure removes the temp file and reports an error
+// wrapping ErrSpill, exactly like Writer.
+
+// ErrSpillFormat tags structural spill-file corruption that is not a
+// truncation: a bad magic, totals that disagree with the records, or
+// trailing bytes. The rr-store treats it (like any read failure) as a
+// cache miss: drop the file, resample cold.
+var ErrSpillFormat = errors.New("diskrr: malformed spill file")
+
+// spillMagic identifies (and versions) the spill-tier format.
+const spillMagic = "RRSPILL1"
+
+// spillHeaderSize is magic + six u64 header fields.
+const spillHeaderSize = len(spillMagic) + 6*8
+
+// SpillHeader pins the identity of a spilled collection: the graph
+// version its sets were derived at, the compiled sampling-profile hash
+// of its key (0 = unconstrained), and the rr-store entry seed. The
+// reader hands it back verbatim; the rr-store compares it against the
+// promoting entry and discards on any mismatch — a stale or foreign
+// spill is never silently served.
+type SpillHeader struct {
+	Version     uint64
+	ProfileHash uint64
+	Seed        uint64
+}
+
+// spillFileSize is the exact byte size of a spill file holding the
+// given record shape.
+func spillFileSize(count, totalNodes int64) int64 {
+	return int64(spillHeaderSize) + count*12 + totalNodes*4
+}
+
+// WriteSpill atomically writes col (with its per-set widths) to path,
+// returning the file's byte size. It goes through the same
+// FaultSpillWrite/FaultSpillSync points as Writer, and on any failure
+// removes its temporary file and returns an error wrapping ErrSpill —
+// never leaving debris, never a half-written file at path.
+func WriteSpill(path string, hdr SpillHeader, col *diffusion.RRCollection, widths []int64) (int64, error) {
+	count := int64(col.Count())
+	if int64(len(widths)) != count {
+		return 0, fmt.Errorf("%w: %d widths for %d sets", ErrSpill, len(widths), count)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), "rrspill-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSpill, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("%w: %v", ErrSpill, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	write := func(p []byte) error {
+		if err := fault.Hit(FaultSpillWrite); err != nil {
+			return err
+		}
+		_, err := bw.Write(p)
+		return err
+	}
+	var scratch [12]byte
+	u64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		return write(scratch[:8])
+	}
+	if err := write([]byte(spillMagic)); err != nil {
+		return fail(err)
+	}
+	var totalNodes int64
+	for i := int64(0); i < count; i++ {
+		totalNodes += col.Off[i+1] - col.Off[i]
+	}
+	for _, v := range []uint64{hdr.Version, hdr.ProfileHash, hdr.Seed,
+		uint64(count), uint64(totalNodes), uint64(col.TotalWidth)} {
+		if err := u64(v); err != nil {
+			return fail(err)
+		}
+	}
+	for i := int64(0); i < count; i++ {
+		set := col.Flat[col.Off[i]:col.Off[i+1]]
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(set)))
+		binary.LittleEndian.PutUint64(scratch[4:12], uint64(widths[i]))
+		if err := write(scratch[:12]); err != nil {
+			return fail(err)
+		}
+		for _, v := range set {
+			binary.LittleEndian.PutUint32(scratch[:4], v)
+			if err := write(scratch[:4]); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := fault.Hit(FaultSpillWrite); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := fault.Hit(FaultSpillSync); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("%w: %v", ErrSpill, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("%w: %v", ErrSpill, err)
+	}
+	return spillFileSize(count, totalNodes), nil
+}
+
+// ReadSpill loads a spill file back into a fresh in-memory collection
+// and its per-set widths. Corruption is typed: a file that ends early
+// (at any byte) fails wrapping graph.ErrTruncated; a bad magic,
+// inconsistent totals, or trailing bytes fail wrapping ErrSpillFormat.
+// The file size is checked against the header before any allocation,
+// so a corrupt header cannot trigger a huge allocation.
+func ReadSpill(path string) (SpillHeader, *diffusion.RRCollection, []int64, error) {
+	var hdr SpillHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	if st.Size() < int64(spillHeaderSize) {
+		return hdr, nil, nil, fmt.Errorf("%w: %d-byte spill file is shorter than its header", graph.ErrTruncated, st.Size())
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	raw := make([]byte, spillHeaderSize)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return hdr, nil, nil, fmt.Errorf("diskrr: reading spill header: %w", truncErr(err))
+	}
+	if string(raw[:len(spillMagic)]) != spillMagic {
+		return hdr, nil, nil, fmt.Errorf("%w: bad magic %q", ErrSpillFormat, raw[:len(spillMagic)])
+	}
+	u64 := func(i int) uint64 {
+		return binary.LittleEndian.Uint64(raw[len(spillMagic)+8*i:])
+	}
+	hdr = SpillHeader{Version: u64(0), ProfileHash: u64(1), Seed: u64(2)}
+	count, totalNodes, totalWidth := int64(u64(3)), int64(u64(4)), int64(u64(5))
+	if count < 0 || totalNodes < 0 {
+		return hdr, nil, nil, fmt.Errorf("%w: negative counts in header", ErrSpillFormat)
+	}
+	switch want := spillFileSize(count, totalNodes); {
+	case st.Size() < want:
+		return hdr, nil, nil, fmt.Errorf("%w: spill file is %d bytes, header describes %d", graph.ErrTruncated, st.Size(), want)
+	case st.Size() > want:
+		return hdr, nil, nil, fmt.Errorf("%w: %d trailing bytes after the last record", ErrSpillFormat, st.Size()-want)
+	}
+	col := &diffusion.RRCollection{
+		Flat:       make([]uint32, 0, totalNodes),
+		Off:        make([]int64, 1, count+1),
+		TotalWidth: totalWidth,
+	}
+	widths := make([]int64, 0, count)
+	rec := make([]byte, 12)
+	var sumWidth int64
+	for i := int64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return hdr, nil, nil, fmt.Errorf("diskrr: reading spill set %d header: %w", i, truncErr(err))
+		}
+		size := int64(binary.LittleEndian.Uint32(rec))
+		width := int64(binary.LittleEndian.Uint64(rec[4:]))
+		if int64(len(col.Flat))+size > totalNodes {
+			return hdr, nil, nil, fmt.Errorf("%w: set %d overruns the header's node total", ErrSpillFormat, i)
+		}
+		body := make([]byte, 4*size)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return hdr, nil, nil, fmt.Errorf("diskrr: reading spill set %d body (%d nodes): %w", i, size, truncErr(err))
+		}
+		for j := int64(0); j < size; j++ {
+			col.Flat = append(col.Flat, binary.LittleEndian.Uint32(body[4*j:]))
+		}
+		col.Off = append(col.Off, int64(len(col.Flat)))
+		widths = append(widths, width)
+		sumWidth += width
+	}
+	if int64(len(col.Flat)) != totalNodes || sumWidth != totalWidth {
+		return hdr, nil, nil, fmt.Errorf("%w: record totals disagree with header (nodes %d/%d, width %d/%d)",
+			ErrSpillFormat, len(col.Flat), totalNodes, sumWidth, totalWidth)
+	}
+	return hdr, col, widths, nil
+}
+
+// PurgeSpillDir removes every spill-tier artifact in dir — finished
+// spill files, torn .tmp files from a crash mid-demotion, and mmap
+// backing files (graph.MmapBacked) whose process died before unlinking
+// them. The spill tier is a volatile cache (its index lives in server
+// memory and dies with the process), so startup purges wholesale:
+// recovery serves from a cold resample, bit-identical by keyed
+// sampling seeds. Returns the number of files removed.
+func PurgeSpillDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "rrspill-") && !strings.HasPrefix(name, "csrmmap-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}

@@ -1,0 +1,223 @@
+package diskrr
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// testCollection builds a small in-memory collection with varied set
+// sizes (including an empty set) and per-set widths distinct from the
+// set lengths, so a width/length mixup cannot round-trip.
+func testCollection() (*diffusion.RRCollection, []int64) {
+	sets := [][]uint32{
+		{3, 1, 4},
+		{},
+		{1, 5, 9, 2, 6},
+		{7},
+		{2, 8, 2, 8},
+	}
+	col := &diffusion.RRCollection{Off: []int64{0}}
+	widths := make([]int64, 0, len(sets))
+	for i, s := range sets {
+		col.Flat = append(col.Flat, s...)
+		col.Off = append(col.Off, int64(len(col.Flat)))
+		w := int64(10*i + len(s))
+		widths = append(widths, w)
+		col.TotalWidth += w
+	}
+	return col, widths
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	col, widths := testCollection()
+	hdr := SpillHeader{Version: 7, ProfileHash: 0xabcdef, Seed: 42}
+	path := filepath.Join(t.TempDir(), "rrspill-test.bin")
+	bytes, err := WriteSpill(path, hdr, col, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != bytes {
+		t.Fatalf("WriteSpill reported %d bytes, file is %d", bytes, st.Size())
+	}
+	gotHdr, gotCol, gotWidths, err := ReadSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr != hdr {
+		t.Fatalf("header round trip: got %+v, want %+v", gotHdr, hdr)
+	}
+	if !reflect.DeepEqual(gotCol.Flat, col.Flat) || !reflect.DeepEqual(gotCol.Off, col.Off) {
+		t.Fatalf("collection round trip: got (%v, %v), want (%v, %v)",
+			gotCol.Flat, gotCol.Off, col.Flat, col.Off)
+	}
+	if gotCol.TotalWidth != col.TotalWidth {
+		t.Fatalf("TotalWidth round trip: got %d, want %d", gotCol.TotalWidth, col.TotalWidth)
+	}
+	if !reflect.DeepEqual(gotWidths, widths) {
+		t.Fatalf("widths round trip: got %v, want %v", gotWidths, widths)
+	}
+}
+
+// TestSpillEmptyCollection: a zero-set collection must round-trip too —
+// the rr-store can demote an entry whose first extension never ran.
+func TestSpillEmptyCollection(t *testing.T) {
+	col := &diffusion.RRCollection{Off: []int64{0}}
+	path := filepath.Join(t.TempDir(), "rrspill-empty.bin")
+	if _, err := WriteSpill(path, SpillHeader{Version: 1}, col, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr, gotCol, gotWidths, err := ReadSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != 1 || gotCol.Count() != 0 || len(gotWidths) != 0 {
+		t.Fatalf("empty round trip: hdr %+v, %d sets, %d widths", hdr, gotCol.Count(), len(gotWidths))
+	}
+}
+
+// TestSpillReadTruncationEveryByte clips the spill file at every prefix
+// length: ReadSpill must fail wrapping graph.ErrTruncated at each —
+// never succeed on partial data, never panic, never return untyped.
+func TestSpillReadTruncationEveryByte(t *testing.T) {
+	col, widths := testCollection()
+	path := filepath.Join(t.TempDir(), "rrspill-clip.bin")
+	size, err := WriteSpill(path, SpillHeader{Version: 3, Seed: 9}, col, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for clip := int64(0); clip < size; clip++ {
+		if err := os.WriteFile(path, original[:clip], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := ReadSpill(path)
+		if err == nil {
+			t.Fatalf("clip %d: truncated read succeeded", clip)
+		}
+		if !errors.Is(err, graph.ErrTruncated) {
+			t.Fatalf("clip %d: error %v does not wrap graph.ErrTruncated", clip, err)
+		}
+	}
+}
+
+// TestSpillReadFormatErrors: structural corruption that is not a
+// truncation fails wrapping ErrSpillFormat.
+func TestSpillReadFormatErrors(t *testing.T) {
+	col, widths := testCollection()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rrspill-corrupt.bin")
+	if _, err := WriteSpill(path, SpillHeader{}, col, widths); err != nil {
+		t.Fatal(err)
+	}
+	original, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func(b []byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), original...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := ReadSpill(path)
+		if !errors.Is(err, ErrSpillFormat) {
+			t.Fatalf("%s: error %v does not wrap ErrSpillFormat", name, err)
+		}
+	}
+	check("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	check("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	// Flip a set-length byte: the records no longer sum to the header's
+	// totals (the file size check still passes, so this exercises the
+	// per-record validation).
+	check("length mismatch", func(b []byte) []byte { b[spillHeaderSize] ^= 0x01; return b })
+}
+
+// TestWriteSpillFailureEveryPrefix injects a write failure at every
+// consultation of the spill-write fault point: the error wraps ErrSpill,
+// nothing is left in the directory (no .tmp, no final file), and a
+// clean retry afterwards succeeds — the no-debris contract the crash
+// smoke relies on.
+func TestWriteSpillFailureEveryPrefix(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	boom := errors.New("injected: disk full")
+	col, widths := testCollection()
+
+	h, hits := fault.Counting(func() error { return nil })
+	fault.Set(FaultSpillWrite, h)
+	cleanDir := t.TempDir()
+	if _, err := WriteSpill(filepath.Join(cleanDir, "rrspill-a.bin"), SpillHeader{}, col, widths); err != nil {
+		t.Fatalf("clean write failed: %v", err)
+	}
+	fault.Reset()
+	writes := int(hits.Load())
+	if writes < 10 {
+		t.Fatalf("clean write hit the fault point only %d times", writes)
+	}
+
+	for n := 0; n < writes; n++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "rrspill-b.bin")
+		fault.Set(FaultSpillWrite, fault.FailOn(n, boom))
+		_, err := WriteSpill(path, SpillHeader{}, col, widths)
+		fault.Reset()
+		if !errors.Is(err, ErrSpill) {
+			t.Fatalf("n=%d: error %v does not wrap ErrSpill", n, err)
+		}
+		if left := dirEntries(t, dir); len(left) != 0 {
+			t.Fatalf("n=%d: failed spill left %v", n, left)
+		}
+		if _, err := WriteSpill(path, SpillHeader{}, col, widths); err != nil {
+			t.Fatalf("n=%d: clean retry failed: %v", n, err)
+		}
+	}
+
+	// The sync point too: all bytes written, durability step fails.
+	dir := t.TempDir()
+	fault.Set(FaultSpillSync, fault.FailOn(0, boom))
+	_, err := WriteSpill(filepath.Join(dir, "rrspill-c.bin"), SpillHeader{}, col, widths)
+	fault.Reset()
+	if !errors.Is(err, ErrSpill) {
+		t.Fatalf("sync failure: error %v does not wrap ErrSpill", err)
+	}
+	if left := dirEntries(t, dir); len(left) != 0 {
+		t.Fatalf("failed sync left %v", left)
+	}
+}
+
+func TestPurgeSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"rrspill-1.bin", "rrspill-2.tmp", "csrmmap-3.bin", "keep.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := PurgeSpillDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("purged %d files, want 3", removed)
+	}
+	if left := dirEntries(t, dir); len(left) != 1 || left[0] != "keep.txt" {
+		t.Fatalf("directory after purge: %v", left)
+	}
+	// A missing directory is not an error: the server purges before the
+	// first demotion may ever have created it.
+	if n, err := PurgeSpillDir(filepath.Join(dir, "nope")); n != 0 || err != nil {
+		t.Fatalf("missing dir: (%d, %v)", n, err)
+	}
+}

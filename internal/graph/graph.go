@@ -288,3 +288,16 @@ func (g *Graph) SetUniformWeights(p float32) error {
 	}
 	return nil
 }
+
+// MmapSupported reports whether MmapBacked remaps graphs on this
+// platform; when false, MmapBacked is the identity.
+func MmapSupported() bool { return mmapSupported }
+
+// MmapBacked returns a graph equivalent to g whose CSR arrays live in
+// a private memory mapping of an (immediately unlinked) backing file
+// under dir, so the kernel pages the topology on demand instead of the
+// heap pinning it. The mapping is copy-on-write: in-place weight
+// mutation works and never reaches the file. Traversal semantics and
+// query answers are bit-identical to the heap-resident graph. On
+// platforms without mmap support, returns g unchanged.
+func MmapBacked(g *Graph, dir string) (*Graph, error) { return mmapBacked(g, dir) }

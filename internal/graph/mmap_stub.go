@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package graph
+
+// mmapSupported reports whether MmapBacked actually remaps on this
+// platform.
+const mmapSupported = false
+
+// mmapBacked on platforms without syscall.Mmap is the identity: the
+// graph stays heap-resident. Callers that must know can check
+// MmapSupported.
+func mmapBacked(g *Graph, dir string) (*Graph, error) { return g, nil }

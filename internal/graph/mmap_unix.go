@@ -1,0 +1,123 @@
+//go:build linux || darwin
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapSupported reports whether MmapBacked actually remaps on this
+// platform (true here; false in the fallback build).
+const mmapSupported = true
+
+// mmapBacked serializes g's seven CSR arrays into an anonymous-by-
+// deletion backing file under dir and rebuilds the graph over a
+// MAP_PRIVATE memory mapping of it: the kernel pages the topology in
+// on demand and can drop clean pages under memory pressure, so the
+// graph no longer pins its full CSR in RAM. The mapping is writable
+// copy-on-write — weight mutation (evolve weight policies write
+// in place) dirties private pages without touching the file — and the
+// file is unlinked immediately after mapping, so a crash leaks nothing
+// (PurgeSpillDir additionally sweeps csrmmap-* files whose process
+// died between create and unlink).
+//
+// Layout: the three int64 arrays first, then the uint32/float32
+// arrays, so every array is naturally aligned from the page-aligned
+// base.
+func mmapBacked(g *Graph, dir string) (*Graph, error) {
+	i64Bytes := func(s []int64) []byte {
+		if len(s) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	u32Bytes := func(s []uint32) []byte {
+		if len(s) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	f32Bytes := func(s []float32) []byte {
+		if len(s) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	sections := [][]byte{
+		i64Bytes(g.outOff), i64Bytes(g.inOff), i64Bytes(g.inToOut),
+		u32Bytes(g.outTo), f32Bytes(g.outW),
+		u32Bytes(g.inSrc), f32Bytes(g.inW),
+	}
+	var total int
+	for _, s := range sections {
+		total += len(s)
+	}
+	if total == 0 {
+		return g, nil
+	}
+
+	f, err := os.CreateTemp(dir, "csrmmap-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	fail := func(err error) (*Graph, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	for _, s := range sections {
+		if _, err := f.Write(s); err != nil {
+			return fail(err)
+		}
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, total,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return fail(fmt.Errorf("graph: mmap %d bytes: %w", total, err))
+	}
+	// The mapping holds its own reference to the file's pages; drop the
+	// descriptor and the name so nothing outlives the process.
+	f.Close()
+	os.Remove(path)
+
+	off := 0
+	carveI64 := func(n int) []int64 {
+		if n == 0 {
+			return nil
+		}
+		s := unsafe.Slice((*int64)(unsafe.Pointer(&data[off])), n)
+		off += n * 8
+		return s
+	}
+	carveU32 := func(n int) []uint32 {
+		if n == 0 {
+			return nil
+		}
+		s := unsafe.Slice((*uint32)(unsafe.Pointer(&data[off])), n)
+		off += n * 4
+		return s
+	}
+	carveF32 := func(n int) []float32 {
+		if n == 0 {
+			return nil
+		}
+		s := unsafe.Slice((*float32)(unsafe.Pointer(&data[off])), n)
+		off += n * 4
+		return s
+	}
+	return &Graph{
+		n:       g.n,
+		m:       g.m,
+		outOff:  carveI64(len(g.outOff)),
+		inOff:   carveI64(len(g.inOff)),
+		inToOut: carveI64(len(g.inToOut)),
+		outTo:   carveU32(len(g.outTo)),
+		outW:    carveF32(len(g.outW)),
+		inSrc:   carveU32(len(g.inSrc)),
+		inW:     carveF32(len(g.inW)),
+	}, nil
+}

@@ -204,6 +204,23 @@ func sumComponent(n *ledgerNode, name string) int64 {
 	return total
 }
 
+// SumComponents is SumComponent over a set of component names in one
+// pass under the ledger lock — one consistent reading across them, so
+// tier arithmetic like Total() − SumComponents(disk...) cannot tear
+// against a concurrent account delta.
+func (l *Ledger) SumComponents(names ...string) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, name := range names {
+		total += sumComponent(&l.root, name)
+	}
+	return total
+}
+
 // Each visits every leaf as (path, bytes), in sorted path order.
 // Computed leaves are evaluated at visit time.
 func (l *Ledger) Each(fn func(path []string, bytes int64)) {

@@ -99,7 +99,14 @@ func (c *lruCache) put(key string, value any) {
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*lruEntry)
 		bytes := cachedBytes(key, value)
-		e.mem.Add(bytes - e.bytes)
+		// Release-then-charge, not one signed delta: a shrink-refresh's
+		// negative delta could land on an account a concurrent reader
+		// (stats, capacity) sums mid-update and read as a transient
+		// negative component. Two same-signed operations keep every
+		// intermediate reading non-negative; the mutex orders them
+		// against other writers, not against lock-free readers.
+		e.mem.Add(-e.bytes)
+		e.mem.Add(bytes)
 		e.value, e.bytes = value, bytes
 		c.ll.MoveToFront(el)
 		return

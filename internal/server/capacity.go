@@ -92,6 +92,39 @@ func reqProfileHash(req *MaximizeRequest) uint64 {
 		req.Budget, req.Force, req.Exclude, req.MaxHops))
 }
 
+// diskComponents are the ledger components whose bytes live on disk
+// rather than in RAM: spill-tier files and the durable WAL. Everything
+// else in the ledger is the RAM tier — the split behind the two-tier
+// capacity view and the rr-store's memory-budget eviction trigger.
+var diskComponents = []string{"rr_spill", "wal"}
+
+// capacityTier is one storage tier's roll-up in /v1/capacity and
+// /v1/stats: its ledger total, the operator budget bounding it (0 =
+// unbudgeted, omitted), and headroom against that budget.
+type capacityTier struct {
+	TotalBytes    int64  `json:"total_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes,omitempty"`
+	HeadroomBytes *int64 `json:"headroom_bytes,omitempty"`
+}
+
+// capacityTiers splits the ledger total into the RAM and disk tiers.
+// The two totals sum to the ledger total by construction, so the tier
+// view can never disagree with the tree it summarizes.
+func (s *Server) capacityTiers(total int64) map[string]capacityTier {
+	disk := s.ledger.SumComponents(diskComponents...)
+	ram := capacityTier{TotalBytes: total - disk, BudgetBytes: s.cfg.MemoryBudgetBytes}
+	if ram.BudgetBytes > 0 {
+		h := ram.BudgetBytes - ram.TotalBytes
+		ram.HeadroomBytes = &h
+	}
+	diskTier := capacityTier{TotalBytes: disk, BudgetBytes: s.cfg.DiskBudgetBytes}
+	if diskTier.BudgetBytes > 0 {
+		h := diskTier.BudgetBytes - diskTier.TotalBytes
+		diskTier.HeadroomBytes = &h
+	}
+	return map[string]capacityTier{"ram": ram, "disk": diskTier}
+}
+
 // capacityRung is one ε-ladder rung's predicted RR-collection bytes.
 type capacityRung struct {
 	Epsilon        float64 `json:"epsilon"`
@@ -123,14 +156,16 @@ func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.ledger.Snapshot()
 	out := struct {
-		TotalBytes    int64                `json:"total_bytes"`
-		BudgetBytes   int64                `json:"budget_bytes,omitempty"`
-		HeadroomBytes *int64               `json:"headroom_bytes,omitempty"`
-		Ledger        obs.LedgerEntry      `json:"ledger"`
-		Predictions   []capacityPrediction `json:"predicted_rr_bytes,omitempty"`
+		TotalBytes    int64                   `json:"total_bytes"`
+		BudgetBytes   int64                   `json:"budget_bytes,omitempty"`
+		HeadroomBytes *int64                  `json:"headroom_bytes,omitempty"`
+		Tiers         map[string]capacityTier `json:"tiers"`
+		Ledger        obs.LedgerEntry         `json:"ledger"`
+		Predictions   []capacityPrediction    `json:"predicted_rr_bytes,omitempty"`
 	}{
 		TotalBytes:  snap.Bytes,
 		BudgetBytes: s.cfg.MemoryBudgetBytes,
+		Tiers:       s.capacityTiers(snap.Bytes),
 		Ledger:      snap,
 	}
 	if s.cfg.MemoryBudgetBytes > 0 {
@@ -191,16 +226,17 @@ func (o *obsState) sloSnapshot() map[string]obs.BudgetSnapshot {
 // plus per-component roll-ups (summed across datasets), bit-identical
 // to the subsystem's own counters by construction.
 type capacityStats struct {
-	TotalBytes  int64            `json:"total_bytes"`
-	BudgetBytes int64            `json:"budget_bytes,omitempty"`
-	Components  map[string]int64 `json:"components"`
+	TotalBytes  int64                   `json:"total_bytes"`
+	BudgetBytes int64                   `json:"budget_bytes,omitempty"`
+	Tiers       map[string]capacityTier `json:"tiers"`
+	Components  map[string]int64        `json:"components"`
 }
 
 // ledgerComponents is the fixed component vocabulary of the server's
 // ledger (see registerLedger).
 var ledgerComponents = []string{
 	"rr_collections", "result_cache", "csr_snapshots",
-	"tiered_scorers", "sampler_pool", "select_scratch", "wal",
+	"tiered_scorers", "sampler_pool", "select_scratch", "wal", "rr_spill",
 }
 
 func (s *Server) capacityStatsSnapshot() capacityStats {
@@ -209,6 +245,7 @@ func (s *Server) capacityStatsSnapshot() capacityStats {
 		BudgetBytes: s.cfg.MemoryBudgetBytes,
 		Components:  make(map[string]int64, len(ledgerComponents)),
 	}
+	c.Tiers = s.capacityTiers(c.TotalBytes)
 	for _, name := range ledgerComponents {
 		c.Components[name] = s.ledger.SumComponent(name)
 	}

@@ -37,6 +37,19 @@ func newCapacityTestServer(t testing.TB, qlogPath string) (*Server, string) {
 	return srv, ts.URL
 }
 
+// recomputeCacheBytes walks the live result-cache entries and re-sums
+// their estimated footprints — the ground truth the result_cache ledger
+// component must equal whenever no put is in flight.
+func recomputeCacheBytes(c *lruCache) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*lruEntry).bytes
+	}
+	return total
+}
+
 // TestLedgerExactUnderChurn: after queries, updates (incremental
 // repair), and forced RR evictions, the ledger's rr_collections
 // component equals the bytes recomputed over the live entries, and the
@@ -71,6 +84,19 @@ func TestLedgerExactUnderChurn(t *testing.T) {
 		if status, body := postJSON(t, url+"/v1/maximize", req, nil); status != http.StatusOK {
 			t.Fatalf("post-update maximize: %d %s", status, body)
 		}
+	}
+	// Churn phase 3: shrink-refresh the same result-cache key — a large
+	// answer replaced by a small one, then grown again. The refresh path
+	// releases the old charge before adding the new; a single signed
+	// delta here once let the component dip through readers' snapshots
+	// and drift from the recomputed truth.
+	big := MaximizeResponse{Seeds: make([]uint32, 64), Tier: "exact"}
+	small := MaximizeResponse{Seeds: []uint32{1}}
+	for _, v := range []MaximizeResponse{big, small, big, small} {
+		srv.results.put("maximize|ba|churn-refresh", v)
+	}
+	if got, want := srv.results.memoryTotal(), recomputeCacheBytes(srv.results); got != want {
+		t.Fatalf("result_cache ledger %d != recomputed %d after shrink-refresh churn", got, want)
 	}
 
 	// Recompute the rr footprint from the live entries and compare with

@@ -490,14 +490,13 @@ func (s *Server) doMaximize(base context.Context, req MaximizeRequest) (Maximize
 		// repaired in place. Constrained queries append their sampling
 		// profile — audience weights and horizon re-key the collection,
 		// while selection-only constraints share the unconstrained one.
-		rrKey := fmt.Sprintf("%s|%s|eps=%g", req.Dataset, modelName, req.Epsilon)
 		var cfg diffusion.SampleConfig
+		var profileHash uint64
 		if compiled != nil {
 			cfg = compiled.Sample
-			if compiled.Hash != 0 {
-				rrKey += fmt.Sprintf("|profile=%x", compiled.Hash)
-			}
+			profileHash = compiled.Hash
 		}
+		rrKey := rrKeyFor(req.Dataset, modelName, req.Epsilon, profileHash)
 		src = s.rr.source(rrKey, evg, version, cfg)
 		opts.Source = src
 	}

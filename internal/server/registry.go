@@ -138,6 +138,10 @@ type registry struct {
 	mu       sync.Mutex
 	datasets map[string]*dataset
 	evolve   evolve.Options
+	// mmapDir, when non-empty, backs synthetic datasets' CSR snapshots
+	// with memory-mapped files in this directory instead of heap slices
+	// (see graph.MmapBacked).
+	mmapDir string
 
 	// WAL wiring (zero when durability is disabled). checkpointEvery is
 	// the batch cadence of automatic checkpoints; logf receives WAL
@@ -152,6 +156,8 @@ var supportedKinds = []diffusion.Kind{diffusion.IC, diffusion.LT}
 
 type dataset struct {
 	spec DatasetSpec
+	// mmapDir mirrors registry.mmapDir (variant() runs under d.mu only).
+	mmapDir string
 
 	mu      sync.Mutex
 	byModel map[diffusion.Kind]*evolve.Graph
@@ -169,15 +175,37 @@ type dataset struct {
 	recovery DatasetRecovery
 }
 
-func newRegistry(specs []DatasetSpec, opts evolve.Options) (*registry, error) {
-	r := &registry{datasets: make(map[string]*dataset, len(specs)), evolve: opts}
+// validateDatasetName rejects names that would corrupt downstream key
+// spaces: '|' is the separator of rr-store and result-cache keys (a
+// name containing it shifts every later field, and rrKeyDataset/
+// cacheKeyDataset would attribute the entry's ledger bytes to a
+// truncated name), '/' would escape the per-dataset WAL and checkpoint
+// directory layout, and an empty name is indistinguishable from a
+// missing field. The error is typed errBadRequest so any registration
+// surface maps it to a 400.
+func validateDatasetName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("%w: dataset name is empty", errBadRequest)
+	case strings.ContainsAny(name, "|/"):
+		return fmt.Errorf("%w: dataset name %q contains '|' or '/'", errBadRequest, name)
+	}
+	return nil
+}
+
+func newRegistry(specs []DatasetSpec, opts evolve.Options, mmapDir string) (*registry, error) {
+	r := &registry{datasets: make(map[string]*dataset, len(specs)), evolve: opts, mmapDir: mmapDir}
 	for _, spec := range specs {
+		if err := validateDatasetName(spec.Name); err != nil {
+			return nil, err
+		}
 		if _, dup := r.datasets[spec.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate dataset name %q", spec.Name)
 		}
 		r.datasets[spec.Name] = &dataset{
 			spec:    spec,
 			byModel: make(map[diffusion.Kind]*evolve.Graph, 2),
+			mmapDir: mmapDir,
 		}
 	}
 	return r, nil
@@ -238,6 +266,21 @@ func (d *dataset) variant(kind diffusion.Kind, opts evolve.Options) (*evolve.Gra
 			policy = evolve.NewKeyedNormalizedLT(d.spec.Seed + 1)
 		default:
 			return nil, fmt.Errorf("server: dataset %q: unsupported model kind %v", d.spec.Name, kind)
+		}
+		if d.mmapDir != "" {
+			// Rehome the freshly built (and weighted) CSR arrays onto a
+			// memory-mapped backing file: the kernel pages the topology in
+			// on demand instead of it pinning RAM. Copy-on-write mapping,
+			// so later in-place weight re-derivation stays private. On a
+			// platform without mmap this is an identity transform. The
+			// checkpoint-restore path above stays heap-resident — it is
+			// rebuilt from the WAL, not the spec, and recovery correctness
+			// beats paging there.
+			mg, err := graph.MmapBacked(g, d.mmapDir)
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %q: mmap backing: %w", d.spec.Name, err)
+			}
+			g = mg
 		}
 		eg = evolve.New(g, policy, opts)
 	}

@@ -4,12 +4,18 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/diffusion"
+	"repro/internal/diskrr"
 	"repro/internal/evolve"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -43,12 +49,54 @@ import (
 // least recently used one — a query on an evicted key simply resamples,
 // and determinism is unaffected (the entry seed depends only on the
 // key).
+//
+// With a spill directory configured the store is two-tiered: eviction
+// (by the LRU cap or the operator's memory budget) demotes the victim's
+// sets to a spill file (diskrr.WriteSpill) instead of discarding them,
+// and the next query on that key promotes the cold collection back into
+// a fresh arena and prefix-extends it — bit-identical to never having
+// been evicted. The resident→spilled→promoted state machine per key:
+//
+//   - resident: entry in entries; bytes in the (dataset, rr_collections)
+//     RAM account.
+//   - spilled: record in spilled; bytes in the (dataset, rr_spill) disk
+//     account; the file header pins (version, profile hash, seed).
+//   - promoted: a new entry claims the record at creation (pendingSpill)
+//     and the first query reads it back under the entry lock; a header
+//     mismatch or read failure drops the file and the entry stays cold —
+//     a stale or foreign spill is never silently served. A promoted
+//     collection behind the query's snapshot version then goes through
+//     the ordinary repair path (or cold reset), exactly like a warm one.
+//
+// Spilled records have their own LRU order bounded by the disk budget;
+// the spill tier is a volatile cache (this index dies with the process),
+// so startup purges the directory and recovery serves from a cold
+// resample.
 type rrStore struct {
 	mu       sync.Mutex
 	entries  map[string]*rrEntry
 	order    *list.List // front = most recently used key
 	capacity int
 	seed     uint64
+
+	// Spill tier configuration (spillDir == "" disables the tier:
+	// eviction then discards, the pre-spill behavior). ramBytes reports
+	// the ledger's RAM-tier total for the memory-budget eviction trigger;
+	// onPromote feeds each promotion's (bytes, ms) into the planner's
+	// promotion-latency model.
+	spillDir   string
+	diskBudget int64
+	memBudget  int64
+	ramBytes   func() int64
+	onPromote  func(key string, bytes int64, ms float64)
+
+	// spilled maps keys to their cold on-disk records; spillOrder is the
+	// demotion LRU (front = most recently demoted) the disk budget
+	// drops from. Both guarded by mu. spillSeq makes spill file names
+	// unique across a process lifetime.
+	spilled    map[string]*spillRecord
+	spillOrder *list.List
+	spillSeq   uint64
 
 	// ledger is the capacity ledger the store's resident bytes live in:
 	// one account per dataset under the "rr_collections" component. The
@@ -73,6 +121,23 @@ type rrStore struct {
 	repairTotalMs     *obs.Counter
 	repairMaxMs       *obs.Gauge
 	staleBypasses     *obs.Counter
+	demotions         *obs.Counter
+	promotions        *obs.Counter
+	spillDrops        *obs.Counter
+	spillFailures     *obs.Counter
+}
+
+// spillRecord is one cold collection in the spill tier: the file
+// WriteSpill produced, its exact byte size, and the (dataset, "rr_spill")
+// ledger account holding those bytes. elem is the record's slot in
+// spillOrder while it sits in the spilled map; nil once an entry has
+// claimed it for promotion.
+type spillRecord struct {
+	path  string
+	bytes int64
+	sets  int64
+	elem  *list.Element
+	disk  *obs.Account
 }
 
 // rrEntry is one cached collection. cumWidth[i] is Σ widths of the first
@@ -94,23 +159,59 @@ type rrEntry struct {
 	memory  int64
 	elem    *list.Element
 	evicted bool
+	// pendingSpill (also guarded by the store mutex) is the cold spill
+	// record this entry claimed at creation; the first query promotes it
+	// under the entry lock and clears it.
+	pendingSpill *spillRecord
 	// mem is the entry's ledger account — the (dataset, "rr_collections")
 	// leaf; entries of one dataset share it, so deltas accumulate.
 	mem *obs.Account
 }
 
-func newRRStore(seed uint64, capacity int, reg *obs.Registry, ledger *obs.Ledger) *rrStore {
+// rrStoreConfig configures newRRStore; the zero value of every field
+// except Seed/Capacity disables the spill tier.
+type rrStoreConfig struct {
+	Seed     uint64
+	Capacity int
+	// SpillDir enables the spill tier: evicted collections demote to
+	// files here instead of being discarded.
+	SpillDir string
+	// DiskBudget bounds the spill tier's on-disk bytes (0 = unbudgeted);
+	// the oldest spilled record is dropped beyond it.
+	DiskBudget int64
+	// MemBudget, with RAMBytes, adds a second eviction trigger: while
+	// the RAM-tier ledger total exceeds MemBudget, the LRU collection is
+	// evicted (and demoted) even below the Capacity cap.
+	MemBudget int64
+	RAMBytes  func() int64
+	// OnPromote observes each completed promotion (key, file bytes,
+	// elapsed ms) — the planner's promotion-latency model.
+	OnPromote func(key string, bytes int64, ms float64)
+}
+
+func newRRStore(cfg rrStoreConfig, reg *obs.Registry, ledger *obs.Ledger) *rrStore {
+	capacity := cfg.Capacity
 	if capacity < 1 {
 		capacity = 1
 	}
 	reg.GaugeFunc("timserver_rr_memory_bytes", "Resident bytes across live RR collections.",
 		func() float64 { return float64(ledger.SumComponent("rr_collections")) })
-	return &rrStore{
+	reg.GaugeFunc("timserver_rr_spill_bytes", "On-disk bytes across spilled RR collections.",
+		func() float64 { return float64(ledger.SumComponent("rr_spill")) })
+	s := &rrStore{
 		entries:  make(map[string]*rrEntry),
 		order:    list.New(),
 		capacity: capacity,
-		seed:     seed,
+		seed:     cfg.Seed,
 		ledger:   ledger,
+
+		spillDir:   cfg.SpillDir,
+		diskBudget: cfg.DiskBudget,
+		memBudget:  cfg.MemBudget,
+		ramBytes:   cfg.RAMBytes,
+		onPromote:  cfg.OnPromote,
+		spilled:    make(map[string]*spillRecord),
+		spillOrder: list.New(),
 
 		setsSampled:       reg.Counter("timserver_rr_sets_sampled_total", "RR sets sampled fresh (cache misses and extensions)."),
 		setsReused:        reg.Counter("timserver_rr_sets_reused_total", "RR sets served from warm collections without resampling."),
@@ -124,25 +225,92 @@ func newRRStore(seed uint64, capacity int, reg *obs.Registry, ledger *obs.Ledger
 		repairTotalMs:     reg.Counter("timserver_rr_repair_ms_total", "Total milliseconds spent in incremental repairs."),
 		repairMaxMs:       reg.Gauge("timserver_rr_repair_max_ms", "Slowest single incremental repair in milliseconds."),
 		staleBypasses:     reg.Counter("timserver_rr_stale_bypasses_total", "Queries served from a private cold sample after racing behind the shared collection."),
+		demotions:         reg.Counter("timserver_rr_demotions_total", "Evicted RR collections demoted to the spill tier."),
+		promotions:        reg.Counter("timserver_rr_promotions_total", "Spilled RR collections promoted back into memory."),
+		spillDrops:        reg.Counter("timserver_rr_spill_drops_total", "Spilled collections dropped (disk budget, staleness mismatch, or corrupt file)."),
+		spillFailures:     reg.Counter("timserver_rr_spill_failures_total", "Demotions that failed to write their spill file (the eviction became a plain drop)."),
 	}
+	reg.GaugeFunc("timserver_rr_spilled_collections", "Cold RR collections currently held by the spill tier.",
+		func() float64 { return float64(s.spilledCount()) })
+	return s
+}
+
+// spilledCount reports the cold collections the tier holds: spilled
+// records plus records claimed by a resident entry but not yet promoted.
+func (s *rrStore) spilledCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(len(s.spilled))
+	for _, e := range s.entries {
+		if e.pendingSpill != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // entry returns (creating if needed) the collection for key, evicting
-// the least recently used entry when the cap is exceeded. The entry's
-// sampling seed depends only on (store seed, key), so two servers with
-// the same base seed answer identically — as does one server before and
-// after an eviction. created reports whether this call built the entry.
-func (s *rrStore) entry(key string) (_ *rrEntry, created bool) {
+// the least recently used entries when the cap — or the operator's
+// memory budget — is exceeded. The entry's sampling seed depends only
+// on (store seed, key), so two servers with the same base seed answer
+// identically — as does one server before and after an eviction.
+// created reports whether this call built the entry.
+//
+// Demotion runs here, and only here, after the store mutex is
+// released: it must take each victim's entry mutex (an in-flight query
+// may still be extending the victim), and entry() is the one store
+// path that holds no entry mutex of its own — running demotion from
+// NodeSelectionSets' accounting block would deadlock two queries
+// demoting each other's entries.
+func (s *rrStore) entry(ctx context.Context, key string) (_ *rrEntry, created bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e, ok := s.entries[key]; ok {
 		s.order.MoveToFront(e.elem)
+		s.mu.Unlock()
 		return e, false
 	}
-	for len(s.entries) >= s.capacity {
+	victims := s.evictLocked()
+	e := &rrEntry{
+		col:      &diffusion.RRCollection{Off: []int64{0}},
+		cumWidth: []int64{0},
+		seed:     s.seed ^ fnv64(key),
+		mem:      s.ledger.Account(rrKeyDataset(key), "rr_collections"),
+	}
+	if rec, ok := s.spilled[key]; ok {
+		// Claim the cold record under the store mutex: this entry is now
+		// its only owner, so exactly one query will promote it.
+		delete(s.spilled, key)
+		s.spillOrder.Remove(rec.elem)
+		rec.elem = nil
+		e.pendingSpill = rec
+	}
+	e.elem = s.order.PushFront(key)
+	s.entries[key] = e
+	s.mu.Unlock()
+	for _, v := range victims {
+		s.demote(ctx, v.key, v.entry)
+	}
+	return e, true
+}
+
+// rrVictim is one evicted entry awaiting demotion.
+type rrVictim struct {
+	key   string
+	entry *rrEntry
+}
+
+// evictLocked pops LRU entries while the capacity cap — or, with a
+// memory budget configured, the RAM-tier ledger total — is exceeded.
+// Victims are marked evicted and their RAM bytes released immediately
+// (an in-flight query on a victim finishes normally but no longer
+// contributes to the accounting); the caller demotes them after
+// releasing the store mutex. Caller holds s.mu.
+func (s *rrStore) evictLocked() []rrVictim {
+	var victims []rrVictim
+	pop := func() bool {
 		oldest := s.order.Back()
 		if oldest == nil {
-			break
+			return false
 		}
 		victimKey := oldest.Value.(string)
 		victim := s.entries[victimKey]
@@ -151,20 +319,185 @@ func (s *rrStore) entry(key string) (_ *rrEntry, created bool) {
 		victim.evicted = true
 		victim.mem.Add(-victim.memory)
 		s.evictions.Inc()
+		victims = append(victims, rrVictim{key: victimKey, entry: victim})
+		return true
 	}
-	e := &rrEntry{
-		col:      &diffusion.RRCollection{Off: []int64{0}},
-		cumWidth: []int64{0},
-		seed:     s.seed ^ fnv64(key),
-		mem:      s.ledger.Account(rrKeyDataset(key), "rr_collections"),
+	for len(s.entries) >= s.capacity {
+		if !pop() {
+			break
+		}
 	}
-	e.elem = s.order.PushFront(key)
-	s.entries[key] = e
-	return e, true
+	if s.memBudget > 0 && s.ramBytes != nil {
+		// The RAM-tier total (not ledger.Total(), which includes the
+		// spill tier's own disk bytes — demoting could never shrink
+		// that below budget).
+		for len(s.entries) > 0 && s.ramBytes() > s.memBudget {
+			if !pop() {
+				break
+			}
+		}
+	}
+	return victims
+}
+
+// demote moves one evicted entry's collection into the spill tier (or
+// discards it when the tier is off, the collection is empty, or the
+// spill write fails — exactly the pre-spill eviction behavior). It
+// waits on the victim's entry mutex, so a query still extending the
+// victim finishes first and the spill captures the flushed prefix.
+func (s *rrStore) demote(ctx context.Context, key string, v *rrEntry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s.mu.Lock()
+	rec := v.pendingSpill
+	v.pendingSpill = nil
+	s.mu.Unlock()
+	if rec != nil {
+		// Evicted again before any query promoted it: the on-disk file
+		// is still exactly this collection — relink the record instead
+		// of rewriting the file (its disk bytes never left the ledger).
+		s.admitSpill(key, rec)
+		return
+	}
+	if s.spillDir == "" || v.col.Count() == 0 || !v.versioned {
+		return
+	}
+	span := obs.StartSpan(ctx, "rr.demote").Attr("sets", int64(v.col.Count()))
+	widths := make([]int64, v.col.Count())
+	for i := range widths {
+		widths[i] = v.cumWidth[i+1] - v.cumWidth[i]
+	}
+	hdr := diskrr.SpillHeader{Version: v.version, ProfileHash: rrKeyProfile(key), Seed: v.seed}
+	s.mu.Lock()
+	s.spillSeq++
+	path := filepath.Join(s.spillDir, fmt.Sprintf("rrspill-%016x-%d.bin", fnv64(key), s.spillSeq))
+	s.mu.Unlock()
+	bytes, err := diskrr.WriteSpill(path, hdr, v.col, widths)
+	if err != nil {
+		// WriteSpill left no debris (its contract); the eviction becomes
+		// a plain drop and the next query on the key resamples cold.
+		s.spillFailures.Inc()
+		span.Attr("failed", true).End()
+		return
+	}
+	rec = &spillRecord{
+		path:  path,
+		bytes: bytes,
+		sets:  int64(v.col.Count()),
+		disk:  s.ledger.Account(rrKeyDataset(key), "rr_spill"),
+	}
+	rec.disk.Add(bytes)
+	s.demotions.Inc()
+	s.admitSpill(key, rec)
+	span.Attr("bytes", bytes).End()
+}
+
+// admitSpill links a (already charged) record into the spilled map and
+// enforces the disk budget by dropping the oldest records — possibly
+// the new one itself, when it alone exceeds the budget.
+func (s *rrStore) admitSpill(key string, rec *spillRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.spilled[key]; ok {
+		// Unreachable by construction (an entry claims the record at
+		// creation), but never leak a file: the newer demotion wins.
+		s.dropSpillLocked(key, old)
+	}
+	rec.elem = s.spillOrder.PushFront(key)
+	s.spilled[key] = rec
+	if s.diskBudget > 0 {
+		for s.spillOrder.Len() > 0 && s.ledger.SumComponent("rr_spill") > s.diskBudget {
+			oldest := s.spillOrder.Back()
+			oldKey := oldest.Value.(string)
+			s.dropSpillLocked(oldKey, s.spilled[oldKey])
+		}
+	}
+}
+
+// dropSpillLocked removes one spilled record: file deleted, disk bytes
+// released, drop counted. Caller holds s.mu.
+func (s *rrStore) dropSpillLocked(key string, rec *spillRecord) {
+	delete(s.spilled, key)
+	if rec.elem != nil {
+		s.spillOrder.Remove(rec.elem)
+		rec.elem = nil
+	}
+	rec.disk.Add(-rec.bytes)
+	os.Remove(rec.path)
+	s.spillDrops.Inc()
+}
+
+// promote reads the entry's claimed spill record back into memory — a
+// no-op when none is pending. Called with e.mu held, before the
+// version checks: promotion restores (col, widths, version) exactly as
+// they were demoted, and the ordinary repair path then brings a
+// behind-version collection to the query's snapshot (or cold-resets),
+// just as if the entry had stayed warm. The spill is dropped unserved
+// on a read failure or a header mismatch with the entry's identity —
+// the query then resamples cold, bit-identical by the keyed seed.
+func (s *rrStore) promote(ctx context.Context, key string, e *rrEntry) {
+	s.mu.Lock()
+	rec := e.pendingSpill
+	e.pendingSpill = nil
+	s.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	span := obs.StartSpan(ctx, "rr.promote").Attr("bytes", rec.bytes).Attr("sets", rec.sets)
+	start := time.Now()
+	hdr, col, widths, err := diskrr.ReadSpill(rec.path)
+	os.Remove(rec.path)
+	rec.disk.Add(-rec.bytes)
+	if err != nil || hdr.Seed != e.seed || hdr.ProfileHash != rrKeyProfile(key) {
+		s.spillDrops.Inc()
+		span.Attr("dropped", true).End()
+		return
+	}
+	e.col = col
+	e.cumWidth = e.cumWidth[:1]
+	for _, w := range widths {
+		e.cumWidth = append(e.cumWidth, e.cumWidth[len(e.cumWidth)-1]+w)
+	}
+	e.version, e.versioned = hdr.Version, true
+	s.promotions.Inc()
+	span.End()
+	if s.onPromote != nil {
+		s.onPromote(key, rec.bytes, msSince(start))
+	}
+}
+
+// spilledBytes reports the on-disk size of the cold collection a query
+// on key would have to promote first (0 when the key is resident-warm
+// or absent) — the planner's promotion-latency penalty input.
+func (s *rrStore) spilledBytes(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.spilled[key]; ok {
+		return rec.bytes
+	}
+	if e, ok := s.entries[key]; ok && e.pendingSpill != nil {
+		return e.pendingSpill.bytes
+	}
+	return 0
+}
+
+// rrKeyFor builds the reuse-layer key for (dataset, model, ε, compiled
+// sampling-profile hash). The key deliberately excludes k, seed, and
+// algorithm — any i.i.d. RR sets serve any of them — and the graph
+// version: one collection follows the dataset across versions. The
+// unconstrained profile (hash 0) omits its suffix, so pre-profile keys
+// are unchanged. doMaximize and the tier planner's promotion penalty
+// must agree on this shape, which is why it is one function.
+func rrKeyFor(dataset, modelName string, eps float64, profileHash uint64) string {
+	key := fmt.Sprintf("%s|%s|eps=%g", dataset, modelName, eps)
+	if profileHash != 0 {
+		key += fmt.Sprintf("|profile=%x", profileHash)
+	}
+	return key
 }
 
 // rrKeyDataset extracts the dataset name from a reuse-layer key
-// ("dataset|model|eps=..." — see doMaximize), the ledger dimension rr
+// ("dataset|model|eps=..." — see rrKeyFor), the ledger dimension rr
 // bytes are attributed along.
 func rrKeyDataset(key string) string {
 	if i := strings.IndexByte(key, '|'); i >= 0 {
@@ -172,6 +505,39 @@ func rrKeyDataset(key string) string {
 	}
 	return key
 }
+
+// rrKeyCost extracts the "dataset|model" prefix of a reuse-layer key —
+// the granularity the tiered planner's cost models are keyed on.
+func rrKeyCost(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		if j := strings.IndexByte(key[i+1:], '|'); j >= 0 {
+			return key[:i+1+j]
+		}
+	}
+	return key
+}
+
+// rrKeyProfile extracts the compiled sampling-profile hash from a
+// reuse-layer key ("...|profile=<hex>" — see rrKeyFor); 0 for the
+// unconstrained profile, which omits the suffix.
+func rrKeyProfile(key string) uint64 {
+	const marker = "|profile="
+	i := strings.LastIndex(key, marker)
+	if i < 0 {
+		return 0
+	}
+	h, err := strconv.ParseUint(key[i+len(marker):], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return h
+}
+
+// faultRREvictMidExtend is consulted after a query's extension flushes
+// but before its ledger accounting runs. Tests use it as a
+// synchronization hook to force an eviction into exactly that window —
+// the race the `!e.evicted` guard below exists for.
+const faultRREvictMidExtend = "server/rr-evict-mid-extend"
 
 // fnv64 is the FNV-1a hash, used to derive per-key sampling seeds.
 func fnv64(s string) uint64 {
@@ -227,10 +593,15 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	defer func() {
 		span.Attr("reused", r.reused).Attr("sampled", r.sampled).Attr("repaired", r.repaired).End()
 	}()
-	e, created := r.store.entry(r.key)
+	e, created := r.store.entry(ctx, r.key)
 	r.created = created
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Promote the entry's claimed spill record (if any) before the
+	// version checks: a promoted collection behind the snapshot then
+	// repairs or cold-resets through the ordinary paths below, exactly
+	// like a warm entry would.
+	r.store.promote(ctx, r.key, e)
 
 	if e.versioned && e.version > r.snapVersion {
 		// This query resolved its snapshot before a concurrent update
@@ -305,6 +676,9 @@ func (r *rrSource) NodeSelectionSets(ctx context.Context, g *graph.Graph, model 
 	}
 	memory := e.col.MemoryBytes() + int64(cap(e.cumWidth))*8
 	r.memory = memory
+	if err := fault.Hit(faultRREvictMidExtend); err != nil {
+		return nil, err
+	}
 
 	r.store.setsReused.Add(float64(r.reused))
 	r.store.setsSampled.Add(float64(r.sampled))
@@ -382,6 +756,18 @@ type rrStoreStats struct {
 	// StaleBypasses counts queries served from a private cold sample
 	// because their snapshot raced behind the shared collection.
 	StaleBypasses int64 `json:"stale_bypasses"`
+	// Spill tier: Demotions/Promotions count collections moved between
+	// the RAM and disk tiers; SpillDrops counts spilled collections
+	// discarded (disk budget, staleness mismatch, corrupt file);
+	// SpillFailures counts demotions whose spill write failed (the
+	// eviction became a plain drop). SpilledCollections/SpillBytes are
+	// the tier's current holdings.
+	Demotions          int64 `json:"demotions"`
+	Promotions         int64 `json:"promotions"`
+	SpillDrops         int64 `json:"spill_drops"`
+	SpillFailures      int64 `json:"spill_failures"`
+	SpilledCollections int64 `json:"spilled_collections"`
+	SpillBytes         int64 `json:"spill_bytes"`
 }
 
 // memoryTotal reports the store's resident bytes from the ledger (the
@@ -395,20 +781,26 @@ func (s *rrStore) stats() rrStoreStats {
 	collections := int64(len(s.entries))
 	s.mu.Unlock()
 	return rrStoreStats{
-		Collections:       collections,
-		Capacity:          s.capacity,
-		SetsSampled:       s.setsSampled.Int(),
-		SetsReused:        s.setsReused.Int(),
-		Extensions:        s.extensions.Int(),
-		PartialExtensions: s.partialExtensions.Int(),
-		Evictions:         s.evictions.Int(),
-		MemoryBytes:       s.memoryTotal(),
-		Repairs:           s.repairs.Int(),
-		SetsRepaired:      s.setsRepaired.Int(),
-		SetsRepairReused:  s.setsRepairReused.Int(),
-		RepairColdResets:  s.repairColdResets.Int(),
-		RepairTotalMs:     s.repairTotalMs.Value(),
-		RepairMaxMs:       s.repairMaxMs.Value(),
-		StaleBypasses:     s.staleBypasses.Int(),
+		Collections:        collections,
+		Capacity:           s.capacity,
+		SetsSampled:        s.setsSampled.Int(),
+		SetsReused:         s.setsReused.Int(),
+		Extensions:         s.extensions.Int(),
+		PartialExtensions:  s.partialExtensions.Int(),
+		Evictions:          s.evictions.Int(),
+		MemoryBytes:        s.memoryTotal(),
+		Repairs:            s.repairs.Int(),
+		SetsRepaired:       s.setsRepaired.Int(),
+		SetsRepairReused:   s.setsRepairReused.Int(),
+		RepairColdResets:   s.repairColdResets.Int(),
+		RepairTotalMs:      s.repairTotalMs.Value(),
+		RepairMaxMs:        s.repairMaxMs.Value(),
+		StaleBypasses:      s.staleBypasses.Int(),
+		Demotions:          s.demotions.Int(),
+		Promotions:         s.promotions.Int(),
+		SpillDrops:         s.spillDrops.Int(),
+		SpillFailures:      s.spillFailures.Int(),
+		SpilledCollections: s.spilledCount(),
+		SpillBytes:         s.ledger.SumComponent("rr_spill"),
 	}
 }

@@ -56,12 +56,14 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/diffusion"
+	"repro/internal/diskrr"
 	"repro/internal/evolve"
 	"repro/internal/maxcover"
 	"repro/internal/obs"
@@ -133,8 +135,27 @@ type Config struct {
 	AccessLog *slog.Logger
 	// MemoryBudgetBytes is the operator's memory budget for the
 	// ledger-accounted state; GET /v1/capacity reports headroom against
-	// it. 0 means unbudgeted (headroom is then omitted).
+	// it. 0 means unbudgeted (headroom is then omitted). With a spill
+	// directory configured it is also an eviction trigger: while the
+	// RAM tier exceeds the budget, the rr-store demotes LRU collections
+	// to disk.
 	MemoryBudgetBytes int64
+	// SpillDir enables the out-of-core spill tier: RR collections
+	// evicted from the rr-store demote to spill files here (and promote
+	// back on their next query) instead of being discarded, and
+	// MmapDatasets places its CSR backing files here. The directory is
+	// created if missing and purged of spill artifacts at startup (the
+	// tier's index dies with the process). Empty disables the tier.
+	SpillDir string
+	// DiskBudgetBytes bounds the spill tier's on-disk bytes; beyond it
+	// the oldest spilled collection is dropped. 0 means unbudgeted.
+	DiskBudgetBytes int64
+	// MmapDatasets serves synthetic datasets' CSR snapshots from
+	// memory-mapped files under SpillDir instead of heap slices, so a
+	// graph larger than RAM pages on demand. Requires SpillDir; on
+	// platforms without mmap support the flag is ignored and graphs
+	// stay heap-resident.
+	MmapDatasets bool
 	// QLogPath, when non-empty, enables the query flight recorder: a
 	// schema-versioned JSONL file (one header line, then one sampled
 	// record per maximize-shaped answer) that cmd/timload can replay.
@@ -322,7 +343,23 @@ type endpointStats struct {
 // first query touches them; New fails only on malformed configuration.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	reg, err := newRegistry(cfg.Datasets, evolve.Options{MaxLogMutations: cfg.MaxDeltaLog})
+	if cfg.SpillDir != "" {
+		// The spill tier is a volatile cache whose index lives in this
+		// process: purge artifacts a previous process left behind
+		// (finished spills, torn .tmp files from a crash mid-demotion,
+		// mmap backing files) before anything can collide with them.
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating spill dir: %w", err)
+		}
+		if _, err := diskrr.PurgeSpillDir(cfg.SpillDir); err != nil {
+			return nil, fmt.Errorf("server: purging spill dir: %w", err)
+		}
+	}
+	mmapDir := ""
+	if cfg.MmapDatasets && cfg.SpillDir != "" {
+		mmapDir = cfg.SpillDir
+	}
+	reg, err := newRegistry(cfg.Datasets, evolve.Options{MaxLogMutations: cfg.MaxDeltaLog}, mmapDir)
 	if err != nil {
 		return nil, err
 	}
@@ -352,13 +389,31 @@ func New(cfg Config) (*Server, error) {
 	// grep logs by them), while answers stay seed-deterministic.
 	o := newObsState(cfg.TraceRing, cfg.AccessLog, cfg.Seed^uint64(time.Now().UnixNano()), cfg.SLOObjective)
 	ledger := obs.NewLedger()
+	tiered := newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder, o.reg)
+	rrCfg := rrStoreConfig{
+		Seed:       cfg.Seed,
+		Capacity:   cfg.RRCollections,
+		SpillDir:   cfg.SpillDir,
+		DiskBudget: cfg.DiskBudgetBytes,
+		MemBudget:  cfg.MemoryBudgetBytes,
+		// The RAM-tier total: everything in the ledger except the disk
+		// components (spill files, WAL). Using ledger.Total() here would
+		// count the bytes demotion just moved to disk against the memory
+		// budget, and eviction could never converge.
+		RAMBytes: func() int64 { return ledger.Total() - ledger.SumComponents(diskComponents...) },
+		// Each completed promotion calibrates the planner's
+		// promotion-latency model for the key's (dataset, model).
+		OnPromote: func(key string, bytes int64, ms float64) {
+			tiered.planner.ObservePromotion(rrKeyCost(key), bytes, ms)
+		},
+	}
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		registry: reg,
 		results:  newLRUCache(cfg.CacheSize, ledger),
-		rr:       newRRStore(cfg.Seed, cfg.RRCollections, o.reg, ledger),
-		tiered:   newTieredRuntime(cfg.MaxInFlight, cfg.EpsLadder, o.reg),
+		rr:       newRRStore(rrCfg, o.reg, ledger),
+		tiered:   tiered,
 		start:    time.Now(),
 		ledger:   ledger,
 		obs:      o,
@@ -401,6 +456,9 @@ func (s *Server) registerLedger() {
 		name := spec.Name
 		s.ledger.Account(name, "rr_collections")
 		s.ledger.Account(name, "result_cache")
+		if s.cfg.SpillDir != "" {
+			s.ledger.Account(name, "rr_spill")
+		}
 		s.ledger.AccountFunc(func() int64 { return s.registry.snapshotBytes(name) }, name, "csr_snapshots")
 		s.ledger.AccountFunc(func() int64 { return s.tiered.scorerBytes(name) }, name, "tiered_scorers")
 		if s.walEnabled {

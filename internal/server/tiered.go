@@ -292,8 +292,24 @@ func (s *Server) answer(base context.Context, req MaximizeRequest) (MaximizeResp
 	// horizon bounds need the RIS pipeline's constrained sampling.
 	fastOK := req.Weights == nil && req.Costs == nil && req.Budget == 0 && req.MaxHops == 0
 	costKey := req.Dataset + "|" + modelName
+	// Promotion penalty: a rung whose collection sits demoted in the
+	// spill tier pays a predicted disk read before sampling, and the
+	// plan must charge it against the budget instead of gambling. Only
+	// sampling-unconstrained queries get the penalty — they use the
+	// profile-0 key the spill records are filed under; a profiled key's
+	// hash is not known until compilation, and a missed penalty costs
+	// accuracy, never correctness.
+	var promoteMs func(eps float64) float64
+	if req.Weights == nil && req.MaxHops == 0 {
+		promoteMs = func(eps float64) float64 {
+			if b := s.rr.spilledBytes(rrKeyFor(req.Dataset, modelName, eps, 0)); b > 0 {
+				return s.tiered.planner.PredictPromotionMs(costKey, b)
+			}
+			return 0
+		}
+	}
 	planSpan := obs.StartSpan(ctx, "plan").Attr("budget_ms", req.BudgetMs)
-	d := s.tiered.planner.Plan(costKey, g.N(), req.K, req.Epsilon, req.Ell, req.BudgetMs, req.MinConfidence, fastOK)
+	d := s.tiered.planner.PlanWithPromotion(costKey, g.N(), req.K, req.Epsilon, req.Ell, req.BudgetMs, req.MinConfidence, fastOK, promoteMs)
 	planSpan.Attr("tier", d.Tier.String()).
 		Attr("epsilon", d.Epsilon).
 		Attr("predicted_ms", d.PredictedMs).

@@ -73,6 +73,12 @@ type costModel struct {
 	// rungs just like latency does (Borgs et al.'s cost argument).
 	bytesPerLambda float64
 	bytesObs       int64
+	// promoteMsPerByte tracks spill-tier promotion cost (sequential read
+	// + arena rebuild) per on-disk byte, so a budgeted query landing on
+	// a demoted collection charges the disk read against its budget
+	// instead of gambling on it.
+	promoteMsPerByte float64
+	promoteObs       int64
 }
 
 // ewmaAlpha weights new observations; high enough to follow load shifts,
@@ -185,6 +191,49 @@ func (p *Planner) PredictRISBytes(key string, n, k int, eps, ell float64) (bytes
 	return int64(perLambda * stats.Lambda(n, k, eps, ell)), true
 }
 
+// ObservePromotion feeds one completed spill-tier promotion (bytes
+// read from disk, elapsed ms) into the promotion cost model for key.
+func (p *Planner) ObservePromotion(key string, bytes int64, ms float64) {
+	if bytes <= 0 || ms < 0 {
+		return
+	}
+	perByte := ms / float64(bytes)
+	p.mu.Lock()
+	m := p.model(key)
+	if m.promoteObs == 0 {
+		m.promoteMsPerByte = perByte
+	} else {
+		m.promoteMsPerByte += ewmaAlpha * (perByte - m.promoteMsPerByte)
+	}
+	m.promoteObs++
+	p.mu.Unlock()
+}
+
+// uncalibratedPromoteMsPerByte is the prior before any promotion has
+// been observed: ~200 MB/s sequential read — pessimistic enough that a
+// cold model does not blow a tight budget on a large spill file,
+// optimistic enough that small promotions stay admissible.
+const uncalibratedPromoteMsPerByte = 1.0 / (200 * 1024)
+
+// PredictPromotionMs estimates the latency of promoting bytes of
+// spilled collection back into memory for key. Unlike PredictRIS, an
+// uncalibrated model returns a throughput prior rather than +Inf: the
+// penalty only ever adds to a RIS prediction, and +Inf would make
+// every budgeted query on a demoted key shed before the first
+// promotion could calibrate anything.
+func (p *Planner) PredictPromotionMs(key string, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	perByte := uncalibratedPromoteMsPerByte
+	if m := p.models[key]; m != nil && m.promoteObs > 0 {
+		perByte = m.promoteMsPerByte
+	}
+	p.mu.Unlock()
+	return perByte * float64(bytes)
+}
+
 // ObserveFast feeds one completed fast-tier query into the cost model.
 func (p *Planner) ObserveFast(key string, ms float64) {
 	if ms < 0 {
@@ -263,6 +312,17 @@ const safetyFactor = 0.9
 //   - fastOK reports whether the query's constraints allow the fast tier
 //     (only force/exclude do; audiences, budgets, and horizons need RIS).
 func (p *Planner) Plan(key string, n, k int, reqEps, ell, budgetMs, minConf float64, fastOK bool) Decision {
+	return p.PlanWithPromotion(key, n, k, reqEps, ell, budgetMs, minConf, fastOK, nil)
+}
+
+// PlanWithPromotion is Plan with a per-rung latency surcharge: extraMs
+// (nil = none) returns the milliseconds a RIS answer at rung ε would
+// pay before sampling — in practice the predicted cost of promoting
+// that rung's demoted collection from the spill tier. The surcharge
+// applies only to RIS rungs (the fast tier touches no collection), and
+// only to the budget check: an unbudgeted query always runs the finest
+// admissible rung, promotion or not.
+func (p *Planner) PlanWithPromotion(key string, n, k int, reqEps, ell, budgetMs, minConf float64, fastOK bool, extraMs func(eps float64) float64) Decision {
 	maxEps := 1.0
 	if minConf > 0 {
 		maxEps = tim.EpsilonForConfidence(minConf)
@@ -288,7 +348,11 @@ func (p *Planner) Plan(key string, n, k int, reqEps, ell, budgetMs, minConf floa
 		return Decision{Tier: TierRIS, Epsilon: eps, Confidence: tim.ApproxFactor(eps)}
 	}
 	for _, eps := range rungs {
-		if pred := p.PredictRIS(key, n, k, eps, ell); pred <= budgetMs*safetyFactor {
+		pred := p.PredictRIS(key, n, k, eps, ell)
+		if extraMs != nil {
+			pred += extraMs(eps)
+		}
+		if pred <= budgetMs*safetyFactor {
 			return Decision{Tier: TierRIS, Epsilon: eps, Confidence: tim.ApproxFactor(eps), PredictedMs: pred}
 		}
 	}

@@ -9,6 +9,12 @@
 #   2. Mid-stream tear: kill -9 while an update stream is in flight,
 #      restart, and require that every *acked* update survived
 #      (-wal-sync=always promises exactly that) and the server answers.
+#   3. Spill-tier tear: with -spill-dir and a one-collection rr-store,
+#      kill -9 while eviction churn is demoting collections to disk.
+#      Restart on the same spill dir and require that startup purged
+#      every spill file and half-written temp (spills are a cache, not
+#      a durability artifact), and that a cold resample answers
+#      bit-identically to the pre-crash warm answer.
 #
 # Artifacts land in $OUT (default ./crash-smoke): server logs including
 # the "wal recovered" lines, the pre/post answers, and the WAL itself.
@@ -112,5 +118,62 @@ if [ "$ver" -lt "$want" ] || [ "$ver" -gt "$((want + 1))" ]; then
 fi
 curl -sf "$BASE/v1/maximize" -d '{"dataset":"ba","k":5,"epsilon":0.3}' >/dev/null
 echo "OK: $acked acked updates all survived kill -9 (recovered version $ver)"
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true; SRV_PID=""
+
+echo "== stage 3: kill -9 during spill-tier churn =="
+SPILL="$OUT/spill"
+rm -rf "$SPILL" "$WAL"
+
+start_spill_server() { # $1 = log file
+  "$OUT/timserver" -listen "127.0.0.1:$PORT" -dataset "$DATASET" \
+    -spill-dir "$SPILL" -rr-collections 1 -cache 1 -seed 5 \
+    >"$1" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "server died at startup; log:"; cat "$1"; exit 1; }
+    sleep 0.1
+  done
+  echo "server never became healthy; log:"; cat "$1"; exit 1
+}
+
+start_spill_server "$OUT/server4.log"
+# Record the warm answer, then churn: with one resident collection,
+# every ε change demotes the previous collection and promotes its
+# spill back — the kill lands somewhere inside that write traffic.
+curl -sf "$BASE/v1/maximize" -d '{"dataset":"ba","k":5,"epsilon":0.3}' \
+  | strip_volatile >"$OUT/pre_spill.json"
+(
+  while :; do
+    for eps in 0.3 0.25 0.2 0.35; do
+      curl -sf "$BASE/v1/maximize" \
+        -d "{\"dataset\":\"ba\",\"k\":5,\"epsilon\":$eps}" >/dev/null 2>&1 || exit 0
+    done
+  done
+) &
+CHURN_PID=$!
+sleep 0.9 # let the demote/promote churn get going, then pull the plug
+# The tear is only meaningful if the tier was live: require demotions
+# before killing, or the purge assertion below would pass vacuously.
+demotions="$(curl -sf "$BASE/v1/stats" | python3 -c '
+import json, sys
+print(json.load(sys.stdin)["rr_cache"]["demotions"])
+')"
+[ "$demotions" -gt 0 ] || { echo "FAIL: no demotions before the kill"; exit 1; }
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true; SRV_PID=""
+kill "$CHURN_PID" 2>/dev/null || true; wait "$CHURN_PID" 2>/dev/null || true
+
+start_spill_server "$OUT/server5.log"
+# Startup purges the spill dir: every rrspill-* file — including any
+# half-written rrspill-*.tmp the kill tore mid-demotion — must be gone.
+debris="$(find "$SPILL" -name 'rrspill-*' 2>/dev/null || true)"
+if [ -n "$debris" ]; then
+  echo "FAIL: spill debris survived restart:"; echo "$debris"; exit 1
+fi
+curl -sf "$BASE/v1/maximize" -d '{"dataset":"ba","k":5,"epsilon":0.3}' \
+  | strip_volatile >"$OUT/post_spill.json"
+cmp "$OUT/pre_spill.json" "$OUT/post_spill.json" \
+  || { echo "FAIL: cold resample differs from pre-crash warm answer"; exit 1; }
+echo "OK: spill dir purged on restart, cold answer bit-identical"
 
 echo "crash-recovery smoke passed"
